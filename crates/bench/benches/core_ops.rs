@@ -1,0 +1,158 @@
+//! Criterion bench for the core engine's per-tuple operator costs:
+//! probabilistic selection, window maintenance, and the aggregation
+//! strategies as seen through the operator (not just the math kernels).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+use ustream_core::ops::aggregate::{AggFunc, AggSpec, Strategy, WindowKind, WindowedAggregate};
+use ustream_core::ops::select::{Predicate, Select};
+use ustream_core::ops::Operator;
+use ustream_core::schema::{DataType, Schema};
+use ustream_core::tuple::Tuple;
+use ustream_core::updf::Updf;
+use ustream_core::value::{GroupKey, Value};
+use ustream_prob::dist::Dist;
+
+fn schema() -> Arc<Schema> {
+    Schema::builder()
+        .field("g", DataType::Int)
+        .field("x", DataType::Uncertain)
+        .build()
+}
+
+fn tuples(n: usize) -> Vec<Tuple> {
+    let s = schema();
+    (0..n)
+        .map(|i| {
+            Tuple::new(
+                s.clone(),
+                vec![
+                    Value::Int((i % 4) as i64),
+                    Value::from(Updf::Parametric(Dist::gaussian(
+                        (i % 10) as f64,
+                        1.0 + (i % 3) as f64 * 0.3,
+                    ))),
+                ],
+                i as u64 * 10,
+            )
+        })
+        .collect()
+}
+
+fn bench_core_ops(c: &mut Criterion) {
+    let batch = tuples(1_000);
+    let mut group = c.benchmark_group("core_ops_1k_tuples");
+    group.sample_size(20);
+
+    group.bench_function("select_prob_above_conditioning", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Select::new(Predicate::UncertainAbove("x".into(), 5.0), 0.05),
+                    batch.clone(),
+                )
+            },
+            |(mut sel, tuples)| {
+                let mut kept = 0usize;
+                for t in tuples {
+                    kept += sel.process(0, t).len();
+                }
+                kept
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    for (label, strategy) in [
+        ("agg_clt", Strategy::Clt),
+        (
+            "agg_cf_approx",
+            Strategy::CfApprox {
+                skew_threshold: 0.3,
+                kurt_threshold: 1.0,
+            },
+        ),
+        ("agg_exact", Strategy::ExactParametric),
+    ] {
+        let strategy_clone = match &strategy {
+            Strategy::Clt => Strategy::Clt,
+            Strategy::ExactParametric => Strategy::ExactParametric,
+            Strategy::CfApprox { .. } => Strategy::CfApprox {
+                skew_threshold: 0.3,
+                kurt_threshold: 1.0,
+            },
+            _ => unreachable!(),
+        };
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    (
+                        WindowedAggregate::new(
+                            WindowKind::Count(100),
+                            |t: &Tuple| GroupKey::from_value(t.get("g").unwrap()).unwrap(),
+                            vec![AggSpec {
+                                field: "x".into(),
+                                func: AggFunc::Sum,
+                                out: "s".into(),
+                                strategy: match &strategy_clone {
+                                    Strategy::Clt => Strategy::Clt,
+                                    Strategy::ExactParametric => Strategy::ExactParametric,
+                                    Strategy::CfApprox { .. } => Strategy::CfApprox {
+                                        skew_threshold: 0.3,
+                                        kurt_threshold: 1.0,
+                                    },
+                                    _ => unreachable!(),
+                                },
+                            }],
+                        ),
+                        batch.clone(),
+                    )
+                },
+                |(mut agg, tuples)| {
+                    let mut emitted = 0usize;
+                    for t in tuples {
+                        emitted += agg.process(0, t).len();
+                    }
+                    emitted + agg.flush().len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    group.bench_function("sliding_window_overlap_4x", |b| {
+        b.iter_batched(
+            || {
+                (
+                    WindowedAggregate::new(
+                        WindowKind::Sliding {
+                            range_ms: 4_000,
+                            slide_ms: 1_000,
+                        },
+                        |_t: &Tuple| GroupKey::Unit,
+                        vec![AggSpec {
+                            field: "x".into(),
+                            func: AggFunc::Sum,
+                            out: "s".into(),
+                            strategy: Strategy::Clt,
+                        }],
+                    ),
+                    batch.clone(),
+                )
+            },
+            |(mut agg, tuples)| {
+                let mut emitted = 0usize;
+                for t in tuples {
+                    emitted += agg.process(0, t).len();
+                }
+                emitted + agg.flush().len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_core_ops);
+criterion_main!(benches);

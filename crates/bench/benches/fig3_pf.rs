@@ -1,0 +1,51 @@
+//! Criterion bench for Figure 3(b): particle-filter cost per scan as the
+//! object population and particle budget vary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfid_sim::TagRef;
+use ustream_bench::{fig3_setup, filter_config};
+use ustream_inference::FactoredFilter;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_pf_scan");
+    group.sample_size(10);
+
+    for &num_objects in &[100usize, 1000] {
+        for &particles in &[50usize, 200] {
+            // Pre-generate a warmed filter and a batch of scans.
+            let mut setup = fig3_setup(num_objects, 42);
+            let cfg = filter_config(&setup.gen, particles, true, true, 7);
+            let mut filter = FactoredFilter::new(num_objects, cfg);
+            let mut scans = Vec::new();
+            for _ in 0..60 {
+                let scan = setup.gen.next_scan();
+                let read: Vec<u32> = scan
+                    .readings
+                    .iter()
+                    .filter_map(|r| match r.tag {
+                        TagRef::Object(id) => Some(id),
+                        _ => None,
+                    })
+                    .collect();
+                filter.process_scan(scan.truth.reader_pos, &read);
+                scans.push((scan.truth.reader_pos, read));
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{num_objects}"), particles),
+                &particles,
+                |b, _| {
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        let (pos, read) = &scans[i % scans.len()];
+                        i += 1;
+                        filter.process_scan(*pos, read)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

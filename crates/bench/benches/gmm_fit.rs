@@ -1,0 +1,45 @@
+//! E7 — §4.3 conversion bench: KL Gaussian fit (two scans) vs weighted EM
+//! mixture fits with AIC/BIC selection, on unimodal and bimodal particle
+//! clouds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ustream_prob::dist::{ContinuousDist, GaussianMixture};
+use ustream_prob::fit::{fit_gmm_weighted, select_gmm, EmConfig, ModelSelection};
+use ustream_prob::samples::WeightedSamples;
+
+fn cloud(mix: &GaussianMixture, n: usize, seed: u64) -> WeightedSamples {
+    let mut rng = StdRng::seed_from_u64(seed);
+    WeightedSamples::unweighted((0..n).map(|_| mix.sample(&mut rng)).collect())
+}
+
+fn bench_gmm(c: &mut Criterion) {
+    let unimodal = cloud(&GaussianMixture::from_triples(&[(1.0, 0.0, 1.0)]), 200, 1);
+    // The §4.3 scenario: an object that may have moved shelves.
+    let bimodal = cloud(
+        &GaussianMixture::from_triples(&[(0.6, 0.0, 0.8), (0.4, 12.0, 0.8)]),
+        200,
+        2,
+    );
+
+    let mut group = c.benchmark_group("gmm_fit_200_samples");
+    group.sample_size(20);
+
+    group.bench_function("kl_gaussian_two_scans", |b| {
+        b.iter(|| bimodal.fit_gaussian())
+    });
+    group.bench_function("em_k2_bimodal", |b| {
+        b.iter(|| fit_gmm_weighted(&bimodal, 2, &EmConfig::default()))
+    });
+    group.bench_function("bic_select_unimodal", |b| {
+        b.iter(|| select_gmm(&unimodal, 3, ModelSelection::Bic, &EmConfig::default()))
+    });
+    group.bench_function("bic_select_bimodal", |b| {
+        b.iter(|| select_gmm(&bimodal, 3, ModelSelection::Bic, &EmConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gmm);
+criterion_main!(benches);

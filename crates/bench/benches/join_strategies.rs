@@ -1,0 +1,126 @@
+//! Bench for the probabilistic join's match-probability kernels: the
+//! Gaussian closed form vs the Monte-Carlo fallback, and the multivariate
+//! loc_equals path of Q2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ustream_core::ops::join::{JoinCondition, WindowJoin};
+use ustream_core::ops::Operator;
+use ustream_core::schema::{DataType, Schema};
+use ustream_core::tuple::Tuple;
+use ustream_core::updf::Updf;
+use ustream_core::value::Value;
+use ustream_prob::dist::{Dist, MvGaussian};
+use ustream_prob::samples::WeightedSamples;
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_probe_64_candidates");
+    group.sample_size(20);
+
+    // Scalar band join, Gaussian closed form.
+    {
+        let s = Schema::builder().field("x", DataType::Uncertain).build();
+        let mk = |ts: u64, mean: f64| {
+            Tuple::new(
+                s.clone(),
+                vec![Value::from(Updf::Parametric(Dist::gaussian(mean, 1.0)))],
+                ts,
+            )
+        };
+        group.bench_function("band_gaussian_closed_form", |b| {
+            b.iter_batched(
+                || {
+                    let mut j = WindowJoin::new(
+                        1_000_000,
+                        JoinCondition::BandUncertain {
+                            left_field: "x".into(),
+                            right_field: "x".into(),
+                            epsilon: 1.0,
+                        },
+                        0.0,
+                    );
+                    for i in 0..64 {
+                        j.process(0, mk(i, i as f64 * 0.1));
+                    }
+                    j
+                },
+                |mut j| j.process(1, mk(100, 3.0)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // Scalar band join, sample payloads force Monte Carlo.
+    {
+        let s = Schema::builder().field("x", DataType::Uncertain).build();
+        let mk = |ts: u64, mean: f64| {
+            let xs: Vec<f64> = (0..64).map(|i| mean + (i as f64 - 32.0) * 0.03).collect();
+            Tuple::new(
+                s.clone(),
+                vec![Value::from(Updf::Samples(WeightedSamples::unweighted(xs)))],
+                ts,
+            )
+        };
+        group.bench_function("band_monte_carlo", |b| {
+            b.iter_batched(
+                || {
+                    let mut j = WindowJoin::new(
+                        1_000_000,
+                        JoinCondition::BandUncertain {
+                            left_field: "x".into(),
+                            right_field: "x".into(),
+                            epsilon: 1.0,
+                        },
+                        0.0,
+                    );
+                    for i in 0..64 {
+                        j.process(0, mk(i, i as f64 * 0.1));
+                    }
+                    j
+                },
+                |mut j| j.process(1, mk(100, 3.0)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // Q2 loc_equals, diagonal MvGaussian closed form.
+    {
+        let s = Schema::builder().field("loc", DataType::UncertainVec(2)).build();
+        let mk = |ts: u64, x: f64| {
+            Tuple::new(
+                s.clone(),
+                vec![Value::from(Updf::Mv(MvGaussian::isotropic(
+                    vec![x, x * 0.5],
+                    0.5,
+                )))],
+                ts,
+            )
+        };
+        group.bench_function("loc_equals_mv_gaussian", |b| {
+            b.iter_batched(
+                || {
+                    let mut j = WindowJoin::new(
+                        1_000_000,
+                        JoinCondition::LocEquals {
+                            left_field: "loc".into(),
+                            right_field: "loc".into(),
+                            epsilon: 2.0,
+                        },
+                        0.0,
+                    );
+                    for i in 0..64 {
+                        j.process(0, mk(i, i as f64 * 0.3));
+                    }
+                    j
+                },
+                |mut j| j.process(1, mk(100, 9.0)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

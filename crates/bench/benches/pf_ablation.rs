@@ -1,0 +1,55 @@
+//! Ablation bench for the §4.1 optimization ladder: factored filtering
+//! with and without the spatial index and particle compression, at a
+//! fixed population.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfid_sim::TagRef;
+use ustream_bench::{fig3_setup, filter_config};
+use ustream_inference::FactoredFilter;
+
+fn prepared(num_objects: usize, spatial: bool, compression: bool) -> (FactoredFilter, Vec<([f64; 3], Vec<u32>)>) {
+    let mut setup = fig3_setup(num_objects, 42);
+    let cfg = filter_config(&setup.gen, 100, spatial, compression, 7);
+    let mut filter = FactoredFilter::new(num_objects, cfg);
+    let mut scans = Vec::new();
+    for _ in 0..50 {
+        let scan = setup.gen.next_scan();
+        let read: Vec<u32> = scan
+            .readings
+            .iter()
+            .filter_map(|r| match r.tag {
+                TagRef::Object(id) => Some(id),
+                _ => None,
+            })
+            .collect();
+        filter.process_scan(scan.truth.reader_pos, &read);
+        scans.push((scan.truth.reader_pos, read));
+    }
+    (filter, scans)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pf_ablation_n2000");
+    group.sample_size(10);
+    let n = 2_000;
+
+    for (label, spatial, compression) in [
+        ("no_index_no_compression", false, false),
+        ("index_only", true, false),
+        ("index_and_compression", true, true),
+    ] {
+        let (mut filter, scans) = prepared(n, spatial, compression);
+        group.bench_function(label, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let (pos, read) = &scans[i % scans.len()];
+                i += 1;
+                filter.process_scan(*pos, read)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Bench for the radar substrate: pulse synthesis and moment estimation
+//! at several averaging sizes (the per-epoch compute cost behind Table 1)
+//! plus the §4.4 T-operator MA-CLT path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use radar_sim::{compute_moments, RadarNode, RadarParams, RadarTOperator, VelocityUq, WeatherField};
+
+fn bench_radar(c: &mut Criterion) {
+    let params = RadarParams {
+        gates: 416,
+        ..Default::default()
+    };
+    let field = WeatherField::tornadic_default();
+    let node = RadarNode::new(0, [0.0, 0.0], params);
+    let bearing = (9_000.0f64).atan2(12_000.0);
+    let pulses = node.sector_scan(&field, bearing - 0.05, bearing + 0.05, 0.0, 3);
+
+    let mut group = c.benchmark_group("radar");
+    group.sample_size(10);
+
+    group.bench_function("pulse_synthesis_0p1rad_sector", |b| {
+        b.iter(|| node.sector_scan(&field, bearing - 0.05, bearing + 0.05, 0.0, 3))
+    });
+
+    for &n_avg in &[40usize, 200, 1000] {
+        group.bench_with_input(BenchmarkId::new("moments", n_avg), &n_avg, |b, &n| {
+            b.iter(|| compute_moments(&pulses, &params, n))
+        });
+    }
+
+    group.bench_function("t_operator_ma_clt_64gates", |b| {
+        let mut t_op = RadarTOperator::new(params, VelocityUq::MaClt { max_order: 3 });
+        let gates: Vec<usize> = (180..244).collect();
+        b.iter(|| t_op.transform_group(0, &pulses[..200], &gates))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_radar);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for Table 2's three SUM algorithms over a 100-tuple
+//! window of mixture-Gaussian inputs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ustream_bench::table2_inputs;
+use ustream_prob::cf::{cf_approx_auto, cf_approx_gaussian, CfSum};
+use ustream_prob::histogram::histogram_sum;
+
+fn bench_table2(c: &mut Criterion) {
+    let window = table2_inputs(100, 7);
+    let mut group = c.benchmark_group("table2_sum");
+    group.sample_size(20);
+
+    group.bench_function("histogram_sampling", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(1),
+            |mut rng| histogram_sum(&window, 100, 2_000, 6.0, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("cf_inversion", |b| {
+        b.iter(|| {
+            let sum = CfSum::new(window.clone());
+            sum.invert_to_histogram(512, 8.0)
+        })
+    });
+
+    group.bench_function("cf_approx_auto", |b| {
+        b.iter(|| {
+            let sum = CfSum::new(window.clone());
+            cf_approx_auto(&sum, 0.15, 0.5)
+        })
+    });
+
+    group.bench_function("cf_approx_gaussian_cumulants", |b| {
+        b.iter(|| cf_approx_gaussian(&window))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

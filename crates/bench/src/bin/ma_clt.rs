@@ -1,0 +1,82 @@
+//! E8 — §4.4/§5.1 correlated aggregation: the CLT for MA series.
+//!
+//! A voxel's per-pulse velocity observations form a correlated (MA)
+//! series. Averaging a window of them yields a mean whose true sampling
+//! variance is governed by the long-run variance; the naive iid CLT
+//! underestimates it. This harness compares, against Monte-Carlo truth:
+//!
+//!   - MA-CLT (identify order by k-lag ACF, then CLT for MA) — §4.4
+//!   - naive iid CLT
+//!   - Newey–West long-run variance (robust fallback)
+//!
+//! Run: `cargo run -p ustream-bench --release --bin ma_clt`
+
+use ustream_bench::print_table;
+use ustream_prob::dist::ContinuousDist;
+use ustream_ts::clt::{iid_clt_mean, ma_clt_pipeline, newey_west_mean};
+use ustream_ts::generator::ma_series;
+
+fn main() {
+    let theta_sets: Vec<(&str, Vec<f64>)> = vec![
+        ("white noise", vec![]),
+        ("MA(1) θ=0.5", vec![0.5]),
+        ("MA(1) θ=0.9", vec![0.9]),
+        ("MA(2) θ=(0.6,0.3)", vec![0.6, 0.3]),
+        ("MA(1) θ=−0.6 (anti-corr.)", vec![-0.6]),
+    ];
+    let window = 200usize;
+    let mc_reps = 4000usize;
+    let est_reps = 300usize;
+
+    let mut rows = Vec::new();
+    for (label, theta) in &theta_sets {
+        // Monte-Carlo truth: variance of the window mean.
+        let mut means = Vec::with_capacity(mc_reps);
+        for r in 0..mc_reps {
+            let xs = ma_series(theta, 1.0, window, 50_000 + r as u64);
+            means.push(xs.iter().sum::<f64>() / window as f64);
+        }
+        let mu = means.iter().sum::<f64>() / mc_reps as f64;
+        let mc_var = means.iter().map(|m| (m - mu) * (m - mu)).sum::<f64>() / mc_reps as f64;
+
+        // Average the three estimators over windows.
+        let (mut v_ma, mut v_iid, mut v_nw) = (0.0, 0.0, 0.0);
+        let mut orders = 0usize;
+        for r in 0..est_reps {
+            let xs = ma_series(theta, 1.0, window, 90_000 + r as u64);
+            let ma = ma_clt_pipeline(&xs, 4, 3.0);
+            v_ma += ma.mean_dist.variance();
+            orders += ma.order;
+            v_iid += iid_clt_mean(&xs).variance();
+            v_nw += newey_west_mean(&xs, 8).variance();
+        }
+        v_ma /= est_reps as f64;
+        v_iid /= est_reps as f64;
+        v_nw /= est_reps as f64;
+
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}", orders as f64 / est_reps as f64),
+            format!("{mc_var:.5}"),
+            format!("{v_ma:.5} ({:+.0}%)", 100.0 * (v_ma / mc_var - 1.0)),
+            format!("{v_iid:.5} ({:+.0}%)", 100.0 * (v_iid / mc_var - 1.0)),
+            format!("{v_nw:.5} ({:+.0}%)", 100.0 * (v_nw / mc_var - 1.0)),
+        ]);
+    }
+
+    print_table(
+        "§4.4 MA-CLT for windowed mean (window = 200, σ² errors vs Monte-Carlo truth)",
+        &[
+            "Series",
+            "avg ID'd q",
+            "MC Var(mean)",
+            "MA-CLT",
+            "iid CLT",
+            "Newey-West",
+        ],
+        &rows,
+    );
+    println!("\nExpected shape: MA-CLT tracks the Monte-Carlo truth; the naive iid CLT");
+    println!("underestimates variance for positively-correlated series (overconfident");
+    println!("uncertainty bounds) and overestimates for anti-correlated ones.");
+}

@@ -1,0 +1,199 @@
+//! Confidence regions for final query results (§3: "The final result can
+//! be described directly using its pdf or a confidence region, depending
+//! on the application").
+
+use crate::updf::Updf;
+use ustream_prob::dist::{ContinuousDist, Dist};
+
+/// A confidence region at some level.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfidenceRegion {
+    /// Central scalar interval [lo, hi].
+    Interval { lo: f64, hi: f64, level: f64 },
+    /// Union of disjoint intervals (highest-density region of a
+    /// multi-modal distribution).
+    Union {
+        intervals: Vec<(f64, f64)>,
+        level: f64,
+    },
+    /// Mahalanobis ellipsoid: {x : (x−μ)ᵀΣ⁻¹(x−μ) ≤ r²}.
+    Ellipsoid {
+        center: Vec<f64>,
+        cov: Vec<f64>,
+        radius_sq: f64,
+        level: f64,
+    },
+}
+
+impl ConfidenceRegion {
+    /// Total length (1-D) or `None` for ellipsoids.
+    pub fn length(&self) -> Option<f64> {
+        match self {
+            ConfidenceRegion::Interval { lo, hi, .. } => Some(hi - lo),
+            ConfidenceRegion::Union { intervals, .. } => {
+                Some(intervals.iter().map(|(a, b)| b - a).sum())
+            }
+            ConfidenceRegion::Ellipsoid { .. } => None,
+        }
+    }
+
+    /// Does the region contain the scalar point x (1-D regions only)?
+    pub fn contains(&self, x: f64) -> bool {
+        match self {
+            ConfidenceRegion::Interval { lo, hi, .. } => x >= *lo && x <= *hi,
+            ConfidenceRegion::Union { intervals, .. } => {
+                intervals.iter().any(|(a, b)| x >= *a && x <= *b)
+            }
+            ConfidenceRegion::Ellipsoid { .. } => false,
+        }
+    }
+}
+
+/// Compute a confidence region for a tuple-level distribution.
+///
+/// - Unimodal scalar payloads get a central interval.
+/// - Mixtures get a highest-density region (possibly a union of
+///   intervals) found by grid search over density thresholds.
+/// - Multivariate Gaussians get the chi-square Mahalanobis ellipsoid.
+pub fn confidence_region(u: &Updf, level: f64) -> ConfidenceRegion {
+    assert!((0.0..1.0).contains(&level), "level must be in (0,1)");
+    match u {
+        Updf::Mv(mv) => ConfidenceRegion::Ellipsoid {
+            center: mv.mean().to_vec(),
+            cov: mv.cov().to_vec(),
+            radius_sq: mv.confidence_radius_sq(level),
+            level,
+        },
+        Updf::MvSamples(s) => {
+            let mv = s.fit_mv_gaussian();
+            ConfidenceRegion::Ellipsoid {
+                center: mv.mean().to_vec(),
+                cov: mv.cov().to_vec(),
+                radius_sq: mv.confidence_radius_sq(level),
+                level,
+            }
+        }
+        Updf::Parametric(Dist::Mixture(m)) => hdr_region(&Dist::Mixture(m.clone()), level),
+        _ => {
+            let (lo, hi) = u.confidence_interval(level);
+            ConfidenceRegion::Interval { lo, hi, level }
+        }
+    }
+}
+
+/// Highest-density region by bisection on the density threshold: find c
+/// such that the mass of {x : f(x) ≥ c} equals `level`; report that set
+/// as a union of grid intervals.
+fn hdr_region(d: &Dist, level: f64) -> ConfidenceRegion {
+    let lo = d.quantile(1e-6);
+    let hi = d.quantile(1.0 - 1e-6);
+    let n = 2048usize;
+    let step = (hi - lo) / n as f64;
+    let dens: Vec<f64> = (0..n)
+        .map(|i| d.pdf(lo + (i as f64 + 0.5) * step))
+        .collect();
+
+    let mass_above = |c: f64| -> f64 {
+        dens.iter().filter(|&&f| f >= c).count() as f64 * step
+            * dens.iter().filter(|&&f| f >= c).sum::<f64>()
+            / dens.iter().filter(|&&f| f >= c).count().max(1) as f64
+    };
+    // Bisect on the density threshold.
+    let mut c_lo = 0.0f64;
+    let mut c_hi = dens.iter().cloned().fold(0.0f64, f64::max);
+    for _ in 0..60 {
+        let c = 0.5 * (c_lo + c_hi);
+        if mass_above(c) > level {
+            c_lo = c;
+        } else {
+            c_hi = c;
+        }
+    }
+    let c = c_lo;
+
+    // Collect contiguous runs of above-threshold cells.
+    let mut intervals: Vec<(f64, f64)> = Vec::new();
+    let mut run_start: Option<usize> = None;
+    for (i, &f) in dens.iter().enumerate() {
+        if f >= c {
+            if run_start.is_none() {
+                run_start = Some(i);
+            }
+        } else if let Some(s) = run_start.take() {
+            intervals.push((lo + s as f64 * step, lo + i as f64 * step));
+        }
+    }
+    if let Some(s) = run_start {
+        intervals.push((lo + s as f64 * step, hi));
+    }
+    if intervals.len() == 1 {
+        ConfidenceRegion::Interval {
+            lo: intervals[0].0,
+            hi: intervals[0].1,
+            level,
+        }
+    } else {
+        ConfidenceRegion::Union { intervals, level }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustream_prob::dist::{GaussianMixture, MvGaussian};
+
+    #[test]
+    fn gaussian_interval() {
+        let u = Updf::Parametric(Dist::gaussian(10.0, 2.0));
+        let r = confidence_region(&u, 0.95);
+        match r {
+            ConfidenceRegion::Interval { lo, hi, .. } => {
+                assert!((lo - (10.0 - 3.92)).abs() < 0.01);
+                assert!((hi - (10.0 + 3.92)).abs() < 0.01);
+                assert!(r.contains(10.0));
+                assert!(!r.contains(20.0));
+            }
+            other => panic!("expected interval, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bimodal_mixture_gets_union() {
+        let m = GaussianMixture::from_triples(&[(0.5, -10.0, 0.5), (0.5, 10.0, 0.5)]);
+        let u = Updf::Parametric(Dist::Mixture(m));
+        let r = confidence_region(&u, 0.9);
+        match &r {
+            ConfidenceRegion::Union { intervals, .. } => {
+                assert_eq!(intervals.len(), 2, "two humps ⇒ two intervals");
+                assert!(r.contains(-10.0) && r.contains(10.0));
+                assert!(!r.contains(0.0), "valley excluded from HDR");
+                // HDR is shorter than the central interval covering both.
+                let central_len = u.confidence_interval(0.9).1 - u.confidence_interval(0.9).0;
+                assert!(r.length().unwrap() < central_len);
+            }
+            other => panic!("expected union, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mv_gaussian_ellipsoid() {
+        let u = Updf::Mv(MvGaussian::isotropic(vec![1.0, 2.0], 1.0));
+        match confidence_region(&u, 0.95) {
+            ConfidenceRegion::Ellipsoid {
+                center, radius_sq, ..
+            } => {
+                assert_eq!(center, vec![1.0, 2.0]);
+                assert!((radius_sq - 5.991).abs() < 0.01);
+            }
+            other => panic!("expected ellipsoid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interval_length_grows_with_level() {
+        let u = Updf::Parametric(Dist::gaussian(0.0, 1.0));
+        let l90 = confidence_region(&u, 0.90).length().unwrap();
+        let l99 = confidence_region(&u, 0.99).length().unwrap();
+        assert!(l99 > l90);
+    }
+}

@@ -1,0 +1,75 @@
+//! Engine error types.
+
+use std::fmt;
+
+/// Errors surfaced by the uncertain-stream engine's fallible paths.
+///
+/// Construction-time validation of operator configs and schema lookups
+/// return these; per-tuple hot paths avoid `Result` where a tuple can
+/// simply be dropped or routed to a dead-letter count instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A field name was not found in the schema.
+    UnknownField(String),
+    /// A field existed but had an unexpected type.
+    TypeMismatch {
+        field: String,
+        expected: &'static str,
+        actual: &'static str,
+    },
+    /// Operator configuration was invalid (empty window, bad threshold…).
+    InvalidConfig(String),
+    /// A query graph was malformed (cycle, dangling edge, missing node).
+    InvalidGraph(String),
+    /// Lineage referenced a base tuple that was never archived.
+    MissingLineage(u64),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownField(name) => write!(f, "unknown field `{name}`"),
+            EngineError::TypeMismatch {
+                field,
+                expected,
+                actual,
+            } => write!(f, "field `{field}`: expected {expected}, found {actual}"),
+            EngineError::InvalidConfig(msg) => write!(f, "invalid operator config: {msg}"),
+            EngineError::InvalidGraph(msg) => write!(f, "invalid query graph: {msg}"),
+            EngineError::MissingLineage(id) => {
+                write!(f, "lineage references unarchived base tuple {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Convenience alias used across the engine.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            EngineError::UnknownField("weight".into()).to_string(),
+            "unknown field `weight`"
+        );
+        let e = EngineError::TypeMismatch {
+            field: "x".into(),
+            expected: "Float",
+            actual: "Str",
+        };
+        assert!(e.to_string().contains("expected Float"));
+        assert!(EngineError::MissingLineage(7).to_string().contains('7'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&EngineError::InvalidConfig("x".into()));
+    }
+}

@@ -1,0 +1,854 @@
+//! Windowed group-by aggregation under uncertainty (§5.1).
+//!
+//! For each window × group the operator computes the *result
+//! distribution* of the aggregate. SUM/AVG over independent uncertain
+//! tuples supports every algorithm the paper evaluates (Table 2) plus the
+//! closed-form fast paths:
+//!
+//! - [`Strategy::ExactParametric`] — closed-form convolution when one
+//!   exists (all-Gaussian, common-scale Gamma, small mixtures).
+//! - [`Strategy::CfInversion`] — exact Gil–Pelaez inversion of the
+//!   product CF ("CF (inversion)" row).
+//! - [`Strategy::CfApprox`] — cumulant-matched Gaussian / CF-grid mixture
+//!   fit ("CF (approx.)" row).
+//! - [`Strategy::Clt`] — Central Limit Theorem, near-zero cost.
+//! - [`Strategy::HistogramSampling`] — the Ge–Zdonik baseline
+//!   ("Histogram" row).
+//! - [`Strategy::MaClt`] — §4.4/§5.1 correlated path: the window is a
+//!   time series of *certain* observations; identify MA(q) and apply the
+//!   CLT for MA processes.
+//!
+//! COUNT over tuples with existence probabilities is the exact
+//! Poisson–binomial distribution (DP). MAX/MIN use order statistics.
+//! Tuples whose lineage reveals shared ancestry are handled by the
+//! lineage-aware path (see `source of truth` note on [`AggFunc::Sum`]).
+
+use crate::lineage::Lineage;
+use crate::ops::Operator;
+use crate::schema::{DataType, Schema};
+use crate::tuple::Tuple;
+use crate::updf::{ConversionPolicy, Updf};
+use crate::value::{GroupKey, Value};
+use crate::window::{CountWindow, TumblingWindow};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use ustream_prob::cf::{cf_approx_auto, CfSum};
+use ustream_prob::convolve::{clt_sum, exact_sum};
+use ustream_prob::dist::{ContinuousDist, Dist, Gaussian};
+use ustream_prob::histogram::{histogram_sum, HistogramPdf};
+use ustream_prob::order_stats::OrderStatDist;
+
+/// Aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum of the uncertain attribute. When input tuples carry a
+    /// `<field>__src` provenance column (emitted by lineage-aware joins),
+    /// repeated sources are combined *exactly* (coefficient scaling)
+    /// instead of being wrongly treated as independent.
+    Sum,
+    /// Mean (sum scaled by 1/n).
+    Avg,
+    /// Number of tuples, accounting for existence probabilities
+    /// (Poisson–binomial).
+    Count,
+    Max,
+    Min,
+}
+
+/// Result-distribution algorithm for SUM/AVG.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// Closed form when available, else CF approximation, else CLT.
+    Auto,
+    /// Only closed-form convolutions; windows without one fall back to CLT.
+    ExactParametric,
+    /// Exact characteristic-function inversion onto a histogram.
+    CfInversion { bins: usize, span_sigmas: f64 },
+    /// CF approximation: Gaussian via cumulants, or a 2-component mixture
+    /// CF fit when the sum is visibly non-Gaussian.
+    CfApprox {
+        skew_threshold: f64,
+        kurt_threshold: f64,
+    },
+    /// Plain CLT (moment matching).
+    Clt,
+    /// Histogram-based sampling baseline [Ge & Zdonik].
+    HistogramSampling { buckets: usize, samples: usize },
+    /// Correlated time-series path over a *certain* float attribute.
+    MaClt { max_order: usize },
+}
+
+/// One aggregate to compute.
+pub struct AggSpec {
+    /// Input attribute (uncertain, except for `MaClt` which reads floats).
+    pub field: String,
+    pub func: AggFunc,
+    /// Output attribute name.
+    pub out: String,
+    pub strategy: Strategy,
+}
+
+/// Optional HAVING clause: emit the group only when
+/// P(aggregate `out` > threshold) ≥ min_prob; the probability is attached
+/// as float attribute `p_<out>`.
+pub struct Having {
+    pub out: String,
+    pub threshold: f64,
+    pub min_prob: f64,
+}
+
+/// Windowing mode.
+pub enum WindowKind {
+    Tumbling(u64),
+    Count(usize),
+    /// Overlapping event-time windows: every `slide_ms` emit the window
+    /// covering the trailing `range_ms` (the queries' `[Range r]` with a
+    /// periodic Rstream).
+    Sliding { range_ms: u64, slide_ms: u64 },
+}
+
+enum WindowState {
+    Tumbling(TumblingWindow),
+    Count(CountWindow),
+    Sliding {
+        range_ms: u64,
+        slide_ms: u64,
+        /// Event time at which the next window closes.
+        next_emit: Option<u64>,
+        buf: Vec<Tuple>,
+    },
+}
+
+/// The windowed group-by aggregation operator.
+pub struct WindowedAggregate {
+    name: String,
+    window: WindowState,
+    key_fn: Box<dyn Fn(&Tuple) -> GroupKey + Send>,
+    specs: Vec<AggSpec>,
+    having: Option<Having>,
+    policy: ConversionPolicy,
+    out_schema: Arc<Schema>,
+    /// Deterministic rng for the sampling strategies.
+    rng: StdRng,
+}
+
+impl WindowedAggregate {
+    pub fn new(
+        window: WindowKind,
+        key_fn: impl Fn(&Tuple) -> GroupKey + Send + 'static,
+        specs: Vec<AggSpec>,
+    ) -> Self {
+        assert!(!specs.is_empty(), "need at least one aggregate");
+        let mut b = Schema::builder()
+            .field("group", DataType::Str)
+            .field("window_start", DataType::Time)
+            .field("window_end", DataType::Time)
+            .field("n_tuples", DataType::Int);
+        for s in &specs {
+            b = b.field(s.out.clone(), DataType::Uncertain);
+            b = b.field(format!("p_{}", s.out), DataType::Float);
+        }
+        let out_schema = b.build();
+        WindowedAggregate {
+            name: "aggregate".into(),
+            window: match window {
+                WindowKind::Tumbling(ms) => WindowState::Tumbling(TumblingWindow::new(ms)),
+                WindowKind::Count(n) => WindowState::Count(CountWindow::new(n)),
+                WindowKind::Sliding { range_ms, slide_ms } => {
+                    assert!(range_ms > 0 && slide_ms > 0, "sliding window sizes must be positive");
+                    WindowState::Sliding {
+                        range_ms,
+                        slide_ms,
+                        next_emit: None,
+                        buf: Vec::new(),
+                    }
+                }
+            },
+            key_fn: Box::new(key_fn),
+            specs,
+            having: None,
+            policy: ConversionPolicy::FitGaussian,
+            out_schema,
+            rng: StdRng::seed_from_u64(0xA66),
+        }
+    }
+
+    pub fn with_having(mut self, having: Having) -> Self {
+        assert!(
+            self.specs.iter().any(|s| s.out == having.out),
+            "HAVING references unknown aggregate `{}`",
+            having.out
+        );
+        self.having = Some(having);
+        self
+    }
+
+    pub fn with_policy(mut self, policy: ConversionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    fn emit_window(&mut self, start: u64, end: u64, tuples: Vec<Tuple>) -> Vec<Tuple> {
+        // Group tuples (BTreeMap for deterministic output order).
+        let mut groups: BTreeMap<GroupKey, Vec<Tuple>> = BTreeMap::new();
+        for t in tuples {
+            groups.entry((self.key_fn)(&t)).or_default().push(t);
+        }
+
+        let mut out = Vec::new();
+        'group: for (key, members) in groups {
+            let mut values: Vec<Value> = vec![
+                Value::Str(format!("{key:?}")),
+                Value::Time(start),
+                Value::Time(end),
+                Value::Int(members.len() as i64),
+            ];
+            let mut lineage = Lineage::empty();
+            for m in &members {
+                lineage = lineage.union(&m.lineage);
+            }
+            let mut having_probs: Vec<(String, f64)> = Vec::new();
+
+            for spec in &self.specs {
+                let dist = compute_aggregate(spec, &members, &self.policy, &mut self.rng);
+                let Some(dist) = dist else {
+                    continue 'group; // unusable group (e.g. no valid inputs)
+                };
+                let p_above = self
+                    .having
+                    .as_ref()
+                    .filter(|h| h.out == spec.out)
+                    .map(|h| dist.prob_above(h.threshold));
+                if let (Some(h), Some(p)) = (self.having.as_ref(), p_above) {
+                    if h.out == spec.out && p < h.min_prob {
+                        continue 'group;
+                    }
+                    having_probs.push((spec.out.clone(), p));
+                }
+                let p_field = p_above.unwrap_or(1.0);
+                values.push(Value::from(dist));
+                values.push(Value::Float(p_field));
+            }
+
+            let _ = having_probs;
+            out.push(Tuple::derived(
+                self.out_schema.clone(),
+                values,
+                end,
+                1.0,
+                lineage,
+            ));
+        }
+        out
+    }
+}
+
+/// Compute one aggregate's result distribution over the group members.
+fn compute_aggregate(
+    spec: &AggSpec,
+    members: &[Tuple],
+    policy: &ConversionPolicy,
+    rng: &mut StdRng,
+) -> Option<Updf> {
+    match spec.func {
+        AggFunc::Count => Some(poisson_binomial(members)),
+        AggFunc::Sum | AggFunc::Avg => {
+            let updf = sum_distribution(spec, members, policy, rng)?;
+            if spec.func == AggFunc::Avg {
+                Some(updf.affine(1.0 / members.len() as f64, 0.0))
+            } else {
+                Some(updf)
+            }
+        }
+        AggFunc::Max | AggFunc::Min => {
+            let dists = collect_dists(spec, members, policy)?;
+            let os = if spec.func == AggFunc::Max {
+                OrderStatDist::max_of(dists)
+            } else {
+                OrderStatDist::min_of(dists)
+            };
+            Some(Updf::Histogram(os.to_histogram(256)))
+        }
+    }
+}
+
+/// Gather the members' attribute distributions as [`Dist`]s (converting
+/// sample payloads per policy). Applies existence-probability thinning to
+/// the first two moments when existence < 1 would otherwise be ignored.
+fn collect_dists(spec: &AggSpec, members: &[Tuple], policy: &ConversionPolicy) -> Option<Vec<Dist>> {
+    let mut dists = Vec::with_capacity(members.len());
+    for m in members {
+        let u = m.updf(&spec.field).ok()?;
+        dists.push(u.to_dist(policy));
+    }
+    Some(dists)
+}
+
+/// Whether every member definitely exists.
+fn all_certain_existence(members: &[Tuple]) -> bool {
+    members.iter().all(|m| m.existence >= 1.0 - 1e-12)
+}
+
+/// Bernoulli-thinned moments: X·B(e) has mean e·μ and variance
+/// e·σ² + e(1−e)·μ².
+fn thinned_moments(d: &Dist, existence: f64) -> (f64, f64) {
+    let (mu, var) = (d.mean(), d.variance());
+    (
+        existence * mu,
+        existence * var + existence * (1.0 - existence) * mu * mu,
+    )
+}
+
+/// SUM result distribution under the chosen strategy.
+fn sum_distribution(
+    spec: &AggSpec,
+    members: &[Tuple],
+    policy: &ConversionPolicy,
+    rng: &mut StdRng,
+) -> Option<Updf> {
+    if members.is_empty() {
+        return None;
+    }
+
+    // Correlated-time-series path: certain float attribute.
+    if let Strategy::MaClt { max_order } = spec.strategy {
+        let mut pairs: Vec<(u64, f64)> = members
+            .iter()
+            .map(|m| Some((m.ts, m.float(&spec.field).ok()?)))
+            .collect::<Option<Vec<_>>>()?;
+        pairs.sort_by_key(|&(ts, _)| ts);
+        let xs: Vec<f64> = pairs.into_iter().map(|(_, x)| x).collect();
+        if xs.len() < 2 {
+            return Some(Updf::Parametric(Dist::gaussian(xs[0], 1e-9)));
+        }
+        let res = ustream_ts::clt::ma_clt_pipeline(&xs, max_order, 3.0);
+        let n = xs.len() as f64;
+        use ustream_prob::dist::ContinuousDist as _;
+        let sum_g = Gaussian::from_mean_var(
+            res.mean_dist.mean() * n,
+            (res.mean_dist.variance() * n * n).max(1e-18),
+        );
+        return Some(Updf::Parametric(Dist::Gaussian(sum_g)));
+    }
+
+    let dists = collect_dists(spec, members, policy)?;
+
+    // Lineage-aware exact combination: members carrying a provenance
+    // column `<field>__src` that repeats are the *same* base variable; a
+    // source appearing c times contributes c·X, not c independent copies.
+    let src_field = format!("{}__src", spec.field);
+    if members[0].get(&src_field).is_ok() {
+        return lineage_aware_sum(&src_field, members, &dists);
+    }
+
+    // Existence-probability thinning (uncommon path; moment-based).
+    if !all_certain_existence(members) {
+        let mut mean = 0.0;
+        let mut var = 0.0;
+        for (m, d) in members.iter().zip(&dists) {
+            let (tm, tv) = thinned_moments(d, m.existence);
+            mean += tm;
+            var += tv;
+        }
+        return Some(Updf::Parametric(Dist::Gaussian(Gaussian::from_mean_var(
+            mean,
+            var.max(1e-18),
+        ))));
+    }
+
+    let updf = match &spec.strategy {
+        Strategy::Auto => match exact_sum(&dists) {
+            Some(d) => Updf::Parametric(d),
+            None => Updf::Parametric(cf_approx_auto(&CfSum::new(dists), 0.3, 1.0)),
+        },
+        Strategy::ExactParametric => match exact_sum(&dists) {
+            Some(d) => Updf::Parametric(d),
+            None => Updf::Parametric(Dist::Gaussian(clt_sum(&dists))),
+        },
+        Strategy::CfInversion { bins, span_sigmas } => {
+            let sum = CfSum::new(dists);
+            Updf::Histogram(sum.invert_to_histogram(*bins, *span_sigmas))
+        }
+        Strategy::CfApprox {
+            skew_threshold,
+            kurt_threshold,
+        } => Updf::Parametric(cf_approx_auto(
+            &CfSum::new(dists),
+            *skew_threshold,
+            *kurt_threshold,
+        )),
+        Strategy::Clt => Updf::Parametric(Dist::Gaussian(clt_sum(&dists))),
+        Strategy::HistogramSampling { buckets, samples } => {
+            Updf::Histogram(histogram_sum(&dists, *buckets, *samples, 6.0, rng))
+        }
+        Strategy::MaClt { .. } => unreachable!("handled above"),
+    };
+    Some(updf)
+}
+
+/// Exact sum when repeated provenance ids are present: group by source,
+/// scale each distinct source's distribution by its multiplicity, then
+/// sum the (now independent) scaled terms.
+fn lineage_aware_sum(src_field: &str, members: &[Tuple], dists: &[Dist]) -> Option<Updf> {
+    let mut by_src: BTreeMap<i64, (usize, Dist)> = BTreeMap::new();
+    for (m, d) in members.iter().zip(dists) {
+        let src = m.int(src_field).ok()?;
+        by_src
+            .entry(src)
+            .and_modify(|(c, _)| *c += 1)
+            .or_insert((1, d.clone()));
+    }
+    let scaled: Vec<Dist> = by_src
+        .into_values()
+        .map(|(c, d)| d.affine(c as f64, 0.0))
+        .collect();
+    let result = match exact_sum(&scaled) {
+        Some(d) => d,
+        None => Dist::Gaussian(clt_sum(&scaled)),
+    };
+    Some(Updf::Parametric(result))
+}
+
+/// Exact Poisson–binomial COUNT distribution from existence
+/// probabilities: DP over P(k successes), stored as an integer-grid
+/// histogram (bin i ↔ count i).
+fn poisson_binomial(members: &[Tuple]) -> Updf {
+    let probs: Vec<f64> = members.iter().map(|m| m.existence.clamp(0.0, 1.0)).collect();
+    let n = probs.len();
+    let mut pmf = vec![0.0f64; n + 1];
+    pmf[0] = 1.0;
+    for &p in &probs {
+        for k in (1..=n).rev() {
+            pmf[k] = pmf[k] * (1.0 - p) + pmf[k - 1] * p;
+        }
+        pmf[0] *= 1.0 - p;
+    }
+    Updf::Histogram(HistogramPdf::from_masses(-0.5, 1.0, pmf))
+}
+
+impl Operator for WindowedAggregate {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _port: usize, tuple: Tuple) -> Vec<Tuple> {
+        match &mut self.window {
+            WindowState::Tumbling(w) => {
+                let batches = w.push(tuple);
+                let mut out = Vec::new();
+                for b in batches {
+                    out.extend(self.emit_window(b.start, b.end, b.tuples));
+                }
+                out
+            }
+            WindowState::Count(w) => match w.push(tuple) {
+                Some(batch) => {
+                    let (start, end) = batch_span(&batch);
+                    self.emit_window(start, end, batch)
+                }
+                None => Vec::new(),
+            },
+            WindowState::Sliding {
+                range_ms,
+                slide_ms,
+                next_emit,
+                buf,
+            } => {
+                let (range_ms, slide_ms) = (*range_ms, *slide_ms);
+                if next_emit.is_none() {
+                    // First window closes one slide after the first tuple.
+                    *next_emit = Some((tuple.ts / slide_ms + 1) * slide_ms);
+                }
+                // Close every slide boundary the new tuple jumps past.
+                let mut pending: Vec<(u64, u64, Vec<Tuple>)> = Vec::new();
+                while let Some(boundary) = *next_emit {
+                    if tuple.ts < boundary {
+                        break;
+                    }
+                    let start = boundary.saturating_sub(range_ms);
+                    let members: Vec<Tuple> = buf
+                        .iter()
+                        .filter(|t| t.ts >= start && t.ts < boundary)
+                        .cloned()
+                        .collect();
+                    if !members.is_empty() {
+                        pending.push((start, boundary, members));
+                    }
+                    *next_emit = Some(boundary + slide_ms);
+                    // Evict tuples that can never appear in later windows.
+                    let keep_from = (boundary + slide_ms).saturating_sub(range_ms);
+                    buf.retain(|t| t.ts >= keep_from);
+                }
+                buf.push(tuple);
+                let mut out = Vec::new();
+                for (start, end, members) in pending {
+                    out.extend(self.emit_window(start, end, members));
+                }
+                out
+            }
+        }
+    }
+
+    fn flush(&mut self) -> Vec<Tuple> {
+        match &mut self.window {
+            WindowState::Tumbling(w) => match w.flush() {
+                Some(b) => self.emit_window(b.start, b.end, b.tuples),
+                None => Vec::new(),
+            },
+            WindowState::Count(w) => match w.flush() {
+                Some(batch) => {
+                    let (start, end) = batch_span(&batch);
+                    self.emit_window(start, end, batch)
+                }
+                None => Vec::new(),
+            },
+            WindowState::Sliding {
+                range_ms,
+                next_emit,
+                buf,
+                ..
+            } => {
+                let Some(boundary) = *next_emit else {
+                    return Vec::new();
+                };
+                let members = std::mem::take(buf);
+                if members.is_empty() {
+                    return Vec::new();
+                }
+                let start = boundary.saturating_sub(*range_ms);
+                let end = members.iter().map(|t| t.ts).max().unwrap_or(boundary) + 1;
+                self.emit_window(start.min(end - 1), end, members)
+            }
+        }
+    }
+}
+
+fn batch_span(batch: &[Tuple]) -> (u64, u64) {
+    let start = batch.iter().map(|t| t.ts).min().unwrap_or(0);
+    let end = batch.iter().map(|t| t.ts).max().unwrap_or(0);
+    (start, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder()
+            .field("area", DataType::Int)
+            .field("weight", DataType::Uncertain)
+            .build()
+    }
+
+    fn tup(ts: u64, area: i64, mean: f64, sd: f64) -> Tuple {
+        Tuple::new(
+            schema(),
+            vec![
+                Value::from(area),
+                Value::from(Updf::Parametric(Dist::gaussian(mean, sd))),
+            ],
+            ts,
+        )
+    }
+
+    fn sum_spec(strategy: Strategy) -> Vec<AggSpec> {
+        vec![AggSpec {
+            field: "weight".into(),
+            func: AggFunc::Sum,
+            out: "total".into(),
+            strategy,
+        }]
+    }
+
+    fn agg(strategy: Strategy) -> WindowedAggregate {
+        WindowedAggregate::new(
+            WindowKind::Tumbling(1000),
+            |t| GroupKey::from_value(t.get("area").unwrap()).unwrap(),
+            sum_spec(strategy),
+        )
+    }
+
+    #[test]
+    fn gaussian_sum_per_group() {
+        let mut a = agg(Strategy::ExactParametric);
+        assert!(a.process(0, tup(10, 1, 5.0, 1.0)).is_empty());
+        assert!(a.process(0, tup(20, 1, 7.0, 1.0)).is_empty());
+        assert!(a.process(0, tup(30, 2, 100.0, 2.0)).is_empty());
+        // Next window closes the first.
+        let out = a.process(0, tup(1500, 1, 0.0, 1.0));
+        assert_eq!(out.len(), 2, "two groups in closed window");
+        let g1 = &out[0];
+        let total = g1.updf("total").unwrap();
+        assert!((total.mean() - 12.0).abs() < 1e-9);
+        assert!((total.variance() - 2.0).abs() < 1e-9);
+        assert_eq!(g1.int("n_tuples").unwrap(), 2);
+    }
+
+    #[test]
+    fn strategies_agree_on_gaussian_window() {
+        let strategies: Vec<Strategy> = vec![
+            Strategy::ExactParametric,
+            Strategy::Clt,
+            Strategy::CfApprox {
+                skew_threshold: 0.3,
+                kurt_threshold: 1.0,
+            },
+            Strategy::CfInversion {
+                bins: 256,
+                span_sigmas: 8.0,
+            },
+            Strategy::HistogramSampling {
+                buckets: 100,
+                samples: 20_000,
+            },
+        ];
+        for strat in strategies {
+            let label = format!("{strat:?}");
+            let mut a = agg(strat);
+            for i in 0..20 {
+                a.process(0, tup(10 + i, 1, 2.0, 0.5));
+            }
+            let out = a.flush();
+            assert_eq!(out.len(), 1, "{label}");
+            let total = out[0].updf("total").unwrap();
+            assert!((total.mean() - 40.0).abs() < 0.3, "{label}: mean {}", total.mean());
+            assert!(
+                (total.variance() - 20.0 * 0.25).abs() < 0.6,
+                "{label}: var {}",
+                total.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn avg_is_scaled_sum() {
+        let mut a = WindowedAggregate::new(
+            WindowKind::Tumbling(1000),
+            |_| GroupKey::Unit,
+            vec![AggSpec {
+                field: "weight".into(),
+                func: AggFunc::Avg,
+                out: "avg_w".into(),
+                strategy: Strategy::ExactParametric,
+            }],
+        );
+        a.process(0, tup(1, 1, 10.0, 1.0));
+        a.process(0, tup(2, 1, 20.0, 1.0));
+        let out = a.flush();
+        let avg = out[0].updf("avg_w").unwrap();
+        assert!((avg.mean() - 15.0).abs() < 1e-9);
+        assert!((avg.variance() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_poisson_binomial() {
+        let mut a = WindowedAggregate::new(
+            WindowKind::Tumbling(1000),
+            |_| GroupKey::Unit,
+            vec![AggSpec {
+                field: "weight".into(),
+                func: AggFunc::Count,
+                out: "cnt".into(),
+                strategy: Strategy::Auto,
+            }],
+        );
+        let mut t1 = tup(1, 1, 0.0, 1.0);
+        t1.existence = 0.5;
+        let mut t2 = tup(2, 1, 0.0, 1.0);
+        t2.existence = 0.5;
+        a.process(0, t1);
+        a.process(0, t2);
+        let out = a.flush();
+        let cnt = out[0].updf("cnt").unwrap();
+        // Binomial(2, 0.5): mean 1, P(X>1.5) = 0.25.
+        assert!((cnt.mean() - 1.0).abs() < 1e-9);
+        assert!((cnt.prob_above(1.5) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_order_statistics() {
+        let mut a = WindowedAggregate::new(
+            WindowKind::Tumbling(1000),
+            |_| GroupKey::Unit,
+            vec![AggSpec {
+                field: "weight".into(),
+                func: AggFunc::Max,
+                out: "mx".into(),
+                strategy: Strategy::Auto,
+            }],
+        );
+        a.process(0, tup(1, 1, 0.0, 1.0));
+        a.process(0, tup(2, 1, 0.0, 1.0));
+        let out = a.flush();
+        let mx = out[0].updf("mx").unwrap();
+        // E[max of two std normals] = 1/√π ≈ 0.564.
+        assert!((mx.mean() - 0.5642).abs() < 0.02, "mean {}", mx.mean());
+    }
+
+    #[test]
+    fn having_filters_groups_and_reports_probability() {
+        let mut a = agg(Strategy::ExactParametric).with_having(Having {
+            out: "total".into(),
+            threshold: 200.0,
+            min_prob: 0.5,
+        });
+        // Group 1: total N(210, √2) ⇒ P(>200) ≈ 1. Group 2: N(50,..) ⇒ 0.
+        a.process(0, tup(1, 1, 105.0, 1.0));
+        a.process(0, tup(2, 1, 105.0, 1.0));
+        a.process(0, tup(3, 2, 25.0, 1.0));
+        a.process(0, tup(4, 2, 25.0, 1.0));
+        let out = a.flush();
+        assert_eq!(out.len(), 1, "only the violating group passes HAVING");
+        let p = out[0].float("p_total").unwrap();
+        assert!(p > 0.99);
+    }
+
+    #[test]
+    fn existence_thinning_adjusts_moments() {
+        let mut a = agg(Strategy::Clt);
+        let mut t1 = tup(1, 1, 10.0, 1.0);
+        t1.existence = 0.5;
+        a.process(0, t1);
+        a.process(0, tup(2, 1, 10.0, 1.0));
+        let out = a.flush();
+        let total = out[0].updf("total").unwrap();
+        // mean = 0.5·10 + 10 = 15; var = (0.5·1 + 0.25·100) + 1 = 26.5
+        assert!((total.mean() - 15.0).abs() < 1e-9);
+        assert!((total.variance() - 26.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lineage_aware_sum_scales_repeated_sources() {
+        let s = Schema::builder()
+            .field("area", DataType::Int)
+            .field("weight", DataType::Uncertain)
+            .field("weight__src", DataType::Int)
+            .build();
+        let mk = |ts: u64, src: i64, mean: f64| {
+            Tuple::new(
+                s.clone(),
+                vec![
+                    Value::from(1i64),
+                    Value::from(Updf::Parametric(Dist::gaussian(mean, 1.0))),
+                    Value::from(src),
+                ],
+                ts,
+            )
+        };
+        let mut a = WindowedAggregate::new(
+            WindowKind::Tumbling(1000),
+            |_| GroupKey::Unit,
+            sum_spec(Strategy::Auto),
+        );
+        // Source 7 appears twice: contributes 2X (var 4), NOT X+X' (var 2).
+        a.process(0, mk(1, 7, 5.0));
+        a.process(0, mk(2, 7, 5.0));
+        a.process(0, mk(3, 8, 3.0));
+        let out = a.flush();
+        let total = out[0].updf("total").unwrap();
+        assert!((total.mean() - 13.0).abs() < 1e-9);
+        assert!((total.variance() - (4.0 + 1.0)).abs() < 1e-9, "var {}", total.variance());
+    }
+
+    #[test]
+    fn ma_clt_strategy_on_certain_series() {
+        let s = Schema::builder()
+            .field("area", DataType::Int)
+            .field("v", DataType::Float)
+            .build();
+        let series = ustream_ts::generator::ma_series(&[0.8], 1.0, 400, 77);
+        let mut a = WindowedAggregate::new(
+            WindowKind::Count(400),
+            |_| GroupKey::Unit,
+            vec![AggSpec {
+                field: "v".into(),
+                func: AggFunc::Avg,
+                out: "vbar".into(),
+                strategy: Strategy::MaClt { max_order: 3 },
+            }],
+        );
+        let mut out = Vec::new();
+        for (i, &x) in series.iter().enumerate() {
+            out.extend(a.process(
+                0,
+                Tuple::new(s.clone(), vec![Value::from(1i64), Value::from(x)], i as u64),
+            ));
+        }
+        assert_eq!(out.len(), 1);
+        let vbar = out[0].updf("vbar").unwrap();
+        let sample_mean = series.iter().sum::<f64>() / 400.0;
+        assert!((vbar.mean() - sample_mean).abs() < 1e-9);
+        // Variance must exceed the naive iid estimate (positive θ).
+        let naive = ustream_ts::clt::iid_clt_mean(&series);
+        use ustream_prob::dist::ContinuousDist as _;
+        assert!(vbar.variance() > naive.variance());
+    }
+
+    #[test]
+    fn sliding_windows_overlap() {
+        // Range 2000 ms, slide 1000 ms: a tuple at t=500 appears in the
+        // windows closing at 1000 and 2000.
+        let mut a = WindowedAggregate::new(
+            WindowKind::Sliding {
+                range_ms: 2000,
+                slide_ms: 1000,
+            },
+            |_| GroupKey::Unit,
+            sum_spec(Strategy::ExactParametric),
+        );
+        let mut out = Vec::new();
+        out.extend(a.process(0, tup(500, 1, 10.0, 1.0)));
+        out.extend(a.process(0, tup(1500, 1, 20.0, 1.0)));
+        out.extend(a.process(0, tup(2500, 1, 40.0, 1.0)));
+        out.extend(a.process(0, tup(5000, 1, 0.0, 1.0))); // closes 3000/4000
+        // Window @1000: {500} → 10. @2000: {500,1500} → 30. @3000:
+        // {1500,2500} → 60. @4000: {2500} → 40.
+        let sums: Vec<f64> = out
+            .iter()
+            .map(|t| t.updf("total").unwrap().mean())
+            .collect();
+        assert_eq!(sums.len(), 4, "sums: {sums:?}");
+        assert!((sums[0] - 10.0).abs() < 1e-9);
+        assert!((sums[1] - 30.0).abs() < 1e-9);
+        assert!((sums[2] - 60.0).abs() < 1e-9);
+        assert!((sums[3] - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sliding_flush_emits_remainder() {
+        let mut a = WindowedAggregate::new(
+            WindowKind::Sliding {
+                range_ms: 1000,
+                slide_ms: 1000,
+            },
+            |_| GroupKey::Unit,
+            sum_spec(Strategy::ExactParametric),
+        );
+        assert!(a.process(0, tup(100, 1, 5.0, 1.0)).is_empty());
+        let out = a.flush();
+        assert_eq!(out.len(), 1);
+        assert!((out[0].updf("total").unwrap().mean() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_window_mode() {
+        let mut a = WindowedAggregate::new(
+            WindowKind::Count(3),
+            |_| GroupKey::Unit,
+            sum_spec(Strategy::ExactParametric),
+        );
+        assert!(a.process(0, tup(1, 1, 1.0, 1.0)).is_empty());
+        assert!(a.process(0, tup(2, 1, 1.0, 1.0)).is_empty());
+        let out = a.process(0, tup(3, 1, 1.0, 1.0));
+        assert_eq!(out.len(), 1);
+        assert!((out[0].updf("total").unwrap().mean() - 3.0).abs() < 1e-9);
+    }
+}

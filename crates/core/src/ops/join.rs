@@ -1,0 +1,533 @@
+//! Probabilistic windowed join (§5, Q2's `loc_equals` join).
+//!
+//! Two sliding event-time buffers (the `[Range r]` windows of Q2); each
+//! arriving tuple probes the opposite buffer. For uncertain join
+//! predicates the operator computes the **match probability** — e.g.
+//! P(‖X − Y‖ ≤ ε) for two uncertain locations — multiplies it into the
+//! output's existence, unions lineage, and (optionally) emits provenance
+//! columns so a downstream aggregation can detect and exactly handle the
+//! correlation a one-to-many join creates (§5.2).
+
+use crate::lineage::Archive;
+use crate::ops::Operator;
+use crate::schema::{DataType, Field, Schema};
+use crate::tuple::Tuple;
+use crate::updf::Updf;
+use crate::value::{GroupKey, Value};
+use crate::window::SlidingBuffer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use ustream_prob::dist::{ContinuousDist, Dist, Gaussian};
+
+/// Join predicate.
+pub enum JoinCondition {
+    /// Certain equi-join on extracted keys (probability 0 or 1).
+    KeyEquals {
+        left: Box<dyn Fn(&Tuple) -> Option<GroupKey> + Send>,
+        right: Box<dyn Fn(&Tuple) -> Option<GroupKey> + Send>,
+    },
+    /// P(|X − Y| ≤ ε) over two uncertain scalar attributes.
+    BandUncertain {
+        left_field: String,
+        right_field: String,
+        epsilon: f64,
+    },
+    /// Q2's `loc_equals`: P(‖X − Y‖∞ ≤ ε) over multivariate attributes.
+    LocEquals {
+        left_field: String,
+        right_field: String,
+        epsilon: f64,
+    },
+}
+
+/// The windowed join operator (port 0 = left, port 1 = right).
+pub struct WindowJoin {
+    name: String,
+    left: SlidingBuffer,
+    right: SlidingBuffer,
+    condition: JoinCondition,
+    /// Drop matches whose joint probability falls below this.
+    min_prob: f64,
+    /// Optional certain-attribute prefilter applied before probability
+    /// computation (cheap pruning).
+    prefilter: Option<Box<dyn Fn(&Tuple, &Tuple) -> bool + Send>>,
+    /// Output fields `<field>__src` carrying the base-tuple id of the
+    /// given side's field — enables lineage-aware aggregation.
+    provenance: Vec<(String, usize)>,
+    /// Archive incoming base distributions (Fig. 2: A4 "archives these
+    /// input tuples for later computation of the query result
+    /// distributions"): (shared archive, port, field).
+    archive: Option<(Archive, usize, String)>,
+    out_schema: Option<(Arc<Schema>, Arc<Schema>, Arc<Schema>)>,
+    rng: StdRng,
+}
+
+impl WindowJoin {
+    pub fn new(range_ms: u64, condition: JoinCondition, min_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&min_prob));
+        WindowJoin {
+            name: "join".into(),
+            left: SlidingBuffer::new(range_ms),
+            right: SlidingBuffer::new(range_ms),
+            condition,
+            min_prob,
+            prefilter: None,
+            provenance: Vec::new(),
+            archive: None,
+            out_schema: None,
+            rng: StdRng::seed_from_u64(0x701A),
+        }
+    }
+
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    pub fn with_prefilter(mut self, f: impl Fn(&Tuple, &Tuple) -> bool + Send + 'static) -> Self {
+        self.prefilter = Some(Box::new(f));
+        self
+    }
+
+    /// Emit `<field>__src` provenance for `field` taken from `port`
+    /// (0 = left, 1 = right).
+    pub fn with_provenance(mut self, field: impl Into<String>, port: usize) -> Self {
+        assert!(port < 2);
+        self.provenance.push((field.into(), port));
+        self
+    }
+
+    /// Archive each incoming tuple's `field` distribution (from `port`)
+    /// into `archive`, keyed by the tuple's base id — so a later operator
+    /// can recompute exact result distributions from lineage even if the
+    /// joined tuples only carried summaries (Fig. 2's A4 → J1 pattern).
+    pub fn archive_to(mut self, archive: Archive, port: usize, field: impl Into<String>) -> Self {
+        assert!(port < 2);
+        self.archive = Some((archive, port, field.into()));
+        self
+    }
+
+    fn output_schema(&mut self, l: &Arc<Schema>, r: &Arc<Schema>) -> Arc<Schema> {
+        if let Some((cl, cr, out)) = &self.out_schema {
+            if Arc::ptr_eq(cl, l) && Arc::ptr_eq(cr, r) {
+                return out.clone();
+            }
+        }
+        let mut joined = l.join(r, "r_");
+        let extra: Vec<Field> = self
+            .provenance
+            .iter()
+            .map(|(f, _)| Field::new(format!("{f}__src"), DataType::Int))
+            .collect();
+        if !extra.is_empty() {
+            joined = joined.extend(extra);
+        }
+        self.out_schema = Some((l.clone(), r.clone(), joined.clone()));
+        joined
+    }
+
+    /// Match probability for a candidate pair.
+    fn match_probability(&mut self, l: &Tuple, r: &Tuple) -> Option<f64> {
+        match &self.condition {
+            JoinCondition::KeyEquals { left, right } => {
+                let (a, b) = (left(l)?, right(r)?);
+                Some((a == b) as u8 as f64)
+            }
+            JoinCondition::BandUncertain {
+                left_field,
+                right_field,
+                epsilon,
+            } => {
+                let lu = l.updf(left_field).ok()?;
+                let ru = r.updf(right_field).ok()?;
+                Some(band_probability(lu, ru, *epsilon, &mut self.rng))
+            }
+            JoinCondition::LocEquals {
+                left_field,
+                right_field,
+                epsilon,
+            } => {
+                let lu = l.updf(left_field).ok()?;
+                let ru = r.updf(right_field).ok()?;
+                Some(loc_equals_probability(lu, ru, *epsilon, &mut self.rng))
+            }
+        }
+    }
+
+    fn emit(&mut self, l: &Tuple, r: &Tuple, p: f64) -> Tuple {
+        let schema = self.output_schema(l.schema(), r.schema());
+        let mut values: Vec<Value> = l.values().to_vec();
+        values.extend(r.values().iter().cloned());
+        for (field, port) in &self.provenance {
+            let src_tuple = if *port == 0 { l } else { r };
+            let id = src_tuple.lineage.ids().first().copied().unwrap_or(0);
+            let _ = field;
+            values.push(Value::Int(id as i64));
+        }
+        let existence = (l.existence * r.existence * p).clamp(0.0, 1.0);
+        Tuple::derived(
+            schema,
+            values,
+            l.ts.max(r.ts),
+            existence,
+            l.lineage.union(&r.lineage),
+        )
+    }
+
+    fn probe(&mut self, incoming_port: usize, t: &Tuple) -> Vec<Tuple> {
+        // Collect candidates first to avoid borrowing issues.
+        let candidates: Vec<Tuple> = if incoming_port == 0 {
+            self.right.iter().cloned().collect()
+        } else {
+            self.left.iter().cloned().collect()
+        };
+        let mut out = Vec::new();
+        for other in &candidates {
+            let (l, r) = if incoming_port == 0 {
+                (t, other)
+            } else {
+                (other, t)
+            };
+            if let Some(f) = &self.prefilter {
+                if !f(l, r) {
+                    continue;
+                }
+            }
+            let Some(p) = self.match_probability(l, r) else {
+                continue;
+            };
+            if p * l.existence * r.existence >= self.min_prob && p > 0.0 {
+                out.push(self.emit(l, r, p));
+            }
+        }
+        out
+    }
+}
+
+/// P(|X − Y| ≤ ε) for independent scalar uncertain attributes.
+/// Closed form when both reduce to Gaussians; Monte-Carlo otherwise.
+fn band_probability(lu: &Updf, ru: &Updf, epsilon: f64, rng: &mut StdRng) -> f64 {
+    let as_gaussian = |u: &Updf| -> Option<Gaussian> {
+        match u {
+            Updf::Parametric(Dist::Gaussian(g)) => Some(*g),
+            _ => None,
+        }
+    };
+    if let (Some(a), Some(b)) = (as_gaussian(lu), as_gaussian(ru)) {
+        let diff = Gaussian::from_mean_var(
+            a.mean() - b.mean(),
+            (a.variance() + b.variance()).max(1e-18),
+        );
+        return (diff.cdf(epsilon) - diff.cdf(-epsilon)).clamp(0.0, 1.0);
+    }
+    // Monte Carlo on both payloads (deterministic seed per operator).
+    let n = 512;
+    let mut hits = 0usize;
+    for _ in 0..n {
+        let x = sample_scalar(lu, rng);
+        let y = sample_scalar(ru, rng);
+        if (x - y).abs() <= epsilon {
+            hits += 1;
+        }
+    }
+    hits as f64 / n as f64
+}
+
+/// Q2 `loc_equals`: P(‖X − Y‖∞ ≤ ε) for multivariate attributes.
+fn loc_equals_probability(lu: &Updf, ru: &Updf, epsilon: f64, rng: &mut StdRng) -> f64 {
+    match (lu, ru) {
+        (Updf::Mv(a), Updf::Mv(b)) if a.dim() == b.dim() => {
+            let diff = a.difference(b);
+            let lo = vec![-epsilon; a.dim()];
+            let hi = vec![epsilon; a.dim()];
+            diff.prob_in_box(&lo, &hi)
+        }
+        _ => {
+            // Monte Carlo fallback over mean-vec dimensionality.
+            let d = lu.dim();
+            if d != ru.dim() {
+                return 0.0;
+            }
+            let n = 512;
+            let mut hits = 0usize;
+            for _ in 0..n {
+                let x = sample_vec(lu, rng);
+                let y = sample_vec(ru, rng);
+                if x
+                    .iter()
+                    .zip(y.iter())
+                    .all(|(a, b)| (a - b).abs() <= epsilon)
+                {
+                    hits += 1;
+                }
+            }
+            hits as f64 / n as f64
+        }
+    }
+}
+
+fn sample_scalar(u: &Updf, rng: &mut StdRng) -> f64 {
+    match u {
+        Updf::Parametric(d) => d.sample(rng),
+        Updf::Samples(s) => s.sample(rng),
+        Updf::Histogram(h) => h.sample(rng),
+        _ => panic!("scalar sample on multivariate Updf"),
+    }
+}
+
+fn sample_vec(u: &Updf, rng: &mut StdRng) -> Vec<f64> {
+    match u {
+        Updf::Mv(mv) => mv.sample(rng),
+        Updf::MvSamples(s) => {
+            use rand::Rng;
+            let i = rng.gen_range(0..s.len());
+            s.point(i).to_vec()
+        }
+        scalar => vec![sample_scalar(scalar, rng)],
+    }
+}
+
+impl Operator for WindowJoin {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_ports(&self) -> usize {
+        2
+    }
+
+    fn process(&mut self, port: usize, tuple: Tuple) -> Vec<Tuple> {
+        assert!(port < 2, "join has two ports");
+        // Archive the base distribution before anything else (A4's role).
+        if let Some((archive, a_port, field)) = &self.archive {
+            if *a_port == port {
+                if let (Some(&id), Ok(u)) = (tuple.lineage.ids().first(), tuple.updf(field)) {
+                    archive.insert(id, u.clone());
+                }
+            }
+        }
+        // Evict the opposite buffer against the incoming event time first
+        // so stale tuples cannot match.
+        if port == 0 {
+            self.right.evict_before(tuple.ts);
+        } else {
+            self.left.evict_before(tuple.ts);
+        }
+        let out = self.probe(port, &tuple);
+        if port == 0 {
+            self.left.push(tuple);
+        } else {
+            self.right.push(tuple);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+    use ustream_prob::dist::MvGaussian;
+
+    fn loc_schema() -> Arc<Schema> {
+        Schema::builder()
+            .field("tag_id", DataType::Int)
+            .field("loc", DataType::UncertainVec(2))
+            .build()
+    }
+
+    fn temp_schema() -> Arc<Schema> {
+        Schema::builder()
+            .field("sensor", DataType::Int)
+            .field("loc", DataType::UncertainVec(2))
+            .field("temp", DataType::Uncertain)
+            .build()
+    }
+
+    fn obj(ts: u64, id: i64, x: f64, y: f64, sd: f64) -> Tuple {
+        Tuple::new(
+            loc_schema(),
+            vec![
+                Value::from(id),
+                Value::from(Updf::Mv(MvGaussian::isotropic(vec![x, y], sd))),
+            ],
+            ts,
+        )
+    }
+
+    fn temp(ts: u64, id: i64, x: f64, y: f64, sd: f64, t_mean: f64) -> Tuple {
+        Tuple::new(
+            temp_schema(),
+            vec![
+                Value::from(id),
+                Value::from(Updf::Mv(MvGaussian::isotropic(vec![x, y], sd))),
+                Value::from(Updf::Parametric(Dist::gaussian(t_mean, 1.0))),
+            ],
+            ts,
+        )
+    }
+
+    fn loc_join(eps: f64, min_prob: f64) -> WindowJoin {
+        WindowJoin::new(
+            3000,
+            JoinCondition::LocEquals {
+                left_field: "loc".into(),
+                right_field: "loc".into(),
+                epsilon: eps,
+            },
+            min_prob,
+        )
+    }
+
+    #[test]
+    fn colocated_tuples_join_with_high_probability() {
+        let mut j = loc_join(2.0, 0.2);
+        assert!(j.process(0, obj(100, 1, 0.0, 0.0, 0.3)).is_empty());
+        let out = j.process(1, temp(200, 9, 0.1, -0.1, 0.3, 65.0));
+        assert_eq!(out.len(), 1);
+        assert!(out[0].existence > 0.8, "p = {}", out[0].existence);
+        // Joined schema carries both sides (clash prefixed).
+        assert!(out[0].get("r_loc").is_ok());
+        assert!(out[0].get("temp").is_ok());
+    }
+
+    #[test]
+    fn distant_tuples_do_not_join() {
+        let mut j = loc_join(2.0, 0.2);
+        j.process(0, obj(100, 1, 0.0, 0.0, 0.3));
+        let out = j.process(1, temp(200, 9, 50.0, 50.0, 0.3, 65.0));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn match_probability_multiplies_existences() {
+        let mut j = loc_join(2.0, 0.0);
+        let mut l = obj(100, 1, 0.0, 0.0, 0.1);
+        l.existence = 0.5;
+        j.process(0, l);
+        let out = j.process(1, temp(200, 9, 0.0, 0.0, 0.1, 65.0));
+        assert_eq!(out.len(), 1);
+        assert!(out[0].existence <= 0.5);
+        assert!(out[0].existence > 0.45, "≈ 0.5 × ~1.0 match prob");
+    }
+
+    #[test]
+    fn window_eviction_limits_matches() {
+        let mut j = loc_join(2.0, 0.2);
+        j.process(0, obj(100, 1, 0.0, 0.0, 0.3));
+        // 10 s later: left tuple is out of the 3 s range.
+        let out = j.process(1, temp(10_100, 9, 0.0, 0.0, 0.3, 65.0));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn lineage_union_on_output() {
+        let mut j = loc_join(2.0, 0.0);
+        let l = obj(100, 1, 0.0, 0.0, 0.3);
+        let l_lin = l.lineage.clone();
+        j.process(0, l);
+        let r = temp(200, 9, 0.0, 0.0, 0.3, 65.0);
+        let r_lin = r.lineage.clone();
+        let out = j.process(1, r);
+        assert_eq!(out[0].lineage, l_lin.union(&r_lin));
+    }
+
+    #[test]
+    fn one_to_many_join_shares_provenance() {
+        // One temperature tuple matches two objects → two outputs carrying
+        // the SAME temp__src id (the correlation §5.2 warns about).
+        let mut j = loc_join(2.0, 0.1).with_provenance("temp", 1);
+        j.process(0, obj(100, 1, 0.0, 0.0, 0.2));
+        j.process(0, obj(150, 2, 0.2, 0.1, 0.2));
+        let out = j.process(1, temp(200, 9, 0.1, 0.0, 0.2, 65.0));
+        assert_eq!(out.len(), 2);
+        let s1 = out[0].int("temp__src").unwrap();
+        let s2 = out[1].int("temp__src").unwrap();
+        assert_eq!(s1, s2, "both outputs derive temp from the same base tuple");
+        assert!(out[0].lineage.overlaps(&out[1].lineage));
+    }
+
+    #[test]
+    fn archive_records_base_distributions_for_downstream_recompute() {
+        use crate::lineage::Archive;
+        let archive = Archive::new();
+        let mut j = loc_join(2.0, 0.1)
+            .with_provenance("temp", 1)
+            .archive_to(archive.clone(), 1, "temp");
+        j.process(0, obj(100, 1, 0.0, 0.0, 0.2));
+        let t = temp(200, 9, 0.1, 0.0, 0.2, 65.0);
+        let base_id = *t.lineage.ids().first().unwrap();
+        let out = j.process(1, t);
+        assert_eq!(out.len(), 1);
+        // J1's pattern: resolve the provenance id against the archive and
+        // recover the base pdf exactly.
+        let src = out[0].int("temp__src").unwrap() as u64;
+        assert_eq!(src, base_id);
+        let archived = archive.get(src).expect("base tuple archived");
+        assert!((archived.mean() - 65.0).abs() < 1e-9);
+        assert!((archived.std_dev() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn band_join_gaussian_closed_form() {
+        let s = Schema::builder()
+            .field("id", DataType::Int)
+            .field("x", DataType::Uncertain)
+            .build();
+        let mk = |ts: u64, mean: f64| {
+            Tuple::new(
+                s.clone(),
+                vec![
+                    Value::from(1i64),
+                    Value::from(Updf::Parametric(Dist::gaussian(mean, 1.0))),
+                ],
+                ts,
+            )
+        };
+        let mut j = WindowJoin::new(
+            1000,
+            JoinCondition::BandUncertain {
+                left_field: "x".into(),
+                right_field: "x".into(),
+                epsilon: 1.0,
+            },
+            0.0,
+        );
+        j.process(0, mk(10, 0.0));
+        let out = j.process(1, mk(20, 0.0));
+        // D ~ N(0, 2); P(|D| ≤ 1) = 2Φ(1/√2) − 1 ≈ 0.5205.
+        assert_eq!(out.len(), 1);
+        assert!((out[0].existence - 0.5205).abs() < 0.01, "p = {}", out[0].existence);
+    }
+
+    #[test]
+    fn key_equals_certain_join() {
+        let s = Schema::builder().field("k", DataType::Int).build();
+        let mk = |ts: u64, k: i64| Tuple::new(s.clone(), vec![Value::from(k)], ts);
+        let mut j = WindowJoin::new(
+            1000,
+            JoinCondition::KeyEquals {
+                left: Box::new(|t| GroupKey::from_value(t.get("k").ok()?)),
+                right: Box::new(|t| GroupKey::from_value(t.get("k").ok()?)),
+            },
+            0.5,
+        );
+        j.process(0, mk(1, 7));
+        j.process(0, mk(2, 8));
+        let out = j.process(1, mk(3, 7));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].existence, 1.0);
+    }
+
+    #[test]
+    fn prefilter_prunes_candidates() {
+        let mut j = loc_join(2.0, 0.0).with_prefilter(|l, r| {
+            l.int("tag_id").unwrap_or(0) == r.int("sensor").unwrap_or(1)
+        });
+        j.process(0, obj(100, 9, 0.0, 0.0, 0.2));
+        j.process(0, obj(100, 5, 0.0, 0.0, 0.2));
+        let out = j.process(1, temp(200, 9, 0.0, 0.0, 0.2, 65.0));
+        assert_eq!(out.len(), 1, "prefilter keeps only matching ids");
+    }
+}

@@ -1,0 +1,107 @@
+//! Query operators (the "boxes" of the box-arrow architecture, §3).
+//!
+//! Every operator is push-based: `process(port, tuple)` returns the output
+//! tuples produced so far; `flush` drains state at end of stream (closing
+//! open windows). Multi-input operators (join) distinguish inputs by
+//! `port`.
+
+pub mod aggregate;
+pub mod join;
+pub mod project;
+pub mod select;
+
+use crate::tuple::Tuple;
+
+/// A streaming query operator.
+pub trait Operator: Send {
+    /// Human-readable operator name (diagnostics, graph dumps).
+    fn name(&self) -> &str;
+
+    /// Number of input ports (1 for unary operators, 2 for joins).
+    fn num_ports(&self) -> usize {
+        1
+    }
+
+    /// Push one tuple into `port`; returns any output produced.
+    fn process(&mut self, port: usize, tuple: Tuple) -> Vec<Tuple>;
+
+    /// End-of-stream: drain buffered state (open windows etc.).
+    fn flush(&mut self) -> Vec<Tuple> {
+        Vec::new()
+    }
+}
+
+/// A trivial pass-through operator; useful as a graph sink and in tests.
+pub struct Passthrough {
+    name: String,
+}
+
+impl Passthrough {
+    pub fn new(name: impl Into<String>) -> Self {
+        Passthrough { name: name.into() }
+    }
+}
+
+impl Operator for Passthrough {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _port: usize, tuple: Tuple) -> Vec<Tuple> {
+        vec![tuple]
+    }
+}
+
+/// Stateless operator from a closure `Tuple -> Vec<Tuple>`; the escape
+/// hatch for application-specific certain-data transforms.
+pub struct MapOperator {
+    name: String,
+    f: Box<dyn FnMut(Tuple) -> Vec<Tuple> + Send>,
+}
+
+impl MapOperator {
+    pub fn new(name: impl Into<String>, f: impl FnMut(Tuple) -> Vec<Tuple> + Send + 'static) -> Self {
+        MapOperator {
+            name: name.into(),
+            f: Box::new(f),
+        }
+    }
+}
+
+impl Operator for MapOperator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _port: usize, tuple: Tuple) -> Vec<Tuple> {
+        (self.f)(tuple)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Schema};
+    use crate::value::Value;
+
+    fn t(v: i64) -> Tuple {
+        let s = Schema::builder().field("v", DataType::Int).build();
+        Tuple::new(s, vec![Value::from(v)], 0)
+    }
+
+    #[test]
+    fn passthrough_forwards() {
+        let mut p = Passthrough::new("sink");
+        let out = p.process(0, t(1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].int("v").unwrap(), 1);
+        assert!(p.flush().is_empty());
+        assert_eq!(p.num_ports(), 1);
+    }
+
+    #[test]
+    fn map_operator_applies_closure() {
+        let mut m = MapOperator::new("dup", |t: Tuple| vec![t.clone(), t]);
+        assert_eq!(m.process(0, t(2)).len(), 2);
+    }
+}

@@ -1,0 +1,449 @@
+//! Projection / derivation of new attributes.
+//!
+//! Q1's inner query "simply adds two attributes to each tuple" — one
+//! computed from an uncertain location, one looked up from a certain tag
+//! id. This module provides:
+//!
+//! - certain derivations (closures over certain fields),
+//! - exact linear transforms of uncertain attributes (`a·X + b`),
+//! - exact monotone change-of-variables onto a histogram,
+//! - the **Delta method** (§5.2): Y = h(X) ≈ N(h(μ), h′(μ)²σ²) for
+//!   differentiable h — the cheap approximation for composed complex
+//!   functions.
+
+use crate::ops::Operator;
+use crate::schema::{DataType, Field, Schema};
+use crate::tuple::Tuple;
+use crate::updf::Updf;
+use crate::value::Value;
+use std::sync::Arc;
+use ustream_prob::dist::{ContinuousDist, Dist, Gaussian};
+use ustream_prob::histogram::HistogramPdf;
+
+/// One derived output attribute.
+pub enum Derivation {
+    /// New certain value from the tuple's certain attributes.
+    Certain {
+        out: Field,
+        f: Box<dyn Fn(&Tuple) -> Value + Send>,
+    },
+    /// Exact linear transform of an uncertain scalar attribute.
+    Linear {
+        input: String,
+        a: f64,
+        b: f64,
+        out: String,
+    },
+    /// Exact monotone transform via change of variables, materialized on
+    /// a histogram grid: f_Y(y) = f_X(h⁻¹(y))·|dh⁻¹/dy|.
+    Monotone {
+        input: String,
+        out: String,
+        h: Box<dyn Fn(f64) -> f64 + Send>,
+        h_inv: Box<dyn Fn(f64) -> f64 + Send>,
+        /// d h⁻¹ / dy.
+        dh_inv: Box<dyn Fn(f64) -> f64 + Send>,
+        bins: usize,
+    },
+    /// First-order Delta-method Gaussian approximation of h(X).
+    Delta {
+        input: String,
+        out: String,
+        h: Box<dyn Fn(f64) -> f64 + Send>,
+        /// h′.
+        dh: Box<dyn Fn(f64) -> f64 + Send>,
+    },
+    /// Multivariate Delta method for h(X, Y) of two *independent*
+    /// uncertain attributes (§5.2: "the multivariate Delta method to
+    /// approximate the result distribution for efficiency"):
+    /// Y ≈ N(h(μ₁, μ₂), h₁′²σ₁² + h₂′²σ₂²).
+    DeltaBinary {
+        input1: String,
+        input2: String,
+        out: String,
+        h: Box<dyn Fn(f64, f64) -> f64 + Send>,
+        /// ∂h/∂x evaluated at the means.
+        dh1: Box<dyn Fn(f64, f64) -> f64 + Send>,
+        /// ∂h/∂y evaluated at the means.
+        dh2: Box<dyn Fn(f64, f64) -> f64 + Send>,
+    },
+}
+
+impl Derivation {
+    fn out_field(&self) -> Field {
+        match self {
+            Derivation::Certain { out, .. } => out.clone(),
+            Derivation::Linear { out, .. }
+            | Derivation::Monotone { out, .. }
+            | Derivation::Delta { out, .. }
+            | Derivation::DeltaBinary { out, .. } => Field::new(out.clone(), DataType::Uncertain),
+        }
+    }
+}
+
+/// The projection operator: appends derived attributes to each tuple.
+pub struct Project {
+    name: String,
+    derivations: Vec<Derivation>,
+    /// Cache of input schema → output schema.
+    out_schema: Option<(Arc<Schema>, Arc<Schema>)>,
+}
+
+impl Project {
+    pub fn new(derivations: Vec<Derivation>) -> Self {
+        assert!(!derivations.is_empty(), "Project needs ≥1 derivation");
+        Project {
+            name: "project".into(),
+            derivations,
+            out_schema: None,
+        }
+    }
+
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    fn output_schema(&mut self, input: &Arc<Schema>) -> Arc<Schema> {
+        if let Some((cached_in, cached_out)) = &self.out_schema {
+            if Arc::ptr_eq(cached_in, input) {
+                return cached_out.clone();
+            }
+        }
+        let extra: Vec<Field> = self.derivations.iter().map(|d| d.out_field()).collect();
+        let out = input.extend(extra);
+        self.out_schema = Some((input.clone(), out.clone()));
+        out
+    }
+
+    fn derive_value(d: &Derivation, t: &Tuple) -> Option<Value> {
+        match d {
+            Derivation::Certain { f, .. } => Some(f(t)),
+            Derivation::Linear { input, a, b, .. } => {
+                let u = t.updf(input).ok()?;
+                Some(Value::from(u.affine(*a, *b)))
+            }
+            Derivation::Monotone {
+                input,
+                h,
+                h_inv,
+                dh_inv,
+                bins,
+                ..
+            } => {
+                let u = t.updf(input).ok()?;
+                Some(Value::from(monotone_transform(u, h, h_inv, dh_inv, *bins)))
+            }
+            Derivation::Delta { input, h, dh, .. } => {
+                let u = t.updf(input).ok()?;
+                let (mu, var) = (u.mean(), u.variance());
+                let slope = dh(mu);
+                let out_var = (slope * slope * var).max(1e-18);
+                Some(Value::from(Updf::Parametric(Dist::Gaussian(
+                    Gaussian::from_mean_var(h(mu), out_var),
+                ))))
+            }
+            Derivation::DeltaBinary {
+                input1,
+                input2,
+                h,
+                dh1,
+                dh2,
+                ..
+            } => {
+                let u1 = t.updf(input1).ok()?;
+                let u2 = t.updf(input2).ok()?;
+                let (m1, v1) = (u1.mean(), u1.variance());
+                let (m2, v2) = (u2.mean(), u2.variance());
+                let (g1, g2) = (dh1(m1, m2), dh2(m1, m2));
+                let out_var = (g1 * g1 * v1 + g2 * g2 * v2).max(1e-18);
+                Some(Value::from(Updf::Parametric(Dist::Gaussian(
+                    Gaussian::from_mean_var(h(m1, m2), out_var),
+                ))))
+            }
+        }
+    }
+}
+
+/// Exact change of variables for a monotone h, evaluated on a grid.
+fn monotone_transform(
+    u: &Updf,
+    h: &(dyn Fn(f64) -> f64 + Send),
+    h_inv: &(dyn Fn(f64) -> f64 + Send),
+    dh_inv: &(dyn Fn(f64) -> f64 + Send),
+    bins: usize,
+) -> Updf {
+    // Map the effective input range through h (monotone ⇒ endpoints map
+    // to endpoints, possibly swapped).
+    let (in_lo, in_hi) = (u.quantile(1e-9), u.quantile(1.0 - 1e-9));
+    let (mut lo, mut hi) = (h(in_lo), h(in_hi));
+    if lo > hi {
+        std::mem::swap(&mut lo, &mut hi);
+    }
+    if !(hi > lo) {
+        // Degenerate h: collapse to a point mass approximation.
+        return Updf::Parametric(Dist::gaussian(lo, 1e-9));
+    }
+    let width = (hi - lo) / bins as f64;
+    let pdf_x = |x: f64| -> f64 {
+        match u {
+            Updf::Parametric(d) => d.pdf(x),
+            Updf::Histogram(hh) => hh.pdf(x),
+            // For samples: fit-free kernel-less density is noisy; use the
+            // KL Gaussian as the density surrogate.
+            Updf::Samples(s) => s.fit_gaussian().pdf(x),
+            _ => panic!("monotone transform on multivariate Updf"),
+        }
+    };
+    let mut masses = Vec::with_capacity(bins);
+    for i in 0..bins {
+        let y = lo + (i as f64 + 0.5) * width;
+        let x = h_inv(y);
+        let dens = pdf_x(x) * dh_inv(y).abs();
+        masses.push((dens * width).max(0.0));
+    }
+    Updf::Histogram(HistogramPdf::from_masses(lo, width, masses))
+}
+
+impl Operator for Project {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _port: usize, tuple: Tuple) -> Vec<Tuple> {
+        let out_schema = self.output_schema(tuple.schema());
+        let mut extra = Vec::with_capacity(self.derivations.len());
+        for d in &self.derivations {
+            match Self::derive_value(d, &tuple) {
+                Some(v) => extra.push(v),
+                None => return Vec::new(), // malformed input: drop
+            }
+        }
+        vec![tuple.extended(out_schema, extra)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder()
+            .field("tag_id", DataType::Int)
+            .field("x", DataType::Uncertain)
+            .build()
+    }
+
+    fn tuple(mean: f64, sd: f64) -> Tuple {
+        Tuple::new(
+            schema(),
+            vec![
+                Value::from(7i64),
+                Value::from(Updf::Parametric(Dist::gaussian(mean, sd))),
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn certain_derivation_lookup() {
+        let mut p = Project::new(vec![Derivation::Certain {
+            out: Field::new("weight", DataType::Float),
+            f: Box::new(|t: &Tuple| Value::from(t.int("tag_id").unwrap() as f64 * 2.0)),
+        }]);
+        let out = p.process(0, tuple(0.0, 1.0));
+        assert_eq!(out[0].float("weight").unwrap(), 14.0);
+        // Original fields still present.
+        assert_eq!(out[0].int("tag_id").unwrap(), 7);
+    }
+
+    #[test]
+    fn linear_transform_exact() {
+        let mut p = Project::new(vec![Derivation::Linear {
+            input: "x".into(),
+            a: 3.0,
+            b: -1.0,
+            out: "y".into(),
+        }]);
+        let out = p.process(0, tuple(2.0, 1.0));
+        let y = out[0].updf("y").unwrap();
+        assert!((y.mean() - 5.0).abs() < 1e-12);
+        assert!((y.variance() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_exp_transform_matches_lognormal() {
+        // Y = exp(X), X ~ N(0, 0.25) ⇒ Y ~ LogNormal(0, 0.5).
+        let mut p = Project::new(vec![Derivation::Monotone {
+            input: "x".into(),
+            out: "y".into(),
+            h: Box::new(|x| x.exp()),
+            h_inv: Box::new(|y: f64| y.ln()),
+            dh_inv: Box::new(|y: f64| 1.0 / y),
+            bins: 512,
+        }]);
+        let out = p.process(0, tuple(0.0, 0.5));
+        let y = out[0].updf("y").unwrap();
+        let exact = ustream_prob::dist::LogNormal::new(0.0, 0.5);
+        assert!((y.mean() - exact.mean()).abs() < 0.01, "mean {}", y.mean());
+        assert!((y.quantile(0.5) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn delta_method_close_for_small_variance() {
+        // h(x) = x², X ~ N(3, 0.1²): Delta gives N(9, (6·0.1)²).
+        let mut p = Project::new(vec![Derivation::Delta {
+            input: "x".into(),
+            out: "y".into(),
+            h: Box::new(|x| x * x),
+            dh: Box::new(|x| 2.0 * x),
+        }]);
+        let out = p.process(0, tuple(3.0, 0.1));
+        let y = out[0].updf("y").unwrap();
+        assert!((y.mean() - 9.0).abs() < 1e-9);
+        assert!((y.std_dev() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_vs_monotone_agree_in_small_variance_regime() {
+        let mk = |deriv| Project::new(vec![deriv]);
+        let mut delta = mk(Derivation::Delta {
+            input: "x".into(),
+            out: "y".into(),
+            h: Box::new(|x: f64| x.exp()),
+            dh: Box::new(|x: f64| x.exp()),
+        });
+        let mut exact = mk(Derivation::Monotone {
+            input: "x".into(),
+            out: "y".into(),
+            h: Box::new(|x: f64| x.exp()),
+            h_inv: Box::new(|y: f64| y.ln()),
+            dh_inv: Box::new(|y: f64| 1.0 / y),
+            bins: 512,
+        });
+        let t = tuple(1.0, 0.05);
+        let yd = delta.process(0, t.clone())[0].updf("y").unwrap().clone();
+        let ye = exact.process(0, t)[0].updf("y").unwrap().clone();
+        assert!((yd.mean() - ye.mean()).abs() < 0.01);
+        assert!((yd.std_dev() - ye.std_dev()).abs() < 0.01);
+    }
+
+    #[test]
+    fn delta_binary_independent_product() {
+        // h(x, y) = x·y at independent X ~ N(3, 0.1²), Y ~ N(2, 0.2²):
+        // Delta gives N(6, (2·0.1)² + (3·0.2)²) = N(6, 0.04 + 0.36).
+        let s = Schema::builder()
+            .field("x", DataType::Uncertain)
+            .field("y", DataType::Uncertain)
+            .build();
+        let t = Tuple::new(
+            s,
+            vec![
+                Value::from(Updf::Parametric(Dist::gaussian(3.0, 0.1))),
+                Value::from(Updf::Parametric(Dist::gaussian(2.0, 0.2))),
+            ],
+            0,
+        );
+        let mut p = Project::new(vec![Derivation::DeltaBinary {
+            input1: "x".into(),
+            input2: "y".into(),
+            out: "xy".into(),
+            h: Box::new(|x, y| x * y),
+            dh1: Box::new(|_, y| y),
+            dh2: Box::new(|x, _| x),
+        }]);
+        let out = p.process(0, t);
+        let xy = out[0].updf("xy").unwrap();
+        assert!((xy.mean() - 6.0).abs() < 1e-12);
+        assert!((xy.variance() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_binary_matches_monte_carlo_small_variance() {
+        // h(x, y) = x·exp(y/10) with small variances: Delta ≈ MC truth.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use ustream_prob::dist::ContinuousDist;
+        let gx = Dist::gaussian(4.0, 0.05);
+        let gy = Dist::gaussian(1.0, 0.05);
+        let s = Schema::builder()
+            .field("x", DataType::Uncertain)
+            .field("y", DataType::Uncertain)
+            .build();
+        let t = Tuple::new(
+            s,
+            vec![
+                Value::from(Updf::Parametric(gx.clone())),
+                Value::from(Updf::Parametric(gy.clone())),
+            ],
+            0,
+        );
+        let mut p = Project::new(vec![Derivation::DeltaBinary {
+            input1: "x".into(),
+            input2: "y".into(),
+            out: "z".into(),
+            h: Box::new(|x, y: f64| x * (y / 10.0).exp()),
+            dh1: Box::new(|_, y: f64| (y / 10.0).exp()),
+            dh2: Box::new(|x, y: f64| x * (y / 10.0).exp() / 10.0),
+        }]);
+        let z = p.process(0, t)[0].updf("z").unwrap().clone();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let mut acc = 0.0;
+        let mut acc2 = 0.0;
+        for _ in 0..n {
+            let v = gx.sample(&mut rng) * (gy.sample(&mut rng) / 10.0).exp();
+            acc += v;
+            acc2 += v * v;
+        }
+        let mc_mean = acc / n as f64;
+        let mc_var = acc2 / n as f64 - mc_mean * mc_mean;
+        assert!((z.mean() - mc_mean).abs() < 0.01, "mean {} vs {}", z.mean(), mc_mean);
+        assert!((z.variance() - mc_var).abs() < 0.2 * mc_var);
+    }
+
+    #[test]
+    fn multiple_derivations_in_one_pass() {
+        let mut p = Project::new(vec![
+            Derivation::Certain {
+                out: Field::new("const", DataType::Int),
+                f: Box::new(|_| Value::from(1i64)),
+            },
+            Derivation::Linear {
+                input: "x".into(),
+                a: 1.0,
+                b: 10.0,
+                out: "shifted".into(),
+            },
+        ]);
+        let out = p.process(0, tuple(0.0, 1.0));
+        assert_eq!(out[0].schema().len(), 4);
+        assert!((out[0].updf("shifted").unwrap().mean() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schema_cache_reused_across_tuples() {
+        let mut p = Project::new(vec![Derivation::Linear {
+            input: "x".into(),
+            a: 1.0,
+            b: 0.0,
+            out: "y".into(),
+        }]);
+        // Tuples must share one schema Arc for the cache to hit.
+        let shared = schema();
+        let mk = |mean: f64| {
+            Tuple::new(
+                shared.clone(),
+                vec![
+                    Value::from(7i64),
+                    Value::from(Updf::Parametric(Dist::gaussian(mean, 1.0))),
+                ],
+                0,
+            )
+        };
+        let a = p.process(0, mk(0.0));
+        let b = p.process(0, mk(1.0));
+        assert!(Arc::ptr_eq(a[0].schema(), b[0].schema()));
+    }
+}

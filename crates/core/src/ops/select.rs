@@ -1,0 +1,348 @@
+//! Probabilistic selection.
+//!
+//! Selection over a certain attribute is classical filtering. Selection
+//! over an *uncertain* attribute X with predicate π computes P(π(X)),
+//! multiplies it into the tuple's existence probability, and — when
+//! configured — replaces X's distribution by its conditional given π
+//! (truncation), so downstream operators see the distribution "in the
+//! certain worlds where the tuple survived". Tuples whose survival
+//! probability falls below `min_prob` are dropped.
+
+use crate::ops::Operator;
+use crate::tuple::Tuple;
+use crate::updf::Updf;
+use crate::value::Value;
+
+/// Comparison operators for certain numeric predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    fn eval(&self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+}
+
+/// A predicate over one tuple.
+#[derive(Debug, Clone)]
+pub enum Predicate {
+    /// Certain string equality (e.g. `object_type(tag_id) = 'flammable'`).
+    StrEq(String, String),
+    /// Certain numeric comparison.
+    NumCmp(String, CmpOp, f64),
+    /// P(X > c) on an uncertain scalar attribute.
+    UncertainAbove(String, f64),
+    /// P(X ≤ c).
+    UncertainBelow(String, f64),
+    /// P(lo < X ≤ hi).
+    UncertainBetween(String, f64, f64),
+    /// Conjunction (probabilities multiply — attributes assumed
+    /// independent within a tuple, the paper's tuple model).
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction under the same independence assumption
+    /// (inclusion–exclusion: p₁ + p₂ − p₁p₂).
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation (1 − p).
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Probability that the predicate holds for this tuple. Certain
+    /// predicates return exactly 0.0 or 1.0. Returns `None` if a referenced
+    /// field is missing or mistyped (tuple is then dropped by Select).
+    pub fn probability(&self, t: &Tuple) -> Option<f64> {
+        match self {
+            Predicate::StrEq(field, want) => {
+                Some((t.str(field).ok()? == want.as_str()) as u8 as f64)
+            }
+            Predicate::NumCmp(field, op, c) => Some(op.eval(t.float(field).ok()?, *c) as u8 as f64),
+            Predicate::UncertainAbove(field, c) => Some(t.updf(field).ok()?.prob_above(*c)),
+            Predicate::UncertainBelow(field, c) => {
+                Some(1.0 - t.updf(field).ok()?.prob_above(*c))
+            }
+            Predicate::UncertainBetween(field, lo, hi) => {
+                Some(t.updf(field).ok()?.prob_in(*lo, *hi))
+            }
+            Predicate::And(a, b) => Some(a.probability(t)? * b.probability(t)?),
+            Predicate::Or(a, b) => {
+                let (pa, pb) = (a.probability(t)?, b.probability(t)?);
+                Some(pa + pb - pa * pb)
+            }
+            Predicate::Not(p) => Some(1.0 - p.probability(t)?),
+        }
+    }
+
+    /// The (field, interval) this predicate conditions on, when it is a
+    /// simple interval constraint on one uncertain attribute — the case
+    /// where Select can truncate the distribution.
+    fn conditioning_interval(&self) -> Option<(&str, f64, f64)> {
+        match self {
+            Predicate::UncertainAbove(f, c) => Some((f, *c, f64::INFINITY)),
+            Predicate::UncertainBelow(f, c) => Some((f, f64::NEG_INFINITY, *c)),
+            Predicate::UncertainBetween(f, lo, hi) => Some((f, *lo, *hi)),
+            _ => None,
+        }
+    }
+}
+
+/// The probabilistic selection operator.
+pub struct Select {
+    name: String,
+    predicate: Predicate,
+    /// Drop tuples whose survival probability is below this.
+    min_prob: f64,
+    /// Replace the conditioned attribute by its truncated distribution.
+    condition_distribution: bool,
+}
+
+impl Select {
+    pub fn new(predicate: Predicate, min_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&min_prob));
+        Select {
+            name: "select".to_string(),
+            predicate,
+            min_prob,
+            condition_distribution: true,
+        }
+    }
+
+    /// Disable distribution conditioning (keep the prior distribution on
+    /// survivors; only existence is scaled).
+    pub fn without_conditioning(mut self) -> Self {
+        self.condition_distribution = false;
+        self
+    }
+
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl Operator for Select {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _port: usize, tuple: Tuple) -> Vec<Tuple> {
+        let Some(p) = self.predicate.probability(&tuple) else {
+            return Vec::new(); // malformed tuple: drop
+        };
+        let survival = tuple.existence * p;
+        if survival < self.min_prob || survival <= 0.0 {
+            return Vec::new();
+        }
+        let mut out = tuple;
+        out.existence = survival.min(1.0);
+
+        if self.condition_distribution {
+            if let Some((field, lo, hi)) = self.predicate.conditioning_interval() {
+                let field = field.to_string();
+                if let (Ok(idx), Ok(updf)) =
+                    (out.schema().index_of(&field), out.updf(&field).cloned())
+                {
+                    if let Some(conditioned) = condition_updf(&updf, lo, hi) {
+                        out = out.with_value(idx, Value::from(conditioned));
+                    }
+                }
+            }
+        }
+        vec![out]
+    }
+}
+
+/// Condition a scalar Updf on (lo, hi): parametric forms truncate exactly;
+/// sample forms re-weight; histograms re-normalize over the interval.
+fn condition_updf(u: &Updf, lo: f64, hi: f64) -> Option<Updf> {
+    match u {
+        Updf::Parametric(d) => d.truncate(lo, hi).map(|(t, _)| Updf::Parametric(t)),
+        Updf::Samples(s) => {
+            let mut xs = Vec::new();
+            let mut ws = Vec::new();
+            for (x, w) in s.iter() {
+                if x > lo && x <= hi {
+                    xs.push(x);
+                    ws.push(w);
+                }
+            }
+            if xs.is_empty() {
+                None
+            } else {
+                Some(Updf::Samples(ustream_prob::samples::WeightedSamples::new(
+                    xs, ws,
+                )))
+            }
+        }
+        Updf::Histogram(h) => {
+            // Keep overlapping bins, renormalize.
+            let mut masses = Vec::new();
+            let mut new_lo = None;
+            for (i, &m) in h.masses().iter().enumerate() {
+                let a = h.lo() + i as f64 * h.bin_width();
+                let b = a + h.bin_width();
+                if b <= lo || a > hi {
+                    continue;
+                }
+                if new_lo.is_none() {
+                    new_lo = Some(a);
+                }
+                masses.push(m);
+            }
+            let total: f64 = masses.iter().sum();
+            if total <= 0.0 {
+                None
+            } else {
+                Some(Updf::Histogram(
+                    ustream_prob::histogram::HistogramPdf::from_masses(
+                        new_lo?,
+                        h.bin_width(),
+                        masses,
+                    ),
+                ))
+            }
+        }
+        // Multivariate conditioning is interval-free here; leave as is.
+        other => Some(other.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Schema};
+    use std::sync::Arc;
+    use ustream_prob::dist::Dist;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder()
+            .field("kind", DataType::Str)
+            .field("temp", DataType::Uncertain)
+            .build()
+    }
+
+    fn tuple(kind: &str, mean: f64, sd: f64) -> Tuple {
+        Tuple::new(
+            schema(),
+            vec![
+                Value::from(kind),
+                Value::from(Updf::Parametric(Dist::gaussian(mean, sd))),
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn certain_predicate_passes_or_drops() {
+        let mut s = Select::new(Predicate::StrEq("kind".into(), "flammable".into()), 0.5);
+        assert_eq!(s.process(0, tuple("flammable", 0.0, 1.0)).len(), 1);
+        assert_eq!(s.process(0, tuple("inert", 0.0, 1.0)).len(), 0);
+    }
+
+    #[test]
+    fn uncertain_predicate_scales_existence() {
+        // P(N(60, 5) > 60) = 0.5
+        let mut s = Select::new(Predicate::UncertainAbove("temp".into(), 60.0), 0.1)
+            .without_conditioning();
+        let out = s.process(0, tuple("x", 60.0, 5.0));
+        assert_eq!(out.len(), 1);
+        assert!((out[0].existence - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn below_threshold_dropped() {
+        // P(N(0,1) > 60) ≈ 0 < 0.1 ⇒ dropped.
+        let mut s = Select::new(Predicate::UncertainAbove("temp".into(), 60.0), 0.1);
+        assert!(s.process(0, tuple("x", 0.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn conditioning_truncates_distribution() {
+        let mut s = Select::new(Predicate::UncertainAbove("temp".into(), 60.0), 0.01);
+        let out = s.process(0, tuple("x", 60.0, 5.0));
+        let u = out[0].updf("temp").unwrap();
+        // Mean of upper-half truncation is above the threshold.
+        assert!(u.mean() > 60.0);
+        assert!((out[0].existence - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn and_multiplies_probabilities() {
+        let pred = Predicate::And(
+            Box::new(Predicate::StrEq("kind".into(), "flammable".into())),
+            Box::new(Predicate::UncertainAbove("temp".into(), 60.0)),
+        );
+        let mut s = Select::new(pred, 0.0).without_conditioning();
+        let out = s.process(0, tuple("flammable", 60.0, 5.0));
+        assert!((out[0].existence - 0.5).abs() < 1e-9);
+        assert!(s.process(0, tuple("inert", 60.0, 5.0)).is_empty());
+    }
+
+    #[test]
+    fn not_inverts() {
+        let pred = Predicate::Not(Box::new(Predicate::UncertainAbove("temp".into(), 60.0)));
+        let mut s = Select::new(pred, 0.0).without_conditioning();
+        let out = s.process(0, tuple("x", 65.0, 5.0));
+        let p_above = Dist::gaussian(65.0, 5.0).prob_above(60.0);
+        assert!((out[0].existence - (1.0 - p_above)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn or_uses_inclusion_exclusion() {
+        let pred = Predicate::Or(
+            Box::new(Predicate::UncertainAbove("temp".into(), 60.0)),
+            Box::new(Predicate::UncertainBelow("temp".into(), 60.0)),
+        );
+        // P(A) + P(B) − P(A)P(B) with P(A) = P(B) = 0.5 ⇒ 0.75 (the
+        // independence approximation; exact would be 1 for complements).
+        let mut s = Select::new(pred, 0.0).without_conditioning();
+        let out = s.process(0, tuple("x", 60.0, 5.0));
+        assert!((out[0].existence - 0.75).abs() < 1e-9);
+        // De-Morgan-ish sanity: Or of impossible events is impossible.
+        let never = Predicate::Or(
+            Box::new(Predicate::StrEq("kind".into(), "a".into())),
+            Box::new(Predicate::StrEq("kind".into(), "b".into())),
+        );
+        let mut s2 = Select::new(never, 0.0);
+        assert!(s2.process(0, tuple("x", 0.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn between_predicate_conditions_to_interval() {
+        let mut s = Select::new(Predicate::UncertainBetween("temp".into(), 55.0, 65.0), 0.0);
+        let out = s.process(0, tuple("x", 60.0, 5.0));
+        let u = out[0].updf("temp").unwrap();
+        let (lo, hi) = u.confidence_interval(0.999);
+        assert!(lo >= 54.9 && hi <= 65.1, "truncated to ({lo}, {hi})");
+    }
+
+    #[test]
+    fn existence_compounds_across_selects() {
+        let mut s1 = Select::new(Predicate::UncertainAbove("temp".into(), 60.0), 0.0)
+            .without_conditioning();
+        let mut s2 = Select::new(Predicate::UncertainAbove("temp".into(), 60.0), 0.0)
+            .without_conditioning();
+        let out1 = s1.process(0, tuple("x", 60.0, 5.0));
+        let out2 = s2.process(0, out1.into_iter().next().unwrap());
+        assert!((out2[0].existence - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_field_drops_tuple() {
+        let mut s = Select::new(Predicate::UncertainAbove("nope".into(), 0.0), 0.0);
+        assert!(s.process(0, tuple("x", 0.0, 1.0)).is_empty());
+    }
+}

@@ -1,0 +1,549 @@
+//! Box-arrow query graphs (§3) and their executors.
+//!
+//! A [`QueryGraph`] is a DAG of operators ("boxes") connected by
+//! dataflow edges ("arrows"), compiled from a query (Q1, Q2) or a
+//! scientific workflow (the radar pipeline). Two executors:
+//!
+//! - [`QueryGraph::run`] — single-threaded push execution in topological
+//!   order; deterministic, used by tests and harnesses.
+//! - [`ThreadedExecutor`] — one thread per operator connected by
+//!   crossbeam channels; the shape a stream engine actually deploys.
+
+use crate::error::{EngineError, Result};
+use crate::ops::Operator;
+use crate::tuple::Tuple;
+use std::collections::HashMap;
+
+/// Node handle in a query graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+/// An edge: output of `from` feeds `to`'s input `port`.
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    from: NodeId,
+    to: NodeId,
+    port: usize,
+}
+
+/// A dataflow graph of operators.
+pub struct QueryGraph {
+    nodes: Vec<Box<dyn Operator>>,
+    edges: Vec<Edge>,
+    /// Named entry points: external streams push here.
+    sources: HashMap<String, NodeId>,
+    /// Nodes whose output is collected as query results.
+    sinks: Vec<NodeId>,
+}
+
+impl Default for QueryGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueryGraph {
+    pub fn new() -> Self {
+        QueryGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            sources: HashMap::new(),
+            sinks: Vec::new(),
+        }
+    }
+
+    /// Add an operator box.
+    pub fn add(&mut self, op: Box<dyn Operator>) -> NodeId {
+        self.nodes.push(op);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Connect `from`'s output to `to`'s input `port`.
+    pub fn connect(&mut self, from: NodeId, to: NodeId, port: usize) -> Result<()> {
+        if from.0 >= self.nodes.len() || to.0 >= self.nodes.len() {
+            return Err(EngineError::InvalidGraph("edge references missing node".into()));
+        }
+        if port >= self.nodes[to.0].num_ports() {
+            return Err(EngineError::InvalidGraph(format!(
+                "operator `{}` has {} ports, edge targets port {port}",
+                self.nodes[to.0].name(),
+                self.nodes[to.0].num_ports()
+            )));
+        }
+        self.edges.push(Edge { from, to, port });
+        Ok(())
+    }
+
+    /// Register a named external stream entering at `node` (port 0 unless
+    /// the node is a join, in which case use `source_at`).
+    pub fn source(&mut self, name: impl Into<String>, node: NodeId) {
+        self.sources.insert(name.into(), node);
+    }
+
+    /// Mark a node's output as a query result.
+    pub fn sink(&mut self, node: NodeId) {
+        if !self.sinks.contains(&node) {
+            self.sinks.push(node);
+        }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Topological order; errors on cycles.
+    fn topo_order(&self) -> Result<Vec<usize>> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            indeg[e.to.0] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            order.push(i);
+            for e in &self.edges {
+                if e.from.0 == i {
+                    indeg[e.to.0] -= 1;
+                    if indeg[e.to.0] == 0 {
+                        queue.push(e.to.0);
+                    }
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(EngineError::InvalidGraph("cycle detected".into()));
+        }
+        Ok(order)
+    }
+
+    /// Single-threaded execution: push each (source, port, tuple) triple
+    /// through the graph in timestamp order, then flush. Returns the
+    /// tuples collected at each sink.
+    ///
+    /// `inputs` associates stream names (registered via [`Self::source`])
+    /// with (port, tuples).
+    pub fn run(
+        &mut self,
+        inputs: Vec<(String, usize, Vec<Tuple>)>,
+    ) -> Result<HashMap<NodeId, Vec<Tuple>>> {
+        let order = self.topo_order()?;
+        let rank: HashMap<usize, usize> =
+            order.iter().enumerate().map(|(r, &i)| (i, r)).collect();
+
+        // Merge all inputs into one timestamp-ordered feed.
+        let mut feed: Vec<(u64, NodeId, usize, Tuple)> = Vec::new();
+        for (name, port, tuples) in inputs {
+            let node = *self
+                .sources
+                .get(&name)
+                .ok_or_else(|| EngineError::InvalidGraph(format!("unknown source `{name}`")))?;
+            for t in tuples {
+                feed.push((t.ts, node, port, t));
+            }
+        }
+        feed.sort_by_key(|(ts, node, port, _)| (*ts, node.0, *port));
+
+        let mut collected: HashMap<NodeId, Vec<Tuple>> = HashMap::new();
+        for s in &self.sinks {
+            collected.insert(*s, Vec::new());
+        }
+
+        // Per-push propagation in topological rank order.
+        for (_, node, port, tuple) in feed {
+            self.propagate(node, port, tuple, &rank, &mut collected);
+        }
+
+        // Flush in topological order, cascading flush outputs downstream.
+        for &i in &order {
+            let outs = self.nodes[i].flush();
+            for t in outs {
+                self.deliver_downstream(NodeId(i), t, &rank, &mut collected);
+            }
+        }
+        Ok(collected)
+    }
+
+    /// Push one tuple into `node` and cascade its outputs.
+    fn propagate(
+        &mut self,
+        node: NodeId,
+        port: usize,
+        tuple: Tuple,
+        rank: &HashMap<usize, usize>,
+        collected: &mut HashMap<NodeId, Vec<Tuple>>,
+    ) {
+        let outs = self.nodes[node.0].process(port, tuple);
+        for t in outs {
+            self.deliver_downstream(node, t, rank, collected);
+        }
+    }
+
+    fn deliver_downstream(
+        &mut self,
+        from: NodeId,
+        tuple: Tuple,
+        rank: &HashMap<usize, usize>,
+        collected: &mut HashMap<NodeId, Vec<Tuple>>,
+    ) {
+        if let Some(bucket) = collected.get_mut(&from) {
+            bucket.push(tuple.clone());
+        }
+        let targets: Vec<(NodeId, usize)> = self
+            .edges
+            .iter()
+            .filter(|e| e.from == from)
+            .map(|e| (e.to, e.port))
+            .collect();
+        for (to, port) in targets {
+            debug_assert!(rank[&to.0] > rank[&from.0], "edges follow topo order");
+            self.propagate(to, port, tuple.clone(), rank, collected);
+        }
+    }
+}
+
+/// Threaded executor: each operator runs on its own thread, connected by
+/// bounded crossbeam channels (backpressure). Inputs are fed through
+/// [`ThreadedExecutor::run`]; sink outputs are returned per node.
+pub struct ThreadedExecutor {
+    channel_capacity: usize,
+}
+
+impl Default for ThreadedExecutor {
+    fn default() -> Self {
+        ThreadedExecutor {
+            channel_capacity: 1024,
+        }
+    }
+}
+
+/// Message flowing between operator threads.
+enum Msg {
+    Data(usize, Tuple),
+    /// One upstream of this port finished; when all inputs of a node are
+    /// done, it flushes and shuts down.
+    Eos,
+}
+
+impl ThreadedExecutor {
+    pub fn new(channel_capacity: usize) -> Self {
+        assert!(channel_capacity > 0);
+        ThreadedExecutor { channel_capacity }
+    }
+
+    /// Run the graph to completion on the given inputs.
+    ///
+    /// Consumes the graph (operators move onto their threads).
+    pub fn run(
+        &self,
+        graph: QueryGraph,
+        inputs: Vec<(String, usize, Vec<Tuple>)>,
+    ) -> Result<HashMap<NodeId, Vec<Tuple>>> {
+        use crossbeam::channel::{bounded, Receiver, Sender};
+
+        let QueryGraph {
+            nodes,
+            edges,
+            sources,
+            sinks,
+        } = graph;
+        let n = nodes.len();
+
+        // Validate acyclicity with a throwaway graph view.
+        {
+            let mut indeg = vec![0usize; n];
+            for e in &edges {
+                indeg[e.to.0] += 1;
+            }
+            let mut seen = 0usize;
+            let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+            let mut indeg2 = indeg.clone();
+            while let Some(i) = queue.pop() {
+                seen += 1;
+                for e in &edges {
+                    if e.from.0 == i {
+                        indeg2[e.to.0] -= 1;
+                        if indeg2[e.to.0] == 0 {
+                            queue.push(e.to.0);
+                        }
+                    }
+                }
+            }
+            if seen != n {
+                return Err(EngineError::InvalidGraph("cycle detected".into()));
+            }
+        }
+
+        // One inbox per node; upstream count per node (for EOS tracking).
+        let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = bounded::<Msg>(self.channel_capacity);
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        let mut upstreams = vec![0usize; n];
+        for e in &edges {
+            upstreams[e.to.0] += 1;
+        }
+        // Source nodes also receive from the driver.
+        let mut driver_feeds = vec![0usize; n];
+        for node in sources.values() {
+            driver_feeds[node.0] += 1;
+        }
+
+        // Sink collection channel.
+        let (sink_tx, sink_rx) = bounded::<(usize, Tuple)>(self.channel_capacity);
+        let sink_set: std::collections::HashSet<usize> = sinks.iter().map(|s| s.0).collect();
+
+        // Downstream map: node -> [(to, port)].
+        let mut downstream: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for e in &edges {
+            downstream[e.from.0].push((e.to.0, e.port));
+        }
+
+        let mut handles = Vec::with_capacity(n);
+        for (i, mut op) in nodes.into_iter().enumerate() {
+            let rx = receivers[i].take().expect("receiver taken once");
+            let outs: Vec<(Sender<Msg>, usize, usize)> = downstream[i]
+                .iter()
+                .map(|&(to, port)| (senders[to].clone(), to, port))
+                .collect();
+            let sink_tx = sink_set.contains(&i).then(|| sink_tx.clone());
+            let expected_eos = upstreams[i] + driver_feeds[i];
+            let handle = std::thread::spawn(move || {
+                let deliver = |outs: &[(Sender<Msg>, usize, usize)],
+                               sink_tx: &Option<Sender<(usize, Tuple)>>,
+                               t: Tuple| {
+                    if let Some(stx) = sink_tx {
+                        let _ = stx.send((i, t.clone()));
+                    }
+                    for (tx, _, port) in outs {
+                        let _ = tx.send(Msg::Data(*port, t.clone()));
+                    }
+                };
+                let mut eos_seen = 0usize;
+                while eos_seen < expected_eos.max(1) {
+                    match rx.recv() {
+                        Ok(Msg::Data(port, t)) => {
+                            for out in op.process(port, t) {
+                                deliver(&outs, &sink_tx, out);
+                            }
+                        }
+                        Ok(Msg::Eos) => {
+                            eos_seen += 1;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for out in op.flush() {
+                    deliver(&outs, &sink_tx, out);
+                }
+                for (tx, _, _) in &outs {
+                    let _ = tx.send(Msg::Eos);
+                }
+            });
+            handles.push(handle);
+        }
+        drop(sink_tx);
+
+        // Drive the inputs in timestamp order.
+        let mut feed: Vec<(u64, usize, usize, Tuple)> = Vec::new();
+        for (name, port, tuples) in inputs {
+            let node = *sources
+                .get(&name)
+                .ok_or_else(|| EngineError::InvalidGraph(format!("unknown source `{name}`")))?;
+            for t in tuples {
+                feed.push((t.ts, node.0, port, t));
+            }
+        }
+        feed.sort_by_key(|(ts, node, port, _)| (*ts, *node, *port));
+        for (_, node, port, t) in feed {
+            senders[node]
+                .send(Msg::Data(port, t))
+                .map_err(|_| EngineError::InvalidGraph("operator thread died".into()))?;
+        }
+        // Signal EOS to driver-fed nodes (once per registered source feed)
+        // and to pure-source nodes with no upstream at all.
+        for i in 0..n {
+            let feeds = driver_feeds[i];
+            for _ in 0..feeds {
+                let _ = senders[i].send(Msg::Eos);
+            }
+            if feeds == 0 && upstreams[i] == 0 {
+                let _ = senders[i].send(Msg::Eos);
+            }
+        }
+        drop(senders);
+
+        let mut collected: HashMap<NodeId, Vec<Tuple>> = HashMap::new();
+        for s in &sinks {
+            collected.insert(*s, Vec::new());
+        }
+        while let Ok((i, t)) = sink_rx.recv() {
+            collected.entry(NodeId(i)).or_default().push(t);
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(collected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{MapOperator, Passthrough};
+    use crate::schema::{DataType, Schema};
+    use crate::value::Value;
+
+    fn t(ts: u64, v: i64) -> Tuple {
+        let s = Schema::builder().field("v", DataType::Int).build();
+        Tuple::new(s, vec![Value::from(v)], ts)
+    }
+
+    fn doubling_graph() -> (QueryGraph, NodeId) {
+        let mut g = QueryGraph::new();
+        let double = g.add(Box::new(MapOperator::new("double", |t: Tuple| {
+            let v = t.int("v").unwrap();
+            let s = t.schema().clone();
+            vec![Tuple::new(s, vec![Value::from(v * 2)], t.ts)]
+        })));
+        let sink = g.add(Box::new(Passthrough::new("sink")));
+        g.connect(double, sink, 0).unwrap();
+        g.source("in", double);
+        g.sink(sink);
+        (g, sink)
+    }
+
+    #[test]
+    fn linear_pipeline_runs() {
+        let (mut g, sink) = doubling_graph();
+        let out = g
+            .run(vec![("in".into(), 0, vec![t(1, 1), t(2, 2)])])
+            .unwrap();
+        let results = &out[&sink];
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].int("v").unwrap(), 2);
+        assert_eq!(results[1].int("v").unwrap(), 4);
+    }
+
+    #[test]
+    fn unknown_source_errors() {
+        let (mut g, _) = doubling_graph();
+        assert!(matches!(
+            g.run(vec![("missing".into(), 0, vec![])]),
+            Err(EngineError::InvalidGraph(_))
+        ));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = QueryGraph::new();
+        let a = g.add(Box::new(Passthrough::new("a")));
+        let b = g.add(Box::new(Passthrough::new("b")));
+        g.connect(a, b, 0).unwrap();
+        g.connect(b, a, 0).unwrap();
+        g.source("in", a);
+        assert!(matches!(
+            g.run(vec![("in".into(), 0, vec![t(0, 0)])]),
+            Err(EngineError::InvalidGraph(_))
+        ));
+    }
+
+    #[test]
+    fn bad_port_rejected_at_connect() {
+        let mut g = QueryGraph::new();
+        let a = g.add(Box::new(Passthrough::new("a")));
+        let b = g.add(Box::new(Passthrough::new("b")));
+        assert!(g.connect(a, b, 5).is_err());
+    }
+
+    #[test]
+    fn fanout_duplicates_tuples() {
+        let mut g = QueryGraph::new();
+        let src = g.add(Box::new(Passthrough::new("src")));
+        let s1 = g.add(Box::new(Passthrough::new("s1")));
+        let s2 = g.add(Box::new(Passthrough::new("s2")));
+        g.connect(src, s1, 0).unwrap();
+        g.connect(src, s2, 0).unwrap();
+        g.source("in", src);
+        g.sink(s1);
+        g.sink(s2);
+        let out = g.run(vec![("in".into(), 0, vec![t(1, 7)])]).unwrap();
+        assert_eq!(out[&s1].len(), 1);
+        assert_eq!(out[&s2].len(), 1);
+    }
+
+    #[test]
+    fn threaded_matches_single_threaded() {
+        let (mut g1, sink1) = doubling_graph();
+        let inputs: Vec<Tuple> = (0..200).map(|i| t(i, i as i64)).collect();
+        let single = g1
+            .run(vec![("in".into(), 0, inputs.clone())])
+            .unwrap()
+            .remove(&sink1)
+            .unwrap();
+
+        let (g2, sink2) = doubling_graph();
+        let exec = ThreadedExecutor::default();
+        let threaded = exec
+            .run(g2, vec![("in".into(), 0, inputs)])
+            .unwrap()
+            .remove(&sink2)
+            .unwrap();
+
+        assert_eq!(single.len(), threaded.len());
+        let mut a: Vec<i64> = single.iter().map(|t| t.int("v").unwrap()).collect();
+        let mut b: Vec<i64> = threaded.iter().map(|t| t.int("v").unwrap()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threaded_flush_cascades() {
+        // A windowed op that only emits on flush must still reach sinks.
+        use crate::ops::aggregate::{AggFunc, AggSpec, Strategy, WindowKind, WindowedAggregate};
+        use crate::updf::Updf;
+        use ustream_prob::dist::Dist;
+
+        let s = Schema::builder()
+            .field("g", DataType::Int)
+            .field("w", DataType::Uncertain)
+            .build();
+        let mk = |ts: u64| {
+            Tuple::new(
+                s.clone(),
+                vec![
+                    Value::from(1i64),
+                    Value::from(Updf::Parametric(Dist::gaussian(1.0, 0.1))),
+                ],
+                ts,
+            )
+        };
+        let mut g = QueryGraph::new();
+        let agg = g.add(Box::new(WindowedAggregate::new(
+            WindowKind::Tumbling(1_000_000),
+            |_| crate::value::GroupKey::Unit,
+            vec![AggSpec {
+                field: "w".into(),
+                func: AggFunc::Sum,
+                out: "total".into(),
+                strategy: Strategy::ExactParametric,
+            }],
+        )));
+        let sink = g.add(Box::new(Passthrough::new("sink")));
+        g.connect(agg, sink, 0).unwrap();
+        g.source("in", agg);
+        g.sink(sink);
+
+        let exec = ThreadedExecutor::default();
+        let out = exec
+            .run(g, vec![("in".into(), 0, (0..5).map(|i| mk(i)).collect())])
+            .unwrap();
+        let results = &out[&sink];
+        assert_eq!(results.len(), 1, "window only closes at flush");
+        assert!((results[0].updf("total").unwrap().mean() - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,86 @@
+//! The data capture & transformation (T) operator contract (§3, §4).
+//!
+//! A T operator is the ingress box of the stream network: "Allocated for
+//! each sensor device … it transforms raw data into a format suitable for
+//! further processing \[and\] includes a probability density function in
+//! each output tuple." The concrete RFID and radar T operators live in
+//! the `ustream-inference` and `radar-sim` crates; this module defines
+//! the trait they implement plus shared conversion helpers.
+
+use crate::tuple::Tuple;
+use crate::updf::{ConversionPolicy, Updf};
+use ustream_prob::samples::WeightedSamples;
+
+/// A data capture & transformation operator over raw readings of type
+/// `Raw`. Unlike [`crate::ops::Operator`] (tuple → tuple), a T operator
+/// consumes *device-format* data and emits uncertain tuples.
+pub trait TransformOperator: Send {
+    /// The device's raw reading type.
+    type Raw;
+
+    /// Ingest one raw reading; emit zero or more uncertain tuples.
+    fn ingest(&mut self, raw: Self::Raw) -> Vec<Tuple>;
+
+    /// Drain any buffered state at end of stream.
+    fn finish(&mut self) -> Vec<Tuple> {
+        Vec::new()
+    }
+
+    /// Human-readable name.
+    fn name(&self) -> &str {
+        "t-operator"
+    }
+}
+
+/// Convert a sample-based posterior into the tuple-level distribution the
+/// policy prescribes (§4.3) — the step between inference and emission.
+pub fn convert_samples(samples: WeightedSamples, policy: &ConversionPolicy) -> Updf {
+    Updf::Samples(samples).compact(policy)
+}
+
+/// Measured size effect of a conversion policy: (bytes before, bytes
+/// after). Used by the ablation bench to reproduce the §4.3 claim that
+/// shipping samples inflates stream volume by 1–2 orders of magnitude.
+pub fn conversion_size_effect(samples: &WeightedSamples, policy: &ConversionPolicy) -> (usize, usize) {
+    let before = Updf::Samples(samples.clone()).payload_bytes();
+    let after = convert_samples(samples.clone(), policy).payload_bytes();
+    (before, after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ustream_prob::dist::{ContinuousDist, Gaussian};
+
+    fn cloud(n: usize) -> WeightedSamples {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = Gaussian::new(5.0, 1.0);
+        WeightedSamples::unweighted((0..n).map(|_| g.sample(&mut rng)).collect())
+    }
+
+    #[test]
+    fn gaussian_conversion_shrinks_payload() {
+        let s = cloud(200);
+        let (before, after) = conversion_size_effect(&s, &ConversionPolicy::FitGaussian);
+        assert_eq!(before, 200 * 16);
+        assert_eq!(after, 16);
+        assert!(before / after >= 100, "1–2 orders of magnitude (§4.3)");
+    }
+
+    #[test]
+    fn keep_samples_keeps_size() {
+        let s = cloud(50);
+        let (before, after) = conversion_size_effect(&s, &ConversionPolicy::KeepSamples);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn converted_distribution_preserves_moments() {
+        let s = cloud(2000);
+        let u = convert_samples(s.clone(), &ConversionPolicy::FitGaussian);
+        assert!((u.mean() - s.mean()).abs() < 1e-9);
+        assert!((u.variance() - s.variance()).abs() < 1e-9);
+    }
+}

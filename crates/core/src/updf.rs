@@ -1,0 +1,355 @@
+//! Tuple-level distributions (the "pdf in each output tuple" of §3).
+//!
+//! [`Updf`] is the payload an uncertain attribute carries through the
+//! query network. It unifies the representations the paper moves between:
+//! sample-based (particle clouds), parametric (Gaussian / mixture /
+//! any [`Dist`]), histogram (CF-inversion output), and multivariate
+//! Gaussian (object locations). Conversion between them follows §4.3:
+//! KL-minimizing Gaussian fits and AIC/BIC-selected mixtures.
+
+use ustream_prob::dist::{ContinuousDist, Dist, Gaussian, MvGaussian};
+use ustream_prob::fit::{select_gmm, EmConfig, ModelSelection};
+use ustream_prob::histogram::HistogramPdf;
+use ustream_prob::samples::{WeightedSamples, WeightedSamplesNd};
+
+/// A tuple-level probability distribution.
+#[derive(Debug, Clone)]
+pub enum Updf {
+    /// Scalar parametric distribution (Gaussian, mixture, truncated…).
+    Parametric(Dist),
+    /// Scalar weighted samples (particle representation).
+    Samples(WeightedSamples),
+    /// Scalar histogram (numeric pdf, e.g. CF-inversion output).
+    Histogram(HistogramPdf),
+    /// Multivariate Gaussian (e.g. an (x, y, z) location).
+    Mv(MvGaussian),
+    /// Multivariate weighted samples (location particle cloud).
+    MvSamples(WeightedSamplesNd),
+}
+
+/// How sample-based distributions are converted to compact forms when a
+/// tuple leaves a T operator (§4.3).
+#[derive(Debug, Clone)]
+pub enum ConversionPolicy {
+    /// Ship the raw samples (the paper's strawman: "increase the stream
+    /// volume by one or two orders of magnitude").
+    KeepSamples,
+    /// Two-scan KL-optimal Gaussian.
+    FitGaussian,
+    /// AIC/BIC-selected Gaussian mixture with at most `max_k` components.
+    FitMixture {
+        max_k: usize,
+        criterion: ModelSelection,
+    },
+}
+
+impl Updf {
+    /// Dimensionality: 1 for scalar forms, d for multivariate.
+    pub fn dim(&self) -> usize {
+        match self {
+            Updf::Mv(mv) => mv.dim(),
+            Updf::MvSamples(s) => s.dim(),
+            _ => 1,
+        }
+    }
+
+    /// True when the payload is sample-based (needs conversion before
+    /// downstream parametric fast paths can apply).
+    pub fn is_sample_based(&self) -> bool {
+        matches!(self, Updf::Samples(_) | Updf::MvSamples(_))
+    }
+
+    /// Scalar mean. Panics for multivariate payloads (use [`Updf::mean_vec`]).
+    pub fn mean(&self) -> f64 {
+        match self {
+            Updf::Parametric(d) => d.mean(),
+            Updf::Samples(s) => s.mean(),
+            Updf::Histogram(h) => h.mean(),
+            Updf::Mv(_) | Updf::MvSamples(_) => {
+                panic!("mean() on multivariate Updf; use mean_vec()")
+            }
+        }
+    }
+
+    /// Scalar variance; panics for multivariate payloads.
+    pub fn variance(&self) -> f64 {
+        match self {
+            Updf::Parametric(d) => d.variance(),
+            Updf::Samples(s) => s.variance(),
+            Updf::Histogram(h) => h.variance(),
+            Updf::Mv(_) | Updf::MvSamples(_) => {
+                panic!("variance() on multivariate Updf")
+            }
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Mean vector for any payload (length = `dim()`).
+    pub fn mean_vec(&self) -> Vec<f64> {
+        match self {
+            Updf::Mv(mv) => mv.mean().to_vec(),
+            Updf::MvSamples(s) => s.mean(),
+            scalar => vec![scalar.mean()],
+        }
+    }
+
+    /// P(X > threshold) for scalar payloads.
+    pub fn prob_above(&self, threshold: f64) -> f64 {
+        match self {
+            Updf::Parametric(d) => d.prob_above(threshold),
+            Updf::Samples(s) => 1.0 - s.cdf(threshold),
+            Updf::Histogram(h) => 1.0 - h.cdf(threshold),
+            _ => panic!("prob_above() on multivariate Updf"),
+        }
+    }
+
+    /// P(lo < X ≤ hi) for scalar payloads.
+    pub fn prob_in(&self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return 0.0;
+        }
+        match self {
+            Updf::Parametric(d) => d.prob_in(lo, hi),
+            Updf::Samples(s) => (s.cdf(hi) - s.cdf(lo)).clamp(0.0, 1.0),
+            Updf::Histogram(h) => (h.cdf(hi) - h.cdf(lo)).clamp(0.0, 1.0),
+            _ => panic!("prob_in() on multivariate Updf"),
+        }
+    }
+
+    /// Scalar quantile.
+    pub fn quantile(&self, p: f64) -> f64 {
+        match self {
+            Updf::Parametric(d) => d.quantile(p),
+            Updf::Samples(s) => s.quantile(p),
+            Updf::Histogram(h) => h.quantile(p),
+            _ => panic!("quantile() on multivariate Updf"),
+        }
+    }
+
+    /// Central confidence interval at `level` for scalar payloads.
+    pub fn confidence_interval(&self, level: f64) -> (f64, f64) {
+        let alpha = (1.0 - level) / 2.0;
+        (self.quantile(alpha), self.quantile(1.0 - alpha))
+    }
+
+    /// Linear transform aX + b, staying in the richest representation
+    /// available (exact for samples/histograms with a ≠ 0; closed form
+    /// for location-scale parametrics).
+    pub fn affine(&self, a: f64, b: f64) -> Updf {
+        match self {
+            Updf::Parametric(d) => Updf::Parametric(d.affine(a, b)),
+            Updf::Samples(s) => {
+                let xs = s.values().iter().map(|&x| a * x + b).collect();
+                Updf::Samples(WeightedSamples::new(xs, s.weights().to_vec()))
+            }
+            Updf::Histogram(h) => {
+                // Exact for a > 0; for a < 0 reverse the bins.
+                if a == 0.0 {
+                    return Updf::Parametric(Dist::gaussian(b, 1e-9));
+                }
+                let masses: Vec<f64> = if a > 0.0 {
+                    h.masses().to_vec()
+                } else {
+                    h.masses().iter().rev().copied().collect()
+                };
+                let lo = if a > 0.0 {
+                    a * h.lo() + b
+                } else {
+                    a * h.hi() + b
+                };
+                Updf::Histogram(HistogramPdf::from_masses(lo, a.abs() * h.bin_width(), masses))
+            }
+            Updf::Mv(_) | Updf::MvSamples(_) => panic!("affine() on multivariate Updf"),
+        }
+    }
+
+    /// Convert to a parametric [`Dist`] under the given policy. Histogram
+    /// payloads fit a Gaussian by moment matching; parametric payloads
+    /// pass through.
+    pub fn to_dist(&self, policy: &ConversionPolicy) -> Dist {
+        match self {
+            Updf::Parametric(d) => d.clone(),
+            Updf::Histogram(h) => {
+                Dist::Gaussian(Gaussian::from_mean_var(h.mean(), h.variance().max(1e-18)))
+            }
+            Updf::Samples(s) => match policy {
+                ConversionPolicy::KeepSamples | ConversionPolicy::FitGaussian => {
+                    Dist::Gaussian(s.fit_gaussian())
+                }
+                ConversionPolicy::FitMixture { max_k, criterion } => {
+                    let sel = select_gmm(s, *max_k, *criterion, &EmConfig::default());
+                    if sel.k == 1 {
+                        Dist::Gaussian(s.fit_gaussian())
+                    } else {
+                        Dist::Mixture(sel.mixture)
+                    }
+                }
+            },
+            Updf::Mv(_) | Updf::MvSamples(_) => panic!("to_dist() on multivariate Updf"),
+        }
+    }
+
+    /// Apply the conversion policy in place: sample payloads become
+    /// compact parametric ones; everything else is untouched. Returns the
+    /// (possibly unchanged) payload — the step a T operator performs
+    /// before emitting a tuple (§4.3).
+    pub fn compact(self, policy: &ConversionPolicy) -> Updf {
+        match (&self, policy) {
+            (_, ConversionPolicy::KeepSamples) => self,
+            (Updf::Samples(_), _) => Updf::Parametric(self.to_dist(policy)),
+            (Updf::MvSamples(s), _) => Updf::Mv(s.fit_mv_gaussian()),
+            _ => self,
+        }
+    }
+
+    /// Marginal along `axis` as a scalar Updf (multivariate payloads).
+    pub fn marginal(&self, axis: usize) -> Updf {
+        match self {
+            Updf::Mv(mv) => Updf::Parametric(Dist::Gaussian(mv.marginal(axis))),
+            Updf::MvSamples(s) => Updf::Samples(s.marginal(axis)),
+            scalar => {
+                assert_eq!(axis, 0, "scalar Updf has only axis 0");
+                scalar.clone()
+            }
+        }
+    }
+
+    /// Approximate in-memory payload size in bytes — the paper's stream-
+    /// volume argument (§4.3: samples inflate the stream by 1–2 orders of
+    /// magnitude; parametric forms are a handful of floats).
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            Updf::Parametric(Dist::Mixture(m)) => m.num_components() * 24,
+            Updf::Parametric(_) => 16,
+            Updf::Samples(s) => s.len() * 16,
+            Updf::Histogram(h) => h.num_bins() * 8 + 16,
+            Updf::Mv(mv) => mv.dim() * 8 + mv.dim() * mv.dim() * 8,
+            Updf::MvSamples(s) => s.len() * (s.dim() + 1) * 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ustream_prob::dist::GaussianMixture;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn scalar_stats_consistent_across_representations() {
+        let g = Dist::gaussian(3.0, 1.0);
+        let para = Updf::Parametric(g.clone());
+        let hist = Updf::Histogram(HistogramPdf::discretize_auto(&g, 512, 8.0));
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..20_000).map(|_| g.sample(&mut rng)).collect();
+        let samp = Updf::Samples(WeightedSamples::unweighted(xs));
+
+        for u in [&para, &hist, &samp] {
+            close(u.mean(), 3.0, 0.05);
+            close(u.variance(), 1.0, 0.05);
+            close(u.prob_above(3.0), 0.5, 0.02);
+            close(u.quantile(0.5), 3.0, 0.05);
+        }
+    }
+
+    #[test]
+    fn affine_on_samples_exact() {
+        let s = Updf::Samples(WeightedSamples::new(vec![1.0, 2.0], vec![0.5, 0.5]));
+        let t = s.affine(2.0, 1.0);
+        close(t.mean(), 4.0, 1e-12);
+        close(t.variance(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn affine_on_histogram_handles_negative_scale() {
+        let h = Updf::Histogram(HistogramPdf::discretize_auto(
+            &Dist::gaussian(1.0, 1.0),
+            256,
+            8.0,
+        ));
+        let t = h.affine(-2.0, 0.0);
+        close(t.mean(), -2.0, 0.02);
+        close(t.variance(), 4.0, 0.1);
+    }
+
+    #[test]
+    fn compact_gaussian_policy() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = Dist::gaussian(0.0, 2.0);
+        let xs: Vec<f64> = (0..500).map(|_| g.sample(&mut rng)).collect();
+        let u = Updf::Samples(WeightedSamples::unweighted(xs));
+        let before = u.payload_bytes();
+        let c = u.compact(&ConversionPolicy::FitGaussian);
+        assert!(matches!(c, Updf::Parametric(Dist::Gaussian(_))));
+        assert!(c.payload_bytes() * 10 < before, "compaction should shrink payload");
+    }
+
+    #[test]
+    fn compact_mixture_policy_detects_bimodal() {
+        // §4.3: object may have moved → two humps → mixture, not Gaussian.
+        let mut rng = StdRng::seed_from_u64(3);
+        let truth = GaussianMixture::from_triples(&[(0.5, -5.0, 0.5), (0.5, 5.0, 0.5)]);
+        let xs: Vec<f64> = (0..1200).map(|_| truth.sample(&mut rng)).collect();
+        let u = Updf::Samples(WeightedSamples::unweighted(xs));
+        let c = u.compact(&ConversionPolicy::FitMixture {
+            max_k: 3,
+            criterion: ModelSelection::Bic,
+        });
+        match c {
+            Updf::Parametric(Dist::Mixture(m)) => assert_eq!(m.num_components(), 2),
+            other => panic!("expected 2-component mixture, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keep_samples_policy_is_identity() {
+        let u = Updf::Samples(WeightedSamples::unweighted(vec![1.0, 2.0, 3.0]));
+        let c = u.clone().compact(&ConversionPolicy::KeepSamples);
+        assert!(c.is_sample_based());
+    }
+
+    #[test]
+    fn multivariate_compaction_and_marginals() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mv = MvGaussian::new(vec![1.0, -1.0], vec![1.0, 0.3, 0.3, 2.0]);
+        let n = 5000;
+        let mut flat = Vec::with_capacity(2 * n);
+        for _ in 0..n {
+            flat.extend(mv.sample(&mut rng));
+        }
+        let u = Updf::MvSamples(WeightedSamplesNd::new(flat, vec![1.0; n], 2));
+        assert_eq!(u.dim(), 2);
+        let c = u.compact(&ConversionPolicy::FitGaussian);
+        match &c {
+            Updf::Mv(fit) => {
+                close(fit.mean()[0], 1.0, 0.1);
+                close(fit.cov_at(0, 1), 0.3, 0.1);
+            }
+            other => panic!("expected Mv, got {other:?}"),
+        }
+        let mx = c.marginal(1);
+        close(mx.mean(), -1.0, 0.1);
+    }
+
+    #[test]
+    fn confidence_interval_contains_mass() {
+        let u = Updf::Parametric(Dist::gaussian(0.0, 1.0));
+        let (lo, hi) = u.confidence_interval(0.9);
+        close(u.prob_in(lo, hi), 0.9, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "multivariate")]
+    fn scalar_stat_on_mv_panics() {
+        let u = Updf::Mv(MvGaussian::isotropic(vec![0.0, 0.0], 1.0));
+        let _ = u.mean();
+    }
+}

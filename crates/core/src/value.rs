@@ -1,0 +1,214 @@
+//! Attribute values: certain scalars plus uncertain distribution payloads.
+
+use crate::updf::Updf;
+
+/// One attribute value inside a tuple.
+///
+/// Certain variants hold exact data (tag ids, timestamps, group labels);
+/// `Uncertain` holds a boxed [`Updf`] — boxed so the common certain case
+/// stays small and moves cheaply through operator queues.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// Milliseconds since the stream epoch.
+    Time(u64),
+    /// An uncertain (continuous random) value carrying its distribution.
+    Uncertain(Box<Updf>),
+}
+
+impl Value {
+    /// Short type name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "Null",
+            Value::Bool(_) => "Bool",
+            Value::Int(_) => "Int",
+            Value::Float(_) => "Float",
+            Value::Str(_) => "Str",
+            Value::Time(_) => "Time",
+            Value::Uncertain(_) => "Uncertain",
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Float view: accepts Float and Int (widened).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_time(&self) -> Option<u64> {
+        match self {
+            Value::Time(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    pub fn as_updf(&self) -> Option<&Updf> {
+        match self {
+            Value::Uncertain(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// Equality for *certain* values only (used by group keys and certain
+    /// predicates); uncertain values never compare equal — conditioning
+    /// on them is the job of probabilistic predicates, not `==`.
+    pub fn certain_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Time(a), Value::Time(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Expected value when a single number is needed: the value itself for
+    /// numerics, the distribution mean for uncertain scalars.
+    pub fn expectation(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::Uncertain(u) if u.dim() == 1 => Some(u.mean()),
+            _ => None,
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<Updf> for Value {
+    fn from(u: Updf) -> Self {
+        Value::Uncertain(Box::new(u))
+    }
+}
+
+/// Hashable group-by key derived from certain attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GroupKey {
+    Unit,
+    Int(i64),
+    Str(String),
+    Pair(Box<GroupKey>, Box<GroupKey>),
+}
+
+impl GroupKey {
+    /// Build from a certain value; floats are rejected (unstable keys).
+    pub fn from_value(v: &Value) -> Option<GroupKey> {
+        match v {
+            Value::Int(i) => Some(GroupKey::Int(*i)),
+            Value::Str(s) => Some(GroupKey::Str(s.clone())),
+            Value::Bool(b) => Some(GroupKey::Int(*b as i64)),
+            Value::Time(t) => Some(GroupKey::Int(*t as i64)),
+            _ => None,
+        }
+    }
+
+    pub fn pair(a: GroupKey, b: GroupKey) -> GroupKey {
+        GroupKey::Pair(Box::new(a), Box::new(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustream_prob::dist::Dist;
+
+    #[test]
+    fn conversions_and_accessors() {
+        assert_eq!(Value::from(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::from(7i64).as_float(), Some(7.0));
+        assert_eq!(Value::from("tag").as_str(), Some("tag"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::Time(99).as_time(), Some(99));
+        assert!(Value::Null.as_float().is_none());
+    }
+
+    #[test]
+    fn certain_eq_semantics() {
+        assert!(Value::from(1i64).certain_eq(&Value::from(1i64)));
+        assert!(!Value::from(1i64).certain_eq(&Value::from(1.0)));
+        let u = Value::from(crate::updf::Updf::Parametric(Dist::gaussian(0.0, 1.0)));
+        assert!(!u.certain_eq(&u.clone()), "uncertain values never ==");
+    }
+
+    #[test]
+    fn expectation_of_uncertain() {
+        let u = Value::from(crate::updf::Updf::Parametric(Dist::gaussian(4.0, 1.0)));
+        assert!((u.expectation().unwrap() - 4.0).abs() < 1e-12);
+        assert!(Value::from("x").expectation().is_none());
+    }
+
+    #[test]
+    fn group_keys() {
+        let a = GroupKey::from_value(&Value::from(3i64)).unwrap();
+        let b = GroupKey::from_value(&Value::from(3i64)).unwrap();
+        assert_eq!(a, b);
+        assert!(GroupKey::from_value(&Value::from(1.5)).is_none());
+        let p = GroupKey::pair(a.clone(), GroupKey::Str("zone".into()));
+        let q = GroupKey::pair(b, GroupKey::Str("zone".into()));
+        assert_eq!(p, q);
+        use std::collections::HashMap;
+        let mut m: HashMap<GroupKey, i32> = HashMap::new();
+        m.insert(p, 1);
+        assert_eq!(m.get(&q), Some(&1));
+    }
+}

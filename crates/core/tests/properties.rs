@@ -1,0 +1,173 @@
+//! Property-based tests for the engine's structural invariants:
+//! windows partition their input, lineage forms a semilattice, selection
+//! composes multiplicatively, and the Poisson–binomial COUNT has the
+//! exact mean/variance.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use ustream_core::lineage::Lineage;
+use ustream_core::ops::aggregate::{AggFunc, AggSpec, Strategy, WindowKind, WindowedAggregate};
+use ustream_core::ops::select::{Predicate, Select};
+use ustream_core::ops::Operator;
+use ustream_core::schema::{DataType, Schema};
+use ustream_core::tuple::Tuple;
+use ustream_core::updf::Updf;
+use ustream_core::value::{GroupKey, Value};
+use ustream_core::window::{CountWindow, SlidingBuffer, TumblingWindow};
+use ustream_prob::dist::Dist;
+
+fn schema() -> Arc<Schema> {
+    Schema::builder()
+        .field("v", DataType::Int)
+        .field("x", DataType::Uncertain)
+        .build()
+}
+
+fn tup(ts: u64, v: i64, mean: f64) -> Tuple {
+    Tuple::new(
+        schema(),
+        vec![
+            Value::from(v),
+            Value::from(Updf::Parametric(Dist::gaussian(mean, 1.0))),
+        ],
+        ts,
+    )
+}
+
+fn lineage_from(ids: Vec<u64>) -> Lineage {
+    let mut l = Lineage::empty();
+    for id in ids {
+        l = l.union(&Lineage::base(id));
+    }
+    l
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tumbling windows partition the input: every pushed tuple comes out
+    /// exactly once across closed batches + flush.
+    #[test]
+    fn tumbling_partitions_input(mut tss in proptest::collection::vec(0u64..50_000, 1..120)) {
+        tss.sort();
+        let mut w = TumblingWindow::new(1_000);
+        let mut seen = 0usize;
+        for &ts in &tss {
+            for b in w.push(tup(ts, 0, 0.0)) {
+                seen += b.tuples.len();
+                // Batch bounds honored for in-order input.
+                for t in &b.tuples {
+                    prop_assert!(t.ts >= b.start && t.ts < b.end);
+                }
+            }
+        }
+        if let Some(b) = w.flush() {
+            seen += b.tuples.len();
+        }
+        prop_assert_eq!(seen, tss.len());
+    }
+
+    /// Count windows emit exact-size batches plus one remainder.
+    #[test]
+    fn count_window_batches_exact(n in 1usize..200, size in 1usize..20) {
+        let mut w = CountWindow::new(size);
+        let mut batches = Vec::new();
+        for i in 0..n {
+            if let Some(b) = w.push(tup(i as u64, 0, 0.0)) {
+                batches.push(b.len());
+            }
+        }
+        let rem = w.flush().map_or(0, |b| b.len());
+        prop_assert!(batches.iter().all(|&b| b == size));
+        prop_assert_eq!(batches.len() * size + rem, n);
+        prop_assert!(rem < size || (n % size == 0 && rem == 0));
+    }
+
+    /// Sliding buffers keep exactly the tuples within range of the newest
+    /// timestamp (for monotone input).
+    #[test]
+    fn sliding_buffer_range_invariant(mut tss in proptest::collection::vec(0u64..100_000, 1..100), range in 1u64..10_000) {
+        tss.sort();
+        let mut buf = SlidingBuffer::new(range);
+        for &ts in &tss {
+            buf.push(tup(ts, 0, 0.0));
+            let newest = ts;
+            for t in buf.iter() {
+                prop_assert!(t.ts + range >= newest, "stale tuple survived");
+            }
+        }
+        // All tuples within range of the final timestamp must be present.
+        let last = *tss.last().unwrap();
+        let expected = tss.iter().filter(|&&t| t + range >= last).count();
+        prop_assert_eq!(buf.len(), expected);
+    }
+
+    /// Lineage union is commutative, associative, idempotent; overlap is
+    /// symmetric and consistent with shared elements.
+    #[test]
+    fn lineage_semilattice(
+        a in proptest::collection::vec(0u64..200, 0..20),
+        b in proptest::collection::vec(0u64..200, 0..20),
+        c in proptest::collection::vec(0u64..200, 0..20),
+    ) {
+        let (la, lb, lc) = (lineage_from(a.clone()), lineage_from(b.clone()), lineage_from(c));
+        prop_assert_eq!(la.union(&lb), lb.union(&la));
+        prop_assert_eq!(la.union(&lb).union(&lc), la.union(&lb.union(&lc)));
+        prop_assert_eq!(la.union(&la), la.clone());
+        prop_assert_eq!(la.overlaps(&lb), lb.overlaps(&la));
+        let shares = a.iter().any(|x| b.contains(x));
+        prop_assert_eq!(la.overlaps(&lb), shares);
+    }
+
+    /// Two selections compose multiplicatively on existence, and the
+    /// survival probability never exceeds either single selection's.
+    #[test]
+    fn select_composes_multiplicatively(mean in -3.0f64..3.0, c1 in -2.0f64..2.0, c2 in -2.0f64..2.0) {
+        let mk = |c: f64| Select::new(Predicate::UncertainAbove("x".into(), c), 0.0)
+            .without_conditioning();
+        let (mut s1, mut s2) = (mk(c1), mk(c2));
+        let t = tup(0, 0, mean);
+        let p1 = Dist::gaussian(mean, 1.0).prob_above(c1);
+        let p2 = Dist::gaussian(mean, 1.0).prob_above(c2);
+        let out1 = s1.process(0, t);
+        prop_assume!(!out1.is_empty());
+        let after1 = out1.into_iter().next().unwrap();
+        prop_assert!((after1.existence - p1).abs() < 1e-9);
+        let out2 = s2.process(0, after1);
+        if !out2.is_empty() {
+            let e = out2[0].existence;
+            prop_assert!((e - p1 * p2).abs() < 1e-9);
+            prop_assert!(e <= p1 + 1e-12 && e <= p2 + 1e-12);
+        }
+    }
+
+    /// Poisson–binomial COUNT: mean = Σeᵢ, variance = Σeᵢ(1−eᵢ), and the
+    /// pmf support is [0, n].
+    #[test]
+    fn count_distribution_exact_moments(es in proptest::collection::vec(0.01f64..0.99, 1..25)) {
+        let mut agg = WindowedAggregate::new(
+            WindowKind::Count(es.len()),
+            |_t: &Tuple| GroupKey::Unit,
+            vec![AggSpec {
+                field: "x".into(),
+                func: AggFunc::Count,
+                out: "cnt".into(),
+                strategy: Strategy::Auto,
+            }],
+        );
+        let mut out = Vec::new();
+        for (i, &e) in es.iter().enumerate() {
+            let mut t = tup(i as u64, 0, 0.0);
+            t.existence = e;
+            out.extend(agg.process(0, t));
+        }
+        out.extend(agg.flush());
+        prop_assert_eq!(out.len(), 1);
+        let cnt = out[0].updf("cnt").unwrap();
+        let want_mean: f64 = es.iter().sum();
+        let want_var: f64 = es.iter().map(|e| e * (1.0 - e)).sum();
+        prop_assert!((cnt.mean() - want_mean).abs() < 1e-6);
+        prop_assert!((cnt.variance() - want_var).abs() < 0.09, "pmf-grid variance within bin correction");
+        prop_assert!(cnt.prob_in(-0.6, es.len() as f64 + 0.5) > 1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,271 @@
+//! Minimal complex arithmetic for characteristic-function work.
+//!
+//! We deliberately avoid an external num-complex dependency; the engine
+//! only needs the handful of operations used by CF products, Gil–Pelaez
+//! inversion, and complex powers for gamma-family CFs.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex64 {
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Purely real complex number.
+    #[inline]
+    pub fn real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// e^{iθ} on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex64 { re: c, im: s }
+    }
+
+    /// Squared modulus |z|².
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus |z|.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument in (−π, π].
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Complex exponential e^z.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        let (s, c) = self.im.sin_cos();
+        Complex64 {
+            re: r * c,
+            im: r * s,
+        }
+    }
+
+    /// Principal natural logarithm.
+    #[inline]
+    pub fn ln(self) -> Self {
+        Complex64 {
+            re: self.abs().ln(),
+            im: self.arg(),
+        }
+    }
+
+    /// Principal power z^p for real exponent p.
+    #[inline]
+    pub fn powf(self, p: f64) -> Self {
+        if self == Complex64::ZERO {
+            return if p == 0.0 {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            };
+        }
+        (self.ln() * p).exp()
+    }
+
+    /// Multiplicative inverse 1/z.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// True if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.inv()
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex64::real(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol,
+            "expected {}+{}i, got {}+{}i",
+            b.re,
+            b.im,
+            a.re,
+            a.im
+        );
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        close(a + b, Complex64::new(4.0, 1.0), 1e-15);
+        close(a - b, Complex64::new(-2.0, 3.0), 1e-15);
+        close(a * b, Complex64::new(5.0, 5.0), 1e-15);
+        close((a / b) * b, a, 1e-14);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        close(Complex64::I * Complex64::I, Complex64::real(-1.0), 1e-15);
+    }
+
+    #[test]
+    fn exp_and_ln_roundtrip() {
+        let z = Complex64::new(0.3, -1.2);
+        close(z.exp().ln(), z, 1e-13);
+        // Euler: e^{iπ} = −1
+        close(
+            Complex64::new(0.0, std::f64::consts::PI).exp(),
+            Complex64::real(-1.0),
+            1e-14,
+        );
+    }
+
+    #[test]
+    fn cis_matches_exp() {
+        for &t in &[0.0, 0.5, -2.0, 3.1] {
+            close(Complex64::cis(t), Complex64::new(0.0, t).exp(), 1e-14);
+        }
+    }
+
+    #[test]
+    fn powf_of_real_matches_scalar() {
+        let z = Complex64::real(2.0);
+        close(z.powf(10.0), Complex64::real(1024.0), 1e-10);
+        // (1 + i)^2 = 2i
+        close(
+            Complex64::new(1.0, 1.0).powf(2.0),
+            Complex64::new(0.0, 2.0),
+            1e-13,
+        );
+    }
+
+    #[test]
+    fn inv_times_self_is_one() {
+        let z = Complex64::new(-0.7, 2.4);
+        close(z * z.inv(), Complex64::ONE, 1e-14);
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        close(z * z.conj(), Complex64::real(25.0), 1e-12);
+    }
+}

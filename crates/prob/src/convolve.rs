@@ -1,0 +1,272 @@
+//! Exact and approximate sum rules for independent random variables.
+//!
+//! "For many typical database operations such as aggregation … we can
+//! devise efficient algorithms for exact derivation of result
+//! distributions" (§1). This module holds the closed-form fast paths the
+//! aggregation operator tries before falling back to CF machinery:
+//!
+//! - Gaussian ⊕ Gaussian (and any number of Gaussians) — exact.
+//! - Gamma ⊕ Gamma with a common scale — exact.
+//! - mixture ⊕ mixture — exact, component-product expansion with a cap.
+//! - CLT approximation — "the computation cost … is almost zero" (§5.1).
+
+use crate::dist::{
+    ContinuousDist, Dist, GammaDist, Gaussian, GaussianMixture, MixtureComponent,
+};
+use crate::moments::Cumulants;
+
+/// Maximum number of mixture components an exact mixture convolution may
+/// produce before we refuse (caller should fall back to CF approximation).
+pub const MIXTURE_EXPANSION_CAP: usize = 64;
+
+/// Try to derive the exact distribution of ΣXᵢ in closed form.
+///
+/// Returns `None` when no closed form is known (or the mixture expansion
+/// would exceed [`MIXTURE_EXPANSION_CAP`]); callers then choose CF
+/// inversion, CF approximation, or sampling.
+pub fn exact_sum(terms: &[Dist]) -> Option<Dist> {
+    if terms.is_empty() {
+        return None;
+    }
+    if terms.len() == 1 {
+        return Some(terms[0].clone());
+    }
+
+    // All-Gaussian fast path.
+    if terms.iter().all(|d| matches!(d, Dist::Gaussian(_))) {
+        let gs: Vec<Gaussian> = terms
+            .iter()
+            .map(|d| match d {
+                Dist::Gaussian(g) => *g,
+                _ => unreachable!(),
+            })
+            .collect();
+        return Gaussian::sum_of(&gs).map(Dist::Gaussian);
+    }
+
+    // All-Gamma with common scale: shapes add.
+    if terms.iter().all(|d| matches!(d, Dist::Gamma(_))) {
+        let gammas: Vec<&GammaDist> = terms
+            .iter()
+            .map(|d| match d {
+                Dist::Gamma(g) => g,
+                _ => unreachable!(),
+            })
+            .collect();
+        let scale = gammas[0].scale();
+        if gammas
+            .iter()
+            .all(|g| (g.scale() - scale).abs() <= 1e-12 * scale)
+        {
+            let shape: f64 = gammas.iter().map(|g| g.shape()).sum();
+            return Some(Dist::Gamma(GammaDist::new(shape, scale)));
+        }
+        return None;
+    }
+
+    // Gaussian/mixture terms: exact convolution is a mixture over the
+    // cross product of components. Only worthwhile while small.
+    if terms
+        .iter()
+        .all(|d| matches!(d, Dist::Gaussian(_) | Dist::Mixture(_)))
+    {
+        let mut acc: Vec<(f64, f64, f64)> = vec![(1.0, 0.0, 0.0)]; // (w, μ, σ²)
+        for d in terms {
+            let comps: Vec<(f64, f64, f64)> = match d {
+                Dist::Gaussian(g) => vec![(1.0, g.mean(), g.variance())],
+                Dist::Mixture(m) => m
+                    .components()
+                    .iter()
+                    .map(|c| (c.weight, c.dist.mean(), c.dist.variance()))
+                    .collect(),
+                _ => unreachable!(),
+            };
+            if acc.len() * comps.len() > MIXTURE_EXPANSION_CAP {
+                return None;
+            }
+            let mut next = Vec::with_capacity(acc.len() * comps.len());
+            for &(wa, ma, va) in &acc {
+                for &(wb, mb, vb) in &comps {
+                    next.push((wa * wb, ma + mb, va + vb));
+                }
+            }
+            acc = next;
+        }
+        let comps = acc
+            .into_iter()
+            .map(|(w, m, v)| MixtureComponent {
+                weight: w,
+                dist: Gaussian::from_mean_var(m, v.max(1e-18)),
+            })
+            .collect();
+        return Some(Dist::Mixture(GaussianMixture::new(comps)));
+    }
+
+    None
+}
+
+/// Central-Limit-Theorem approximation of ΣXᵢ for independent terms:
+/// N(Σμᵢ, Σσᵢ²). Two additions per tuple — the cheapest strategy, valid
+/// "when the number of the effective summands is fairly large" (§5.1).
+pub fn clt_sum(terms: &[Dist]) -> Gaussian {
+    assert!(!terms.is_empty());
+    let mut cum = Cumulants::default();
+    for t in terms {
+        cum = cum.add(&Cumulants::of(t));
+    }
+    Gaussian::from_mean_var(cum.k1, cum.k2.max(1e-18))
+}
+
+/// Berry–Esseen-style adequacy heuristic for the CLT path: the ratio of
+/// summed third absolute moments to the 3/2 power of total variance.
+/// Small values ⇒ the Gaussian approximation is trustworthy.
+pub fn clt_adequacy(terms: &[Dist]) -> f64 {
+    let var: f64 = terms.iter().map(|d| d.variance()).sum();
+    if var <= 0.0 {
+        return f64::INFINITY;
+    }
+    // Use |κ₃| as a proxy for the absolute third moment (exact for
+    // symmetric distributions up to a constant; fine as a heuristic).
+    let third: f64 = terms.iter().map(|d| d.cumulant3().abs()).sum();
+    third / var.powf(1.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::tv_distance_grid_dists;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn gaussian_sum_exact() {
+        let terms = vec![Dist::gaussian(1.0, 1.0), Dist::gaussian(2.0, 2.0)];
+        match exact_sum(&terms).unwrap() {
+            Dist::Gaussian(g) => {
+                close(g.mean(), 3.0, 1e-14);
+                close(g.variance(), 5.0, 1e-14);
+            }
+            other => panic!("expected Gaussian, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gamma_common_scale_sums_shapes() {
+        let terms = vec![
+            Dist::Gamma(GammaDist::new(2.0, 1.5)),
+            Dist::Gamma(GammaDist::new(3.0, 1.5)),
+        ];
+        match exact_sum(&terms).unwrap() {
+            Dist::Gamma(g) => {
+                close(g.shape(), 5.0, 1e-12);
+                close(g.scale(), 1.5, 1e-12);
+            }
+            other => panic!("expected Gamma, got {other:?}"),
+        }
+        // Mismatched scales: no closed form.
+        let mixed = vec![
+            Dist::Gamma(GammaDist::new(2.0, 1.0)),
+            Dist::Gamma(GammaDist::new(2.0, 2.0)),
+        ];
+        assert!(exact_sum(&mixed).is_none());
+    }
+
+    #[test]
+    fn mixture_convolution_expands_components() {
+        let m = Dist::Mixture(GaussianMixture::from_triples(&[
+            (0.5, -1.0, 0.5),
+            (0.5, 1.0, 0.5),
+        ]));
+        let g = Dist::gaussian(10.0, 1.0);
+        match exact_sum(&[m, g]).unwrap() {
+            Dist::Mixture(out) => {
+                assert_eq!(out.num_components(), 2);
+                close(out.mean(), 10.0, 1e-12);
+            }
+            other => panic!("expected mixture, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixture_expansion_respects_cap() {
+        // 2^7 = 128 > 64 ⇒ refuse.
+        let bi = Dist::Mixture(GaussianMixture::from_triples(&[
+            (0.5, -1.0, 0.3),
+            (0.5, 1.0, 0.3),
+        ]));
+        let terms: Vec<Dist> = (0..7).map(|_| bi.clone()).collect();
+        assert!(exact_sum(&terms).is_none());
+        // 2^5 = 32 ≤ 64 ⇒ fine.
+        let ok: Vec<Dist> = (0..5).map(|_| bi.clone()).collect();
+        assert!(exact_sum(&ok).is_some());
+    }
+
+    #[test]
+    fn mixture_convolution_matches_cf_inversion() {
+        let m1 = Dist::Mixture(GaussianMixture::from_triples(&[
+            (0.3, -2.0, 0.6),
+            (0.7, 1.0, 0.9),
+        ]));
+        let m2 = Dist::gaussian(0.5, 1.2);
+        let exact = exact_sum(&[m1.clone(), m2.clone()]).unwrap();
+        let sum = crate::cf::CfSum::new(vec![m1, m2]);
+        let hist = sum.invert_to_histogram(512, 8.0);
+        let tv = crate::metrics::tv_distance_grid(&exact, &hist);
+        assert!(tv < 0.01, "exact vs inversion TV = {tv}");
+    }
+
+    #[test]
+    fn clt_matches_exact_moments() {
+        let terms: Vec<Dist> = (0..30).map(|_| Dist::uniform(0.0, 1.0)).collect();
+        let g = clt_sum(&terms);
+        close(g.mean(), 15.0, 1e-12);
+        close(g.variance(), 30.0 / 12.0, 1e-12);
+    }
+
+    #[test]
+    fn clt_close_to_truth_for_many_uniforms() {
+        // Irwin–Hall(30) is extremely close to its CLT Gaussian.
+        let terms: Vec<Dist> = (0..30).map(|_| Dist::uniform(0.0, 1.0)).collect();
+        let g = Dist::Gaussian(clt_sum(&terms));
+        let sum = crate::cf::CfSum::new(terms);
+        let hist = sum.invert_to_histogram(512, 8.0);
+        let tv = crate::metrics::tv_distance_grid(&g, &hist);
+        assert!(tv < 0.01, "CLT vs exact TV = {tv}");
+    }
+
+    #[test]
+    fn clt_adequacy_decreases_with_n() {
+        let few: Vec<Dist> = (0..3)
+            .map(|_| Dist::Exponential(crate::dist::Exponential::new(1.0)))
+            .collect();
+        let many: Vec<Dist> = (0..100)
+            .map(|_| Dist::Exponential(crate::dist::Exponential::new(1.0)))
+            .collect();
+        assert!(clt_adequacy(&many) < clt_adequacy(&few));
+    }
+
+    #[test]
+    fn empty_and_singleton_behaviour() {
+        assert!(exact_sum(&[]).is_none());
+        let single = vec![Dist::gaussian(1.0, 1.0)];
+        let out = exact_sum(&single).unwrap();
+        close(out.mean(), 1.0, 1e-14);
+    }
+
+    #[test]
+    fn clt_vs_exact_tv_shrinks_with_n() {
+        let make = |n: usize| -> f64 {
+            let terms: Vec<Dist> = (0..n)
+                .map(|_| Dist::Exponential(crate::dist::Exponential::new(1.0)))
+                .collect();
+            let g = Dist::Gaussian(clt_sum(&terms));
+            let exact = Dist::Gamma(GammaDist::new(n as f64, 1.0));
+            tv_distance_grid_dists(&g, &exact)
+        };
+        let (tv5, tv50) = (make(5), make(50));
+        assert!(tv50 < tv5, "tv50={tv50} should beat tv5={tv5}");
+        assert!(tv50 < 0.06);
+    }
+}

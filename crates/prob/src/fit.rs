@@ -1,0 +1,314 @@
+//! Fitting parametric distributions to weighted samples (§4.3).
+//!
+//! Beyond the closed-form Gaussian KL fit (in [`crate::samples`]), the
+//! paper calls for "more flexible distributions … a mixture of Gaussians
+//! may be appropriate … Selecting the number of mixture components …
+//! can be done using standard model selection techniques such as Akaike
+//! Information Criterion (AIC) and the Bayesian Information Criterion
+//! (BIC)". This module implements weighted EM for 1-D Gaussian mixtures
+//! and AIC/BIC model selection over the component count.
+
+use crate::dist::{ContinuousDist, Gaussian, GaussianMixture, MixtureComponent};
+use crate::samples::WeightedSamples;
+
+/// Configuration for the weighted EM fitter.
+#[derive(Debug, Clone)]
+pub struct EmConfig {
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Relative log-likelihood improvement below which EM stops.
+    pub tol: f64,
+    /// Floor on component variances (prevents singular collapse).
+    pub var_floor: f64,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        EmConfig {
+            max_iters: 200,
+            tol: 1e-8,
+            var_floor: 1e-9,
+        }
+    }
+}
+
+/// Result of one EM fit.
+#[derive(Debug, Clone)]
+pub struct GmmFit {
+    pub mixture: GaussianMixture,
+    /// Weighted log-likelihood at convergence (scaled by sample count).
+    pub log_likelihood: f64,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+/// Fit a k-component Gaussian mixture to weighted samples with EM.
+///
+/// The sample weights enter the E-step responsibilities multiplicatively,
+/// so the particle filter's weighted clouds fit directly without
+/// resampling first. Returns `None` if the data cannot support `k`
+/// components (fewer distinct values than components).
+pub fn fit_gmm_weighted(samples: &WeightedSamples, k: usize, cfg: &EmConfig) -> Option<GmmFit> {
+    assert!(k >= 1);
+    let n = samples.len();
+    if n < k {
+        return None;
+    }
+    // Count distinct values cheaply.
+    {
+        let mut vals: Vec<f64> = samples.values().to_vec();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        vals.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        if vals.len() < k {
+            return None;
+        }
+    }
+
+    // Init: means at spread quantiles, shared variance from the data.
+    let global_var = samples.variance().max(cfg.var_floor);
+    let mut means: Vec<f64> = (0..k)
+        .map(|i| samples.quantile((i as f64 + 0.5) / k as f64))
+        .collect();
+    let mut vars = vec![(global_var / k as f64).max(cfg.var_floor); k];
+    let mut weights = vec![1.0 / k as f64; k];
+
+    let scale = n as f64; // treat normalized weights as fractional counts of n
+    let mut prev_ll = f64::NEG_INFINITY;
+    let mut resp = vec![0.0f64; n * k];
+    let mut iterations = 0;
+
+    for iter in 0..cfg.max_iters {
+        iterations = iter + 1;
+        // E-step: responsibilities r_{ij} ∝ w_j · N(x_i; μ_j, σ_j²).
+        let comps: Vec<Gaussian> = means
+            .iter()
+            .zip(vars.iter())
+            .map(|(&m, &v)| Gaussian::from_mean_var(m, v.max(cfg.var_floor)))
+            .collect();
+        let mut ll = 0.0;
+        for (i, (x, wi)) in samples.iter().enumerate() {
+            // log-sum-exp over components for stability.
+            let mut logs = [f64::NEG_INFINITY; 32];
+            let logs = &mut logs[..k.min(32)];
+            let mut heap_logs;
+            let logs: &mut [f64] = if k <= 32 {
+                logs
+            } else {
+                heap_logs = vec![f64::NEG_INFINITY; k];
+                &mut heap_logs
+            };
+            for j in 0..k {
+                logs[j] = weights[j].max(1e-300).ln() + comps[j].ln_pdf(x);
+            }
+            let max_l = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let denom: f64 = logs.iter().map(|&l| (l - max_l).exp()).sum();
+            ll += wi * scale * (max_l + denom.ln());
+            for j in 0..k {
+                resp[i * k + j] = wi * ((logs[j] - max_l).exp() / denom);
+            }
+        }
+
+        // M-step.
+        for j in 0..k {
+            let rj: f64 = (0..n).map(|i| resp[i * k + j]).sum();
+            if rj <= 1e-300 {
+                // Dead component: re-seed at a random-ish quantile.
+                means[j] = samples.quantile(((j as f64) + 0.37) / k as f64);
+                vars[j] = global_var;
+                weights[j] = 1e-6;
+                continue;
+            }
+            let mu: f64 = (0..n)
+                .map(|i| resp[i * k + j] * samples.values()[i])
+                .sum::<f64>()
+                / rj;
+            let var: f64 = (0..n)
+                .map(|i| {
+                    let d = samples.values()[i] - mu;
+                    resp[i * k + j] * d * d
+                })
+                .sum::<f64>()
+                / rj;
+            means[j] = mu;
+            vars[j] = var.max(cfg.var_floor);
+            weights[j] = rj;
+        }
+        let wsum: f64 = weights.iter().sum();
+        for w in weights.iter_mut() {
+            *w /= wsum;
+        }
+
+        if (ll - prev_ll).abs() <= cfg.tol * (1.0 + ll.abs()) {
+            prev_ll = ll;
+            break;
+        }
+        prev_ll = ll;
+    }
+
+    let mixture = GaussianMixture::new(
+        (0..k)
+            .map(|j| MixtureComponent {
+                weight: weights[j],
+                dist: Gaussian::from_mean_var(means[j], vars[j].max(cfg.var_floor)),
+            })
+            .collect(),
+    );
+    Some(GmmFit {
+        mixture,
+        log_likelihood: prev_ll,
+        iterations,
+    })
+}
+
+/// Model-selection criterion for choosing the component count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelSelection {
+    /// AIC = 2p − 2·lnL.
+    Aic,
+    /// BIC = p·ln n − 2·lnL (penalizes harder; the paper names both).
+    Bic,
+}
+
+impl ModelSelection {
+    fn score(&self, ll: f64, params: usize, n: usize) -> f64 {
+        match self {
+            ModelSelection::Aic => 2.0 * params as f64 - 2.0 * ll,
+            ModelSelection::Bic => params as f64 * (n as f64).ln() - 2.0 * ll,
+        }
+    }
+}
+
+/// Outcome of model selection over k = 1..=max_k.
+#[derive(Debug, Clone)]
+pub struct GmmSelection {
+    /// The winning mixture.
+    pub mixture: GaussianMixture,
+    /// Chosen component count.
+    pub k: usize,
+    /// (k, criterion score) for every candidate that could be fitted.
+    pub scores: Vec<(usize, f64)>,
+}
+
+/// Fit mixtures with 1..=max_k components and pick the count minimizing
+/// the chosen criterion — the paper's §4.3 procedure for deciding how many
+/// "humps" a tuple-level distribution needs.
+pub fn select_gmm(
+    samples: &WeightedSamples,
+    max_k: usize,
+    criterion: ModelSelection,
+    cfg: &EmConfig,
+) -> GmmSelection {
+    assert!(max_k >= 1);
+    let n = samples.len();
+    let mut best: Option<(f64, usize, GaussianMixture)> = None;
+    let mut scores = Vec::new();
+    for k in 1..=max_k {
+        let Some(fit) = fit_gmm_weighted(samples, k, cfg) else {
+            continue;
+        };
+        let params = 3 * k - 1; // k means, k variances, k−1 free weights
+        let score = criterion.score(fit.log_likelihood, params, n);
+        scores.push((k, score));
+        let better = match &best {
+            None => true,
+            Some((s, _, _)) => score < *s,
+        };
+        if better {
+            best = Some((score, k, fit.mixture));
+        }
+    }
+    let (_, k, mixture) = best.expect("k=1 fit always succeeds for non-empty samples");
+    GmmSelection { mixture, k, scores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    fn draw(mix: &GaussianMixture, n: usize, seed: u64) -> WeightedSamples {
+        let mut rng = StdRng::seed_from_u64(seed);
+        WeightedSamples::unweighted((0..n).map(|_| mix.sample(&mut rng)).collect())
+    }
+
+    #[test]
+    fn single_component_matches_moment_fit() {
+        let truth = GaussianMixture::from_triples(&[(1.0, 2.0, 1.5)]);
+        let s = draw(&truth, 3000, 1);
+        let fit = fit_gmm_weighted(&s, 1, &EmConfig::default()).unwrap();
+        close(fit.mixture.mean(), s.mean(), 1e-6);
+        close(fit.mixture.variance(), s.variance(), 1e-5);
+    }
+
+    #[test]
+    fn recovers_well_separated_bimodal() {
+        let truth = GaussianMixture::from_triples(&[(0.4, -5.0, 0.8), (0.6, 5.0, 1.0)]);
+        let s = draw(&truth, 4000, 2);
+        let fit = fit_gmm_weighted(&s, 2, &EmConfig::default()).unwrap();
+        let mut comps: Vec<_> = fit.mixture.components().to_vec();
+        comps.sort_by(|a, b| a.dist.mean().partial_cmp(&b.dist.mean()).unwrap());
+        close(comps[0].dist.mean(), -5.0, 0.15);
+        close(comps[1].dist.mean(), 5.0, 0.15);
+        close(comps[0].weight, 0.4, 0.03);
+    }
+
+    #[test]
+    fn weighted_samples_shift_the_fit() {
+        // Same values, weights concentrated on the right cluster.
+        let xs: Vec<f64> = vec![-5.0, -4.9, -5.1, 5.0, 4.9, 5.1];
+        let ws = vec![0.01, 0.01, 0.01, 1.0, 1.0, 1.0];
+        let s = WeightedSamples::new(xs, ws);
+        let fit = fit_gmm_weighted(&s, 1, &EmConfig::default()).unwrap();
+        assert!(fit.mixture.mean() > 4.0, "mean {}", fit.mixture.mean());
+    }
+
+    #[test]
+    fn returns_none_when_insufficient_distinct_values() {
+        let s = WeightedSamples::unweighted(vec![1.0, 1.0, 1.0]);
+        assert!(fit_gmm_weighted(&s, 2, &EmConfig::default()).is_none());
+        assert!(fit_gmm_weighted(&s, 1, &EmConfig::default()).is_some());
+    }
+
+    #[test]
+    fn bic_picks_one_component_for_unimodal() {
+        let truth = GaussianMixture::from_triples(&[(1.0, 0.0, 1.0)]);
+        let s = draw(&truth, 1500, 3);
+        let sel = select_gmm(&s, 3, ModelSelection::Bic, &EmConfig::default());
+        assert_eq!(sel.k, 1, "scores: {:?}", sel.scores);
+    }
+
+    #[test]
+    fn bic_picks_two_components_for_bimodal() {
+        // The §4.3 scenario: object may have moved shelves → two humps.
+        let truth = GaussianMixture::from_triples(&[(0.5, -4.0, 0.5), (0.5, 4.0, 0.5)]);
+        let s = draw(&truth, 1500, 4);
+        let sel = select_gmm(&s, 3, ModelSelection::Bic, &EmConfig::default());
+        assert_eq!(sel.k, 2, "scores: {:?}", sel.scores);
+    }
+
+    #[test]
+    fn aic_never_scores_worse_fit_better() {
+        let truth = GaussianMixture::from_triples(&[(0.5, -3.0, 0.7), (0.5, 3.0, 0.7)]);
+        let s = draw(&truth, 1000, 5);
+        let sel = select_gmm(&s, 3, ModelSelection::Aic, &EmConfig::default());
+        // k = 2 must beat k = 1 on AIC for clearly bimodal data.
+        let score = |k: usize| sel.scores.iter().find(|(kk, _)| *kk == k).map(|(_, s)| *s);
+        if let (Some(s1), Some(s2)) = (score(1), score(2)) {
+            assert!(s2 < s1, "AIC(2)={s2} should beat AIC(1)={s1}");
+        }
+    }
+
+    #[test]
+    fn em_is_deterministic_for_fixed_input() {
+        let truth = GaussianMixture::from_triples(&[(0.5, -2.0, 0.5), (0.5, 2.0, 0.5)]);
+        let s = draw(&truth, 500, 6);
+        let a = fit_gmm_weighted(&s, 2, &EmConfig::default()).unwrap();
+        let b = fit_gmm_weighted(&s, 2, &EmConfig::default()).unwrap();
+        close(a.log_likelihood, b.log_likelihood, 0.0);
+    }
+}

@@ -1,0 +1,426 @@
+//! Histogram (piecewise-constant) pdfs.
+//!
+//! Two roles in the reproduction:
+//!
+//! 1. A generic numeric pdf representation — the output format of the
+//!    exact characteristic-function inversion ("exact result
+//!    distribution" used as the calibration baseline in Table 2).
+//! 2. The **histogram-based sampling algorithm** of Ge & Zdonik \[25\],
+//!    Table 2's first contender: discretize each input pdf into buckets,
+//!    convolve bucket mass vectors pairwise, re-discretizing to a fixed
+//!    bucket budget after each step.
+
+use crate::dist::{ContinuousDist, Dist};
+use rand::{Rng, RngCore};
+
+/// A probability histogram: `masses[i]` is the probability of the bin
+/// `[lo + i·width, lo + (i+1)·width)`; masses sum to 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramPdf {
+    lo: f64,
+    width: f64,
+    masses: Vec<f64>,
+}
+
+impl HistogramPdf {
+    /// Build from raw bin masses (normalized on construction).
+    pub fn from_masses(lo: f64, width: f64, masses: Vec<f64>) -> Self {
+        assert!(width > 0.0 && width.is_finite(), "bin width must be positive");
+        assert!(!masses.is_empty(), "need at least one bin");
+        let total: f64 = masses.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "masses must have positive finite sum, got {total}"
+        );
+        let masses = masses
+            .into_iter()
+            .map(|m| {
+                assert!(m >= -1e-12, "negative bin mass");
+                (m / total).max(0.0)
+            })
+            .collect();
+        HistogramPdf { lo, width, masses }
+    }
+
+    /// Discretize a distribution over `[lo, hi]` into `bins` equal bins
+    /// using exact cdf differences (mass outside the range is folded into
+    /// the boundary bins so no probability is lost).
+    pub fn discretize(dist: &Dist, lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins >= 1 && hi > lo);
+        let width = (hi - lo) / bins as f64;
+        let mut masses = Vec::with_capacity(bins);
+        let mut prev = 0.0f64; // cdf at current left edge, starting at -inf
+        for i in 0..bins {
+            let right = if i + 1 == bins {
+                1.0
+            } else {
+                dist.cdf(lo + (i + 1) as f64 * width)
+            };
+            masses.push((right - prev).max(0.0));
+            prev = right;
+        }
+        HistogramPdf::from_masses(lo, width, masses)
+    }
+
+    /// Discretize covering the distribution's `span_sigmas`-sigma range.
+    pub fn discretize_auto(dist: &Dist, bins: usize, span_sigmas: f64) -> Self {
+        let (mu, sd) = (dist.mean(), dist.std_dev().max(1e-12));
+        HistogramPdf::discretize(dist, mu - span_sigmas * sd, mu + span_sigmas * sd, bins)
+    }
+
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    pub fn hi(&self) -> f64 {
+        self.lo + self.width * self.masses.len() as f64
+    }
+
+    pub fn bin_width(&self) -> f64 {
+        self.width
+    }
+
+    pub fn num_bins(&self) -> usize {
+        self.masses.len()
+    }
+
+    pub fn masses(&self) -> &[f64] {
+        &self.masses
+    }
+
+    /// Bin-centre x coordinates.
+    pub fn centers(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.masses.len()).map(move |i| self.lo + (i as f64 + 0.5) * self.width)
+    }
+
+    /// Density at `x` (mass / width within the containing bin).
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x >= self.hi() {
+            return 0.0;
+        }
+        let i = ((x - self.lo) / self.width) as usize;
+        self.masses[i.min(self.masses.len() - 1)] / self.width
+    }
+
+    /// Piecewise-linear cdf.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lo {
+            return 0.0;
+        }
+        if x >= self.hi() {
+            return 1.0;
+        }
+        let pos = (x - self.lo) / self.width;
+        let i = pos as usize;
+        let frac = pos - i as f64;
+        let below: f64 = self.masses[..i].iter().sum();
+        below + self.masses[i.min(self.masses.len() - 1)] * frac
+    }
+
+    /// Quantile by walking the bins.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p));
+        let mut acc = 0.0;
+        for (i, &m) in self.masses.iter().enumerate() {
+            if acc + m >= p {
+                let frac = if m > 0.0 { (p - acc) / m } else { 0.0 };
+                return self.lo + (i as f64 + frac) * self.width;
+            }
+            acc += m;
+        }
+        self.hi()
+    }
+
+    /// Mean via bin centres.
+    pub fn mean(&self) -> f64 {
+        self.centers()
+            .zip(self.masses.iter())
+            .map(|(c, &m)| c * m)
+            .sum()
+    }
+
+    /// Variance via bin centres plus the within-bin uniform correction
+    /// width²/12.
+    pub fn variance(&self) -> f64 {
+        let mu = self.mean();
+        let between: f64 = self
+            .centers()
+            .zip(self.masses.iter())
+            .map(|(c, &m)| m * (c - mu) * (c - mu))
+            .sum();
+        between + self.width * self.width / 12.0
+    }
+
+    /// Sample a value: pick a bin by mass, uniform within the bin.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let u: f64 = rng.gen::<f64>();
+        let mut acc = 0.0;
+        for (i, &m) in self.masses.iter().enumerate() {
+            acc += m;
+            if u <= acc {
+                return self.lo + (i as f64 + rng.gen::<f64>()) * self.width;
+            }
+        }
+        self.hi() - self.width * rng.gen::<f64>()
+    }
+
+    /// Exact convolution of two histograms with equal bin width: the
+    /// distribution of X + Y for independent X, Y.
+    pub fn convolve(&self, other: &HistogramPdf) -> HistogramPdf {
+        assert!(
+            (self.width - other.width).abs() <= 1e-9 * self.width,
+            "convolution requires equal bin widths ({} vs {})",
+            self.width,
+            other.width
+        );
+        let n = self.masses.len();
+        let m = other.masses.len();
+        let mut out = vec![0.0; n + m - 1];
+        for (i, &a) in self.masses.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            for (j, &b) in other.masses.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        // Bin i of self has centre lo_a + (i+½)w; bin j of other has
+        // centre lo_b + (j+½)w; their sum lands at lo_a + lo_b + (i+j+1)w,
+        // so the output grid starts half a bin later than lo_a + lo_b.
+        HistogramPdf::from_masses(self.lo + other.lo + 0.5 * self.width, self.width, out)
+    }
+
+    /// Re-discretize onto `bins` equal bins spanning the current range.
+    /// This is the lossy step of the Ge–Zdonik pipeline that keeps the
+    /// running convolution at a fixed budget.
+    pub fn rebin(&self, bins: usize) -> HistogramPdf {
+        assert!(bins >= 1);
+        if bins == self.masses.len() {
+            return self.clone();
+        }
+        let new_width = (self.hi() - self.lo) / bins as f64;
+        let mut out = vec![0.0; bins];
+        for (i, &m) in self.masses.iter().enumerate() {
+            if m == 0.0 {
+                continue;
+            }
+            // Spread this bin's mass over the overlapping new bins.
+            let a = self.lo + i as f64 * self.width;
+            let b = a + self.width;
+            let j0 = ((a - self.lo) / new_width) as usize;
+            let j1 = (((b - self.lo) / new_width).ceil() as usize).min(bins);
+            for (j, slot) in out.iter_mut().enumerate().take(j1).skip(j0) {
+                let ja = self.lo + j as f64 * new_width;
+                let jb = ja + new_width;
+                let overlap = (b.min(jb) - a.max(ja)).max(0.0);
+                *slot += m * overlap / self.width;
+            }
+        }
+        HistogramPdf::from_masses(self.lo, new_width, out)
+    }
+
+    /// Total-variation distance to another histogram, evaluated on a
+    /// common refinement grid. Result lies in [0, 1].
+    pub fn tv_distance(&self, other: &HistogramPdf) -> f64 {
+        let lo = self.lo.min(other.lo);
+        let hi = self.hi().max(other.hi());
+        let n = 4 * (self.num_bins().max(other.num_bins()));
+        let step = (hi - lo) / n as f64;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let x = lo + (i as f64 + 0.5) * step;
+            acc += (self.pdf(x) - other.pdf(x)).abs() * step;
+        }
+        (0.5 * acc).min(1.0)
+    }
+}
+
+/// Build a histogram from raw (unweighted) observations with `bins` equal
+/// bins spanning the observed range.
+pub fn histogram_from_samples(samples: &[f64], bins: usize) -> HistogramPdf {
+    assert!(!samples.is_empty() && bins >= 1);
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in samples {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    if hi <= lo {
+        // Degenerate: all samples equal; one tight bin around the value.
+        let w = lo.abs().max(1.0) * 1e-9;
+        return HistogramPdf::from_masses(lo - 0.5 * w, w, vec![1.0]);
+    }
+    let width = (hi - lo) / bins as f64;
+    let mut masses = vec![0.0; bins];
+    let unit = 1.0 / samples.len() as f64;
+    for &x in samples {
+        let i = (((x - lo) / width) as usize).min(bins - 1);
+        masses[i] += unit;
+    }
+    HistogramPdf::from_masses(lo, width, masses)
+}
+
+/// The **histogram-based sampling SUM algorithm** of Ge & Zdonik \[25\]
+/// (Table 2, row 1). Per the paper's description it "discretizes the
+/// continuous distributions and samples from the discretized
+/// distributions": each input pdf becomes a `buckets`-bucket histogram,
+/// `samples` joint draws are taken (one value per input per draw), the
+/// per-draw sums are collected, and the result distribution is the
+/// histogram of those sums. O(N·buckets + N·samples) per window; accuracy
+/// is bounded by both the bucket resolution and the sample count.
+pub fn histogram_sum(
+    dists: &[Dist],
+    buckets: usize,
+    samples: usize,
+    span_sigmas: f64,
+    rng: &mut dyn RngCore,
+) -> HistogramPdf {
+    assert!(!dists.is_empty(), "histogram_sum needs ≥1 input");
+    assert!(samples >= 1);
+    let hists: Vec<HistogramPdf> = dists
+        .iter()
+        .map(|d| HistogramPdf::discretize_auto(d, buckets, span_sigmas))
+        .collect();
+    let mut sums = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut s = 0.0;
+        for h in &hists {
+            s += h.sample(rng);
+        }
+        sums.push(s);
+    }
+    histogram_from_samples(&sums, buckets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Gaussian;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn discretize_preserves_total_mass() {
+        let d = Dist::gaussian(0.0, 1.0);
+        let h = HistogramPdf::discretize(&d, -4.0, 4.0, 64);
+        close(h.masses().iter().sum::<f64>(), 1.0, 1e-12);
+        close(h.mean(), 0.0, 1e-6);
+        close(h.variance(), 1.0, 0.01);
+    }
+
+    #[test]
+    fn tail_mass_folded_into_boundary_bins() {
+        // Even a too-narrow range keeps total mass = 1.
+        let d = Dist::gaussian(0.0, 1.0);
+        let h = HistogramPdf::discretize(&d, -0.5, 0.5, 4);
+        close(h.masses().iter().sum::<f64>(), 1.0, 1e-12);
+        assert!(h.masses()[0] > 0.3); // left tail folded in
+    }
+
+    #[test]
+    fn cdf_quantile_roundtrip() {
+        let d = Dist::gaussian(2.0, 0.5);
+        let h = HistogramPdf::discretize_auto(&d, 128, 6.0);
+        for &p in &[0.1, 0.5, 0.9] {
+            close(h.cdf(h.quantile(p)), p, 1e-9);
+        }
+        close(h.quantile(0.5), 2.0, 0.02);
+    }
+
+    #[test]
+    fn convolution_of_gaussians_matches_closed_form() {
+        let a = Dist::gaussian(1.0, 1.0);
+        let b = Dist::gaussian(2.0, 1.0);
+        // Equal σ ⇒ equal width with the same bins/span.
+        let ha = HistogramPdf::discretize(&a, 1.0 - 6.0, 1.0 + 6.0, 256);
+        let hb = HistogramPdf::discretize(&b, 2.0 - 6.0, 2.0 + 6.0, 256);
+        let sum = ha.convolve(&hb);
+        close(sum.mean(), 3.0, 0.01);
+        close(sum.variance(), 2.0, 0.03);
+        // Exact answer N(3, 2); check pdf pointwise.
+        let exact = Gaussian::new(3.0, 2.0f64.sqrt());
+        for &x in &[1.0, 3.0, 5.0] {
+            close(sum.pdf(x), exact.pdf(x), 0.01);
+        }
+    }
+
+    #[test]
+    fn rebin_preserves_mass_and_mean() {
+        let d = Dist::gaussian(0.0, 1.0);
+        let h = HistogramPdf::discretize(&d, -4.0, 4.0, 256);
+        let r = h.rebin(32);
+        assert_eq!(r.num_bins(), 32);
+        close(r.masses().iter().sum::<f64>(), 1.0, 1e-9);
+        close(r.mean(), h.mean(), 1e-6);
+    }
+
+    #[test]
+    fn histogram_sum_matches_gaussian_closed_form() {
+        let inputs: Vec<Dist> = (0..20)
+            .map(|i| Dist::gaussian(i as f64 * 0.1, 1.0 + (i % 3) as f64 * 0.2))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(99);
+        let h = histogram_sum(&inputs, 128, 20_000, 6.0, &mut rng);
+        let exact_mean: f64 = inputs.iter().map(|d| d.mean()).sum();
+        let exact_var: f64 = inputs.iter().map(|d| d.variance()).sum();
+        close(h.mean(), exact_mean, 0.2);
+        close(h.variance(), exact_var, exact_var * 0.08);
+    }
+
+    #[test]
+    fn histogram_sum_accuracy_improves_with_samples() {
+        let inputs: Vec<Dist> = (0..10).map(|_| Dist::gaussian(0.0, 1.0)).collect();
+        let exact = Gaussian::new(0.0, 10.0f64.sqrt());
+        let exact_d = Dist::Gaussian(exact);
+        let err = |s: usize, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let h = histogram_sum(&inputs, 64, s, 6.0, &mut rng);
+            crate::metrics::tv_distance_grid(&exact_d, &h)
+        };
+        // Average over seeds to damp Monte-Carlo noise.
+        let coarse: f64 = (0..4).map(|s| err(200, s)).sum::<f64>() / 4.0;
+        let fine: f64 = (0..4).map(|s| err(20_000, s)).sum::<f64>() / 4.0;
+        assert!(fine < coarse, "fine={fine} coarse={coarse}");
+    }
+
+    #[test]
+    fn histogram_from_samples_degenerate_input() {
+        let h = histogram_from_samples(&[5.0, 5.0, 5.0], 16);
+        close(h.mean(), 5.0, 1e-6);
+        close(h.masses().iter().sum::<f64>(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn tv_distance_properties() {
+        let a = HistogramPdf::discretize(&Dist::gaussian(0.0, 1.0), -5.0, 5.0, 128);
+        let b = HistogramPdf::discretize(&Dist::gaussian(0.0, 1.0), -5.0, 5.0, 128);
+        close(a.tv_distance(&b), 0.0, 1e-12);
+        let far = HistogramPdf::discretize(&Dist::gaussian(100.0, 1.0), 95.0, 105.0, 128);
+        close(a.tv_distance(&far), 1.0, 0.01);
+        // Symmetry.
+        let c = HistogramPdf::discretize(&Dist::gaussian(0.5, 1.2), -5.0, 6.0, 128);
+        close(a.tv_distance(&c), c.tv_distance(&a), 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_histogram_mean() {
+        let d = Dist::gaussian(-3.0, 2.0);
+        let h = HistogramPdf::discretize_auto(&d, 64, 6.0);
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 20_000;
+        let m = (0..n).map(|_| h.sample(&mut rng)).sum::<f64>() / n as f64;
+        close(m, -3.0, 0.08);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal bin widths")]
+    fn convolve_rejects_mismatched_widths() {
+        let a = HistogramPdf::from_masses(0.0, 1.0, vec![1.0]);
+        let b = HistogramPdf::from_masses(0.0, 2.0, vec![1.0]);
+        let _ = a.convolve(&b);
+    }
+}

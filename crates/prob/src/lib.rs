@@ -1,0 +1,44 @@
+//! # ustream-prob — probability substrate
+//!
+//! All the probability and statistics machinery the uncertainty-aware
+//! stream engine is built on, implemented from scratch (the allowed crate
+//! set has no math libraries):
+//!
+//! - [`special`] — erf/erfc, ln-gamma, incomplete gamma, normal quantile.
+//! - [`complex`] — minimal complex arithmetic for characteristic functions.
+//! - [`dist`] — the continuous-distribution zoo ([`dist::Dist`]):
+//!   Gaussian, Uniform, Exponential, Gamma, LogNormal, Triangular,
+//!   Gaussian mixtures, truncations, and multivariate Gaussians.
+//! - [`samples`] — weighted sample sets with the paper's (§4.3)
+//!   KL-minimizing Gaussian conversion.
+//! - [`fit`] — weighted EM for Gaussian mixtures with AIC/BIC selection.
+//! - [`cf`] — characteristic-function sums: exact Gil–Pelaez inversion
+//!   and the fast cumulant-matching approximation (Table 2's algorithms).
+//! - [`histogram`] — histogram pdfs and the histogram-convolution SUM
+//!   baseline of [Ge & Zdonik, ICDE'08] used as Table 2's third algorithm.
+//! - [`convolve`] — closed-form/exact sum rules and CLT approximations.
+//! - [`order_stats`] — result distributions of MAX/MIN.
+//! - [`metrics`] — distances between distributions (variance distance,
+//!   KS, KL).
+//! - [`quadrature`], [`optimize`], [`moments`] — numeric support.
+
+pub mod cf;
+pub mod complex;
+pub mod convolve;
+pub mod dist;
+pub mod fit;
+pub mod histogram;
+pub mod metrics;
+pub mod moments;
+pub mod optimize;
+pub mod order_stats;
+pub mod quadrature;
+pub mod samples;
+pub mod special;
+
+pub use complex::Complex64;
+pub use dist::{
+    ContinuousDist, Dist, Exponential, GammaDist, Gaussian, GaussianMixture, LogNormal,
+    MixtureComponent, MvGaussian, Triangular, Truncated, Uniform,
+};
+pub use samples::{WeightedSamples, WeightedSamplesNd};

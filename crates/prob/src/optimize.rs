@@ -1,0 +1,198 @@
+//! Small derivative-free optimizer (Nelder–Mead) used for
+//! characteristic-function approximation by mixtures and other low-
+//! dimensional fitting problems inside the engine.
+
+/// Result of a Nelder–Mead run.
+#[derive(Debug, Clone)]
+pub struct NelderMeadResult {
+    /// Best parameter vector found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Number of objective evaluations consumed.
+    pub evals: usize,
+    /// Whether the simplex spread shrank below tolerance (vs hitting the
+    /// evaluation budget).
+    pub converged: bool,
+}
+
+/// Minimize `f` starting from `x0` using the Nelder–Mead simplex method.
+///
+/// `step` sets the initial simplex edge length per dimension; `tol` is the
+/// convergence threshold on the simplex's objective spread; `max_evals`
+/// bounds the work.
+pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x0: &[f64],
+    step: f64,
+    tol: f64,
+    max_evals: usize,
+) -> NelderMeadResult {
+    let n = x0.len();
+    assert!(n >= 1, "need at least one dimension");
+    const ALPHA: f64 = 1.0; // reflection
+    const GAMMA: f64 = 2.0; // expansion
+    const RHO: f64 = 0.5; // contraction
+    const SIGMA: f64 = 0.5; // shrink
+
+    let mut evals = 0usize;
+    let eval = |f: &mut F, x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    // Build the initial simplex: x0 plus one perturbed vertex per axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let fx0 = eval(&mut f, x0, &mut evals);
+    simplex.push((x0.to_vec(), fx0));
+    for i in 0..n {
+        let mut v = x0.to_vec();
+        let delta = if v[i].abs() > 1e-12 {
+            step * v[i].abs()
+        } else {
+            step
+        };
+        v[i] += delta;
+        let fv = eval(&mut f, &v, &mut evals);
+        simplex.push((v, fv));
+    }
+
+    let mut converged = false;
+    while evals < max_evals {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let spread = simplex[n].1 - simplex[0].1;
+        if spread.abs() < tol {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all points except the worst.
+        let mut centroid = vec![0.0; n];
+        for (v, _) in simplex.iter().take(n) {
+            for (c, &vi) in centroid.iter_mut().zip(v.iter()) {
+                *c += vi;
+            }
+        }
+        for c in centroid.iter_mut() {
+            *c /= n as f64;
+        }
+
+        let worst = simplex[n].clone();
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(worst.0.iter())
+            .map(|(&c, &w)| c + ALPHA * (c - w))
+            .collect();
+        let fr = eval(&mut f, &reflect, &mut evals);
+
+        if fr < simplex[0].1 {
+            // Try expanding further in the same direction.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(worst.0.iter())
+                .map(|(&c, &w)| c + GAMMA * ALPHA * (c - w))
+                .collect();
+            let fe = eval(&mut f, &expand, &mut evals);
+            simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (reflect, fr);
+        } else {
+            // Contract toward the centroid.
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(worst.0.iter())
+                .map(|(&c, &w)| c + RHO * (w - c))
+                .collect();
+            let fc = eval(&mut f, &contract, &mut evals);
+            if fc < worst.1 {
+                simplex[n] = (contract, fc);
+            } else {
+                // Shrink all vertices toward the best.
+                let best = simplex[0].0.clone();
+                for item in simplex.iter_mut().skip(1) {
+                    for (v, &b) in item.0.iter_mut().zip(best.iter()) {
+                        *v = b + SIGMA * (*v - b);
+                    }
+                    let x = item.0.clone();
+                    item.1 = eval(&mut f, &x, &mut evals);
+                }
+            }
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    NelderMeadResult {
+        x: simplex[0].0.clone(),
+        fx: simplex[0].1,
+        evals,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let res = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            0.5,
+            1e-12,
+            2000,
+        );
+        assert!(res.converged);
+        assert!((res.x[0] - 3.0).abs() < 1e-4, "x0 = {}", res.x[0]);
+        assert!((res.x[1] + 1.0).abs() < 1e-4, "x1 = {}", res.x[1]);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let res = nelder_mead(
+            |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+            &[-1.2, 1.0],
+            0.5,
+            1e-14,
+            8000,
+        );
+        assert!((res.x[0] - 1.0).abs() < 1e-3, "x0 = {}", res.x[0]);
+        assert!((res.x[1] - 1.0).abs() < 1e-3, "x1 = {}", res.x[1]);
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let res = nelder_mead(|x| (x[0] - 0.25).powi(2), &[10.0], 1.0, 1e-14, 1000);
+        assert!((res.x[0] - 0.25).abs() < 1e-5);
+    }
+
+    #[test]
+    fn nan_objective_treated_as_infinite() {
+        // A NaN region must not poison the search when the start is valid.
+        let res = nelder_mead(
+            |x| {
+                if x[0] < -1.0 {
+                    f64::NAN
+                } else {
+                    (x[0] - 1.0).powi(2)
+                }
+            },
+            &[0.0],
+            0.5,
+            1e-12,
+            1000,
+        );
+        assert!((res.x[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let res = nelder_mead(|x| x[0].powi(2), &[100.0], 1.0, 0.0, 25);
+        assert!(res.evals <= 26); // +1 slack for the vertex finishing a step
+    }
+}

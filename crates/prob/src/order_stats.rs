@@ -1,0 +1,270 @@
+//! Order statistics of independent continuous variables.
+//!
+//! The paper lists "order statistics" among the techniques used "to
+//! compute result distributions directly" (§1/§5). MAX and MIN aggregates
+//! over N independent tuples have exact result distributions:
+//!
+//!   F_max(x) = Π Fᵢ(x)          f_max(x) = Σᵢ fᵢ(x) Π_{j≠i} Fⱼ(x)
+//!   F_min(x) = 1 − Π (1−Fᵢ(x))  f_min(x) = Σᵢ fᵢ(x) Π_{j≠i} (1−Fⱼ(x))
+//!
+//! These are standalone result-distribution types (not part of the
+//! [`Dist`] storage enum); convert with [`OrderStatDist::to_histogram`]
+//! when a tuple needs to carry the result.
+
+use crate::complex::Complex64;
+use crate::dist::{bisect_quantile, ContinuousDist, Dist};
+use crate::histogram::HistogramPdf;
+use crate::quadrature::adaptive_simpson;
+use rand::RngCore;
+
+/// Which extreme the operator computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Extreme {
+    Max,
+    Min,
+}
+
+/// Exact distribution of max/min of independent variables.
+#[derive(Debug, Clone)]
+pub struct OrderStatDist {
+    terms: Vec<Dist>,
+    which: Extreme,
+}
+
+impl OrderStatDist {
+    pub fn max_of(terms: Vec<Dist>) -> Self {
+        assert!(!terms.is_empty(), "need at least one input");
+        OrderStatDist {
+            terms,
+            which: Extreme::Max,
+        }
+    }
+
+    pub fn min_of(terms: Vec<Dist>) -> Self {
+        assert!(!terms.is_empty(), "need at least one input");
+        OrderStatDist {
+            terms,
+            which: Extreme::Min,
+        }
+    }
+
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Finite working range covering all terms' effective supports.
+    fn working_range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for d in &self.terms {
+            lo = lo.min(d.quantile(1e-9));
+            hi = hi.max(d.quantile(1.0 - 1e-9));
+        }
+        (lo, hi)
+    }
+
+    /// Convert to a histogram representation for storage in tuples.
+    pub fn to_histogram(&self, bins: usize) -> HistogramPdf {
+        let (lo, hi) = self.working_range();
+        let width = (hi - lo) / bins as f64;
+        let mut masses = Vec::with_capacity(bins);
+        let mut prev = self.cdf(lo);
+        for i in 0..bins {
+            let right = self.cdf(lo + (i + 1) as f64 * width);
+            masses.push((right - prev).max(0.0));
+            prev = right;
+        }
+        // Include any residual boundary mass.
+        if let Some(first) = masses.first_mut() {
+            *first += self.cdf(lo).max(0.0);
+        }
+        if let Some(last) = masses.last_mut() {
+            *last += (1.0 - prev).max(0.0);
+        }
+        HistogramPdf::from_masses(lo, width, masses)
+    }
+}
+
+impl ContinuousDist for OrderStatDist {
+    fn pdf(&self, x: f64) -> f64 {
+        match self.which {
+            Extreme::Max => {
+                let cdfs: Vec<f64> = self.terms.iter().map(|d| d.cdf(x)).collect();
+                let mut total = 0.0;
+                for (i, d) in self.terms.iter().enumerate() {
+                    let mut prod = d.pdf(x);
+                    if prod == 0.0 {
+                        continue;
+                    }
+                    for (j, &c) in cdfs.iter().enumerate() {
+                        if j != i {
+                            prod *= c;
+                        }
+                    }
+                    total += prod;
+                }
+                total
+            }
+            Extreme::Min => {
+                let survs: Vec<f64> = self.terms.iter().map(|d| 1.0 - d.cdf(x)).collect();
+                let mut total = 0.0;
+                for (i, d) in self.terms.iter().enumerate() {
+                    let mut prod = d.pdf(x);
+                    if prod == 0.0 {
+                        continue;
+                    }
+                    for (j, &s) in survs.iter().enumerate() {
+                        if j != i {
+                            prod *= s;
+                        }
+                    }
+                    total += prod;
+                }
+                total
+            }
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        match self.which {
+            Extreme::Max => self.terms.iter().map(|d| d.cdf(x)).product(),
+            Extreme::Min => 1.0 - self.terms.iter().map(|d| 1.0 - d.cdf(x)).product::<f64>(),
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p));
+        let (lo, hi) = self.working_range();
+        bisect_quantile(|x| self.cdf(x), p, lo - 1.0, hi + 1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        let (lo, hi) = self.working_range();
+        adaptive_simpson(&|x: f64| x * self.pdf(x), lo, hi, 1e-9)
+    }
+
+    fn variance(&self) -> f64 {
+        let mu = self.mean();
+        let (lo, hi) = self.working_range();
+        adaptive_simpson(&|x: f64| (x - mu) * (x - mu) * self.pdf(x), lo, hi, 1e-9).max(0.0)
+    }
+
+    fn support(&self) -> (f64, f64) {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for d in &self.terms {
+            let (a, b) = d.support();
+            lo = lo.min(a);
+            hi = hi.max(b);
+        }
+        (lo, hi)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let mut best = match self.which {
+            Extreme::Max => f64::NEG_INFINITY,
+            Extreme::Min => f64::INFINITY,
+        };
+        for d in &self.terms {
+            let x = d.sample(rng);
+            best = match self.which {
+                Extreme::Max => best.max(x),
+                Extreme::Min => best.min(x),
+            };
+        }
+        best
+    }
+
+    fn cf(&self, t: f64) -> Complex64 {
+        if t == 0.0 {
+            return Complex64::ONE;
+        }
+        let (lo, hi) = self.working_range();
+        let re = adaptive_simpson(&|x: f64| (t * x).cos() * self.pdf(x), lo, hi, 1e-8);
+        let im = adaptive_simpson(&|x: f64| (t * x).sin() * self.pdf(x), lo, hi, 1e-8);
+        Complex64::new(re, im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn max_of_uniforms_closed_form() {
+        // Max of n U(0,1): cdf = xⁿ, mean = n/(n+1).
+        let terms: Vec<Dist> = (0..4).map(|_| Dist::uniform(0.0, 1.0)).collect();
+        let m = OrderStatDist::max_of(terms);
+        close(m.cdf(0.5), 0.5f64.powi(4), 1e-12);
+        close(m.mean(), 4.0 / 5.0, 1e-6);
+    }
+
+    #[test]
+    fn min_of_exponentials_is_exponential() {
+        // Min of Exp(λ₁), Exp(λ₂) = Exp(λ₁+λ₂).
+        let terms = vec![
+            Dist::Exponential(crate::dist::Exponential::new(1.0)),
+            Dist::Exponential(crate::dist::Exponential::new(2.0)),
+        ];
+        let m = OrderStatDist::min_of(terms);
+        let exact = crate::dist::Exponential::new(3.0);
+        for &x in &[0.1, 0.5, 1.0] {
+            close(m.cdf(x), exact.cdf(x), 1e-10);
+            close(m.pdf(x), exact.pdf(x), 1e-8);
+        }
+        close(m.mean(), 1.0 / 3.0, 1e-6);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let terms = vec![Dist::gaussian(0.0, 1.0), Dist::gaussian(1.0, 2.0)];
+        let m = OrderStatDist::max_of(terms);
+        let total = adaptive_simpson(&|x| m.pdf(x), -15.0, 20.0, 1e-9);
+        close(total, 1.0, 1e-6);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        let terms = vec![Dist::gaussian(0.0, 1.0), Dist::gaussian(0.5, 1.0)];
+        let m = OrderStatDist::max_of(terms);
+        for &p in &[0.1, 0.5, 0.9] {
+            close(m.cdf(m.quantile(p)), p, 1e-9);
+        }
+    }
+
+    #[test]
+    fn max_stochastically_dominates_terms() {
+        let terms = vec![Dist::gaussian(0.0, 1.0), Dist::gaussian(0.0, 1.0)];
+        let m = OrderStatDist::max_of(terms.clone());
+        for &x in &[-1.0, 0.0, 1.0] {
+            assert!(m.cdf(x) <= terms[0].cdf(x) + 1e-12);
+        }
+        assert!(m.mean() > 0.0);
+        // Known: E[max of two std normals] = 1/√π.
+        close(m.mean(), 1.0 / std::f64::consts::PI.sqrt(), 1e-5);
+    }
+
+    #[test]
+    fn sampling_matches_analytic_mean() {
+        let terms = vec![Dist::gaussian(0.0, 1.0), Dist::gaussian(0.0, 1.0)];
+        let m = OrderStatDist::max_of(terms);
+        let mut rng = StdRng::seed_from_u64(10);
+        let n = 30_000;
+        let mean = (0..n).map(|_| m.sample(&mut rng)).sum::<f64>() / n as f64;
+        close(mean, 1.0 / std::f64::consts::PI.sqrt(), 0.02);
+    }
+
+    #[test]
+    fn histogram_conversion_preserves_shape() {
+        let terms = vec![Dist::gaussian(0.0, 1.0), Dist::gaussian(3.0, 1.0)];
+        let m = OrderStatDist::max_of(terms);
+        let h = m.to_histogram(256);
+        close(h.mean(), m.mean(), 0.05);
+        close(h.masses().iter().sum::<f64>(), 1.0, 1e-9);
+    }
+}

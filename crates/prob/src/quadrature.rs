@@ -1,0 +1,156 @@
+//! Numerical integration helpers.
+//!
+//! Two workhorses: an adaptive Simpson rule for smooth finite-interval
+//! integrands (cdf normalization checks, moment integrals, distribution
+//! distances) and a fixed-grid trapezoid rule used by the characteristic-
+//! function inversion where the caller controls resolution explicitly.
+
+/// Adaptive Simpson integration of `f` over `[a, b]` to absolute tolerance
+/// `tol`. Recursion is depth-limited; worst case falls back to the current
+/// best estimate rather than diverging.
+pub fn adaptive_simpson<F: Fn(f64) -> f64>(f: &F, a: f64, b: f64, tol: f64) -> f64 {
+    assert!(a.is_finite() && b.is_finite(), "bounds must be finite");
+    if a == b {
+        return 0.0;
+    }
+    let c = 0.5 * (a + b);
+    let fa = f(a);
+    let fb = f(b);
+    let fc = f(c);
+    let whole = simpson_rule(a, b, fa, fc, fb);
+    simpson_recurse(f, a, b, fa, fc, fb, whole, tol, 50)
+}
+
+#[inline]
+fn simpson_rule(a: f64, b: f64, fa: f64, fc: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fc + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simpson_recurse<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fc: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let c = 0.5 * (a + b);
+    let d = 0.5 * (a + c);
+    let e = 0.5 * (c + b);
+    let fd = f(d);
+    let fe = f(e);
+    let left = simpson_rule(a, c, fa, fd, fc);
+    let right = simpson_rule(c, b, fc, fe, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        left + right + delta / 15.0
+    } else {
+        simpson_recurse(f, a, c, fa, fd, fc, left, tol / 2.0, depth - 1)
+            + simpson_recurse(f, c, b, fc, fe, fb, right, tol / 2.0, depth - 1)
+    }
+}
+
+/// Trapezoid rule on a uniform grid of `n` intervals (n+1 evaluations).
+pub fn trapezoid<F: Fn(f64) -> f64>(f: &F, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n >= 1, "trapezoid needs at least one interval");
+    let h = (b - a) / n as f64;
+    let mut sum = 0.5 * (f(a) + f(b));
+    for i in 1..n {
+        sum += f(a + i as f64 * h);
+    }
+    sum * h
+}
+
+/// Integrate a decaying semi-infinite integrand ∫₀^∞ f(t) dt by summing
+/// fixed-width trapezoid panels until a panel's contribution drops below
+/// `tol` (or `max_panels` is hit). Suited to CF-inversion integrands whose
+/// envelope decays like a Gaussian in t.
+pub fn semi_infinite_decaying<F: Fn(f64) -> f64>(
+    f: &F,
+    panel_width: f64,
+    per_panel_intervals: usize,
+    tol: f64,
+    max_panels: usize,
+) -> f64 {
+    assert!(panel_width > 0.0);
+    let mut total = 0.0;
+    let mut a = 0.0;
+    for _ in 0..max_panels {
+        let b = a + panel_width;
+        let part = trapezoid(f, a, b, per_panel_intervals);
+        total += part;
+        if part.abs() < tol {
+            break;
+        }
+        a = b;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn simpson_polynomials_exact() {
+        // Simpson is exact on cubics: ∫₋₁² (3x³ − x + 2) dx = 15.75.
+        let f = |x: f64| 3.0 * x * x * x - x + 2.0;
+        close(adaptive_simpson(&f, -1.0, 2.0, 1e-12), 15.75, 1e-10);
+    }
+
+    #[test]
+    fn simpson_transcendental() {
+        close(
+            adaptive_simpson(&|x: f64| x.sin(), 0.0, std::f64::consts::PI, 1e-12),
+            2.0,
+            1e-10,
+        );
+        close(
+            adaptive_simpson(&|x: f64| (-x * x).exp(), -6.0, 6.0, 1e-12),
+            std::f64::consts::PI.sqrt(),
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn simpson_zero_width() {
+        assert_eq!(adaptive_simpson(&|x: f64| x, 2.0, 2.0, 1e-9), 0.0);
+    }
+
+    #[test]
+    fn simpson_reversed_bounds_negates() {
+        let f = |x: f64| x * x;
+        let fwd = adaptive_simpson(&f, 0.0, 1.0, 1e-12);
+        let rev = adaptive_simpson(&f, 1.0, 0.0, 1e-12);
+        close(fwd, 1.0 / 3.0, 1e-10);
+        close(rev, -1.0 / 3.0, 1e-10);
+    }
+
+    #[test]
+    fn trapezoid_linear_exact() {
+        close(trapezoid(&|x: f64| 2.0 * x + 1.0, 0.0, 4.0, 7), 20.0, 1e-12);
+    }
+
+    #[test]
+    fn trapezoid_converges() {
+        let coarse = trapezoid(&|x: f64| x.sin(), 0.0, std::f64::consts::PI, 16);
+        let fine = trapezoid(&|x: f64| x.sin(), 0.0, std::f64::consts::PI, 4096);
+        assert!((fine - 2.0).abs() < (coarse - 2.0).abs());
+        close(fine, 2.0, 1e-6);
+    }
+
+    #[test]
+    fn semi_infinite_gaussian_tail() {
+        // ∫₀^∞ e^{−t²/2} dt = √(π/2)
+        let val = semi_infinite_decaying(&|t: f64| (-0.5 * t * t).exp(), 1.0, 64, 1e-12, 64);
+        close(val, (std::f64::consts::PI / 2.0).sqrt(), 1e-8);
+    }
+}

@@ -1,0 +1,384 @@
+//! Weighted sample sets — the sample-based tuple-level distributions of
+//! §4.3.
+//!
+//! A particle filter's posterior for one hidden variable is a list of
+//! value–weight pairs {(xᵢ, wᵢ)}. This module provides the moment,
+//! resampling, and **KL-minimizing parametric conversion** machinery the
+//! paper uses to turn such lists into compact tuple-level pdfs:
+//! minimizing KL(p̂‖q) over Gaussian q yields exactly the weighted mean and
+//! weighted variance (the closed form derived in §4.3), computable in two
+//! scans.
+
+use crate::dist::Gaussian;
+use rand::{Rng, RngCore};
+
+/// A normalized set of weighted scalar samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedSamples {
+    xs: Vec<f64>,
+    /// Normalized weights (sum = 1).
+    ws: Vec<f64>,
+}
+
+impl WeightedSamples {
+    /// Build from parallel value/weight vectors; weights are normalized.
+    pub fn new(xs: Vec<f64>, ws: Vec<f64>) -> Self {
+        assert_eq!(xs.len(), ws.len(), "values and weights must align");
+        assert!(!xs.is_empty(), "need at least one sample");
+        let total: f64 = ws.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "weights must have positive finite sum, got {total}"
+        );
+        let ws = ws.into_iter().map(|w| w / total).collect();
+        WeightedSamples { xs, ws }
+    }
+
+    /// Equally-weighted samples.
+    pub fn unweighted(xs: Vec<f64>) -> Self {
+        let n = xs.len();
+        assert!(n > 0);
+        let w = 1.0 / n as f64;
+        WeightedSamples {
+            xs,
+            ws: vec![w; n],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    pub fn values(&self) -> &[f64] {
+        &self.xs
+    }
+
+    pub fn weights(&self) -> &[f64] {
+        &self.ws
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.xs.iter().copied().zip(self.ws.iter().copied())
+    }
+
+    /// Weighted mean ∑ wᵢ·xᵢ (first scan of the paper's two-scan fit).
+    pub fn mean(&self) -> f64 {
+        self.iter().map(|(x, w)| w * x).sum()
+    }
+
+    /// Weighted variance ∑ wᵢ·(xᵢ−μ)² (second scan).
+    pub fn variance(&self) -> f64 {
+        let mu = self.mean();
+        self.iter().map(|(x, w)| w * (x - mu) * (x - mu)).sum()
+    }
+
+    /// Weighted k-th central moment.
+    pub fn central_moment(&self, k: i32) -> f64 {
+        let mu = self.mean();
+        self.iter().map(|(x, w)| w * (x - mu).powi(k)).sum()
+    }
+
+    /// Effective sample size 1/∑wᵢ² — the standard degeneracy diagnostic.
+    pub fn effective_sample_size(&self) -> f64 {
+        1.0 / self.ws.iter().map(|w| w * w).sum::<f64>()
+    }
+
+    /// Minimum and maximum sample values.
+    pub fn range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in &self.xs {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        (lo, hi)
+    }
+
+    /// Weighted empirical cdf at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.iter().filter(|&(xi, _)| xi <= x).map(|(_, w)| w).sum()
+    }
+
+    /// Weighted quantile (inverse empirical cdf).
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p));
+        let mut idx: Vec<usize> = (0..self.xs.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.xs[a]
+                .partial_cmp(&self.xs[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut acc = 0.0;
+        for &i in &idx {
+            acc += self.ws[i];
+            if acc >= p {
+                return self.xs[i];
+            }
+        }
+        self.xs[*idx.last().expect("non-empty")]
+    }
+
+    /// Fit the KL-optimal Gaussian q = N(μ, σ²) minimizing KL(p̂‖q):
+    /// μ = ∑wᵢxᵢ, σ² = ∑wᵢ(xᵢ−μ)² — the closed form of §4.3.
+    ///
+    /// A tiny variance floor keeps degenerate clouds (all particles equal)
+    /// representable.
+    pub fn fit_gaussian(&self) -> Gaussian {
+        let mu = self.mean();
+        let var = self.variance().max(1e-18);
+        Gaussian::from_mean_var(mu, var)
+    }
+
+    /// KL(p̂‖q) for a candidate density q, up to the constant ∑wᵢ·ln wᵢ
+    /// (which does not depend on q): returns −∑ wᵢ · ln q(xᵢ), the
+    /// weighted cross-entropy. Lower is better; differences between two
+    /// candidate q's equal their true KL differences.
+    pub fn cross_entropy<F: Fn(f64) -> f64>(&self, ln_q: F) -> f64 {
+        -self.iter().map(|(x, w)| w * ln_q(x)).sum::<f64>()
+    }
+
+    /// Systematic resampling to `n` equally-weighted samples — the
+    /// low-variance scheme used inside the particle filter.
+    pub fn resample_systematic(&self, n: usize, rng: &mut dyn RngCore) -> WeightedSamples {
+        assert!(n > 0);
+        let step = 1.0 / n as f64;
+        let start: f64 = rng.gen::<f64>() * step;
+        let mut out = Vec::with_capacity(n);
+        let mut acc = self.ws[0];
+        let mut i = 0usize;
+        for k in 0..n {
+            let u = start + k as f64 * step;
+            while acc < u && i + 1 < self.xs.len() {
+                i += 1;
+                acc += self.ws[i];
+            }
+            out.push(self.xs[i]);
+        }
+        WeightedSamples::unweighted(out)
+    }
+
+    /// Draw one value according to the weights.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let u: f64 = rng.gen::<f64>();
+        let mut acc = 0.0;
+        for (x, w) in self.iter() {
+            acc += w;
+            if u <= acc {
+                return x;
+            }
+        }
+        *self.xs.last().expect("non-empty")
+    }
+}
+
+/// Weighted samples in d dimensions (particle clouds over locations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedSamplesNd {
+    /// Row-major: n × d.
+    xs: Vec<f64>,
+    ws: Vec<f64>,
+    dim: usize,
+}
+
+impl WeightedSamplesNd {
+    pub fn new(xs: Vec<f64>, ws: Vec<f64>, dim: usize) -> Self {
+        assert!(dim >= 1);
+        assert_eq!(xs.len(), ws.len() * dim, "xs must be n×d");
+        assert!(!ws.is_empty());
+        let total: f64 = ws.iter().sum();
+        assert!(total > 0.0 && total.is_finite());
+        let ws = ws.into_iter().map(|w| w / total).collect();
+        WeightedSamplesNd { xs, ws, dim }
+    }
+
+    pub fn len(&self) -> usize {
+        self.ws.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ws.is_empty()
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.xs[i * self.dim..(i + 1) * self.dim]
+    }
+
+    pub fn weight(&self, i: usize) -> f64 {
+        self.ws[i]
+    }
+
+    /// Weighted mean vector.
+    pub fn mean(&self) -> Vec<f64> {
+        let mut m = vec![0.0; self.dim];
+        for i in 0..self.len() {
+            let w = self.ws[i];
+            for (mj, &xj) in m.iter_mut().zip(self.point(i)) {
+                *mj += w * xj;
+            }
+        }
+        m
+    }
+
+    /// Weighted covariance matrix (row-major d×d), with a small diagonal
+    /// floor so the result stays positive definite.
+    pub fn covariance(&self) -> Vec<f64> {
+        let mu = self.mean();
+        let d = self.dim;
+        let mut cov = vec![0.0; d * d];
+        for i in 0..self.len() {
+            let w = self.ws[i];
+            let p = self.point(i);
+            for a in 0..d {
+                let da = p[a] - mu[a];
+                for b in 0..d {
+                    cov[a * d + b] += w * da * (p[b] - mu[b]);
+                }
+            }
+        }
+        for a in 0..d {
+            cov[a * d + a] += 1e-12;
+        }
+        cov
+    }
+
+    /// KL-optimal multivariate Gaussian fit (weighted mean + covariance,
+    /// the multivariate analogue of the §4.3 formulas).
+    pub fn fit_mv_gaussian(&self) -> crate::dist::MvGaussian {
+        crate::dist::MvGaussian::new(self.mean(), self.covariance())
+    }
+
+    /// Marginal scalar samples along axis `axis`.
+    pub fn marginal(&self, axis: usize) -> WeightedSamples {
+        assert!(axis < self.dim);
+        let xs: Vec<f64> = (0..self.len()).map(|i| self.point(i)[axis]).collect();
+        WeightedSamples::new(xs, self.ws.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::ContinuousDist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn weights_normalize() {
+        let s = WeightedSamples::new(vec![1.0, 2.0], vec![2.0, 6.0]);
+        close(s.weights()[0], 0.25, 1e-15);
+        close(s.weights()[1], 0.75, 1e-15);
+        close(s.mean(), 0.25 + 1.5, 1e-15);
+    }
+
+    #[test]
+    fn moments_match_closed_form() {
+        let s = WeightedSamples::new(vec![0.0, 10.0], vec![0.5, 0.5]);
+        close(s.mean(), 5.0, 1e-15);
+        close(s.variance(), 25.0, 1e-15);
+        close(s.central_moment(3), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn kl_fit_is_weighted_moments() {
+        let s = WeightedSamples::new(vec![1.0, 3.0, 5.0], vec![0.2, 0.5, 0.3]);
+        let g = s.fit_gaussian();
+        close(g.mean(), s.mean(), 1e-15);
+        close(g.variance(), s.variance(), 1e-12);
+    }
+
+    #[test]
+    fn kl_fit_minimizes_cross_entropy() {
+        // The fitted Gaussian must beat perturbed alternatives in KL(p̂‖q).
+        let mut rng = StdRng::seed_from_u64(17);
+        let true_dist = Gaussian::new(2.0, 1.5);
+        let xs: Vec<f64> = (0..500).map(|_| true_dist.sample(&mut rng)).collect();
+        let s = WeightedSamples::unweighted(xs);
+        let best = s.fit_gaussian();
+        let ce_best = s.cross_entropy(|x| best.ln_pdf(x));
+        for &(dm, ds) in &[(0.3, 0.0), (-0.3, 0.0), (0.0, 0.4), (0.0, -0.4)] {
+            let alt = Gaussian::new(best.mean() + dm, best.std_dev() + ds);
+            let ce_alt = s.cross_entropy(|x| alt.ln_pdf(x));
+            assert!(
+                ce_best <= ce_alt + 1e-12,
+                "perturbed ({dm},{ds}) beat the KL fit"
+            );
+        }
+    }
+
+    #[test]
+    fn ess_bounds() {
+        let uniform = WeightedSamples::unweighted(vec![1.0, 2.0, 3.0, 4.0]);
+        close(uniform.effective_sample_size(), 4.0, 1e-12);
+        let degenerate = WeightedSamples::new(vec![1.0, 2.0, 3.0, 4.0], vec![1.0, 0.0, 0.0, 0.0]);
+        close(degenerate.effective_sample_size(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn resampling_preserves_mean() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let s = WeightedSamples::new(
+            (0..100).map(|i| i as f64).collect(),
+            (0..100).map(|i| (i as f64 + 1.0).powi(2)).collect(),
+        );
+        let r = s.resample_systematic(5000, &mut rng);
+        assert_eq!(r.len(), 5000);
+        close(r.mean(), s.mean(), 1.5);
+        // All resampled values must come from the original support.
+        let (lo, hi) = s.range();
+        let (rlo, rhi) = r.range();
+        assert!(rlo >= lo && rhi <= hi);
+    }
+
+    #[test]
+    fn quantile_and_cdf_agree() {
+        let s = WeightedSamples::new(vec![1.0, 2.0, 3.0], vec![0.2, 0.3, 0.5]);
+        close(s.quantile(0.1), 1.0, 1e-15);
+        close(s.quantile(0.4), 2.0, 1e-15);
+        close(s.quantile(0.9), 3.0, 1e-15);
+        close(s.cdf(2.0), 0.5, 1e-15);
+        close(s.cdf(0.5), 0.0, 1e-15);
+    }
+
+    #[test]
+    fn nd_mean_covariance() {
+        // Two clusters on a diagonal line → positive xy covariance.
+        let xs = vec![0.0, 0.0, 2.0, 2.0];
+        let s = WeightedSamplesNd::new(xs, vec![0.5, 0.5], 2);
+        let m = s.mean();
+        close(m[0], 1.0, 1e-15);
+        close(m[1], 1.0, 1e-15);
+        let c = s.covariance();
+        close(c[0], 1.0, 1e-9);
+        close(c[1], 1.0, 1e-9);
+        close(c[3], 1.0, 1e-9);
+    }
+
+    #[test]
+    fn nd_fit_and_marginal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mv = crate::dist::MvGaussian::new(vec![1.0, -1.0], vec![2.0, 0.5, 0.5, 1.0]);
+        let n = 20_000;
+        let mut flat = Vec::with_capacity(n * 2);
+        for _ in 0..n {
+            flat.extend(mv.sample(&mut rng));
+        }
+        let s = WeightedSamplesNd::new(flat, vec![1.0; n], 2);
+        let fit = s.fit_mv_gaussian();
+        close(fit.mean()[0], 1.0, 0.05);
+        close(fit.cov_at(0, 1), 0.5, 0.05);
+        let mx = s.marginal(0);
+        close(mx.mean(), 1.0, 0.05);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests over the whole distribution zoo: the invariants
+//! every `ContinuousDist` implementation must satisfy, regardless of
+//! parameters.
+
+use proptest::prelude::*;
+use ustream_prob::complex::Complex64;
+use ustream_prob::dist::{
+    ContinuousDist, Dist, Exponential, GammaDist, GaussianMixture, LogNormal, Triangular,
+};
+use ustream_prob::quadrature::adaptive_simpson;
+
+/// A strategy producing a varied distribution with sane parameters.
+fn any_dist() -> impl Strategy<Value = Dist> {
+    prop_oneof![
+        (-50.0..50.0f64, 0.1..20.0f64).prop_map(|(m, s)| Dist::gaussian(m, s)),
+        (-50.0..50.0f64, 0.1..40.0f64).prop_map(|(a, w)| Dist::uniform(a, a + w)),
+        (0.05..5.0f64).prop_map(|r| Dist::Exponential(Exponential::new(r))),
+        (0.3..10.0f64, 0.1..5.0f64).prop_map(|(k, t)| Dist::Gamma(GammaDist::new(k, t))),
+        (-2.0..2.0f64, 0.1..1.0f64).prop_map(|(m, s)| Dist::LogNormal(LogNormal::new(m, s))),
+        (-10.0..10.0f64, 0.5..10.0f64, 0.0..1.0f64).prop_map(|(a, w, f)| {
+            Dist::Triangular(Triangular::new(a, a + f * w, a + w))
+        }),
+        (
+            0.1..0.9f64,
+            -20.0..0.0f64,
+            0.2..5.0f64,
+            0.0..20.0f64,
+            0.2..5.0f64
+        )
+            .prop_map(|(w, m1, s1, m2, s2)| {
+                Dist::Mixture(GaussianMixture::from_triples(&[
+                    (w, m1, s1),
+                    (1.0 - w, m2, s2),
+                ]))
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cdf_is_monotone_and_bounded(d in any_dist(), a in -100.0..100.0f64, b in -100.0..100.0f64) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (fa, fb) = (d.cdf(lo), d.cdf(hi));
+        prop_assert!((0.0..=1.0).contains(&fa));
+        prop_assert!((0.0..=1.0).contains(&fb));
+        prop_assert!(fb >= fa - 1e-12, "cdf must be non-decreasing");
+    }
+
+    #[test]
+    fn pdf_is_nonnegative(d in any_dist(), x in -100.0..100.0f64) {
+        prop_assert!(d.pdf(x) >= 0.0);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf(d in any_dist(), p in 0.02..0.98f64) {
+        let x = d.quantile(p);
+        prop_assert!(x.is_finite());
+        let back = d.cdf(x);
+        prop_assert!((back - p).abs() < 1e-5, "cdf(quantile({p})) = {back}");
+    }
+
+    #[test]
+    fn density_integrates_to_one(d in any_dist()) {
+        let lo = d.quantile(1e-9);
+        let hi = d.quantile(1.0 - 1e-9);
+        let total = adaptive_simpson(&|x| d.pdf(x), lo, hi, 1e-9);
+        prop_assert!((total - 1.0).abs() < 1e-3, "∫pdf = {total}");
+    }
+
+    #[test]
+    fn cf_at_zero_is_one_and_bounded(d in any_dist(), t in -5.0..5.0f64) {
+        let z0 = d.cf(0.0);
+        prop_assert!((z0 - Complex64::ONE).abs() < 1e-6);
+        prop_assert!(d.cf(t).abs() <= 1.0 + 1e-6, "|φ(t)| ≤ 1");
+    }
+
+    #[test]
+    fn cf_conjugate_symmetry(d in any_dist(), t in 0.01..5.0f64) {
+        let plus = d.cf(t);
+        let minus = d.cf(-t);
+        prop_assert!((plus.conj() - minus).abs() < 1e-6, "φ(−t) = conj(φ(t))");
+    }
+
+    #[test]
+    fn variance_matches_quadrature(d in any_dist()) {
+        let mu = d.mean();
+        let lo = d.quantile(1e-10);
+        let hi = d.quantile(1.0 - 1e-10);
+        let var_num = adaptive_simpson(&|x| (x - mu) * (x - mu) * d.pdf(x), lo, hi, 1e-10);
+        let var = d.variance();
+        prop_assert!(
+            (var - var_num).abs() < 0.02 * (1.0 + var),
+            "variance {var} vs quadrature {var_num}"
+        );
+    }
+
+    #[test]
+    fn sampling_mean_consistent(d in any_dist(), seed in 0u64..1000) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 6000;
+        let m: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        let tol = 6.0 * d.std_dev() / (n as f64).sqrt() + 1e-6;
+        prop_assert!((m - d.mean()).abs() < tol, "sample mean {m} vs {}", d.mean());
+    }
+
+    #[test]
+    fn affine_moments(d in any_dist(), a in -3.0..3.0f64, b in -10.0..10.0f64) {
+        prop_assume!(a.abs() > 1e-3);
+        let t = d.affine(a, b);
+        prop_assert!((t.mean() - (a * d.mean() + b)).abs() < 1e-6 * (1.0 + d.mean().abs()));
+        // Affine is exact for location-scale; moment-matched otherwise —
+        // variance must match in both cases.
+        prop_assert!(
+            (t.variance() - a * a * d.variance()).abs() < 1e-6 * (1.0 + d.variance()),
+            "affine variance"
+        );
+    }
+
+    #[test]
+    fn truncation_renormalizes(d in any_dist(), q1 in 0.1..0.4f64, q2 in 0.6..0.9f64) {
+        let lo = d.quantile(q1);
+        let hi = d.quantile(q2);
+        prop_assume!(hi > lo);
+        if let Some((t, mass)) = d.truncate(lo, hi) {
+            prop_assert!((mass - (q2 - q1)).abs() < 1e-4);
+            prop_assert!(t.cdf(lo) < 1e-6);
+            prop_assert!((t.cdf(hi) - 1.0).abs() < 1e-6);
+            let m = t.mean();
+            prop_assert!(m >= lo - 1e-6 && m <= hi + 1e-6, "truncated mean inside bounds");
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! Tornado detection: azimuthal-shear / velocity-couplet detector in the
+//! style of the NSSL tornado detection algorithm — the "detection
+//! algorithm" whose sensitivity to averaging Table 1 measures.
+//!
+//! A Rankine vortex seen by a Doppler radar produces a *couplet*:
+//! adjacent azimuths at the same range with strongly opposed radial
+//! velocities. The detector scans gate-to-gate velocity differences
+//! across azimuth, flags cells whose difference and shear exceed
+//! thresholds, grows flagged cells into clusters, and reports clusters
+//! strong enough to be tornado vortex signatures.
+
+use crate::moments::MomentScan;
+use std::time::Instant;
+
+/// Detector thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// Minimum velocity spread (max − min, m/s) across the azimuth window
+    /// at constant range — the couplet signature.
+    pub min_delta_v: f64,
+    /// Minimum azimuthal shear Δv / window arc-length (1/s).
+    pub min_shear: f64,
+    /// Azimuth window width (rad) over which the couplet is sought;
+    /// should span a vortex core at the ranges of interest.
+    pub window_rad: f64,
+    /// Minimum flagged cells in a cluster.
+    pub min_cluster: usize,
+    /// Reflectivity gate (dB): ignore clear-air cells.
+    pub min_reflectivity: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            min_delta_v: 14.0,
+            min_shear: 0.008,
+            window_rad: 0.08,
+            min_cluster: 3,
+            min_reflectivity: 5.0,
+        }
+    }
+}
+
+/// One reported vortex signature.
+#[derive(Debug, Clone)]
+pub struct Detection {
+    /// Cluster centroid in Cartesian coordinates relative to the radar (m).
+    pub position: [f64; 2],
+    /// Peak azimuth-adjacent velocity difference (m/s).
+    pub strength: f64,
+    /// Number of flagged cells in the cluster.
+    pub cluster_size: usize,
+}
+
+/// Detection output plus the measured runtime (Table 1 column 3).
+#[derive(Debug, Clone)]
+pub struct DetectionResult {
+    pub detections: Vec<Detection>,
+    pub runtime_secs: f64,
+    /// Cells examined (work metric independent of wall clock).
+    pub cells_examined: usize,
+}
+
+/// Run the detector over one moment scan. `radar_pos` translates polar
+/// detections into scene coordinates.
+pub fn detect_tornados(
+    scan: &MomentScan,
+    radar_pos: [f64; 2],
+    cfg: &DetectorConfig,
+) -> DetectionResult {
+    let start = Instant::now();
+    let n_radials = scan.radials.len();
+    let mut flagged: Vec<(usize, usize, f64)> = Vec::new(); // (radial, gate, Δv)
+    let mut cells_examined = 0usize;
+
+    // For each radial, find the last radial within the azimuth window
+    // (radials are in increasing azimuth order).
+    for ri in 0..n_radials {
+        let az0 = scan.radials[ri].azimuth;
+        let mut rj = ri;
+        while rj + 1 < n_radials && scan.radials[rj + 1].azimuth - az0 <= cfg.window_rad {
+            rj += 1;
+        }
+        if rj == ri {
+            continue; // window holds a single radial: no shear measurable
+        }
+        let n_gates = scan.radials[ri].cells.len();
+        for g in 0..n_gates {
+            cells_examined += 1;
+            let mut v_min = f64::INFINITY;
+            let mut v_max = f64::NEG_INFINITY;
+            let mut refl_ok = true;
+            for radial in &scan.radials[ri..=rj] {
+                let cell = &radial.cells[g];
+                if (cell.reflectivity as f64) < cfg.min_reflectivity {
+                    refl_ok = false;
+                    break;
+                }
+                v_min = v_min.min(cell.velocity as f64);
+                v_max = v_max.max(cell.velocity as f64);
+            }
+            if !refl_ok {
+                continue;
+            }
+            let dv = v_max - v_min;
+            let range = scan.radials[ri].cells[g].range;
+            let arc = range * cfg.window_rad;
+            if arc <= 0.0 {
+                continue;
+            }
+            let shear = dv / arc;
+            if dv >= cfg.min_delta_v && shear >= cfg.min_shear {
+                flagged.push((ri, g, dv));
+            }
+        }
+    }
+
+    // Cluster flagged cells by adjacency in (radial, gate) space.
+    let mut clusters: Vec<Vec<(usize, usize, f64)>> = Vec::new();
+    let mut used = vec![false; flagged.len()];
+    for i in 0..flagged.len() {
+        if used[i] {
+            continue;
+        }
+        let mut cluster = vec![flagged[i]];
+        used[i] = true;
+        let mut frontier = vec![i];
+        while let Some(j) = frontier.pop() {
+            let (rj, gj, _) = flagged[j];
+            for (k, &(rk, gk, dv)) in flagged.iter().enumerate() {
+                if !used[k]
+                    && rj.abs_diff(rk) <= 2
+                    && gj.abs_diff(gk) <= 3
+                {
+                    used[k] = true;
+                    cluster.push((rk, gk, dv));
+                    frontier.push(k);
+                }
+            }
+        }
+        clusters.push(cluster);
+    }
+
+    let mut detections = Vec::new();
+    for cluster in clusters {
+        if cluster.len() < cfg.min_cluster {
+            continue;
+        }
+        let strength = cluster.iter().map(|&(_, _, dv)| dv).fold(0.0, f64::max);
+        // Centroid in polar, then to Cartesian.
+        let mut az_acc = 0.0;
+        let mut r_acc = 0.0;
+        for &(ri, g, _) in &cluster {
+            let cell = &scan.radials[ri].cells[g];
+            az_acc += cell.azimuth;
+            r_acc += cell.range;
+        }
+        let az = az_acc / cluster.len() as f64;
+        let range = r_acc / cluster.len() as f64;
+        detections.push(Detection {
+            position: [
+                radar_pos[0] + range * az.cos(),
+                radar_pos[1] + range * az.sin(),
+            ],
+            strength,
+            cluster_size: cluster.len(),
+        });
+    }
+    // Strongest first.
+    detections.sort_by(|a, b| b.strength.partial_cmp(&a.strength).unwrap());
+
+    DetectionResult {
+        detections,
+        runtime_secs: start.elapsed().as_secs_f64(),
+        cells_examined,
+    }
+}
+
+/// Fuse detections from multiple radars observing overlapping regions
+/// (the central node's merge step, §2.2): detections within `radius_m`
+/// of each other are clustered; each cluster reports the centroid
+/// (weighted by strength), the max strength, and how many radars agreed.
+pub fn merge_detections(per_radar: &[Vec<Detection>], radius_m: f64) -> Vec<MergedDetection> {
+    let mut all: Vec<(usize, &Detection)> = Vec::new();
+    for (radar, dets) in per_radar.iter().enumerate() {
+        for d in dets {
+            all.push((radar, d));
+        }
+    }
+    let mut used = vec![false; all.len()];
+    let mut merged = Vec::new();
+    for i in 0..all.len() {
+        if used[i] {
+            continue;
+        }
+        used[i] = true;
+        let mut members = vec![all[i]];
+        let mut frontier = vec![i];
+        while let Some(j) = frontier.pop() {
+            for k in 0..all.len() {
+                if used[k] {
+                    continue;
+                }
+                let dx = all[j].1.position[0] - all[k].1.position[0];
+                let dy = all[j].1.position[1] - all[k].1.position[1];
+                if (dx * dx + dy * dy).sqrt() <= radius_m {
+                    used[k] = true;
+                    members.push(all[k]);
+                    frontier.push(k);
+                }
+            }
+        }
+        let total_w: f64 = members.iter().map(|(_, d)| d.strength).sum();
+        let cx = members
+            .iter()
+            .map(|(_, d)| d.strength * d.position[0])
+            .sum::<f64>()
+            / total_w;
+        let cy = members
+            .iter()
+            .map(|(_, d)| d.strength * d.position[1])
+            .sum::<f64>()
+            / total_w;
+        let mut radars: Vec<usize> = members.iter().map(|(r, _)| *r).collect();
+        radars.sort_unstable();
+        radars.dedup();
+        merged.push(MergedDetection {
+            position: [cx, cy],
+            strength: members
+                .iter()
+                .map(|(_, d)| d.strength)
+                .fold(0.0, f64::max),
+            radar_count: radars.len(),
+        });
+    }
+    merged.sort_by(|a, b| b.strength.partial_cmp(&a.strength).unwrap());
+    merged
+}
+
+/// A detection fused across radars.
+#[derive(Debug, Clone)]
+pub struct MergedDetection {
+    pub position: [f64; 2],
+    pub strength: f64,
+    /// Number of distinct radars contributing — multi-radar agreement is
+    /// the confidence signal the CASA loop uses for re-steering.
+    pub radar_count: usize,
+}
+
+/// False-negative accounting: ground-truth tornados with no detection
+/// within `radius_m`.
+pub fn false_negatives(
+    detections: &[Detection],
+    truth_positions: &[[f64; 2]],
+    radius_m: f64,
+) -> usize {
+    truth_positions
+        .iter()
+        .filter(|t| {
+            !detections.iter().any(|d| {
+                let dx = d.position[0] - t[0];
+                let dy = d.position[1] - t[1];
+                (dx * dx + dy * dy).sqrt() <= radius_m
+            })
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::compute_moments;
+    use crate::radar::{RadarNode, RadarParams};
+    use crate::weather::WeatherField;
+
+    fn params() -> RadarParams {
+        RadarParams {
+            gates: 416,
+            gate_spacing: 48.0,
+            noise_sd: 0.15,
+            phase_jitter: 0.15,
+            ..Default::default()
+        }
+    }
+
+    /// Scan the sector containing the default tornado (at bearing ≈ 36.9°,
+    /// range 15 km from the origin).
+    fn scan_tornado(n_avg: usize) -> DetectionResult {
+        let field = WeatherField::tornadic_default();
+        let node = RadarNode::new(0, [0.0, 0.0], params());
+        let bearing = (9_000.0f64).atan2(12_000.0);
+        let pulses = node.sector_scan(&field, bearing - 0.12, bearing + 0.12, 0.0, 31);
+        let scan = compute_moments(&pulses, &params(), n_avg);
+        detect_tornados(&scan, [0.0, 0.0], &DetectorConfig::default())
+    }
+
+    #[test]
+    fn fine_averaging_detects_the_vortex() {
+        let res = scan_tornado(40);
+        assert!(
+            !res.detections.is_empty(),
+            "vortex missed at fine averaging"
+        );
+        let d = &res.detections[0];
+        let dist = ((d.position[0] - 12_000.0).powi(2) + (d.position[1] - 9_000.0).powi(2)).sqrt();
+        assert!(dist < 1_500.0, "detection {:.0} m from truth", dist);
+        assert!(d.strength >= 14.0);
+    }
+
+    #[test]
+    fn coarse_averaging_misses_the_vortex() {
+        let res = scan_tornado(1000);
+        assert!(
+            res.detections.is_empty(),
+            "couplet should smear away at N=1000, got {:?}",
+            res.detections
+        );
+    }
+
+    #[test]
+    fn quiet_scene_produces_no_detections() {
+        let field = WeatherField::quiet();
+        let node = RadarNode::new(0, [0.0, 0.0], params());
+        let bearing = (9_000.0f64).atan2(12_000.0);
+        let pulses = node.sector_scan(&field, bearing - 0.1, bearing + 0.1, 0.0, 33);
+        let scan = compute_moments(&pulses, &params(), 40);
+        let res = detect_tornados(&scan, [0.0, 0.0], &DetectorConfig::default());
+        assert!(res.detections.is_empty(), "false positives: {:?}", res.detections);
+    }
+
+    #[test]
+    fn false_negative_accounting() {
+        let det = vec![Detection {
+            position: [1_000.0, 0.0],
+            strength: 30.0,
+            cluster_size: 5,
+        }];
+        let truth = vec![[1_200.0, 100.0], [9_000.0, 9_000.0]];
+        assert_eq!(false_negatives(&det, &truth, 2_000.0), 1);
+        assert_eq!(false_negatives(&[], &truth, 2_000.0), 2);
+        assert_eq!(false_negatives(&det, &[], 2_000.0), 0);
+    }
+
+    #[test]
+    fn merge_clusters_across_radars() {
+        let d = |x: f64, y: f64, s: f64| Detection {
+            position: [x, y],
+            strength: s,
+            cluster_size: 4,
+        };
+        let radar_a = vec![d(12_000.0, 9_000.0, 20.0), d(30_000.0, 5_000.0, 16.0)];
+        let radar_b = vec![d(12_400.0, 8_800.0, 24.0)];
+        let merged = merge_detections(&[radar_a, radar_b], 1_000.0);
+        assert_eq!(merged.len(), 2);
+        // Strongest cluster first: the two-radar vortex.
+        assert_eq!(merged[0].radar_count, 2);
+        assert_eq!(merged[0].strength, 24.0);
+        let c = merged[0].position;
+        assert!((c[0] - 12_218.0).abs() < 10.0, "strength-weighted centroid");
+        assert_eq!(merged[1].radar_count, 1);
+    }
+
+    #[test]
+    fn merge_of_empty_inputs_is_empty() {
+        assert!(merge_detections(&[vec![], vec![]], 1_000.0).is_empty());
+    }
+
+    #[test]
+    fn two_radars_confirm_the_same_vortex() {
+        // End-to-end: both radars scan the default tornado from different
+        // sites; the merged output must contain one two-radar cluster.
+        let field = WeatherField::tornadic_default();
+        let mut per_radar = Vec::new();
+        for (id, pos) in [(0u32, [0.0, 0.0]), (1u32, [24_000.0, 0.0])] {
+            let node = RadarNode::new(id, pos, params());
+            let bearing =
+                (9_000.0 - pos[1]).atan2(12_000.0 - pos[0]);
+            let pulses = node.sector_scan(&field, bearing - 0.12, bearing + 0.12, 0.0, 61 + id as u64);
+            let scan = compute_moments(&pulses, &params(), 40);
+            per_radar.push(detect_tornados(&scan, pos, &DetectorConfig::default()).detections);
+        }
+        let merged = merge_detections(&per_radar, 2_000.0);
+        assert!(!merged.is_empty());
+        assert_eq!(merged[0].radar_count, 2, "both radars confirm: {merged:?}");
+    }
+
+    #[test]
+    fn work_scales_with_cell_count() {
+        let fine = scan_tornado(40);
+        let coarse = scan_tornado(400);
+        assert!(
+            fine.cells_examined > 5 * coarse.cells_examined,
+            "fine {} vs coarse {}",
+            fine.cells_examined,
+            coarse.cells_examined
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! The closed-loop scenario runner behind Table 1.
+//!
+//! "We obtained 38 seconds of raw data taken in the CASA testbed on May
+//! 9th 2007 during a tornadic event … the number of raw pulses used for
+//! averaging was varied … detection results … averaged over 4 sector
+//! scans." Two system constraints gate feasibility: the 4 Mb/s wireless
+//! link between radar and central node, and the ~20 s slice of each 60 s
+//! epoch available for detection.
+
+use crate::detect::{detect_tornados, false_negatives, DetectionResult, DetectorConfig};
+use crate::moments::compute_moments;
+use crate::radar::{RadarNode, RadarParams};
+use crate::weather::WeatherField;
+
+/// Scenario configuration.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    pub params: RadarParams,
+    pub detector: DetectorConfig,
+    /// Number of sector scans ("4 sector scans in the 38 second period").
+    pub num_scans: usize,
+    /// Sector half-width around the storm bearing (rad).
+    pub sector_half_width: f64,
+    /// Seconds between scan starts.
+    pub scan_period_s: f64,
+    /// Link budget (bits per second) for moment-data transmission.
+    pub link_bps: f64,
+    /// Detection deadline within the epoch (s).
+    pub detection_deadline_s: f64,
+    /// Detector work budget in cells per scenario, calibrated so that the
+    /// paper's feasibility crossover (only N ≥ 500 fits the 20 s window
+    /// on the 2007 testbed hardware) is reproduced independently of this
+    /// machine's speed. Wall-clock runtime is still reported.
+    pub detection_cell_budget: usize,
+    /// Match radius for false-negative accounting (m).
+    pub match_radius_m: f64,
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            params: RadarParams::default(),
+            detector: DetectorConfig::default(),
+            num_scans: 4,
+            sector_half_width: 0.12,
+            scan_period_s: 9.5,
+            link_bps: 4.0e6,
+            detection_deadline_s: 20.0,
+            detection_cell_budget: 18_000,
+            match_radius_m: 2_000.0,
+            seed: 4242,
+        }
+    }
+}
+
+/// One row of Table 1 (plus feasibility columns).
+#[derive(Debug, Clone)]
+pub struct AveragingRow {
+    pub averaging_size: usize,
+    /// Total moment data across all scans (MB).
+    pub moment_mb: f64,
+    /// Total detection runtime across all scans (s).
+    pub detection_secs: f64,
+    /// Mean number of reported tornados per scan.
+    pub reported_tornados: f64,
+    /// Mean false negatives per scan.
+    pub false_negatives: f64,
+    /// Total detector work (cells examined) across all scans.
+    pub cells_examined: usize,
+    /// Would the moment data fit the wireless link during the scenario?
+    pub fits_link: bool,
+    /// Does detection fit the epoch's detection window (work-budget
+    /// model calibrated to the paper's testbed; see config)?
+    pub fits_deadline: bool,
+}
+
+/// Run the tornadic scenario at one averaging size.
+pub fn run_scenario(field: &WeatherField, n_avg: usize, cfg: &ScenarioConfig) -> AveragingRow {
+    let radar = RadarNode::new(0, [0.0, 0.0], cfg.params);
+    let mut total_mb = 0.0;
+    let mut total_runtime = 0.0;
+    let mut reported = 0.0;
+    let mut fns = 0.0;
+    let mut cells = 0usize;
+
+    for scan_idx in 0..cfg.num_scans {
+        let t0 = scan_idx as f64 * cfg.scan_period_s;
+        // Re-aim the sector at the (moving) storm each scan — the
+        // closed-loop re-steering of the CASA system.
+        let truth = field.active_tornados(t0);
+        let aim = truth
+            .first()
+            .map(|v| v.center_at(t0))
+            .unwrap_or([12_000.0, 9_000.0]);
+        let bearing = (aim[1] - radar.pos[1]).atan2(aim[0] - radar.pos[0]);
+        let pulses = radar.sector_scan(
+            field,
+            bearing - cfg.sector_half_width,
+            bearing + cfg.sector_half_width,
+            t0,
+            cfg.seed + scan_idx as u64,
+        );
+        let moments = compute_moments(&pulses, &cfg.params, n_avg);
+        total_mb += moments.size_mb();
+        let result: DetectionResult = detect_tornados(&moments, radar.pos, &cfg.detector);
+        total_runtime += result.runtime_secs;
+        cells += result.cells_examined;
+        reported += result.detections.len() as f64;
+        let truth_pos: Vec<[f64; 2]> = truth.iter().map(|v| v.center_at(t0)).collect();
+        fns += false_negatives(&result.detections, &truth_pos, cfg.match_radius_m) as f64;
+    }
+
+    let scans = cfg.num_scans as f64;
+    let scenario_secs = scans * cfg.scan_period_s;
+    AveragingRow {
+        averaging_size: n_avg,
+        moment_mb: total_mb,
+        detection_secs: total_runtime,
+        reported_tornados: reported / scans,
+        false_negatives: fns / scans,
+        cells_examined: cells,
+        fits_link: total_mb * 8.0e6 <= cfg.link_bps * scenario_secs,
+        fits_deadline: total_runtime <= cfg.detection_deadline_s
+            && cells <= cfg.detection_cell_budget,
+    }
+}
+
+/// Run the full Table 1 sweep.
+pub fn table1_sweep(
+    field: &WeatherField,
+    averaging_sizes: &[usize],
+    cfg: &ScenarioConfig,
+) -> Vec<AveragingRow> {
+    averaging_sizes
+        .iter()
+        .map(|&n| run_scenario(field, n, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> ScenarioConfig {
+        ScenarioConfig {
+            params: RadarParams {
+                gates: 416,
+                gate_spacing: 48.0,
+                ..Default::default()
+            },
+            num_scans: 2,
+            scan_period_s: 2.0,
+            sector_half_width: 0.1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fine_averaging_finds_tornado_coarse_loses_it() {
+        let field = WeatherField::tornadic_default();
+        let cfg = fast_cfg();
+        let fine = run_scenario(&field, 40, &cfg);
+        let coarse = run_scenario(&field, 1000, &cfg);
+        assert!(
+            fine.reported_tornados >= 0.5,
+            "fine: {:?}",
+            fine.reported_tornados
+        );
+        assert!(
+            coarse.reported_tornados < fine.reported_tornados,
+            "coarse ({}) should lose detections vs fine ({})",
+            coarse.reported_tornados,
+            fine.reported_tornados
+        );
+        assert!(coarse.false_negatives >= fine.false_negatives);
+    }
+
+    #[test]
+    fn moment_size_monotone_in_averaging() {
+        let field = WeatherField::tornadic_default();
+        let cfg = fast_cfg();
+        let rows = table1_sweep(&field, &[40, 100, 500], &cfg);
+        assert!(rows[0].moment_mb > rows[1].moment_mb);
+        assert!(rows[1].moment_mb > rows[2].moment_mb);
+    }
+
+    #[test]
+    fn link_feasibility_improves_with_averaging() {
+        let field = WeatherField::tornadic_default();
+        let mut cfg = fast_cfg();
+        // Tight link so fine averaging cannot fit.
+        cfg.link_bps = 2.0e5;
+        let fine = run_scenario(&field, 40, &cfg);
+        let coarse = run_scenario(&field, 1000, &cfg);
+        assert!(!fine.fits_link, "fine data should overflow a 0.2 Mb/s link");
+        assert!(coarse.fits_link, "coarse data fits");
+    }
+
+    #[test]
+    fn quiet_scene_reports_nothing_any_averaging() {
+        let field = WeatherField::quiet();
+        let cfg = fast_cfg();
+        for n in [40, 200] {
+            let row = run_scenario(&field, n, &cfg);
+            assert_eq!(row.reported_tornados, 0.0, "false alarm at N={n}");
+            assert_eq!(row.false_negatives, 0.0, "no truth ⇒ no FN");
+        }
+    }
+
+    #[test]
+    fn detection_work_shrinks_with_averaging() {
+        let field = WeatherField::tornadic_default();
+        let cfg = fast_cfg();
+        let fine = run_scenario(&field, 40, &cfg);
+        let coarse = run_scenario(&field, 500, &cfg);
+        // Wall-clock can be noisy; data volume is the robust proxy and
+        // the runtime should at least not grow.
+        assert!(coarse.moment_mb < fine.moment_mb / 5.0);
+        assert!(coarse.detection_secs <= fine.detection_secs * 1.5);
+    }
+}

@@ -1,0 +1,33 @@
+//! # radar-sim — CASA-style radar network simulator
+//!
+//! The substrate substituting for the paper's CASA testbed data (§2.2):
+//! a synthetic tornadic atmosphere scanned by X-band radar nodes at the
+//! paper's raw data rate (2000 pulses/s × 832 gates × 4 f32 ≈ 205 Mb/s),
+//! pulse-pair moment estimation with configurable averaging size (the
+//! Table 1 knob), polar→Cartesian merging, an azimuthal-shear tornado
+//! detector, and the closed-loop scenario runner that regenerates
+//! Table 1's rows.
+//!
+//! - [`weather`] — reflectivity/wind fields with Rankine-vortex tornados.
+//! - [`radar`] — radar geometry and per-pulse I/Q synthesis.
+//! - [`moments`] — pulse-pair estimators over N-pulse averaging groups.
+//! - [`merge`] — Cartesian compositing and multi-radar fusion.
+//! - [`detect`] — velocity-couplet detector + false-negative accounting.
+//! - [`epoch`] — the 38-second / 4-sector-scan Table 1 scenario.
+//! - [`uncertainty`] — the §4.4 radar T operator (MA-CLT velocity pdfs).
+
+pub mod detect;
+pub mod epoch;
+pub mod merge;
+pub mod moments;
+pub mod radar;
+pub mod uncertainty;
+pub mod weather;
+
+pub use detect::{detect_tornados, false_negatives, merge_detections, Detection, DetectionResult, DetectorConfig, MergedDetection};
+pub use epoch::{run_scenario, table1_sweep, AveragingRow, ScenarioConfig};
+pub use merge::{merge_scan, CartesianGrid};
+pub use moments::{compute_moments, per_pulse_velocity_series, MomentCell, MomentRadial, MomentScan};
+pub use radar::{Pulse, RadarNode, RadarParams};
+pub use uncertainty::{RadarTOperator, VelocityUq};
+pub use weather::{StormCell, Tornado, WeatherField};

@@ -1,0 +1,236 @@
+//! Merging moment data from multiple radars (§2.2): polar → Cartesian
+//! conversion and fusion of spatially-overlapping measurements ("in the
+//! database terminology, joins").
+//!
+//! The conversion "can cause uneven distribution of data density in the
+//! Cartesian system": near a radar many polar cells map into one grid
+//! cell; far away, grid cells may receive none. The merge tracks the
+//! per-cell sample count so that quality effect is observable.
+
+use crate::moments::MomentScan;
+
+/// A Cartesian composite grid.
+#[derive(Debug, Clone)]
+pub struct CartesianGrid {
+    /// Grid origin (m).
+    pub origin: [f64; 2],
+    /// Cell edge length (m).
+    pub cell: f64,
+    pub nx: usize,
+    pub ny: usize,
+    /// Per-cell mean reflectivity (dB); NaN when empty.
+    pub reflectivity: Vec<f32>,
+    /// Per-cell mean radial velocity magnitude contribution (m/s).
+    pub velocity: Vec<f32>,
+    /// Number of polar samples fused into each cell (density measure).
+    pub samples: Vec<u32>,
+    /// Number of distinct radars contributing to each cell.
+    pub radar_count: Vec<u8>,
+}
+
+impl CartesianGrid {
+    pub fn new(origin: [f64; 2], cell: f64, nx: usize, ny: usize) -> Self {
+        assert!(cell > 0.0 && nx > 0 && ny > 0);
+        CartesianGrid {
+            origin,
+            cell,
+            nx,
+            ny,
+            reflectivity: vec![f32::NAN; nx * ny],
+            velocity: vec![0.0; nx * ny],
+            samples: vec![0; nx * ny],
+            radar_count: vec![0; nx * ny],
+        }
+    }
+
+    pub fn index_of(&self, p: [f64; 2]) -> Option<usize> {
+        let ix = ((p[0] - self.origin[0]) / self.cell).floor();
+        let iy = ((p[1] - self.origin[1]) / self.cell).floor();
+        if ix < 0.0 || iy < 0.0 {
+            return None;
+        }
+        let (ix, iy) = (ix as usize, iy as usize);
+        if ix >= self.nx || iy >= self.ny {
+            None
+        } else {
+            Some(iy * self.nx + ix)
+        }
+    }
+
+    pub fn cell_center(&self, idx: usize) -> [f64; 2] {
+        let ix = idx % self.nx;
+        let iy = idx / self.nx;
+        [
+            self.origin[0] + (ix as f64 + 0.5) * self.cell,
+            self.origin[1] + (iy as f64 + 0.5) * self.cell,
+        ]
+    }
+
+    /// Fraction of cells that received no data (coverage gap metric).
+    pub fn empty_fraction(&self) -> f64 {
+        self.samples.iter().filter(|&&s| s == 0).count() as f64 / self.samples.len() as f64
+    }
+
+    /// Fraction of covered cells observed by ≥2 radars.
+    pub fn overlap_fraction(&self) -> f64 {
+        let covered = self.samples.iter().filter(|&&s| s > 0).count();
+        if covered == 0 {
+            return 0.0;
+        }
+        self.radar_count.iter().filter(|&&c| c >= 2).count() as f64 / covered as f64
+    }
+}
+
+/// Merge one radar's moment scan into the grid (call once per radar; the
+/// grid accumulates). Each polar cell deposits into the Cartesian cell
+/// containing it (running means).
+pub fn merge_scan(grid: &mut CartesianGrid, scan: &MomentScan, radar_pos: [f64; 2], radar_tag: u8) {
+    // Track which cells this radar touched to update radar_count once.
+    let mut touched: Vec<usize> = Vec::new();
+    for radial in &scan.radials {
+        let (sin_az, cos_az) = radial.azimuth.sin_cos();
+        for cell in &radial.cells {
+            let p = [
+                radar_pos[0] + cell.range * cos_az,
+                radar_pos[1] + cell.range * sin_az,
+            ];
+            let Some(idx) = grid.index_of(p) else {
+                continue;
+            };
+            let n = grid.samples[idx] as f32;
+            let refl = if grid.reflectivity[idx].is_nan() {
+                cell.reflectivity
+            } else {
+                (grid.reflectivity[idx] * n + cell.reflectivity) / (n + 1.0)
+            };
+            grid.reflectivity[idx] = refl;
+            grid.velocity[idx] =
+                (grid.velocity[idx] * n + cell.velocity.abs()) / (n + 1.0);
+            grid.samples[idx] += 1;
+            if !touched.contains(&idx) {
+                touched.push(idx);
+            }
+        }
+    }
+    let _ = radar_tag;
+    for idx in touched {
+        grid.radar_count[idx] = grid.radar_count[idx].saturating_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::compute_moments;
+    use crate::radar::{RadarNode, RadarParams};
+    use crate::weather::WeatherField;
+
+    fn params() -> RadarParams {
+        RadarParams {
+            gates: 200,
+            gate_spacing: 100.0,
+            ..Default::default()
+        }
+    }
+
+    fn scan_from(pos: [f64; 2], az0: f64, az1: f64, seed: u64) -> MomentScan {
+        let field = WeatherField::tornadic_default();
+        let node = RadarNode::new(seed as u32, pos, params());
+        let pulses = node.sector_scan(&field, az0, az1, 0.0, seed);
+        compute_moments(&pulses, &params(), 100)
+    }
+
+    #[test]
+    fn grid_indexing() {
+        let g = CartesianGrid::new([0.0, 0.0], 500.0, 40, 40);
+        assert_eq!(g.index_of([250.0, 250.0]), Some(0));
+        assert_eq!(g.index_of([750.0, 250.0]), Some(1));
+        assert_eq!(g.index_of([250.0, 750.0]), Some(40));
+        assert_eq!(g.index_of([-1.0, 0.0]), None);
+        assert_eq!(g.index_of([25_000.0, 0.0]), None);
+        let c = g.cell_center(41);
+        assert_eq!(c, [750.0, 750.0]);
+    }
+
+    #[test]
+    fn merge_fills_cells_along_beams() {
+        let mut g = CartesianGrid::new([0.0, 0.0], 500.0, 40, 40);
+        let scan = scan_from([0.0, 0.0], 0.5, 0.7, 1);
+        merge_scan(&mut g, &scan, [0.0, 0.0], 0);
+        assert!(g.empty_fraction() < 1.0, "some cells filled");
+        let filled = g.samples.iter().filter(|&&s| s > 0).count();
+        assert!(filled > 20, "{filled} cells covered");
+    }
+
+    #[test]
+    fn density_uneven_near_vs_far() {
+        // The §2.2 quality issue: polar sampling is denser near the radar.
+        let mut g = CartesianGrid::new([0.0, 0.0], 500.0, 40, 40);
+        let scan = scan_from([0.0, 0.0], 0.3, 0.9, 2);
+        merge_scan(&mut g, &scan, [0.0, 0.0], 0);
+        // Compare sample counts in near (≤5 km) vs far (≥15 km) covered cells.
+        let mut near = Vec::new();
+        let mut far = Vec::new();
+        for (idx, &s) in g.samples.iter().enumerate() {
+            if s == 0 {
+                continue;
+            }
+            let c = g.cell_center(idx);
+            let r = (c[0] * c[0] + c[1] * c[1]).sqrt();
+            if r < 5_000.0 {
+                near.push(s);
+            } else if r > 15_000.0 {
+                far.push(s);
+            }
+        }
+        let mean = |v: &[u32]| v.iter().sum::<u32>() as f64 / v.len().max(1) as f64;
+        assert!(
+            mean(&near) > 2.0 * mean(&far),
+            "near density {} vs far {}",
+            mean(&near),
+            mean(&far)
+        );
+    }
+
+    #[test]
+    fn two_radars_overlap() {
+        let mut g = CartesianGrid::new([0.0, 0.0], 500.0, 60, 60);
+        // Radar A at origin looks northeast; radar B east of the scene
+        // looks northwest; they overlap over the storm.
+        let a = scan_from([0.0, 0.0], 0.5, 0.8, 3);
+        merge_scan(&mut g, &a, [0.0, 0.0], 0);
+        let b_node_pos = [24_000.0, 0.0];
+        let field = WeatherField::tornadic_default();
+        let node = RadarNode::new(9, b_node_pos, params());
+        let pulses = node.sector_scan(&field, 2.2, 2.6, 0.0, 4);
+        let b = compute_moments(&pulses, &params(), 100);
+        merge_scan(&mut g, &b, b_node_pos, 1);
+        assert!(
+            g.overlap_fraction() > 0.0,
+            "some cells observed by both radars"
+        );
+        let multi = g.radar_count.iter().filter(|&&c| c >= 2).count();
+        assert!(multi > 0, "{multi} multi-radar cells");
+    }
+
+    #[test]
+    fn merged_reflectivity_shows_storm() {
+        let mut g = CartesianGrid::new([0.0, 0.0], 500.0, 60, 60);
+        // Aim right at the storm (bearing ≈ 0.6435 rad).
+        let scan = scan_from([0.0, 0.0], 0.5, 0.8, 5);
+        merge_scan(&mut g, &scan, [0.0, 0.0], 0);
+        // The storm cell near (12 km, 9 km) should be the hottest region.
+        let storm_idx = g.index_of([12_000.0, 9_000.0]).unwrap();
+        if g.samples[storm_idx] > 0 {
+            let bg: Vec<f32> = g
+                .reflectivity
+                .iter()
+                .zip(g.samples.iter())
+                .filter(|(_, &s)| s > 0)
+                .map(|(&r, _)| r)
+                .collect();
+            let mean_bg = bg.iter().sum::<f32>() / bg.len() as f32;
+            assert!(g.reflectivity[storm_idx] > mean_bg);
+        }
+    }
+}

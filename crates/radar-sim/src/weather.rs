@@ -1,0 +1,252 @@
+//! Synthetic atmosphere: reflectivity + wind fields with embedded
+//! Rankine-vortex tornados (the stand-in for the May 9 2007 tornadic
+//! event of Table 1).
+//!
+//! Units: meters, seconds, m/s, dBZ. The coordinate origin is arbitrary;
+//! radars are placed in the same frame.
+
+/// Ground-truth description of one tornado vortex.
+#[derive(Debug, Clone, Copy)]
+pub struct Tornado {
+    /// Vortex centre at t = 0 (m).
+    pub center: [f64; 2],
+    /// Translation velocity (m/s).
+    pub motion: [f64; 2],
+    /// Peak tangential wind (m/s).
+    pub v_max: f64,
+    /// Core radius (m) — tangential wind peaks here.
+    pub r_core: f64,
+    /// Seconds after scenario start when the vortex forms.
+    pub onset_s: f64,
+}
+
+impl Tornado {
+    /// Centre position at time t.
+    pub fn center_at(&self, t: f64) -> [f64; 2] {
+        [
+            self.center[0] + self.motion[0] * t,
+            self.center[1] + self.motion[1] * t,
+        ]
+    }
+
+    /// Rankine tangential wind speed at distance r from the centre.
+    pub fn tangential(&self, r: f64) -> f64 {
+        if r <= 0.0 {
+            return 0.0;
+        }
+        if r < self.r_core {
+            self.v_max * r / self.r_core
+        } else {
+            self.v_max * self.r_core / r
+        }
+    }
+
+    /// Vortex wind vector at point p and time t (counter-clockwise).
+    pub fn wind_at(&self, p: [f64; 2], t: f64) -> [f64; 2] {
+        if t < self.onset_s {
+            return [0.0, 0.0];
+        }
+        let c = self.center_at(t);
+        let dx = p[0] - c[0];
+        let dy = p[1] - c[1];
+        let r = (dx * dx + dy * dy).sqrt();
+        let vt = self.tangential(r);
+        if r < 1e-9 {
+            return [0.0, 0.0];
+        }
+        // Tangential direction (counter-clockwise): (−dy, dx)/r.
+        [-vt * dy / r, vt * dx / r]
+    }
+}
+
+/// A storm cell contributing reflectivity.
+#[derive(Debug, Clone, Copy)]
+pub struct StormCell {
+    pub center: [f64; 2],
+    pub motion: [f64; 2],
+    /// Peak reflectivity (dBZ).
+    pub peak_dbz: f64,
+    /// Spatial spread (m).
+    pub sigma: f64,
+}
+
+impl StormCell {
+    pub fn dbz_at(&self, p: [f64; 2], t: f64) -> f64 {
+        let c = [
+            self.center[0] + self.motion[0] * t,
+            self.center[1] + self.motion[1] * t,
+        ];
+        let dx = p[0] - c[0];
+        let dy = p[1] - c[1];
+        self.peak_dbz * (-(dx * dx + dy * dy) / (2.0 * self.sigma * self.sigma)).exp()
+    }
+}
+
+/// The full scene.
+#[derive(Debug, Clone)]
+pub struct WeatherField {
+    /// Background reflectivity (dBZ).
+    pub background_dbz: f64,
+    /// Uniform ambient wind (m/s).
+    pub ambient_wind: [f64; 2],
+    pub cells: Vec<StormCell>,
+    pub tornados: Vec<Tornado>,
+}
+
+impl WeatherField {
+    /// The default tornadic scenario used by Table 1: one supercell with
+    /// an embedded vortex, translating slowly east-northeast.
+    pub fn tornadic_default() -> WeatherField {
+        WeatherField {
+            background_dbz: 8.0,
+            ambient_wind: [4.0, 1.5],
+            cells: vec![StormCell {
+                center: [12_000.0, 9_000.0],
+                motion: [8.0, 3.0],
+                peak_dbz: 52.0,
+                sigma: 4_000.0,
+            }],
+            tornados: vec![Tornado {
+                center: [12_000.0, 9_000.0],
+                motion: [8.0, 3.0],
+                v_max: 12.0,
+                r_core: 900.0,
+                onset_s: 0.0,
+            }],
+        }
+    }
+
+    /// A quiet (non-tornadic) scene for false-positive testing.
+    pub fn quiet() -> WeatherField {
+        WeatherField {
+            background_dbz: 8.0,
+            ambient_wind: [4.0, 1.5],
+            cells: vec![StormCell {
+                center: [12_000.0, 9_000.0],
+                motion: [8.0, 3.0],
+                peak_dbz: 45.0,
+                sigma: 4_000.0,
+            }],
+            tornados: vec![],
+        }
+    }
+
+    /// Reflectivity at point p, time t (dBZ, additive in linear Z).
+    pub fn reflectivity(&self, p: [f64; 2], t: f64) -> f64 {
+        let mut z_lin = 10f64.powf(self.background_dbz / 10.0);
+        for c in &self.cells {
+            z_lin += 10f64.powf(c.dbz_at(p, t).max(0.0) / 10.0) - 1.0;
+        }
+        10.0 * z_lin.log10()
+    }
+
+    /// Total wind vector at p, t.
+    pub fn wind(&self, p: [f64; 2], t: f64) -> [f64; 2] {
+        let mut w = self.ambient_wind;
+        for v in &self.tornados {
+            let tw = v.wind_at(p, t);
+            w[0] += tw[0];
+            w[1] += tw[1];
+        }
+        w
+    }
+
+    /// Tornados active at time t (ground truth for false negatives).
+    pub fn active_tornados(&self, t: f64) -> Vec<Tornado> {
+        self.tornados
+            .iter()
+            .copied()
+            .filter(|v| t >= v.onset_s)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rankine_profile_peaks_at_core() {
+        let v = Tornado {
+            center: [0.0, 0.0],
+            motion: [0.0, 0.0],
+            v_max: 12.0,
+            r_core: 900.0,
+            onset_s: 0.0,
+        };
+        assert!(v.tangential(450.0) < v.tangential(900.0));
+        assert_eq!(v.tangential(900.0), 12.0);
+        assert!(v.tangential(1800.0) < 12.0);
+        assert!((v.tangential(1800.0) - 6.0).abs() < 1e-12, "1/r decay");
+    }
+
+    #[test]
+    fn vortex_wind_is_tangential() {
+        let v = Tornado {
+            center: [0.0, 0.0],
+            motion: [0.0, 0.0],
+            v_max: 10.0,
+            r_core: 500.0,
+            onset_s: 0.0,
+        };
+        // East of the centre, CCW rotation blows north (+y).
+        let w = v.wind_at([500.0, 0.0], 0.0);
+        assert!(w[0].abs() < 1e-9);
+        assert!((w[1] - 10.0).abs() < 1e-9);
+        // West of the centre: south.
+        let w2 = v.wind_at([-500.0, 0.0], 0.0);
+        assert!((w2[1] + 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vortex_advects() {
+        let v = Tornado {
+            center: [0.0, 0.0],
+            motion: [10.0, 0.0],
+            v_max: 10.0,
+            r_core: 500.0,
+            onset_s: 0.0,
+        };
+        let c = v.center_at(30.0);
+        assert_eq!(c, [300.0, 0.0]);
+    }
+
+    #[test]
+    fn onset_suppresses_early_wind() {
+        let v = Tornado {
+            center: [0.0, 0.0],
+            motion: [0.0, 0.0],
+            v_max: 10.0,
+            r_core: 500.0,
+            onset_s: 100.0,
+        };
+        assert_eq!(v.wind_at([500.0, 0.0], 50.0), [0.0, 0.0]);
+        assert!(v.wind_at([500.0, 0.0], 150.0)[1] > 0.0);
+    }
+
+    #[test]
+    fn reflectivity_peaks_in_storm() {
+        let f = WeatherField::tornadic_default();
+        let in_storm = f.reflectivity([12_000.0, 9_000.0], 0.0);
+        let outside = f.reflectivity([40_000.0, 40_000.0], 0.0);
+        assert!(in_storm > 45.0, "storm core {in_storm:.1} dBZ");
+        assert!(outside < 12.0, "background {outside:.1} dBZ");
+    }
+
+    #[test]
+    fn wind_includes_ambient_and_vortex() {
+        let f = WeatherField::tornadic_default();
+        let far = f.wind([60_000.0, 60_000.0], 0.0);
+        assert!((far[0] - 4.0).abs() < 0.2, "ambient only far away");
+        let near = f.wind([12_900.0, 9_000.0], 0.0);
+        let speed = (near[0].powi(2) + near[1].powi(2)).sqrt();
+        assert!(speed > 10.0, "vortex boosts wind to {speed:.1} m/s");
+    }
+
+    #[test]
+    fn quiet_scene_has_no_tornados() {
+        let f = WeatherField::quiet();
+        assert!(f.active_tornados(100.0).is_empty());
+        assert_eq!(WeatherField::tornadic_default().active_tornados(10.0).len(), 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # rfid-sim — mobile-RFID warehouse simulator
+//!
+//! The substrate substituting for the paper's collected RFID traces
+//! (§2.1): a warehouse of shelves (tags at known positions — the §4.2
+//! reference objects) and tagged objects, scanned by a mobile reader with
+//! a logistic distance/angle sensing model. Ground truth is retained so
+//! inference error (Figure 3a) can be measured exactly.
+//!
+//! - [`world`] — shelf grid, objects (weight/type metadata for Q1/Q2),
+//!   occasional shelf-to-shelf moves.
+//! - [`reader`] — patrol trajectories and noisy reported pose.
+//! - [`sensing`] — logistic read-probability model, `clean`/`noisy`
+//!   regimes.
+//! - [`trace`] — scan loop producing `RawReading`s + truth snapshots.
+//! - [`temperature`] — the Q2 temperature field and sensor stream.
+
+pub mod reader;
+pub mod sensing;
+pub mod temperature;
+pub mod trace;
+pub mod world;
+
+pub use reader::{MobileReader, Trajectory};
+pub use sensing::SensingModel;
+pub use temperature::{HotSpot, TempField, TempReading, TempSensorGrid};
+pub use trace::{RawReading, Scan, TagRef, TraceConfig, TraceGenerator, TruthSnapshot};
+pub use world::{ObjectKind, ObjectState, Shelf, World, WorldConfig};

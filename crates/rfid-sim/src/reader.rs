@@ -1,0 +1,184 @@
+//! The mobile RFID reader: trajectory and noisy reported pose (§2.1).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Reader trajectory model.
+#[derive(Debug, Clone)]
+pub enum Trajectory {
+    /// Serpentine patrol over the floor: sweeps each aisle in turn.
+    Patrol {
+        width: f64,
+        depth: f64,
+        /// Aisle spacing (ft).
+        aisle_step: f64,
+        /// Travel speed (ft per scan tick).
+        speed: f64,
+    },
+    /// Fixed position (degenerates to a static reader).
+    Fixed([f64; 3]),
+}
+
+/// The mobile reader.
+#[derive(Debug, Clone)]
+pub struct MobileReader {
+    trajectory: Trajectory,
+    /// Height the reader is carried at (ft).
+    pub height: f64,
+    /// Std-dev of the reported-position noise (ft); the reader "optionally"
+    /// reports its own (noisy) location.
+    pub pose_noise: f64,
+    /// Maximum read range (ft) — "can be twenty feet away in any direction".
+    pub max_range: f64,
+    /// Distance travelled along the patrol (internal clock).
+    travelled: f64,
+}
+
+impl MobileReader {
+    pub fn new(trajectory: Trajectory) -> Self {
+        MobileReader {
+            trajectory,
+            height: 4.0,
+            pose_noise: 0.5,
+            max_range: 20.0,
+            travelled: 0.0,
+        }
+    }
+
+    /// True position at the current tick.
+    pub fn true_pos(&self) -> [f64; 3] {
+        match &self.trajectory {
+            Trajectory::Fixed(p) => *p,
+            Trajectory::Patrol {
+                width,
+                depth,
+                aisle_step,
+                ..
+            } => {
+                // Serpentine: go +x across, step +y, come back −x, …
+                let lap = 2.0 * width + 2.0 * aisle_step;
+                let n_aisles = (depth / aisle_step).max(1.0).floor();
+                let total = lap * n_aisles;
+                let s = self.travelled % total;
+                let aisle = (s / lap).floor();
+                let within = s % lap;
+                let y_base = (aisle * 2.0 * aisle_step + 0.5 * aisle_step).min(depth - 0.5);
+                let (x, y) = if within < *width {
+                    (within, y_base)
+                } else if within < width + aisle_step {
+                    (*width, y_base + (within - width))
+                } else if within < 2.0 * width + aisle_step {
+                    (width - (within - width - aisle_step), y_base + aisle_step)
+                } else {
+                    (0.0, y_base + aisle_step + (within - 2.0 * width - aisle_step))
+                };
+                [x, y, self.height]
+            }
+        }
+    }
+
+    /// Advance one scan tick.
+    pub fn step(&mut self) {
+        if let Trajectory::Patrol { speed, .. } = &self.trajectory {
+            self.travelled += speed;
+        }
+    }
+
+    /// The reported (noisy) pose, or `None` with probability
+    /// `dropout` (readers sometimes omit their location).
+    pub fn reported_pos(&self, dropout: f64, rng: &mut StdRng) -> Option<[f64; 3]> {
+        if rng.gen::<f64>() < dropout {
+            return None;
+        }
+        let p = self.true_pos();
+        let mut gauss = || {
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen::<f64>();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        Some([
+            p[0] + self.pose_noise * gauss(),
+            p[1] + self.pose_noise * gauss(),
+            p[2] + self.pose_noise * gauss(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn patrol() -> MobileReader {
+        MobileReader::new(Trajectory::Patrol {
+            width: 60.0,
+            depth: 60.0,
+            aisle_step: 12.0,
+            speed: 2.0,
+        })
+    }
+
+    #[test]
+    fn fixed_reader_stays_put() {
+        let mut r = MobileReader::new(Trajectory::Fixed([1.0, 2.0, 3.0]));
+        let p0 = r.true_pos();
+        r.step();
+        assert_eq!(r.true_pos(), p0);
+    }
+
+    #[test]
+    fn patrol_covers_the_floor() {
+        let mut r = patrol();
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for _ in 0..2000 {
+            let p = r.true_pos();
+            min_x = min_x.min(p[0]);
+            max_x = max_x.max(p[0]);
+            min_y = min_y.min(p[1]);
+            max_y = max_y.max(p[1]);
+            assert!(p[0] >= -1e-9 && p[0] <= 60.0 + 1e-9, "x = {}", p[0]);
+            r.step();
+        }
+        assert!(max_x - min_x > 40.0, "sweeps most of the width");
+        assert!(max_y - min_y > 20.0, "visits multiple aisles");
+    }
+
+    #[test]
+    fn patrol_moves_each_tick() {
+        let mut r = patrol();
+        let a = r.true_pos();
+        r.step();
+        let b = r.true_pos();
+        assert!((a[0] - b[0]).abs() + (a[1] - b[1]).abs() > 0.5);
+    }
+
+    #[test]
+    fn reported_pose_noisy_but_unbiased() {
+        let r = MobileReader::new(Trajectory::Fixed([10.0, 10.0, 4.0]));
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = [0.0f64; 3];
+        let n = 5000;
+        for _ in 0..n {
+            let p = r.reported_pos(0.0, &mut rng).unwrap();
+            for (s, v) in sum.iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for (i, want) in [10.0, 10.0, 4.0].iter().enumerate() {
+            assert!((sum[i] / n as f64 - want).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn dropout_suppresses_reports() {
+        let r = MobileReader::new(Trajectory::Fixed([0.0, 0.0, 4.0]));
+        let mut rng = StdRng::seed_from_u64(2);
+        let reported = (0..1000)
+            .filter(|_| r.reported_pos(0.3, &mut rng).is_some())
+            .count();
+        assert!((650..=750).contains(&reported), "reported = {reported}");
+    }
+}

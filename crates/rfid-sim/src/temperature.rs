@@ -1,0 +1,235 @@
+//! Synthetic temperature field and sensor stream for Q2 (the
+//! `TempStream` of §2.1: tuples `(time, (x,y,z), temp)`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A hot spot (e.g. an incipient fire) that grows over time.
+#[derive(Debug, Clone)]
+pub struct HotSpot {
+    pub center: [f64; 2],
+    /// Peak excess temperature (°C) at full development.
+    pub peak: f64,
+    /// Spatial spread (ft).
+    pub sigma: f64,
+    /// Time (ms) at which the hot spot starts developing.
+    pub onset_ms: u64,
+    /// Time (ms) it takes to reach full strength after onset.
+    pub ramp_ms: u64,
+}
+
+/// The ambient temperature field.
+#[derive(Debug, Clone)]
+pub struct TempField {
+    /// Base temperature (°C).
+    pub ambient: f64,
+    pub hot_spots: Vec<HotSpot>,
+}
+
+impl TempField {
+    pub fn ambient_only(ambient: f64) -> Self {
+        TempField {
+            ambient,
+            hot_spots: Vec::new(),
+        }
+    }
+
+    /// True temperature at (x, y) and time t.
+    pub fn at(&self, xy: [f64; 2], t_ms: u64) -> f64 {
+        let mut temp = self.ambient;
+        for h in &self.hot_spots {
+            if t_ms < h.onset_ms {
+                continue;
+            }
+            let ramp = ((t_ms - h.onset_ms) as f64 / h.ramp_ms.max(1) as f64).min(1.0);
+            let dx = xy[0] - h.center[0];
+            let dy = xy[1] - h.center[1];
+            let spatial = (-(dx * dx + dy * dy) / (2.0 * h.sigma * h.sigma)).exp();
+            temp += h.peak * ramp * spatial;
+        }
+        temp
+    }
+}
+
+/// One temperature sensor reading.
+#[derive(Debug, Clone)]
+pub struct TempReading {
+    pub ts: u64,
+    /// Sensor position (x, y, z) — known exactly (fixed sensors).
+    pub pos: [f64; 3],
+    /// Observed temperature (noisy).
+    pub temp: f64,
+    /// Sensor noise std-dev (the uncertainty the T operator attaches).
+    pub noise_sd: f64,
+}
+
+/// A grid of fixed temperature sensors sampling the field.
+pub struct TempSensorGrid {
+    field: TempField,
+    positions: Vec<[f64; 3]>,
+    noise_sd: f64,
+    interval_ms: u64,
+    rng: StdRng,
+    t: u64,
+}
+
+impl TempSensorGrid {
+    pub fn new(
+        field: TempField,
+        extent: (f64, f64),
+        spacing: f64,
+        noise_sd: f64,
+        interval_ms: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(spacing > 0.0 && noise_sd >= 0.0 && interval_ms > 0);
+        let mut positions = Vec::new();
+        let (w, d) = extent;
+        let nx = (w / spacing).ceil() as usize;
+        let ny = (d / spacing).ceil() as usize;
+        for iy in 0..ny {
+            for ix in 0..nx {
+                positions.push([
+                    (ix as f64 + 0.5) * spacing,
+                    (iy as f64 + 0.5) * spacing,
+                    8.0, // ceiling-mounted
+                ]);
+            }
+        }
+        TempSensorGrid {
+            field,
+            positions,
+            noise_sd,
+            interval_ms,
+            rng: StdRng::seed_from_u64(seed),
+            t: 0,
+        }
+    }
+
+    pub fn num_sensors(&self) -> usize {
+        self.positions.len()
+    }
+
+    pub fn field(&self) -> &TempField {
+        &self.field
+    }
+
+    /// One sweep: a reading from every sensor at the current tick.
+    pub fn next_sweep(&mut self) -> Vec<TempReading> {
+        let t = self.t;
+        let out = self
+            .positions
+            .iter()
+            .map(|&pos| {
+                let truth = self.field.at([pos[0], pos[1]], t);
+                let noise = {
+                    let u1: f64 = self.rng.gen::<f64>().max(1e-12);
+                    let u2: f64 = self.rng.gen::<f64>();
+                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+                };
+                TempReading {
+                    ts: t,
+                    pos,
+                    temp: truth + self.noise_sd * noise,
+                    noise_sd: self.noise_sd,
+                }
+            })
+            .collect();
+        self.t += self.interval_ms;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field_with_fire() -> TempField {
+        TempField {
+            ambient: 20.0,
+            hot_spots: vec![HotSpot {
+                center: [10.0, 10.0],
+                peak: 60.0,
+                sigma: 5.0,
+                onset_ms: 1000,
+                ramp_ms: 4000,
+            }],
+        }
+    }
+
+    #[test]
+    fn ambient_before_onset() {
+        let f = field_with_fire();
+        assert_eq!(f.at([10.0, 10.0], 0), 20.0);
+        assert_eq!(f.at([10.0, 10.0], 999), 20.0);
+    }
+
+    #[test]
+    fn hot_spot_ramps_and_peaks() {
+        let f = field_with_fire();
+        let mid = f.at([10.0, 10.0], 3000);
+        let full = f.at([10.0, 10.0], 10_000);
+        assert!(mid > 20.0 && mid < full);
+        assert!((full - 80.0).abs() < 1e-9, "20 ambient + 60 peak");
+    }
+
+    #[test]
+    fn heat_decays_with_distance() {
+        let f = field_with_fire();
+        let near = f.at([10.0, 10.0], 10_000);
+        let mid = f.at([15.0, 10.0], 10_000);
+        let far = f.at([40.0, 40.0], 10_000);
+        assert!(near > mid && mid > far);
+        assert!((far - 20.0).abs() < 0.5, "far field is ambient");
+    }
+
+    #[test]
+    fn sensor_grid_covers_extent() {
+        let g = TempSensorGrid::new(
+            TempField::ambient_only(20.0),
+            (60.0, 60.0),
+            12.0,
+            0.5,
+            1000,
+            1,
+        );
+        assert_eq!(g.num_sensors(), 25);
+    }
+
+    #[test]
+    fn sweeps_advance_time_and_add_noise() {
+        let mut g = TempSensorGrid::new(
+            TempField::ambient_only(20.0),
+            (24.0, 24.0),
+            12.0,
+            0.5,
+            1000,
+            2,
+        );
+        let s0 = g.next_sweep();
+        let s1 = g.next_sweep();
+        assert_eq!(s0[0].ts, 0);
+        assert_eq!(s1[0].ts, 1000);
+        // Noise present but small.
+        let mean: f64 = s0.iter().map(|r| r.temp).sum::<f64>() / s0.len() as f64;
+        assert!((mean - 20.0).abs() < 1.0);
+        assert!(s0.iter().any(|r| (r.temp - 20.0).abs() > 1e-6));
+    }
+
+    #[test]
+    fn fire_visible_in_readings() {
+        let mut g = TempSensorGrid::new(field_with_fire(), (24.0, 24.0), 12.0, 0.5, 1000, 3);
+        for _ in 0..9 {
+            g.next_sweep();
+        }
+        let sweep = g.next_sweep(); // t = 9000, fire fully developed
+        let hottest = sweep
+            .iter()
+            .max_by(|a, b| a.temp.partial_cmp(&b.temp).unwrap())
+            .unwrap();
+        assert!(hottest.temp > 50.0, "hottest = {}", hottest.temp);
+        // The hottest sensor is the one nearest the fire at (10,10).
+        let d = ((hottest.pos[0] - 10.0).powi(2) + (hottest.pos[1] - 10.0).powi(2)).sqrt();
+        assert!(d < 12.0);
+    }
+}

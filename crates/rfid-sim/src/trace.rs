@@ -1,0 +1,274 @@
+//! Trace generation: the raw RFID reading stream plus retained ground
+//! truth (the simulator's stand-in for the paper's collected traces).
+
+use crate::reader::{MobileReader, Trajectory};
+use crate::sensing::SensingModel;
+use crate::world::{World, WorldConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// What a single reading refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagRef {
+    Object(u32),
+    /// Shelf tags have known positions — the reference objects of §4.2.
+    Shelf(u32),
+}
+
+/// One raw reading from the mobile reader: "the tag ids of observed
+/// objects, the tag ids of observed shelves, and optionally the location
+/// of the reader".
+#[derive(Debug, Clone)]
+pub struct RawReading {
+    /// Milliseconds since trace start.
+    pub ts: u64,
+    pub tag: TagRef,
+    /// Noisy reported reader pose, if reported.
+    pub reader_pos: Option<[f64; 3]>,
+}
+
+/// Ground truth snapshot for evaluating inference error.
+#[derive(Debug, Clone)]
+pub struct TruthSnapshot {
+    pub ts: u64,
+    /// True (x, y) of every object, indexed by object id.
+    pub object_xy: Vec<[f64; 2]>,
+    /// True reader position.
+    pub reader_pos: [f64; 3],
+}
+
+/// Trace generator configuration.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    pub world: WorldConfig,
+    pub sensing: SensingModel,
+    /// Scan interval (ms).
+    pub scan_interval_ms: u64,
+    /// Probability the reader omits its pose from a scan.
+    pub pose_dropout: f64,
+    /// RNG seed for sensing draws.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            world: WorldConfig::default(),
+            sensing: SensingModel::noisy(),
+            scan_interval_ms: 200,
+            pose_dropout: 0.1,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates scans lazily; owns the world and the reader.
+pub struct TraceGenerator {
+    pub world: World,
+    reader: MobileReader,
+    sensing: SensingModel,
+    cfg: TraceConfig,
+    rng: StdRng,
+    t: u64,
+    prev_reader: [f64; 3],
+}
+
+/// The output of one scan.
+#[derive(Debug, Clone)]
+pub struct Scan {
+    pub readings: Vec<RawReading>,
+    pub truth: TruthSnapshot,
+}
+
+impl TraceGenerator {
+    pub fn new(cfg: TraceConfig) -> Self {
+        let world = World::new(cfg.world.clone());
+        let (w, d) = world.extent();
+        let reader = MobileReader::new(Trajectory::Patrol {
+            width: w,
+            depth: d,
+            aisle_step: cfg.world.shelf_spacing * 2.0,
+            speed: 2.0,
+        });
+        let prev_reader = reader.true_pos();
+        TraceGenerator {
+            world,
+            reader,
+            sensing: cfg.sensing,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            t: 0,
+            prev_reader,
+        }
+    }
+
+    /// Produce the next scan: advance world + reader, then draw readings
+    /// for every tag within range.
+    pub fn next_scan(&mut self) -> Scan {
+        self.world.step();
+        let before = self.reader.true_pos();
+        self.reader.step();
+        let pos = self.reader.true_pos();
+        // Facing = direction of travel (fallback +x when stationary).
+        let mut facing = [
+            pos[0] - before[0],
+            pos[1] - before[1],
+            0.0,
+        ];
+        if facing[0].abs() + facing[1].abs() < 1e-9 {
+            facing = [1.0, 0.0, 0.0];
+        }
+        self.prev_reader = pos;
+
+        let reported = self.reader.reported_pos(self.cfg.pose_dropout, &mut self.rng);
+        let mut readings = Vec::new();
+        for o in self.world.objects() {
+            let p = self
+                .sensing
+                .read_probability_at(&pos, &facing, &o.pos);
+            if rand::Rng::gen::<f64>(&mut self.rng) < p {
+                readings.push(RawReading {
+                    ts: self.t,
+                    tag: TagRef::Object(o.id),
+                    reader_pos: reported,
+                });
+            }
+        }
+        for s in self.world.shelves() {
+            let p = self
+                .sensing
+                .read_probability_at(&pos, &facing, &s.pos);
+            if rand::Rng::gen::<f64>(&mut self.rng) < p {
+                readings.push(RawReading {
+                    ts: self.t,
+                    tag: TagRef::Shelf(s.id),
+                    reader_pos: reported,
+                });
+            }
+        }
+
+        let truth = TruthSnapshot {
+            ts: self.t,
+            object_xy: self
+                .world
+                .objects()
+                .iter()
+                .map(|o| [o.pos[0], o.pos[1]])
+                .collect(),
+            reader_pos: pos,
+        };
+        self.t += self.cfg.scan_interval_ms;
+        Scan { readings, truth }
+    }
+
+    /// Generate `n` scans eagerly.
+    pub fn scans(&mut self, n: usize) -> Vec<Scan> {
+        (0..n).map(|_| self.next_scan()).collect()
+    }
+
+    pub fn sensing(&self) -> &SensingModel {
+        &self.sensing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> TraceConfig {
+        TraceConfig {
+            world: WorldConfig {
+                shelf_rows: 4,
+                shelf_cols: 4,
+                num_objects: 50,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn scans_produce_readings_and_truth() {
+        let mut gen = TraceGenerator::new(small_cfg());
+        let scans = gen.scans(50);
+        assert_eq!(scans.len(), 50);
+        let total_readings: usize = scans.iter().map(|s| s.readings.len()).sum();
+        assert!(total_readings > 50, "reader should observe tags while patrolling");
+        for s in &scans {
+            assert_eq!(s.truth.object_xy.len(), 50);
+        }
+    }
+
+    #[test]
+    fn timestamps_advance_by_interval() {
+        let mut gen = TraceGenerator::new(small_cfg());
+        let scans = gen.scans(3);
+        assert_eq!(scans[0].truth.ts, 0);
+        assert_eq!(scans[1].truth.ts, 200);
+        assert_eq!(scans[2].truth.ts, 400);
+    }
+
+    #[test]
+    fn only_nearby_tags_read() {
+        let mut gen = TraceGenerator::new(small_cfg());
+        for s in gen.scans(30) {
+            let reader = s.truth.reader_pos;
+            for r in &s.readings {
+                if let TagRef::Object(id) = r.tag {
+                    let p = s.truth.object_xy[id as usize];
+                    let d = ((p[0] - reader[0]).powi(2) + (p[1] - reader[1]).powi(2)).sqrt();
+                    assert!(d <= 21.0, "read at {d:.1} ft exceeds range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_model_misses_more_than_clean() {
+        let mut noisy_cfg = small_cfg();
+        noisy_cfg.sensing = SensingModel::noisy();
+        let mut clean_cfg = small_cfg();
+        clean_cfg.sensing = SensingModel::clean();
+        let noisy: usize = TraceGenerator::new(noisy_cfg)
+            .scans(100)
+            .iter()
+            .map(|s| s.readings.len())
+            .sum();
+        let clean: usize = TraceGenerator::new(clean_cfg)
+            .scans(100)
+            .iter()
+            .map(|s| s.readings.len())
+            .sum();
+        assert!(
+            noisy < clean,
+            "noisy trace ({noisy}) should have fewer reads than clean ({clean})"
+        );
+    }
+
+    #[test]
+    fn shelf_tags_appear_in_trace() {
+        let mut gen = TraceGenerator::new(small_cfg());
+        let shelf_reads: usize = gen
+            .scans(200)
+            .iter()
+            .flat_map(|s| s.readings.iter())
+            .filter(|r| matches!(r.tag, TagRef::Shelf(_)))
+            .count();
+        assert!(shelf_reads > 10, "reference tags must be observed (§4.2)");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<usize> = TraceGenerator::new(small_cfg())
+            .scans(20)
+            .iter()
+            .map(|s| s.readings.len())
+            .collect();
+        let b: Vec<usize> = TraceGenerator::new(small_cfg())
+            .scans(20)
+            .iter()
+            .map(|s| s.readings.len())
+            .collect();
+        assert_eq!(a, b);
+    }
+}

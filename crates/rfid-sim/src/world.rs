@@ -1,0 +1,304 @@
+//! The warehouse world: shelves at known positions, tagged objects, and
+//! ground-truth object state (§2.1).
+//!
+//! Distances are in **feet** (the paper's Figure 3 reports inference
+//! error in feet). Shelf tags are at known locations — they double as
+//! the *reference objects* of §4.2 used to probe inference accuracy
+//! online. Objects "usually stay on the same shelf but sometimes move
+//! from one shelf to another"; a move leaves the particle cloud bimodal,
+//! motivating the §4.3 mixture conversion.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Object category (Q2 selects `flammable` objects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectKind {
+    Flammable,
+    Fragile,
+    Standard,
+}
+
+impl ObjectKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ObjectKind::Flammable => "flammable",
+            ObjectKind::Fragile => "fragile",
+            ObjectKind::Standard => "standard",
+        }
+    }
+}
+
+/// A shelf with a tag at a known location.
+#[derive(Debug, Clone)]
+pub struct Shelf {
+    pub id: u32,
+    /// Tag position (x, y, z) in feet.
+    pub pos: [f64; 3],
+}
+
+/// A tagged object with ground-truth state.
+#[derive(Debug, Clone)]
+pub struct ObjectState {
+    pub id: u32,
+    pub shelf: u32,
+    /// True position (x, y, z) in feet.
+    pub pos: [f64; 3],
+    /// Weight in pounds (Q1 sums weights per square-foot area).
+    pub weight: f64,
+    pub kind: ObjectKind,
+}
+
+/// World configuration.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Shelf grid dimensions.
+    pub shelf_rows: usize,
+    pub shelf_cols: usize,
+    /// Spacing between shelf centres (ft).
+    pub shelf_spacing: f64,
+    /// Number of tagged objects.
+    pub num_objects: usize,
+    /// Per-scan probability that an object moves to another shelf.
+    pub move_prob: f64,
+    /// Std-dev of an object's offset from its shelf centre (ft).
+    pub placement_jitter: f64,
+    /// RNG seed (world generation and motion are deterministic given it).
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            shelf_rows: 10,
+            shelf_cols: 10,
+            shelf_spacing: 6.0,
+            num_objects: 200,
+            move_prob: 0.002,
+            placement_jitter: 0.8,
+            seed: 42,
+        }
+    }
+}
+
+/// The simulated warehouse.
+#[derive(Debug, Clone)]
+pub struct World {
+    config: WorldConfig,
+    shelves: Vec<Shelf>,
+    objects: Vec<ObjectState>,
+    rng: StdRng,
+    /// Count of shelf-to-shelf moves so far (test/diagnostic hook).
+    pub moves: u64,
+}
+
+impl World {
+    pub fn new(config: WorldConfig) -> World {
+        assert!(config.shelf_rows >= 1 && config.shelf_cols >= 1);
+        assert!(config.num_objects >= 1);
+        assert!((0.0..=1.0).contains(&config.move_prob));
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut shelves = Vec::with_capacity(config.shelf_rows * config.shelf_cols);
+        for r in 0..config.shelf_rows {
+            for c in 0..config.shelf_cols {
+                shelves.push(Shelf {
+                    id: (r * config.shelf_cols + c) as u32,
+                    pos: [
+                        (c as f64 + 0.5) * config.shelf_spacing,
+                        (r as f64 + 0.5) * config.shelf_spacing,
+                        4.0, // tag height (ft)
+                    ],
+                });
+            }
+        }
+        let mut objects = Vec::with_capacity(config.num_objects);
+        for id in 0..config.num_objects {
+            let shelf = rng.gen_range(0..shelves.len());
+            let pos = Self::place_on(&shelves[shelf], config.placement_jitter, &mut rng);
+            let kind = match rng.gen_range(0..10) {
+                0..=1 => ObjectKind::Flammable,
+                2..=3 => ObjectKind::Fragile,
+                _ => ObjectKind::Standard,
+            };
+            objects.push(ObjectState {
+                id: id as u32,
+                shelf: shelves[shelf].id,
+                pos,
+                weight: 5.0 + rng.gen::<f64>() * 45.0,
+                kind,
+            });
+        }
+        World {
+            config,
+            shelves,
+            objects,
+            rng,
+            moves: 0,
+        }
+    }
+
+    fn place_on(shelf: &Shelf, jitter: f64, rng: &mut StdRng) -> [f64; 3] {
+        let mut gauss = || {
+            // Box–Muller via two uniforms (cheap, adequate here).
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen::<f64>();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        [
+            shelf.pos[0] + jitter * gauss(),
+            shelf.pos[1] + jitter * gauss(),
+            1.0 + 2.5 * rng.gen::<f64>(), // shelf level
+        ]
+    }
+
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+
+    pub fn shelves(&self) -> &[Shelf] {
+        &self.shelves
+    }
+
+    pub fn objects(&self) -> &[ObjectState] {
+        &self.objects
+    }
+
+    pub fn object(&self, id: u32) -> &ObjectState {
+        &self.objects[id as usize]
+    }
+
+    /// Extent of the floor area (x_max, y_max) in feet.
+    pub fn extent(&self) -> (f64, f64) {
+        (
+            self.config.shelf_cols as f64 * self.config.shelf_spacing,
+            self.config.shelf_rows as f64 * self.config.shelf_spacing,
+        )
+    }
+
+    /// Advance one scan step: each object independently moves to a random
+    /// other shelf with probability `move_prob`.
+    pub fn step(&mut self) {
+        let n_shelves = self.shelves.len();
+        for i in 0..self.objects.len() {
+            if self.rng.gen::<f64>() < self.config.move_prob {
+                let new_shelf = self.rng.gen_range(0..n_shelves);
+                let pos = Self::place_on(
+                    &self.shelves[new_shelf],
+                    self.config.placement_jitter,
+                    &mut self.rng,
+                );
+                self.objects[i].shelf = self.shelves[new_shelf].id;
+                self.objects[i].pos = pos;
+                self.moves += 1;
+            }
+        }
+    }
+
+    /// Q1's `area()` function: the square-foot grid cell of a position.
+    pub fn area_of(&self, pos: &[f64]) -> i64 {
+        let (w, _) = self.extent();
+        let cells_per_row = w.ceil() as i64;
+        let cx = pos[0].floor().max(0.0) as i64;
+        let cy = pos[1].floor().max(0.0) as i64;
+        cy * cells_per_row + cx
+    }
+
+    /// Q1's `weight()` function.
+    pub fn weight_of(&self, tag_id: u32) -> f64 {
+        self.objects[tag_id as usize].weight
+    }
+
+    /// Q2's `object_type()` function.
+    pub fn object_type(&self, tag_id: u32) -> ObjectKind {
+        self.objects[tag_id as usize].kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_layout_deterministic() {
+        let a = World::new(WorldConfig::default());
+        let b = World::new(WorldConfig::default());
+        assert_eq!(a.shelves().len(), 100);
+        assert_eq!(a.objects().len(), 200);
+        assert_eq!(a.object(0).pos, b.object(0).pos);
+    }
+
+    #[test]
+    fn shelves_form_grid() {
+        let w = World::new(WorldConfig {
+            shelf_rows: 2,
+            shelf_cols: 3,
+            shelf_spacing: 10.0,
+            ..Default::default()
+        });
+        assert_eq!(w.shelves().len(), 6);
+        assert_eq!(w.shelves()[0].pos[0], 5.0);
+        assert_eq!(w.shelves()[1].pos[0], 15.0);
+        assert_eq!(w.shelves()[3].pos[1], 15.0);
+        assert_eq!(w.extent(), (30.0, 20.0));
+    }
+
+    #[test]
+    fn objects_near_their_shelves() {
+        let w = World::new(WorldConfig::default());
+        for o in w.objects() {
+            let shelf = &w.shelves()[o.shelf as usize];
+            let dx = o.pos[0] - shelf.pos[0];
+            let dy = o.pos[1] - shelf.pos[1];
+            let d = (dx * dx + dy * dy).sqrt();
+            assert!(d < 6.0, "object {} is {d:.1} ft from its shelf", o.id);
+        }
+    }
+
+    #[test]
+    fn motion_respects_move_probability() {
+        let mut w = World::new(WorldConfig {
+            move_prob: 0.5,
+            num_objects: 1000,
+            ..Default::default()
+        });
+        w.step();
+        // ≈ 500 moves expected; allow generous slack.
+        assert!(w.moves > 350 && w.moves < 650, "moves = {}", w.moves);
+
+        let mut still = World::new(WorldConfig {
+            move_prob: 0.0,
+            ..Default::default()
+        });
+        let before = still.object(3).pos;
+        still.step();
+        assert_eq!(still.object(3).pos, before);
+        assert_eq!(still.moves, 0);
+    }
+
+    #[test]
+    fn area_function_distinct_cells() {
+        let w = World::new(WorldConfig::default());
+        let a = w.area_of(&[0.5, 0.5, 0.0]);
+        let b = w.area_of(&[1.5, 0.5, 0.0]);
+        let c = w.area_of(&[0.5, 1.5, 0.0]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        // Same cell for nearby points.
+        assert_eq!(a, w.area_of(&[0.9, 0.9, 2.0]));
+    }
+
+    #[test]
+    fn metadata_functions() {
+        let w = World::new(WorldConfig::default());
+        let weight = w.weight_of(5);
+        assert!((5.0..=50.0).contains(&weight));
+        let _ = w.object_type(5); // must not panic
+        let flammable = w
+            .objects()
+            .iter()
+            .filter(|o| o.kind == ObjectKind::Flammable)
+            .count();
+        assert!(flammable > 10, "≈20% of 200 objects should be flammable");
+    }
+}

@@ -1,0 +1,176 @@
+//! Sample autocovariance / autocorrelation.
+//!
+//! §4.4: "sequences obeying the MA assumption can be identified by
+//! computing their k-lag autocorrelations, which can be performed using at
+//! most two scans of the input sequence." This module is exactly that:
+//! one scan for the mean, one scan accumulating all K lag products.
+
+/// Sample autocovariances γ̂(0..=max_lag) of a series (biased, divide by n —
+/// the standard choice that keeps the covariance sequence non-negative
+/// definite).
+pub fn autocovariances(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = xs.len();
+    assert!(n >= 2, "need at least two observations");
+    assert!(max_lag < n, "max_lag must be < series length");
+    // Scan 1: mean.
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    // Scan 2: all lag products.
+    let mut gammas = vec![0.0; max_lag + 1];
+    for (t, &xt) in xs.iter().enumerate() {
+        let dt = xt - mean;
+        let kmax = max_lag.min(n - 1 - t);
+        for k in 0..=kmax {
+            gammas[k] += dt * (xs[t + k] - mean);
+        }
+    }
+    for g in gammas.iter_mut() {
+        *g /= n as f64;
+    }
+    gammas
+}
+
+/// Sample autocorrelations ρ̂(0..=max_lag); ρ̂(0) = 1.
+pub fn autocorrelations(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let gammas = autocovariances(xs, max_lag);
+    let g0 = gammas[0];
+    if g0 <= 0.0 {
+        // Constant series: define ρ(0)=1, rest 0.
+        let mut out = vec![0.0; max_lag + 1];
+        out[0] = 1.0;
+        return out;
+    }
+    gammas.iter().map(|&g| g / g0).collect()
+}
+
+/// Bartlett standard error of ρ̂(k) under the hypothesis that the process
+/// is MA(q) with q = k−1: se = √((1 + 2Σ_{j=1}^{k−1} ρ̂(j)²)/n).
+pub fn bartlett_se(rhos: &[f64], k: usize, n: usize) -> f64 {
+    assert!(k >= 1 && k < rhos.len());
+    let sum_sq: f64 = rhos[1..k].iter().map(|r| r * r).sum();
+    ((1.0 + 2.0 * sum_sq) / n as f64).sqrt()
+}
+
+/// Theoretical autocovariances of an MA(q) process with coefficients
+/// `theta` (θ₁..θ_q; θ₀ = 1 implied) and innovation variance σ²:
+/// γ(k) = σ² Σⱼ θⱼ·θⱼ₊ₖ.
+pub fn ma_theoretical_autocov(theta: &[f64], sigma2: f64, max_lag: usize) -> Vec<f64> {
+    let q = theta.len();
+    let mut full = Vec::with_capacity(q + 1);
+    full.push(1.0);
+    full.extend_from_slice(theta);
+    (0..=max_lag)
+        .map(|k| {
+            if k > q {
+                0.0
+            } else {
+                sigma2
+                    * full[..=q - k]
+                        .iter()
+                        .zip(full[k..].iter())
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    fn white_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<f64>() - 0.5).collect()
+    }
+
+    #[test]
+    fn rho_zero_is_one() {
+        let xs = white_noise(500, 1);
+        let rhos = autocorrelations(&xs, 10);
+        close(rhos[0], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn white_noise_acf_within_bands() {
+        let n = 4000;
+        let xs = white_noise(n, 2);
+        let rhos = autocorrelations(&xs, 20);
+        let band = 3.0 / (n as f64).sqrt(); // 3σ band
+        for k in 1..=20 {
+            assert!(
+                rhos[k].abs() < band,
+                "lag {k} acf {} outside white-noise band {band}",
+                rhos[k]
+            );
+        }
+    }
+
+    #[test]
+    fn perfectly_correlated_series() {
+        // Linear trend: ACF near 1 at small lags.
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let rhos = autocorrelations(&xs, 3);
+        assert!(rhos[1] > 0.99);
+    }
+
+    #[test]
+    fn constant_series_is_safe() {
+        let xs = vec![3.0; 100];
+        let rhos = autocorrelations(&xs, 5);
+        close(rhos[0], 1.0, 1e-12);
+        for k in 1..=5 {
+            close(rhos[k], 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn ma1_sample_acf_matches_theory() {
+        // MA(1) with θ = 0.8: ρ(1) = θ/(1+θ²) ≈ 0.4878, ρ(k>1) = 0.
+        let theta = 0.8;
+        let n = 60_000;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut prev_e = 0.0;
+        let mut xs = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Gaussian-ish noise from sum of uniforms (Irwin–Hall 12).
+            let e: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+            xs.push(e + theta * prev_e);
+            prev_e = e;
+        }
+        let rhos = autocorrelations(&xs, 5);
+        close(rhos[1], theta / (1.0 + theta * theta), 0.02);
+        close(rhos[2], 0.0, 0.02);
+        close(rhos[3], 0.0, 0.02);
+    }
+
+    #[test]
+    fn theoretical_ma_autocov() {
+        // MA(1), θ=0.5, σ²=2: γ0 = 2(1+0.25)=2.5, γ1 = 2·0.5=1, γ2=0.
+        let g = ma_theoretical_autocov(&[0.5], 2.0, 3);
+        close(g[0], 2.5, 1e-12);
+        close(g[1], 1.0, 1e-12);
+        close(g[2], 0.0, 1e-12);
+        close(g[3], 0.0, 1e-12);
+    }
+
+    #[test]
+    fn bartlett_se_grows_with_correlation() {
+        let rhos = vec![1.0, 0.5, 0.3, 0.0];
+        let se1 = bartlett_se(&rhos, 1, 100); // pure white-noise SE
+        let se3 = bartlett_se(&rhos, 3, 100); // accounts for ρ1, ρ2
+        close(se1, 0.1, 1e-12);
+        assert!(se3 > se1);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_lag must be")]
+    fn rejects_excessive_lag() {
+        autocovariances(&[1.0, 2.0, 3.0], 3);
+    }
+}

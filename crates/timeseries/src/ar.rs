@@ -1,0 +1,185 @@
+//! Autoregressive models: Yule–Walker fitting via Levinson–Durbin.
+
+use crate::acf::autocovariances;
+
+/// A fitted AR(p) model x_t = Σ φᵢ x_{t−i} + e_t (on the centred series).
+#[derive(Debug, Clone)]
+pub struct ArModel {
+    /// AR coefficients φ₁..φ_p.
+    pub phi: Vec<f64>,
+    /// Innovation variance σ².
+    pub sigma2: f64,
+    /// Series mean removed before fitting.
+    pub mean: f64,
+}
+
+impl ArModel {
+    pub fn order(&self) -> usize {
+        self.phi.len()
+    }
+
+    /// One-step-ahead prediction given the most recent observations
+    /// (ordered oldest → newest; needs ≥ p values).
+    pub fn predict_next(&self, recent: &[f64]) -> f64 {
+        let p = self.phi.len();
+        assert!(recent.len() >= p, "need at least p recent values");
+        let tail = &recent[recent.len() - p..];
+        let mut x = self.mean;
+        for (i, &ph) in self.phi.iter().enumerate() {
+            x += ph * (tail[p - 1 - i] - self.mean);
+        }
+        x
+    }
+
+    /// Stationarity check: all characteristic roots outside the unit
+    /// circle, tested by evaluating the AR polynomial on a circle grid.
+    pub fn is_stationary(&self) -> bool {
+        // φ(z) = 1 − φ₁z − … − φ_p z^p must have no roots with |z| ≤ 1.
+        // Grid test on |z| = 1 plus the real interval [−1, 1].
+        let poly = |re: f64, im: f64| -> f64 {
+            let mut zr = 1.0;
+            let mut zi = 0.0;
+            let mut sr = 1.0;
+            let mut si = 0.0;
+            for &ph in &self.phi {
+                // z^k update
+                let (nr, ni) = (zr * re - zi * im, zr * im + zi * re);
+                zr = nr;
+                zi = ni;
+                sr -= ph * zr;
+                si -= ph * zi;
+            }
+            (sr * sr + si * si).sqrt()
+        };
+        for k in 0..256 {
+            let th = 2.0 * std::f64::consts::PI * k as f64 / 256.0;
+            if poly(th.cos(), th.sin()) < 1e-3 {
+                return false;
+            }
+        }
+        for k in 0..128 {
+            let x = -1.0 + 2.0 * k as f64 / 127.0;
+            if poly(x, 0.0) < 1e-3 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Levinson–Durbin recursion: solve the Yule–Walker equations for AR(p)
+/// from autocovariances γ(0..=p). Returns (φ, innovation variance).
+pub fn levinson_durbin(gammas: &[f64], p: usize) -> (Vec<f64>, f64) {
+    assert!(gammas.len() > p, "need γ(0..=p)");
+    assert!(gammas[0] > 0.0, "γ(0) must be positive");
+    let mut phi = vec![0.0f64; p];
+    let mut prev = vec![0.0f64; p];
+    let mut v = gammas[0];
+    for k in 1..=p {
+        let mut acc = gammas[k];
+        for j in 1..k {
+            acc -= prev[j - 1] * gammas[k - j];
+        }
+        let kappa = acc / v;
+        phi[k - 1] = kappa;
+        for j in 1..k {
+            phi[j - 1] = prev[j - 1] - kappa * prev[k - 1 - j];
+        }
+        v *= 1.0 - kappa * kappa;
+        prev[..k].copy_from_slice(&phi[..k]);
+    }
+    (phi, v.max(0.0))
+}
+
+/// Fit an AR(p) model to a series by Yule–Walker.
+pub fn fit_ar(xs: &[f64], p: usize) -> ArModel {
+    assert!(p >= 1 && xs.len() > 2 * p, "series too short for AR({p})");
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let gammas = autocovariances(xs, p);
+    let (phi, sigma2) = levinson_durbin(&gammas, p);
+    ArModel { phi, sigma2, mean }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::ar_series;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn levinson_durbin_ar1_closed_form() {
+        // AR(1) with φ: γ(0) = σ²/(1−φ²), γ(1) = φγ(0).
+        let (phi_true, sigma2_true) = (0.6, 1.0);
+        let g0 = sigma2_true / (1.0 - phi_true * phi_true);
+        let gammas = vec![g0, phi_true * g0];
+        let (phi, s2) = levinson_durbin(&gammas, 1);
+        close(phi[0], phi_true, 1e-12);
+        close(s2, sigma2_true, 1e-12);
+    }
+
+    #[test]
+    fn levinson_durbin_ar2_closed_form() {
+        // AR(2) with φ = (0.5, 0.3): use Yule–Walker to derive γ and
+        // verify the recursion inverts it.
+        let (p1, p2) = (0.5, 0.3);
+        // ρ1 = φ1/(1−φ2), ρ2 = φ1ρ1 + φ2
+        let r1: f64 = p1 / (1.0 - p2);
+        let r2 = p1 * r1 + p2;
+        let g0 = 1.0; // arbitrary scale
+        let gammas = vec![g0, r1 * g0, r2 * g0];
+        let (phi, _) = levinson_durbin(&gammas, 2);
+        close(phi[0], p1, 1e-12);
+        close(phi[1], p2, 1e-12);
+    }
+
+    #[test]
+    fn fit_recovers_simulated_ar2() {
+        let xs = ar_series(&[0.5, 0.2], 1.0, 60_000, 21);
+        let m = fit_ar(&xs, 2);
+        close(m.phi[0], 0.5, 0.03);
+        close(m.phi[1], 0.2, 0.03);
+        close(m.sigma2, 1.0, 0.05);
+        assert!(m.is_stationary());
+    }
+
+    #[test]
+    fn prediction_uses_recent_history() {
+        let m = ArModel {
+            phi: vec![0.5],
+            sigma2: 1.0,
+            mean: 10.0,
+        };
+        // x̂ = μ + 0.5(x_last − μ)
+        close(m.predict_next(&[12.0]), 11.0, 1e-12);
+        close(m.predict_next(&[0.0, 12.0]), 11.0, 1e-12);
+    }
+
+    #[test]
+    fn nonstationary_detected() {
+        let m = ArModel {
+            phi: vec![1.0],
+            sigma2: 1.0,
+            mean: 0.0,
+        };
+        assert!(!m.is_stationary());
+        let ok = ArModel {
+            phi: vec![0.5],
+            sigma2: 1.0,
+            mean: 0.0,
+        };
+        assert!(ok.is_stationary());
+    }
+
+    #[test]
+    fn higher_order_fit_of_low_order_process_shrinks_extra_terms() {
+        let xs = ar_series(&[0.6], 1.0, 60_000, 22);
+        let m = fit_ar(&xs, 4);
+        close(m.phi[0], 0.6, 0.03);
+        for k in 1..4 {
+            assert!(m.phi[k].abs() < 0.05, "phi[{k}] = {}", m.phi[k]);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Central Limit Theorem for correlated (time-series) aggregation.
+//!
+//! §5.1, "Correlated variables": for a series from an MA model "the
+//! Central Limit Theorem states that the average … has an asymptotic
+//! normal distribution, of which the mean and variance can be estimated
+//! based on the sample mean and sample autocorrelation function."
+//!
+//! The variance of the sample mean of a stationary series is
+//!   Var(x̄) = (1/n) Σ_{|k|<n} (1 − |k|/n) γ(k),
+//! which for an MA(q) truncates at lag q. We estimate γ from the data
+//! (two scans) and return the asymptotic Gaussian for the mean or sum.
+
+use crate::acf::autocovariances;
+use crate::diagnostics::identify_ma_order;
+use ustream_prob::dist::Gaussian;
+
+/// Asymptotic distribution of the sample MEAN of a window assumed to come
+/// from an MA(q) process; `q` is typically obtained from
+/// [`identify_ma_order`]. Uses the finite-sample Bartlett-tapered variance
+/// with the lag-q cutoff.
+pub fn ma_clt_mean(xs: &[f64], q: usize) -> Gaussian {
+    let n = xs.len();
+    assert!(n >= 2, "need at least two observations");
+    let q = q.min(n - 1);
+    let gammas = autocovariances(xs, q);
+    let nf = n as f64;
+    let mut var = gammas[0];
+    for (k, &g) in gammas.iter().enumerate().skip(1) {
+        var += 2.0 * (1.0 - k as f64 / nf) * g;
+    }
+    var /= nf;
+    let mean = xs.iter().sum::<f64>() / nf;
+    Gaussian::from_mean_var(mean, var.max(1e-18))
+}
+
+/// Asymptotic distribution of the SUM of the window (mean scaled by n).
+pub fn ma_clt_sum(xs: &[f64], q: usize) -> Gaussian {
+    let n = xs.len() as f64;
+    let mean_dist = ma_clt_mean(xs, q);
+    use ustream_prob::dist::ContinuousDist;
+    Gaussian::from_mean_var(
+        mean_dist.mean() * n,
+        (mean_dist.variance() * n * n).max(1e-18),
+    )
+}
+
+/// Naive-iid CLT for the mean — deliberately ignores autocorrelation.
+/// Kept as the "wrong model" baseline the ablation bench compares against:
+/// for positively-correlated series it *underestimates* the variance of
+/// the mean (overconfident uncertainty bounds).
+pub fn iid_clt_mean(xs: &[f64]) -> Gaussian {
+    let n = xs.len();
+    assert!(n >= 2);
+    let nf = n as f64;
+    let mean = xs.iter().sum::<f64>() / nf;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / nf;
+    Gaussian::from_mean_var(mean, (var / nf).max(1e-18))
+}
+
+/// End-to-end §4.4 path: identify whether the window is MA(≤ max_order)
+/// (two scans), then return the CLT Gaussian for the mean along with the
+/// identification outcome.
+#[derive(Debug, Clone)]
+pub struct MaCltResult {
+    /// Asymptotic distribution of the window mean.
+    pub mean_dist: Gaussian,
+    /// Identified MA order.
+    pub order: usize,
+    /// Whether the MA(≤ max_order) assumption held.
+    pub ma_adequate: bool,
+}
+
+/// Identify the MA order, then apply the MA CLT. When identification says
+/// the window is not MA(≤ max_order), the caller may fall back to
+/// Newey–West ([`newey_west_mean`]) — we still return the lag-capped
+/// estimate plus the adequacy flag.
+pub fn ma_clt_pipeline(xs: &[f64], max_order: usize, z: f64) -> MaCltResult {
+    let id = identify_ma_order(xs, max_order, z);
+    let mean_dist = ma_clt_mean(xs, id.order);
+    MaCltResult {
+        mean_dist,
+        order: id.order,
+        ma_adequate: id.ma_adequate,
+    }
+}
+
+/// Newey–West (Bartlett-kernel) long-run variance estimator with
+/// bandwidth `b`; robust fallback when no MA structure is identified.
+/// Returns the asymptotic Gaussian of the mean.
+pub fn newey_west_mean(xs: &[f64], b: usize) -> Gaussian {
+    let n = xs.len();
+    assert!(n >= 2 && b < n);
+    let gammas = autocovariances(xs, b);
+    let mut lrv = gammas[0];
+    for (k, &g) in gammas.iter().enumerate().skip(1) {
+        let w = 1.0 - k as f64 / (b as f64 + 1.0);
+        lrv += 2.0 * w * g;
+    }
+    let nf = n as f64;
+    let mean = xs.iter().sum::<f64>() / nf;
+    Gaussian::from_mean_var(mean, (lrv / nf).max(1e-18))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{ma_series, white_noise};
+    use ustream_prob::dist::ContinuousDist;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    /// Monte-Carlo variance of the window mean of an MA(1) process.
+    fn mc_mean_variance(theta: f64, sigma: f64, window: usize, reps: usize) -> f64 {
+        let mut means = Vec::with_capacity(reps);
+        for r in 0..reps {
+            let xs = ma_series(&[theta], sigma, window, 1000 + r as u64);
+            means.push(xs.iter().sum::<f64>() / window as f64);
+        }
+        let mu = means.iter().sum::<f64>() / reps as f64;
+        means.iter().map(|m| (m - mu) * (m - mu)).sum::<f64>() / reps as f64
+    }
+
+    #[test]
+    fn ma_clt_variance_matches_monte_carlo() {
+        let (theta, sigma, window) = (0.8, 1.0, 200);
+        let mc_var = mc_mean_variance(theta, sigma, window, 3000);
+        // Average the estimator across windows to remove estimation noise.
+        let mut est = 0.0;
+        let reps = 200;
+        for r in 0..reps {
+            let xs = ma_series(&[theta], sigma, window, 5000 + r as u64);
+            est += ma_clt_mean(&xs, 1).variance();
+        }
+        est /= reps as f64;
+        close(est, mc_var, mc_var * 0.15);
+    }
+
+    #[test]
+    fn iid_clt_underestimates_for_positive_correlation() {
+        // The whole point of §4.4: ignoring correlation is overconfident.
+        let (theta, sigma, window) = (0.8, 1.0, 200);
+        let mc_var = mc_mean_variance(theta, sigma, window, 3000);
+        let mut naive = 0.0;
+        let reps = 200;
+        for r in 0..reps {
+            let xs = ma_series(&[theta], sigma, window, 9000 + r as u64);
+            naive += iid_clt_mean(&xs).variance();
+        }
+        naive /= reps as f64;
+        assert!(
+            naive < 0.7 * mc_var,
+            "naive {naive} should be well below truth {mc_var}"
+        );
+    }
+
+    #[test]
+    fn white_noise_ma_and_iid_agree() {
+        let xs = white_noise(5000, 1.0, 51);
+        let a = ma_clt_mean(&xs, 0);
+        let b = iid_clt_mean(&xs);
+        close(a.mean(), b.mean(), 1e-12);
+        close(a.variance(), b.variance(), b.variance() * 1e-9);
+    }
+
+    #[test]
+    fn sum_is_scaled_mean() {
+        let xs = ma_series(&[0.5], 1.0, 300, 52);
+        let mean_d = ma_clt_mean(&xs, 1);
+        let sum_d = ma_clt_sum(&xs, 1);
+        close(sum_d.mean(), mean_d.mean() * 300.0, 1e-9);
+        close(sum_d.variance(), mean_d.variance() * 300.0 * 300.0, 1e-6);
+    }
+
+    #[test]
+    fn pipeline_identifies_and_estimates() {
+        let xs = ma_series(&[0.7], 1.0, 20_000, 53);
+        let out = ma_clt_pipeline(&xs, 4, 3.0);
+        assert_eq!(out.order, 1);
+        assert!(out.ma_adequate);
+        // Variance should exceed the naive-iid estimate (θ > 0).
+        assert!(out.mean_dist.variance() > iid_clt_mean(&xs).variance());
+    }
+
+    #[test]
+    fn newey_west_close_to_ma_clt_for_ma_process() {
+        let xs = ma_series(&[0.6], 1.0, 20_000, 54);
+        let a = ma_clt_mean(&xs, 1);
+        let b = newey_west_mean(&xs, 8);
+        close(b.variance(), a.variance(), a.variance() * 0.2);
+    }
+}

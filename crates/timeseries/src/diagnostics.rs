@@ -1,0 +1,143 @@
+//! Model testing and identification (§5.1: "model testing and
+//! identification tools (\[5\], Chapter 9) can be used to test the
+//! randomness and determine the order of correlation").
+//!
+//! - Ljung–Box portmanteau test for whiteness.
+//! - MA(q) order identification by the ACF-cutoff rule with Bartlett
+//!   bands — the "at most two scans" procedure of §4.4.
+
+use crate::acf::{autocorrelations, bartlett_se};
+use ustream_prob::special::chi_square_cdf;
+
+/// Result of a Ljung–Box whiteness test.
+#[derive(Debug, Clone, Copy)]
+pub struct LjungBox {
+    /// The Q statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (= number of lags tested).
+    pub dof: usize,
+    /// p-value under the χ² null (large p ⇒ consistent with white noise).
+    pub p_value: f64,
+}
+
+/// Ljung–Box test over lags 1..=h.
+pub fn ljung_box(xs: &[f64], h: usize) -> LjungBox {
+    let n = xs.len();
+    assert!(h >= 1 && h < n, "need 1 ≤ h < n");
+    let rhos = autocorrelations(xs, h);
+    let nf = n as f64;
+    let q = nf * (nf + 2.0)
+        * (1..=h)
+            .map(|k| rhos[k] * rhos[k] / (nf - k as f64))
+            .sum::<f64>();
+    LjungBox {
+        statistic: q,
+        dof: h,
+        p_value: 1.0 - chi_square_cdf(q, h as f64),
+    }
+}
+
+/// Outcome of MA-order identification.
+#[derive(Debug, Clone)]
+pub struct MaIdentification {
+    /// Identified order q (0 = white noise).
+    pub order: usize,
+    /// Whether an MA(≤ max_order) description is adequate: all ACF values
+    /// past the identified cutoff stay inside their Bartlett bands.
+    pub ma_adequate: bool,
+    /// Sample autocorrelations used for the decision (ρ̂(0..=max_lag)).
+    pub rhos: Vec<f64>,
+}
+
+/// Identify the MA order by the classic ACF-cutoff rule: the largest lag
+/// whose autocorrelation is significant at `z` Bartlett standard errors
+/// (lags above it must all be insignificant). Two scans of the data.
+pub fn identify_ma_order(xs: &[f64], max_order: usize, z: f64) -> MaIdentification {
+    let n = xs.len();
+    let max_lag = (2 * max_order + 2).min(n - 1);
+    let rhos = autocorrelations(xs, max_lag);
+    // Find the last significant lag assuming MA(k−1) nulls progressively.
+    let mut order = 0usize;
+    for k in 1..=max_lag {
+        let se = bartlett_se(&rhos, k, n);
+        if rhos[k].abs() > z * se {
+            order = k;
+        }
+    }
+    let ma_adequate = order <= max_order;
+    MaIdentification {
+        order: order.min(max_order),
+        ma_adequate,
+        rhos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{ar_series, ma_series, white_noise};
+
+    #[test]
+    fn ljung_box_accepts_white_noise() {
+        let xs = white_noise(4000, 1.0, 11);
+        let lb = ljung_box(&xs, 10);
+        assert!(
+            lb.p_value > 0.01,
+            "white noise rejected: Q={} p={}",
+            lb.statistic,
+            lb.p_value
+        );
+    }
+
+    #[test]
+    fn ljung_box_rejects_correlated_series() {
+        let xs = ma_series(&[0.9], 1.0, 4000, 12);
+        let lb = ljung_box(&xs, 10);
+        assert!(
+            lb.p_value < 1e-6,
+            "MA(1) not rejected: Q={} p={}",
+            lb.statistic,
+            lb.p_value
+        );
+    }
+
+    #[test]
+    fn ljung_box_statistic_nonnegative() {
+        let xs = white_noise(200, 2.0, 13);
+        let lb = ljung_box(&xs, 5);
+        assert!(lb.statistic >= 0.0);
+        assert!((0.0..=1.0).contains(&lb.p_value));
+        assert_eq!(lb.dof, 5);
+    }
+
+    #[test]
+    fn identifies_white_noise_as_order_zero() {
+        let xs = white_noise(6000, 1.0, 14);
+        let id = identify_ma_order(&xs, 5, 3.0);
+        assert_eq!(id.order, 0, "rhos: {:?}", &id.rhos[..6]);
+        assert!(id.ma_adequate);
+    }
+
+    #[test]
+    fn identifies_ma1_and_ma2() {
+        let xs1 = ma_series(&[0.8], 1.0, 30_000, 15);
+        let id1 = identify_ma_order(&xs1, 5, 3.0);
+        assert_eq!(id1.order, 1, "rhos: {:?}", &id1.rhos[..6]);
+
+        let xs2 = ma_series(&[0.9, 0.6], 1.0, 30_000, 16);
+        let id2 = identify_ma_order(&xs2, 5, 3.0);
+        assert_eq!(id2.order, 2, "rhos: {:?}", &id2.rhos[..6]);
+    }
+
+    #[test]
+    fn ar_process_flagged_as_non_ma() {
+        // AR(1) with φ = 0.9 has slowly-decaying ACF ⇒ not MA(≤3).
+        let xs = ar_series(&[0.9], 1.0, 20_000, 17);
+        let id = identify_ma_order(&xs, 3, 3.0);
+        assert!(
+            !id.ma_adequate,
+            "AR(1) should not look like a low-order MA (order {})",
+            id.order
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Synthetic series generators used by tests, benches, and the radar
+//! simulator's per-voxel observation sequences.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ustream_prob::dist::{ContinuousDist, Gaussian};
+
+/// Gaussian white noise with standard deviation `sigma`.
+pub fn white_noise(n: usize, sigma: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = Gaussian::new(0.0, sigma);
+    (0..n).map(|_| g.sample(&mut rng)).collect()
+}
+
+/// MA(q) series x_t = e_t + Σ θᵢ e_{t−i} with Gaussian innovations.
+pub fn ma_series(theta: &[f64], sigma: f64, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = Gaussian::new(0.0, sigma);
+    let q = theta.len();
+    let mut es: Vec<f64> = (0..q).map(|_| g.sample(&mut rng)).collect();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let e = g.sample(&mut rng);
+        let mut x = e;
+        for (i, &th) in theta.iter().enumerate() {
+            x += th * es[q - 1 - i];
+        }
+        es.push(e);
+        es.remove(0);
+        out.push(x);
+    }
+    out
+}
+
+/// AR(p) series x_t = Σ φᵢ x_{t−i} + e_t with Gaussian innovations; a
+/// burn-in of 10·p + 100 steps removes initialization transients.
+pub fn ar_series(phi: &[f64], sigma: f64, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = Gaussian::new(0.0, sigma);
+    let p = phi.len();
+    let burn = 10 * p + 100;
+    let mut hist = vec![0.0f64; p];
+    let mut out = Vec::with_capacity(n);
+    for t in 0..(n + burn) {
+        let mut x = g.sample(&mut rng);
+        for (i, &ph) in phi.iter().enumerate() {
+            x += ph * hist[p - 1 - i];
+        }
+        if p > 0 {
+            hist.push(x);
+            hist.remove(0);
+        }
+        if t >= burn {
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// ARMA(p, q) series with Gaussian innovations and burn-in.
+pub fn arma_series(phi: &[f64], theta: &[f64], sigma: f64, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = Gaussian::new(0.0, sigma);
+    let p = phi.len();
+    let q = theta.len();
+    let burn = 10 * (p + q) + 100;
+    let mut xhist = vec![0.0f64; p];
+    let mut ehist = vec![0.0f64; q];
+    let mut out = Vec::with_capacity(n);
+    for t in 0..(n + burn) {
+        let e = g.sample(&mut rng);
+        let mut x = e;
+        for (i, &ph) in phi.iter().enumerate() {
+            x += ph * xhist[p - 1 - i];
+        }
+        for (i, &th) in theta.iter().enumerate() {
+            x += th * ehist[q - 1 - i];
+        }
+        if p > 0 {
+            xhist.push(x);
+            xhist.remove(0);
+        }
+        if q > 0 {
+            ehist.push(e);
+            ehist.remove(0);
+        }
+        if t >= burn {
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// A mean level with additive MA noise — the shape of a radar voxel's
+/// velocity observations over one dwell (§4.4: "a short sequence of data
+/// tends to describe the same phenomena … with correlated noise factors").
+pub fn level_plus_ma(level: f64, theta: &[f64], sigma: f64, n: usize, seed: u64) -> Vec<f64> {
+    ma_series(theta, sigma, n, seed)
+        .into_iter()
+        .map(|x| x + level)
+        .collect()
+}
+
+/// Regime-switching series: `level_a` for the first `n_a` points, then
+/// `level_b`, with white noise — used to exercise change detection and
+/// bimodal particle clouds.
+pub fn regime_switch(
+    level_a: f64,
+    n_a: usize,
+    level_b: f64,
+    n_b: usize,
+    sigma: f64,
+    seed: u64,
+) -> Vec<f64> {
+    let noise = white_noise(n_a + n_b, sigma, seed);
+    noise
+        .into_iter()
+        .enumerate()
+        .map(|(i, e)| if i < n_a { level_a + e } else { level_b + e })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acf::autocorrelations;
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    fn var(xs: &[f64]) -> f64 {
+        let m = mean(xs);
+        xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn white_noise_moments() {
+        let xs = white_noise(50_000, 2.0, 1);
+        assert!(mean(&xs).abs() < 0.05);
+        assert!((var(&xs) - 4.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn ma_variance_matches_theory() {
+        // Var = σ²(1 + Σθ²) = 1·(1+0.64) = 1.64
+        let xs = ma_series(&[0.8], 1.0, 80_000, 2);
+        assert!((var(&xs) - 1.64).abs() < 0.05, "var = {}", var(&xs));
+    }
+
+    #[test]
+    fn ar1_acf_geometric() {
+        let xs = ar_series(&[0.7], 1.0, 80_000, 3);
+        let rhos = autocorrelations(&xs, 3);
+        assert!((rhos[1] - 0.7).abs() < 0.03);
+        assert!((rhos[2] - 0.49).abs() < 0.04);
+    }
+
+    #[test]
+    fn arma11_first_acf() {
+        // ARMA(1,1) φ=0.5, θ=0.3: ρ(1) = (1+φθ)(φ+θ)/(1+2φθ+θ²)
+        let (phi, theta) = (0.5, 0.3);
+        let expected = (1.0 + phi * theta) * (phi + theta) / (1.0 + 2.0 * phi * theta + theta * theta);
+        let xs = arma_series(&[phi], &[theta], 1.0, 100_000, 4);
+        let rhos = autocorrelations(&xs, 2);
+        assert!((rhos[1] - expected).abs() < 0.03, "rho1 = {}", rhos[1]);
+    }
+
+    #[test]
+    fn level_plus_ma_centers_on_level() {
+        let xs = level_plus_ma(17.0, &[0.5, 0.2], 1.0, 40_000, 5);
+        assert!((mean(&xs) - 17.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn regime_switch_has_two_levels() {
+        let xs = regime_switch(0.0, 500, 10.0, 500, 0.5, 6);
+        assert_eq!(xs.len(), 1000);
+        let m_a = mean(&xs[..500]);
+        let m_b = mean(&xs[500..]);
+        assert!(m_a.abs() < 0.2);
+        assert!((m_b - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn generators_are_deterministic_by_seed() {
+        let a = ma_series(&[0.4], 1.0, 100, 7);
+        let b = ma_series(&[0.4], 1.0, 100, 7);
+        assert_eq!(a, b);
+        let c = ma_series(&[0.4], 1.0, 100, 8);
+        assert_ne!(a, c);
+    }
+}

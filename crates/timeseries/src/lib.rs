@@ -1,0 +1,32 @@
+//! # ustream-ts — time-series substrate
+//!
+//! Implements §4.4 and the "correlated variables" half of §5.1:
+//! identifying when a window of correlated observations can be treated as
+//! a moving-average process (two scans over the data), and deriving the
+//! asymptotic result distribution of windowed aggregates via the Central
+//! Limit Theorem for MA series.
+//!
+//! - [`acf`] — sample autocovariance/autocorrelation, Bartlett bands.
+//! - [`diagnostics`] — Ljung–Box whiteness test, MA(q) order
+//!   identification by ACF cutoff.
+//! - [`ar`], [`ma`], [`arma`] — model fitting (Levinson–Durbin,
+//!   innovations algorithm, Hannan–Rissanen) and simulation support.
+//! - [`clt`] — MA-CLT for windowed mean/sum; naive-iid baseline;
+//!   Newey–West fallback.
+//! - [`generator`] — synthetic series for tests/benches.
+//! - [`linalg`] — tiny dense solvers for the regression steps.
+
+pub mod acf;
+pub mod ar;
+pub mod arma;
+pub mod clt;
+pub mod diagnostics;
+pub mod generator;
+pub mod linalg;
+pub mod ma;
+
+pub use ar::{fit_ar, ArModel};
+pub use arma::{fit_arma, select_arma_order, ArmaModel};
+pub use clt::{iid_clt_mean, ma_clt_mean, ma_clt_pipeline, ma_clt_sum, newey_west_mean, MaCltResult};
+pub use diagnostics::{identify_ma_order, ljung_box, LjungBox, MaIdentification};
+pub use ma::{fit_ma, fit_ma_innovations, MaModel};

@@ -1,0 +1,143 @@
+//! Tiny dense linear-algebra helpers (Gaussian elimination) for the
+//! regression steps of ARMA fitting. Systems here are (p+q)×(p+q) with
+//! p+q ≤ ~10, so a straightforward partial-pivot solve is plenty.
+
+/// Solve A·x = b for square row-major `a` (n×n). Returns `None` when the
+/// matrix is numerically singular.
+pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n);
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        for row in (col + 1)..n {
+            if m[row * n + col].abs() > m[pivot * n + col].abs() {
+                pivot = row;
+            }
+        }
+        if m[pivot * n + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot * n + k);
+            }
+            rhs.swap(col, pivot);
+        }
+        let diag = m[col * n + col];
+        for row in (col + 1)..n {
+            let factor = m[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= factor * m[col * n + k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = rhs[row];
+        for k in (row + 1)..n {
+            s -= m[row * n + k] * x[k];
+        }
+        x[row] = s / m[row * n + row];
+    }
+    Some(x)
+}
+
+/// Ordinary least squares: minimize ‖X·β − y‖² via the normal equations
+/// XᵀX β = Xᵀy. `x` is row-major n×p. Returns `None` if XᵀX is singular.
+pub fn least_squares(x: &[f64], y: &[f64], n: usize, p: usize) -> Option<Vec<f64>> {
+    assert_eq!(x.len(), n * p);
+    assert_eq!(y.len(), n);
+    let mut xtx = vec![0.0; p * p];
+    let mut xty = vec![0.0; p];
+    for row in 0..n {
+        let xr = &x[row * p..(row + 1) * p];
+        for i in 0..p {
+            xty[i] += xr[i] * y[row];
+            for j in i..p {
+                xtx[i * p + j] += xr[i] * xr[j];
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for i in 0..p {
+        for j in 0..i {
+            xtx[i * p + j] = xtx[j * p + i];
+        }
+    }
+    solve(&xtx, &xty, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // [2 1; 1 3] x = [3; 5] ⇒ x = [0.8, 1.4]
+        let x = solve(&[2.0, 1.0, 1.0, 3.0], &[3.0, 5.0], 2).unwrap();
+        close(x[0], 0.8, 1e-12);
+        close(x[1], 1.4, 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the initial diagonal forces a row swap.
+        let a = [0.0, 1.0, 1.0, 0.0];
+        let x = solve(&a, &[2.0, 3.0], 2).unwrap();
+        close(x[0], 3.0, 1e-12);
+        close(x[1], 2.0, 1e-12);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        assert!(solve(&[1.0, 2.0, 2.0, 4.0], &[1.0, 2.0], 2).is_none());
+    }
+
+    #[test]
+    fn least_squares_recovers_line() {
+        // y = 2x + 1 exactly.
+        let n = 20;
+        let mut xm = Vec::with_capacity(n * 2);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let xi = i as f64;
+            xm.push(1.0);
+            xm.push(xi);
+            y.push(2.0 * xi + 1.0);
+        }
+        let beta = least_squares(&xm, &y, n, 2).unwrap();
+        close(beta[0], 1.0, 1e-9);
+        close(beta[1], 2.0, 1e-9);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_noisy() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 5000;
+        let mut xm = Vec::with_capacity(n * 2);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let xi: f64 = rng.gen::<f64>() * 10.0;
+            xm.push(1.0);
+            xm.push(xi);
+            y.push(-3.0 + 0.5 * xi + (rng.gen::<f64>() - 0.5));
+        }
+        let beta = least_squares(&xm, &y, n, 2).unwrap();
+        close(beta[0], -3.0, 0.05);
+        close(beta[1], 0.5, 0.01);
+    }
+}

@@ -1,0 +1,162 @@
+//! Moving-average models: fitting by the innovations algorithm
+//! (Brockwell & Davis §8.3 — reference \[5\] of the paper).
+
+use crate::acf::{autocovariances, ma_theoretical_autocov};
+
+/// A fitted MA(q) model x_t = μ + e_t + Σ θᵢ e_{t−i}.
+#[derive(Debug, Clone)]
+pub struct MaModel {
+    /// MA coefficients θ₁..θ_q.
+    pub theta: Vec<f64>,
+    /// Innovation variance σ².
+    pub sigma2: f64,
+    /// Process mean μ.
+    pub mean: f64,
+}
+
+impl MaModel {
+    pub fn order(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// Process variance γ(0) = σ²(1 + Σθᵢ²).
+    pub fn variance(&self) -> f64 {
+        self.sigma2 * (1.0 + self.theta.iter().map(|t| t * t).sum::<f64>())
+    }
+
+    /// Theoretical autocovariances γ(0..=max_lag).
+    pub fn autocovariances(&self, max_lag: usize) -> Vec<f64> {
+        ma_theoretical_autocov(&self.theta, self.sigma2, max_lag)
+    }
+
+    /// Long-run variance Σ_{|k|≤q} γ(k) — the variance constant in the
+    /// CLT for the sample mean of an MA process (§5.1).
+    pub fn long_run_variance(&self) -> f64 {
+        let g = self.autocovariances(self.order());
+        g[0] + 2.0 * g[1..].iter().sum::<f64>()
+    }
+}
+
+/// Innovations-algorithm estimate of MA(q) from sample autocovariances.
+///
+/// Runs the innovations recursion to step `m` (≥ q, larger m = better
+/// estimates) and reads the MA coefficients from the last row; the
+/// innovation variance is the final one-step MSE.
+pub fn fit_ma_innovations(xs: &[f64], q: usize, m: usize) -> MaModel {
+    assert!(q >= 1, "order must be ≥ 1");
+    let m = m.max(q);
+    assert!(xs.len() > 2 * m, "series too short for innovations({m})");
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let gammas = autocovariances(xs, m);
+
+    // Innovations recursion: v₀ = γ(0);
+    // θ_{n,n−k} = (γ(n−k) − Σ_{j<k} θ_{k,k−j} θ_{n,n−j} v_j) / v_k
+    // v_n = γ(0) − Σ_{j<n} θ_{n,n−j}² v_j
+    let mut theta = vec![vec![0.0f64; m + 1]; m + 1];
+    let mut v = vec![0.0f64; m + 1];
+    v[0] = gammas[0];
+    for n in 1..=m {
+        for k in 0..n {
+            let mut acc = gammas[n - k];
+            for j in 0..k {
+                acc -= theta[k][k - j] * theta[n][n - j] * v[j];
+            }
+            theta[n][n - k] = if v[k].abs() > 1e-300 { acc / v[k] } else { 0.0 };
+        }
+        let mut vn = gammas[0];
+        for j in 0..n {
+            vn -= theta[n][n - j] * theta[n][n - j] * v[j];
+        }
+        v[n] = vn.max(1e-12);
+    }
+
+    let coeffs: Vec<f64> = (1..=q).map(|i| theta[m][i]).collect();
+    MaModel {
+        theta: coeffs,
+        sigma2: v[m],
+        mean,
+    }
+}
+
+/// Convenience: fit MA(q) with a default recursion depth.
+pub fn fit_ma(xs: &[f64], q: usize) -> MaModel {
+    let m = (q + 10).min(xs.len() / 4);
+    fit_ma_innovations(xs, q, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::ma_series;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn recovers_ma1() {
+        let xs = ma_series(&[0.7], 1.0, 100_000, 31);
+        let m = fit_ma(&xs, 1);
+        close(m.theta[0], 0.7, 0.05);
+        close(m.sigma2, 1.0, 0.06);
+    }
+
+    #[test]
+    fn recovers_ma2() {
+        let xs = ma_series(&[0.6, 0.3], 1.5, 150_000, 32);
+        let m = fit_ma(&xs, 2);
+        close(m.theta[0], 0.6, 0.06);
+        close(m.theta[1], 0.3, 0.06);
+        close(m.sigma2, 2.25, 0.15);
+    }
+
+    #[test]
+    fn variance_matches_sample() {
+        let xs = ma_series(&[0.8], 2.0, 100_000, 33);
+        let m = fit_ma(&xs, 1);
+        let sample_var = {
+            let mu = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / xs.len() as f64
+        };
+        close(m.variance(), sample_var, sample_var * 0.03);
+    }
+
+    #[test]
+    fn long_run_variance_formula() {
+        // MA(1), θ, σ²: LRV = σ²(1+θ)².
+        let m = MaModel {
+            theta: vec![0.5],
+            sigma2: 2.0,
+            mean: 0.0,
+        };
+        close(m.long_run_variance(), 2.0 * 1.5 * 1.5, 1e-12);
+    }
+
+    #[test]
+    fn negative_theta_long_run_variance_shrinks() {
+        // Anti-correlated noise reduces the variance of the mean.
+        let pos = MaModel {
+            theta: vec![0.5],
+            sigma2: 1.0,
+            mean: 0.0,
+        };
+        let neg = MaModel {
+            theta: vec![-0.5],
+            sigma2: 1.0,
+            mean: 0.0,
+        };
+        assert!(neg.long_run_variance() < pos.long_run_variance());
+        assert!(neg.long_run_variance() < neg.variance());
+    }
+
+    #[test]
+    fn theoretical_autocov_cutoff() {
+        let m = MaModel {
+            theta: vec![0.4, 0.2],
+            sigma2: 1.0,
+            mean: 0.0,
+        };
+        let g = m.autocovariances(5);
+        assert!(g[3].abs() < 1e-12 && g[4].abs() < 1e-12 && g[5].abs() < 1e-12);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the time-series substrate.
+
+use proptest::prelude::*;
+use ustream_prob::dist::ContinuousDist;
+use ustream_ts::acf::{autocorrelations, autocovariances, ma_theoretical_autocov};
+use ustream_ts::ar::levinson_durbin;
+use ustream_ts::clt::{iid_clt_mean, ma_clt_mean};
+use ustream_ts::diagnostics::ljung_box;
+use ustream_ts::generator::{ma_series, white_noise};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Levinson–Durbin inverts the Yule–Walker map for stationary AR(1).
+    #[test]
+    fn levinson_durbin_inverts_ar1(phi in -0.95f64..0.95, sigma2 in 0.1f64..10.0) {
+        let g0 = sigma2 / (1.0 - phi * phi);
+        let gammas = vec![g0, phi * g0, phi * phi * g0];
+        let (est, v) = levinson_durbin(&gammas, 1);
+        prop_assert!((est[0] - phi).abs() < 1e-10);
+        prop_assert!((v - sigma2).abs() < 1e-8 * (1.0 + sigma2));
+    }
+
+    /// …and for stationary AR(2) (parameters inside the stationarity
+    /// triangle: |φ₂|<1, φ₂±φ₁<1).
+    #[test]
+    fn levinson_durbin_inverts_ar2(p1 in -0.9f64..0.9, p2 in -0.9f64..0.9) {
+        prop_assume!(p2.abs() < 0.9 && p1 + p2 < 0.9 && p2 - p1 < 0.9);
+        let r1 = p1 / (1.0 - p2);
+        let r2 = p1 * r1 + p2;
+        // ρ3 from the Yule–Walker recursion.
+        let r3 = p1 * r2 + p2 * r1;
+        let gammas = vec![1.0, r1, r2, r3];
+        let (est, _) = levinson_durbin(&gammas, 2);
+        prop_assert!((est[0] - p1).abs() < 1e-9, "φ1 {} vs {}", est[0], p1);
+        prop_assert!((est[1] - p2).abs() < 1e-9, "φ2 {} vs {}", est[1], p2);
+    }
+
+    /// Sample autocovariances are symmetric under series reversal.
+    #[test]
+    fn autocovariance_reversal_symmetry(seed in 0u64..500, n in 50usize..300) {
+        let xs = white_noise(n, 1.0, seed);
+        let rev: Vec<f64> = xs.iter().rev().copied().collect();
+        let a = autocovariances(&xs, 5);
+        let b = autocovariances(&rev, 5);
+        for k in 0..=5 {
+            prop_assert!((a[k] - b[k]).abs() < 1e-10);
+        }
+    }
+
+    /// |ρ̂(k)| ≤ 1 always (biased estimator is non-negative definite).
+    #[test]
+    fn autocorrelation_bounded(seed in 0u64..500, n in 30usize..300, lag in 1usize..10) {
+        prop_assume!(lag < n);
+        let xs = white_noise(n, 2.0, seed);
+        let rhos = autocorrelations(&xs, lag);
+        for &r in &rhos {
+            prop_assert!(r.abs() <= 1.0 + 1e-12);
+        }
+    }
+
+    /// MA(q) theoretical autocovariance vanishes past lag q and γ(0) is
+    /// the process variance σ²(1+Σθ²).
+    #[test]
+    fn ma_autocov_cutoff(t1 in -1.5f64..1.5, t2 in -1.5f64..1.5, s2 in 0.1f64..5.0) {
+        let g = ma_theoretical_autocov(&[t1, t2], s2, 5);
+        prop_assert!((g[0] - s2 * (1.0 + t1 * t1 + t2 * t2)).abs() < 1e-12);
+        for k in 3..=5 {
+            prop_assert!(g[k].abs() < 1e-12);
+        }
+    }
+
+    /// Ljung–Box p-values live in [0,1]; statistic is non-negative.
+    #[test]
+    fn ljung_box_sane(seed in 0u64..300, n in 50usize..400, h in 1usize..15) {
+        prop_assume!(h < n / 2);
+        let xs = white_noise(n, 1.0, seed);
+        let lb = ljung_box(&xs, h);
+        prop_assert!(lb.statistic >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&lb.p_value));
+    }
+
+    /// For white noise the MA-CLT at q=0 coincides with the iid CLT.
+    #[test]
+    fn ma_clt_degenerates_to_iid(seed in 0u64..300, n in 50usize..400) {
+        let xs = white_noise(n, 1.0, seed);
+        let a = ma_clt_mean(&xs, 0);
+        let b = iid_clt_mean(&xs);
+        prop_assert!((a.mean() - b.mean()).abs() < 1e-12);
+        prop_assert!((a.variance() - b.variance()).abs() < 1e-12 * (1.0 + b.variance()));
+    }
+
+    /// MA-CLT variance of the mean is positive and shrinks with window
+    /// length (≈ 1/n scaling over a 4× window growth).
+    #[test]
+    fn ma_clt_variance_shrinks_with_n(seed in 0u64..200, theta in 0.0f64..0.9) {
+        let short = ma_series(&[theta], 1.0, 100, seed);
+        let long = ma_series(&[theta], 1.0, 400, seed + 10_000);
+        let vs = ma_clt_mean(&short, 1).variance();
+        let vl = ma_clt_mean(&long, 1).variance();
+        prop_assert!(vs > 0.0 && vl > 0.0);
+        prop_assert!(vl < vs, "variance must shrink: {vs} → {vl}");
+    }
+}

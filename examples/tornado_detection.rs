@@ -1,0 +1,77 @@
+//! Hazardous-weather monitoring (paper §2.2): the radar pipeline with the
+//! Table 1 averaging knob, plus the §4.4 T operator quantifying the
+//! uncertainty of the averaged velocities.
+//!
+//! One sector scan of a synthetic tornadic storm is processed twice —
+//! fine averaging (N=40) and coarse (N=1000) — showing how the velocity
+//! couplet and the detection survive or vanish, and what the MA-CLT
+//! uncertainty on each voxel's velocity looks like.
+//!
+//! Run: `cargo run --release --example tornado_detection`
+
+use uncertain_streams::radar::{
+    compute_moments, detect_tornados, DetectorConfig, RadarNode, RadarParams, RadarTOperator,
+    VelocityUq, WeatherField,
+};
+
+fn main() {
+    let field = WeatherField::tornadic_default();
+    let params = RadarParams::default();
+    let radar = RadarNode::new(0, [0.0, 0.0], params);
+    println!(
+        "Raw stream: {:.2} M items/s = {:.0} Mb/s (paper: 1.66 M items/s ≈ 205 Mb/s)",
+        params.prf * params.gates as f64 / 1e6,
+        params.raw_bits_per_second() / 1e6
+    );
+
+    // Scan the sector containing the vortex (bearing ≈ 36.9°, 15 km).
+    let bearing = (9_000.0f64).atan2(12_000.0);
+    let pulses = radar.sector_scan(&field, bearing - 0.12, bearing + 0.12, 0.0, 99);
+    println!(
+        "Sector scan: {} pulses × {} gates ({:.1} MB raw)\n",
+        pulses.len(),
+        params.gates,
+        (pulses.len() * params.gates * 16) as f64 / 1e6
+    );
+
+    for n_avg in [40usize, 1000] {
+        let moments = compute_moments(&pulses, &params, n_avg);
+        let result = detect_tornados(&moments, radar.pos, &DetectorConfig::default());
+        println!("— averaging N = {n_avg}:");
+        println!(
+            "    moment data {:.2} MB ({} radials × {} gates)",
+            moments.size_mb(),
+            moments.radials.len(),
+            params.gates
+        );
+        match result.detections.first() {
+            Some(d) => println!(
+                "    DETECTED vortex at ({:.0}, {:.0}) m — truth (12000, 9000); Δv = {:.1} m/s",
+                d.position[0], d.position[1], d.strength
+            ),
+            None => println!("    no detection — couplet smeared away"),
+        }
+    }
+
+    // §4.4: uncertainty of the averaged velocity via the MA-CLT T operator.
+    println!("\n§4.4 T operator on the vortex-core voxels (N = 200 pulses/group):");
+    let mut t_op = RadarTOperator::new(params, VelocityUq::MaClt { max_order: 3 });
+    // Gates around 15 km: 15000 / 48 ≈ gate 312.
+    let gates: Vec<usize> = (308..=316).collect();
+    let group = &pulses[0..200];
+    for tuple in t_op.transform_group(0, group, &gates) {
+        let v = tuple.updf("velocity").unwrap();
+        let (lo, hi) = v.confidence_interval(0.95);
+        println!(
+            "    gate @ {:>6.0} m: v = {:>6.2} m/s, 95% CI [{:>6.2}, {:>6.2}] (σ = {:.3})",
+            tuple.float("range").unwrap(),
+            v.mean(),
+            lo,
+            hi,
+            v.std_dev()
+        );
+    }
+    println!("\nWith this per-voxel uncertainty available, the system can decide");
+    println!("dynamically where aggressive averaging is safe and where detailed");
+    println!("analysis is worth the bandwidth (the paper's closing argument for §2.2).");
+}

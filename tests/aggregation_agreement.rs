@@ -1,0 +1,136 @@
+//! Cross-crate integration: every SUM strategy must agree on the first
+//! two moments of the result distribution (they differ in shape fidelity
+//! and cost, not in calibration), across randomized windows.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uncertain_streams::core::ops::aggregate::{
+    AggFunc, AggSpec, Strategy, WindowKind, WindowedAggregate,
+};
+use uncertain_streams::core::ops::Operator;
+use uncertain_streams::core::schema::{DataType, Schema};
+use uncertain_streams::core::{GroupKey, Tuple, Updf, Value};
+use uncertain_streams::prob::dist::{ContinuousDist, Dist, GaussianMixture};
+
+fn random_window(n: usize, seed: u64) -> Vec<Dist> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| match rng.gen_range(0..3) {
+            0 => Dist::gaussian(rng.gen::<f64>() * 10.0 - 5.0, 0.3 + rng.gen::<f64>()),
+            1 => Dist::uniform(0.0, 1.0 + rng.gen::<f64>() * 3.0),
+            _ => Dist::Mixture(GaussianMixture::from_triples(&[
+                (0.5, rng.gen::<f64>() * 4.0 - 2.0, 0.5),
+                (0.5, rng.gen::<f64>() * 4.0 + 2.0, 0.8),
+            ])),
+        })
+        .collect()
+}
+
+fn run_strategy(inputs: &[Dist], strategy: Strategy) -> Updf {
+    let schema = Schema::builder()
+        .field("g", DataType::Int)
+        .field("x", DataType::Uncertain)
+        .build();
+    let mut agg = WindowedAggregate::new(
+        WindowKind::Count(inputs.len()),
+        |_t: &Tuple| GroupKey::Unit,
+        vec![AggSpec {
+            field: "x".into(),
+            func: AggFunc::Sum,
+            out: "s".into(),
+            strategy,
+        }],
+    );
+    let mut out = Vec::new();
+    for (i, d) in inputs.iter().enumerate() {
+        out.extend(agg.process(
+            0,
+            Tuple::new(
+                schema.clone(),
+                vec![Value::Int(0), Value::from(Updf::Parametric(d.clone()))],
+                i as u64,
+            ),
+        ));
+    }
+    out.extend(agg.flush());
+    assert_eq!(out.len(), 1);
+    out[0].updf("s").unwrap().clone()
+}
+
+#[test]
+fn all_strategies_agree_on_moments() {
+    for seed in 0..5u64 {
+        let inputs = random_window(60, seed);
+        let exact_mean: f64 = inputs.iter().map(|d| d.mean()).sum();
+        let exact_var: f64 = inputs.iter().map(|d| d.variance()).sum();
+        let sd = exact_var.sqrt();
+
+        let strategies = vec![
+            ("auto", Strategy::Auto),
+            ("clt", Strategy::Clt),
+            (
+                "cf_approx",
+                Strategy::CfApprox {
+                    skew_threshold: 0.3,
+                    kurt_threshold: 1.0,
+                },
+            ),
+            (
+                "cf_inversion",
+                Strategy::CfInversion {
+                    bins: 256,
+                    span_sigmas: 8.0,
+                },
+            ),
+            (
+                "histogram",
+                Strategy::HistogramSampling {
+                    buckets: 100,
+                    samples: 20_000,
+                },
+            ),
+        ];
+        for (name, strat) in strategies {
+            let updf = run_strategy(&inputs, strat);
+            assert!(
+                (updf.mean() - exact_mean).abs() < 0.05 * sd.max(1.0),
+                "seed {seed} strategy {name}: mean {} vs exact {exact_mean}",
+                updf.mean()
+            );
+            assert!(
+                (updf.variance() - exact_var).abs() < 0.15 * exact_var,
+                "seed {seed} strategy {name}: var {} vs exact {exact_var}",
+                updf.variance()
+            );
+        }
+    }
+}
+
+#[test]
+fn inversion_and_cf_approx_agree_in_distribution() {
+    // Beyond moments: TV distance between the exact inversion and the CF
+    // approximation must be small for CLT-sized windows.
+    let inputs = random_window(80, 99);
+    let exact = run_strategy(
+        &inputs,
+        Strategy::CfInversion {
+            bins: 512,
+            span_sigmas: 8.0,
+        },
+    );
+    let approx = run_strategy(
+        &inputs,
+        Strategy::CfApprox {
+            skew_threshold: 0.3,
+            kurt_threshold: 1.0,
+        },
+    );
+    let Updf::Histogram(h) = &exact else {
+        panic!("inversion returns a histogram")
+    };
+    let Updf::Parametric(d) = &approx else {
+        panic!("approx returns parametric")
+    };
+    let tv = uncertain_streams::prob::metrics::tv_distance_grid(d, h);
+    assert!(tv < 0.05, "TV(exact, approx) = {tv}");
+}

@@ -1,0 +1,105 @@
+//! §4.3 integration: converting sample-based tuple distributions to
+//! parametric forms — the KL-optimal Gaussian, the AIC/BIC-selected
+//! mixture, and the quality ordering between them on the paper's
+//! motivating scenario (an object that may have moved shelves).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uncertain_streams::core::toperator::convert_samples;
+use uncertain_streams::core::{ConversionPolicy, Updf};
+use uncertain_streams::prob::dist::{ContinuousDist, Dist, GaussianMixture};
+use uncertain_streams::prob::fit::ModelSelection;
+use uncertain_streams::prob::metrics::cross_entropy_vs_dist;
+use uncertain_streams::prob::samples::WeightedSamples;
+
+fn bimodal_cloud(sep: f64, n: usize, seed: u64) -> WeightedSamples {
+    let truth = GaussianMixture::from_triples(&[(0.6, 0.0, 0.8), (0.4, sep, 0.8)]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    WeightedSamples::unweighted((0..n).map(|_| truth.sample(&mut rng)).collect())
+}
+
+#[test]
+fn mixture_policy_beats_gaussian_on_moved_object() {
+    // "An object may have recently moved … Approximating these samples
+    // using a single Gaussian is obviously inaccurate" (§4.3).
+    let cloud = bimodal_cloud(12.0, 800, 1);
+    let gauss = convert_samples(
+        cloud.clone(),
+        &ConversionPolicy::FitGaussian,
+    );
+    let mix = convert_samples(
+        cloud.clone(),
+        &ConversionPolicy::FitMixture {
+            max_k: 3,
+            criterion: ModelSelection::Bic,
+        },
+    );
+    let Updf::Parametric(g) = &gauss else { panic!() };
+    let Updf::Parametric(m) = &mix else { panic!() };
+    assert!(matches!(m, Dist::Mixture(_)), "BIC must pick a mixture");
+    // KL(p̂‖q) comparison via cross-entropy: lower is closer to p̂.
+    let ce_g = cross_entropy_vs_dist(&cloud, g);
+    let ce_m = cross_entropy_vs_dist(&cloud, m);
+    assert!(
+        ce_m < ce_g - 0.1,
+        "mixture CE {ce_m:.3} should beat Gaussian CE {ce_g:.3}"
+    );
+}
+
+#[test]
+fn unimodal_cloud_stays_gaussian_under_bic() {
+    let truth = GaussianMixture::from_triples(&[(1.0, 3.0, 1.2)]);
+    let mut rng = StdRng::seed_from_u64(2);
+    let cloud =
+        WeightedSamples::unweighted((0..600).map(|_| truth.sample(&mut rng)).collect());
+    let out = convert_samples(
+        cloud,
+        &ConversionPolicy::FitMixture {
+            max_k: 3,
+            criterion: ModelSelection::Bic,
+        },
+    );
+    let Updf::Parametric(d) = &out else { panic!() };
+    assert!(
+        matches!(d, Dist::Gaussian(_)),
+        "BIC must not hallucinate modes: got {d:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The Gaussian conversion preserves the first two moments exactly
+    /// for any weighted cloud (the §4.3 closed form).
+    #[test]
+    fn gaussian_conversion_preserves_moments(
+        seed in 0u64..1000,
+        n in 10usize..200,
+        scale in 0.1f64..50.0,
+        shift in -100.0f64..100.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Dist::gaussian(shift, scale);
+        let xs: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let ws: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+        let cloud = WeightedSamples::new(xs, ws);
+        let out = convert_samples(cloud.clone(), &ConversionPolicy::FitGaussian);
+        prop_assert!((out.mean() - cloud.mean()).abs() <= 1e-9 * (1.0 + cloud.mean().abs()));
+        prop_assert!((out.variance() - cloud.variance()).abs() <= 1e-9 * (1.0 + cloud.variance()));
+    }
+
+    /// Conversion never inflates the payload: parametric forms are at
+    /// most a few components regardless of the cloud size.
+    #[test]
+    fn conversion_always_compacts(seed in 0u64..500, n in 50usize..400) {
+        let cloud = bimodal_cloud(8.0, n, seed);
+        let before = Updf::Samples(cloud.clone()).payload_bytes();
+        let out = convert_samples(cloud, &ConversionPolicy::FitMixture {
+            max_k: 3,
+            criterion: ModelSelection::Bic,
+        });
+        prop_assert!(!out.is_sample_based());
+        prop_assert!(out.payload_bytes() * 4 < before);
+    }
+}

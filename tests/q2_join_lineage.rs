@@ -1,0 +1,173 @@
+//! Q2-style integration: probabilistic location join, lineage
+//! propagation, and the §5.2 correlation hazard — an aggregation over
+//! join outputs that share a base tuple must use lineage to stay exact.
+
+use uncertain_streams::core::ops::aggregate::{
+    AggFunc, AggSpec, Strategy, WindowKind, WindowedAggregate,
+};
+use uncertain_streams::core::ops::join::{JoinCondition, WindowJoin};
+use uncertain_streams::core::ops::Operator;
+use uncertain_streams::core::schema::{DataType, Schema};
+use uncertain_streams::core::{GroupKey, Tuple, Updf, Value};
+use uncertain_streams::prob::dist::{Dist, MvGaussian};
+
+fn obj_schema() -> std::sync::Arc<Schema> {
+    Schema::builder()
+        .field("tag_id", DataType::Int)
+        .field("loc", DataType::UncertainVec(2))
+        .build()
+}
+
+fn temp_schema() -> std::sync::Arc<Schema> {
+    Schema::builder()
+        .field("loc", DataType::UncertainVec(2))
+        .field("temp", DataType::Uncertain)
+        .build()
+}
+
+fn obj(ts: u64, id: i64, xy: [f64; 2]) -> Tuple {
+    Tuple::new(
+        obj_schema(),
+        vec![
+            Value::Int(id),
+            Value::from(Updf::Mv(MvGaussian::isotropic(vec![xy[0], xy[1]], 0.4))),
+        ],
+        ts,
+    )
+}
+
+fn temp(ts: u64, xy: [f64; 2], mean: f64, sd: f64) -> Tuple {
+    Tuple::new(
+        temp_schema(),
+        vec![
+            Value::from(Updf::Mv(MvGaussian::isotropic(vec![xy[0], xy[1]], 0.2))),
+            Value::from(Updf::Parametric(Dist::gaussian(mean, sd))),
+        ],
+        ts,
+    )
+}
+
+#[test]
+fn join_outputs_carry_joint_lineage_and_probability() {
+    // The join condition reads the *input* fields; the right side's
+    // clashing `loc` is only renamed to `r_loc` in the output schema.
+    let mut join = WindowJoin::new(
+        3_000,
+        JoinCondition::LocEquals {
+            left_field: "loc".into(),
+            right_field: "loc".into(),
+            epsilon: 3.0,
+        },
+        0.2,
+    );
+    let o = obj(100, 7, [5.0, 5.0]);
+    let o_lineage = o.lineage.clone();
+    join.process(0, o);
+    let t = temp(200, [5.2, 4.9], 65.0, 1.0);
+    let t_lineage = t.lineage.clone();
+    let out = join.process(1, t);
+    assert_eq!(out.len(), 1);
+    let alert = &out[0];
+    assert!(alert.existence > 0.5, "co-located: p = {}", alert.existence);
+    assert_eq!(alert.lineage, o_lineage.union(&t_lineage));
+    assert!(alert.get("temp").is_ok());
+    assert!(alert.get("r_loc").is_ok(), "clashing field prefixed");
+}
+
+#[test]
+fn shared_base_tuple_correlation_detected_and_handled() {
+    // One temperature tuple joins two objects; summing the two outputs'
+    // temperatures naively would halve the variance. With provenance
+    // columns the aggregate recognizes the shared source and scales
+    // exactly: Var(2X) = 4σ², not 2σ².
+    let mut join = WindowJoin::new(
+        3_000,
+        JoinCondition::LocEquals {
+            left_field: "loc".into(),
+            right_field: "loc".into(),
+            epsilon: 3.0,
+        },
+        0.1,
+    )
+    .with_provenance("temp", 1);
+
+    join.process(0, obj(100, 1, [5.0, 5.0]));
+    join.process(0, obj(150, 2, [5.5, 5.2]));
+    let outputs = join.process(1, temp(200, [5.2, 5.0], 65.0, 2.0));
+    assert_eq!(outputs.len(), 2);
+    assert!(outputs[0].lineage.overlaps(&outputs[1].lineage));
+
+    let mut agg = WindowedAggregate::new(
+        WindowKind::Count(2),
+        |_t: &Tuple| GroupKey::Unit,
+        vec![AggSpec {
+            field: "temp".into(),
+            func: AggFunc::Sum,
+            out: "total".into(),
+            strategy: Strategy::Auto,
+        }],
+    );
+    let mut res = Vec::new();
+    for mut o in outputs {
+        // Normalize existence for the aggregation-variance check.
+        o.existence = 1.0;
+        res.extend(agg.process(0, o));
+    }
+    res.extend(agg.flush());
+    assert_eq!(res.len(), 1);
+    let total = res[0].updf("total").unwrap();
+    assert!((total.mean() - 130.0).abs() < 1e-6);
+    // Exact: Var(2X) = 4·4 = 16. Naive independence would claim 8.
+    assert!(
+        (total.variance() - 16.0).abs() < 1e-6,
+        "lineage-aware variance {} (naive would be 8)",
+        total.variance()
+    );
+}
+
+#[test]
+fn independent_sources_still_add_variances() {
+    let mut join = WindowJoin::new(
+        3_000,
+        JoinCondition::LocEquals {
+            left_field: "loc".into(),
+            right_field: "loc".into(),
+            epsilon: 3.0,
+        },
+        0.1,
+    )
+    .with_provenance("temp", 1);
+
+    // Two objects in different places, two separate temperature tuples.
+    join.process(0, obj(100, 1, [5.0, 5.0]));
+    join.process(0, obj(150, 2, [40.0, 40.0]));
+    let mut outputs = Vec::new();
+    outputs.extend(join.process(1, temp(200, [5.0, 5.0], 60.0, 2.0)));
+    outputs.extend(join.process(1, temp(210, [40.0, 40.0], 70.0, 2.0)));
+    assert_eq!(outputs.len(), 2);
+    assert!(!outputs[0].lineage.overlaps(&outputs[1].lineage));
+
+    let mut agg = WindowedAggregate::new(
+        WindowKind::Count(2),
+        |_t: &Tuple| GroupKey::Unit,
+        vec![AggSpec {
+            field: "temp".into(),
+            func: AggFunc::Sum,
+            out: "total".into(),
+            strategy: Strategy::Auto,
+        }],
+    );
+    let mut res = Vec::new();
+    for mut o in outputs {
+        o.existence = 1.0;
+        res.extend(agg.process(0, o));
+    }
+    res.extend(agg.flush());
+    let total = res[0].updf("total").unwrap();
+    assert!((total.mean() - 130.0).abs() < 1e-6);
+    assert!(
+        (total.variance() - 8.0).abs() < 1e-6,
+        "independent sources: Var = σ²+σ² = 8, got {}",
+        total.variance()
+    );
+}

@@ -1,0 +1,112 @@
+//! End-to-end radar pipeline: weather → pulses → moments → detection,
+//! and the §4.4 T operator feeding voxel tuples into the core engine's
+//! MA-CLT aggregation path.
+
+use uncertain_streams::core::ops::aggregate::{
+    AggFunc, AggSpec, Strategy, WindowKind, WindowedAggregate,
+};
+use uncertain_streams::core::ops::Operator;
+use uncertain_streams::core::{GroupKey, Tuple};
+use uncertain_streams::radar::{
+    compute_moments, detect_tornados, run_scenario, DetectorConfig, RadarNode, RadarParams,
+    RadarTOperator, ScenarioConfig, VelocityUq, WeatherField,
+};
+
+fn params() -> RadarParams {
+    RadarParams {
+        gates: 416,
+        gate_spacing: 48.0,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn averaging_tradeoff_matches_table1_shape() {
+    let field = WeatherField::tornadic_default();
+    let cfg = ScenarioConfig {
+        params: params(),
+        num_scans: 2,
+        scan_period_s: 2.0,
+        ..Default::default()
+    };
+    let fine = run_scenario(&field, 40, &cfg);
+    let coarse = run_scenario(&field, 1000, &cfg);
+
+    // The Table 1 dilemma, end to end.
+    assert!(fine.reported_tornados > 0.0, "fine averaging detects");
+    assert_eq!(coarse.reported_tornados, 0.0, "coarse averaging misses");
+    assert!(fine.moment_mb > 10.0 * coarse.moment_mb);
+    assert!(!fine.fits_deadline, "fine data blows the compute budget");
+    assert!(coarse.fits_deadline, "coarse data fits the budget");
+    assert!(coarse.false_negatives > fine.false_negatives);
+}
+
+#[test]
+fn t_operator_tuples_flow_into_core_aggregation() {
+    // Voxel velocity tuples from the radar T operator, aggregated per
+    // range gate across consecutive groups with the engine's MA-CLT path
+    // operating on the certain per-group means — exercising the §4.4
+    // chain radar → T operator → core operators.
+    let field = WeatherField::tornadic_default();
+    let node = RadarNode::new(0, [0.0, 0.0], params());
+    let bearing = (9_000.0f64).atan2(12_000.0);
+    let pulses = node.sector_scan(&field, bearing - 0.03, bearing + 0.03, 0.0, 51);
+    let mut t_op = RadarTOperator::new(params(), VelocityUq::MaClt { max_order: 3 });
+
+    let gates: Vec<usize> = vec![310, 312, 314];
+    let mut agg = WindowedAggregate::new(
+        WindowKind::Count(gates.len() * 4),
+        |t: &Tuple| GroupKey::from_value(t.get("range").map(|_| t.get("range").unwrap()).unwrap())
+            .unwrap_or(GroupKey::Unit),
+        vec![AggSpec {
+            field: "velocity".into(),
+            func: AggFunc::Avg,
+            out: "v_avg".into(),
+            strategy: Strategy::Clt,
+        }],
+    );
+
+    let mut out = Vec::new();
+    for group in pulses.chunks_exact(100).take(4) {
+        for tuple in t_op.transform_group(0, group, &gates) {
+            out.extend(agg.process(0, tuple));
+        }
+    }
+    out.extend(agg.flush());
+    assert!(!out.is_empty(), "aggregation produced results");
+    for r in &out {
+        let v = r.updf("v_avg").unwrap();
+        // The vortex-core radial velocities are within the Nyquist band.
+        assert!(v.mean().abs() <= params().nyquist_velocity() + 1.0);
+        assert!(v.std_dev() > 0.0);
+    }
+}
+
+#[test]
+fn detection_position_error_is_small_at_fine_averaging() {
+    let field = WeatherField::tornadic_default();
+    let node = RadarNode::new(0, [0.0, 0.0], params());
+    let bearing = (9_000.0f64).atan2(12_000.0);
+    let pulses = node.sector_scan(&field, bearing - 0.12, bearing + 0.12, 0.0, 53);
+    let scan = compute_moments(&pulses, &params(), 40);
+    let res = detect_tornados(&scan, [0.0, 0.0], &DetectorConfig::default());
+    assert!(!res.detections.is_empty());
+    let d = &res.detections[0];
+    let err = ((d.position[0] - 12_000.0).powi(2) + (d.position[1] - 9_000.0).powi(2)).sqrt();
+    assert!(err < 1_500.0, "location error {err:.0} m");
+}
+
+#[test]
+fn quiet_scene_never_alarms_across_averaging_sizes() {
+    let field = WeatherField::quiet();
+    let cfg = ScenarioConfig {
+        params: params(),
+        num_scans: 1,
+        scan_period_s: 1.0,
+        ..Default::default()
+    };
+    for n in [40usize, 100, 500] {
+        let row = run_scenario(&field, n, &cfg);
+        assert_eq!(row.reported_tornados, 0.0, "false alarm at N={n}");
+    }
+}

@@ -1,0 +1,133 @@
+//! End-to-end RFID pipeline: simulator → particle-filter T operator →
+//! uncertain tuples → relational processing, validated against the
+//! simulator's ground truth.
+
+use uncertain_streams::core::toperator::TransformOperator;
+use uncertain_streams::core::{confidence_region, ConfidenceRegion, ConversionPolicy, Updf};
+use uncertain_streams::inference::{FactoredConfig, MotionModel, ObservationModel, RfidTOperator};
+use uncertain_streams::rfid::{SensingModel, TraceConfig, TraceGenerator, WorldConfig};
+
+fn setup(policy: ConversionPolicy) -> (TraceGenerator, RfidTOperator) {
+    let tc = TraceConfig {
+        world: WorldConfig {
+            shelf_rows: 5,
+            shelf_cols: 5,
+            num_objects: 40,
+            move_prob: 0.0,
+            seed: 31,
+            ..Default::default()
+        },
+        sensing: SensingModel::clean(),
+        seed: 37,
+        ..Default::default()
+    };
+    let gen = TraceGenerator::new(tc);
+    let shelf_xy: Vec<[f64; 2]> = gen
+        .world
+        .shelves()
+        .iter()
+        .map(|s| [s.pos[0], s.pos[1]])
+        .collect();
+    let cfg = FactoredConfig {
+        num_particles: 200,
+        extent: gen.world.extent(),
+        motion: MotionModel {
+            diffusion: 0.05,
+            move_prob: 0.0,
+            shelf_xy,
+            placement_jitter: 0.8,
+        },
+        obs: ObservationModel::new(*gen.sensing()),
+        use_spatial_index: true,
+        compression: None,
+        negative_evidence: true,
+        resample_fraction: 0.5,
+        seed: 41,
+    };
+    let t_op = RfidTOperator::new(40, cfg, policy);
+    (gen, t_op)
+}
+
+#[test]
+fn location_confidence_regions_are_calibrated() {
+    // After convergence, most tracked objects should fall inside their
+    // own (slack-inflated) 95% confidence ellipsoid. Collect the freshest
+    // tuple per object over the whole run; objects are static, so stale
+    // estimates remain valid.
+    let (mut gen, mut t_op) = setup(ConversionPolicy::FitGaussian);
+    let mut freshest: std::collections::HashMap<i64, uncertain_streams::core::Tuple> =
+        std::collections::HashMap::new();
+    let mut last_truth = Vec::new();
+    for _ in 0..500 {
+        let scan = gen.next_scan();
+        last_truth = scan.truth.object_xy.clone();
+        for t in t_op.ingest(scan) {
+            freshest.insert(t.int("tag_id").unwrap(), t);
+        }
+    }
+    assert!(freshest.len() >= 10, "only {} objects ever emitted", freshest.len());
+    let mut inside = 0usize;
+    let mut total = 0usize;
+    for (id, tuple) in &freshest {
+        let loc = tuple.updf("loc").unwrap();
+        let Updf::Mv(mv) = loc else { panic!("expected Mv") };
+        let truth = last_truth[*id as usize];
+        let maha = mv.mahalanobis_sq(&[truth[0], truth[1]]);
+        // Generous slack: particle posteriors after resampling are often
+        // overconfident; the test guards against *gross* miscalibration.
+        let r = mv.confidence_radius_sq(0.95);
+        total += 1;
+        if maha <= r * 9.0 {
+            inside += 1;
+        }
+    }
+    assert!(
+        inside as f64 >= 0.5 * total as f64,
+        "only {inside}/{total} truths inside (inflated) 95% regions"
+    );
+}
+
+#[test]
+fn confidence_region_types_follow_payload() {
+    let (mut gen, mut t_op) = setup(ConversionPolicy::FitGaussian);
+    for _ in 0..50 {
+        let out = t_op.ingest(gen.next_scan());
+        if let Some(tuple) = out.first() {
+            let loc = tuple.updf("loc").unwrap();
+            match confidence_region(loc, 0.9) {
+                ConfidenceRegion::Ellipsoid { level, .. } => assert_eq!(level, 0.9),
+                other => panic!("expected ellipsoid for Mv payload, got {other:?}"),
+            }
+            let lx = tuple.updf("loc_x").unwrap();
+            let r = confidence_region(lx, 0.9);
+            assert!(matches!(
+                r,
+                ConfidenceRegion::Interval { .. } | ConfidenceRegion::Union { .. }
+            ));
+            return;
+        }
+    }
+    panic!("no tuples emitted in 50 scans");
+}
+
+#[test]
+fn payload_sizes_shrink_with_parametric_policy() {
+    let (mut gen_a, mut keep) = setup(ConversionPolicy::KeepSamples);
+    let (mut gen_b, mut fit) = setup(ConversionPolicy::FitGaussian);
+    let mut bytes_keep = 0usize;
+    let mut bytes_fit = 0usize;
+    for _ in 0..50 {
+        for t in keep.ingest(gen_a.next_scan()) {
+            bytes_keep += t.uncertain_payload_bytes();
+        }
+        for t in fit.ingest(gen_b.next_scan()) {
+            bytes_fit += t.uncertain_payload_bytes();
+        }
+    }
+    assert!(bytes_keep > 0 && bytes_fit > 0);
+    // §4.3: one-to-two orders of magnitude stream-volume reduction.
+    assert!(
+        bytes_keep > 10 * bytes_fit,
+        "keep={bytes_keep} fit={bytes_fit}"
+    );
+}

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ustream_prob::dist::{ContinuousDist, GaussianMixture};
+use ustream_prob::dist::GaussianMixture;
 use ustream_prob::fit::{fit_gmm_weighted, select_gmm, EmConfig, ModelSelection};
 use ustream_prob::samples::WeightedSamples;
 

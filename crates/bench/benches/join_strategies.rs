@@ -85,7 +85,9 @@ fn bench_join(c: &mut Criterion) {
 
     // Q2 loc_equals, diagonal MvGaussian closed form.
     {
-        let s = Schema::builder().field("loc", DataType::UncertainVec(2)).build();
+        let s = Schema::builder()
+            .field("loc", DataType::UncertainVec(2))
+            .build();
         let mk = |ts: u64, x: f64| {
             Tuple::new(
                 s.clone(),

@@ -7,7 +7,11 @@ use rfid_sim::TagRef;
 use ustream_bench::{fig3_setup, filter_config};
 use ustream_inference::FactoredFilter;
 
-fn prepared(num_objects: usize, spatial: bool, compression: bool) -> (FactoredFilter, Vec<([f64; 3], Vec<u32>)>) {
+fn prepared(
+    num_objects: usize,
+    spatial: bool,
+    compression: bool,
+) -> (FactoredFilter, Vec<([f64; 3], Vec<u32>)>) {
     let mut setup = fig3_setup(num_objects, 42);
     let cfg = filter_config(&setup.gen, 100, spatial, compression, 7);
     let mut filter = FactoredFilter::new(num_objects, cfg);

@@ -3,7 +3,9 @@
 //! plus the §4.4 T-operator MA-CLT path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use radar_sim::{compute_moments, RadarNode, RadarParams, RadarTOperator, VelocityUq, WeatherField};
+use radar_sim::{
+    compute_moments, RadarNode, RadarParams, RadarTOperator, VelocityUq, WeatherField,
+};
 
 fn bench_radar(c: &mut Criterion) {
     let params = RadarParams {

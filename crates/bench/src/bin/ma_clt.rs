@@ -12,7 +12,6 @@
 //! Run: `cargo run -p ustream-bench --release --bin ma_clt`
 
 use ustream_bench::print_table;
-use ustream_prob::dist::ContinuousDist;
 use ustream_ts::clt::{iid_clt_mean, ma_clt_pipeline, newey_west_mean};
 use ustream_ts::generator::ma_series;
 

@@ -126,14 +126,20 @@ fn main() {
     ];
     print_table(
         "Table 2 — SUM over a tuple stream (tumbling window of 100 tuples)",
-        &["Algorithm", "Throughput (tuples/s)", "Variance distance [0,1]"],
+        &[
+            "Algorithm",
+            "Throughput (tuples/s)",
+            "Variance distance [0,1]",
+        ],
         &rows,
     );
 
     println!("\n* extra row: our implementation can share CF evaluations across the");
     println!("  output grid, which is not one of the paper's contenders.");
     println!("\nPaper reference (absolute numbers differ; shape should hold):");
-    println!("  Histogram 3382 t/s @ 0.083 | CF inversion 466 t/s @ 0 | CF approx 10593 t/s @ 0.012");
+    println!(
+        "  Histogram 3382 t/s @ 0.083 | CF inversion 466 t/s @ 0 | CF approx 10593 t/s @ 0.012"
+    );
     println!("Shape checks:");
     println!(
         "  approx fastest: {} | inversion slowest: {} | approx more accurate than histogram: {}",

@@ -135,7 +135,6 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ustream_prob::dist::ContinuousDist;
 
     #[test]
     fn table2_inputs_are_mixtures_with_sane_moments() {

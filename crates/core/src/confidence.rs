@@ -3,7 +3,7 @@
 //! on the application").
 
 use crate::updf::Updf;
-use ustream_prob::dist::{ContinuousDist, Dist};
+use ustream_prob::dist::Dist;
 
 /// A confidence region at some level.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,11 +93,9 @@ fn hdr_region(d: &Dist, level: f64) -> ConfidenceRegion {
         .map(|i| d.pdf(lo + (i as f64 + 0.5) * step))
         .collect();
 
-    let mass_above = |c: f64| -> f64 {
-        dens.iter().filter(|&&f| f >= c).count() as f64 * step
-            * dens.iter().filter(|&&f| f >= c).sum::<f64>()
-            / dens.iter().filter(|&&f| f >= c).count().max(1) as f64
-    };
+    // Mass of {x : f(x) >= c} on the grid: the count factors cancel,
+    // leaving a single filtered sum.
+    let mass_above = |c: f64| -> f64 { step * dens.iter().filter(|&&f| f >= c).sum::<f64>() };
     // Bisect on the density threshold.
     let mut c_lo = 0.0f64;
     let mut c_hi = dens.iter().cloned().fold(0.0f64, f64::max);

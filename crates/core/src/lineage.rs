@@ -165,12 +165,7 @@ impl ApproxLineage {
     /// Union of two summaries (envelope union; exact ids merged up to cap).
     pub fn union(&self, other: &ApproxLineage) -> ApproxLineage {
         let cap = self.cap.min(other.cap);
-        let mut ids: Vec<u64> = self
-            .ids
-            .iter()
-            .chain(other.ids.iter())
-            .copied()
-            .collect();
+        let mut ids: Vec<u64> = self.ids.iter().chain(other.ids.iter()).copied().collect();
         ids.sort_unstable();
         ids.dedup();
         let truncated = self.truncated || other.truncated || ids.len() > cap;
@@ -289,7 +284,9 @@ mod tests {
 
     #[test]
     fn contains_uses_binary_search() {
-        let a = Lineage { ids: vec![10, 20, 30] };
+        let a = Lineage {
+            ids: vec![10, 20, 30],
+        };
         assert!(a.contains(20));
         assert!(!a.contains(25));
     }
@@ -341,12 +338,30 @@ mod tests {
 
     #[test]
     fn approx_lineage_union_and_size() {
-        let a = ApproxLineage::from_lineage(&Lineage { ids: (0..50).collect() }, 8);
-        let b = ApproxLineage::from_lineage(&Lineage { ids: (40..90).collect() }, 8);
+        let a = ApproxLineage::from_lineage(
+            &Lineage {
+                ids: (0..50).collect(),
+            },
+            8,
+        );
+        let b = ApproxLineage::from_lineage(
+            &Lineage {
+                ids: (40..90).collect(),
+            },
+            8,
+        );
         let u = a.union(&b);
         assert!(u.is_truncated());
         assert!(u.retained() <= 8);
-        assert!(u.payload_bytes() < Lineage { ids: (0..90).collect() }.ids().len() * 8);
+        assert!(
+            u.payload_bytes()
+                < Lineage {
+                    ids: (0..90).collect()
+                }
+                .ids()
+                .len()
+                    * 8
+        );
         // Envelope covers both inputs.
         let probe = ApproxLineage::from_lineage(&Lineage { ids: vec![89] }, 8);
         assert!(u.may_overlap(&probe));

@@ -131,9 +131,7 @@ mod tests {
 
     #[test]
     fn counts_in_and_out() {
-        let (mut op, handle) = Metered::new(MapOperator::new("dup", |t: Tuple| {
-            vec![t.clone(), t]
-        }));
+        let (mut op, handle) = Metered::new(MapOperator::new("dup", |t: Tuple| vec![t.clone(), t]));
         for i in 0..10 {
             op.process(0, t(i));
         }
@@ -178,7 +176,8 @@ mod tests {
         let node = g.add(Box::new(metered));
         g.source("in", node);
         g.sink(node);
-        g.run(vec![("in".into(), 0, vec![t(1), t(2), t(3)])]).unwrap();
+        g.run(vec![("in".into(), 0, vec![t(1), t(2), t(3)])])
+            .unwrap();
         assert_eq!(handle.snapshot().tuples_in, 3);
     }
 

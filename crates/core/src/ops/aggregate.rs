@@ -36,7 +36,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use ustream_prob::cf::{cf_approx_auto, CfSum};
 use ustream_prob::convolve::{clt_sum, exact_sum};
-use ustream_prob::dist::{ContinuousDist, Dist, Gaussian};
+use ustream_prob::dist::{Dist, Gaussian};
 use ustream_prob::histogram::{histogram_sum, HistogramPdf};
 use ustream_prob::order_stats::OrderStatDist;
 
@@ -106,7 +106,10 @@ pub enum WindowKind {
     /// Overlapping event-time windows: every `slide_ms` emit the window
     /// covering the trailing `range_ms` (the queries' `[Range r]` with a
     /// periodic Rstream).
-    Sliding { range_ms: u64, slide_ms: u64 },
+    Sliding {
+        range_ms: u64,
+        slide_ms: u64,
+    },
 }
 
 enum WindowState {
@@ -157,7 +160,10 @@ impl WindowedAggregate {
                 WindowKind::Tumbling(ms) => WindowState::Tumbling(TumblingWindow::new(ms)),
                 WindowKind::Count(n) => WindowState::Count(CountWindow::new(n)),
                 WindowKind::Sliding { range_ms, slide_ms } => {
-                    assert!(range_ms > 0 && slide_ms > 0, "sliding window sizes must be positive");
+                    assert!(
+                        range_ms > 0 && slide_ms > 0,
+                        "sliding window sizes must be positive"
+                    );
                     WindowState::Sliding {
                         range_ms,
                         slide_ms,
@@ -282,7 +288,11 @@ fn compute_aggregate(
 /// Gather the members' attribute distributions as [`Dist`]s (converting
 /// sample payloads per policy). Applies existence-probability thinning to
 /// the first two moments when existence < 1 would otherwise be ignored.
-fn collect_dists(spec: &AggSpec, members: &[Tuple], policy: &ConversionPolicy) -> Option<Vec<Dist>> {
+fn collect_dists(
+    spec: &AggSpec,
+    members: &[Tuple],
+    policy: &ConversionPolicy,
+) -> Option<Vec<Dist>> {
     let mut dists = Vec::with_capacity(members.len());
     for m in members {
         let u = m.updf(&spec.field).ok()?;
@@ -330,7 +340,6 @@ fn sum_distribution(
         }
         let res = ustream_ts::clt::ma_clt_pipeline(&xs, max_order, 3.0);
         let n = xs.len() as f64;
-        use ustream_prob::dist::ContinuousDist as _;
         let sum_g = Gaussian::from_mean_var(
             res.mean_dist.mean() * n,
             (res.mean_dist.variance() * n * n).max(1e-18),
@@ -420,7 +429,10 @@ fn lineage_aware_sum(src_field: &str, members: &[Tuple], dists: &[Dist]) -> Opti
 /// probabilities: DP over P(k successes), stored as an integer-grid
 /// histogram (bin i ↔ count i).
 fn poisson_binomial(members: &[Tuple]) -> Updf {
-    let probs: Vec<f64> = members.iter().map(|m| m.existence.clamp(0.0, 1.0)).collect();
+    let probs: Vec<f64> = members
+        .iter()
+        .map(|m| m.existence.clamp(0.0, 1.0))
+        .collect();
     let n = probs.len();
     let mut pmf = vec![0.0f64; n + 1];
     pmf[0] = 1.0;
@@ -619,7 +631,11 @@ mod tests {
             let out = a.flush();
             assert_eq!(out.len(), 1, "{label}");
             let total = out[0].updf("total").unwrap();
-            assert!((total.mean() - 40.0).abs() < 0.3, "{label}: mean {}", total.mean());
+            assert!(
+                (total.mean() - 40.0).abs() < 0.3,
+                "{label}: mean {}",
+                total.mean()
+            );
             assert!(
                 (total.variance() - 20.0 * 0.25).abs() < 0.6,
                 "{label}: var {}",
@@ -755,7 +771,11 @@ mod tests {
         let out = a.flush();
         let total = out[0].updf("total").unwrap();
         assert!((total.mean() - 13.0).abs() < 1e-9);
-        assert!((total.variance() - (4.0 + 1.0)).abs() < 1e-9, "var {}", total.variance());
+        assert!(
+            (total.variance() - (4.0 + 1.0)).abs() < 1e-9,
+            "var {}",
+            total.variance()
+        );
     }
 
     #[test]
@@ -788,7 +808,6 @@ mod tests {
         assert!((vbar.mean() - sample_mean).abs() < 1e-9);
         // Variance must exceed the naive iid estimate (positive θ).
         let naive = ustream_ts::clt::iid_clt_mean(&series);
-        use ustream_prob::dist::ContinuousDist as _;
         assert!(vbar.variance() > naive.variance());
     }
 
@@ -809,8 +828,8 @@ mod tests {
         out.extend(a.process(0, tup(1500, 1, 20.0, 1.0)));
         out.extend(a.process(0, tup(2500, 1, 40.0, 1.0)));
         out.extend(a.process(0, tup(5000, 1, 0.0, 1.0))); // closes 3000/4000
-        // Window @1000: {500} → 10. @2000: {500,1500} → 30. @3000:
-        // {1500,2500} → 60. @4000: {2500} → 40.
+                                                          // Window @1000: {500} → 10. @2000: {500,1500} → 30. @3000:
+                                                          // {1500,2500} → 60. @4000: {2500} → 40.
         let sums: Vec<f64> = out
             .iter()
             .map(|t| t.updf("total").unwrap().mean())

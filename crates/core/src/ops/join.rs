@@ -18,7 +18,7 @@ use crate::window::SlidingBuffer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
-use ustream_prob::dist::{ContinuousDist, Dist, Gaussian};
+use ustream_prob::dist::{Dist, Gaussian};
 
 /// Join predicate.
 pub enum JoinCondition {
@@ -254,8 +254,7 @@ fn loc_equals_probability(lu: &Updf, ru: &Updf, epsilon: f64, rng: &mut StdRng) 
             for _ in 0..n {
                 let x = sample_vec(lu, rng);
                 let y = sample_vec(ru, rng);
-                if x
-                    .iter()
+                if x.iter()
                     .zip(y.iter())
                     .all(|(a, b)| (a - b).abs() <= epsilon)
                 {
@@ -452,9 +451,10 @@ mod tests {
     fn archive_records_base_distributions_for_downstream_recompute() {
         use crate::lineage::Archive;
         let archive = Archive::new();
-        let mut j = loc_join(2.0, 0.1)
-            .with_provenance("temp", 1)
-            .archive_to(archive.clone(), 1, "temp");
+        let mut j =
+            loc_join(2.0, 0.1)
+                .with_provenance("temp", 1)
+                .archive_to(archive.clone(), 1, "temp");
         j.process(0, obj(100, 1, 0.0, 0.0, 0.2));
         let t = temp(200, 9, 0.1, 0.0, 0.2, 65.0);
         let base_id = *t.lineage.ids().first().unwrap();
@@ -498,7 +498,11 @@ mod tests {
         let out = j.process(1, mk(20, 0.0));
         // D ~ N(0, 2); P(|D| ≤ 1) = 2Φ(1/√2) − 1 ≈ 0.5205.
         assert_eq!(out.len(), 1);
-        assert!((out[0].existence - 0.5205).abs() < 0.01, "p = {}", out[0].existence);
+        assert!(
+            (out[0].existence - 0.5205).abs() < 0.01,
+            "p = {}",
+            out[0].existence
+        );
     }
 
     #[test]
@@ -522,9 +526,8 @@ mod tests {
 
     #[test]
     fn prefilter_prunes_candidates() {
-        let mut j = loc_join(2.0, 0.0).with_prefilter(|l, r| {
-            l.int("tag_id").unwrap_or(0) == r.int("sensor").unwrap_or(1)
-        });
+        let mut j = loc_join(2.0, 0.0)
+            .with_prefilter(|l, r| l.int("tag_id").unwrap_or(0) == r.int("sensor").unwrap_or(1));
         j.process(0, obj(100, 9, 0.0, 0.0, 0.2));
         j.process(0, obj(100, 5, 0.0, 0.0, 0.2));
         let out = j.process(1, temp(200, 9, 0.0, 0.0, 0.2, 65.0));

@@ -60,7 +60,10 @@ pub struct MapOperator {
 }
 
 impl MapOperator {
-    pub fn new(name: impl Into<String>, f: impl FnMut(Tuple) -> Vec<Tuple> + Send + 'static) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        f: impl FnMut(Tuple) -> Vec<Tuple> + Send + 'static,
+    ) -> Self {
         MapOperator {
             name: name.into(),
             f: Box::new(f),

@@ -17,7 +17,7 @@ use crate::tuple::Tuple;
 use crate::updf::Updf;
 use crate::value::Value;
 use std::sync::Arc;
-use ustream_prob::dist::{ContinuousDist, Dist, Gaussian};
+use ustream_prob::dist::{Dist, Gaussian};
 use ustream_prob::histogram::HistogramPdf;
 
 /// One derived output attribute.
@@ -227,6 +227,7 @@ impl Operator for Project {
 mod tests {
     use super::*;
     use crate::schema::DataType;
+    use ustream_prob::dist::ContinuousDist;
 
     fn schema() -> Arc<Schema> {
         Schema::builder()
@@ -364,7 +365,6 @@ mod tests {
         // h(x, y) = x·exp(y/10) with small variances: Delta ≈ MC truth.
         use rand::rngs::StdRng;
         use rand::SeedableRng;
-        use ustream_prob::dist::ContinuousDist;
         let gx = Dist::gaussian(4.0, 0.05);
         let gy = Dist::gaussian(1.0, 0.05);
         let s = Schema::builder()
@@ -399,7 +399,12 @@ mod tests {
         }
         let mc_mean = acc / n as f64;
         let mc_var = acc2 / n as f64 - mc_mean * mc_mean;
-        assert!((z.mean() - mc_mean).abs() < 0.01, "mean {} vs {}", z.mean(), mc_mean);
+        assert!(
+            (z.mean() - mc_mean).abs() < 0.01,
+            "mean {} vs {}",
+            z.mean(),
+            mc_mean
+        );
         assert!((z.variance() - mc_var).abs() < 0.2 * mc_var);
     }
 

@@ -71,9 +71,7 @@ impl Predicate {
             }
             Predicate::NumCmp(field, op, c) => Some(op.eval(t.float(field).ok()?, *c) as u8 as f64),
             Predicate::UncertainAbove(field, c) => Some(t.updf(field).ok()?.prob_above(*c)),
-            Predicate::UncertainBelow(field, c) => {
-                Some(1.0 - t.updf(field).ok()?.prob_above(*c))
-            }
+            Predicate::UncertainBelow(field, c) => Some(1.0 - t.updf(field).ok()?.prob_above(*c)),
             Predicate::UncertainBetween(field, lo, hi) => {
                 Some(t.updf(field).ok()?.prob_in(*lo, *hi))
             }
@@ -255,8 +253,8 @@ mod tests {
     #[test]
     fn uncertain_predicate_scales_existence() {
         // P(N(60, 5) > 60) = 0.5
-        let mut s = Select::new(Predicate::UncertainAbove("temp".into(), 60.0), 0.1)
-            .without_conditioning();
+        let mut s =
+            Select::new(Predicate::UncertainAbove("temp".into(), 60.0), 0.1).without_conditioning();
         let out = s.process(0, tuple("x", 60.0, 5.0));
         assert_eq!(out.len(), 1);
         assert!((out[0].existence - 0.5).abs() < 1e-9);
@@ -331,10 +329,10 @@ mod tests {
 
     #[test]
     fn existence_compounds_across_selects() {
-        let mut s1 = Select::new(Predicate::UncertainAbove("temp".into(), 60.0), 0.0)
-            .without_conditioning();
-        let mut s2 = Select::new(Predicate::UncertainAbove("temp".into(), 60.0), 0.0)
-            .without_conditioning();
+        let mut s1 =
+            Select::new(Predicate::UncertainAbove("temp".into(), 60.0), 0.0).without_conditioning();
+        let mut s2 =
+            Select::new(Predicate::UncertainAbove("temp".into(), 60.0), 0.0).without_conditioning();
         let out1 = s1.process(0, tuple("x", 60.0, 5.0));
         let out2 = s2.process(0, out1.into_iter().next().unwrap());
         assert!((out2[0].existence - 0.25).abs() < 1e-9);

@@ -61,7 +61,9 @@ impl QueryGraph {
     /// Connect `from`'s output to `to`'s input `port`.
     pub fn connect(&mut self, from: NodeId, to: NodeId, port: usize) -> Result<()> {
         if from.0 >= self.nodes.len() || to.0 >= self.nodes.len() {
-            return Err(EngineError::InvalidGraph("edge references missing node".into()));
+            return Err(EngineError::InvalidGraph(
+                "edge references missing node".into(),
+            ));
         }
         if port >= self.nodes[to.0].num_ports() {
             return Err(EngineError::InvalidGraph(format!(
@@ -128,8 +130,7 @@ impl QueryGraph {
         inputs: Vec<(String, usize, Vec<Tuple>)>,
     ) -> Result<HashMap<NodeId, Vec<Tuple>>> {
         let order = self.topo_order()?;
-        let rank: HashMap<usize, usize> =
-            order.iter().enumerate().map(|(r, &i)| (i, r)).collect();
+        let rank: HashMap<usize, usize> = order.iter().enumerate().map(|(r, &i)| (i, r)).collect();
 
         // Merge all inputs into one timestamp-ordered feed.
         let mut feed: Vec<(u64, NodeId, usize, Tuple)> = Vec::new();

@@ -41,7 +41,10 @@ pub fn convert_samples(samples: WeightedSamples, policy: &ConversionPolicy) -> U
 /// Measured size effect of a conversion policy: (bytes before, bytes
 /// after). Used by the ablation bench to reproduce the §4.3 claim that
 /// shipping samples inflates stream volume by 1–2 orders of magnitude.
-pub fn conversion_size_effect(samples: &WeightedSamples, policy: &ConversionPolicy) -> (usize, usize) {
+pub fn conversion_size_effect(
+    samples: &WeightedSamples,
+    policy: &ConversionPolicy,
+) -> (usize, usize) {
     let before = Updf::Samples(samples.clone()).payload_bytes();
     let after = convert_samples(samples.clone(), policy).payload_bytes();
     (before, after)
@@ -52,7 +55,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use ustream_prob::dist::{ContinuousDist, Gaussian};
+    use ustream_prob::dist::Gaussian;
 
     fn cloud(n: usize) -> WeightedSamples {
         let mut rng = StdRng::seed_from_u64(1);

@@ -55,7 +55,10 @@ impl Tuple {
         lineage: Lineage,
     ) -> Tuple {
         assert_eq!(values.len(), schema.len());
-        assert!((0.0..=1.0).contains(&existence), "existence must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&existence),
+            "existence must be a probability"
+        );
         Tuple {
             schema,
             values,
@@ -237,6 +240,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "existence must be a probability")]
     fn derived_validates_existence() {
-        Tuple::derived(schema(), tuple().values().to_vec(), 0, 1.5, Lineage::empty());
+        Tuple::derived(
+            schema(),
+            tuple().values().to_vec(),
+            0,
+            1.5,
+            Lineage::empty(),
+        );
     }
 }

@@ -7,7 +7,7 @@
 //! Gaussian (object locations). Conversion between them follows §4.3:
 //! KL-minimizing Gaussian fits and AIC/BIC-selected mixtures.
 
-use ustream_prob::dist::{ContinuousDist, Dist, Gaussian, MvGaussian};
+use ustream_prob::dist::{Dist, Gaussian, MvGaussian};
 use ustream_prob::fit::{select_gmm, EmConfig, ModelSelection};
 use ustream_prob::histogram::HistogramPdf;
 use ustream_prob::samples::{WeightedSamples, WeightedSamplesNd};
@@ -160,7 +160,11 @@ impl Updf {
                 } else {
                     a * h.hi() + b
                 };
-                Updf::Histogram(HistogramPdf::from_masses(lo, a.abs() * h.bin_width(), masses))
+                Updf::Histogram(HistogramPdf::from_masses(
+                    lo,
+                    a.abs() * h.bin_width(),
+                    masses,
+                ))
             }
             Updf::Mv(_) | Updf::MvSamples(_) => panic!("affine() on multivariate Updf"),
         }
@@ -289,7 +293,10 @@ mod tests {
         let before = u.payload_bytes();
         let c = u.compact(&ConversionPolicy::FitGaussian);
         assert!(matches!(c, Updf::Parametric(Dist::Gaussian(_))));
-        assert!(c.payload_bytes() * 10 < before, "compaction should shrink payload");
+        assert!(
+            c.payload_bytes() * 10 < before,
+            "compaction should shrink payload"
+        );
     }
 
     #[test]

@@ -224,10 +224,7 @@ mod tests {
         assert_eq!(c.phase(), Phase::Steady);
         // Smallest adequate count is 1600; controller should settle near
         // it (within one decrement).
-        assert!(
-            (1550..=1700).contains(&n),
-            "settled at {n}, expected ≈1600"
-        );
+        assert!((1550..=1700).contains(&n), "settled at {n}, expected ≈1600");
         // History must show the doubling ramp.
         let counts: Vec<usize> = c.history.iter().map(|(n, _)| *n).collect();
         assert!(counts.windows(2).any(|w| w[1] == 2 * w[0]));
@@ -280,8 +277,7 @@ mod tests {
     #[test]
     fn probe_reset_and_resize() {
         let obs = ObservationModel::new(SensingModel::clean());
-        let mut probe =
-            ReferenceProbe::new(vec![(0u32, [5.0, 5.0])], 100, (30.0, 30.0), obs, 6);
+        let mut probe = ReferenceProbe::new(vec![(0u32, [5.0, 5.0])], 100, (30.0, 30.0), obs, 6);
         probe.set_particle_count(40);
         probe.reset(60);
         // After reset the error is back to the uniform-prior level.

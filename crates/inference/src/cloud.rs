@@ -200,7 +200,10 @@ mod tests {
         let after = c.mean();
         assert!((before[0] - after[0]).abs() < 0.5);
         assert!((before[1] - after[1]).abs() < 0.5);
-        assert!((c.ess() - 4000.0).abs() < 1e-6, "equal weights after resample");
+        assert!(
+            (c.ess() - 4000.0).abs() < 1e-6,
+            "equal weights after resample"
+        );
     }
 
     #[test]

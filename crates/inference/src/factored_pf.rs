@@ -223,7 +223,7 @@ impl FactoredFilter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rfid_sim::{SensingModel, TraceConfig, TraceGenerator, TagRef, WorldConfig};
+    use rfid_sim::{SensingModel, TagRef, TraceConfig, TraceGenerator, WorldConfig};
 
     fn run_filter(
         n_objects: usize,

@@ -114,7 +114,10 @@ impl TransformOperator for RfidTOperator {
         } else {
             (0..self.filter.num_objects() as u32).collect()
         };
-        let out: Vec<Tuple> = emit_ids.into_iter().map(|id| self.tuple_for(ts, id)).collect();
+        let out: Vec<Tuple> = emit_ids
+            .into_iter()
+            .map(|id| self.tuple_for(ts, id))
+            .collect();
         self.emitted += out.len() as u64;
         out
     }

@@ -15,7 +15,7 @@
 //!   to the closed-form CF of the sum. Fast with small bounded error.
 
 use crate::complex::Complex64;
-use crate::dist::{ContinuousDist, Dist, Gaussian, GaussianMixture, MixtureComponent};
+use crate::dist::{Dist, Gaussian, GaussianMixture, MixtureComponent};
 use crate::histogram::HistogramPdf;
 use crate::moments::Cumulants;
 use crate::optimize::nelder_mead;
@@ -293,6 +293,7 @@ pub fn cf_approx_auto(sum: &CfSum, skew_threshold: f64, kurt_threshold: f64) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dist::ContinuousDist;
     use crate::dist::Exponential;
     use crate::metrics::tv_distance_grid;
 
@@ -329,7 +330,9 @@ mod tests {
     #[test]
     fn inversion_recovers_skewed_sum() {
         // Sum of 5 exponentials(rate 1) = Gamma(5, 1): verifiably skewed.
-        let terms: Vec<Dist> = (0..5).map(|_| Dist::Exponential(Exponential::new(1.0))).collect();
+        let terms: Vec<Dist> = (0..5)
+            .map(|_| Dist::Exponential(Exponential::new(1.0)))
+            .collect();
         let sum = CfSum::new(terms);
         let hist = sum.invert_to_histogram(512, 10.0);
         let exact = crate::dist::GammaDist::new(5.0, 1.0);

@@ -10,9 +10,7 @@
 //! - mixture ⊕ mixture — exact, component-product expansion with a cap.
 //! - CLT approximation — "the computation cost … is almost zero" (§5.1).
 
-use crate::dist::{
-    ContinuousDist, Dist, GammaDist, Gaussian, GaussianMixture, MixtureComponent,
-};
+use crate::dist::{Dist, GammaDist, Gaussian, GaussianMixture, MixtureComponent};
 use crate::moments::Cumulants;
 
 /// Maximum number of mixture components an exact mixture convolution may

@@ -1,0 +1,1731 @@
+//! The continuous-distribution zoo: the parametric tuple-level pdfs the
+//! engine ships inside uncertain tuples (§3, §4.3).
+//!
+//! [`Dist`] is the closed storage enum — Gaussian, Uniform, Exponential,
+//! Gamma, LogNormal, Triangular, Gaussian mixtures, and truncations —
+//! and [`MvGaussian`] is the multivariate Gaussian used for object
+//! locations. Every scalar form implements [`ContinuousDist`]:
+//! pdf/cdf/quantile, exact first two moments, third/fourth cumulants
+//! (consumed by the CF-approximation path), closed-form characteristic
+//! functions where they exist (numeric quadrature otherwise), and
+//! deterministic-seed sampling.
+
+use crate::complex::Complex64;
+use crate::quadrature::adaptive_simpson;
+use crate::special::{gamma_p, ln_gamma, std_normal_cdf, std_normal_pdf, std_normal_quantile};
+use rand::{Rng, RngCore};
+
+/// Common interface of every scalar continuous distribution.
+pub trait ContinuousDist {
+    fn pdf(&self, x: f64) -> f64;
+    fn cdf(&self, x: f64) -> f64;
+    fn quantile(&self, p: f64) -> f64;
+    fn mean(&self) -> f64;
+    fn variance(&self) -> f64;
+    /// Interval outside which the density is exactly zero (may be
+    /// infinite).
+    fn support(&self) -> (f64, f64);
+    fn sample(&self, rng: &mut dyn RngCore) -> f64;
+    /// Characteristic function φ(t) = E[e^{itX}].
+    fn cf(&self, t: f64) -> Complex64;
+
+    fn std_dev(&self) -> f64 {
+        self.variance().max(0.0).sqrt()
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        self.pdf(x).ln()
+    }
+
+    /// P(X > x).
+    fn prob_above(&self, x: f64) -> f64 {
+        (1.0 - self.cdf(x)).clamp(0.0, 1.0)
+    }
+
+    /// P(lo < X ≤ hi).
+    fn prob_in(&self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            0.0
+        } else {
+            (self.cdf(hi) - self.cdf(lo)).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Third cumulant κ₃ (default: numeric central-moment quadrature).
+    fn cumulant3(&self) -> f64 {
+        let mu = self.mean();
+        let (lo, hi) = quantile_bounds(self);
+        adaptive_simpson(&|x| (x - mu).powi(3) * self.pdf(x), lo, hi, 1e-10)
+    }
+
+    /// Fourth cumulant κ₄ = μ₄ − 3σ⁴ (default: numeric quadrature).
+    fn cumulant4(&self) -> f64 {
+        let mu = self.mean();
+        let v = self.variance();
+        let (lo, hi) = quantile_bounds(self);
+        let m4 = adaptive_simpson(&|x| (x - mu).powi(4) * self.pdf(x), lo, hi, 1e-10);
+        m4 - 3.0 * v * v
+    }
+}
+
+/// Effective finite integration range for numeric trait defaults.
+fn quantile_bounds<D: ContinuousDist + ?Sized>(d: &D) -> (f64, f64) {
+    (d.quantile(1e-10), d.quantile(1.0 - 1e-10))
+}
+
+/// Bisection inverse of a monotone cdf: the x with `cdf(x) = p`, searched
+/// inside `[lo, hi]` (bounds are widened automatically if they do not
+/// bracket `p`).
+pub fn bisect_quantile<F: Fn(f64) -> f64>(cdf: F, p: f64, mut lo: f64, mut hi: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    let mut span = (hi - lo).max(1e-9);
+    for _ in 0..200 {
+        if cdf(lo) <= p {
+            break;
+        }
+        lo -= span;
+        span *= 2.0;
+    }
+    span = (hi - lo).max(1e-9);
+    for _ in 0..200 {
+        if cdf(hi) >= p {
+            break;
+        }
+        hi += span;
+        span *= 2.0;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if hi - lo <= 1e-13 * (1.0 + mid.abs()) {
+            return mid;
+        }
+        if cdf(mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Numeric characteristic function by oscillation-aware Simpson panels:
+/// the effective support is cut into segments no longer than half an
+/// oscillation period, each integrated with a fixed Simpson rule. Used by
+/// the families without a closed-form CF (LogNormal, Triangular,
+/// truncations).
+fn numeric_cf<D: ContinuousDist + ?Sized>(d: &D, t: f64) -> Complex64 {
+    if t == 0.0 {
+        return Complex64::ONE;
+    }
+    let (lo, hi) = quantile_bounds(d);
+    // Panels no longer than half an oscillation period (and at least 8
+    // across the support); each panel is integrated adaptively so sharp
+    // density peaks are resolved regardless of the panel grid.
+    let seg = (std::f64::consts::PI / t.abs())
+        .min((hi - lo) / 8.0)
+        .max(1e-12);
+    let n_seg = (((hi - lo) / seg).ceil() as usize).clamp(8, 200_000);
+    let h = (hi - lo) / n_seg as f64;
+    let (mut re, mut im) = (0.0, 0.0);
+    for s in 0..n_seg {
+        let a = lo + s as f64 * h;
+        let b = a + h;
+        re += adaptive_simpson(&|x| (t * x).cos() * d.pdf(x), a, b, 1e-11);
+        im += adaptive_simpson(&|x| (t * x).sin() * d.pdf(x), a, b, 1e-11);
+    }
+    Complex64::new(re, im)
+}
+
+/// One uniform draw in (0, 1] (never exactly zero, safe for ln).
+#[inline]
+fn unit_open(rng: &mut dyn RngCore) -> f64 {
+    let u: f64 = rng.gen::<f64>();
+    u.max(1e-300)
+}
+
+/// One standard normal draw (Box–Muller).
+fn standard_normal(rng: &mut dyn RngCore) -> f64 {
+    let u1 = unit_open(rng);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+// ---------------------------------------------------------------------
+// Gaussian
+// ---------------------------------------------------------------------
+
+/// Normal distribution N(mean, sd²).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    mean: f64,
+    sd: f64,
+}
+
+impl Gaussian {
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(
+            sd > 0.0 && sd.is_finite(),
+            "Gaussian sd must be > 0, got {sd}"
+        );
+        assert!(mean.is_finite());
+        Gaussian { mean, sd }
+    }
+
+    pub fn from_mean_var(mean: f64, var: f64) -> Self {
+        assert!(
+            var > 0.0 && var.is_finite(),
+            "Gaussian variance must be > 0, got {var}"
+        );
+        Gaussian::new(mean, var.sqrt())
+    }
+
+    /// Exact distribution of the sum of independent Gaussians.
+    pub fn sum_of(gs: &[Gaussian]) -> Option<Gaussian> {
+        if gs.is_empty() {
+            return None;
+        }
+        let mean = gs.iter().map(|g| g.mean).sum();
+        let var: f64 = gs.iter().map(|g| g.sd * g.sd).sum();
+        Some(Gaussian::from_mean_var(mean, var))
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    pub fn variance(&self) -> f64 {
+        self.sd * self.sd
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.sd
+    }
+
+    pub fn pdf(&self, x: f64) -> f64 {
+        std_normal_pdf((x - self.mean) / self.sd) / self.sd
+    }
+
+    pub fn ln_pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.sd;
+        -0.5 * z * z - self.sd.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    pub fn cdf(&self, x: f64) -> f64 {
+        std_normal_cdf((x - self.mean) / self.sd)
+    }
+
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.mean + self.sd * std_normal_quantile(p)
+    }
+
+    pub fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.mean + self.sd * standard_normal(rng)
+    }
+
+    pub fn cf(&self, t: f64) -> Complex64 {
+        let decay = (-0.5 * self.sd * self.sd * t * t).exp();
+        Complex64::cis(self.mean * t) * decay
+    }
+}
+
+impl ContinuousDist for Gaussian {
+    fn pdf(&self, x: f64) -> f64 {
+        Gaussian::pdf(self, x)
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        Gaussian::cdf(self, x)
+    }
+    fn quantile(&self, p: f64) -> f64 {
+        Gaussian::quantile(self, p)
+    }
+    fn mean(&self) -> f64 {
+        Gaussian::mean(self)
+    }
+    fn variance(&self) -> f64 {
+        Gaussian::variance(self)
+    }
+    fn support(&self) -> (f64, f64) {
+        (f64::NEG_INFINITY, f64::INFINITY)
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        Gaussian::sample(self, rng)
+    }
+    fn cf(&self, t: f64) -> Complex64 {
+        Gaussian::cf(self, t)
+    }
+    fn ln_pdf(&self, x: f64) -> f64 {
+        Gaussian::ln_pdf(self, x)
+    }
+    fn std_dev(&self) -> f64 {
+        self.sd
+    }
+    fn cumulant3(&self) -> f64 {
+        0.0
+    }
+    fn cumulant4(&self) -> f64 {
+        0.0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Uniform
+// ---------------------------------------------------------------------
+
+/// Uniform distribution on [a, b].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    a: f64,
+    b: f64,
+}
+
+impl Uniform {
+    pub fn new(a: f64, b: f64) -> Self {
+        assert!(b > a, "Uniform needs b > a, got [{a}, {b}]");
+        Uniform { a, b }
+    }
+
+    pub fn lo(&self) -> f64 {
+        self.a
+    }
+
+    pub fn hi(&self) -> f64 {
+        self.b
+    }
+}
+
+impl ContinuousDist for Uniform {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.a || x > self.b {
+            0.0
+        } else {
+            1.0 / (self.b - self.a)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.a) / (self.b - self.a)).clamp(0.0, 1.0)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.a + p * (self.b - self.a)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.a + self.b)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.b - self.a;
+        w * w / 12.0
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (self.a, self.b)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.a + rng.gen::<f64>() * (self.b - self.a)
+    }
+
+    fn cf(&self, t: f64) -> Complex64 {
+        if t == 0.0 {
+            return Complex64::ONE;
+        }
+        // e^{it(a+b)/2} · sinc(t(b−a)/2), numerically stable at small t.
+        let half_w = 0.5 * (self.b - self.a);
+        let arg = t * half_w;
+        let sinc = if arg.abs() < 1e-8 {
+            1.0 - arg * arg / 6.0
+        } else {
+            arg.sin() / arg
+        };
+        Complex64::cis(t * self.mean()) * sinc
+    }
+
+    fn cumulant3(&self) -> f64 {
+        0.0
+    }
+
+    fn cumulant4(&self) -> f64 {
+        let w = self.b - self.a;
+        -w.powi(4) / 120.0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exponential
+// ---------------------------------------------------------------------
+
+/// Exponential distribution with the given rate λ (mean 1/λ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "rate must be > 0, got {rate}"
+        );
+        Exponential { rate }
+    }
+
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl ContinuousDist for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if p >= 1.0 {
+            f64::INFINITY
+        } else {
+            -(1.0 - p).ln() / self.rate
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (0.0, f64::INFINITY)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        -unit_open(rng).ln() / self.rate
+    }
+
+    fn cf(&self, t: f64) -> Complex64 {
+        // λ / (λ − it)
+        Complex64::real(self.rate) / Complex64::new(self.rate, -t)
+    }
+
+    fn cumulant3(&self) -> f64 {
+        2.0 / self.rate.powi(3)
+    }
+
+    fn cumulant4(&self) -> f64 {
+        6.0 / self.rate.powi(4)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gamma
+// ---------------------------------------------------------------------
+
+/// Gamma distribution with shape k and scale θ (mean kθ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GammaDist {
+    shape: f64,
+    scale: f64,
+}
+
+impl GammaDist {
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape > 0.0 && shape.is_finite(), "shape must be > 0");
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be > 0");
+        GammaDist { shape, scale }
+    }
+
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl ContinuousDist for GammaDist {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        self.ln_pdf(x).exp()
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        (self.shape - 1.0) * x.ln()
+            - x / self.scale
+            - ln_gamma(self.shape)
+            - self.shape * self.scale.ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            gamma_p(self.shape, x / self.scale)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if p <= 0.0 {
+            return 0.0;
+        }
+        if p >= 1.0 {
+            return f64::INFINITY;
+        }
+        let hi = self.mean() + 10.0 * self.std_dev();
+        bisect_quantile(|x| self.cdf(x), p, 0.0, hi).max(0.0)
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (0.0, f64::INFINITY)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Marsaglia–Tsang squeeze; the k < 1 case boosts to k + 1.
+        let k = self.shape;
+        if k < 1.0 {
+            let boosted = GammaDist::new(k + 1.0, self.scale);
+            let u = unit_open(rng);
+            return boosted.sample(rng) * u.powf(1.0 / k);
+        }
+        let d = k - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let z = standard_normal(rng);
+            let v = (1.0 + c * z).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u = unit_open(rng);
+            if u.ln() < 0.5 * z * z + d - d * v + d * v.ln() {
+                return d * v * self.scale;
+            }
+        }
+    }
+
+    fn cf(&self, t: f64) -> Complex64 {
+        // (1 − iθt)^{−k}
+        Complex64::new(1.0, -self.scale * t).powf(-self.shape)
+    }
+
+    fn cumulant3(&self) -> f64 {
+        2.0 * self.shape * self.scale.powi(3)
+    }
+
+    fn cumulant4(&self) -> f64 {
+        6.0 * self.shape * self.scale.powi(4)
+    }
+}
+
+// ---------------------------------------------------------------------
+// LogNormal
+// ---------------------------------------------------------------------
+
+/// Log-normal: ln X ~ N(mu, sigma²).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma > 0.0 && sigma.is_finite(), "sigma must be > 0");
+        assert!(mu.is_finite());
+        LogNormal { mu, sigma }
+    }
+
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl ContinuousDist for LogNormal {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (x * self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        -0.5 * z * z - x.ln() - self.sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            std_normal_cdf((x.ln() - self.mu) / self.sigma)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if p <= 0.0 {
+            return 0.0;
+        }
+        if p >= 1.0 {
+            return f64::INFINITY;
+        }
+        (self.mu + self.sigma * std_normal_quantile(p)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let w = (self.sigma * self.sigma).exp();
+        (w - 1.0) * (2.0 * self.mu + self.sigma * self.sigma).exp()
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (0.0, f64::INFINITY)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    fn cf(&self, t: f64) -> Complex64 {
+        // No closed form exists; integrate numerically.
+        numeric_cf(self, t)
+    }
+
+    fn cumulant3(&self) -> f64 {
+        let w = (self.sigma * self.sigma).exp();
+        let skew = (w + 2.0) * (w - 1.0).sqrt();
+        skew * self.variance().powf(1.5)
+    }
+
+    fn cumulant4(&self) -> f64 {
+        let w = (self.sigma * self.sigma).exp();
+        let ex_kurt = w * w * w * w + 2.0 * w * w * w + 3.0 * w * w - 6.0;
+        let v = self.variance();
+        ex_kurt * v * v
+    }
+}
+
+// ---------------------------------------------------------------------
+// Triangular
+// ---------------------------------------------------------------------
+
+/// Triangular distribution on [a, b] with mode c.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangular {
+    a: f64,
+    c: f64,
+    b: f64,
+}
+
+impl Triangular {
+    pub fn new(a: f64, c: f64, b: f64) -> Self {
+        assert!(
+            a <= c && c <= b && a < b,
+            "need a ≤ c ≤ b with a < b, got ({a}, {c}, {b})"
+        );
+        Triangular { a, c, b }
+    }
+
+    pub fn lo(&self) -> f64 {
+        self.a
+    }
+
+    pub fn mode(&self) -> f64 {
+        self.c
+    }
+
+    pub fn hi(&self) -> f64 {
+        self.b
+    }
+}
+
+impl ContinuousDist for Triangular {
+    fn pdf(&self, x: f64) -> f64 {
+        let (a, c, b) = (self.a, self.c, self.b);
+        if x < a || x > b {
+            0.0
+        } else if x < c {
+            2.0 * (x - a) / ((b - a) * (c - a))
+        } else if x > c {
+            2.0 * (b - x) / ((b - a) * (b - c))
+        } else {
+            // x == c: the peak (left/right limits agree when a < c < b).
+            2.0 / (b - a)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let (a, c, b) = (self.a, self.c, self.b);
+        if x <= a {
+            0.0
+        } else if x >= b {
+            1.0
+        } else if x <= c {
+            (x - a) * (x - a) / ((b - a) * (c - a).max(1e-300))
+        } else {
+            1.0 - (b - x) * (b - x) / ((b - a) * (b - c).max(1e-300))
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        let (a, c, b) = (self.a, self.c, self.b);
+        let pc = (c - a) / (b - a);
+        if p <= pc {
+            a + (p * (b - a) * (c - a)).sqrt()
+        } else {
+            b - ((1.0 - p) * (b - a) * (b - c)).sqrt()
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        (self.a + self.b + self.c) / 3.0
+    }
+
+    fn variance(&self) -> f64 {
+        let (a, c, b) = (self.a, self.c, self.b);
+        (a * a + b * b + c * c - a * b - a * c - b * c) / 18.0
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (self.a, self.b)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.quantile(rng.gen::<f64>())
+    }
+
+    fn cf(&self, t: f64) -> Complex64 {
+        numeric_cf(self, t)
+    }
+
+    fn cumulant3(&self) -> f64 {
+        let (a, c, b) = (self.a, self.c, self.b);
+        let q = a * a + b * b + c * c - a * b - a * c - b * c;
+        if q <= 0.0 {
+            return 0.0;
+        }
+        let skew =
+            std::f64::consts::SQRT_2 * (a + b - 2.0 * c) * (2.0 * a - b - c) * (a - 2.0 * b + c)
+                / (5.0 * q.powf(1.5));
+        skew * self.variance().powf(1.5)
+    }
+
+    fn cumulant4(&self) -> f64 {
+        // Excess kurtosis of every triangular distribution is −3/5.
+        let v = self.variance();
+        -0.6 * v * v
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gaussian mixture
+// ---------------------------------------------------------------------
+
+/// One weighted Gaussian component of a mixture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixtureComponent {
+    pub weight: f64,
+    pub dist: Gaussian,
+}
+
+/// Finite mixture of Gaussians — the paper's §4.3 representation for
+/// multi-modal tuple distributions ("an object may have moved shelves").
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianMixture {
+    comps: Vec<MixtureComponent>,
+}
+
+impl GaussianMixture {
+    /// Build from components; weights are normalized to sum to 1.
+    pub fn new(comps: Vec<MixtureComponent>) -> Self {
+        assert!(!comps.is_empty(), "mixture needs at least one component");
+        let total: f64 = comps.iter().map(|c| c.weight).sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "weights must sum to a positive value"
+        );
+        let comps = comps
+            .into_iter()
+            .map(|c| {
+                assert!(c.weight >= 0.0, "negative mixture weight");
+                MixtureComponent {
+                    weight: c.weight / total,
+                    dist: c.dist,
+                }
+            })
+            .collect();
+        GaussianMixture { comps }
+    }
+
+    /// Build from `(weight, mean, sd)` triples.
+    pub fn from_triples(triples: &[(f64, f64, f64)]) -> Self {
+        GaussianMixture::new(
+            triples
+                .iter()
+                .map(|&(w, m, s)| MixtureComponent {
+                    weight: w,
+                    dist: Gaussian::new(m, s),
+                })
+                .collect(),
+        )
+    }
+
+    /// A one-component mixture.
+    pub fn single(g: Gaussian) -> Self {
+        GaussianMixture::new(vec![MixtureComponent {
+            weight: 1.0,
+            dist: g,
+        }])
+    }
+
+    pub fn components(&self) -> &[MixtureComponent] {
+        &self.comps
+    }
+
+    pub fn num_components(&self) -> usize {
+        self.comps.len()
+    }
+
+    pub fn weights(&self) -> impl Iterator<Item = f64> + '_ {
+        self.comps.iter().map(|c| c.weight)
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.comps.iter().map(|c| c.weight * c.dist.mean()).sum()
+    }
+
+    pub fn variance(&self) -> f64 {
+        let mu = self.mean();
+        self.comps
+            .iter()
+            .map(|c| {
+                let d = c.dist.mean() - mu;
+                c.weight * (c.dist.variance() + d * d)
+            })
+            .sum()
+    }
+
+    pub fn pdf(&self, x: f64) -> f64 {
+        self.comps.iter().map(|c| c.weight * c.dist.pdf(x)).sum()
+    }
+
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.comps.iter().map(|c| c.weight * c.dist.cdf(x)).sum()
+    }
+
+    pub fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let u: f64 = rng.gen::<f64>();
+        let mut acc = 0.0;
+        for c in &self.comps {
+            acc += c.weight;
+            if u <= acc {
+                return c.dist.sample(rng);
+            }
+        }
+        self.comps.last().expect("non-empty").dist.sample(rng)
+    }
+
+    pub fn cf(&self, t: f64) -> Complex64 {
+        let mut z = Complex64::ZERO;
+        for c in &self.comps {
+            z += c.dist.cf(t) * c.weight;
+        }
+        z
+    }
+}
+
+impl ContinuousDist for GaussianMixture {
+    fn pdf(&self, x: f64) -> f64 {
+        GaussianMixture::pdf(self, x)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        GaussianMixture::cdf(self, x)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        let lo = self
+            .comps
+            .iter()
+            .map(|c| c.dist.mean() - 12.0 * c.dist.std_dev())
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .comps
+            .iter()
+            .map(|c| c.dist.mean() + 12.0 * c.dist.std_dev())
+            .fold(f64::NEG_INFINITY, f64::max);
+        bisect_quantile(|x| self.cdf(x), p, lo, hi)
+    }
+
+    fn mean(&self) -> f64 {
+        GaussianMixture::mean(self)
+    }
+
+    fn variance(&self) -> f64 {
+        GaussianMixture::variance(self)
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (f64::NEG_INFINITY, f64::INFINITY)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        GaussianMixture::sample(self, rng)
+    }
+
+    fn cf(&self, t: f64) -> Complex64 {
+        GaussianMixture::cf(self, t)
+    }
+
+    fn cumulant3(&self) -> f64 {
+        // Central moments of a Gaussian mixture in closed form.
+        let mu = self.mean();
+        self.comps
+            .iter()
+            .map(|c| {
+                let d = c.dist.mean() - mu;
+                let v = c.dist.variance();
+                c.weight * (d * d * d + 3.0 * d * v)
+            })
+            .sum()
+    }
+
+    fn cumulant4(&self) -> f64 {
+        let mu = self.mean();
+        let var = self.variance();
+        let m4: f64 = self
+            .comps
+            .iter()
+            .map(|c| {
+                let d = c.dist.mean() - mu;
+                let v = c.dist.variance();
+                c.weight * (d.powi(4) + 6.0 * d * d * v + 3.0 * v * v)
+            })
+            .sum();
+        m4 - 3.0 * var * var
+    }
+}
+
+// ---------------------------------------------------------------------
+// Truncation
+// ---------------------------------------------------------------------
+
+/// A [`Dist`] conditioned on lying inside `[lo, hi]` (renormalized).
+#[derive(Debug, Clone)]
+pub struct Truncated {
+    inner: Box<Dist>,
+    lo: f64,
+    hi: f64,
+    /// cdf of the inner distribution at `lo`.
+    f_lo: f64,
+    /// Probability mass the inner distribution places on `[lo, hi]`.
+    mass: f64,
+    /// Moments are fixed at construction; cached so the per-tuple
+    /// conditioning path (select) doesn't re-integrate on every read.
+    mean: f64,
+    variance: f64,
+}
+
+impl Truncated {
+    /// Returns `None` when the inner distribution puts (numerically) no
+    /// mass on the interval.
+    pub fn new(inner: Dist, lo: f64, hi: f64) -> Option<Truncated> {
+        assert!(hi > lo, "truncation needs hi > lo");
+        let f_lo = inner.cdf(lo);
+        let mass = inner.cdf(hi) - f_lo;
+        if mass <= 1e-12 || !mass.is_finite() {
+            return None;
+        }
+        let (mean, variance) = truncated_moments(&inner, lo, hi, f_lo, mass);
+        Some(Truncated {
+            inner: Box::new(inner),
+            lo,
+            hi,
+            f_lo,
+            mass,
+            mean,
+            variance,
+        })
+    }
+
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Mass of the parent distribution inside the bounds.
+    pub fn mass(&self) -> f64 {
+        self.mass
+    }
+
+    pub fn inner(&self) -> &Dist {
+        &self.inner
+    }
+}
+
+/// Mean and variance of `inner` conditioned on `[lo, hi]`: closed form
+/// for a Gaussian parent, one-time quadrature over the finite effective
+/// range otherwise (the bounds themselves may be infinite).
+fn truncated_moments(inner: &Dist, lo: f64, hi: f64, f_lo: f64, mass: f64) -> (f64, f64) {
+    if let Dist::Gaussian(g) = inner {
+        // Standard truncated-normal moments via the hazard terms.
+        let (mu, sd) = (g.mean(), g.std_dev());
+        let a = (lo - mu) / sd;
+        let b = (hi - mu) / sd;
+        let phi_a = if a.is_finite() {
+            std_normal_pdf(a)
+        } else {
+            0.0
+        };
+        let phi_b = if b.is_finite() {
+            std_normal_pdf(b)
+        } else {
+            0.0
+        };
+        let d_phi = phi_a - phi_b;
+        let a_phi = if a.is_finite() { a * phi_a } else { 0.0 };
+        let b_phi = if b.is_finite() { b * phi_b } else { 0.0 };
+        let mean = mu + sd * d_phi / mass;
+        let var = sd * sd * (1.0 + (a_phi - b_phi) / mass - (d_phi / mass) * (d_phi / mass));
+        return (mean, var.max(0.0));
+    }
+    // Finite effective range through the inner quantile map.
+    let eff_lo = inner.quantile(f_lo + 1e-12 * mass).max(lo);
+    let eff_hi = inner.quantile(f_lo + (1.0 - 1e-12) * mass).min(hi);
+    let pdf = |x: f64| inner.pdf(x) / mass;
+    let mean = adaptive_simpson(&|x| x * pdf(x), eff_lo, eff_hi, 1e-10);
+    let var = adaptive_simpson(&|x| (x - mean) * (x - mean) * pdf(x), eff_lo, eff_hi, 1e-10);
+    (mean, var.max(0.0))
+}
+
+impl ContinuousDist for Truncated {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi {
+            0.0
+        } else {
+            self.inner.pdf(x) / self.mass
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lo {
+            0.0
+        } else if x >= self.hi {
+            1.0
+        } else {
+            ((self.inner.cdf(x) - self.f_lo) / self.mass).clamp(0.0, 1.0)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.inner
+            .quantile(self.f_lo + p.clamp(0.0, 1.0) * self.mass)
+            .clamp(self.lo, self.hi)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.quantile(rng.gen::<f64>())
+    }
+
+    fn cf(&self, t: f64) -> Complex64 {
+        numeric_cf(self, t)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The storage enum
+// ---------------------------------------------------------------------
+
+/// The closed set of parametric scalar distributions a tuple can carry.
+#[derive(Debug, Clone)]
+pub enum Dist {
+    Gaussian(Gaussian),
+    Uniform(Uniform),
+    Exponential(Exponential),
+    Gamma(GammaDist),
+    LogNormal(LogNormal),
+    Triangular(Triangular),
+    Mixture(GaussianMixture),
+    Truncated(Truncated),
+}
+
+macro_rules! dist_delegate {
+    ($self:ident, $d:ident => $body:expr) => {
+        match $self {
+            Dist::Gaussian($d) => $body,
+            Dist::Uniform($d) => $body,
+            Dist::Exponential($d) => $body,
+            Dist::Gamma($d) => $body,
+            Dist::LogNormal($d) => $body,
+            Dist::Triangular($d) => $body,
+            Dist::Mixture($d) => $body,
+            Dist::Truncated($d) => $body,
+        }
+    };
+}
+
+impl Dist {
+    /// N(mean, sd²).
+    pub fn gaussian(mean: f64, sd: f64) -> Dist {
+        Dist::Gaussian(Gaussian::new(mean, sd))
+    }
+
+    /// Uniform on [a, b].
+    pub fn uniform(a: f64, b: f64) -> Dist {
+        Dist::Uniform(Uniform::new(a, b))
+    }
+
+    pub fn pdf(&self, x: f64) -> f64 {
+        dist_delegate!(self, d => ContinuousDist::pdf(d, x))
+    }
+
+    pub fn ln_pdf(&self, x: f64) -> f64 {
+        dist_delegate!(self, d => ContinuousDist::ln_pdf(d, x))
+    }
+
+    pub fn cdf(&self, x: f64) -> f64 {
+        dist_delegate!(self, d => ContinuousDist::cdf(d, x))
+    }
+
+    pub fn quantile(&self, p: f64) -> f64 {
+        dist_delegate!(self, d => ContinuousDist::quantile(d, p))
+    }
+
+    pub fn mean(&self) -> f64 {
+        dist_delegate!(self, d => ContinuousDist::mean(d))
+    }
+
+    pub fn variance(&self) -> f64 {
+        dist_delegate!(self, d => ContinuousDist::variance(d))
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        dist_delegate!(self, d => ContinuousDist::std_dev(d))
+    }
+
+    pub fn support(&self) -> (f64, f64) {
+        dist_delegate!(self, d => ContinuousDist::support(d))
+    }
+
+    pub fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        dist_delegate!(self, d => ContinuousDist::sample(d, rng))
+    }
+
+    pub fn cf(&self, t: f64) -> Complex64 {
+        dist_delegate!(self, d => ContinuousDist::cf(d, t))
+    }
+
+    pub fn prob_above(&self, x: f64) -> f64 {
+        dist_delegate!(self, d => ContinuousDist::prob_above(d, x))
+    }
+
+    pub fn prob_in(&self, lo: f64, hi: f64) -> f64 {
+        dist_delegate!(self, d => ContinuousDist::prob_in(d, lo, hi))
+    }
+
+    pub fn cumulant3(&self) -> f64 {
+        dist_delegate!(self, d => ContinuousDist::cumulant3(d))
+    }
+
+    pub fn cumulant4(&self) -> f64 {
+        dist_delegate!(self, d => ContinuousDist::cumulant4(d))
+    }
+
+    /// The distribution of aX + b.
+    ///
+    /// Exact (stays in-family) for location-scale families, mixtures, and
+    /// positive scalings of the scale families; otherwise a moment-matched
+    /// Gaussian with the exact transformed mean and variance.
+    pub fn affine(&self, a: f64, b: f64) -> Dist {
+        if a == 0.0 {
+            // Degenerate: a point mass at b, represented as a tight Gaussian.
+            return Dist::gaussian(b, 1e-9);
+        }
+        match self {
+            Dist::Gaussian(g) => Dist::gaussian(a * g.mean() + b, a.abs() * g.std_dev()),
+            Dist::Uniform(u) => {
+                let (x, y) = (a * u.lo() + b, a * u.hi() + b);
+                Dist::uniform(x.min(y), x.max(y))
+            }
+            Dist::Triangular(t) => {
+                let (x, y, z) = (a * t.lo() + b, a * t.mode() + b, a * t.hi() + b);
+                if a > 0.0 {
+                    Dist::Triangular(Triangular::new(x, y, z))
+                } else {
+                    Dist::Triangular(Triangular::new(z, y, x))
+                }
+            }
+            Dist::Exponential(e) if b == 0.0 && a > 0.0 => {
+                Dist::Exponential(Exponential::new(e.rate() / a))
+            }
+            Dist::Gamma(g) if b == 0.0 && a > 0.0 => {
+                Dist::Gamma(GammaDist::new(g.shape(), g.scale() * a))
+            }
+            Dist::LogNormal(l) if b == 0.0 && a > 0.0 => {
+                Dist::LogNormal(LogNormal::new(l.mu() + a.ln(), l.sigma()))
+            }
+            Dist::Mixture(m) => Dist::Mixture(GaussianMixture::new(
+                m.components()
+                    .iter()
+                    .map(|c| MixtureComponent {
+                        weight: c.weight,
+                        dist: Gaussian::new(a * c.dist.mean() + b, a.abs() * c.dist.std_dev()),
+                    })
+                    .collect(),
+            )),
+            Dist::Truncated(t) => {
+                // aX + b of a truncation is the truncation of the
+                // transformed parent at the transformed bounds (exact when
+                // the parent's affine is exact, e.g. a Gaussian parent).
+                let (blo, bhi) = t.bounds();
+                let (x, y) = (a * blo + b, a * bhi + b);
+                let (lo, hi) = if a > 0.0 { (x, y) } else { (y, x) };
+                match Truncated::new(t.inner().affine(a, b), lo, hi) {
+                    Some(tt) => Dist::Truncated(tt),
+                    None => Dist::Gaussian(Gaussian::from_mean_var(
+                        a * t.mean() + b,
+                        (a * a * t.variance()).max(1e-18),
+                    )),
+                }
+            }
+            other => {
+                // Moment match: mean and variance transform exactly.
+                Dist::Gaussian(Gaussian::from_mean_var(
+                    a * other.mean() + b,
+                    (a * a * other.variance()).max(1e-18),
+                ))
+            }
+        }
+    }
+
+    /// Condition on `lo ≤ X ≤ hi`: the renormalized truncation plus the
+    /// mass the original distribution placed on the interval. `None` if
+    /// the interval carries (numerically) no mass.
+    pub fn truncate(&self, lo: f64, hi: f64) -> Option<(Dist, f64)> {
+        if hi <= lo {
+            return None;
+        }
+        let t = Truncated::new(self.clone(), lo, hi)?;
+        let mass = t.mass();
+        Some((Dist::Truncated(t), mass))
+    }
+}
+
+impl ContinuousDist for Dist {
+    fn pdf(&self, x: f64) -> f64 {
+        Dist::pdf(self, x)
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        Dist::cdf(self, x)
+    }
+    fn quantile(&self, p: f64) -> f64 {
+        Dist::quantile(self, p)
+    }
+    fn mean(&self) -> f64 {
+        Dist::mean(self)
+    }
+    fn variance(&self) -> f64 {
+        Dist::variance(self)
+    }
+    fn support(&self) -> (f64, f64) {
+        Dist::support(self)
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        Dist::sample(self, rng)
+    }
+    fn cf(&self, t: f64) -> Complex64 {
+        Dist::cf(self, t)
+    }
+    fn ln_pdf(&self, x: f64) -> f64 {
+        Dist::ln_pdf(self, x)
+    }
+    fn std_dev(&self) -> f64 {
+        Dist::std_dev(self)
+    }
+    fn cumulant3(&self) -> f64 {
+        Dist::cumulant3(self)
+    }
+    fn cumulant4(&self) -> f64 {
+        Dist::cumulant4(self)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multivariate Gaussian
+// ---------------------------------------------------------------------
+
+/// Multivariate Gaussian with dense row-major covariance, used for
+/// uncertain object locations (x, y[, z]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvGaussian {
+    mean: Vec<f64>,
+    /// Row-major d×d covariance.
+    cov: Vec<f64>,
+    /// Row-major lower-triangular Cholesky factor (for sampling).
+    chol: Vec<f64>,
+}
+
+impl MvGaussian {
+    pub fn new(mean: Vec<f64>, cov: Vec<f64>) -> Self {
+        let d = mean.len();
+        assert!(d >= 1, "need at least one dimension");
+        assert_eq!(cov.len(), d * d, "covariance must be d×d");
+        for a in 0..d {
+            for b in (a + 1)..d {
+                let asym = (cov[a * d + b] - cov[b * d + a]).abs();
+                assert!(
+                    asym <= 1e-9 * (1.0 + cov[a * d + a].abs() + cov[b * d + b].abs()),
+                    "covariance must be symmetric"
+                );
+            }
+        }
+        let chol = cholesky(&cov, d);
+        MvGaussian { mean, cov, chol }
+    }
+
+    /// Diagonal covariance sd²·I.
+    pub fn isotropic(mean: Vec<f64>, sd: f64) -> Self {
+        assert!(sd > 0.0);
+        let d = mean.len();
+        let mut cov = vec![0.0; d * d];
+        for a in 0..d {
+            cov[a * d + a] = sd * sd;
+        }
+        MvGaussian::new(mean, cov)
+    }
+
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    pub fn cov(&self) -> &[f64] {
+        &self.cov
+    }
+
+    pub fn cov_at(&self, a: usize, b: usize) -> f64 {
+        self.cov[a * self.dim() + b]
+    }
+
+    /// Scalar marginal along `axis`.
+    pub fn marginal(&self, axis: usize) -> Gaussian {
+        assert!(axis < self.dim());
+        Gaussian::from_mean_var(self.mean[axis], self.cov_at(axis, axis).max(1e-18))
+    }
+
+    /// Distribution of X − Y for independent X ~ self, Y ~ other.
+    pub fn difference(&self, other: &MvGaussian) -> MvGaussian {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        let mean = self
+            .mean
+            .iter()
+            .zip(other.mean.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        let cov = self
+            .cov
+            .iter()
+            .zip(other.cov.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        MvGaussian::new(mean, cov)
+    }
+
+    pub fn sample(&self, rng: &mut dyn RngCore) -> Vec<f64> {
+        let d = self.dim();
+        let z: Vec<f64> = (0..d).map(|_| standard_normal(rng)).collect();
+        let mut out = self.mean.clone();
+        for a in 0..d {
+            for (b, &zb) in z.iter().enumerate().take(a + 1) {
+                out[a] += self.chol[a * d + b] * zb;
+            }
+        }
+        out
+    }
+
+    /// Squared Mahalanobis distance (x−μ)ᵀΣ⁻¹(x−μ) of a point, computed
+    /// by forward/back substitution through the Cholesky factor.
+    pub fn mahalanobis_sq(&self, x: &[f64]) -> f64 {
+        let d = self.dim();
+        assert_eq!(x.len(), d, "dimension mismatch");
+        // Solve L y = (x − μ); then the distance is ‖y‖².
+        let mut y = vec![0.0; d];
+        for a in 0..d {
+            let mut sum = x[a] - self.mean[a];
+            for k in 0..a {
+                sum -= self.chol[a * d + k] * y[k];
+            }
+            y[a] = sum / self.chol[a * d + a];
+        }
+        y.iter().map(|v| v * v).sum()
+    }
+
+    /// Squared Mahalanobis radius of the central `level`-probability
+    /// ellipsoid: (x−μ)ᵀΣ⁻¹(x−μ) is χ²(d), so this is the χ²(d) quantile.
+    pub fn confidence_radius_sq(&self, level: f64) -> f64 {
+        assert!((0.0..1.0).contains(&level), "level must be in (0,1)");
+        let d = self.dim() as f64;
+        if level == 0.0 {
+            return 0.0;
+        }
+        let hi = d + 10.0 * (2.0 * d).sqrt() + 50.0;
+        bisect_quantile(|x| crate::special::chi_square_cdf(x, d), level, 0.0, hi).max(0.0)
+    }
+
+    /// Largest absolute off-diagonal correlation.
+    fn max_abs_correlation(&self) -> f64 {
+        let d = self.dim();
+        let mut worst = 0.0f64;
+        for a in 0..d {
+            for b in (a + 1)..d {
+                let denom = (self.cov_at(a, a) * self.cov_at(b, b)).sqrt().max(1e-300);
+                worst = worst.max((self.cov_at(a, b) / denom).abs());
+            }
+        }
+        worst
+    }
+
+    /// P(lo ≤ X ≤ hi component-wise).
+    ///
+    /// Exact (product of marginal probabilities) when the covariance is
+    /// (numerically) diagonal — the case produced by [`Self::isotropic`]
+    /// and differences thereof. For correlated covariances a
+    /// deterministic conditional quadrature is used in 2-d (exact), and a
+    /// fixed-seed Monte-Carlo estimate above (~1e-2 accuracy).
+    pub fn prob_in_box(&self, lo: &[f64], hi: &[f64]) -> f64 {
+        let d = self.dim();
+        assert_eq!(lo.len(), d);
+        assert_eq!(hi.len(), d);
+        if self.max_abs_correlation() < 1e-12 {
+            let mut p = 1.0;
+            for a in 0..d {
+                let m = self.marginal(a);
+                p *= (m.cdf(hi[a]) - m.cdf(lo[a])).clamp(0.0, 1.0);
+            }
+            return p;
+        }
+        if d == 2 {
+            // Deterministic: integrate the conditional Y | X = x band over
+            // the X range (exact bivariate-normal quadrature).
+            let (m0, m1) = (self.mean[0], self.mean[1]);
+            let s00 = self.cov_at(0, 0).max(1e-300);
+            let s01 = self.cov_at(0, 1);
+            let s11 = self.cov_at(1, 1);
+            let sd0 = s00.sqrt();
+            let cond_var = (s11 - s01 * s01 / s00).max(1e-300);
+            let cond_sd = cond_var.sqrt();
+            let slope = s01 / s00;
+            let a = lo[0].max(m0 - 10.0 * sd0);
+            let b = hi[0].min(m0 + 10.0 * sd0);
+            if b <= a {
+                return 0.0;
+            }
+            let gx = Gaussian::new(m0, sd0);
+            let integrand = |x: f64| {
+                let mc = m1 + slope * (x - m0);
+                let band =
+                    std_normal_cdf((hi[1] - mc) / cond_sd) - std_normal_cdf((lo[1] - mc) / cond_sd);
+                gx.pdf(x) * band.max(0.0)
+            };
+            return adaptive_simpson(&integrand, a, b, 1e-10).clamp(0.0, 1.0);
+        }
+        // d > 2 correlated: deterministic Monte Carlo on the same sample
+        // budget as the engine's other Monte-Carlo fallbacks.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(0x9D2C_5680_1357_2468);
+        let n = 4096;
+        let mut hits = 0usize;
+        for _ in 0..n {
+            let x = self.sample(&mut rng);
+            if x.iter()
+                .enumerate()
+                .all(|(a, &xa)| xa >= lo[a] && xa <= hi[a])
+            {
+                hits += 1;
+            }
+        }
+        hits as f64 / n as f64
+    }
+}
+
+/// Dense Cholesky factorization with a diagonal jitter retry, returning
+/// the lower-triangular factor row-major.
+fn cholesky(cov: &[f64], d: usize) -> Vec<f64> {
+    let scale: f64 = (0..d).map(|a| cov[a * d + a].abs()).fold(0.0, f64::max);
+    let mut jitter = 0.0;
+    for _ in 0..6 {
+        if let Some(l) = try_cholesky(cov, d, jitter) {
+            return l;
+        }
+        jitter = if jitter == 0.0 {
+            1e-12 * scale.max(1e-12)
+        } else {
+            jitter * 100.0
+        };
+    }
+    panic!("covariance matrix is not positive definite");
+}
+
+fn try_cholesky(cov: &[f64], d: usize, jitter: f64) -> Option<Vec<f64>> {
+    let mut l = vec![0.0; d * d];
+    for a in 0..d {
+        for b in 0..=a {
+            let mut sum = cov[a * d + b] + if a == b { jitter } else { 0.0 };
+            for k in 0..b {
+                sum -= l[a * d + k] * l[b * d + k];
+            }
+            if a == b {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[a * d + a] = sum.sqrt();
+            } else {
+                l[a * d + b] = sum / l[b * d + b];
+            }
+        }
+    }
+    Some(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn gaussian_basics() {
+        let g = Gaussian::new(2.0, 3.0);
+        close(g.mean(), 2.0, 0.0);
+        close(g.variance(), 9.0, 0.0);
+        close(g.cdf(2.0), 0.5, 1e-14);
+        close(g.quantile(g.cdf(4.0)), 4.0, 1e-9);
+        close(
+            g.pdf(2.0),
+            1.0 / (3.0 * (2.0 * std::f64::consts::PI).sqrt()),
+            1e-12,
+        );
+        close(g.ln_pdf(5.0), g.pdf(5.0).ln(), 1e-12);
+    }
+
+    #[test]
+    fn exponential_gamma_consistency() {
+        // Exp(λ) == Gamma(1, 1/λ).
+        let e = Exponential::new(2.0);
+        let g = GammaDist::new(1.0, 0.5);
+        for &x in &[0.1, 0.5, 1.0, 3.0] {
+            close(e.pdf(x), g.pdf(x), 1e-10);
+            close(e.cdf(x), g.cdf(x), 1e-10);
+        }
+        close(e.cumulant3(), g.cumulant3(), 1e-12);
+    }
+
+    #[test]
+    fn lognormal_moments() {
+        let l = LogNormal::new(0.5, 0.4);
+        // E[X] = exp(μ + σ²/2)
+        close(l.mean(), (0.5f64 + 0.08).exp(), 1e-12);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let m = (0..n).map(|_| l.sample(&mut rng)).sum::<f64>() / n as f64;
+        close(m, l.mean(), 0.02);
+    }
+
+    #[test]
+    fn triangular_shape() {
+        let t = Triangular::new(0.0, 1.0, 4.0);
+        close(t.cdf(0.0), 0.0, 0.0);
+        close(t.cdf(4.0), 1.0, 0.0);
+        close(t.cdf(1.0), 0.25, 1e-12);
+        close(t.mean(), 5.0 / 3.0, 1e-12);
+        for &p in &[0.1, 0.25, 0.7, 0.95] {
+            close(t.cdf(t.quantile(p)), p, 1e-12);
+        }
+    }
+
+    #[test]
+    fn mixture_moments_and_quantile() {
+        let m = GaussianMixture::from_triples(&[(0.25, -4.0, 1.0), (0.75, 4.0, 2.0)]);
+        close(m.mean(), 0.25 * -4.0 + 0.75 * 4.0, 1e-12);
+        // Var = Σw(σ²+μ²) − μ̄²
+        let want_var = 0.25 * (1.0 + 16.0) + 0.75 * (4.0 + 16.0) - 2.0 * 2.0;
+        close(m.variance(), want_var, 1e-12);
+        for &p in &[0.05, 0.3, 0.5, 0.9] {
+            close(m.cdf(ContinuousDist::quantile(&m, p)), p, 1e-9);
+        }
+    }
+
+    #[test]
+    fn dist_affine_gaussian_exact() {
+        let d = Dist::gaussian(1.0, 2.0);
+        let t = d.affine(-3.0, 5.0);
+        close(t.mean(), 2.0, 1e-12);
+        close(t.variance(), 36.0, 1e-9);
+        assert!(matches!(t, Dist::Gaussian(_)));
+    }
+
+    #[test]
+    fn dist_truncate_renormalizes() {
+        let d = Dist::gaussian(0.0, 1.0);
+        let (t, mass) = d.truncate(-1.0, 1.0).unwrap();
+        close(mass, d.prob_in(-1.0, 1.0), 1e-12);
+        close(t.cdf(-1.0), 0.0, 1e-12);
+        close(t.cdf(1.0), 1.0, 1e-12);
+        close(t.mean(), 0.0, 1e-9);
+        assert!(d.truncate(50.0, 60.0).is_none());
+    }
+
+    #[test]
+    fn gamma_sampling_mean() {
+        for &(k, theta) in &[(0.5, 2.0), (3.0, 1.5)] {
+            let g = GammaDist::new(k, theta);
+            let mut rng = StdRng::seed_from_u64(11);
+            let n = 50_000;
+            let m = (0..n).map(|_| g.sample(&mut rng)).sum::<f64>() / n as f64;
+            close(m, g.mean(), 6.0 * g.std_dev() / (n as f64).sqrt() + 0.01);
+        }
+    }
+
+    #[test]
+    fn cf_matches_moments_at_origin() {
+        // φ'(0) = iμ numerically, via finite difference.
+        let dists = [
+            Dist::gaussian(1.5, 0.7),
+            Dist::uniform(-1.0, 3.0),
+            Dist::Exponential(Exponential::new(1.3)),
+            Dist::Gamma(GammaDist::new(2.0, 0.8)),
+            Dist::LogNormal(LogNormal::new(0.2, 0.3)),
+            Dist::Triangular(Triangular::new(-1.0, 0.5, 2.0)),
+        ];
+        for d in &dists {
+            let h = 1e-4;
+            let deriv = (d.cf(h) - d.cf(-h)) / (2.0 * h);
+            close(deriv.im, d.mean(), 1e-3);
+            close(d.cf(0.0).re, 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn mv_gaussian_marginals_and_box() {
+        let mv = MvGaussian::isotropic(vec![1.0, -1.0], 2.0);
+        assert_eq!(mv.dim(), 2);
+        close(mv.marginal(0).mean(), 1.0, 0.0);
+        close(mv.cov_at(0, 1), 0.0, 0.0);
+        // Independent ⇒ product of marginal probabilities.
+        let p = mv.prob_in_box(&[-1.0, -3.0], &[3.0, 1.0]);
+        let px = mv.marginal(0).prob_in(-1.0, 3.0);
+        let py = mv.marginal(1).prob_in(-3.0, 1.0);
+        close(p, px * py, 1e-12);
+    }
+
+    #[test]
+    fn affine_of_truncation_keeps_bounds() {
+        // select-then-project: °C conditioned above 60, mapped to °F.
+        let (t, _) = Dist::gaussian(60.0, 5.0)
+            .truncate(60.0, f64::INFINITY)
+            .unwrap();
+        let f = t.affine(1.8, 32.0);
+        assert!(matches!(f, Dist::Truncated(_)), "must stay truncated");
+        // No mass below the transformed bound 60·1.8+32 = 140 °F.
+        assert!(f.cdf(139.9) == 0.0, "cdf below bound must be 0");
+        assert!(f.pdf(139.0) == 0.0);
+        close(f.mean(), 1.8 * t.mean() + 32.0, 1e-6);
+        close(f.variance(), 1.8 * 1.8 * t.variance(), 1e-6);
+        // Negative scale flips the bound to an upper one.
+        let neg = t.affine(-2.0, 0.0);
+        assert!(
+            neg.prob_above(-119.9) == 0.0,
+            "flipped bound must cap above"
+        );
+    }
+
+    #[test]
+    fn prob_in_box_correlated_2d_matches_monte_carlo() {
+        let mv = MvGaussian::new(vec![0.5, -0.5], vec![1.0, 0.6, 0.6, 2.0]);
+        let (lo, hi) = ([-1.0, -2.0], [1.5, 1.0]);
+        let p = mv.prob_in_box(&lo, &hi);
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 200_000;
+        let mut hits = 0usize;
+        for _ in 0..n {
+            let v = mv.sample(&mut rng);
+            if v[0] >= lo[0] && v[0] <= hi[0] && v[1] >= lo[1] && v[1] <= hi[1] {
+                hits += 1;
+            }
+        }
+        close(p, hits as f64 / n as f64, 0.01);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn mv_gaussian_correlated_sampling() {
+        let mv = MvGaussian::new(vec![0.0, 0.0], vec![1.0, 0.8, 0.8, 1.0]);
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 40_000;
+        let mut cxy = 0.0;
+        for _ in 0..n {
+            let v = mv.sample(&mut rng);
+            cxy += v[0] * v[1];
+        }
+        close(cxy / n as f64, 0.8, 0.03);
+        let d = mv.difference(&mv);
+        close(d.cov_at(0, 1), 1.6, 1e-12);
+        close(d.mean()[0], 0.0, 0.0);
+    }
+}

@@ -8,7 +8,7 @@
 //! (BIC)". This module implements weighted EM for 1-D Gaussian mixtures
 //! and AIC/BIC model selection over the component count.
 
-use crate::dist::{ContinuousDist, Gaussian, GaussianMixture, MixtureComponent};
+use crate::dist::{Gaussian, GaussianMixture, MixtureComponent};
 use crate::samples::WeightedSamples;
 
 /// Configuration for the weighted EM fitter.

@@ -10,7 +10,7 @@
 //!    convolve bucket mass vectors pairwise, re-discretizing to a fixed
 //!    bucket budget after each step.
 
-use crate::dist::{ContinuousDist, Dist};
+use crate::dist::Dist;
 use rand::{Rng, RngCore};
 
 /// A probability histogram: `masses[i]` is the probability of the bin
@@ -25,7 +25,10 @@ pub struct HistogramPdf {
 impl HistogramPdf {
     /// Build from raw bin masses (normalized on construction).
     pub fn from_masses(lo: f64, width: f64, masses: Vec<f64>) -> Self {
-        assert!(width > 0.0 && width.is_finite(), "bin width must be positive");
+        assert!(
+            width > 0.0 && width.is_finite(),
+            "bin width must be positive"
+        );
         assert!(!masses.is_empty(), "need at least one bin");
         let total: f64 = masses.iter().sum();
         assert!(

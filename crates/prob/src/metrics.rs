@@ -80,7 +80,10 @@ pub fn cross_entropy_vs_dist(samples: &WeightedSamples, q: &Dist) -> f64 {
 
 /// Relative error between the means of two distributions, normalized by
 /// the reference's standard deviation (scale-free location error).
-pub fn standardized_mean_error<A: ContinuousDist, B: ContinuousDist>(est: &A, reference: &B) -> f64 {
+pub fn standardized_mean_error<A: ContinuousDist, B: ContinuousDist>(
+    est: &A,
+    reference: &B,
+) -> f64 {
     (est.mean() - reference.mean()).abs() / reference.std_dev().max(1e-12)
 }
 
@@ -115,11 +118,7 @@ mod tests {
         let d_near = tv_distance_grid_dists(&p, &near);
         let d_far = tv_distance_grid_dists(&p, &far);
         assert!(d_near < d_far);
-        close(
-            tv_distance_grid_dists(&near, &p),
-            d_near,
-            1e-9,
-        );
+        close(tv_distance_grid_dists(&near, &p), d_near, 1e-9);
     }
 
     #[test]
@@ -152,7 +151,6 @@ mod tests {
 
     #[test]
     fn cross_entropy_prefers_true_model() {
-        use crate::dist::ContinuousDist;
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(2);

@@ -62,7 +62,9 @@ impl RunningMoments {
             + d4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
             + 6.0 * d2 * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
             + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
-        let m3 = self.m3 + other.m3 + d3 * na * nb * (na - nb) / (n * n)
+        let m3 = self.m3
+            + other.m3
+            + d3 * na * nb * (na - nb) / (n * n)
             + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
         let m2 = self.m2 + other.m2 + d2 * na * nb / n;
         let mean = self.mean + delta * nb / n;
@@ -215,7 +217,9 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential() {
-        let xs: Vec<f64> = (0..50).map(|i| (i as f64 * 0.77).sin() * 3.0 + 1.0).collect();
+        let xs: Vec<f64> = (0..50)
+            .map(|i| (i as f64 * 0.77).sin() * 3.0 + 1.0)
+            .collect();
         let mut all = RunningMoments::new();
         all.extend(xs.iter().copied());
         let mut a = RunningMoments::new();

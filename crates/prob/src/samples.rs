@@ -39,10 +39,7 @@ impl WeightedSamples {
         let n = xs.len();
         assert!(n > 0);
         let w = 1.0 / n as f64;
-        WeightedSamples {
-            xs,
-            ws: vec![w; n],
-        }
+        WeightedSamples { xs, ws: vec![w; n] }
     }
 
     pub fn len(&self) -> usize {
@@ -266,7 +263,6 @@ impl WeightedSamplesNd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dist::ContinuousDist;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use ustream_prob::complex::Complex64;
-use ustream_prob::dist::{
-    ContinuousDist, Dist, Exponential, GammaDist, GaussianMixture, LogNormal, Triangular,
-};
+use ustream_prob::dist::{Dist, Exponential, GammaDist, GaussianMixture, LogNormal, Triangular};
 use ustream_prob::quadrature::adaptive_simpson;
 
 /// A strategy producing a varied distribution with sane parameters.
@@ -17,9 +15,8 @@ fn any_dist() -> impl Strategy<Value = Dist> {
         (0.05..5.0f64).prop_map(|r| Dist::Exponential(Exponential::new(r))),
         (0.3..10.0f64, 0.1..5.0f64).prop_map(|(k, t)| Dist::Gamma(GammaDist::new(k, t))),
         (-2.0..2.0f64, 0.1..1.0f64).prop_map(|(m, s)| Dist::LogNormal(LogNormal::new(m, s))),
-        (-10.0..10.0f64, 0.5..10.0f64, 0.0..1.0f64).prop_map(|(a, w, f)| {
-            Dist::Triangular(Triangular::new(a, a + f * w, a + w))
-        }),
+        (-10.0..10.0f64, 0.5..10.0f64, 0.0..1.0f64)
+            .prop_map(|(a, w, f)| { Dist::Triangular(Triangular::new(a, a + f * w, a + w)) }),
         (
             0.1..0.9f64,
             -20.0..0.0f64,

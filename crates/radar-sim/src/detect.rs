@@ -128,10 +128,7 @@ pub fn detect_tornados(
         while let Some(j) = frontier.pop() {
             let (rj, gj, _) = flagged[j];
             for (k, &(rk, gk, dv)) in flagged.iter().enumerate() {
-                if !used[k]
-                    && rj.abs_diff(rk) <= 2
-                    && gj.abs_diff(gk) <= 3
-                {
+                if !used[k] && rj.abs_diff(rk) <= 2 && gj.abs_diff(gk) <= 3 {
                     used[k] = true;
                     cluster.push((rk, gk, dv));
                     frontier.push(k);
@@ -226,10 +223,7 @@ pub fn merge_detections(per_radar: &[Vec<Detection>], radius_m: f64) -> Vec<Merg
         radars.dedup();
         merged.push(MergedDetection {
             position: [cx, cy],
-            strength: members
-                .iter()
-                .map(|(_, d)| d.strength)
-                .fold(0.0, f64::max),
+            strength: members.iter().map(|(_, d)| d.strength).fold(0.0, f64::max),
             radar_count: radars.len(),
         });
     }
@@ -325,7 +319,11 @@ mod tests {
         let pulses = node.sector_scan(&field, bearing - 0.1, bearing + 0.1, 0.0, 33);
         let scan = compute_moments(&pulses, &params(), 40);
         let res = detect_tornados(&scan, [0.0, 0.0], &DetectorConfig::default());
-        assert!(res.detections.is_empty(), "false positives: {:?}", res.detections);
+        assert!(
+            res.detections.is_empty(),
+            "false positives: {:?}",
+            res.detections
+        );
     }
 
     #[test]
@@ -373,9 +371,9 @@ mod tests {
         let mut per_radar = Vec::new();
         for (id, pos) in [(0u32, [0.0, 0.0]), (1u32, [24_000.0, 0.0])] {
             let node = RadarNode::new(id, pos, params());
-            let bearing =
-                (9_000.0 - pos[1]).atan2(12_000.0 - pos[0]);
-            let pulses = node.sector_scan(&field, bearing - 0.12, bearing + 0.12, 0.0, 61 + id as u64);
+            let bearing = (9_000.0 - pos[1]).atan2(12_000.0 - pos[0]);
+            let pulses =
+                node.sector_scan(&field, bearing - 0.12, bearing + 0.12, 0.0, 61 + id as u64);
             let scan = compute_moments(&pulses, &params(), 40);
             per_radar.push(detect_tornados(&scan, pos, &DetectorConfig::default()).detections);
         }

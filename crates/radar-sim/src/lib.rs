@@ -24,10 +24,15 @@ pub mod radar;
 pub mod uncertainty;
 pub mod weather;
 
-pub use detect::{detect_tornados, false_negatives, merge_detections, Detection, DetectionResult, DetectorConfig, MergedDetection};
+pub use detect::{
+    detect_tornados, false_negatives, merge_detections, Detection, DetectionResult, DetectorConfig,
+    MergedDetection,
+};
 pub use epoch::{run_scenario, table1_sweep, AveragingRow, ScenarioConfig};
 pub use merge::{merge_scan, CartesianGrid};
-pub use moments::{compute_moments, per_pulse_velocity_series, MomentCell, MomentRadial, MomentScan};
+pub use moments::{
+    compute_moments, per_pulse_velocity_series, MomentCell, MomentRadial, MomentScan,
+};
 pub use radar::{Pulse, RadarNode, RadarParams};
 pub use uncertainty::{RadarTOperator, VelocityUq};
 pub use weather::{StormCell, Tornado, WeatherField};

@@ -104,8 +104,7 @@ pub fn merge_scan(grid: &mut CartesianGrid, scan: &MomentScan, radar_pos: [f64; 
                 (grid.reflectivity[idx] * n + cell.reflectivity) / (n + 1.0)
             };
             grid.reflectivity[idx] = refl;
-            grid.velocity[idx] =
-                (grid.velocity[idx] * n + cell.velocity.abs()) / (n + 1.0);
+            grid.velocity[idx] = (grid.velocity[idx] * n + cell.velocity.abs()) / (n + 1.0);
             grid.samples[idx] += 1;
             if !touched.contains(&idx) {
                 touched.push(idx);

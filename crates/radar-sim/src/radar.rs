@@ -175,7 +175,11 @@ mod tests {
         let field = WeatherField::quiet();
         let pulses = node.sector_scan(&field, 0.0, 0.1, 0.0, 1);
         // 0.1 rad at 20°/s (0.349 rad/s) ⇒ ~0.286 s ⇒ ~573 pulses.
-        assert!((560..=580).contains(&pulses.len()), "{} pulses", pulses.len());
+        assert!(
+            (560..=580).contains(&pulses.len()),
+            "{} pulses",
+            pulses.len()
+        );
         assert!(pulses[0].azimuth < pulses.last().unwrap().azimuth);
         assert_eq!(pulses[0].gates.len(), 64);
     }

@@ -179,10 +179,7 @@ mod tests {
             .iter()
             .map(|t| t.updf("velocity").unwrap().variance())
             .sum();
-        assert!(
-            ma >= iid * 0.8,
-            "MA-CLT total var {ma:.4} vs iid {iid:.4}"
-        );
+        assert!(ma >= iid * 0.8, "MA-CLT total var {ma:.4} vs iid {iid:.4}");
     }
 
     #[test]

@@ -247,6 +247,9 @@ mod tests {
     fn quiet_scene_has_no_tornados() {
         let f = WeatherField::quiet();
         assert!(f.active_tornados(100.0).is_empty());
-        assert_eq!(WeatherField::tornadic_default().active_tornados(10.0).len(), 1);
+        assert_eq!(
+            WeatherField::tornadic_default().active_tornados(10.0).len(),
+            1
+        );
     }
 }

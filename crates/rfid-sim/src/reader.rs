@@ -70,7 +70,10 @@ impl MobileReader {
                 } else if within < 2.0 * width + aisle_step {
                     (width - (within - width - aisle_step), y_base + aisle_step)
                 } else {
-                    (0.0, y_base + aisle_step + (within - 2.0 * width - aisle_step))
+                    (
+                        0.0,
+                        y_base + aisle_step + (within - 2.0 * width - aisle_step),
+                    )
                 };
                 [x, y, self.height]
             }

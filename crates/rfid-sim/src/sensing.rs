@@ -67,12 +67,7 @@ impl SensingModel {
 
     /// Convenience: probability from reader position, facing direction
     /// (unit-ish vector), and tag position.
-    pub fn read_probability_at(
-        &self,
-        reader: &[f64; 3],
-        facing: &[f64; 3],
-        tag: &[f64; 3],
-    ) -> f64 {
+    pub fn read_probability_at(&self, reader: &[f64; 3], facing: &[f64; 3], tag: &[f64; 3]) -> f64 {
         let dx = tag[0] - reader[0];
         let dy = tag[1] - reader[1];
         let dz = tag[2] - reader[2];
@@ -135,12 +130,10 @@ mod tests {
     fn geometric_helper_consistent() {
         let m = SensingModel::clean();
         // Tag straight ahead at 5 ft.
-        let p_ahead =
-            m.read_probability_at(&[0.0, 0.0, 4.0], &[1.0, 0.0, 0.0], &[5.0, 0.0, 4.0]);
+        let p_ahead = m.read_probability_at(&[0.0, 0.0, 4.0], &[1.0, 0.0, 0.0], &[5.0, 0.0, 4.0]);
         assert!((p_ahead - m.read_probability(5.0, 0.0)).abs() < 1e-12);
         // Tag directly behind.
-        let p_behind =
-            m.read_probability_at(&[0.0, 0.0, 4.0], &[1.0, 0.0, 0.0], &[-5.0, 0.0, 4.0]);
+        let p_behind = m.read_probability_at(&[0.0, 0.0, 4.0], &[1.0, 0.0, 0.0], &[-5.0, 0.0, 4.0]);
         assert!(p_behind < p_ahead);
     }
 }

@@ -110,22 +110,18 @@ impl TraceGenerator {
         self.reader.step();
         let pos = self.reader.true_pos();
         // Facing = direction of travel (fallback +x when stationary).
-        let mut facing = [
-            pos[0] - before[0],
-            pos[1] - before[1],
-            0.0,
-        ];
+        let mut facing = [pos[0] - before[0], pos[1] - before[1], 0.0];
         if facing[0].abs() + facing[1].abs() < 1e-9 {
             facing = [1.0, 0.0, 0.0];
         }
         self.prev_reader = pos;
 
-        let reported = self.reader.reported_pos(self.cfg.pose_dropout, &mut self.rng);
+        let reported = self
+            .reader
+            .reported_pos(self.cfg.pose_dropout, &mut self.rng);
         let mut readings = Vec::new();
         for o in self.world.objects() {
-            let p = self
-                .sensing
-                .read_probability_at(&pos, &facing, &o.pos);
+            let p = self.sensing.read_probability_at(&pos, &facing, &o.pos);
             if rand::Rng::gen::<f64>(&mut self.rng) < p {
                 readings.push(RawReading {
                     ts: self.t,
@@ -135,9 +131,7 @@ impl TraceGenerator {
             }
         }
         for s in self.world.shelves() {
-            let p = self
-                .sensing
-                .read_probability_at(&pos, &facing, &s.pos);
+            let p = self.sensing.read_probability_at(&pos, &facing, &s.pos);
             if rand::Rng::gen::<f64>(&mut self.rng) < p {
                 readings.push(RawReading {
                     ts: self.t,
@@ -193,7 +187,10 @@ mod tests {
         let scans = gen.scans(50);
         assert_eq!(scans.len(), 50);
         let total_readings: usize = scans.iter().map(|s| s.readings.len()).sum();
-        assert!(total_readings > 50, "reader should observe tags while patrolling");
+        assert!(
+            total_readings > 50,
+            "reader should observe tags while patrolling"
+        );
         for s in &scans {
             assert_eq!(s.truth.object_xy.len(), 50);
         }

@@ -110,7 +110,11 @@ pub fn fit_arma(xs: &[f64], p: usize, q: usize) -> Option<ArmaModel> {
 /// "determine the order of correlation" (§5.1). AIC is computed from the
 /// Gaussian likelihood implied by the residual variance:
 /// AIC = n·ln(σ̂²) + 2(p + q + 1).
-pub fn select_arma_order(xs: &[f64], max_p: usize, max_q: usize) -> Option<(usize, usize, ArmaModel)> {
+pub fn select_arma_order(
+    xs: &[f64],
+    max_p: usize,
+    max_q: usize,
+) -> Option<(usize, usize, ArmaModel)> {
     assert!(max_p + max_q >= 1);
     let n = xs.len() as f64;
     let mut best: Option<(f64, usize, usize, ArmaModel)> = None;

@@ -37,7 +37,6 @@ pub fn ma_clt_mean(xs: &[f64], q: usize) -> Gaussian {
 pub fn ma_clt_sum(xs: &[f64], q: usize) -> Gaussian {
     let n = xs.len() as f64;
     let mean_dist = ma_clt_mean(xs, q);
-    use ustream_prob::dist::ContinuousDist;
     Gaussian::from_mean_var(
         mean_dist.mean() * n,
         (mean_dist.variance() * n * n).max(1e-18),
@@ -105,7 +104,6 @@ pub fn newey_west_mean(xs: &[f64], b: usize) -> Gaussian {
 mod tests {
     use super::*;
     use crate::generator::{ma_series, white_noise};
-    use ustream_prob::dist::ContinuousDist;
 
     fn close(a: f64, b: f64, tol: f64) {
         assert!((a - b).abs() <= tol, "expected {b}, got {a}");

@@ -26,7 +26,8 @@ pub fn ljung_box(xs: &[f64], h: usize) -> LjungBox {
     assert!(h >= 1 && h < n, "need 1 ≤ h < n");
     let rhos = autocorrelations(xs, h);
     let nf = n as f64;
-    let q = nf * (nf + 2.0)
+    let q = nf
+        * (nf + 2.0)
         * (1..=h)
             .map(|k| rhos[k] * rhos[k] / (nf - k as f64))
             .sum::<f64>();

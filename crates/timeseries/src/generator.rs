@@ -3,7 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ustream_prob::dist::{ContinuousDist, Gaussian};
+use ustream_prob::dist::Gaussian;
 
 /// Gaussian white noise with standard deviation `sigma`.
 pub fn white_noise(n: usize, sigma: f64, seed: u64) -> Vec<f64> {
@@ -160,7 +160,8 @@ mod tests {
     fn arma11_first_acf() {
         // ARMA(1,1) φ=0.5, θ=0.3: ρ(1) = (1+φθ)(φ+θ)/(1+2φθ+θ²)
         let (phi, theta) = (0.5, 0.3);
-        let expected = (1.0 + phi * theta) * (phi + theta) / (1.0 + 2.0 * phi * theta + theta * theta);
+        let expected =
+            (1.0 + phi * theta) * (phi + theta) / (1.0 + 2.0 * phi * theta + theta * theta);
         let xs = arma_series(&[phi], &[theta], 1.0, 100_000, 4);
         let rhos = autocorrelations(&xs, 2);
         assert!((rhos[1] - expected).abs() < 0.03, "rho1 = {}", rhos[1]);

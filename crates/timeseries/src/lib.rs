@@ -27,6 +27,8 @@ pub mod ma;
 
 pub use ar::{fit_ar, ArModel};
 pub use arma::{fit_arma, select_arma_order, ArmaModel};
-pub use clt::{iid_clt_mean, ma_clt_mean, ma_clt_pipeline, ma_clt_sum, newey_west_mean, MaCltResult};
+pub use clt::{
+    iid_clt_mean, ma_clt_mean, ma_clt_pipeline, ma_clt_sum, newey_west_mean, MaCltResult,
+};
 pub use diagnostics::{identify_ma_order, ljung_box, LjungBox, MaIdentification};
 pub use ma::{fit_ma, fit_ma_innovations, MaModel};

@@ -1,7 +1,6 @@
 //! Property-based tests for the time-series substrate.
 
 use proptest::prelude::*;
-use ustream_prob::dist::ContinuousDist;
 use ustream_ts::acf::{autocorrelations, autocovariances, ma_theoretical_autocov};
 use ustream_ts::ar::levinson_durbin;
 use ustream_ts::clt::{iid_clt_mean, ma_clt_mean};

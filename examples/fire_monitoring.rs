@@ -161,7 +161,10 @@ fn main() {
     }
     alerts.extend(agg.flush());
 
-    println!("Q1 fire-code monitoring: {} violating (area, window) groups\n", alerts.len());
+    println!(
+        "Q1 fire-code monitoring: {} violating (area, window) groups\n",
+        alerts.len()
+    );
     for a in alerts.iter().take(12) {
         let total = a.updf("total_weight").unwrap();
         println!(

@@ -74,9 +74,8 @@ fn main() {
     let kinds: Vec<ObjectKind> = gen.world.objects().iter().map(|o| o.kind).collect();
 
     // Enrich location tuples with object_type(tag_id).
-    let enriched_schema_of = |s: &std::sync::Arc<Schema>| {
-        s.extend(vec![Field::new("kind", DataType::Str)])
-    };
+    let enriched_schema_of =
+        |s: &std::sync::Arc<Schema>| s.extend(vec![Field::new("kind", DataType::Str)]);
 
     // --- Temperature side -----------------------------------------------
     // A hot spot develops at 20 s over a flammable-heavy corner.
@@ -97,10 +96,8 @@ fn main() {
         .build();
 
     // --- Operators --------------------------------------------------------
-    let mut select_flammable = Select::new(
-        Predicate::StrEq("kind".into(), "flammable".into()),
-        0.5,
-    );
+    let mut select_flammable =
+        Select::new(Predicate::StrEq("kind".into(), "flammable".into()), 0.5);
     let mut select_hot = Select::new(Predicate::UncertainAbove("temp".into(), 60.0), 0.3);
     let mut join = WindowJoin::new(
         3_000,
@@ -121,8 +118,7 @@ fn main() {
         for loc_tuple in t_op.ingest(scan) {
             let kind = kinds[loc_tuple.int("tag_id").unwrap() as usize];
             let schema = enriched_schema_of(loc_tuple.schema());
-            let enriched =
-                loc_tuple.extended(schema, vec![Value::from(kind.as_str())]);
+            let enriched = loc_tuple.extended(schema, vec![Value::from(kind.as_str())]);
             for flam in select_flammable.process(0, enriched) {
                 alerts.extend(join.process(0, flam));
             }

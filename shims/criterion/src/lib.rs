@@ -1,0 +1,262 @@
+//! Offline stand-in for `criterion`: a tiny wall-clock bench harness
+//! with the same source-level API the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `iter` / `iter_batched`, `BenchmarkId`, `BatchSize`). Timings are
+//! median-of-samples over a short warmup + measurement window and are
+//! printed as `bench-name ... median N ns/iter`; there is no statistical
+//! regression machinery, which is fine for the repo's purposes until the
+//! real criterion can be vendored.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; the shim times the routine only,
+/// so the variants behave identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A `group/function/parameter` bench identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a bench name: `&str`, `String`, or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to bench closures; `iter`/`iter_batched` record samples.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+    measurement: Duration,
+}
+
+impl Bencher {
+    fn new(target_samples: usize, measurement: Duration) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            target_samples,
+            measurement,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let deadline = Instant::now() + self.measurement;
+        // One untimed warmup call.
+        black_box(routine());
+        while self.samples.len() < self.target_samples && Instant::now() < deadline {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.measurement;
+        black_box(routine(setup()));
+        while self.samples.len() < self.target_samples && Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median_ns(&self) -> u128 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut ns: Vec<u128> = self.samples.iter().map(|d| d.as_nanos()).collect();
+        ns.sort();
+        ns[ns.len() / 2]
+    }
+}
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement: self.measurement,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        run_one(&id.into_id(), self.sample_size, self.measurement, f);
+    }
+}
+
+/// A named group of related benches.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement: Duration,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.sample_size, self.measurement, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accepted for API compatibility; the shim does not report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, measurement: Duration, mut f: F) {
+    let mut b = Bencher::new(samples, measurement);
+    f(&mut b);
+    println!(
+        "bench: {name:<50} median {:>12} ns/iter ({} samples)",
+        b.median_ns(),
+        b.samples.len()
+    );
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter_batched(|| n, |n| (0..n).sum::<u64>(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        criterion_group!(benches, sum_bench);
+        benches();
+    }
+}

@@ -1,0 +1,80 @@
+//! Offline stand-in for `crossbeam`, exposing the `channel` module the
+//! threaded executor uses. Backed by `std::sync::mpsc::sync_channel`,
+//! which gives the same semantics the executor relies on: bounded
+//! capacity with blocking `send` (backpressure), cloneable senders, and
+//! `recv` returning `Err` once every sender is dropped.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    /// A bounded channel with blocking send once `cap` messages queue up.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::bounded;
+
+    #[test]
+    fn fan_in_and_disconnect() {
+        let (tx, rx) = bounded::<u32>(4);
+        let tx2 = tx.clone();
+        let h1 = std::thread::spawn(move || (0..10).for_each(|i| tx.send(i).unwrap()));
+        let h2 = std::thread::spawn(move || (10..20).for_each(|i| tx2.send(i).unwrap()));
+        let mut got: Vec<u32> = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        h1.join().unwrap();
+        h2.join().unwrap();
+        got.sort();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,187 @@
+//! Value-generation strategies: ranges, tuples, `prop_map`, unions,
+//! `Just`, and `collection::vec`. Generation is a plain function of the
+//! [`TestRng`](crate::TestRng); there is no shrinking tree.
+
+use crate::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for producing values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(move |rng: &mut TestRng| self.gen_value(rng)),
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).gen_value(rng)
+    }
+}
+
+/// Type-erased strategy, the element type of [`Union`].
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.inner)(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// `prop_oneof!` support: picks one arm uniformly per case.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.next_usize_below(self.arms.len());
+        self.arms[i].gen_value(rng)
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (rng.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_strategy_float_range!(f32, f64);
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+}
+
+/// `proptest::collection::vec`: a vector whose length is drawn from
+/// `sizes` and whose elements come from `element`.
+pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+    assert!(sizes.start < sizes.end, "empty vec size range");
+    VecStrategy { element, sizes }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    sizes: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.sizes.end - self.sizes.start;
+        let len = self.sizes.start + rng.next_usize_below(span.max(1));
+        (0..len).map(|_| self.element.gen_value(rng)).collect()
+    }
+}

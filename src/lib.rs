@@ -1,7 +1,7 @@
 //! Umbrella crate re-exporting the uncertain-streams workspace.
+pub use radar_sim as radar;
+pub use rfid_sim as rfid;
 pub use ustream_core as core;
+pub use ustream_inference as inference;
 pub use ustream_prob as prob;
 pub use ustream_ts as ts;
-pub use rfid_sim as rfid;
-pub use ustream_inference as inference;
-pub use radar_sim as radar;

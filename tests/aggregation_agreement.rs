@@ -10,7 +10,7 @@ use uncertain_streams::core::ops::aggregate::{
 use uncertain_streams::core::ops::Operator;
 use uncertain_streams::core::schema::{DataType, Schema};
 use uncertain_streams::core::{GroupKey, Tuple, Updf, Value};
-use uncertain_streams::prob::dist::{ContinuousDist, Dist, GaussianMixture};
+use uncertain_streams::prob::dist::{Dist, GaussianMixture};
 
 fn random_window(n: usize, seed: u64) -> Vec<Dist> {
     let mut rng = StdRng::seed_from_u64(seed);

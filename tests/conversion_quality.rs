@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use uncertain_streams::core::toperator::convert_samples;
 use uncertain_streams::core::{ConversionPolicy, Updf};
-use uncertain_streams::prob::dist::{ContinuousDist, Dist, GaussianMixture};
+use uncertain_streams::prob::dist::{Dist, GaussianMixture};
 use uncertain_streams::prob::fit::ModelSelection;
 use uncertain_streams::prob::metrics::cross_entropy_vs_dist;
 use uncertain_streams::prob::samples::WeightedSamples;
@@ -24,10 +24,7 @@ fn mixture_policy_beats_gaussian_on_moved_object() {
     // "An object may have recently moved … Approximating these samples
     // using a single Gaussian is obviously inaccurate" (§4.3).
     let cloud = bimodal_cloud(12.0, 800, 1);
-    let gauss = convert_samples(
-        cloud.clone(),
-        &ConversionPolicy::FitGaussian,
-    );
+    let gauss = convert_samples(cloud.clone(), &ConversionPolicy::FitGaussian);
     let mix = convert_samples(
         cloud.clone(),
         &ConversionPolicy::FitMixture {
@@ -35,7 +32,9 @@ fn mixture_policy_beats_gaussian_on_moved_object() {
             criterion: ModelSelection::Bic,
         },
     );
-    let Updf::Parametric(g) = &gauss else { panic!() };
+    let Updf::Parametric(g) = &gauss else {
+        panic!()
+    };
     let Updf::Parametric(m) = &mix else { panic!() };
     assert!(matches!(m, Dist::Mixture(_)), "BIC must pick a mixture");
     // KL(p̂‖q) comparison via cross-entropy: lower is closer to p̂.
@@ -51,8 +50,7 @@ fn mixture_policy_beats_gaussian_on_moved_object() {
 fn unimodal_cloud_stays_gaussian_under_bic() {
     let truth = GaussianMixture::from_triples(&[(1.0, 3.0, 1.2)]);
     let mut rng = StdRng::seed_from_u64(2);
-    let cloud =
-        WeightedSamples::unweighted((0..600).map(|_| truth.sample(&mut rng)).collect());
+    let cloud = WeightedSamples::unweighted((0..600).map(|_| truth.sample(&mut rng)).collect());
     let out = convert_samples(
         cloud,
         &ConversionPolicy::FitMixture {

@@ -9,9 +9,7 @@ use uncertain_streams::core::ops::aggregate::{
 use uncertain_streams::core::ops::select::{Predicate, Select};
 use uncertain_streams::core::ops::Passthrough;
 use uncertain_streams::core::schema::{DataType, Schema};
-use uncertain_streams::core::{
-    GroupKey, NodeId, QueryGraph, ThreadedExecutor, Tuple, Updf, Value,
-};
+use uncertain_streams::core::{GroupKey, NodeId, QueryGraph, ThreadedExecutor, Tuple, Updf, Value};
 use uncertain_streams::prob::dist::Dist;
 
 fn build_graph() -> (QueryGraph, NodeId) {
@@ -78,8 +76,7 @@ fn summarize(tuples: &[Tuple]) -> Vec<(String, u64, i64, i64)> {
 #[test]
 fn threaded_executor_matches_single_threaded() {
     let (mut g1, sink1) = build_graph();
-    let single: HashMap<NodeId, Vec<Tuple>> =
-        g1.run(vec![("in".into(), 0, inputs())]).unwrap();
+    let single: HashMap<NodeId, Vec<Tuple>> = g1.run(vec![("in".into(), 0, inputs())]).unwrap();
 
     let (g2, sink2) = build_graph();
     let exec = ThreadedExecutor::default();

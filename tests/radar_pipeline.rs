@@ -56,8 +56,10 @@ fn t_operator_tuples_flow_into_core_aggregation() {
     let gates: Vec<usize> = vec![310, 312, 314];
     let mut agg = WindowedAggregate::new(
         WindowKind::Count(gates.len() * 4),
-        |t: &Tuple| GroupKey::from_value(t.get("range").map(|_| t.get("range").unwrap()).unwrap())
-            .unwrap_or(GroupKey::Unit),
+        |t: &Tuple| {
+            GroupKey::from_value(t.get("range").map(|_| t.get("range").unwrap()).unwrap())
+                .unwrap_or(GroupKey::Unit)
+        },
         vec![AggSpec {
             field: "velocity".into(),
             func: AggFunc::Avg,

@@ -65,12 +65,18 @@ fn location_confidence_regions_are_calibrated() {
             freshest.insert(t.int("tag_id").unwrap(), t);
         }
     }
-    assert!(freshest.len() >= 10, "only {} objects ever emitted", freshest.len());
+    assert!(
+        freshest.len() >= 10,
+        "only {} objects ever emitted",
+        freshest.len()
+    );
     let mut inside = 0usize;
     let mut total = 0usize;
     for (id, tuple) in &freshest {
         let loc = tuple.updf("loc").unwrap();
-        let Updf::Mv(mv) = loc else { panic!("expected Mv") };
+        let Updf::Mv(mv) = loc else {
+            panic!("expected Mv")
+        };
         let truth = last_truth[*id as usize];
         let maha = mv.mahalanobis_sq(&[truth[0], truth[1]]);
         // Generous slack: particle posteriors after resampling are often

@@ -1,0 +1,123 @@
+//! Workspace smoke test: the umbrella crate's re-exports resolve, and a
+//! minimal end-to-end query — select → project → windowed aggregate over
+//! uncertain tuples — yields a finite, normalized result distribution.
+
+use std::sync::Arc;
+use uncertain_streams::core::ops::aggregate::{
+    AggFunc, AggSpec, Strategy, WindowKind, WindowedAggregate,
+};
+use uncertain_streams::core::ops::project::{Derivation, Project};
+use uncertain_streams::core::ops::select::{Predicate, Select};
+use uncertain_streams::core::ops::Operator;
+use uncertain_streams::core::schema::{DataType, Schema};
+use uncertain_streams::core::tuple::Tuple;
+use uncertain_streams::core::updf::Updf;
+use uncertain_streams::core::value::{GroupKey, Value};
+use uncertain_streams::prob::dist::Dist;
+
+/// Every re-exported workspace crate is reachable under its umbrella
+/// alias and produces a sane value.
+#[test]
+fn umbrella_reexports_resolve() {
+    // prob
+    let g = uncertain_streams::prob::dist::Dist::gaussian(0.0, 1.0);
+    assert!((g.cdf(0.0) - 0.5).abs() < 1e-12);
+    // ts
+    let acv = uncertain_streams::ts::acf::autocovariances(&[1.0, -1.0, 1.0, -1.0], 1);
+    assert!(acv[0] > 0.0);
+    // rfid
+    let world = uncertain_streams::rfid::WorldConfig::default();
+    assert!(world.num_objects > 0);
+    // inference
+    let motion = uncertain_streams::inference::MotionModel {
+        diffusion: 0.1,
+        move_prob: 0.0,
+        shelf_xy: vec![],
+        placement_jitter: 0.1,
+    };
+    assert_eq!(motion.shelf_xy.len(), 0);
+    // radar
+    let radar = uncertain_streams::radar::RadarParams::default();
+    assert!(radar.prf > 0.0);
+}
+
+/// select(P(temp > 50) ≥ 0.05) → project(°C → °F) → tumbling-window AVG:
+/// the result distribution must be finite, normalized, and land where
+/// the inputs put it.
+#[test]
+fn minimal_end_to_end_query() {
+    let schema: Arc<Schema> = Schema::builder()
+        .field("id", DataType::Int)
+        .field("temp", DataType::Uncertain)
+        .build();
+
+    // 20 tuples, means 54..73 °C, sd 2 — all comfortably above 50 °C.
+    let tuples: Vec<Tuple> = (0..20)
+        .map(|i| {
+            Tuple::new(
+                schema.clone(),
+                vec![
+                    Value::from(i as i64),
+                    Value::from(Updf::Parametric(Dist::gaussian(54.0 + i as f64, 2.0))),
+                ],
+                i as u64,
+            )
+        })
+        .collect();
+
+    let mut select = Select::new(Predicate::UncertainAbove("temp".into(), 50.0), 0.05);
+    let mut project = Project::new(vec![Derivation::Linear {
+        input: "temp".into(),
+        a: 1.8,
+        b: 32.0,
+        out: "temp_f".into(),
+    }]);
+    let mut agg = WindowedAggregate::new(
+        WindowKind::Tumbling(1_000),
+        |_t: &Tuple| GroupKey::Unit,
+        vec![AggSpec {
+            field: "temp_f".into(),
+            func: AggFunc::Avg,
+            out: "avg_f".into(),
+            strategy: Strategy::Auto,
+        }],
+    );
+
+    let mut survived = 0usize;
+    for t in tuples {
+        for s in select.process(0, t) {
+            survived += 1;
+            for p in project.process(0, s) {
+                let out = agg.process(0, p);
+                assert!(out.is_empty(), "window must close only at flush");
+            }
+        }
+    }
+    assert_eq!(survived, 20, "all tuples clear the 5% threshold");
+
+    let mut results = agg.flush();
+    assert_eq!(results.len(), 1, "single window, single group");
+    let result = results.remove(0);
+    let avg = result.updf("avg_f").expect("aggregate output present");
+
+    // Finite, normalized result distribution.
+    let mean = avg.mean();
+    let var = avg.variance();
+    assert!(mean.is_finite() && var.is_finite() && var > 0.0);
+    assert!((avg.prob_in(mean - 60.0, mean + 60.0) - 1.0).abs() < 1e-6);
+    let (lo, hi) = avg.confidence_interval(0.95);
+    assert!(lo.is_finite() && hi.is_finite() && lo < mean && mean < hi);
+
+    // Exact expectation: avg of 54..73 °C is 63.5 °C → 146.3 °F.
+    let expect_f = 63.5 * 1.8 + 32.0;
+    assert!(
+        (mean - expect_f).abs() < 0.5,
+        "mean {mean} vs expected {expect_f}"
+    );
+    // The result spread must sit between the naive iid floor
+    // (1.8·2/√20 ≈ 0.8 °F) and a single input's spread (1.8·2 = 3.6 °F);
+    // the engine adds membership uncertainty on top of the iid term, so
+    // only the band is asserted.
+    let sd = var.sqrt();
+    assert!((0.5..3.6).contains(&sd), "implausible result sd {sd}");
+}

@@ -1,0 +1,266 @@
+//! Executor throughput on a Q1-style select → project → aggregate graph:
+//! tuple-at-a-time single-threaded execution vs batched single-threaded
+//! execution vs the threaded executor, at batch sizes {1, 64, 1024}.
+//!
+//! This is the perf-trajectory baseline for the batched, plan-compiled
+//! execution engine: `BENCH_executor_throughput.json` at the repo root
+//! records the medians. The headline comparison is
+//! `single/tuple_at_a_time` against `single/batched/1024`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::collections::HashMap;
+use std::sync::Arc;
+use ustream_core::ops::aggregate::{AggFunc, AggSpec, Strategy, WindowKind, WindowedAggregate};
+use ustream_core::ops::project::{Derivation, Project};
+use ustream_core::ops::select::{Predicate, Select};
+use ustream_core::ops::{Operator, Passthrough};
+use ustream_core::query::{NodeId, QueryGraph, ThreadedExecutor};
+use ustream_core::schema::{DataType, Field, Schema};
+use ustream_core::tuple::Tuple;
+use ustream_core::updf::Updf;
+use ustream_core::value::{GroupKey, Value};
+use ustream_prob::dist::Dist;
+
+const N_TUPLES: usize = 8_192;
+const BATCH_SIZES: [usize; 3] = [1, 64, 1024];
+
+// ---------------------------------------------------------------------
+// Frozen baseline: the tuple-at-a-time executor this engine shipped with
+// before the batched, plan-compiled rework — per delivery it re-scans the
+// whole edge list into a fresh `Vec`, looks ranks up in a `HashMap`, and
+// clones the tuple once per downstream edge *and* once per sink. Kept
+// verbatim (over the same `Operator` objects) so the perf trajectory
+// always has its origin measurable.
+// ---------------------------------------------------------------------
+
+struct SeedExecutor {
+    nodes: Vec<Box<dyn Operator>>,
+    /// (from, to, port)
+    edges: Vec<(usize, usize, usize)>,
+    sinks: Vec<usize>,
+}
+
+impl SeedExecutor {
+    fn run(&mut self, feed: Vec<Tuple>, entry: usize) -> HashMap<usize, Vec<Tuple>> {
+        let n = self.nodes.len();
+        // Seed topo order: Kahn over repeated edge scans.
+        let mut indeg = vec![0usize; n];
+        for &(_, to, _) in &self.edges {
+            indeg[to] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            order.push(i);
+            for &(from, to, _) in &self.edges {
+                if from == i {
+                    indeg[to] -= 1;
+                    if indeg[to] == 0 {
+                        queue.push(to);
+                    }
+                }
+            }
+        }
+        let rank: HashMap<usize, usize> = order.iter().enumerate().map(|(r, &i)| (i, r)).collect();
+        let mut collected: HashMap<usize, Vec<Tuple>> = HashMap::new();
+        for &s in &self.sinks {
+            collected.insert(s, Vec::new());
+        }
+        for t in feed {
+            self.propagate(entry, 0, t, &rank, &mut collected);
+        }
+        for &i in &order {
+            let outs = self.nodes[i].flush();
+            for t in outs {
+                self.deliver(i, t, &rank, &mut collected);
+            }
+        }
+        collected
+    }
+
+    fn propagate(
+        &mut self,
+        node: usize,
+        port: usize,
+        tuple: Tuple,
+        rank: &HashMap<usize, usize>,
+        collected: &mut HashMap<usize, Vec<Tuple>>,
+    ) {
+        let outs = self.nodes[node].process(port, tuple);
+        for t in outs {
+            self.deliver(node, t, rank, collected);
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        from: usize,
+        tuple: Tuple,
+        rank: &HashMap<usize, usize>,
+        collected: &mut HashMap<usize, Vec<Tuple>>,
+    ) {
+        if let Some(bucket) = collected.get_mut(&from) {
+            bucket.push(tuple.clone());
+        }
+        let targets: Vec<(usize, usize)> = self
+            .edges
+            .iter()
+            .filter(|(f, _, _)| *f == from)
+            .map(|&(_, to, port)| (to, port))
+            .collect();
+        for (to, port) in targets {
+            debug_assert!(rank[&to] > rank[&from]);
+            self.propagate(to, port, tuple.clone(), rank, collected);
+        }
+    }
+}
+
+fn schema() -> Arc<Schema> {
+    Schema::builder()
+        .field("g", DataType::Int)
+        .field("tag", DataType::Int)
+        .field("x", DataType::Uncertain)
+        .build()
+}
+
+fn inputs() -> Vec<Tuple> {
+    let s = schema();
+    (0..N_TUPLES)
+        .map(|i| {
+            Tuple::new(
+                s.clone(),
+                vec![
+                    Value::Int((i % 4) as i64),
+                    Value::Int((i % 17) as i64),
+                    Value::from(Updf::Parametric(Dist::gaussian(
+                        (i % 10) as f64,
+                        1.0 + (i % 3) as f64 * 0.25,
+                    ))),
+                ],
+                i as u64,
+            )
+        })
+        .collect()
+}
+
+/// The Q1 operators (§2): probabilistic selection, a projection deriving
+/// two attributes (one certain lookup, one transform of the uncertain
+/// attribute), and a windowed group-by SUM (100-tuple windows, as in
+/// Table 2).
+fn q1_ops() -> (Select, Project, WindowedAggregate) {
+    let select =
+        Select::new(Predicate::UncertainAbove("x".into(), 2.0), 0.05).without_conditioning();
+    let project = Project::new(vec![
+        Derivation::Certain {
+            out: Field::new("weight", DataType::Float),
+            f: Box::new(|t: &Tuple| Value::Float(t.int("tag").unwrap() as f64 * 2.5)),
+        },
+        Derivation::Linear {
+            input: "x".into(),
+            a: 0.5,
+            b: 1.0,
+            out: "y".into(),
+        },
+    ]);
+    let agg = WindowedAggregate::new(
+        WindowKind::Tumbling(100),
+        |t: &Tuple| GroupKey::from_value(t.get("g").unwrap()).unwrap(),
+        vec![AggSpec {
+            field: "y".into(),
+            func: AggFunc::Sum,
+            out: "total".into(),
+            strategy: Strategy::Clt,
+        }],
+    );
+    (select, project, agg)
+}
+
+fn q1_graph() -> (QueryGraph, NodeId) {
+    let (select, project, agg) = q1_ops();
+    let mut g = QueryGraph::new();
+    let select = g.add(Box::new(select));
+    let project = g.add(Box::new(project));
+    let agg = g.add(Box::new(agg));
+    let sink = g.add(Box::new(Passthrough::new("sink")));
+    g.connect(select, project, 0).unwrap();
+    g.connect(project, agg, 0).unwrap();
+    g.connect(agg, sink, 0).unwrap();
+    g.source("in", select);
+    g.sink(sink);
+    (g, sink)
+}
+
+fn q1_seed() -> SeedExecutor {
+    let (select, project, agg) = q1_ops();
+    SeedExecutor {
+        nodes: vec![
+            Box::new(select),
+            Box::new(project),
+            Box::new(agg),
+            Box::new(Passthrough::new("sink")),
+        ],
+        edges: vec![(0, 1, 0), (1, 2, 0), (2, 3, 0)],
+        sinks: vec![3],
+    }
+}
+
+fn bench_executor_throughput(c: &mut Criterion) {
+    let feed = inputs();
+    let mut group = c.benchmark_group("executor_throughput");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(N_TUPLES as u64));
+
+    group.bench_function("single/tuple_at_a_time_seed", |b| {
+        b.iter_batched(
+            || (q1_seed(), feed.clone()),
+            |(mut exec, tuples)| {
+                let out = exec.run(tuples, 0);
+                out[&3].len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("single/tuple_at_a_time", |b| {
+        b.iter_batched(
+            || (q1_graph(), feed.clone()),
+            |((mut g, sink), tuples)| {
+                let out = g.run(vec![("in".into(), 0, tuples)]).unwrap();
+                out[&sink].len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    for bs in BATCH_SIZES {
+        group.bench_function(format!("single/batched/{bs}"), |b| {
+            b.iter_batched(
+                || (q1_graph(), feed.clone()),
+                |((mut g, sink), tuples)| {
+                    let out = g.run_batched(vec![("in".into(), 0, tuples)], bs).unwrap();
+                    out[&sink].len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    for bs in BATCH_SIZES {
+        group.bench_function(format!("threaded/batched/{bs}"), |b| {
+            b.iter_batched(
+                || (q1_graph(), feed.clone()),
+                |((g, sink), tuples)| {
+                    let exec = ThreadedExecutor::new(1024).with_batch_size(bs);
+                    let out = exec.run(g, vec![("in".into(), 0, tuples)]).unwrap();
+                    out[&sink].len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor_throughput);
+criterion_main!(benches);

@@ -7,11 +7,14 @@ use rfid_sim::TagRef;
 use ustream_bench::{fig3_setup, filter_config};
 use ustream_inference::FactoredFilter;
 
+/// One pre-generated scan: reader position and the object ids it read.
+type PreparedScan = ([f64; 3], Vec<u32>);
+
 fn prepared(
     num_objects: usize,
     spatial: bool,
     compression: bool,
-) -> (FactoredFilter, Vec<([f64; 3], Vec<u32>)>) {
+) -> (FactoredFilter, Vec<PreparedScan>) {
     let mut setup = fig3_setup(num_objects, 42);
     let cfg = filter_config(&setup.gen, 100, spatial, compression, 7);
     let mut filter = FactoredFilter::new(num_objects, cfg);

@@ -17,8 +17,10 @@ use ustream_bench::{fig3_setup, print_table};
 use ustream_inference::{AdaptiveController, ObservationModel, Phase, ReferenceProbe};
 
 type Replay = Vec<([f64; 3], Vec<u32>)>;
+/// Ground-truth tag positions: (tag id, (x, y)).
+type Truth = Vec<(u32, [f64; 2])>;
 
-fn record_replay(scans: usize) -> (Replay, Vec<(u32, [f64; 2])>, (f64, f64), ObservationModel) {
+fn record_replay(scans: usize) -> (Replay, Truth, (f64, f64), ObservationModel) {
     let mut setup = fig3_setup(200, 17);
     let obs = ObservationModel::new(*setup.gen.sensing());
     let extent = setup.gen.world.extent();

@@ -1,0 +1,184 @@
+//! Batches: the unit of data movement in the batched execution engine.
+//!
+//! A [`Batch`] is a run of tuples shipped through the query graph
+//! together. Moving tuples in batches amortizes per-delivery costs
+//! (channel synchronization in the threaded executor, dispatch and
+//! allocation in every executor) roughly batch-size-fold, which is what
+//! high-volume stream processing needs (§1's "must keep up with stream
+//! speed").
+//!
+//! The key fast path is [`Batch::shared_schema`]: input streams build
+//! every tuple against one `Arc<Schema>`, so operators can resolve field
+//! names to indices **once per batch** instead of once per tuple.
+
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use std::sync::Arc;
+
+/// An ordered run of tuples moving through the graph together.
+///
+/// Order within a batch is significant — operators see tuples in exactly
+/// the sequence they would have arrived one at a time.
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    tuples: Vec<Tuple>,
+}
+
+impl Batch {
+    pub fn new() -> Self {
+        Batch { tuples: Vec::new() }
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        Batch {
+            tuples: Vec::with_capacity(n),
+        }
+    }
+
+    /// A batch of one (tuple-at-a-time execution is batch-size-1).
+    pub fn one(tuple: Tuple) -> Self {
+        Batch {
+            tuples: vec![tuple],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    pub fn push(&mut self, t: Tuple) {
+        self.tuples.push(t);
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.tuples.iter()
+    }
+
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, Tuple> {
+        self.tuples.iter_mut()
+    }
+
+    pub fn as_slice(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    pub fn into_vec(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// Keep only tuples for which `f` returns true, mutating in place —
+    /// the allocation-free shape of a batched filter.
+    pub fn retain_mut(&mut self, f: impl FnMut(&mut Tuple) -> bool) {
+        self.tuples.retain_mut(f);
+    }
+
+    /// The schema shared by **every** tuple in the batch, when there is
+    /// one (pointer equality on the `Arc`). `None` for empty or
+    /// mixed-schema batches; operators then fall back to per-tuple
+    /// resolution.
+    pub fn shared_schema(&self) -> Option<&Arc<Schema>> {
+        let first = self.tuples.first()?.schema();
+        if self
+            .tuples
+            .iter()
+            .skip(1)
+            .all(|t| Arc::ptr_eq(t.schema(), first))
+        {
+            Some(first)
+        } else {
+            None
+        }
+    }
+}
+
+impl From<Vec<Tuple>> for Batch {
+    fn from(tuples: Vec<Tuple>) -> Self {
+        Batch { tuples }
+    }
+}
+
+impl From<Batch> for Vec<Tuple> {
+    fn from(b: Batch) -> Self {
+        b.tuples
+    }
+}
+
+impl Extend<Tuple> for Batch {
+    fn extend<I: IntoIterator<Item = Tuple>>(&mut self, iter: I) {
+        self.tuples.extend(iter);
+    }
+}
+
+impl IntoIterator for Batch {
+    type Item = Tuple;
+    type IntoIter = std::vec::IntoIter<Tuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Batch {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+impl FromIterator<Tuple> for Batch {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        Batch {
+            tuples: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Schema};
+    use crate::value::Value;
+
+    fn t(schema: &Arc<Schema>, v: i64) -> Tuple {
+        Tuple::new(schema.clone(), vec![Value::from(v)], v as u64)
+    }
+
+    #[test]
+    fn shared_schema_fast_path() {
+        let s = Schema::builder().field("v", DataType::Int).build();
+        let b: Batch = vec![t(&s, 1), t(&s, 2), t(&s, 3)].into();
+        assert!(Arc::ptr_eq(b.shared_schema().unwrap(), &s));
+    }
+
+    #[test]
+    fn mixed_schemas_disable_fast_path() {
+        let s1 = Schema::builder().field("v", DataType::Int).build();
+        let s2 = Schema::builder().field("v", DataType::Int).build();
+        let b: Batch = vec![t(&s1, 1), t(&s2, 2)].into();
+        assert!(b.shared_schema().is_none(), "distinct Arcs, no fast path");
+        assert!(Batch::new().shared_schema().is_none());
+    }
+
+    #[test]
+    fn retain_mut_filters_in_place() {
+        let s = Schema::builder().field("v", DataType::Int).build();
+        let mut b: Batch = (0..10).map(|i| t(&s, i)).collect();
+        b.retain_mut(|t| t.int("v").unwrap() % 2 == 0);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn round_trips_vec() {
+        let s = Schema::builder().field("v", DataType::Int).build();
+        let mut b = Batch::one(t(&s, 7));
+        b.push(t(&s, 8));
+        let v: Vec<Tuple> = b.into_vec();
+        assert_eq!(v.len(), 2);
+    }
+}

@@ -18,11 +18,13 @@
 //! - [`ops`] — probabilistic selection, projection (linear / monotone /
 //!   Delta-method transforms), windowed group-by aggregation with every
 //!   Table-2 strategy, and windowed probabilistic joins.
-//! - [`query`] — box-arrow query graphs with single-threaded and
-//!   multi-threaded (crossbeam channel) executors.
+//! - [`query`] — box-arrow query graphs compiled into a [`query::CompiledPlan`]
+//!   and executed single-threaded (tuple-at-a-time or batched) or
+//!   multi-threaded (crossbeam channels carrying [`batch::Batch`]es).
 //! - [`confidence`] — intervals, highest-density unions, ellipsoids.
 //! - [`window`] — tumbling/count/sliding event-time windows.
 
+pub mod batch;
 pub mod confidence;
 pub mod error;
 pub mod lineage;
@@ -36,12 +38,13 @@ pub mod updf;
 pub mod value;
 pub mod window;
 
+pub use batch::Batch;
 pub use confidence::{confidence_region, ConfidenceRegion};
 pub use error::{EngineError, Result};
 pub use lineage::{ApproxLineage, Archive, Lineage};
 pub use metrics::{Metered, MetricsHandle, OpMetrics};
 pub use ops::Operator;
-pub use query::{NodeId, QueryGraph, ThreadedExecutor};
+pub use query::{CompiledPlan, NodeId, QueryGraph, ThreadedExecutor};
 pub use schema::{DataType, Field, Schema};
 pub use toperator::TransformOperator;
 pub use tuple::Tuple;

@@ -81,6 +81,19 @@ impl Lineage {
         Lineage { ids }
     }
 
+    /// Union of many lineages at once: one collect + sort + dedup,
+    /// O(total·log total) — the window-emit path unions every member's
+    /// lineage, and folding pairwise unions there would be O(total²).
+    pub fn union_all<'a>(lineages: impl IntoIterator<Item = &'a Lineage>) -> Lineage {
+        let mut ids: Vec<u64> = lineages
+            .into_iter()
+            .flat_map(|l| l.ids.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Lineage { ids }
+    }
+
     /// Whether two derived tuples share any base tuple — the correlation
     /// test an aggregation over join outputs must run (§5.2: "if a join is
     /// followed by an aggregation, the join may produce correlated
@@ -260,6 +273,19 @@ mod tests {
         let b = Lineage { ids: vec![2, 3, 6] };
         let u = a.union(&b);
         assert_eq!(u.ids(), &[1, 2, 3, 5, 6]);
+    }
+
+    #[test]
+    fn union_all_matches_pairwise_fold() {
+        let ls = [
+            Lineage { ids: vec![1, 3, 5] },
+            Lineage { ids: vec![2, 3, 6] },
+            Lineage { ids: vec![] },
+            Lineage { ids: vec![5, 9] },
+        ];
+        let folded = ls.iter().fold(Lineage::empty(), |acc, l| acc.union(l));
+        assert_eq!(Lineage::union_all(ls.iter()), folded);
+        assert!(Lineage::union_all(std::iter::empty()).is_empty());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! bench harnesses and the examples use this to report tuples/second
 //! without hand-rolled timing.
 
+use crate::batch::Batch;
 use crate::ops::Operator;
 use crate::tuple::Tuple;
 use parking_lot::Mutex;
@@ -101,6 +102,21 @@ impl<O: Operator> Operator for Metered<O> {
         let elapsed = t0.elapsed();
         let mut m = self.handle.inner.lock();
         m.tuples_in += 1;
+        m.tuples_out += out.len() as u64;
+        m.busy += elapsed;
+        m.calls += 1;
+        out
+    }
+
+    /// Meters the *inner operator's* batched path: one lock and one
+    /// timestamp pair per batch, `tuples_in` advanced by the batch size.
+    fn process_batch(&mut self, port: usize, batch: Batch) -> Batch {
+        let n_in = batch.len() as u64;
+        let t0 = Instant::now();
+        let out = self.inner.process_batch(port, batch);
+        let elapsed = t0.elapsed();
+        let mut m = self.handle.inner.lock();
+        m.tuples_in += n_in;
         m.tuples_out += out.len() as u64;
         m.busy += elapsed;
         m.calls += 1;

@@ -23,6 +23,7 @@
 //! Tuples whose lineage reveals shared ancestry are handled by the
 //! lineage-aware path (see `source of truth` note on [`AggFunc::Sum`]).
 
+use crate::batch::Batch;
 use crate::lineage::Lineage;
 use crate::ops::Operator;
 use crate::schema::{DataType, Schema};
@@ -202,11 +203,41 @@ impl WindowedAggregate {
     }
 
     fn emit_window(&mut self, start: u64, end: u64, tuples: Vec<Tuple>) -> Vec<Tuple> {
-        // Group tuples (BTreeMap for deterministic output order).
-        let mut groups: BTreeMap<GroupKey, Vec<Tuple>> = BTreeMap::new();
+        // Group tuples. Group cardinality per window is usually small
+        // (the query's GROUP BY domain), where a linear scan over the
+        // group list beats a tree map per member; past a small threshold
+        // we spill to a BTreeMap index so high-cardinality keys stay
+        // O(members·log groups). The final sort restores the
+        // deterministic key-ordered output.
+        const LINEAR_GROUP_LIMIT: usize = 16;
+        let mut groups: Vec<(GroupKey, Vec<Tuple>)> = Vec::new();
+        let mut index: Option<BTreeMap<GroupKey, usize>> = None;
         for t in tuples {
-            groups.entry((self.key_fn)(&t)).or_default().push(t);
+            let key = (self.key_fn)(&t);
+            let pos = match &index {
+                Some(idx) => idx.get(&key).copied(),
+                None => groups.iter().position(|(k, _)| *k == key),
+            };
+            match pos {
+                Some(i) => groups[i].1.push(t),
+                None => {
+                    if index.is_none() && groups.len() >= LINEAR_GROUP_LIMIT {
+                        index = Some(
+                            groups
+                                .iter()
+                                .enumerate()
+                                .map(|(i, (k, _))| (k.clone(), i))
+                                .collect(),
+                        );
+                    }
+                    if let Some(idx) = &mut index {
+                        idx.insert(key.clone(), groups.len());
+                    }
+                    groups.push((key, vec![t]));
+                }
+            }
         }
+        groups.sort_by(|(a, _), (b, _)| a.cmp(b));
 
         let mut out = Vec::new();
         'group: for (key, members) in groups {
@@ -216,10 +247,7 @@ impl WindowedAggregate {
                 Value::Time(end),
                 Value::Int(members.len() as i64),
             ];
-            let mut lineage = Lineage::empty();
-            for m in &members {
-                lineage = lineage.union(&m.lineage);
-            }
+            let lineage = Lineage::union_all(members.iter().map(|m| &m.lineage));
             let mut having_probs: Vec<(String, f64)> = Vec::new();
 
             for spec in &self.specs {
@@ -285,6 +313,22 @@ fn compute_aggregate(
     }
 }
 
+/// A per-call field-index cursor: resolves `name` against each tuple's
+/// schema, re-resolving only when the schema `Arc` changes — one string
+/// lookup per schema run instead of per member (the pre-resolved-index
+/// discipline of the compiled plan, applied to the emit path).
+fn index_cursor(name: &str) -> impl FnMut(&Tuple) -> Option<usize> + '_ {
+    let mut cache: Option<(Arc<Schema>, Option<usize>)> = None;
+    move |t: &Tuple| match &cache {
+        Some((s, idx)) if Arc::ptr_eq(s, t.schema()) => *idx,
+        _ => {
+            let idx = t.schema().index_of(name).ok();
+            cache = Some((t.schema().clone(), idx));
+            idx
+        }
+    }
+}
+
 /// Gather the members' attribute distributions as [`Dist`]s (converting
 /// sample payloads per policy). Applies existence-probability thinning to
 /// the first two moments when existence < 1 would otherwise be ignored.
@@ -293,9 +337,10 @@ fn collect_dists(
     members: &[Tuple],
     policy: &ConversionPolicy,
 ) -> Option<Vec<Dist>> {
+    let mut idx_of = index_cursor(&spec.field);
     let mut dists = Vec::with_capacity(members.len());
     for m in members {
-        let u = m.updf(&spec.field).ok()?;
+        let u = m.at(idx_of(m)?).as_updf()?;
         dists.push(u.to_dist(policy));
     }
     Some(dists)
@@ -329,9 +374,10 @@ fn sum_distribution(
 
     // Correlated-time-series path: certain float attribute.
     if let Strategy::MaClt { max_order } = spec.strategy {
+        let mut idx_of = index_cursor(&spec.field);
         let mut pairs: Vec<(u64, f64)> = members
             .iter()
-            .map(|m| Some((m.ts, m.float(&spec.field).ok()?)))
+            .map(|m| Some((m.ts, m.at(idx_of(m)?).as_float()?)))
             .collect::<Option<Vec<_>>>()?;
         pairs.sort_by_key(|&(ts, _)| ts);
         let xs: Vec<f64> = pairs.into_iter().map(|(_, x)| x).collect();
@@ -406,9 +452,10 @@ fn sum_distribution(
 /// scale each distinct source's distribution by its multiplicity, then
 /// sum the (now independent) scaled terms.
 fn lineage_aware_sum(src_field: &str, members: &[Tuple], dists: &[Dist]) -> Option<Updf> {
+    let mut idx_of = index_cursor(src_field);
     let mut by_src: BTreeMap<i64, (usize, Dist)> = BTreeMap::new();
     for (m, d) in members.iter().zip(dists) {
-        let src = m.int(src_field).ok()?;
+        let src = m.at(idx_of(m)?).as_int()?;
         by_src
             .entry(src)
             .and_modify(|(c, _)| *c += 1)
@@ -506,6 +553,46 @@ impl Operator for WindowedAggregate {
                 out
             }
         }
+    }
+
+    /// Batched path: buffer the whole batch into the window state with a
+    /// single window-kind dispatch, collect every closed window, then run
+    /// the (expensive, shared) emit step once per closed window.
+    fn process_batch(&mut self, port: usize, batch: Batch) -> Batch {
+        // The sliding window's close/evict logic is intricate enough that
+        // batching it separately would duplicate it; reuse the per-tuple
+        // path (outputs are identical by construction).
+        if matches!(self.window, WindowState::Sliding { .. }) {
+            let mut out = Batch::with_capacity(batch.len() / 4);
+            for t in batch {
+                out.extend(self.process(port, t));
+            }
+            return out;
+        }
+        let mut closed: Vec<(u64, u64, Vec<Tuple>)> = Vec::new();
+        match &mut self.window {
+            WindowState::Tumbling(w) => {
+                for t in batch {
+                    for b in w.push(t) {
+                        closed.push((b.start, b.end, b.tuples));
+                    }
+                }
+            }
+            WindowState::Count(w) => {
+                for t in batch {
+                    if let Some(b) = w.push(t) {
+                        let (start, end) = batch_span(&b);
+                        closed.push((start, end, b));
+                    }
+                }
+            }
+            WindowState::Sliding { .. } => unreachable!("handled above"),
+        }
+        let mut out = Batch::new();
+        for (start, end, tuples) in closed {
+            out.extend(self.emit_window(start, end, tuples));
+        }
+        out
     }
 
     fn flush(&mut self) -> Vec<Tuple> {
@@ -641,6 +728,27 @@ mod tests {
                 "{label}: var {}",
                 total.variance()
             );
+        }
+    }
+
+    #[test]
+    fn high_cardinality_grouping_spills_to_index() {
+        // More groups than the linear-scan threshold: the index spill
+        // path must still route every member to its group, in key order.
+        let mut a = agg(Strategy::ExactParametric);
+        for i in 0..200u64 {
+            a.process(0, tup(i, (i % 50) as i64, (i % 50) as f64, 1.0));
+        }
+        let out = a.flush();
+        assert_eq!(out.len(), 50, "one output row per distinct group");
+        let groups: Vec<String> = out
+            .iter()
+            .map(|t| t.str("group").unwrap().to_string())
+            .collect();
+        let expected: Vec<String> = (0..50).map(|i| format!("Int({i})")).collect();
+        assert_eq!(groups, expected, "deterministic key-ordered output");
+        for t in &out {
+            assert_eq!(t.int("n_tuples").unwrap(), 4, "4 members per group");
         }
     }
 

@@ -8,6 +8,7 @@
 //! columns so a downstream aggregation can detect and exactly handle the
 //! correlation a one-to-many join creates (§5.2).
 
+use crate::batch::Batch;
 use crate::lineage::Archive;
 use crate::ops::Operator;
 use crate::schema::{DataType, Field, Schema};
@@ -20,13 +21,16 @@ use rand::SeedableRng;
 use std::sync::Arc;
 use ustream_prob::dist::{Dist, Gaussian};
 
+/// Key-extraction closure for certain equi-joins.
+pub type KeyFn = Box<dyn Fn(&Tuple) -> Option<GroupKey> + Send>;
+
+/// Candidate-pair prefilter (cheap certain-attribute pruning).
+type PairFilter = Box<dyn Fn(&Tuple, &Tuple) -> bool + Send>;
+
 /// Join predicate.
 pub enum JoinCondition {
     /// Certain equi-join on extracted keys (probability 0 or 1).
-    KeyEquals {
-        left: Box<dyn Fn(&Tuple) -> Option<GroupKey> + Send>,
-        right: Box<dyn Fn(&Tuple) -> Option<GroupKey> + Send>,
-    },
+    KeyEquals { left: KeyFn, right: KeyFn },
     /// P(|X − Y| ≤ ε) over two uncertain scalar attributes.
     BandUncertain {
         left_field: String,
@@ -51,7 +55,7 @@ pub struct WindowJoin {
     min_prob: f64,
     /// Optional certain-attribute prefilter applied before probability
     /// computation (cheap pruning).
-    prefilter: Option<Box<dyn Fn(&Tuple, &Tuple) -> bool + Send>>,
+    prefilter: Option<PairFilter>,
     /// Output fields `<field>__src` carrying the base-tuple id of the
     /// given side's field — enables lineage-aware aggregation.
     provenance: Vec<(String, usize)>,
@@ -127,34 +131,6 @@ impl WindowJoin {
         joined
     }
 
-    /// Match probability for a candidate pair.
-    fn match_probability(&mut self, l: &Tuple, r: &Tuple) -> Option<f64> {
-        match &self.condition {
-            JoinCondition::KeyEquals { left, right } => {
-                let (a, b) = (left(l)?, right(r)?);
-                Some((a == b) as u8 as f64)
-            }
-            JoinCondition::BandUncertain {
-                left_field,
-                right_field,
-                epsilon,
-            } => {
-                let lu = l.updf(left_field).ok()?;
-                let ru = r.updf(right_field).ok()?;
-                Some(band_probability(lu, ru, *epsilon, &mut self.rng))
-            }
-            JoinCondition::LocEquals {
-                left_field,
-                right_field,
-                epsilon,
-            } => {
-                let lu = l.updf(left_field).ok()?;
-                let ru = r.updf(right_field).ok()?;
-                Some(loc_equals_probability(lu, ru, *epsilon, &mut self.rng))
-            }
-        }
-    }
-
     fn emit(&mut self, l: &Tuple, r: &Tuple, p: f64) -> Tuple {
         let schema = self.output_schema(l.schema(), r.schema());
         let mut values: Vec<Value> = l.values().to_vec();
@@ -175,33 +151,112 @@ impl WindowJoin {
         )
     }
 
-    fn probe(&mut self, incoming_port: usize, t: &Tuple) -> Vec<Tuple> {
-        // Collect candidates first to avoid borrowing issues.
-        let candidates: Vec<Tuple> = if incoming_port == 0 {
-            self.right.iter().cloned().collect()
-        } else {
-            self.left.iter().cloned().collect()
-        };
-        let mut out = Vec::new();
-        for other in &candidates {
-            let (l, r) = if incoming_port == 0 {
-                (t, other)
-            } else {
-                (other, t)
-            };
-            if let Some(f) = &self.prefilter {
-                if !f(l, r) {
+    /// Probe the opposite buffer with `t`, appending matches to `out`.
+    /// Only *matching* candidates are cloned (to release the buffer
+    /// borrow before `emit`'s schema-cache mutation) — probing no longer
+    /// copies the whole window per arriving tuple.
+    fn probe_into(&mut self, incoming_port: usize, t: &Tuple, out: &mut Vec<Tuple>) {
+        let mut matched: Vec<(Tuple, f64)> = Vec::new();
+        {
+            let WindowJoin {
+                left,
+                right,
+                condition,
+                min_prob,
+                prefilter,
+                rng,
+                ..
+            } = self;
+            let buf = if incoming_port == 0 { &*right } else { &*left };
+            for other in buf.iter() {
+                let (l, r) = if incoming_port == 0 {
+                    (t, other)
+                } else {
+                    (other, t)
+                };
+                if let Some(f) = prefilter {
+                    if !f(l, r) {
+                        continue;
+                    }
+                }
+                let Some(p) = match_probability(condition, rng, l, r) else {
                     continue;
+                };
+                if p * l.existence * r.existence >= *min_prob && p > 0.0 {
+                    matched.push((other.clone(), p));
                 }
             }
-            let Some(p) = self.match_probability(l, r) else {
-                continue;
+        }
+        out.reserve(matched.len());
+        for (other, p) in matched {
+            let (l, r) = if incoming_port == 0 {
+                (t, &other)
+            } else {
+                (&other, t)
             };
-            if p * l.existence * r.existence >= self.min_prob && p > 0.0 {
-                out.push(self.emit(l, r, p));
+            out.push(self.emit(l, r, p));
+        }
+    }
+
+    /// Full per-tuple ingest (archive → evict → probe → buffer), shared
+    /// by the tuple-at-a-time and batched paths.
+    fn ingest(&mut self, port: usize, tuple: Tuple, out: &mut Vec<Tuple>) {
+        assert!(port < 2, "join has two ports");
+        // Archive the base distribution before anything else (A4's role).
+        if let Some((archive, a_port, field)) = &self.archive {
+            if *a_port == port {
+                if let (Some(&id), Ok(u)) = (tuple.lineage.ids().first(), tuple.updf(field)) {
+                    archive.insert(id, u.clone());
+                }
             }
         }
-        out
+        // Evict the opposite buffer against the incoming event time first
+        // so stale tuples cannot match.
+        if port == 0 {
+            self.right.evict_before(tuple.ts);
+        } else {
+            self.left.evict_before(tuple.ts);
+        }
+        self.probe_into(port, &tuple, out);
+        if port == 0 {
+            self.left.push(tuple);
+        } else {
+            self.right.push(tuple);
+        }
+    }
+}
+
+/// Match probability for a candidate pair (free function so the probe
+/// loop can borrow the window buffers and the rng disjointly).
+fn match_probability(
+    condition: &JoinCondition,
+    rng: &mut StdRng,
+    l: &Tuple,
+    r: &Tuple,
+) -> Option<f64> {
+    match condition {
+        JoinCondition::KeyEquals { left, right } => {
+            let (a, b) = (left(l)?, right(r)?);
+            Some((a == b) as u8 as f64)
+        }
+        JoinCondition::BandUncertain {
+            left_field,
+            right_field,
+            epsilon,
+        } => {
+            let lu = l.updf(left_field).ok()?;
+            let ru = r.updf(right_field).ok()?;
+            Some(band_probability(lu, ru, *epsilon, rng))
+        }
+        JoinCondition::LocEquals {
+            left_field,
+            right_field,
+            epsilon,
+        } => {
+            let lu = l.updf(left_field).ok()?;
+            let ru = r.updf(right_field).ok()?;
+            Some(loc_equals_probability(lu, ru, *epsilon, rng))
+        }
     }
 }
 
@@ -297,29 +352,19 @@ impl Operator for WindowJoin {
     }
 
     fn process(&mut self, port: usize, tuple: Tuple) -> Vec<Tuple> {
-        assert!(port < 2, "join has two ports");
-        // Archive the base distribution before anything else (A4's role).
-        if let Some((archive, a_port, field)) = &self.archive {
-            if *a_port == port {
-                if let (Some(&id), Ok(u)) = (tuple.lineage.ids().first(), tuple.updf(field)) {
-                    archive.insert(id, u.clone());
-                }
-            }
-        }
-        // Evict the opposite buffer against the incoming event time first
-        // so stale tuples cannot match.
-        if port == 0 {
-            self.right.evict_before(tuple.ts);
-        } else {
-            self.left.evict_before(tuple.ts);
-        }
-        let out = self.probe(port, &tuple);
-        if port == 0 {
-            self.left.push(tuple);
-        } else {
-            self.right.push(tuple);
-        }
+        let mut out = Vec::new();
+        self.ingest(port, tuple, &mut out);
         out
+    }
+
+    /// Batched path: ingest each tuple in order, accumulating all matches
+    /// into one output batch (no per-tuple output `Vec`s).
+    fn process_batch(&mut self, port: usize, batch: Batch) -> Batch {
+        let mut out = Vec::new();
+        for tuple in batch {
+            self.ingest(port, tuple, &mut out);
+        }
+        Batch::from(out)
     }
 }
 

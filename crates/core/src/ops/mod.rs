@@ -10,6 +10,7 @@ pub mod join;
 pub mod project;
 pub mod select;
 
+use crate::batch::Batch;
 use crate::tuple::Tuple;
 
 /// A streaming query operator.
@@ -24,6 +25,23 @@ pub trait Operator: Send {
 
     /// Push one tuple into `port`; returns any output produced.
     fn process(&mut self, port: usize, tuple: Tuple) -> Vec<Tuple>;
+
+    /// Push a batch of tuples into `port`; returns everything produced.
+    ///
+    /// Semantically identical to calling [`Self::process`] on each tuple
+    /// in order and concatenating the outputs — which is exactly what the
+    /// default implementation does, so every operator works under the
+    /// batched executors unchanged. Hot operators override this to
+    /// resolve field indices once per batch ([`Batch::shared_schema`]),
+    /// filter/transform in place, and skip the per-tuple `Vec`
+    /// allocations.
+    fn process_batch(&mut self, port: usize, batch: Batch) -> Batch {
+        let mut out = Batch::with_capacity(batch.len());
+        for t in batch {
+            out.extend(self.process(port, t));
+        }
+        out
+    }
 
     /// End-of-stream: drain buffered state (open windows etc.).
     fn flush(&mut self) -> Vec<Tuple> {
@@ -49,6 +67,10 @@ impl Operator for Passthrough {
 
     fn process(&mut self, _port: usize, tuple: Tuple) -> Vec<Tuple> {
         vec![tuple]
+    }
+
+    fn process_batch(&mut self, _port: usize, batch: Batch) -> Batch {
+        batch
     }
 }
 
@@ -78,6 +100,14 @@ impl Operator for MapOperator {
 
     fn process(&mut self, _port: usize, tuple: Tuple) -> Vec<Tuple> {
         (self.f)(tuple)
+    }
+
+    fn process_batch(&mut self, _port: usize, batch: Batch) -> Batch {
+        let mut out = Batch::with_capacity(batch.len());
+        for t in batch {
+            out.extend((self.f)(t));
+        }
+        out
     }
 }
 

@@ -11,6 +11,7 @@
 //!   differentiable h — the cheap approximation for composed complex
 //!   functions.
 
+use crate::batch::Batch;
 use crate::ops::Operator;
 use crate::schema::{DataType, Field, Schema};
 use crate::tuple::Tuple;
@@ -81,12 +82,34 @@ impl Derivation {
     }
 }
 
+/// Input indices a derivation reads, resolved once per schema for the
+/// batched path. `Missing` marks an unresolvable field reference: every
+/// tuple of that schema drops (the per-tuple semantics).
+#[derive(Debug, Clone, Copy)]
+enum ResolvedInputs {
+    /// Certain derivations look fields up through their own closure.
+    Closure,
+    One(usize),
+    Two(usize, usize),
+    Missing,
+}
+
+/// Per-schema compilation of the projection: output schema plus resolved
+/// input indices per derivation.
+struct ResolvedProject {
+    input_schema: Arc<Schema>,
+    out_schema: Arc<Schema>,
+    inputs: Vec<ResolvedInputs>,
+}
+
 /// The projection operator: appends derived attributes to each tuple.
 pub struct Project {
     name: String,
     derivations: Vec<Derivation>,
     /// Cache of input schema → output schema.
     out_schema: Option<(Arc<Schema>, Arc<Schema>)>,
+    /// Per-schema resolution cache for the batched path.
+    resolved: Option<ResolvedProject>,
 }
 
 impl Project {
@@ -96,6 +119,7 @@ impl Project {
             name: "project".into(),
             derivations,
             out_schema: None,
+            resolved: None,
         }
     }
 
@@ -114,6 +138,46 @@ impl Project {
         let out = input.extend(extra);
         self.out_schema = Some((input.clone(), out.clone()));
         out
+    }
+
+    /// Resolve (or fetch the cached resolution of) every derivation's
+    /// input fields against `input` — the batched path's once-per-schema
+    /// compilation step.
+    fn ensure_resolved(&mut self, input: &Arc<Schema>) {
+        let stale = match &self.resolved {
+            Some(r) => !Arc::ptr_eq(&r.input_schema, input),
+            None => true,
+        };
+        if stale {
+            let out_schema = self.output_schema(input);
+            let inputs = self
+                .derivations
+                .iter()
+                .map(|d| {
+                    let resolve = |name: &str| input.index_of(name).ok();
+                    match d {
+                        Derivation::Certain { .. } => ResolvedInputs::Closure,
+                        Derivation::Linear { input: f, .. }
+                        | Derivation::Monotone { input: f, .. }
+                        | Derivation::Delta { input: f, .. } => match resolve(f) {
+                            Some(i) => ResolvedInputs::One(i),
+                            None => ResolvedInputs::Missing,
+                        },
+                        Derivation::DeltaBinary { input1, input2, .. } => {
+                            match (resolve(input1), resolve(input2)) {
+                                (Some(i), Some(j)) => ResolvedInputs::Two(i, j),
+                                _ => ResolvedInputs::Missing,
+                            }
+                        }
+                    }
+                })
+                .collect();
+            self.resolved = Some(ResolvedProject {
+                input_schema: input.clone(),
+                out_schema,
+                inputs,
+            });
+        }
     }
 
     fn derive_value(d: &Derivation, t: &Tuple) -> Option<Value> {
@@ -163,6 +227,53 @@ impl Project {
             }
         }
     }
+
+    /// Index-addressed counterpart of [`Self::derive_value`] used by the
+    /// batched path — no field-name lookups.
+    fn derive_value_at(d: &Derivation, inputs: ResolvedInputs, t: &Tuple) -> Option<Value> {
+        match (d, inputs) {
+            (_, ResolvedInputs::Missing) => None,
+            (Derivation::Certain { f, .. }, _) => Some(f(t)),
+            (Derivation::Linear { a, b, .. }, ResolvedInputs::One(i)) => {
+                let u = t.at(i).as_updf()?;
+                Some(Value::from(u.affine(*a, *b)))
+            }
+            (
+                Derivation::Monotone {
+                    h,
+                    h_inv,
+                    dh_inv,
+                    bins,
+                    ..
+                },
+                ResolvedInputs::One(i),
+            ) => {
+                let u = t.at(i).as_updf()?;
+                Some(Value::from(monotone_transform(u, h, h_inv, dh_inv, *bins)))
+            }
+            (Derivation::Delta { h, dh, .. }, ResolvedInputs::One(i)) => {
+                let u = t.at(i).as_updf()?;
+                let (mu, var) = (u.mean(), u.variance());
+                let slope = dh(mu);
+                let out_var = (slope * slope * var).max(1e-18);
+                Some(Value::from(Updf::Parametric(Dist::Gaussian(
+                    Gaussian::from_mean_var(h(mu), out_var),
+                ))))
+            }
+            (Derivation::DeltaBinary { h, dh1, dh2, .. }, ResolvedInputs::Two(i, j)) => {
+                let u1 = t.at(i).as_updf()?;
+                let u2 = t.at(j).as_updf()?;
+                let (m1, v1) = (u1.mean(), u1.variance());
+                let (m2, v2) = (u2.mean(), u2.variance());
+                let (g1, g2) = (dh1(m1, m2), dh2(m1, m2));
+                let out_var = (g1 * g1 * v1 + g2 * g2 * v2).max(1e-18);
+                Some(Value::from(Updf::Parametric(Dist::Gaussian(
+                    Gaussian::from_mean_var(h(m1, m2), out_var),
+                ))))
+            }
+            _ => unreachable!("resolution shape matches derivation shape"),
+        }
+    }
 }
 
 /// Exact change of variables for a monotone h, evaluated on a grid.
@@ -180,8 +291,8 @@ fn monotone_transform(
     if lo > hi {
         std::mem::swap(&mut lo, &mut hi);
     }
-    if !(hi > lo) {
-        // Degenerate h: collapse to a point mass approximation.
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
+        // Degenerate (or NaN) h: collapse to a point mass approximation.
         return Updf::Parametric(Dist::gaussian(lo, 1e-9));
     }
     let width = (hi - lo) / bins as f64;
@@ -220,6 +331,39 @@ impl Operator for Project {
             }
         }
         vec![tuple.extended(out_schema, extra)]
+    }
+
+    /// Batched path: resolve the output schema and every input index once
+    /// per batch, then widen each tuple in place (no values-vector clone,
+    /// no per-tuple `Vec` allocation).
+    fn process_batch(&mut self, port: usize, mut batch: Batch) -> Batch {
+        let Some(schema) = batch.shared_schema().cloned() else {
+            // Mixed-schema batch: fall back to per-tuple execution.
+            let mut out = Batch::with_capacity(batch.len());
+            for t in batch {
+                out.extend(self.process(port, t));
+            }
+            return out;
+        };
+        self.ensure_resolved(&schema);
+        let resolved = self.resolved.as_ref().expect("just resolved");
+        let out_schema = resolved.out_schema.clone();
+        let derivations = &self.derivations;
+        let inputs = &resolved.inputs;
+        // One scratch buffer for all tuples (extend_in_place drains it).
+        let mut extra: Vec<Value> = Vec::with_capacity(derivations.len());
+        batch.retain_mut(|t| {
+            extra.clear();
+            for (d, &idx) in derivations.iter().zip(inputs) {
+                match Self::derive_value_at(d, idx, t) {
+                    Some(v) => extra.push(v),
+                    None => return false, // malformed input: drop
+                }
+            }
+            t.extend_in_place(out_schema.clone(), &mut extra);
+            true
+        });
+        batch
     }
 }
 
@@ -425,6 +569,66 @@ mod tests {
         let out = p.process(0, tuple(0.0, 1.0));
         assert_eq!(out[0].schema().len(), 4);
         assert!((out[0].updf("shifted").unwrap().mean() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_project_matches_tuple_at_a_time() {
+        use crate::batch::Batch;
+        let mk_proj = || {
+            Project::new(vec![
+                Derivation::Certain {
+                    out: Field::new("double_id", DataType::Int),
+                    f: Box::new(|t: &Tuple| Value::from(t.int("tag_id").unwrap() * 2)),
+                },
+                Derivation::Linear {
+                    input: "x".into(),
+                    a: 2.0,
+                    b: 1.0,
+                    out: "y".into(),
+                },
+            ])
+        };
+        let shared = schema();
+        let inputs: Vec<Tuple> = (0..20)
+            .map(|i| {
+                Tuple::new(
+                    shared.clone(),
+                    vec![
+                        Value::from(i as i64),
+                        Value::from(Updf::Parametric(Dist::gaussian(i as f64, 1.0))),
+                    ],
+                    i as u64,
+                )
+            })
+            .collect();
+        let mut one = mk_proj();
+        let mut per_tuple = Vec::new();
+        for t in inputs.clone() {
+            per_tuple.extend(one.process(0, t));
+        }
+        let mut two = mk_proj();
+        let batched = two.process_batch(0, Batch::from(inputs)).into_vec();
+        assert_eq!(per_tuple.len(), batched.len());
+        for (a, b) in per_tuple.iter().zip(&batched) {
+            assert_eq!(a.int("double_id").unwrap(), b.int("double_id").unwrap());
+            assert_eq!(a.ts, b.ts);
+            assert_eq!(a.lineage, b.lineage);
+            assert!((a.updf("y").unwrap().mean() - b.updf("y").unwrap().mean()).abs() < 1e-12);
+            assert_eq!(a.schema().fields(), b.schema().fields());
+        }
+    }
+
+    #[test]
+    fn batched_project_drops_malformed_inputs() {
+        use crate::batch::Batch;
+        let mut p = Project::new(vec![Derivation::Linear {
+            input: "missing".into(),
+            a: 1.0,
+            b: 0.0,
+            out: "y".into(),
+        }]);
+        let batch = Batch::from(vec![tuple(0.0, 1.0), tuple(1.0, 1.0)]);
+        assert!(p.process_batch(0, batch).is_empty());
     }
 
     #[test]

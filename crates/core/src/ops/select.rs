@@ -8,10 +8,13 @@
 //! certain worlds where the tuple survived". Tuples whose survival
 //! probability falls below `min_prob` are dropped.
 
+use crate::batch::Batch;
 use crate::ops::Operator;
+use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::updf::Updf;
 use crate::value::Value;
+use std::sync::Arc;
 
 /// Comparison operators for certain numeric predicates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +98,87 @@ impl Predicate {
             _ => None,
         }
     }
+
+    /// Resolve every field reference against `schema`, producing an
+    /// index-addressed predicate — one string lookup per field per
+    /// **batch** instead of per tuple. `None` when a field is missing
+    /// (the per-tuple semantics then drop every tuple of that schema).
+    fn compile(&self, schema: &Schema) -> Option<CompiledPredicate> {
+        Some(match self {
+            Predicate::StrEq(f, want) => {
+                CompiledPredicate::StrEq(schema.index_of(f).ok()?, want.clone())
+            }
+            Predicate::NumCmp(f, op, c) => {
+                CompiledPredicate::NumCmp(schema.index_of(f).ok()?, *op, *c)
+            }
+            Predicate::UncertainAbove(f, c) => {
+                CompiledPredicate::UncertainAbove(schema.index_of(f).ok()?, *c)
+            }
+            Predicate::UncertainBelow(f, c) => {
+                CompiledPredicate::UncertainBelow(schema.index_of(f).ok()?, *c)
+            }
+            Predicate::UncertainBetween(f, lo, hi) => {
+                CompiledPredicate::UncertainBetween(schema.index_of(f).ok()?, *lo, *hi)
+            }
+            Predicate::And(a, b) => {
+                CompiledPredicate::And(Box::new(a.compile(schema)?), Box::new(b.compile(schema)?))
+            }
+            Predicate::Or(a, b) => {
+                CompiledPredicate::Or(Box::new(a.compile(schema)?), Box::new(b.compile(schema)?))
+            }
+            Predicate::Not(p) => CompiledPredicate::Not(Box::new(p.compile(schema)?)),
+        })
+    }
+}
+
+/// A [`Predicate`] with field names resolved to value indices.
+#[derive(Debug, Clone)]
+enum CompiledPredicate {
+    StrEq(usize, String),
+    NumCmp(usize, CmpOp, f64),
+    UncertainAbove(usize, f64),
+    UncertainBelow(usize, f64),
+    UncertainBetween(usize, f64, f64),
+    And(Box<CompiledPredicate>, Box<CompiledPredicate>),
+    Or(Box<CompiledPredicate>, Box<CompiledPredicate>),
+    Not(Box<CompiledPredicate>),
+}
+
+impl CompiledPredicate {
+    /// Index-addressed counterpart of [`Predicate::probability`]; still
+    /// `None` on a type mismatch (tuple is dropped).
+    fn probability(&self, t: &Tuple) -> Option<f64> {
+        match self {
+            CompiledPredicate::StrEq(idx, want) => {
+                Some((t.at(*idx).as_str()? == want.as_str()) as u8 as f64)
+            }
+            CompiledPredicate::NumCmp(idx, op, c) => {
+                Some(op.eval(t.at(*idx).as_float()?, *c) as u8 as f64)
+            }
+            CompiledPredicate::UncertainAbove(idx, c) => Some(t.at(*idx).as_updf()?.prob_above(*c)),
+            CompiledPredicate::UncertainBelow(idx, c) => {
+                Some(1.0 - t.at(*idx).as_updf()?.prob_above(*c))
+            }
+            CompiledPredicate::UncertainBetween(idx, lo, hi) => {
+                Some(t.at(*idx).as_updf()?.prob_in(*lo, *hi))
+            }
+            CompiledPredicate::And(a, b) => Some(a.probability(t)? * b.probability(t)?),
+            CompiledPredicate::Or(a, b) => {
+                let (pa, pb) = (a.probability(t)?, b.probability(t)?);
+                Some(pa + pb - pa * pb)
+            }
+            CompiledPredicate::Not(p) => Some(1.0 - p.probability(t)?),
+        }
+    }
+}
+
+/// Everything Select resolves once per input schema: the compiled
+/// predicate (`None` ⇒ a referenced field is missing ⇒ drop all) and the
+/// conditioning target index, if conditioning applies.
+struct CompiledSelect {
+    schema: Arc<Schema>,
+    predicate: Option<CompiledPredicate>,
+    conditioning: Option<(usize, f64, f64)>,
 }
 
 /// The probabilistic selection operator.
@@ -105,6 +189,8 @@ pub struct Select {
     min_prob: f64,
     /// Replace the conditioned attribute by its truncated distribution.
     condition_distribution: bool,
+    /// Per-schema compilation cache for the batched path.
+    compiled: Option<CompiledSelect>,
 }
 
 impl Select {
@@ -115,6 +201,7 @@ impl Select {
             predicate,
             min_prob,
             condition_distribution: true,
+            compiled: None,
         }
     }
 
@@ -128,6 +215,31 @@ impl Select {
     pub fn named(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
         self
+    }
+
+    /// Compile (or fetch the cached compilation of) the predicate for
+    /// `schema`.
+    fn compiled_for(&mut self, schema: &Arc<Schema>) -> &CompiledSelect {
+        let stale = match &self.compiled {
+            Some(c) => !Arc::ptr_eq(&c.schema, schema),
+            None => true,
+        };
+        if stale {
+            let predicate = self.predicate.compile(schema);
+            let conditioning = if self.condition_distribution {
+                self.predicate
+                    .conditioning_interval()
+                    .and_then(|(f, lo, hi)| Some((schema.index_of(f).ok()?, lo, hi)))
+            } else {
+                None
+            };
+            self.compiled = Some(CompiledSelect {
+                schema: schema.clone(),
+                predicate,
+                conditioning,
+            });
+        }
+        self.compiled.as_ref().expect("just compiled")
     }
 }
 
@@ -160,6 +272,45 @@ impl Operator for Select {
             }
         }
         vec![out]
+    }
+
+    /// Batched path: compile the predicate once for the batch's shared
+    /// schema, then filter/condition in place — no per-tuple string
+    /// lookups, no per-tuple `Vec` allocations.
+    fn process_batch(&mut self, port: usize, mut batch: Batch) -> Batch {
+        let Some(schema) = batch.shared_schema().cloned() else {
+            // Mixed-schema batch: fall back to per-tuple execution.
+            let mut out = Batch::with_capacity(batch.len());
+            for t in batch {
+                out.extend(self.process(port, t));
+            }
+            return out;
+        };
+        let min_prob = self.min_prob;
+        let compiled = self.compiled_for(&schema);
+        let Some(pred) = &compiled.predicate else {
+            return Batch::new(); // missing field: every tuple drops
+        };
+        let conditioning = compiled.conditioning;
+        batch.retain_mut(|t| {
+            let Some(p) = pred.probability(t) else {
+                return false;
+            };
+            let survival = t.existence * p;
+            if survival < min_prob || survival <= 0.0 {
+                return false;
+            }
+            t.existence = survival.min(1.0);
+            if let Some((idx, lo, hi)) = conditioning {
+                if let Some(u) = t.at(idx).as_updf() {
+                    if let Some(conditioned) = condition_updf(u, lo, hi) {
+                        t.set_value(idx, Value::from(conditioned));
+                    }
+                }
+            }
+            true
+        });
+        batch
     }
 }
 
@@ -342,5 +493,47 @@ mod tests {
     fn missing_field_drops_tuple() {
         let mut s = Select::new(Predicate::UncertainAbove("nope".into(), 0.0), 0.0);
         assert!(s.process(0, tuple("x", 0.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn batched_select_matches_tuple_at_a_time() {
+        use crate::batch::Batch;
+        let pred = Predicate::And(
+            Box::new(Predicate::StrEq("kind".into(), "flammable".into())),
+            Box::new(Predicate::UncertainAbove("temp".into(), 60.0)),
+        );
+        let inputs: Vec<Tuple> = (0..40)
+            .map(|i| {
+                tuple(
+                    if i % 3 == 0 { "flammable" } else { "inert" },
+                    50.0 + i as f64,
+                    5.0,
+                )
+            })
+            .collect();
+        let mut one = Select::new(pred.clone(), 0.05);
+        let mut per_tuple = Vec::new();
+        for t in inputs.clone() {
+            per_tuple.extend(one.process(0, t));
+        }
+        let mut two = Select::new(pred, 0.05);
+        let batched = two.process_batch(0, Batch::from(inputs)).into_vec();
+        assert_eq!(per_tuple.len(), batched.len());
+        for (a, b) in per_tuple.iter().zip(&batched) {
+            assert_eq!(a.ts, b.ts);
+            assert!((a.existence - b.existence).abs() < 1e-15);
+            assert_eq!(a.lineage, b.lineage);
+            assert!(
+                (a.updf("temp").unwrap().mean() - b.updf("temp").unwrap().mean()).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn batched_select_missing_field_drops_all() {
+        use crate::batch::Batch;
+        let mut s = Select::new(Predicate::UncertainAbove("nope".into(), 0.0), 0.0);
+        let batch = Batch::from(vec![tuple("x", 0.0, 1.0), tuple("y", 1.0, 1.0)]);
+        assert!(s.process_batch(0, batch).is_empty());
     }
 }

@@ -2,13 +2,29 @@
 //!
 //! A [`QueryGraph`] is a DAG of operators ("boxes") connected by
 //! dataflow edges ("arrows"), compiled from a query (Q1, Q2) or a
-//! scientific workflow (the radar pipeline). Two executors:
+//! scientific workflow (the radar pipeline). Before execution the graph
+//! is compiled **once** into a [`CompiledPlan`] — topological order,
+//! per-node downstream adjacency, and a sink bitset — so the per-delivery
+//! cost is an array index, not an edge-list scan plus hash lookups.
 //!
-//! - [`QueryGraph::run`] — single-threaded push execution in topological
-//!   order; deterministic, used by tests and harnesses.
-//! - [`ThreadedExecutor`] — one thread per operator connected by
-//!   crossbeam channels; the shape a stream engine actually deploys.
+//! Three execution modes:
+//!
+//! - [`QueryGraph::run`] — single-threaded tuple-at-a-time push execution
+//!   in topological order; deterministic, used by tests and harnesses.
+//! - [`QueryGraph::run_batched`] — single-threaded push execution moving
+//!   [`Batch`]es of tuples; operators with batched overrides resolve
+//!   schemas once per batch and skip per-tuple allocations.
+//! - [`ThreadedExecutor`] — one thread per operator connected by bounded
+//!   crossbeam channels carrying batches; the shape a stream engine
+//!   actually deploys. Channel synchronization is amortized
+//!   batch-size-fold.
+//!
+//! Clone-avoidance rule (all modes): a tuple/batch is cloned only when
+//! fan-out requires it — once per *extra* downstream edge, plus once if
+//! the emitting node is both a sink and has downstream edges. Linear
+//! pipelines never clone.
 
+use crate::batch::Batch;
 use crate::error::{EngineError, Result};
 use crate::ops::Operator;
 use crate::tuple::Tuple;
@@ -24,6 +40,78 @@ struct Edge {
     from: NodeId,
     to: NodeId,
     port: usize,
+}
+
+/// The execution-ready form of a [`QueryGraph`]: everything the
+/// per-delivery hot path needs, resolved once.
+///
+/// Both executors compile the same plan, so cycle detection, topological
+/// ordering, and adjacency live in exactly one place.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    /// Node indices in a valid topological order.
+    order: Vec<usize>,
+    /// `rank[i]` = position of node `i` in `order`.
+    rank: Vec<usize>,
+    /// `downstream[i]` = `(to, port)` pairs fed by node `i`, in edge
+    /// insertion order.
+    downstream: Vec<Vec<(usize, usize)>>,
+    /// Sink membership bitset.
+    is_sink: Vec<bool>,
+    /// The sink list (collection-map initialization).
+    sinks: Vec<NodeId>,
+}
+
+impl CompiledPlan {
+    /// Number of nodes in the compiled graph.
+    pub fn num_nodes(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The cached topological order.
+    pub fn topo_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Downstream `(node, port)` adjacency of `node`.
+    pub fn downstream_of(&self, node: NodeId) -> &[(usize, usize)] {
+        &self.downstream[node.0]
+    }
+
+    /// Whether `node` is a registered sink.
+    pub fn is_sink(&self, node: NodeId) -> bool {
+        self.is_sink[node.0]
+    }
+
+    fn empty_collection(&self) -> HashMap<NodeId, Vec<Tuple>> {
+        self.sinks.iter().map(|&s| (s, Vec::new())).collect()
+    }
+}
+
+/// Kahn's algorithm over the edge list; errors on cycles. The single
+/// shared cycle check for every executor.
+fn topo_sort(n: usize, edges: &[Edge]) -> Result<Vec<usize>> {
+    let mut indeg = vec![0usize; n];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in edges {
+        indeg[e.to.0] += 1;
+        adj[e.from.0].push(e.to.0);
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop() {
+        order.push(i);
+        for &to in &adj[i] {
+            indeg[to] -= 1;
+            if indeg[to] == 0 {
+                queue.push(to);
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(EngineError::InvalidGraph("cycle detected".into()));
+    }
+    Ok(order)
 }
 
 /// A dataflow graph of operators.
@@ -93,30 +181,48 @@ impl QueryGraph {
         self.nodes.len()
     }
 
-    /// Topological order; errors on cycles.
-    fn topo_order(&self) -> Result<Vec<usize>> {
+    /// Compile the graph into its execution-ready form; errors on cycles.
+    pub fn compile(&self) -> Result<CompiledPlan> {
         let n = self.nodes.len();
-        let mut indeg = vec![0usize; n];
-        for e in &self.edges {
-            indeg[e.to.0] += 1;
+        let order = topo_sort(n, &self.edges)?;
+        let mut rank = vec![0usize; n];
+        for (r, &i) in order.iter().enumerate() {
+            rank[i] = r;
         }
-        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
-        let mut order = Vec::with_capacity(n);
-        while let Some(i) = queue.pop() {
-            order.push(i);
-            for e in &self.edges {
-                if e.from.0 == i {
-                    indeg[e.to.0] -= 1;
-                    if indeg[e.to.0] == 0 {
-                        queue.push(e.to.0);
-                    }
-                }
+        let mut downstream: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            downstream[e.from.0].push((e.to.0, e.port));
+        }
+        let mut is_sink = vec![false; n];
+        for s in &self.sinks {
+            is_sink[s.0] = true;
+        }
+        Ok(CompiledPlan {
+            order,
+            rank,
+            downstream,
+            is_sink,
+            sinks: self.sinks.clone(),
+        })
+    }
+
+    /// Merge the named input streams into one timestamp-ordered feed of
+    /// `(ts, node, port, tuple)` entries.
+    fn build_feed(
+        sources: &HashMap<String, NodeId>,
+        inputs: Vec<(String, usize, Vec<Tuple>)>,
+    ) -> Result<Vec<(u64, usize, usize, Tuple)>> {
+        let mut feed: Vec<(u64, usize, usize, Tuple)> = Vec::new();
+        for (name, port, tuples) in inputs {
+            let node = *sources
+                .get(&name)
+                .ok_or_else(|| EngineError::InvalidGraph(format!("unknown source `{name}`")))?;
+            for t in tuples {
+                feed.push((t.ts, node.0, port, t));
             }
         }
-        if order.len() != n {
-            return Err(EngineError::InvalidGraph("cycle detected".into()));
-        }
-        Ok(order)
+        feed.sort_by_key(|(ts, node, port, _)| (*ts, *node, *port));
+        Ok(feed)
     }
 
     /// Single-threaded execution: push each (source, port, tuple) triple
@@ -124,42 +230,26 @@ impl QueryGraph {
     /// tuples collected at each sink.
     ///
     /// `inputs` associates stream names (registered via [`Self::source`])
-    /// with (port, tuples).
+    /// with (port, tuples). This is the tuple-at-a-time reference
+    /// executor; [`Self::run_batched`] is the high-throughput variant.
     pub fn run(
         &mut self,
         inputs: Vec<(String, usize, Vec<Tuple>)>,
     ) -> Result<HashMap<NodeId, Vec<Tuple>>> {
-        let order = self.topo_order()?;
-        let rank: HashMap<usize, usize> = order.iter().enumerate().map(|(r, &i)| (i, r)).collect();
-
-        // Merge all inputs into one timestamp-ordered feed.
-        let mut feed: Vec<(u64, NodeId, usize, Tuple)> = Vec::new();
-        for (name, port, tuples) in inputs {
-            let node = *self
-                .sources
-                .get(&name)
-                .ok_or_else(|| EngineError::InvalidGraph(format!("unknown source `{name}`")))?;
-            for t in tuples {
-                feed.push((t.ts, node, port, t));
-            }
-        }
-        feed.sort_by_key(|(ts, node, port, _)| (*ts, node.0, *port));
-
-        let mut collected: HashMap<NodeId, Vec<Tuple>> = HashMap::new();
-        for s in &self.sinks {
-            collected.insert(*s, Vec::new());
-        }
+        let plan = self.compile()?;
+        let feed = Self::build_feed(&self.sources, inputs)?;
+        let mut collected = plan.empty_collection();
 
         // Per-push propagation in topological rank order.
         for (_, node, port, tuple) in feed {
-            self.propagate(node, port, tuple, &rank, &mut collected);
+            self.propagate(node, port, tuple, &plan, &mut collected);
         }
 
         // Flush in topological order, cascading flush outputs downstream.
-        for &i in &order {
+        for &i in &plan.order {
             let outs = self.nodes[i].flush();
             for t in outs {
-                self.deliver_downstream(NodeId(i), t, &rank, &mut collected);
+                self.deliver_downstream(i, t, &plan, &mut collected);
             }
         }
         Ok(collected)
@@ -168,59 +258,197 @@ impl QueryGraph {
     /// Push one tuple into `node` and cascade its outputs.
     fn propagate(
         &mut self,
-        node: NodeId,
+        node: usize,
         port: usize,
         tuple: Tuple,
-        rank: &HashMap<usize, usize>,
+        plan: &CompiledPlan,
         collected: &mut HashMap<NodeId, Vec<Tuple>>,
     ) {
-        let outs = self.nodes[node.0].process(port, tuple);
+        let outs = self.nodes[node].process(port, tuple);
         for t in outs {
-            self.deliver_downstream(node, t, rank, collected);
+            self.deliver_downstream(node, t, plan, collected);
         }
     }
 
     fn deliver_downstream(
         &mut self,
-        from: NodeId,
+        from: usize,
         tuple: Tuple,
-        rank: &HashMap<usize, usize>,
+        plan: &CompiledPlan,
         collected: &mut HashMap<NodeId, Vec<Tuple>>,
     ) {
-        if let Some(bucket) = collected.get_mut(&from) {
+        let targets = &plan.downstream[from];
+        if plan.is_sink[from] {
+            let bucket = collected.get_mut(&NodeId(from)).expect("sink bucket");
+            if targets.is_empty() {
+                bucket.push(tuple);
+                return;
+            }
             bucket.push(tuple.clone());
+        } else if targets.is_empty() {
+            return;
         }
-        let targets: Vec<(NodeId, usize)> = self
-            .edges
-            .iter()
-            .filter(|e| e.from == from)
-            .map(|e| (e.to, e.port))
-            .collect();
-        for (to, port) in targets {
-            debug_assert!(rank[&to.0] > rank[&from.0], "edges follow topo order");
-            self.propagate(to, port, tuple.clone(), rank, collected);
+        let (&(last_to, last_port), rest) = targets.split_last().expect("targets non-empty");
+        for &(to, port) in rest {
+            debug_assert!(plan.rank[to] > plan.rank[from], "edges follow topo order");
+            self.propagate(to, port, tuple.clone(), plan, collected);
         }
+        self.propagate(last_to, last_port, tuple, plan, collected);
+    }
+
+    /// Single-threaded **batched** execution: the input feed is cut into
+    /// runs of up to `batch_size` consecutive tuples addressed to the
+    /// same (node, port), and each run moves through the graph as one
+    /// [`Batch`] via [`Operator::process_batch`].
+    ///
+    /// On graphs where every stateful/sink node has a single upstream
+    /// path (linear pipelines and pure fan-out), this produces exactly
+    /// the same sink tuples as [`Self::run`] — same values, timestamps,
+    /// existence probabilities, lineage. At a fan-*in* node the arrival
+    /// order of tuples from different upstream paths differs within a
+    /// batch window (whole batches arrive per path instead of per-tuple
+    /// interleaving), exactly as it may under the threaded executor; an
+    /// order-sensitive fan-in operator — e.g. a join whose match
+    /// probability falls back to Monte Carlo draws from the operator's
+    /// rng — can then produce different probabilities for individual
+    /// pairs, not just a different output order.
+    pub fn run_batched(
+        &mut self,
+        inputs: Vec<(String, usize, Vec<Tuple>)>,
+        batch_size: usize,
+    ) -> Result<HashMap<NodeId, Vec<Tuple>>> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let plan = self.compile()?;
+        let feed = Self::build_feed(&self.sources, inputs)?;
+        let mut collected = plan.empty_collection();
+        let mut pending: Vec<Vec<(usize, Batch)>> = vec![Vec::new(); self.nodes.len()];
+
+        for (node, port, batch) in chunk_feed(feed, batch_size) {
+            self.propagate_batch(node, port, batch, &plan, &mut pending, &mut collected);
+        }
+
+        // Flush in topological order; flush outputs cascade downstream as
+        // batches and are themselves processed before the receiver's own
+        // flush (same discipline as the tuple-at-a-time path).
+        for idx in 0..plan.order.len() {
+            let i = plan.order[idx];
+            for (port, b) in std::mem::take(&mut pending[i]) {
+                let out = self.nodes[i].process_batch(port, b);
+                if !out.is_empty() {
+                    self.deliver_batch(i, out, &plan, &mut pending, &mut collected);
+                }
+            }
+            let fl = self.nodes[i].flush();
+            if !fl.is_empty() {
+                self.deliver_batch(i, Batch::from(fl), &plan, &mut pending, &mut collected);
+            }
+        }
+        Ok(collected)
+    }
+
+    /// Push one batch into `node` and drain the graph from that node's
+    /// rank downward (edges only point to higher ranks, so one forward
+    /// sweep over the cached order fully cascades the batch).
+    fn propagate_batch(
+        &mut self,
+        node: usize,
+        port: usize,
+        batch: Batch,
+        plan: &CompiledPlan,
+        pending: &mut [Vec<(usize, Batch)>],
+        collected: &mut HashMap<NodeId, Vec<Tuple>>,
+    ) {
+        pending[node].push((port, batch));
+        for idx in plan.rank[node]..plan.order.len() {
+            let i = plan.order[idx];
+            if pending[i].is_empty() {
+                continue;
+            }
+            for (port, b) in std::mem::take(&mut pending[i]) {
+                let out = self.nodes[i].process_batch(port, b);
+                if !out.is_empty() {
+                    self.deliver_batch(i, out, plan, pending, collected);
+                }
+            }
+        }
+    }
+
+    fn deliver_batch(
+        &mut self,
+        from: usize,
+        batch: Batch,
+        plan: &CompiledPlan,
+        pending: &mut [Vec<(usize, Batch)>],
+        collected: &mut HashMap<NodeId, Vec<Tuple>>,
+    ) {
+        let targets = &plan.downstream[from];
+        if plan.is_sink[from] {
+            let bucket = collected.get_mut(&NodeId(from)).expect("sink bucket");
+            if targets.is_empty() {
+                bucket.extend(batch);
+                return;
+            }
+            bucket.extend(batch.iter().cloned());
+        } else if targets.is_empty() {
+            return;
+        }
+        let (&(last_to, last_port), rest) = targets.split_last().expect("targets non-empty");
+        for &(to, port) in rest {
+            debug_assert!(plan.rank[to] > plan.rank[from], "edges follow topo order");
+            pending[to].push((port, batch.clone()));
+        }
+        pending[last_to].push((last_port, batch));
     }
 }
 
+/// Cut a timestamp-sorted feed into runs of up to `batch_size`
+/// consecutive tuples addressed to the same (node, port).
+fn chunk_feed(
+    feed: Vec<(u64, usize, usize, Tuple)>,
+    batch_size: usize,
+) -> Vec<(usize, usize, Batch)> {
+    let mut chunks: Vec<(usize, usize, Batch)> = Vec::new();
+    for (_, node, port, t) in feed {
+        match chunks.last_mut() {
+            Some((n, p, b)) if *n == node && *p == port && b.len() < batch_size => b.push(t),
+            _ => {
+                let mut b = Batch::with_capacity(batch_size.min(64));
+                b.push(t);
+                chunks.push((node, port, b));
+            }
+        }
+    }
+    chunks
+}
+
 /// Threaded executor: each operator runs on its own thread, connected by
-/// bounded crossbeam channels (backpressure). Inputs are fed through
-/// [`ThreadedExecutor::run`]; sink outputs are returned per node.
+/// bounded crossbeam channels (backpressure) that carry [`Batch`]es.
+/// Inputs are fed through [`ThreadedExecutor::run`]; sink outputs are
+/// returned per node.
+///
+/// `batch_size` controls how many consecutive same-destination input
+/// tuples ride in one message; operator outputs travel as whatever batch
+/// their operator produced. Larger batches amortize channel
+/// synchronization but delay downstream work and raise per-message
+/// memory; 64–256 is a good range for operator costs in the microsecond
+/// regime, 1 degenerates to tuple-at-a-time messaging.
 pub struct ThreadedExecutor {
     channel_capacity: usize,
+    batch_size: usize,
 }
 
 impl Default for ThreadedExecutor {
     fn default() -> Self {
         ThreadedExecutor {
             channel_capacity: 1024,
+            batch_size: 128,
         }
     }
 }
 
 /// Message flowing between operator threads.
 enum Msg {
-    Data(usize, Tuple),
+    Data(usize, Batch),
     /// One upstream of this port finished; when all inputs of a node are
     /// done, it flushes and shuts down.
     Eos,
@@ -229,7 +457,17 @@ enum Msg {
 impl ThreadedExecutor {
     pub fn new(channel_capacity: usize) -> Self {
         assert!(channel_capacity > 0);
-        ThreadedExecutor { channel_capacity }
+        ThreadedExecutor {
+            channel_capacity,
+            ..Default::default()
+        }
+    }
+
+    /// Set how many input tuples ride in one channel message.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0);
+        self.batch_size = batch_size;
+        self
     }
 
     /// Run the graph to completion on the given inputs.
@@ -242,38 +480,15 @@ impl ThreadedExecutor {
     ) -> Result<HashMap<NodeId, Vec<Tuple>>> {
         use crossbeam::channel::{bounded, Receiver, Sender};
 
+        // Shared compile step: cycle check + adjacency + sink bitset.
+        let plan = graph.compile()?;
         let QueryGraph {
             nodes,
             edges,
             sources,
-            sinks,
+            sinks: _,
         } = graph;
         let n = nodes.len();
-
-        // Validate acyclicity with a throwaway graph view.
-        {
-            let mut indeg = vec![0usize; n];
-            for e in &edges {
-                indeg[e.to.0] += 1;
-            }
-            let mut seen = 0usize;
-            let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
-            let mut indeg2 = indeg.clone();
-            while let Some(i) = queue.pop() {
-                seen += 1;
-                for e in &edges {
-                    if e.from.0 == i {
-                        indeg2[e.to.0] -= 1;
-                        if indeg2[e.to.0] == 0 {
-                            queue.push(e.to.0);
-                        }
-                    }
-                }
-            }
-            if seen != n {
-                return Err(EngineError::InvalidGraph("cycle detected".into()));
-            }
-        }
 
         // One inbox per node; upstream count per node (for EOS tracking).
         let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(n);
@@ -294,40 +509,46 @@ impl ThreadedExecutor {
         }
 
         // Sink collection channel.
-        let (sink_tx, sink_rx) = bounded::<(usize, Tuple)>(self.channel_capacity);
-        let sink_set: std::collections::HashSet<usize> = sinks.iter().map(|s| s.0).collect();
-
-        // Downstream map: node -> [(to, port)].
-        let mut downstream: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
-        for e in &edges {
-            downstream[e.from.0].push((e.to.0, e.port));
-        }
+        let (sink_tx, sink_rx) = bounded::<(usize, Batch)>(self.channel_capacity);
 
         let mut handles = Vec::with_capacity(n);
         for (i, mut op) in nodes.into_iter().enumerate() {
             let rx = receivers[i].take().expect("receiver taken once");
-            let outs: Vec<(Sender<Msg>, usize, usize)> = downstream[i]
+            let outs: Vec<(Sender<Msg>, usize)> = plan
+                .downstream_of(NodeId(i))
                 .iter()
-                .map(|&(to, port)| (senders[to].clone(), to, port))
+                .map(|&(to, port)| (senders[to].clone(), port))
                 .collect();
-            let sink_tx = sink_set.contains(&i).then(|| sink_tx.clone());
+            let sink_tx = plan.is_sink(NodeId(i)).then(|| sink_tx.clone());
             let expected_eos = upstreams[i] + driver_feeds[i];
             let handle = std::thread::spawn(move || {
-                let deliver = |outs: &[(Sender<Msg>, usize, usize)],
-                               sink_tx: &Option<Sender<(usize, Tuple)>>,
-                               t: Tuple| {
+                // Clone-avoidance mirrors the single-threaded executors:
+                // the batch moves into the last consumer, clones go to the
+                // extra ones.
+                let deliver = |outs: &[(Sender<Msg>, usize)],
+                               sink_tx: &Option<Sender<(usize, Batch)>>,
+                               batch: Batch| {
                     if let Some(stx) = sink_tx {
-                        let _ = stx.send((i, t.clone()));
+                        if outs.is_empty() {
+                            let _ = stx.send((i, batch));
+                            return;
+                        }
+                        let _ = stx.send((i, batch.clone()));
+                    } else if outs.is_empty() {
+                        return;
                     }
-                    for (tx, _, port) in outs {
-                        let _ = tx.send(Msg::Data(*port, t.clone()));
+                    let ((last_tx, last_port), rest) = outs.split_last().expect("outs non-empty");
+                    for (tx, port) in rest {
+                        let _ = tx.send(Msg::Data(*port, batch.clone()));
                     }
+                    let _ = last_tx.send(Msg::Data(*last_port, batch));
                 };
                 let mut eos_seen = 0usize;
                 while eos_seen < expected_eos.max(1) {
                     match rx.recv() {
-                        Ok(Msg::Data(port, t)) => {
-                            for out in op.process(port, t) {
+                        Ok(Msg::Data(port, batch)) => {
+                            let out = op.process_batch(port, batch);
+                            if !out.is_empty() {
                                 deliver(&outs, &sink_tx, out);
                             }
                         }
@@ -337,10 +558,11 @@ impl ThreadedExecutor {
                         Err(_) => break,
                     }
                 }
-                for out in op.flush() {
-                    deliver(&outs, &sink_tx, out);
+                let fl = op.flush();
+                if !fl.is_empty() {
+                    deliver(&outs, &sink_tx, Batch::from(fl));
                 }
-                for (tx, _, _) in &outs {
+                for (tx, _) in &outs {
                     let _ = tx.send(Msg::Eos);
                 }
             });
@@ -348,20 +570,24 @@ impl ThreadedExecutor {
         }
         drop(sink_tx);
 
-        // Drive the inputs in timestamp order.
-        let mut feed: Vec<(u64, usize, usize, Tuple)> = Vec::new();
-        for (name, port, tuples) in inputs {
-            let node = *sources
-                .get(&name)
-                .ok_or_else(|| EngineError::InvalidGraph(format!("unknown source `{name}`")))?;
-            for t in tuples {
-                feed.push((t.ts, node.0, port, t));
+        // Drain sinks concurrently with driving: with a bounded sink
+        // channel, collecting only after all inputs are fed can deadlock
+        // (driver blocked on a full inbox, workers blocked on the full
+        // sink channel).
+        let mut collected = plan.empty_collection();
+        let collector = std::thread::spawn(move || {
+            let mut got: Vec<(usize, Vec<Tuple>)> = Vec::new();
+            while let Ok((i, batch)) = sink_rx.recv() {
+                got.push((i, batch.into_vec()));
             }
-        }
-        feed.sort_by_key(|(ts, node, port, _)| (*ts, *node, *port));
-        for (_, node, port, t) in feed {
+            got
+        });
+
+        // Drive the inputs in timestamp order, batch-size tuples at a time.
+        let feed = QueryGraph::build_feed(&sources, inputs)?;
+        for (node, port, batch) in chunk_feed(feed, self.batch_size) {
             senders[node]
-                .send(Msg::Data(port, t))
+                .send(Msg::Data(port, batch))
                 .map_err(|_| EngineError::InvalidGraph("operator thread died".into()))?;
         }
         // Signal EOS to driver-fed nodes (once per registered source feed)
@@ -377,12 +603,8 @@ impl ThreadedExecutor {
         }
         drop(senders);
 
-        let mut collected: HashMap<NodeId, Vec<Tuple>> = HashMap::new();
-        for s in &sinks {
-            collected.insert(*s, Vec::new());
-        }
-        while let Ok((i, t)) = sink_rx.recv() {
-            collected.entry(NodeId(i)).or_default().push(t);
+        for (i, tuples) in collector.join().expect("sink collector thread") {
+            collected.entry(NodeId(i)).or_default().extend(tuples);
         }
         for h in handles {
             let _ = h.join();
@@ -450,6 +672,18 @@ mod tests {
             g.run(vec![("in".into(), 0, vec![t(0, 0)])]),
             Err(EngineError::InvalidGraph(_))
         ));
+        assert!(matches!(g.compile(), Err(EngineError::InvalidGraph(_))));
+    }
+
+    #[test]
+    fn compiled_plan_exposes_structure() {
+        let (g, sink) = doubling_graph();
+        let plan = g.compile().unwrap();
+        assert_eq!(plan.num_nodes(), 2);
+        assert_eq!(plan.topo_order().len(), 2);
+        assert!(plan.is_sink(sink));
+        assert_eq!(plan.downstream_of(NodeId(0)), &[(1, 0)]);
+        assert!(plan.downstream_of(sink).is_empty());
     }
 
     #[test]
@@ -477,6 +711,57 @@ mod tests {
     }
 
     #[test]
+    fn run_batched_matches_run_on_linear_pipeline() {
+        let inputs: Vec<Tuple> = (0..100).map(|i| t(i, i as i64)).collect();
+        let (mut g1, sink1) = doubling_graph();
+        let single = g1
+            .run(vec![("in".into(), 0, inputs.clone())])
+            .unwrap()
+            .remove(&sink1)
+            .unwrap();
+        for bs in [1usize, 7, 64, 1024] {
+            let (mut g2, sink2) = doubling_graph();
+            let batched = g2
+                .run_batched(vec![("in".into(), 0, inputs.clone())], bs)
+                .unwrap()
+                .remove(&sink2)
+                .unwrap();
+            assert_eq!(single.len(), batched.len(), "batch size {bs}");
+            for (a, b) in single.iter().zip(&batched) {
+                assert_eq!(a.int("v").unwrap(), b.int("v").unwrap());
+                assert_eq!(a.ts, b.ts);
+            }
+        }
+    }
+
+    #[test]
+    fn run_batched_fanout_and_sinks() {
+        let mk = || {
+            let mut g = QueryGraph::new();
+            let src = g.add(Box::new(Passthrough::new("src")));
+            let s1 = g.add(Box::new(Passthrough::new("s1")));
+            let s2 = g.add(Box::new(Passthrough::new("s2")));
+            g.connect(src, s1, 0).unwrap();
+            g.connect(src, s2, 0).unwrap();
+            g.source("in", src);
+            g.sink(src); // sink with downstream fan-out: forces the clone path
+            g.sink(s1);
+            g.sink(s2);
+            (g, src, s1, s2)
+        };
+        let (mut g, src, s1, s2) = mk();
+        let out = g
+            .run_batched(
+                vec![("in".into(), 0, (0..10).map(|i| t(i, i as i64)).collect())],
+                4,
+            )
+            .unwrap();
+        assert_eq!(out[&src].len(), 10);
+        assert_eq!(out[&s1].len(), 10);
+        assert_eq!(out[&s2].len(), 10);
+    }
+
+    #[test]
     fn threaded_matches_single_threaded() {
         let (mut g1, sink1) = doubling_graph();
         let inputs: Vec<Tuple> = (0..200).map(|i| t(i, i as i64)).collect();
@@ -500,6 +785,27 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threaded_batch_size_does_not_change_results() {
+        let inputs: Vec<Tuple> = (0..200).map(|i| t(i, i as i64)).collect();
+        let mut reference: Option<Vec<i64>> = None;
+        for bs in [1usize, 3, 64, 1024] {
+            let (g, sink) = doubling_graph();
+            let exec = ThreadedExecutor::new(16).with_batch_size(bs);
+            let out = exec
+                .run(g, vec![("in".into(), 0, inputs.clone())])
+                .unwrap()
+                .remove(&sink)
+                .unwrap();
+            let mut vs: Vec<i64> = out.iter().map(|t| t.int("v").unwrap()).collect();
+            vs.sort();
+            match &reference {
+                None => reference = Some(vs),
+                Some(r) => assert_eq!(r, &vs, "batch size {bs}"),
+            }
+        }
     }
 
     #[test]
@@ -541,7 +847,7 @@ mod tests {
 
         let exec = ThreadedExecutor::default();
         let out = exec
-            .run(g, vec![("in".into(), 0, (0..5).map(|i| mk(i)).collect())])
+            .run(g, vec![("in".into(), 0, (0..5).map(mk).collect())])
             .unwrap();
         let results = &out[&sink];
         assert_eq!(results.len(), 1, "window only closes at flush");

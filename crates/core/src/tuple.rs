@@ -130,6 +130,23 @@ impl Tuple {
         self
     }
 
+    /// Replace one value in place (the batched operators' mutation path —
+    /// no move, no clone).
+    pub fn set_value(&mut self, idx: usize, v: Value) {
+        self.values[idx] = v;
+    }
+
+    /// Append values under a wider schema, mutating in place — the
+    /// allocation-free counterpart of [`Self::extended`] used by batched
+    /// projection (the existing values vector is reused, not cloned).
+    /// `extra` is drained, so the caller can reuse its buffer across
+    /// tuples.
+    pub fn extend_in_place(&mut self, schema: Arc<Schema>, extra: &mut Vec<Value>) {
+        self.values.append(extra);
+        assert_eq!(self.values.len(), schema.len());
+        self.schema = schema;
+    }
+
     /// Append values under a wider schema (projection/derivation output).
     pub fn extended(&self, schema: Arc<Schema>, extra: Vec<Value>) -> Tuple {
         let mut values = self.values.clone();
@@ -229,6 +246,22 @@ mod tests {
         assert_eq!(e.int("area").unwrap(), 7);
         assert_eq!(e.ts, t.ts);
         assert_eq!(e.lineage, t.lineage);
+    }
+
+    #[test]
+    fn extend_in_place_matches_extended() {
+        let t = tuple();
+        let wider = t
+            .schema()
+            .extend(vec![crate::schema::Field::new("area", DataType::Int)]);
+        let by_clone = t.extended(wider.clone(), vec![Value::from(7i64)]);
+        let mut in_place = t;
+        let mut extra = vec![Value::from(7i64)];
+        in_place.extend_in_place(wider, &mut extra);
+        assert!(extra.is_empty(), "extra buffer is drained for reuse");
+        assert_eq!(in_place.int("area").unwrap(), by_clone.int("area").unwrap());
+        assert_eq!(in_place.ts, by_clone.ts);
+        assert_eq!(in_place.lineage, by_clone.lineage);
     }
 
     #[test]

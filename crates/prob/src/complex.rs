@@ -165,6 +165,8 @@ impl Mul<f64> for Complex64 {
 
 impl Div for Complex64 {
     type Output = Complex64;
+    // Complex division *is* multiplication by the inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.inv()

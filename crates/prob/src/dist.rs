@@ -1386,9 +1386,9 @@ impl MvGaussian {
         let d = self.dim();
         let z: Vec<f64> = (0..d).map(|_| standard_normal(rng)).collect();
         let mut out = self.mean.clone();
-        for a in 0..d {
+        for (a, o) in out.iter_mut().enumerate() {
             for (b, &zb) in z.iter().enumerate().take(a + 1) {
-                out[a] += self.chol[a * d + b] * zb;
+                *o += self.chol[a * d + b] * zb;
             }
         }
         out
@@ -1403,8 +1403,8 @@ impl MvGaussian {
         let mut y = vec![0.0; d];
         for a in 0..d {
             let mut sum = x[a] - self.mean[a];
-            for k in 0..a {
-                sum -= self.chol[a * d + k] * y[k];
+            for (k, &yk) in y.iter().enumerate().take(a) {
+                sum -= self.chol[a * d + k] * yk;
             }
             y[a] = sum / self.chol[a * d + a];
         }

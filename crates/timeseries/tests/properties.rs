@@ -64,8 +64,8 @@ proptest! {
     fn ma_autocov_cutoff(t1 in -1.5f64..1.5, t2 in -1.5f64..1.5, s2 in 0.1f64..5.0) {
         let g = ma_theoretical_autocov(&[t1, t2], s2, 5);
         prop_assert!((g[0] - s2 * (1.0 + t1 * t1 + t2 * t2)).abs() < 1e-12);
-        for k in 3..=5 {
-            prop_assert!(g[k].abs() < 1e-12);
+        for gk in g.iter().skip(3) {
+            prop_assert!(gk.abs() < 1e-12);
         }
     }
 

@@ -148,11 +148,7 @@ fn main() {
     }
 
     println!("Q2 flammable-object alerts: {}\n", alerts.len());
-    let mut shown = 0;
-    for a in &alerts {
-        if shown >= 10 {
-            break;
-        }
+    for a in alerts.iter().take(10) {
         let loc = a.updf("loc").unwrap().mean_vec();
         let temp = a.updf("temp").unwrap();
         println!(
@@ -165,7 +161,6 @@ fn main() {
             temp.prob_above(60.0),
             a.existence
         );
-        shown += 1;
     }
     if alerts.len() > 10 {
         println!("  … and {} more", alerts.len() - 10);

@@ -1,11 +1,15 @@
 //! Executor throughput on a Q1-style select → project → aggregate graph:
 //! tuple-at-a-time single-threaded execution vs batched single-threaded
-//! execution vs the threaded executor, at batch sizes {1, 64, 1024}.
+//! execution vs the threaded executor (batch sizes {1, 64, 1024}) vs the
+//! sharded runtime at shard counts {1, 2, 4, 8}.
 //!
-//! This is the perf-trajectory baseline for the batched, plan-compiled
-//! execution engine: `BENCH_executor_throughput.json` at the repo root
-//! records the medians. The headline comparison is
-//! `single/tuple_at_a_time` against `single/batched/1024`.
+//! This is the perf-trajectory baseline for the execution engine:
+//! `BENCH_executor_throughput.json` at the repo root records the
+//! medians. The headline comparisons are `single/tuple_at_a_time`
+//! against `single/batched/1024` and `single/batched/1024` against
+//! `sharded/4/1024`. The sharded worker pool sizes itself to
+//! `min(shards, cores)`, so on a single-core box the sharded rows
+//! measure routing + merge overhead at zero parallelism.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::collections::HashMap;
@@ -20,9 +24,11 @@ use ustream_core::tuple::Tuple;
 use ustream_core::updf::Updf;
 use ustream_core::value::{GroupKey, Value};
 use ustream_prob::dist::Dist;
+use ustream_runtime::ShardedExecutor;
 
 const N_TUPLES: usize = 8_192;
 const BATCH_SIZES: [usize; 3] = [1, 64, 1024];
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 // ---------------------------------------------------------------------
 // Frozen baseline: the tuple-at-a-time executor this engine shipped with
@@ -252,6 +258,25 @@ fn bench_executor_throughput(c: &mut Criterion) {
                 |((g, sink), tuples)| {
                     let exec = ThreadedExecutor::new(1024).with_batch_size(bs);
                     let out = exec.run(g, vec![("in".into(), 0, tuples)]).unwrap();
+                    out[&sink].len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // NodeIds are positional, so the sink handle from one construction
+    // addresses every factory-built copy.
+    let sink = q1_graph().1;
+    for shards in SHARD_COUNTS {
+        group.bench_function(format!("sharded/{shards}/1024"), |b| {
+            b.iter_batched(
+                || feed.clone(),
+                |tuples| {
+                    let exec = ShardedExecutor::new(shards).with_batch_size(1024);
+                    let out = exec
+                        .run(|| q1_graph().0, vec![("in".into(), 0, tuples)])
+                        .unwrap();
                     out[&sink].len()
                 },
                 BatchSize::SmallInput,

@@ -13,7 +13,7 @@
 
 use crate::schema::Schema;
 use crate::tuple::Tuple;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// An ordered run of tuples moving through the graph together.
 ///
@@ -95,6 +95,71 @@ impl Batch {
     }
 }
 
+/// A shared free list of tuple buffers, cutting allocator traffic where
+/// the engine itself creates and retires batches on the hot path: the
+/// feed chunker that cuts input streams into batches, the sharded
+/// runtime's router that splits chunks into per-shard sub-batches, and
+/// the sink-collection step that drains arrived batches into result
+/// vectors.
+///
+/// Cloning is cheap (`Arc`); the same pool may be shared by a driver
+/// thread taking buffers and worker threads returning them. Buffers keep
+/// their capacity across reuse; at most `max_buffers` are retained so a
+/// burst cannot pin memory forever.
+#[derive(Debug, Clone)]
+pub struct BatchPool {
+    free: Arc<Mutex<Vec<Vec<Tuple>>>>,
+    max_buffers: usize,
+}
+
+impl Default for BatchPool {
+    fn default() -> Self {
+        BatchPool::new(64)
+    }
+}
+
+impl BatchPool {
+    pub fn new(max_buffers: usize) -> Self {
+        BatchPool {
+            free: Arc::new(Mutex::new(Vec::new())),
+            max_buffers,
+        }
+    }
+
+    /// An empty batch backed by a recycled buffer when one is available,
+    /// or a fresh allocation of `capacity` otherwise.
+    pub fn take(&self, capacity: usize) -> Batch {
+        let buf = self.free.lock().expect("batch pool poisoned").pop();
+        match buf {
+            Some(buf) => Batch { tuples: buf },
+            None => Batch::with_capacity(capacity),
+        }
+    }
+
+    /// Return a spent buffer to the pool. Tuples still inside are
+    /// dropped; the allocation survives for the next [`BatchPool::take`].
+    pub fn put(&self, mut buf: Vec<Tuple>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        buf.clear();
+        let mut free = self.free.lock().expect("batch pool poisoned");
+        if free.len() < self.max_buffers {
+            free.push(buf);
+        }
+    }
+
+    /// [`BatchPool::put`] for a whole batch.
+    pub fn recycle(&self, batch: Batch) {
+        self.put(batch.tuples);
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn free_buffers(&self) -> usize {
+        self.free.lock().expect("batch pool poisoned").len()
+    }
+}
+
 impl From<Vec<Tuple>> for Batch {
     fn from(tuples: Vec<Tuple>) -> Self {
         Batch { tuples }
@@ -171,6 +236,34 @@ mod tests {
         let mut b: Batch = (0..10).map(|i| t(&s, i)).collect();
         b.retain_mut(|t| t.int("v").unwrap() % 2 == 0);
         assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn pool_reuses_buffers_and_bounds_retention() {
+        let s = Schema::builder().field("v", DataType::Int).build();
+        let pool = BatchPool::new(2);
+        let mut b = pool.take(8);
+        assert_eq!(b.len(), 0);
+        b.push(t(&s, 1));
+        let cap = {
+            let v: Vec<Tuple> = b.into_vec();
+            let cap = v.capacity();
+            pool.put(v);
+            cap
+        };
+        assert_eq!(pool.free_buffers(), 1);
+        // Reuse keeps the allocation and hands back an empty batch.
+        let b2 = pool.take(0);
+        assert!(b2.is_empty());
+        assert!(b2.tuples.capacity() >= cap.min(1));
+        // Retention is bounded by max_buffers.
+        pool.put(Vec::with_capacity(4));
+        pool.put(Vec::with_capacity(4));
+        pool.put(Vec::with_capacity(4));
+        assert_eq!(pool.free_buffers(), 2);
+        // Capacity-0 buffers are not worth pooling.
+        pool.recycle(Batch::new());
+        assert_eq!(pool.free_buffers(), 2);
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub enum EngineError {
     InvalidGraph(String),
     /// Lineage referenced a base tuple that was never archived.
     MissingLineage(u64),
+    /// An operator panicked on a worker thread; the message carries the
+    /// operator name and the panic payload. Parallel executors surface
+    /// this at the driver instead of hanging or silently dropping the
+    /// dead operator's partition of the output.
+    OperatorPanicked(String),
 }
 
 impl fmt::Display for EngineError {
@@ -39,6 +44,9 @@ impl fmt::Display for EngineError {
             EngineError::MissingLineage(id) => {
                 write!(f, "lineage references unarchived base tuple {id}")
             }
+            EngineError::OperatorPanicked(msg) => {
+                write!(f, "operator panicked during execution: {msg}")
+            }
         }
     }
 }
@@ -47,6 +55,18 @@ impl std::error::Error for EngineError {}
 
 /// Convenience alias used across the engine.
 pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Best-effort extraction of a human-readable message from a panic
+/// payload (the `Box<dyn Any>` a joined thread hands back). Shared by the
+/// parallel executors when they convert worker panics into
+/// [`EngineError::OperatorPanicked`].
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
 
 #[cfg(test)]
 mod tests {

@@ -38,13 +38,13 @@ pub mod updf;
 pub mod value;
 pub mod window;
 
-pub use batch::Batch;
+pub use batch::{Batch, BatchPool};
 pub use confidence::{confidence_region, ConfidenceRegion};
-pub use error::{EngineError, Result};
+pub use error::{panic_message, EngineError, Result};
 pub use lineage::{ApproxLineage, Archive, Lineage};
 pub use metrics::{Metered, MetricsHandle, OpMetrics};
-pub use ops::Operator;
-pub use query::{CompiledPlan, NodeId, QueryGraph, ThreadedExecutor};
+pub use ops::{Operator, Partitioning};
+pub use query::{CompiledPlan, ExecSession, NodeId, QueryGraph, ThreadedExecutor};
 pub use schema::{DataType, Field, Schema};
 pub use toperator::TransformOperator;
 pub use tuple::Tuple;

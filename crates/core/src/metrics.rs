@@ -131,6 +131,17 @@ impl<O: Operator> Operator for Metered<O> {
         m.busy += t0.elapsed();
         out
     }
+
+    // Partitioning is the inner operator's property; without these
+    // delegations a metered operator would fall back to the trait's
+    // `Global` default and pin the whole sharded plan.
+    fn partition_keys(&self) -> crate::ops::Partitioning {
+        self.inner.partition_keys()
+    }
+
+    fn partition_key(&self, port: usize, tuple: &Tuple) -> Option<crate::value::GroupKey> {
+        self.inner.partition_key(port, tuple)
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +154,12 @@ mod tests {
     fn t(v: i64) -> Tuple {
         let s = Schema::builder().field("v", DataType::Int).build();
         Tuple::new(s, vec![Value::from(v)], 0)
+    }
+
+    #[test]
+    fn metering_preserves_partitioning() {
+        let (op, _) = Metered::new(Passthrough::new("sink"));
+        assert_eq!(op.partition_keys(), crate::ops::Partitioning::Any);
     }
 
     #[test]

@@ -282,6 +282,47 @@ impl WindowedAggregate {
         }
         out
     }
+
+    /// Advance the sliding-window state by one tuple, appending every
+    /// window it closes to `pending` as `(start, end, members)`. The
+    /// single home of the close/evict logic, shared by the tuple-at-a-time
+    /// and batched paths.
+    fn sliding_push(&mut self, tuple: Tuple, pending: &mut Vec<(u64, u64, Vec<Tuple>)>) {
+        let WindowState::Sliding {
+            range_ms,
+            slide_ms,
+            next_emit,
+            buf,
+        } = &mut self.window
+        else {
+            unreachable!("sliding_push on a non-sliding window");
+        };
+        let (range_ms, slide_ms) = (*range_ms, *slide_ms);
+        if next_emit.is_none() {
+            // First window closes one slide after the first tuple.
+            *next_emit = Some((tuple.ts / slide_ms + 1) * slide_ms);
+        }
+        // Close every slide boundary the new tuple jumps past.
+        while let Some(boundary) = *next_emit {
+            if tuple.ts < boundary {
+                break;
+            }
+            let start = boundary.saturating_sub(range_ms);
+            let members: Vec<Tuple> = buf
+                .iter()
+                .filter(|t| t.ts >= start && t.ts < boundary)
+                .cloned()
+                .collect();
+            if !members.is_empty() {
+                pending.push((start, boundary, members));
+            }
+            *next_emit = Some(boundary + slide_ms);
+            // Evict tuples that can never appear in later windows.
+            let keep_from = (boundary + slide_ms).saturating_sub(range_ms);
+            buf.retain(|t| t.ts >= keep_from);
+        }
+        buf.push(tuple);
+    }
 }
 
 /// Compute one aggregate's result distribution over the group members.
@@ -497,6 +538,33 @@ impl Operator for WindowedAggregate {
         &self.name
     }
 
+    /// Tumbling-window aggregation shards by group key: window boundaries
+    /// are grid-aligned (`k·len`), so each group's windows have identical
+    /// spans and members no matter which other groups share the operator
+    /// instance. Three configurations pin the whole stream to one
+    /// instance instead:
+    ///
+    /// - count windows (window membership depends on the global arrival
+    ///   interleaving across groups),
+    /// - sliding windows (the flush remainder derives its span from the
+    ///   union of all groups' leftover tuples),
+    /// - sampling strategies (draw order from the shared rng depends on
+    ///   which groups coexist in the instance).
+    fn partition_keys(&self) -> crate::ops::Partitioning {
+        let sampling = self
+            .specs
+            .iter()
+            .any(|s| matches!(s.strategy, Strategy::HistogramSampling { .. }));
+        match (&self.window, sampling) {
+            (WindowState::Tumbling(_), false) => crate::ops::Partitioning::Key,
+            _ => crate::ops::Partitioning::Global,
+        }
+    }
+
+    fn partition_key(&self, _port: usize, tuple: &Tuple) -> Option<GroupKey> {
+        Some((self.key_fn)(tuple))
+    }
+
     fn process(&mut self, _port: usize, tuple: Tuple) -> Vec<Tuple> {
         match &mut self.window {
             WindowState::Tumbling(w) => {
@@ -514,38 +582,9 @@ impl Operator for WindowedAggregate {
                 }
                 None => Vec::new(),
             },
-            WindowState::Sliding {
-                range_ms,
-                slide_ms,
-                next_emit,
-                buf,
-            } => {
-                let (range_ms, slide_ms) = (*range_ms, *slide_ms);
-                if next_emit.is_none() {
-                    // First window closes one slide after the first tuple.
-                    *next_emit = Some((tuple.ts / slide_ms + 1) * slide_ms);
-                }
-                // Close every slide boundary the new tuple jumps past.
+            WindowState::Sliding { .. } => {
                 let mut pending: Vec<(u64, u64, Vec<Tuple>)> = Vec::new();
-                while let Some(boundary) = *next_emit {
-                    if tuple.ts < boundary {
-                        break;
-                    }
-                    let start = boundary.saturating_sub(range_ms);
-                    let members: Vec<Tuple> = buf
-                        .iter()
-                        .filter(|t| t.ts >= start && t.ts < boundary)
-                        .cloned()
-                        .collect();
-                    if !members.is_empty() {
-                        pending.push((start, boundary, members));
-                    }
-                    *next_emit = Some(boundary + slide_ms);
-                    // Evict tuples that can never appear in later windows.
-                    let keep_from = (boundary + slide_ms).saturating_sub(range_ms);
-                    buf.retain(|t| t.ts >= keep_from);
-                }
-                buf.push(tuple);
+                self.sliding_push(tuple, &mut pending);
                 let mut out = Vec::new();
                 for (start, end, members) in pending {
                     out.extend(self.emit_window(start, end, members));
@@ -557,18 +596,10 @@ impl Operator for WindowedAggregate {
 
     /// Batched path: buffer the whole batch into the window state with a
     /// single window-kind dispatch, collect every closed window, then run
-    /// the (expensive, shared) emit step once per closed window.
-    fn process_batch(&mut self, port: usize, batch: Batch) -> Batch {
-        // The sliding window's close/evict logic is intricate enough that
-        // batching it separately would duplicate it; reuse the per-tuple
-        // path (outputs are identical by construction).
-        if matches!(self.window, WindowState::Sliding { .. }) {
-            let mut out = Batch::with_capacity(batch.len() / 4);
-            for t in batch {
-                out.extend(self.process(port, t));
-            }
-            return out;
-        }
+    /// the (expensive, shared) emit step once per closed window. Sliding
+    /// windows take the same bulk shape: one shared pending list across
+    /// the batch instead of a per-tuple output `Vec` per member.
+    fn process_batch(&mut self, _port: usize, batch: Batch) -> Batch {
         let mut closed: Vec<(u64, u64, Vec<Tuple>)> = Vec::new();
         match &mut self.window {
             WindowState::Tumbling(w) => {
@@ -586,7 +617,11 @@ impl Operator for WindowedAggregate {
                     }
                 }
             }
-            WindowState::Sliding { .. } => unreachable!("handled above"),
+            WindowState::Sliding { .. } => {
+                for t in batch {
+                    self.sliding_push(t, &mut closed);
+                }
+            }
         }
         let mut out = Batch::new();
         for (start, end, tuples) in closed {
@@ -947,6 +982,53 @@ mod tests {
         assert!((sums[1] - 30.0).abs() < 1e-9);
         assert!((sums[2] - 60.0).abs() < 1e-9);
         assert!((sums[3] - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sliding_batched_path_matches_per_tuple() {
+        // The sliding bulk path must reproduce per-tuple processing
+        // exactly: same windows, same order, same flush remainder.
+        let mk_agg = || {
+            WindowedAggregate::new(
+                WindowKind::Sliding {
+                    range_ms: 2000,
+                    slide_ms: 500,
+                },
+                |t| GroupKey::from_value(t.get("area").unwrap()).unwrap(),
+                sum_spec(Strategy::ExactParametric),
+            )
+        };
+        let tuples: Vec<Tuple> = (0..120u64)
+            .map(|i| tup(i * 137, (i % 3) as i64, i as f64, 1.0))
+            .collect();
+
+        let mut per_tuple = mk_agg();
+        let mut expected = Vec::new();
+        for t in tuples.clone() {
+            expected.extend(per_tuple.process(0, t));
+        }
+        expected.extend(per_tuple.flush());
+
+        let mut batched = mk_agg();
+        let mut got = Vec::new();
+        for chunk in tuples.chunks(7) {
+            got.extend(batched.process_batch(0, Batch::from(chunk.to_vec())));
+        }
+        got.extend(batched.flush());
+
+        assert_eq!(expected.len(), got.len());
+        for (a, b) in expected.iter().zip(&got) {
+            assert_eq!(a.ts, b.ts);
+            assert_eq!(a.str("group").unwrap(), b.str("group").unwrap());
+            assert_eq!(
+                a.get("window_start").unwrap().as_time(),
+                b.get("window_start").unwrap().as_time()
+            );
+            assert_eq!(a.int("n_tuples").unwrap(), b.int("n_tuples").unwrap());
+            let (ua, ub) = (a.updf("total").unwrap(), b.updf("total").unwrap());
+            assert_eq!(ua.mean().to_bits(), ub.mean().to_bits());
+            assert_eq!(ua.variance().to_bits(), ub.variance().to_bits());
+        }
     }
 
     #[test]

@@ -351,6 +351,32 @@ impl Operator for WindowJoin {
         2
     }
 
+    /// Certain equi-joins shard by join key: a pair can only match when
+    /// both keys are equal, so routing each side by its key keeps every
+    /// candidate pair on one shard (window eviction is purely
+    /// timestamp-based and unaffected by which other keys share the
+    /// buffers). Probabilistic conditions (`BandUncertain`, `LocEquals`)
+    /// must compare every cross pair, so they stay global.
+    fn partition_keys(&self) -> crate::ops::Partitioning {
+        match self.condition {
+            JoinCondition::KeyEquals { .. } => crate::ops::Partitioning::Key,
+            _ => crate::ops::Partitioning::Global,
+        }
+    }
+
+    fn partition_key(&self, port: usize, tuple: &Tuple) -> Option<GroupKey> {
+        match &self.condition {
+            JoinCondition::KeyEquals { left, right } => {
+                if port == 0 {
+                    left(tuple)
+                } else {
+                    right(tuple)
+                }
+            }
+            _ => None,
+        }
+    }
+
     fn process(&mut self, port: usize, tuple: Tuple) -> Vec<Tuple> {
         let mut out = Vec::new();
         self.ingest(port, tuple, &mut out);

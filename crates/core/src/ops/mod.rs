@@ -12,6 +12,27 @@ pub mod select;
 
 use crate::batch::Batch;
 use crate::tuple::Tuple;
+use crate::value::GroupKey;
+
+/// How an operator's internal state constrains key-based sharding — the
+/// declaration the sharded runtime reads when it compiles a plan into N
+/// parallel shard pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Per-tuple operator with no cross-tuple state: its input may be
+    /// split across shards arbitrarily and the union of the shard outputs
+    /// equals the unsharded output (selection, projection, pass-through).
+    Any,
+    /// State is partitioned by a key (group-by key, equi-join key):
+    /// tuples that map to the same [`Operator::partition_key`] must be
+    /// processed by the same shard instance, but distinct keys may run in
+    /// parallel.
+    Key,
+    /// State spans the whole stream (count windows, non-equi joins,
+    /// sampling strategies with a shared rng): a single instance must see
+    /// every input tuple, so the operator cannot be sharded.
+    Global,
+}
 
 /// A streaming query operator.
 pub trait Operator: Send {
@@ -47,6 +68,23 @@ pub trait Operator: Send {
     fn flush(&mut self) -> Vec<Tuple> {
         Vec::new()
     }
+
+    /// Declare how this operator's state constrains sharding. The default
+    /// is [`Partitioning::Global`] — the safe answer for stateful
+    /// operators the runtime knows nothing about; stateless operators
+    /// override to `Any`, keyed operators to `Key`.
+    fn partition_keys(&self) -> Partitioning {
+        Partitioning::Global
+    }
+
+    /// The partition key for `tuple` arriving on `port`, for operators
+    /// declaring [`Partitioning::Key`]. `None` means the key cannot be
+    /// derived from this tuple (the runtime then routes it to a fixed
+    /// shard; such tuples never participate in keyed state anyway).
+    fn partition_key(&self, port: usize, tuple: &Tuple) -> Option<GroupKey> {
+        let _ = (port, tuple);
+        None
+    }
 }
 
 /// A trivial pass-through operator; useful as a graph sink and in tests.
@@ -72,13 +110,21 @@ impl Operator for Passthrough {
     fn process_batch(&mut self, _port: usize, batch: Batch) -> Batch {
         batch
     }
+
+    fn partition_keys(&self) -> Partitioning {
+        Partitioning::Any
+    }
 }
 
-/// Stateless operator from a closure `Tuple -> Vec<Tuple>`; the escape
-/// hatch for application-specific certain-data transforms.
+/// Operator from a closure `Tuple -> Vec<Tuple>`; the escape hatch for
+/// application-specific certain-data transforms.
 pub struct MapOperator {
     name: String,
     f: Box<dyn FnMut(Tuple) -> Vec<Tuple> + Send>,
+    /// `FnMut` closures may carry cross-tuple state, so maps declare
+    /// [`Partitioning::Global`] unless the caller promises otherwise via
+    /// [`MapOperator::stateless`].
+    stateless: bool,
 }
 
 impl MapOperator {
@@ -89,7 +135,21 @@ impl MapOperator {
         MapOperator {
             name: name.into(),
             f: Box::new(f),
+            stateless: false,
         }
+    }
+
+    /// Promise that the closure keeps no cross-tuple state, letting the
+    /// sharded runtime split this operator's input across shards.
+    ///
+    /// When a keyed operator (aggregate, equi-join) sits downstream, the
+    /// closure must also leave that operator's key attribute unchanged:
+    /// the runtime routes by the key evaluated on the *source* tuple, so
+    /// a map that rewrites the key field would split one group's state
+    /// across shard instances.
+    pub fn stateless(mut self) -> Self {
+        self.stateless = true;
+        self
     }
 }
 
@@ -108,6 +168,14 @@ impl Operator for MapOperator {
             out.extend((self.f)(t));
         }
         out
+    }
+
+    fn partition_keys(&self) -> Partitioning {
+        if self.stateless {
+            Partitioning::Any
+        } else {
+            Partitioning::Global
+        }
     }
 }
 
@@ -136,5 +204,25 @@ mod tests {
     fn map_operator_applies_closure() {
         let mut m = MapOperator::new("dup", |t: Tuple| vec![t.clone(), t]);
         assert_eq!(m.process(0, t(2)).len(), 2);
+    }
+
+    #[test]
+    fn partitioning_declarations() {
+        assert_eq!(
+            Passthrough::new("sink").partition_keys(),
+            Partitioning::Any,
+            "pass-through is stateless"
+        );
+        let m = MapOperator::new("m", |t: Tuple| vec![t]);
+        assert_eq!(
+            m.partition_keys(),
+            Partitioning::Global,
+            "FnMut maps are conservatively global"
+        );
+        assert_eq!(m.stateless().partition_keys(), Partitioning::Any);
+        assert!(
+            Passthrough::new("sink").partition_key(0, &t(1)).is_none(),
+            "non-keyed operators have no partition key"
+        );
     }
 }

@@ -321,6 +321,12 @@ impl Operator for Project {
         &self.name
     }
 
+    /// Projection derives attributes per tuple (schema caches are derived
+    /// state), so its input may be split freely across shards.
+    fn partition_keys(&self) -> crate::ops::Partitioning {
+        crate::ops::Partitioning::Any
+    }
+
     fn process(&mut self, _port: usize, tuple: Tuple) -> Vec<Tuple> {
         let out_schema = self.output_schema(tuple.schema());
         let mut extra = Vec::with_capacity(self.derivations.len());

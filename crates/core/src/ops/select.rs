@@ -248,6 +248,12 @@ impl Operator for Select {
         &self.name
     }
 
+    /// Selection is per-tuple (the compiled-predicate cache is derived
+    /// state, identical on every shard), so its input may be split freely.
+    fn partition_keys(&self) -> crate::ops::Partitioning {
+        crate::ops::Partitioning::Any
+    }
+
     fn process(&mut self, _port: usize, tuple: Tuple) -> Vec<Tuple> {
         let Some(p) = self.predicate.probability(&tuple) else {
             return Vec::new(); // malformed tuple: drop

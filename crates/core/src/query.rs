@@ -24,7 +24,7 @@
 //! the emitting node is both a sink and has downstream edges. Linear
 //! pipelines never clone.
 
-use crate::batch::Batch;
+use crate::batch::{Batch, BatchPool};
 use crate::error::{EngineError, Result};
 use crate::ops::Operator;
 use crate::tuple::Tuple;
@@ -33,6 +33,20 @@ use std::collections::HashMap;
 /// Node handle in a query graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(usize);
+
+impl NodeId {
+    /// Positional index of this node in its graph — the index used by the
+    /// adjacency tables [`CompiledPlan`] exposes.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Reconstruct a node handle from a positional index (the inverse of
+    /// [`NodeId::index`], for walking [`CompiledPlan::downstream_of`]).
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(i)
+    }
+}
 
 /// An edge: output of `from` feeds `to`'s input `port`.
 #[derive(Debug, Clone, Copy)]
@@ -206,6 +220,38 @@ impl QueryGraph {
         })
     }
 
+    /// Named entry node for `name`, if registered via [`Self::source`].
+    pub fn source_node(&self, name: &str) -> Option<NodeId> {
+        self.sources.get(name).copied()
+    }
+
+    /// Iterate the registered `(name, node)` source entries.
+    pub fn source_entries(&self) -> impl Iterator<Item = (&str, NodeId)> {
+        self.sources.iter().map(|(n, &id)| (n.as_str(), id))
+    }
+
+    /// Borrow the operator at `node`.
+    ///
+    /// Panics if the handle is out of range (handles are only minted by
+    /// [`Self::add`], so this means a handle from a different graph).
+    pub fn operator(&self, node: NodeId) -> &dyn Operator {
+        self.nodes[node.0].as_ref()
+    }
+
+    /// Merge the named input streams into one timestamp-ordered feed of
+    /// `(ts, node, port, tuple)` entries — the arrival order every
+    /// executor (single-threaded, threaded, sharded) presents to the
+    /// graph.
+    pub fn ordered_feed(
+        &self,
+        inputs: Vec<(String, usize, Vec<Tuple>)>,
+    ) -> Result<Vec<(u64, NodeId, usize, Tuple)>> {
+        Ok(Self::build_feed(&self.sources, inputs)?
+            .into_iter()
+            .map(|(ts, node, port, t)| (ts, NodeId(node), port, t))
+            .collect())
+    }
+
     /// Merge the named input streams into one timestamp-ordered feed of
     /// `(ts, node, port, tuple)` entries.
     fn build_feed(
@@ -324,80 +370,203 @@ impl QueryGraph {
         let mut pending: Vec<Vec<(usize, Batch)>> = vec![Vec::new(); self.nodes.len()];
 
         for (node, port, batch) in chunk_feed(feed, batch_size) {
-            self.propagate_batch(node, port, batch, &plan, &mut pending, &mut collected);
+            pump_batch(
+                &mut self.nodes,
+                &plan,
+                &mut pending,
+                &mut collected,
+                None,
+                node,
+                port,
+                batch,
+            );
         }
-
-        // Flush in topological order; flush outputs cascade downstream as
-        // batches and are themselves processed before the receiver's own
-        // flush (same discipline as the tuple-at-a-time path).
-        for idx in 0..plan.order.len() {
-            let i = plan.order[idx];
-            for (port, b) in std::mem::take(&mut pending[i]) {
-                let out = self.nodes[i].process_batch(port, b);
-                if !out.is_empty() {
-                    self.deliver_batch(i, out, &plan, &mut pending, &mut collected);
-                }
-            }
-            let fl = self.nodes[i].flush();
-            if !fl.is_empty() {
-                self.deliver_batch(i, Batch::from(fl), &plan, &mut pending, &mut collected);
-            }
-        }
+        flush_cascade(&mut self.nodes, &plan, &mut pending, &mut collected, None);
         Ok(collected)
     }
 
-    /// Push one batch into `node` and drain the graph from that node's
-    /// rank downward (edges only point to higher ranks, so one forward
-    /// sweep over the cached order fully cascades the batch).
-    fn propagate_batch(
-        &mut self,
-        node: usize,
-        port: usize,
-        batch: Batch,
-        plan: &CompiledPlan,
-        pending: &mut [Vec<(usize, Batch)>],
-        collected: &mut HashMap<NodeId, Vec<Tuple>>,
-    ) {
-        pending[node].push((port, batch));
-        for idx in plan.rank[node]..plan.order.len() {
-            let i = plan.order[idx];
-            if pending[i].is_empty() {
-                continue;
-            }
-            for (port, b) in std::mem::take(&mut pending[i]) {
-                let out = self.nodes[i].process_batch(port, b);
-                if !out.is_empty() {
-                    self.deliver_batch(i, out, plan, pending, collected);
-                }
+    /// Consume the graph into an incremental batched execution session:
+    /// the long-lived form of [`Self::run_batched`] for drivers that
+    /// interleave feeding with other work — each shard pipeline of the
+    /// sharded runtime is one session on a worker thread.
+    pub fn into_session(self) -> Result<ExecSession> {
+        let plan = self.compile()?;
+        let QueryGraph {
+            nodes,
+            edges: _,
+            sources,
+            sinks: _,
+        } = self;
+        let pending = vec![Vec::new(); nodes.len()];
+        let collected = plan.empty_collection();
+        Ok(ExecSession {
+            nodes,
+            plan,
+            sources,
+            pending,
+            collected,
+            pool: None,
+        })
+    }
+}
+
+/// Push one batch into `node` and drain the graph from that node's rank
+/// downward (edges only point to higher ranks, so one forward sweep over
+/// the cached order fully cascades the batch).
+#[allow(clippy::too_many_arguments)]
+fn pump_batch(
+    nodes: &mut [Box<dyn Operator>],
+    plan: &CompiledPlan,
+    pending: &mut [Vec<(usize, Batch)>],
+    collected: &mut HashMap<NodeId, Vec<Tuple>>,
+    pool: Option<&BatchPool>,
+    node: usize,
+    port: usize,
+    batch: Batch,
+) {
+    pending[node].push((port, batch));
+    for idx in plan.rank[node]..plan.order.len() {
+        let i = plan.order[idx];
+        if pending[i].is_empty() {
+            continue;
+        }
+        for (port, b) in std::mem::take(&mut pending[i]) {
+            let out = nodes[i].process_batch(port, b);
+            if !out.is_empty() {
+                deliver_batch(plan, pending, collected, pool, i, out);
             }
         }
     }
+}
 
-    fn deliver_batch(
-        &mut self,
-        from: usize,
-        batch: Batch,
-        plan: &CompiledPlan,
-        pending: &mut [Vec<(usize, Batch)>],
-        collected: &mut HashMap<NodeId, Vec<Tuple>>,
-    ) {
-        let targets = &plan.downstream[from];
-        if plan.is_sink[from] {
-            let bucket = collected.get_mut(&NodeId(from)).expect("sink bucket");
-            if targets.is_empty() {
-                bucket.extend(batch);
-                return;
+/// Route one produced batch: collect at sinks (recycling the spent buffer
+/// into `pool` where the batch ends its life), clone once per *extra*
+/// downstream edge, move into the last.
+fn deliver_batch(
+    plan: &CompiledPlan,
+    pending: &mut [Vec<(usize, Batch)>],
+    collected: &mut HashMap<NodeId, Vec<Tuple>>,
+    pool: Option<&BatchPool>,
+    from: usize,
+    batch: Batch,
+) {
+    let targets = &plan.downstream[from];
+    if plan.is_sink[from] {
+        let bucket = collected.get_mut(&NodeId(from)).expect("sink bucket");
+        if targets.is_empty() {
+            let mut v: Vec<Tuple> = batch.into_vec();
+            bucket.append(&mut v);
+            if let Some(p) = pool {
+                p.put(v);
             }
-            bucket.extend(batch.iter().cloned());
-        } else if targets.is_empty() {
             return;
         }
-        let (&(last_to, last_port), rest) = targets.split_last().expect("targets non-empty");
-        for &(to, port) in rest {
-            debug_assert!(plan.rank[to] > plan.rank[from], "edges follow topo order");
-            pending[to].push((port, batch.clone()));
+        bucket.extend(batch.iter().cloned());
+    } else if targets.is_empty() {
+        if let Some(p) = pool {
+            p.recycle(batch);
         }
-        pending[last_to].push((last_port, batch));
+        return;
+    }
+    let (&(last_to, last_port), rest) = targets.split_last().expect("targets non-empty");
+    for &(to, port) in rest {
+        debug_assert!(plan.rank[to] > plan.rank[from], "edges follow topo order");
+        pending[to].push((port, batch.clone()));
+    }
+    pending[last_to].push((last_port, batch));
+}
+
+/// End of stream: process leftover pending batches and flush every node
+/// in topological order; flush outputs cascade downstream as batches and
+/// are themselves processed before the receiver's own flush (same
+/// discipline as the tuple-at-a-time path).
+fn flush_cascade(
+    nodes: &mut [Box<dyn Operator>],
+    plan: &CompiledPlan,
+    pending: &mut [Vec<(usize, Batch)>],
+    collected: &mut HashMap<NodeId, Vec<Tuple>>,
+    pool: Option<&BatchPool>,
+) {
+    for idx in 0..plan.order.len() {
+        let i = plan.order[idx];
+        for (port, b) in std::mem::take(&mut pending[i]) {
+            let out = nodes[i].process_batch(port, b);
+            if !out.is_empty() {
+                deliver_batch(plan, pending, collected, pool, i, out);
+            }
+        }
+        let fl = nodes[i].flush();
+        if !fl.is_empty() {
+            deliver_batch(plan, pending, collected, pool, i, Batch::from(fl));
+        }
+    }
+}
+
+/// An in-progress batched execution over a consumed [`QueryGraph`]:
+/// batches pushed via [`ExecSession::push`] cascade through the compiled
+/// plan immediately; [`ExecSession::finish`] flushes open state and
+/// returns the per-sink collections.
+///
+/// Pushing batches in the graph's timestamp order reproduces
+/// [`QueryGraph::run_batched`] exactly; any other interleaving gives the
+/// semantics of that arrival order (windows close when their closing
+/// tuple arrives).
+pub struct ExecSession {
+    nodes: Vec<Box<dyn Operator>>,
+    plan: CompiledPlan,
+    sources: HashMap<String, NodeId>,
+    pending: Vec<Vec<(usize, Batch)>>,
+    collected: HashMap<NodeId, Vec<Tuple>>,
+    pool: Option<BatchPool>,
+}
+
+impl ExecSession {
+    /// Recycle spent batch buffers into `pool` wherever this session ends
+    /// a batch's life (sink collection, dead-end nodes).
+    pub fn with_pool(mut self, pool: BatchPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Named entry node for `name`, if the graph registered one.
+    pub fn source_node(&self, name: &str) -> Option<NodeId> {
+        self.sources.get(name).copied()
+    }
+
+    /// Borrow the operator at `node`.
+    pub fn operator(&self, node: NodeId) -> &dyn Operator {
+        self.nodes[node.0].as_ref()
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Push one batch into `node`'s input `port` and cascade it through
+    /// the graph.
+    pub fn push(&mut self, node: NodeId, port: usize, batch: Batch) {
+        pump_batch(
+            &mut self.nodes,
+            &self.plan,
+            &mut self.pending,
+            &mut self.collected,
+            self.pool.as_ref(),
+            node.0,
+            port,
+            batch,
+        );
+    }
+
+    /// Flush all operator state and return the tuples collected per sink.
+    pub fn finish(mut self) -> HashMap<NodeId, Vec<Tuple>> {
+        flush_cascade(
+            &mut self.nodes,
+            &self.plan,
+            &mut self.pending,
+            &mut self.collected,
+            self.pool.as_ref(),
+        );
+        self.collected
     }
 }
 
@@ -425,6 +594,13 @@ fn chunk_feed(
 /// bounded crossbeam channels (backpressure) that carry [`Batch`]es.
 /// Inputs are fed through [`ThreadedExecutor::run`]; sink outputs are
 /// returned per node.
+///
+/// **Legacy path.** Thread-per-operator parallelism is fixed by plan
+/// shape: a small graph cannot use more cores than it has boxes, and
+/// every batch pays one channel hop per edge. The sharded runtime
+/// (`ustream-runtime`'s `ShardedExecutor`) splits the *data* across
+/// key-partitioned pipeline copies instead and is the deployment path;
+/// this executor remains as the pipeline-parallel comparison point.
 ///
 /// `batch_size` controls how many consecutive same-destination input
 /// tuples ride in one message; operator outputs travel as whatever batch
@@ -511,8 +687,9 @@ impl ThreadedExecutor {
         // Sink collection channel.
         let (sink_tx, sink_rx) = bounded::<(usize, Batch)>(self.channel_capacity);
 
-        let mut handles = Vec::with_capacity(n);
+        let mut handles: Vec<(String, std::thread::JoinHandle<()>)> = Vec::with_capacity(n);
         for (i, mut op) in nodes.into_iter().enumerate() {
+            let op_name = op.name().to_string();
             let rx = receivers[i].take().expect("receiver taken once");
             let outs: Vec<(Sender<Msg>, usize)> = plan
                 .downstream_of(NodeId(i))
@@ -566,7 +743,7 @@ impl ThreadedExecutor {
                     let _ = tx.send(Msg::Eos);
                 }
             });
-            handles.push(handle);
+            handles.push((op_name, handle));
         }
         drop(sink_tx);
 
@@ -583,12 +760,18 @@ impl ThreadedExecutor {
             got
         });
 
-        // Drive the inputs in timestamp order, batch-size tuples at a time.
+        // Drive the inputs in timestamp order, batch-size tuples at a
+        // time. A failed send means the target's thread died (panicked:
+        // a worker only drops its receiver by unwinding or finishing, and
+        // no node finishes before its driver EOS) — stop feeding and fall
+        // through to the join below, which surfaces the panic.
         let feed = QueryGraph::build_feed(&sources, inputs)?;
+        let mut feed_failed = false;
         for (node, port, batch) in chunk_feed(feed, self.batch_size) {
-            senders[node]
-                .send(Msg::Data(port, batch))
-                .map_err(|_| EngineError::InvalidGraph("operator thread died".into()))?;
+            if senders[node].send(Msg::Data(port, batch)).is_err() {
+                feed_failed = true;
+                break;
+            }
         }
         // Signal EOS to driver-fed nodes (once per registered source feed)
         // and to pure-source nodes with no upstream at all.
@@ -606,8 +789,24 @@ impl ThreadedExecutor {
         for (i, tuples) in collector.join().expect("sink collector thread") {
             collected.entry(NodeId(i)).or_default().extend(tuples);
         }
-        for h in handles {
-            let _ = h.join();
+        // A panicking operator must surface as an `Err` at the driver,
+        // never as a hang or a silently truncated result set.
+        let mut panics: Vec<String> = Vec::new();
+        for (name, h) in handles {
+            if let Err(payload) = h.join() {
+                panics.push(format!(
+                    "`{name}`: {}",
+                    crate::error::panic_message(payload.as_ref())
+                ));
+            }
+        }
+        if !panics.is_empty() {
+            return Err(EngineError::OperatorPanicked(panics.join("; ")));
+        }
+        if feed_failed {
+            return Err(EngineError::InvalidGraph(
+                "operator thread disconnected mid-stream".into(),
+            ));
         }
         Ok(collected)
     }

@@ -1,0 +1,357 @@
+//! # ustream-runtime — the sharded parallel runtime
+//!
+//! Scales the batched execution engine across cores without giving up
+//! the engine's determinism guarantees. A [`ShardedExecutor`] compiles a
+//! query graph into **N shard pipelines** (full copies of the operator
+//! chain built by a graph factory), hash-partitions the input feed by
+//! **operator-declared partition keys** ([`ustream_core::Operator::partition_keys`]:
+//! group-by keys for tumbling aggregation, join keys for equi-joins;
+//! stateless operators split freely), runs the shards on a **persistent
+//! worker pool** connected by bounded MPMC channels (backpressure: a
+//! fast driver blocks rather than ballooning memory), and merges sink
+//! outputs into a canonical `(timestamp, content)` order that is
+//! byte-for-byte reproducible across runs and shard counts.
+//!
+//! Key design points:
+//!
+//! - **Logical shards ≠ physical workers.** Shard count fixes the
+//!   partitioning (and therefore the output); the worker pool defaults
+//!   to `min(shards, available cores)`. The same plan runs unchanged —
+//!   and produces identical bytes — on a laptop and a 64-core box.
+//! - **Soundness over parallelism.** The [`plan::ShardPlan`] pins
+//!   entries whose downstream cone contains a
+//!   [`ustream_core::Partitioning::Global`] operator (count windows,
+//!   probabilistic joins, sampling aggregates) to a single shard, and
+//!   pinning cascades through shared keyed anchors. Degraded plans lose
+//!   speedup, never equivalence.
+//! - **Pooled batches.** Per-shard sub-batches are carved from a shared
+//!   [`BatchPool`]; spent buffers are recycled where batches end their
+//!   lives (sink collection), cutting steady-state allocator traffic.
+//! - **Failure surfaces.** A panicking operator tears down its worker;
+//!   the driver stops feeding, joins the pool, and returns
+//!   [`EngineError::OperatorPanicked`] — never a hang, never a silently
+//!   truncated result.
+//!
+//! The thread-per-operator `ThreadedExecutor` in `ustream-core` remains
+//! as the legacy comparison point; this runtime is the deployment path
+//! (data parallelism scales with cores, not with plan shape).
+
+pub mod merge;
+pub mod plan;
+
+use crossbeam::channel::{bounded, Sender};
+use plan::{shard_of, ShardPlan};
+use std::collections::HashMap;
+use ustream_core::batch::{Batch, BatchPool};
+use ustream_core::error::{panic_message, EngineError, Result};
+use ustream_core::query::{ExecSession, QueryGraph};
+use ustream_core::{NodeId, Tuple};
+
+/// One unit of work for a shard pipeline: a batch addressed to a node's
+/// input port, tagged with the worker-local session slot.
+struct WorkerMsg {
+    slot: usize,
+    node: NodeId,
+    port: usize,
+    batch: Batch,
+}
+
+/// The sharded executor. Construct with [`ShardedExecutor::new`], tune
+/// with the `with_*` builders, run with [`ShardedExecutor::run`].
+pub struct ShardedExecutor {
+    shards: usize,
+    workers: Option<usize>,
+    channel_capacity: usize,
+    batch_size: usize,
+    pool_buffers: usize,
+}
+
+impl ShardedExecutor {
+    /// An executor with `shards` logical partitions. Worker count
+    /// defaults to `min(shards, available cores)`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardedExecutor {
+            shards,
+            workers: None,
+            channel_capacity: 64,
+            batch_size: 512,
+            pool_buffers: 4 * shards,
+        }
+    }
+
+    /// Pin the worker-pool size (otherwise `min(shards, cores)`).
+    /// Workers beyond the shard count would sit idle and are clamped.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0);
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Bound each worker's inbox to `cap` in-flight batches
+    /// (backpressure depth).
+    pub fn with_channel_capacity(mut self, cap: usize) -> Self {
+        assert!(cap > 0);
+        self.channel_capacity = cap;
+        self
+    }
+
+    /// Target tuples per routed sub-batch.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0);
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Routing decision the executor would make for `graph` — exposed
+    /// for diagnostics and tests (e.g. asserting that a probabilistic
+    /// join degrades to a pinned single-shard plan).
+    pub fn shard_plan(graph: &QueryGraph) -> Result<ShardPlan> {
+        let plan = graph.compile()?;
+        Ok(ShardPlan::analyze(graph, &plan))
+    }
+
+    /// Run the graph produced by `factory` to completion over `inputs`.
+    ///
+    /// `factory` is invoked once per shard plus once for the routing
+    /// prototype and must build the same graph every time (same
+    /// operators in the same order with the same configuration —
+    /// enforced structurally, trusted behaviorally). Returns the merged
+    /// per-sink collections in canonical `(timestamp, content)` order.
+    ///
+    /// The driver thread participates in the pool as worker 0: its
+    /// shards execute inline between routing steps (no channel, no
+    /// context switch), and `workers - 1` pool threads carry the rest.
+    /// With a single worker the whole run is thread-free; the output is
+    /// identical either way because each shard's batch order is fixed by
+    /// the router, not by scheduling.
+    pub fn run(
+        &self,
+        factory: impl Fn() -> QueryGraph,
+        inputs: Vec<(String, usize, Vec<Tuple>)>,
+    ) -> Result<HashMap<NodeId, Vec<Tuple>>> {
+        let prototype = factory();
+        let compiled = prototype.compile()?;
+        let shard_plan = ShardPlan::analyze(&prototype, &compiled);
+        let feed = prototype.ordered_feed(inputs)?;
+
+        let n_shards = self.shards;
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let n_workers = self.workers.unwrap_or(cores).clamp(1, n_shards);
+        let pool = BatchPool::new(self.pool_buffers);
+
+        // Build one session per shard, dealt round-robin onto workers:
+        // shard s lives on worker s % n_workers at slot s / n_workers.
+        // Worker 0 is the driver itself.
+        let mut per_worker: Vec<Vec<(usize, ExecSession)>> =
+            (0..n_workers).map(|_| Vec::new()).collect();
+        for s in 0..n_shards {
+            let g = factory();
+            if g.num_nodes() != prototype.num_nodes()
+                || (0..g.num_nodes()).any(|i| {
+                    g.operator(NodeId::from_index(i)).name()
+                        != prototype.operator(NodeId::from_index(i)).name()
+                })
+            {
+                return Err(EngineError::InvalidConfig(
+                    "shard factory must build identical graphs on every call".into(),
+                ));
+            }
+            let session = g.into_session()?.with_pool(pool.clone());
+            per_worker[s % n_workers].push((s, session));
+        }
+        let mut inline_sessions = per_worker.remove(0);
+
+        // Spawn the pool threads: one bounded inbox per worker (per-shard
+        // batch order is fixed by the driver and must survive delivery,
+        // so shards do not share a free-for-all queue).
+        let mut senders: Vec<Sender<WorkerMsg>> = Vec::with_capacity(per_worker.len());
+        let mut handles = Vec::with_capacity(per_worker.len());
+        for sessions in per_worker {
+            let (tx, rx) = bounded::<WorkerMsg>(self.channel_capacity);
+            senders.push(tx);
+            handles.push(std::thread::spawn(move || {
+                let mut sessions = sessions;
+                while let Ok(WorkerMsg {
+                    slot,
+                    node,
+                    port,
+                    batch,
+                }) = rx.recv()
+                {
+                    sessions[slot].1.push(node, port, batch);
+                }
+                // Channel disconnected: end of stream. Flush every shard.
+                sessions
+                    .into_iter()
+                    .map(|(shard, session)| (shard, session.finish()))
+                    .collect::<Vec<_>>()
+            }));
+        }
+
+        // Route the feed: per-shard builders cut the stream into runs of
+        // consecutive same-(node, port) tuples, preserving each shard's
+        // arrival order. Driver-owned shards execute inline (panics
+        // caught and surfaced); remote sends block when a worker's inbox
+        // is full — the backpressure path — and fail only if the worker
+        // died, in which case we stop feeding and surface its panic at
+        // the join below.
+        struct Builder {
+            node: NodeId,
+            port: usize,
+            batch: Batch,
+        }
+        let mut builders: Vec<Builder> = (0..n_shards)
+            .map(|_| Builder {
+                node: NodeId::from_index(0),
+                port: 0,
+                batch: Batch::new(),
+            })
+            .collect();
+        let mut spread = 0usize;
+        /// Why the feed loop stopped early.
+        enum FeedError {
+            /// A panic on the driver thread (inline shard or routing key
+            /// computation), already rendered to a message.
+            DriverPanic(String),
+            /// A pool thread dropped its inbox; its panic surfaces when
+            /// the thread is joined.
+            WorkerGone,
+        }
+        let mut feed_failed: Option<FeedError> = None;
+        let dispatch = |node: NodeId,
+                        port: usize,
+                        batch: Batch,
+                        shard: usize,
+                        inline_sessions: &mut Vec<(usize, ExecSession)>|
+         -> std::result::Result<(), FeedError> {
+            let worker = shard % n_workers;
+            let slot = shard / n_workers;
+            if worker == 0 {
+                let session = &mut inline_sessions[slot].1;
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    session.push(node, port, batch)
+                }))
+                .map_err(|p| {
+                    FeedError::DriverPanic(format!(
+                        "worker 0 (driver): {}",
+                        panic_message(p.as_ref())
+                    ))
+                })
+            } else {
+                senders[worker - 1]
+                    .send(WorkerMsg {
+                        slot,
+                        node,
+                        port,
+                        batch,
+                    })
+                    .map_err(|_| FeedError::WorkerGone)
+            }
+        };
+        let single_shard = n_shards == 1;
+        'feed: for (_, node, port, tuple) in feed {
+            let shard = if single_shard {
+                0 // everything is pinned anyway; skip the key computation
+            } else {
+                // The key computation runs a user closure against the raw
+                // source tuple; if it cannot handle that tuple (e.g. the
+                // key attribute is minted downstream), surface the panic
+                // as an error instead of unwinding through the driver.
+                let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let rule = shard_plan.rule(node);
+                    shard_of(rule, &prototype, port, &tuple, n_shards, &mut spread)
+                }));
+                match routed {
+                    Ok(shard) => shard,
+                    Err(p) => {
+                        feed_failed = Some(FeedError::DriverPanic(format!(
+                            "routing (partition key): {}",
+                            panic_message(p.as_ref())
+                        )));
+                        break 'feed;
+                    }
+                }
+            };
+            let b = &mut builders[shard];
+            if !b.batch.is_empty()
+                && (b.node != node || b.port != port || b.batch.len() >= self.batch_size)
+            {
+                let full = std::mem::replace(&mut b.batch, pool.take(self.batch_size.min(64)));
+                let (n, p) = (b.node, b.port);
+                if let Err(e) = dispatch(n, p, full, shard, &mut inline_sessions) {
+                    feed_failed = Some(e);
+                    break 'feed;
+                }
+            }
+            let b = &mut builders[shard];
+            b.node = node;
+            b.port = port;
+            b.batch.push(tuple);
+        }
+        if feed_failed.is_none() {
+            for (shard, b) in builders.into_iter().enumerate() {
+                if !b.batch.is_empty() {
+                    if let Err(e) = dispatch(b.node, b.port, b.batch, shard, &mut inline_sessions) {
+                        feed_failed = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+        drop(senders); // EOS: pool threads drain, flush, and return
+
+        // Collect: inline shards finish on the driver (panics caught),
+        // pool threads are joined (panics surface from the join).
+        let mut shard_outputs: Vec<(usize, HashMap<NodeId, Vec<Tuple>>)> = Vec::new();
+        let mut panics: Vec<String> = Vec::new();
+        let send_failed = matches!(&feed_failed, Some(FeedError::WorkerGone));
+        if let Some(FeedError::DriverPanic(msg)) = feed_failed {
+            panics.push(msg);
+        }
+        if panics.is_empty() {
+            for (shard, session) in inline_sessions {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.finish())) {
+                    Ok(outs) => shard_outputs.push((shard, outs)),
+                    Err(p) => {
+                        panics.push(format!("worker 0 (driver): {}", panic_message(p.as_ref())))
+                    }
+                }
+            }
+        }
+        for (w, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(outs) => shard_outputs.extend(outs),
+                Err(payload) => panics.push(format!(
+                    "worker {}: {}",
+                    w + 1,
+                    panic_message(payload.as_ref())
+                )),
+            }
+        }
+        if !panics.is_empty() {
+            return Err(EngineError::OperatorPanicked(panics.join("; ")));
+        }
+        if send_failed {
+            return Err(EngineError::InvalidGraph(
+                "worker disconnected mid-stream".into(),
+            ));
+        }
+
+        // Deterministic merge: concatenate in shard order, then sort each
+        // sink into the canonical order (stable w.r.t. per-shard order).
+        shard_outputs.sort_by_key(|(shard, _)| *shard);
+        let mut merged: HashMap<NodeId, Vec<Tuple>> = HashMap::new();
+        for (_, outs) in shard_outputs {
+            for (sink, tuples) in outs {
+                merged.entry(sink).or_default().extend(tuples);
+            }
+        }
+        for tuples in merged.values_mut() {
+            merge::canonical_sort(tuples);
+        }
+        Ok(merged)
+    }
+}

@@ -1,0 +1,250 @@
+//! Shard planning: decide, per source entry, how input tuples are routed
+//! across shard pipelines.
+//!
+//! The planner reads each operator's [`Partitioning`] declaration and the
+//! compiled adjacency, then assigns every entry node one of three rules:
+//!
+//! - **Keyed** — the entry's downstream cone contains exactly one keyed
+//!   stateful operator (its *anchor*); tuples route by the anchor's
+//!   partition key so every group's state lives on one shard.
+//! - **Spread** — no stateful operator downstream; tuples spread
+//!   round-robin (stateless operators replicate freely).
+//! - **Pinned** — a global operator, conflicting anchors, or an
+//!   ambiguous anchor port: the entry's tuples all go to shard 0, where
+//!   a single instance sees the whole stream.
+//!
+//! Pinning cascades: a keyed anchor fed by *any* pinned entry would see
+//! its per-key state split between shards, so all entries feeding that
+//! anchor are pinned with it (fixpoint below). The result is always a
+//! *sound* plan — degraded configurations lose parallelism, never
+//! correctness.
+
+use ustream_core::query::{CompiledPlan, QueryGraph};
+use ustream_core::value::GroupKey;
+use ustream_core::{NodeId, Partitioning, Tuple};
+
+/// How tuples entering at one source node choose a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteRule {
+    /// Hash the partition key computed by the anchor operator. `port` is
+    /// the anchor input port flows from this entry arrive on; `None`
+    /// means the entry node *is* the anchor and the feed's own port is
+    /// used.
+    Keyed { anchor: NodeId, port: Option<usize> },
+    /// Stateless cone: round-robin across shards.
+    Spread,
+    /// All tuples to shard 0.
+    Pinned,
+}
+
+/// The routing decision for a compiled graph.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Rule per node index (non-entry nodes default to `Pinned`; only
+    /// entry indices are ever consulted). A flat table because the
+    /// driver reads it once per input tuple.
+    rules: Vec<RouteRule>,
+    /// True when at least one entry routes by key or spreads — i.e. the
+    /// plan actually uses more than one shard when shards > 1.
+    parallel: bool,
+}
+
+impl ShardPlan {
+    /// Analyze `graph` (with its compiled `plan`) into routing rules for
+    /// every registered source entry.
+    pub fn analyze(graph: &QueryGraph, plan: &CompiledPlan) -> ShardPlan {
+        let n = plan.num_nodes();
+        // Downstream-reachable set per node, self included (bitsets as
+        // Vec<bool>; graphs are tens of nodes, not millions).
+        let mut reach: Vec<Vec<bool>> = vec![vec![false; n]; n];
+        // Walk in reverse topological order so each node's set is the
+        // union of its successors' sets.
+        for &i in plan.topo_order().iter().rev() {
+            reach[i][i] = true;
+            let succs: Vec<usize> = plan
+                .downstream_of(NodeId::from_index(i))
+                .iter()
+                .map(|&(to, _)| to)
+                .collect();
+            for s in succs {
+                let src = std::mem::take(&mut reach[s]);
+                for (x, y) in reach[i].iter_mut().zip(src.iter()) {
+                    *x |= *y;
+                }
+                reach[s] = src;
+            }
+        }
+
+        let partitioning: Vec<Partitioning> = (0..n)
+            .map(|i| graph.operator(NodeId::from_index(i)).partition_keys())
+            .collect();
+
+        let entries: Vec<usize> = graph.source_entries().map(|(_, id)| id.index()).collect();
+        let mut rules: Vec<RouteRule> = vec![RouteRule::Pinned; n];
+        for &e in &entries {
+            let anchors: Vec<usize> = (0..n)
+                .filter(|&i| reach[e][i] && partitioning[i] != Partitioning::Any)
+                .collect();
+            let rule = match anchors.as_slice() {
+                [] => RouteRule::Spread,
+                [a] if partitioning[*a] == Partitioning::Key => {
+                    match anchor_port(plan, &reach, e, *a) {
+                        Some(port) => RouteRule::Keyed {
+                            anchor: NodeId::from_index(*a),
+                            port,
+                        },
+                        None => RouteRule::Pinned,
+                    }
+                }
+                _ => RouteRule::Pinned,
+            };
+            rules[e] = rule;
+        }
+
+        // Fixpoint: a keyed anchor with any pinned feeder pins all of its
+        // feeders (otherwise its per-key state would split across shards).
+        loop {
+            let mut changed = false;
+            let anchors: Vec<usize> = entries
+                .iter()
+                .filter_map(|&e| match rules[e] {
+                    RouteRule::Keyed { anchor, .. } => Some(anchor.index()),
+                    _ => None,
+                })
+                .collect();
+            for a in anchors {
+                let feeders: Vec<usize> =
+                    entries.iter().copied().filter(|&e| reach[e][a]).collect();
+                let any_pinned = feeders.iter().any(|&e| rules[e] == RouteRule::Pinned);
+                if any_pinned {
+                    for e in feeders {
+                        if rules[e] != RouteRule::Pinned {
+                            rules[e] = RouteRule::Pinned;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let parallel = entries.iter().any(|&e| rules[e] != RouteRule::Pinned);
+        ShardPlan { rules, parallel }
+    }
+
+    /// Routing rule for the entry node `node` (entries not registered as
+    /// sources are pinned).
+    pub fn rule(&self, node: NodeId) -> RouteRule {
+        self.rules
+            .get(node.index())
+            .copied()
+            .unwrap_or(RouteRule::Pinned)
+    }
+
+    /// Whether any entry routes across shards (false ⇒ the graph runs as
+    /// a single pipeline regardless of the configured shard count).
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
+    }
+}
+
+/// The unique input port of `anchor` that flows from entry `e` arrive on:
+/// `Some(None)` when `e` is the anchor itself (feed port applies),
+/// `Some(Some(p))` for a unique in-edge port, `None` when paths from `e`
+/// enter the anchor on more than one port (ambiguous ⇒ pin).
+fn anchor_port(
+    plan: &CompiledPlan,
+    reach: &[Vec<bool>],
+    e: usize,
+    anchor: usize,
+) -> Option<Option<usize>> {
+    if e == anchor {
+        return Some(None);
+    }
+    let mut ports: Vec<usize> = Vec::new();
+    for (u, reachable) in reach[e].iter().enumerate() {
+        if !reachable {
+            continue;
+        }
+        for &(to, port) in plan.downstream_of(NodeId::from_index(u)) {
+            if to == anchor && !ports.contains(&port) {
+                ports.push(port);
+            }
+        }
+    }
+    match ports.as_slice() {
+        [p] => Some(Some(*p)),
+        _ => None,
+    }
+}
+
+/// Deterministic 64-bit FNV-1a over a canonical [`GroupKey`] encoding —
+/// stable across runs, processes, and platforms (the std `Hasher` default
+/// keys are an implementation detail we must not depend on for
+/// reproducible shard assignment).
+pub fn stable_key_hash(key: &GroupKey) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv_key(&mut h, key);
+    h
+}
+
+fn fnv_byte(h: &mut u64, b: u8) {
+    *h ^= b as u64;
+    *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+}
+
+fn fnv_key(h: &mut u64, key: &GroupKey) {
+    match key {
+        GroupKey::Unit => fnv_byte(h, 0),
+        GroupKey::Int(i) => {
+            fnv_byte(h, 1);
+            for b in i.to_le_bytes() {
+                fnv_byte(h, b);
+            }
+        }
+        GroupKey::Str(s) => {
+            fnv_byte(h, 2);
+            for &b in s.as_bytes() {
+                fnv_byte(h, b);
+            }
+            fnv_byte(h, 0xff);
+        }
+        GroupKey::Pair(a, b) => {
+            fnv_byte(h, 3);
+            fnv_key(h, a);
+            fnv_key(h, b);
+        }
+    }
+}
+
+/// Shard index for a routed tuple under `rule`, given the prototype
+/// graph's operators for key computation. `spread` is the driver's
+/// running round-robin counter.
+pub fn shard_of(
+    rule: RouteRule,
+    prototype: &QueryGraph,
+    feed_port: usize,
+    tuple: &Tuple,
+    shards: usize,
+    spread: &mut usize,
+) -> usize {
+    match rule {
+        RouteRule::Pinned => 0,
+        RouteRule::Spread => {
+            let s = *spread % shards;
+            *spread += 1;
+            s
+        }
+        RouteRule::Keyed { anchor, port } => {
+            let port = port.unwrap_or(feed_port);
+            match prototype.operator(anchor).partition_key(port, tuple) {
+                // Keyless tuples never touch keyed state; park them on a
+                // fixed shard so routing stays deterministic.
+                None => 0,
+                Some(k) => (stable_key_hash(&k) % shards as u64) as usize,
+            }
+        }
+    }
+}

@@ -4,4 +4,5 @@ pub use rfid_sim as rfid;
 pub use ustream_core as core;
 pub use ustream_inference as inference;
 pub use ustream_prob as prob;
+pub use ustream_runtime as runtime;
 pub use ustream_ts as ts;

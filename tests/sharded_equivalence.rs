@@ -1,0 +1,525 @@
+//! The sharded runtime must reproduce `run_batched` output *exactly* —
+//! same tuples, timestamps, existence probabilities, and lineage — at
+//! every shard count and worker-pool size, and its merged output must be
+//! byte-for-byte deterministic across runs and across shard counts.
+//! Graphs whose operators cannot be key-partitioned must degrade to a
+//! pinned single-shard plan, never to wrong answers. Panicking operators
+//! must surface as `Err` at the driver.
+
+use uncertain_streams::core::ops::aggregate::{
+    AggFunc, AggSpec, Strategy, WindowKind, WindowedAggregate,
+};
+use uncertain_streams::core::ops::join::{JoinCondition, WindowJoin};
+use uncertain_streams::core::ops::project::{Derivation, Project};
+use uncertain_streams::core::ops::select::{Predicate, Select};
+use uncertain_streams::core::ops::{Operator, Passthrough};
+use uncertain_streams::core::schema::{DataType, Schema};
+use uncertain_streams::core::{
+    EngineError, GroupKey, NodeId, QueryGraph, ThreadedExecutor, Tuple, Updf, Value,
+};
+use uncertain_streams::prob::dist::Dist;
+use uncertain_streams::runtime::ShardedExecutor;
+
+// ---------------------------------------------------------------------
+// Q1-style keyed aggregation: select → project → tumbling group-by SUM.
+// ---------------------------------------------------------------------
+
+fn q1_graph() -> (QueryGraph, NodeId) {
+    let mut g = QueryGraph::new();
+    let select = g.add(Box::new(
+        Select::new(Predicate::UncertainAbove("x".into(), 0.0), 0.1).without_conditioning(),
+    ));
+    let project = g.add(Box::new(Project::new(vec![Derivation::Linear {
+        input: "x".into(),
+        a: 0.5,
+        b: 1.0,
+        out: "y".into(),
+    }])));
+    let agg = g.add(Box::new(WindowedAggregate::new(
+        WindowKind::Tumbling(1_000),
+        |t: &Tuple| GroupKey::from_value(t.get("g").unwrap()).unwrap(),
+        vec![AggSpec {
+            field: "y".into(),
+            func: AggFunc::Sum,
+            out: "total".into(),
+            strategy: Strategy::Clt,
+        }],
+    )));
+    let sink = g.add(Box::new(Passthrough::new("sink")));
+    g.connect(select, project, 0).unwrap();
+    g.connect(project, agg, 0).unwrap();
+    g.connect(agg, sink, 0).unwrap();
+    g.source("in", select);
+    g.sink(sink);
+    (g, sink)
+}
+
+fn q1_inputs() -> Vec<Tuple> {
+    let schema = Schema::builder()
+        .field("g", DataType::Int)
+        .field("x", DataType::Uncertain)
+        .build();
+    (0..700u64)
+        .map(|i| {
+            let mean = (i % 13) as f64 - 4.0;
+            let mut t = Tuple::new(
+                schema.clone(),
+                vec![
+                    Value::Int((i % 7) as i64),
+                    Value::from(Updf::Parametric(Dist::gaussian(mean, 1.0))),
+                ],
+                i * 10,
+            );
+            // Fractional existences must survive sharding bit-exactly.
+            t.existence = 1.0 - (i % 5) as f64 * 0.05;
+            t
+        })
+        .collect()
+}
+
+/// One sink row in full canonical form: every field that could diverge
+/// under a buggy runtime (values, window metadata, timestamp, existence
+/// bits, lineage ids).
+type CanonicalRow = (String, u64, i64, i64, u64, u64, Vec<u64>);
+
+fn canonical(tuples: &[Tuple]) -> Vec<CanonicalRow> {
+    let mut rows: Vec<_> = tuples
+        .iter()
+        .map(|t| {
+            let total = t.updf("total").unwrap();
+            (
+                t.str("group").unwrap().to_string(),
+                t.get("window_start").unwrap().as_time().unwrap(),
+                t.int("n_tuples").unwrap(),
+                (total.mean() * 1e6).round() as i64,
+                t.ts,
+                t.existence.to_bits(),
+                t.lineage.ids().to_vec(),
+            )
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn sharded_matches_run_batched_across_shard_counts() {
+    let inputs = q1_inputs();
+    let (mut g, sink) = q1_graph();
+    let reference = canonical(
+        &g.run_batched(vec![("in".into(), 0, inputs.clone())], 64)
+            .unwrap()[&sink],
+    );
+    assert!(!reference.is_empty(), "pipeline produced output");
+
+    for shards in [1usize, 2, 8] {
+        for workers in [1usize, 2] {
+            let exec = ShardedExecutor::new(shards)
+                .with_workers(workers)
+                .with_batch_size(48);
+            let out = exec
+                .run(|| q1_graph().0, vec![("in".into(), 0, inputs.clone())])
+                .unwrap();
+            assert_eq!(
+                reference,
+                canonical(&out[&sink]),
+                "shards={shards} workers={workers} diverged from run_batched"
+            );
+        }
+    }
+}
+
+/// Byte-for-byte determinism: repeated runs and different shard counts
+/// must produce the identical merged output sequence (not just the same
+/// multiset) — compared via full Debug rendering, which spells out every
+/// distribution parameter.
+#[test]
+fn sharded_output_is_byte_identical_across_runs_and_shard_counts() {
+    let inputs = q1_inputs();
+    let render = |shards: usize, workers: usize| -> String {
+        let exec = ShardedExecutor::new(shards)
+            .with_workers(workers)
+            .with_batch_size(32);
+        let (_, sink) = q1_graph();
+        let out = exec
+            .run(|| q1_graph().0, vec![("in".into(), 0, inputs.clone())])
+            .unwrap();
+        out[&sink]
+            .iter()
+            .map(|t| {
+                format!(
+                    "{:?}|{:x}|{:?}\n",
+                    t.values(),
+                    t.existence.to_bits(),
+                    t.lineage
+                )
+            })
+            .collect()
+    };
+    let reference = render(4, 2);
+    assert_eq!(reference, render(4, 2), "same config must be reproducible");
+    assert_eq!(reference, render(4, 1), "worker count must not matter");
+    assert_eq!(reference, render(2, 2), "shard count must not matter");
+    assert_eq!(reference, render(8, 2), "shard count must not matter");
+}
+
+// ---------------------------------------------------------------------
+// Two-source sharded equi-join.
+// ---------------------------------------------------------------------
+
+fn join_graph() -> (QueryGraph, NodeId) {
+    let mut g = QueryGraph::new();
+    let join = g.add(Box::new(WindowJoin::new(
+        5_000,
+        JoinCondition::KeyEquals {
+            left: Box::new(|t| GroupKey::from_value(t.get("k").ok()?)),
+            right: Box::new(|t| GroupKey::from_value(t.get("k").ok()?)),
+        },
+        0.0,
+    )));
+    let sink = g.add(Box::new(Passthrough::new("sink")));
+    g.connect(join, sink, 0).unwrap();
+    g.source("left", join);
+    g.source("right", join);
+    g.sink(sink);
+    (g, sink)
+}
+
+fn join_inputs(ts_shift: u64) -> Vec<Tuple> {
+    let schema = Schema::builder()
+        .field("id", DataType::Int)
+        .field("k", DataType::Int)
+        .build();
+    (0..120u64)
+        .map(|i| {
+            Tuple::new(
+                schema.clone(),
+                vec![Value::Int(i as i64), Value::Int((i % 9) as i64)],
+                (i / 10) * 700 + ts_shift + (i % 10),
+            )
+        })
+        .collect()
+}
+
+fn join_rows(tuples: &[Tuple]) -> Vec<(i64, i64, u64, u64, Vec<u64>)> {
+    let mut rows: Vec<_> = tuples
+        .iter()
+        .map(|t| {
+            (
+                t.int("id").unwrap(),
+                t.int("r_id").unwrap(),
+                t.ts,
+                t.existence.to_bits(),
+                t.lineage.ids().to_vec(),
+            )
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn two_source_sharded_join_matches_run_batched() {
+    let (left, right) = (join_inputs(0), join_inputs(350));
+    let feeds = || {
+        vec![
+            ("left".to_string(), 0usize, left.clone()),
+            ("right".to_string(), 1usize, right.clone()),
+        ]
+    };
+    let (mut g, sink) = join_graph();
+    let reference = join_rows(&g.run_batched(feeds(), 32).unwrap()[&sink]);
+    assert!(!reference.is_empty(), "join produced matches");
+
+    for shards in [1usize, 2, 8] {
+        let exec = ShardedExecutor::new(shards)
+            .with_workers(2)
+            .with_batch_size(16);
+        let out = exec.run(|| join_graph().0, feeds()).unwrap();
+        assert_eq!(
+            reference,
+            join_rows(&out[&sink]),
+            "two-source join, shards={shards}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fan-out > 1: one stream feeding a keyed aggregate and a raw sink.
+// ---------------------------------------------------------------------
+
+fn fanout_graph() -> (QueryGraph, NodeId, NodeId) {
+    let mut g = QueryGraph::new();
+    let src = g.add(Box::new(Passthrough::new("src")));
+    let agg = g.add(Box::new(WindowedAggregate::new(
+        WindowKind::Tumbling(1_000),
+        |t: &Tuple| GroupKey::from_value(t.get("g").unwrap()).unwrap(),
+        vec![AggSpec {
+            field: "x".into(),
+            func: AggFunc::Sum,
+            out: "total".into(),
+            strategy: Strategy::ExactParametric,
+        }],
+    )));
+    let raw = g.add(Box::new(Passthrough::new("raw")));
+    g.connect(src, agg, 0).unwrap();
+    g.connect(src, raw, 0).unwrap();
+    g.source("in", src);
+    g.sink(agg);
+    g.sink(raw);
+    (g, agg, raw)
+}
+
+#[test]
+fn fanout_branches_match_run_batched() {
+    let inputs = q1_inputs();
+    let (mut g, agg, raw) = fanout_graph();
+    let single = g
+        .run_batched(vec![("in".into(), 0, inputs.clone())], 64)
+        .unwrap();
+    let ref_agg = canonical(&single[&agg]);
+    let raw_rows = |ts: &[Tuple]| {
+        let mut rows: Vec<_> = ts
+            .iter()
+            .map(|t| (t.ts, t.int("g").unwrap(), t.existence.to_bits()))
+            .collect();
+        rows.sort();
+        rows
+    };
+    let ref_raw = raw_rows(&single[&raw]);
+    assert!(!ref_agg.is_empty() && !ref_raw.is_empty());
+
+    for shards in [2usize, 8] {
+        let exec = ShardedExecutor::new(shards)
+            .with_workers(2)
+            .with_batch_size(64);
+        let out = exec
+            .run(|| fanout_graph().0, vec![("in".into(), 0, inputs.clone())])
+            .unwrap();
+        assert_eq!(
+            ref_agg,
+            canonical(&out[&agg]),
+            "agg branch, shards={shards}"
+        );
+        assert_eq!(ref_raw, raw_rows(&out[&raw]), "raw branch, shards={shards}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// EOS with empty shards: fewer distinct keys than shards.
+// ---------------------------------------------------------------------
+
+#[test]
+fn eos_with_empty_shards_completes_and_matches() {
+    let schema = Schema::builder()
+        .field("g", DataType::Int)
+        .field("x", DataType::Uncertain)
+        .build();
+    // One group only: at 8 shards, at least 7 pipelines see zero tuples
+    // and must still flush cleanly through EOS.
+    let inputs: Vec<Tuple> = (0..50u64)
+        .map(|i| {
+            Tuple::new(
+                schema.clone(),
+                vec![
+                    Value::Int(1),
+                    Value::from(Updf::Parametric(Dist::gaussian(2.0, 0.1))),
+                ],
+                i * 10,
+            )
+        })
+        .collect();
+    let (mut g, sink) = q1_graph();
+    let reference = canonical(
+        &g.run_batched(vec![("in".into(), 0, inputs.clone())], 16)
+            .unwrap()[&sink],
+    );
+
+    let exec = ShardedExecutor::new(8).with_workers(2).with_batch_size(8);
+    let out = exec
+        .run(|| q1_graph().0, vec![("in".into(), 0, inputs.clone())])
+        .unwrap();
+    assert_eq!(reference, canonical(&out[&sink]));
+}
+
+// ---------------------------------------------------------------------
+// Non-shardable graphs degrade to a pinned plan, not to wrong answers.
+// ---------------------------------------------------------------------
+
+fn band_join_graph() -> (QueryGraph, NodeId) {
+    let mut g = QueryGraph::new();
+    let join = g.add(Box::new(WindowJoin::new(
+        10_000,
+        JoinCondition::BandUncertain {
+            left_field: "x".into(),
+            right_field: "x".into(),
+            epsilon: 1.0,
+        },
+        0.05,
+    )));
+    let sink = g.add(Box::new(Passthrough::new("sink")));
+    g.connect(join, sink, 0).unwrap();
+    g.source("left", join);
+    g.source("right", join);
+    g.sink(sink);
+    (g, sink)
+}
+
+#[test]
+fn probabilistic_join_degrades_to_pinned_plan_and_stays_exact() {
+    let (proto, sink) = band_join_graph();
+    let plan = ShardedExecutor::shard_plan(&proto).unwrap();
+    assert!(
+        !plan.is_parallel(),
+        "a probabilistic join must pin the whole stream to one shard"
+    );
+
+    let schema = Schema::builder()
+        .field("id", DataType::Int)
+        .field("x", DataType::Uncertain)
+        .build();
+    let mk = |off: f64, shift: u64| -> Vec<Tuple> {
+        (0..40u64)
+            .map(|i| {
+                Tuple::new(
+                    schema.clone(),
+                    vec![
+                        Value::Int(i as i64),
+                        Value::from(Updf::Parametric(Dist::gaussian((i % 5) as f64 + off, 0.5))),
+                    ],
+                    i * 100 + shift,
+                )
+            })
+            .collect()
+    };
+    let (left, right) = (mk(0.0, 0), mk(0.25, 50));
+    let feeds = || {
+        vec![
+            ("left".to_string(), 0usize, left.clone()),
+            ("right".to_string(), 1usize, right.clone()),
+        ]
+    };
+    let (mut g, _) = band_join_graph();
+    let reference = join_rows(&g.run_batched(feeds(), 16).unwrap()[&sink]);
+    assert!(!reference.is_empty());
+
+    let exec = ShardedExecutor::new(4).with_workers(2).with_batch_size(16);
+    let out = exec.run(|| band_join_graph().0, feeds()).unwrap();
+    assert_eq!(reference, join_rows(&out[&sink]));
+}
+
+// ---------------------------------------------------------------------
+// Worker-thread panics surface as Err at the driver.
+// ---------------------------------------------------------------------
+
+struct PanicOn {
+    trigger: i64,
+}
+
+impl Operator for PanicOn {
+    fn name(&self) -> &str {
+        "panic-on"
+    }
+
+    fn process(&mut self, _port: usize, tuple: Tuple) -> Vec<Tuple> {
+        if tuple.int("v").unwrap() == self.trigger {
+            panic!("injected operator failure at v={}", self.trigger);
+        }
+        vec![tuple]
+    }
+
+    fn partition_keys(&self) -> uncertain_streams::core::Partitioning {
+        uncertain_streams::core::Partitioning::Any
+    }
+}
+
+fn panic_graph(trigger: i64) -> (QueryGraph, NodeId) {
+    let mut g = QueryGraph::new();
+    let op = g.add(Box::new(PanicOn { trigger }));
+    let sink = g.add(Box::new(Passthrough::new("sink")));
+    g.connect(op, sink, 0).unwrap();
+    g.source("in", op);
+    g.sink(sink);
+    (g, sink)
+}
+
+fn panic_inputs() -> Vec<Tuple> {
+    let schema = Schema::builder().field("v", DataType::Int).build();
+    (0..500u64)
+        .map(|i| Tuple::new(schema.clone(), vec![Value::Int(i as i64)], i))
+        .collect()
+}
+
+#[test]
+fn sharded_runtime_surfaces_operator_panics() {
+    let exec = ShardedExecutor::new(4).with_workers(2).with_batch_size(8);
+    let err = exec
+        .run(
+            || panic_graph(250).0,
+            vec![("in".into(), 0, panic_inputs())],
+        )
+        .unwrap_err();
+    match err {
+        EngineError::OperatorPanicked(msg) => {
+            assert!(msg.contains("injected operator failure"), "msg: {msg}")
+        }
+        other => panic!("expected OperatorPanicked, got {other:?}"),
+    }
+}
+
+/// A keyed anchor whose key attribute is minted *downstream* of the
+/// source: the router evaluates the key on raw source tuples, so the key
+/// closure panics — which must surface as `Err`, not unwind the caller.
+#[test]
+fn routing_key_panic_surfaces_as_error() {
+    let factory = || {
+        let mut g = QueryGraph::new();
+        let project = g.add(Box::new(Project::new(vec![Derivation::Certain {
+            out: uncertain_streams::core::schema::Field::new(
+                "g2",
+                uncertain_streams::core::schema::DataType::Int,
+            ),
+            f: Box::new(|t: &Tuple| Value::Int(t.int("g").unwrap() * 2)),
+        }])));
+        let agg = g.add(Box::new(WindowedAggregate::new(
+            WindowKind::Tumbling(1_000),
+            |t: &Tuple| GroupKey::from_value(t.get("g2").unwrap()).unwrap(),
+            vec![AggSpec {
+                field: "x".into(),
+                func: AggFunc::Sum,
+                out: "total".into(),
+                strategy: Strategy::Clt,
+            }],
+        )));
+        g.connect(project, agg, 0).unwrap();
+        g.source("in", project);
+        g.sink(agg);
+        g
+    };
+    let exec = ShardedExecutor::new(4).with_workers(1);
+    let err = exec
+        .run(factory, vec![("in".into(), 0, q1_inputs())])
+        .unwrap_err();
+    match err {
+        EngineError::OperatorPanicked(msg) => {
+            assert!(msg.contains("routing"), "routing panic labeled: {msg}")
+        }
+        other => panic!("expected OperatorPanicked, got {other:?}"),
+    }
+}
+
+#[test]
+fn threaded_executor_surfaces_operator_panics() {
+    let (g, _) = panic_graph(250);
+    let exec = ThreadedExecutor::new(16).with_batch_size(8);
+    let err = exec
+        .run(g, vec![("in".into(), 0, panic_inputs())])
+        .unwrap_err();
+    match err {
+        EngineError::OperatorPanicked(msg) => {
+            assert!(msg.contains("panic-on"), "panicking operator named: {msg}");
+            assert!(msg.contains("injected operator failure"), "msg: {msg}");
+        }
+        other => panic!("expected OperatorPanicked, got {other:?}"),
+    }
+}

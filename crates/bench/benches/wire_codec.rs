@@ -1,0 +1,137 @@
+//! Wire-codec throughput: encoding and decoding batches of uncertain
+//! tuples through the ingest server's frame payload format.
+//!
+//! Two workloads bracket the serving hot path:
+//!
+//! - `parametric` — the common case: every tuple carries one compact
+//!   Gaussian payload (what the paper's §4.3 conversion policies emit
+//!   onto the stream).
+//! - `mixed` — one of each `Updf` family in rotation (parametric /
+//!   mixture / samples / histogram / multivariate), the worst realistic
+//!   payload mix.
+//!
+//! `BENCH_wire_codec.json` at the repo root records the medians (of 5
+//! bench repetitions, same format as `BENCH_executor_throughput.json`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::sync::Arc;
+use ustream_core::schema::{DataType, Schema};
+use ustream_core::{Tuple, Updf, Value};
+use ustream_prob::dist::{Dist, GaussianMixture, MvGaussian};
+use ustream_prob::histogram::HistogramPdf;
+use ustream_prob::samples::WeightedSamples;
+use ustream_server::wire;
+
+const N_TUPLES: usize = 8_192;
+
+fn schema() -> Arc<Schema> {
+    Schema::builder()
+        .field("g", DataType::Int)
+        .field("tag", DataType::Int)
+        .field("x", DataType::Uncertain)
+        .build()
+}
+
+/// All-Gaussian payloads: the compact-parametric serving fast path.
+fn parametric_tuples() -> Vec<Tuple> {
+    let s = schema();
+    (0..N_TUPLES)
+        .map(|i| {
+            Tuple::new(
+                s.clone(),
+                vec![
+                    Value::Int((i % 4) as i64),
+                    Value::Int((i % 17) as i64),
+                    Value::from(Updf::Parametric(Dist::gaussian(
+                        (i % 10) as f64,
+                        1.0 + (i % 3) as f64 * 0.25,
+                    ))),
+                ],
+                i as u64,
+            )
+        })
+        .collect()
+}
+
+/// Every `Updf` family in rotation: the worst realistic payload mix.
+fn mixed_tuples() -> Vec<Tuple> {
+    let s = schema();
+    (0..N_TUPLES)
+        .map(|i| {
+            let x = match i % 5 {
+                0 => Updf::Parametric(Dist::gaussian(i as f64, 1.0)),
+                1 => Updf::Parametric(Dist::Mixture(GaussianMixture::from_triples(&[
+                    (0.4, -1.0, 0.5),
+                    (0.6, 2.0, 1.0),
+                ]))),
+                2 => Updf::Samples(WeightedSamples::unweighted(
+                    (0..32).map(|k| (i + k) as f64 * 0.1).collect(),
+                )),
+                3 => Updf::Histogram(HistogramPdf::from_masses(
+                    0.0,
+                    0.25,
+                    (1..33).map(|k| k as f64).collect(),
+                )),
+                _ => Updf::Mv(MvGaussian::new(
+                    vec![1.0, -1.0, 0.5],
+                    vec![1.0, 0.2, 0.1, 0.2, 2.0, 0.3, 0.1, 0.3, 1.5],
+                )),
+            };
+            Tuple::new(
+                s.clone(),
+                vec![
+                    Value::Int((i % 4) as i64),
+                    Value::Int((i % 17) as i64),
+                    Value::from(x),
+                ],
+                i as u64,
+            )
+        })
+        .collect()
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(N_TUPLES as u64));
+
+    for (label, tuples) in [
+        ("parametric", parametric_tuples()),
+        ("mixed", mixed_tuples()),
+    ] {
+        let mut encoded = Vec::new();
+        wire::encode_tuples(&mut encoded, &tuples);
+        println!(
+            "wire_codec/{label}: {} tuples -> {} bytes ({:.1} B/tuple)",
+            tuples.len(),
+            encoded.len(),
+            encoded.len() as f64 / tuples.len() as f64
+        );
+
+        group.bench_function(format!("encode/{label}"), |b| {
+            let mut out = Vec::with_capacity(encoded.len());
+            b.iter(|| {
+                out.clear();
+                wire::encode_tuples(&mut out, &tuples);
+                out.len()
+            })
+        });
+
+        group.bench_function(format!("decode/{label}"), |b| {
+            b.iter_batched(
+                || encoded.clone(),
+                |bytes| {
+                    let mut r = wire::Reader::new(&bytes);
+                    let back = wire::decode_tuples(&mut r).expect("valid bytes");
+                    back.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire_codec);
+criterion_main!(benches);

@@ -39,6 +39,18 @@ impl Lineage {
         Lineage { ids: vec![id] }
     }
 
+    /// Reconstruct a lineage from an id list that must already satisfy
+    /// the sorted-and-deduped invariant (strictly increasing). `None`
+    /// otherwise — the wire-codec decode path, where accepting an
+    /// unsorted list would silently break `overlaps`/`contains` and
+    /// re-sorting would break byte-exact roundtrips.
+    pub fn from_sorted_ids(ids: Vec<u64>) -> Option<Self> {
+        if ids.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        Some(Lineage { ids })
+    }
+
     pub fn ids(&self) -> &[u64] {
         &self.ids
     }

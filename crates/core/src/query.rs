@@ -97,6 +97,11 @@ impl CompiledPlan {
         self.is_sink[node.0]
     }
 
+    /// The registered sinks, in registration order.
+    pub fn sinks(&self) -> &[NodeId] {
+        &self.sinks
+    }
+
     fn empty_collection(&self) -> HashMap<NodeId, Vec<Tuple>> {
         self.sinks.iter().map(|&s| (s, Vec::new())).collect()
     }
@@ -555,6 +560,31 @@ impl ExecSession {
             port,
             batch,
         );
+    }
+
+    /// The plan's registered sinks, in registration order.
+    pub fn sink_nodes(&self) -> &[NodeId] {
+        self.plan.sinks()
+    }
+
+    /// Drain the tuples collected at each sink since the session started
+    /// (or since the previous drain), preserving per-sink arrival order.
+    /// Only sinks with new output appear; sink buckets stay registered
+    /// for future pushes. This is the incremental-serving surface — a
+    /// long-lived driver (e.g. a TCP server streaming results to
+    /// subscribers) calls it after [`ExecSession::push`] to forward
+    /// closed-window output without waiting for [`ExecSession::finish`],
+    /// which then returns only what was collected after the last drain.
+    pub fn drain_collected(&mut self) -> Vec<(NodeId, Vec<Tuple>)> {
+        let mut drained: Vec<(NodeId, Vec<Tuple>)> = Vec::new();
+        for &sink in self.plan.sinks() {
+            if let Some(bucket) = self.collected.get_mut(&sink) {
+                if !bucket.is_empty() {
+                    drained.push((sink, std::mem::take(bucket)));
+                }
+            }
+        }
+        drained
     }
 
     /// Flush all operator state and return the tuples collected per sink.

@@ -807,6 +807,20 @@ impl GaussianMixture {
         )
     }
 
+    /// Rebuild from component weights that are **already normalized**
+    /// (sum ≈ 1), bit-for-bit — the wire-codec decode path, where
+    /// re-normalizing would perturb the low bits and break byte-exact
+    /// roundtrips. `None` on any invariant violation instead of a panic.
+    pub fn from_normalized(comps: Vec<MixtureComponent>) -> Option<Self> {
+        if comps.is_empty() {
+            return None;
+        }
+        if !crate::samples::weights_are_normalized(comps.iter().map(|c| c.weight)) {
+            return None;
+        }
+        Some(GaussianMixture { comps })
+    }
+
     /// A one-component mixture.
     pub fn single(g: Gaussian) -> Self {
         GaussianMixture::new(vec![MixtureComponent {
@@ -1331,6 +1345,30 @@ impl MvGaussian {
         MvGaussian { mean, cov, chol }
     }
 
+    /// Fallible construction for untrusted inputs (the wire-codec decode
+    /// path): every panic in [`MvGaussian::new`] — asymmetric covariance,
+    /// non-finite entries, a matrix that stays indefinite through the
+    /// jitter schedule — becomes `None` instead.
+    pub fn try_new(mean: Vec<f64>, cov: Vec<f64>) -> Option<Self> {
+        let d = mean.len();
+        if d == 0 || cov.len() != d * d {
+            return None;
+        }
+        if mean.iter().any(|m| !m.is_finite()) || cov.iter().any(|c| !c.is_finite()) {
+            return None;
+        }
+        for a in 0..d {
+            for b in (a + 1)..d {
+                let asym = (cov[a * d + b] - cov[b * d + a]).abs();
+                if asym > 1e-9 * (1.0 + cov[a * d + a].abs() + cov[b * d + b].abs()) {
+                    return None;
+                }
+            }
+        }
+        let chol = cholesky_jittered(&cov, d)?;
+        Some(MvGaussian { mean, cov, chol })
+    }
+
     /// Diagonal covariance sd²·I.
     pub fn isotropic(mean: Vec<f64>, sd: f64) -> Self {
         assert!(sd > 0.0);
@@ -1503,11 +1541,22 @@ impl MvGaussian {
 /// Dense Cholesky factorization with a diagonal jitter retry, returning
 /// the lower-triangular factor row-major.
 fn cholesky(cov: &[f64], d: usize) -> Vec<f64> {
+    match cholesky_jittered(cov, d) {
+        Some(l) => l,
+        None => panic!("covariance matrix is not positive definite"),
+    }
+}
+
+/// The shared jitter/retry schedule behind both [`cholesky`] (panicking,
+/// in-process construction) and [`MvGaussian::try_new`] (fallible,
+/// wire-decode) — one definition so the two paths cannot diverge in
+/// what they accept.
+fn cholesky_jittered(cov: &[f64], d: usize) -> Option<Vec<f64>> {
     let scale: f64 = (0..d).map(|a| cov[a * d + a].abs()).fold(0.0, f64::max);
     let mut jitter = 0.0;
     for _ in 0..6 {
         if let Some(l) = try_cholesky(cov, d, jitter) {
-            return l;
+            return Some(l);
         }
         jitter = if jitter == 0.0 {
             1e-12 * scale.max(1e-12)
@@ -1515,7 +1564,7 @@ fn cholesky(cov: &[f64], d: usize) -> Vec<f64> {
             jitter * 100.0
         };
     }
-    panic!("covariance matrix is not positive definite");
+    None
 }
 
 fn try_cholesky(cov: &[f64], d: usize, jitter: f64) -> Option<Vec<f64>> {

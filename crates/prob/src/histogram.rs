@@ -45,6 +45,20 @@ impl HistogramPdf {
         HistogramPdf { lo, width, masses }
     }
 
+    /// Rebuild from masses that are **already normalized** (sum ≈ 1),
+    /// bit-for-bit — the wire-codec decode path, where re-normalizing
+    /// would perturb the low bits and break byte-exact roundtrips.
+    /// `None` on any invariant violation instead of a panic.
+    pub fn from_normalized_masses(lo: f64, width: f64, masses: Vec<f64>) -> Option<Self> {
+        if !(width > 0.0 && width.is_finite() && lo.is_finite()) || masses.is_empty() {
+            return None;
+        }
+        if !crate::samples::weights_are_normalized(masses.iter().copied()) {
+            return None;
+        }
+        Some(HistogramPdf { lo, width, masses })
+    }
+
     /// Discretize a distribution over `[lo, hi]` into `bins` equal bins
     /// using exact cdf differences (mass outside the range is folded into
     /// the boundary bins so no probability is lost).

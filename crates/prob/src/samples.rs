@@ -12,6 +12,21 @@
 use crate::dist::Gaussian;
 use rand::{Rng, RngCore};
 
+/// Shared validation for the `from_normalized` decode hooks: every
+/// weight finite and non-negative, and the sum within `1e-9` of unity.
+/// One definition so the accept/reject behavior of samples, histograms,
+/// and mixtures cannot silently diverge.
+pub(crate) fn weights_are_normalized(ws: impl IntoIterator<Item = f64>) -> bool {
+    let mut total = 0.0;
+    for w in ws {
+        if !w.is_finite() || w < 0.0 {
+            return false;
+        }
+        total += w;
+    }
+    (total - 1.0).abs() <= 1e-9
+}
+
 /// A normalized set of weighted scalar samples.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WeightedSamples {
@@ -40,6 +55,26 @@ impl WeightedSamples {
         assert!(n > 0);
         let w = 1.0 / n as f64;
         WeightedSamples { xs, ws: vec![w; n] }
+    }
+
+    /// Rebuild from weights that are **already normalized** (sum ≈ 1),
+    /// bit-for-bit — the wire-codec decode path, where re-normalizing
+    /// would perturb the low bits and break byte-exact roundtrips.
+    /// Returns `None` instead of panicking on any invariant violation
+    /// (misaligned lengths, empty, non-finite values, negative weights,
+    /// or a weight sum off unity), so untrusted bytes surface as typed
+    /// decode errors.
+    pub fn from_normalized(xs: Vec<f64>, ws: Vec<f64>) -> Option<Self> {
+        if xs.len() != ws.len() || xs.is_empty() {
+            return None;
+        }
+        if xs.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        if !weights_are_normalized(ws.iter().copied()) {
+            return None;
+        }
+        Some(WeightedSamples { xs, ws })
     }
 
     pub fn len(&self) -> usize {
@@ -190,6 +225,23 @@ impl WeightedSamplesNd {
         assert!(total > 0.0 && total.is_finite());
         let ws = ws.into_iter().map(|w| w / total).collect();
         WeightedSamplesNd { xs, ws, dim }
+    }
+
+    /// Rebuild from already-normalized weights without re-normalizing —
+    /// the multivariate counterpart of
+    /// [`WeightedSamples::from_normalized`]. `None` on any invariant
+    /// violation instead of a panic.
+    pub fn from_normalized(xs: Vec<f64>, ws: Vec<f64>, dim: usize) -> Option<Self> {
+        if dim == 0 || ws.is_empty() || xs.len() != ws.len() * dim {
+            return None;
+        }
+        if xs.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        if !weights_are_normalized(ws.iter().copied()) {
+            return None;
+        }
+        Some(WeightedSamplesNd { xs, ws, dim })
     }
 
     pub fn len(&self) -> usize {

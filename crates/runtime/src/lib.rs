@@ -105,10 +105,20 @@ impl ShardedExecutor {
 
     /// Routing decision the executor would make for `graph` — exposed
     /// for diagnostics and tests (e.g. asserting that a probabilistic
-    /// join degrades to a pinned single-shard plan).
+    /// join degrades to a pinned single-shard plan). See
+    /// [`ShardPlan::describe`] and [`ShardPlan::pinned_entries`] for the
+    /// observability surface.
     pub fn shard_plan(graph: &QueryGraph) -> Result<ShardPlan> {
         let plan = graph.compile()?;
         Ok(ShardPlan::analyze(graph, &plan))
+    }
+
+    /// [`ShardPlan::describe`] for `graph`: the per-entry routing rules
+    /// and the pinned-entry count, rendered for logs — how an operator
+    /// deployment notices that a plan change silently degraded
+    /// parallelism.
+    pub fn describe_plan(graph: &QueryGraph) -> Result<String> {
+        Ok(Self::shard_plan(graph)?.describe())
     }
 
     /// Run the graph produced by `factory` to completion over `inputs`.

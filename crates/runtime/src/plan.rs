@@ -47,6 +47,12 @@ pub struct ShardPlan {
     /// True when at least one entry routes by key or spreads — i.e. the
     /// plan actually uses more than one shard when shards > 1.
     parallel: bool,
+    /// Registered source entries as `(stream name, node index)`, sorted
+    /// by stream name for stable diagnostics.
+    entries: Vec<(String, usize)>,
+    /// Operator name per node index (anchor rendering in
+    /// [`ShardPlan::describe`]).
+    op_names: Vec<String>,
 }
 
 impl ShardPlan {
@@ -131,7 +137,20 @@ impl ShardPlan {
         }
 
         let parallel = entries.iter().any(|&e| rules[e] != RouteRule::Pinned);
-        ShardPlan { rules, parallel }
+        let mut named_entries: Vec<(String, usize)> = graph
+            .source_entries()
+            .map(|(name, id)| (name.to_string(), id.index()))
+            .collect();
+        named_entries.sort();
+        let op_names = (0..n)
+            .map(|i| graph.operator(NodeId::from_index(i)).name().to_string())
+            .collect();
+        ShardPlan {
+            rules,
+            parallel,
+            entries: named_entries,
+            op_names,
+        }
     }
 
     /// Routing rule for the entry node `node` (entries not registered as
@@ -147,6 +166,70 @@ impl ShardPlan {
     /// a single pipeline regardless of the configured shard count).
     pub fn is_parallel(&self) -> bool {
         self.parallel
+    }
+
+    /// The registered entries and their routing rules, sorted by stream
+    /// name.
+    pub fn entry_rules(&self) -> impl Iterator<Item = (&str, NodeId, RouteRule)> {
+        self.entries
+            .iter()
+            .map(|(name, idx)| (name.as_str(), NodeId::from_index(*idx), self.rules[*idx]))
+    }
+
+    /// Number of registered source entries.
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// How many entries are pinned to shard 0 — the *degraded* portion
+    /// of the plan. `pinned_entries() == num_entries()` means the whole
+    /// graph runs as a single pipeline no matter how many shards are
+    /// configured.
+    pub fn pinned_entries(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|(_, idx)| self.rules[*idx] == RouteRule::Pinned)
+            .count()
+    }
+
+    /// Human-readable routing summary: one line per entry naming its
+    /// [`RouteRule`] (with the anchor operator for keyed routes), plus a
+    /// pinned-entry count. Lost parallelism is visible here instead of
+    /// silent — a probabilistic join quietly pinning the plan shows up
+    /// as `pinned`.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for (name, idx) in &self.entries {
+            let line = match self.rules[*idx] {
+                RouteRule::Keyed { anchor, port } => {
+                    let port = match port {
+                        Some(p) => format!("port {p}"),
+                        None => "feed port".to_string(),
+                    };
+                    format!(
+                        "entry `{name}` -> keyed on `{}` ({port})",
+                        self.op_names[anchor.index()]
+                    )
+                }
+                RouteRule::Spread => format!("entry `{name}` -> spread (stateless cone)"),
+                RouteRule::Pinned => format!("entry `{name}` -> pinned to shard 0"),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        let pinned = self.pinned_entries();
+        out.push_str(&format!(
+            "{pinned}/{} entries pinned{}",
+            self.entries.len(),
+            if pinned == self.entries.len() && !self.entries.is_empty() {
+                " — plan is fully serial (degraded)"
+            } else if pinned > 0 {
+                " — plan is partially degraded"
+            } else {
+                ""
+            }
+        ));
+        out
     }
 }
 

@@ -1,0 +1,217 @@
+//! The client library: a small synchronous API over the framed
+//! protocol. One [`Client`] wraps one TCP connection.
+//!
+//! Publishers: [`Client::publisher`] → [`Client::publish`]… →
+//! [`Client::finish`]. Each publish blocks until the server
+//! acknowledges, so engine backpressure (a full inbox) reaches the
+//! producer as publish latency rather than unbounded buffering.
+//!
+//! Subscribers: [`Client::subscriber`] → [`Client::next_event`] until
+//! [`Event::Eos`]. Result frames that arrive while a different reply is
+//! awaited are queued, so a connection may publish and subscribe at
+//! once.
+
+use crate::protocol::{self, ErrorCode, OpStat, Request, Response};
+use crate::wire::WireError;
+use std::collections::VecDeque;
+use std::net::{TcpStream, ToSocketAddrs};
+use ustream_core::Tuple;
+
+/// Client-side failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Transport or codec failure.
+    Wire(WireError),
+    /// The server answered with a typed error frame.
+    Server { code: ErrorCode, message: String },
+    /// The server answered with a frame that makes no sense here.
+    UnexpectedResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "transport: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::UnexpectedResponse(what) => {
+                write!(f, "unexpected server response: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Wire(WireError::Io(e.kind()))
+    }
+}
+
+pub type ClientResult<T> = std::result::Result<T, ClientError>;
+
+/// A streamed server event delivered to subscribers.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A batch of result tuples from the sink with node index `sink`.
+    Results { sink: usize, tuples: Vec<Tuple> },
+    /// The query flushed; no further results will arrive.
+    Eos,
+}
+
+/// One connection to an ingest server.
+pub struct Client {
+    stream: TcpStream,
+    client_id: u64,
+    /// Result/Eos frames that arrived while awaiting another reply.
+    queued: VecDeque<Event>,
+}
+
+impl Client {
+    /// Connect in the publisher role: this connection participates in
+    /// end-of-stream accounting and must eventually [`Client::finish`].
+    pub fn publisher(addr: impl ToSocketAddrs) -> ClientResult<Client> {
+        Client::connect(addr, true)
+    }
+
+    /// Connect in the subscriber role and subscribe to the query's sink
+    /// streams; read with [`Client::next_event`].
+    pub fn subscriber(addr: impl ToSocketAddrs) -> ClientResult<Client> {
+        let mut c = Client::connect(addr, false)?;
+        c.subscribe()?;
+        Ok(c)
+    }
+
+    fn connect(addr: impl ToSocketAddrs, publisher: bool) -> ClientResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let mut c = Client {
+            stream,
+            client_id: 0,
+            queued: VecDeque::new(),
+        };
+        protocol::write_request(&mut c.stream, &Request::Hello { publisher })?;
+        match c.await_reply()? {
+            Response::HelloAck { client_id } => {
+                c.client_id = client_id;
+                Ok(c)
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The server-assigned connection id.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// Bound how long reads may block (tests use this to fail instead of
+    /// hanging when a server drops the ball). `None` blocks forever.
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> ClientResult<()> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Append tuples to the named source stream (input `port` of the
+    /// source's entry operator; 0 for unary entries). Blocks until the
+    /// server acknowledges; returns the accepted tuple count.
+    pub fn publish(&mut self, source: &str, port: u16, tuples: &[Tuple]) -> ClientResult<usize> {
+        protocol::write_publish(&mut self.stream, source, port, tuples)?;
+        match self.await_reply()? {
+            Response::Ack { count } => Ok(count as usize),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Subscribe this connection to the query's sink streams.
+    pub fn subscribe(&mut self) -> ClientResult<()> {
+        protocol::write_request(&mut self.stream, &Request::Subscribe)?;
+        match self.await_reply()? {
+            Response::Ack { .. } => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Declare end of stream for this publisher. Once every publisher
+    /// has finished, the server flushes the query and streams the final
+    /// windows to subscribers.
+    pub fn finish(&mut self) -> ClientResult<()> {
+        protocol::write_request(&mut self.stream, &Request::Finish)?;
+        match self.await_reply()? {
+            Response::Ack { .. } => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Snapshot the served query's registered per-operator metrics.
+    pub fn stats(&mut self) -> ClientResult<Vec<OpStat>> {
+        protocol::write_request(&mut self.stream, &Request::Stats)?;
+        match self.await_reply()? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Next streamed event (subscribers). Blocks until a result batch or
+    /// EOS arrives.
+    pub fn next_event(&mut self) -> ClientResult<Event> {
+        if let Some(ev) = self.queued.pop_front() {
+            return Ok(ev);
+        }
+        match protocol::read_response(&mut self.stream)? {
+            Response::Results { sink, tuples } => Ok(Event::Results {
+                sink: sink as usize,
+                tuples,
+            }),
+            Response::Eos => Ok(Event::Eos),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Collect streamed results until EOS, concatenated per sink index
+    /// in arrival order — the convenient shape for tests and examples.
+    pub fn collect_until_eos(&mut self) -> ClientResult<Vec<(usize, Vec<Tuple>)>> {
+        let mut per_sink: Vec<(usize, Vec<Tuple>)> = Vec::new();
+        loop {
+            match self.next_event()? {
+                Event::Results { sink, tuples } => {
+                    match per_sink.iter_mut().find(|(s, _)| *s == sink) {
+                        Some((_, bucket)) => bucket.extend(tuples),
+                        None => per_sink.push((sink, tuples)),
+                    }
+                }
+                Event::Eos => return Ok(per_sink),
+            }
+        }
+    }
+
+    /// Read frames until a non-stream reply arrives, queueing any
+    /// `Results`/`Eos` pushed in between.
+    fn await_reply(&mut self) -> ClientResult<Response> {
+        loop {
+            match protocol::read_response(&mut self.stream)? {
+                Response::Results { sink, tuples } => self.queued.push_back(Event::Results {
+                    sink: sink as usize,
+                    tuples,
+                }),
+                Response::Eos => self.queued.push_back(Event::Eos),
+                Response::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                reply => return Ok(reply),
+            }
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> ClientError {
+    ClientError::UnexpectedResponse(format!("{resp:?}"))
+}

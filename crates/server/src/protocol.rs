@@ -1,0 +1,388 @@
+//! The client↔server message layer on top of the wire codec: typed
+//! requests and responses, each carried in one framed payload.
+//!
+//! A connection speaks a strict request/response discipline with one
+//! exception: once a client sends [`Request::Subscribe`], the server may
+//! push [`Response::Results`] and [`Response::Eos`] frames at any time
+//! (the connection becomes a result stream). Clients therefore treat
+//! `Results`/`Eos` as events that may arrive while awaiting any reply.
+
+use crate::wire::{self, put_str, read_frame, write_frame, Reader, WireError, WireResult};
+use std::io::{Read, Write};
+use ustream_core::Tuple;
+
+// Frame kinds. Requests have the high bit clear, responses set.
+const KIND_HELLO: u8 = 0x01;
+const KIND_PUBLISH: u8 = 0x02;
+const KIND_SUBSCRIBE: u8 = 0x03;
+const KIND_FINISH: u8 = 0x04;
+const KIND_STATS: u8 = 0x05;
+const KIND_HELLO_ACK: u8 = 0x81;
+const KIND_ACK: u8 = 0x82;
+const KIND_ERROR: u8 = 0x83;
+const KIND_RESULTS: u8 = 0x84;
+const KIND_EOS: u8 = 0x85;
+const KIND_STATS_REPLY: u8 = 0x86;
+
+/// What a client asks of the server.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// First frame on every connection. Publishers participate in
+    /// end-of-stream accounting; subscribers do not.
+    Hello { publisher: bool },
+    /// Append tuples to the named source stream of the served query.
+    Publish {
+        source: String,
+        port: u16,
+        tuples: Vec<Tuple>,
+    },
+    /// Turn this connection into a result stream: every sink batch the
+    /// engine produces from now on is pushed as a [`Response::Results`]
+    /// frame, terminated by [`Response::Eos`].
+    Subscribe,
+    /// This publisher is done; when every publisher has finished, the
+    /// server flushes the query and streams the final windows.
+    Finish,
+    /// Snapshot the served query's per-operator metrics.
+    Stats,
+}
+
+/// Error categories a server can answer with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request frame could not be decoded.
+    Malformed = 0,
+    /// `Publish` named a source the query does not declare.
+    UnknownSource = 1,
+    /// The query already flushed; no more input is accepted.
+    Finished = 2,
+    /// The request was well-formed but illegal in this connection state.
+    Protocol = 3,
+}
+
+impl ErrorCode {
+    fn from_u8(tag: u8) -> WireResult<ErrorCode> {
+        match tag {
+            0 => Ok(ErrorCode::Malformed),
+            1 => Ok(ErrorCode::UnknownSource),
+            2 => Ok(ErrorCode::Finished),
+            3 => Ok(ErrorCode::Protocol),
+            tag => Err(WireError::UnknownTag {
+                what: "ErrorCode",
+                tag,
+            }),
+        }
+    }
+}
+
+/// One operator's metrics snapshot as served by [`Request::Stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpStat {
+    pub name: String,
+    pub tuples_in: u64,
+    pub tuples_out: u64,
+    /// Total busy time in nanoseconds.
+    pub busy_ns: u64,
+    pub calls: u64,
+}
+
+/// What the server answers.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Reply to `Hello`: the server-assigned connection id.
+    HelloAck { client_id: u64 },
+    /// Generic success; `count` echoes how many tuples were accepted for
+    /// a publish (0 otherwise).
+    Ack { count: u32 },
+    /// Typed failure — the server's answer to malformed or illegal
+    /// requests (it never just drops the connection, and never panics).
+    Error { code: ErrorCode, message: String },
+    /// A batch of result tuples from the sink with the given node index.
+    Results { sink: u32, tuples: Vec<Tuple> },
+    /// End of stream: the query flushed; no further results will come.
+    Eos,
+    /// Reply to `Stats`.
+    Stats(Vec<OpStat>),
+}
+
+/// Serialize and frame one publish without taking ownership of the
+/// tuples — the client hot path ([`crate::Client::publish`] takes a
+/// borrowed slice; cloning heavyweight `Updf` payloads just to build an
+/// owned [`Request`] would dominate the codec cost).
+pub fn write_publish<W: Write>(
+    w: &mut W,
+    source: &str,
+    port: u16,
+    tuples: &[Tuple],
+) -> WireResult<()> {
+    let mut payload = Vec::new();
+    put_str(&mut payload, source);
+    payload.extend_from_slice(&port.to_be_bytes());
+    wire::encode_tuples(&mut payload, tuples);
+    write_frame(w, KIND_PUBLISH, &payload)
+}
+
+/// Serialize and frame one request into `w`.
+pub fn write_request<W: Write>(w: &mut W, req: &Request) -> WireResult<()> {
+    let mut payload = Vec::new();
+    let kind = match req {
+        Request::Hello { publisher } => {
+            payload.push(*publisher as u8);
+            KIND_HELLO
+        }
+        Request::Publish {
+            source,
+            port,
+            tuples,
+        } => return write_publish(w, source, *port, tuples),
+        Request::Subscribe => KIND_SUBSCRIBE,
+        Request::Finish => KIND_FINISH,
+        Request::Stats => KIND_STATS,
+    };
+    write_frame(w, kind, &payload)
+}
+
+/// Read and decode one request frame from `r`.
+pub fn read_request<R: Read>(r: &mut R) -> WireResult<Request> {
+    let (kind, payload) = read_frame(r)?;
+    let mut rd = Reader::new(&payload);
+    let req = match kind {
+        KIND_HELLO => Request::Hello {
+            publisher: rd.u8()? != 0,
+        },
+        KIND_PUBLISH => {
+            let source = rd.str()?;
+            let port = rd.u16()?;
+            let tuples = wire::decode_tuples(&mut rd)?;
+            Request::Publish {
+                source,
+                port,
+                tuples,
+            }
+        }
+        KIND_SUBSCRIBE => Request::Subscribe,
+        KIND_FINISH => Request::Finish,
+        KIND_STATS => Request::Stats,
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "Request",
+                tag,
+            })
+        }
+    };
+    rd.finish()?;
+    Ok(req)
+}
+
+/// Serialize and frame one `Results` push without taking ownership of
+/// the tuples — the server broadcast path encodes each batch exactly
+/// once and shares the bytes across subscribers.
+pub fn write_results<W: Write>(w: &mut W, sink: u32, tuples: &[Tuple]) -> WireResult<()> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&sink.to_be_bytes());
+    wire::encode_tuples(&mut payload, tuples);
+    write_frame(w, KIND_RESULTS, &payload)
+}
+
+/// Serialize and frame one response into `w`.
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> WireResult<()> {
+    let mut payload = Vec::new();
+    let kind = match resp {
+        Response::HelloAck { client_id } => {
+            payload.extend_from_slice(&client_id.to_be_bytes());
+            KIND_HELLO_ACK
+        }
+        Response::Ack { count } => {
+            payload.extend_from_slice(&count.to_be_bytes());
+            KIND_ACK
+        }
+        Response::Error { code, message } => {
+            payload.push(*code as u8);
+            put_str(&mut payload, message);
+            KIND_ERROR
+        }
+        Response::Results { sink, tuples } => return write_results(w, *sink, tuples),
+        Response::Eos => KIND_EOS,
+        Response::Stats(stats) => {
+            payload.extend_from_slice(&(stats.len() as u32).to_be_bytes());
+            for s in stats {
+                put_str(&mut payload, &s.name);
+                payload.extend_from_slice(&s.tuples_in.to_be_bytes());
+                payload.extend_from_slice(&s.tuples_out.to_be_bytes());
+                payload.extend_from_slice(&s.busy_ns.to_be_bytes());
+                payload.extend_from_slice(&s.calls.to_be_bytes());
+            }
+            KIND_STATS_REPLY
+        }
+    };
+    write_frame(w, kind, &payload)
+}
+
+/// Read and decode one response frame from `r`.
+pub fn read_response<R: Read>(r: &mut R) -> WireResult<Response> {
+    let (kind, payload) = read_frame(r)?;
+    let mut rd = Reader::new(&payload);
+    let resp = match kind {
+        KIND_HELLO_ACK => Response::HelloAck {
+            client_id: rd.u64()?,
+        },
+        KIND_ACK => Response::Ack { count: rd.u32()? },
+        KIND_ERROR => Response::Error {
+            code: ErrorCode::from_u8(rd.u8()?)?,
+            message: rd.str()?,
+        },
+        KIND_RESULTS => {
+            let sink = rd.u32()?;
+            let tuples = wire::decode_tuples(&mut rd)?;
+            Response::Results { sink, tuples }
+        }
+        KIND_EOS => Response::Eos,
+        KIND_STATS_REPLY => {
+            let n = rd.u32()? as usize;
+            // Each stat is at least 36 bytes (empty name + 4 counters).
+            let floor = n
+                .checked_mul(36)
+                .ok_or(WireError::InvalidPayload("length overflow"))?;
+            if floor > rd.remaining() {
+                return Err(WireError::Truncated {
+                    needed: floor,
+                    have: rd.remaining(),
+                });
+            }
+            let mut stats = Vec::with_capacity(n);
+            for _ in 0..n {
+                stats.push(OpStat {
+                    name: rd.str()?,
+                    tuples_in: rd.u64()?,
+                    tuples_out: rd.u64()?,
+                    busy_ns: rd.u64()?,
+                    calls: rd.u64()?,
+                });
+            }
+            Response::Stats(stats)
+        }
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "Response",
+                tag,
+            })
+        }
+    };
+    rd.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use ustream_core::schema::{DataType, Schema};
+    use ustream_core::Value;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder().field("v", DataType::Int).build()
+    }
+
+    fn roundtrip_req(req: Request) -> Request {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        read_request(&mut buf.as_slice()).unwrap()
+    }
+
+    fn roundtrip_resp(resp: Response) -> Response {
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        read_response(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        assert!(matches!(
+            roundtrip_req(Request::Hello { publisher: true }),
+            Request::Hello { publisher: true }
+        ));
+        assert!(matches!(
+            roundtrip_req(Request::Subscribe),
+            Request::Subscribe
+        ));
+        assert!(matches!(roundtrip_req(Request::Finish), Request::Finish));
+        assert!(matches!(roundtrip_req(Request::Stats), Request::Stats));
+        let t = Tuple::new(schema(), vec![Value::Int(3)], 17);
+        match roundtrip_req(Request::Publish {
+            source: "in".into(),
+            port: 1,
+            tuples: vec![t.clone()],
+        }) {
+            Request::Publish {
+                source,
+                port,
+                tuples,
+            } => {
+                assert_eq!(source, "in");
+                assert_eq!(port, 1);
+                assert_eq!(tuples[0].int("v").unwrap(), 3);
+                assert_eq!(tuples[0].lineage, t.lineage);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        assert!(matches!(
+            roundtrip_resp(Response::HelloAck { client_id: 9 }),
+            Response::HelloAck { client_id: 9 }
+        ));
+        assert!(matches!(
+            roundtrip_resp(Response::Ack { count: 4 }),
+            Response::Ack { count: 4 }
+        ));
+        assert!(matches!(roundtrip_resp(Response::Eos), Response::Eos));
+        match roundtrip_resp(Response::Error {
+            code: ErrorCode::UnknownSource,
+            message: "no such stream".into(),
+        }) {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::UnknownSource);
+                assert_eq!(message, "no such stream");
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        let stats = vec![OpStat {
+            name: "select".into(),
+            tuples_in: 10,
+            tuples_out: 7,
+            busy_ns: 1234,
+            calls: 10,
+        }];
+        match roundtrip_resp(Response::Stats(stats.clone())) {
+            Response::Stats(back) => assert_eq!(back, stats),
+            other => panic!("wrong decode: {other:?}"),
+        }
+        let t = Tuple::new(schema(), vec![Value::Int(1)], 2);
+        match roundtrip_resp(Response::Results {
+            sink: 3,
+            tuples: vec![t],
+        }) {
+            Response::Results { sink, tuples } => {
+                assert_eq!(sink, 3);
+                assert_eq!(tuples.len(), 1);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_response_kinds_disjoint() {
+        // A response frame fed to the request decoder is a typed error.
+        let mut buf = Vec::new();
+        write_response(&mut buf, &Response::Eos).unwrap();
+        assert!(matches!(
+            read_request(&mut buf.as_slice()),
+            Err(WireError::UnknownTag {
+                what: "Request",
+                ..
+            })
+        ));
+    }
+}

@@ -1,0 +1,857 @@
+//! The serving core: a multi-client TCP server running one continuous
+//! query on an incremental [`ExecSession`].
+//!
+//! Thread layout (all `std::net` + `std::thread`; the deployment
+//! environment has no async runtime):
+//!
+//! - an **accept thread** takes connections and spawns one handler per
+//!   client;
+//! - each **handler thread** reads framed requests and forwards decoded
+//!   publishes into the engine's bounded inbox — a full inbox blocks the
+//!   handler *before* it acknowledges, so backpressure reaches the
+//!   publisher as a delayed `Ack`;
+//! - one **engine thread** owns the session. It merges the per-publisher
+//!   queues into a single timestamp-ordered feed (k-way merge gated on
+//!   per-publisher watermarks), chunks consecutive same-destination
+//!   tuples into [`Batch`]es, pushes them through the session, and
+//!   streams every newly collected sink batch to all subscribers as
+//!   windows close.
+//!
+//! **Determinism.** When every publisher ships its stream in
+//! non-decreasing timestamp order (the natural property of a live
+//! feed), the merged feed the session sees is the timestamp-sorted
+//! union of all published tuples — the same feed
+//! [`QueryGraph::run_batched`] builds — so the concatenation of every
+//! `Results` frame a subscriber receives equals the `run_batched`
+//! output over the merged input, values/timestamps/existence/lineage
+//! included (ties across publishers break by connection id). The
+//! loopback integration suite asserts exactly this.
+//!
+//! **End of stream.** Each publisher declares itself via `Hello` and
+//! closes with `Finish`. When every publisher has finished, the engine
+//! flushes open windows ([`ExecSession::finish`]), streams the final
+//! batches, sends `Eos` to every subscriber, and rejects further
+//! publishes with a typed error. A publisher that disconnects without
+//! finishing is treated as finished so the query still terminates, and
+//! the abort is recorded as a typed [`ServerError`] — never a panic.
+//!
+//! **Subscriptions.** A subscriber receives every sink batch produced
+//! *after* it subscribes (plus the flush); the server does not replay
+//! history — subscribe before publishing to observe a whole run. Each
+//! batch is encoded into its `Results` frame exactly once and the bytes
+//! are shared across subscribers. A subscribed connection stays fully
+//! duplex: a dedicated relay thread writes result frames (one
+//! subscription per connection) while the handler keeps serving
+//! publishes, `stats`, and `Finish` on the same socket. A subscriber
+//! that stops reading backpressures the engine (bounded outbox); server
+//! shutdown breaks that wait and drops the stalled subscriber instead
+//! of hanging.
+
+use crate::protocol::{self, ErrorCode, OpStat, Request, Response};
+use crate::wire::WireError;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use ustream_core::query::{ExecSession, QueryGraph};
+use ustream_core::{panic_message, Batch, EngineError, MetricsHandle, NodeId, Tuple};
+
+/// Typed server-side failures, readable from the in-process
+/// [`ServerHandle`]. Client misbehavior (malformed frames, abrupt
+/// disconnects) lands here; it never panics a server thread and never
+/// kills the query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// A client dropped its connection mid-stream (a publisher without
+    /// `Finish`, or a subscriber that stopped reading).
+    ClientDisconnected { client_id: u64, role: &'static str },
+    /// A client sent bytes that did not decode; the server answered
+    /// with an error frame and closed the connection.
+    Malformed { client_id: u64, error: WireError },
+    /// An operator panicked while the engine processed remote input
+    /// (e.g. a published tuple whose schema the query's closures cannot
+    /// handle). The query is dead: the session was discarded,
+    /// subscribers received `Eos`, and further publishes are rejected —
+    /// the serving threads never unwind.
+    QueryPanicked { message: String },
+    /// Publishes acknowledged in the narrow race window while the
+    /// engine was flushing at EOS had to be dropped (the session was
+    /// already finishing); recorded so the loss is observable.
+    PublishDroppedAtEos { client_id: u64, count: usize },
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::ClientDisconnected { client_id, role } => {
+                write!(f, "{role} client {client_id} disconnected mid-stream")
+            }
+            ServerError::Malformed { client_id, error } => {
+                write!(f, "client {client_id} sent a malformed frame: {error}")
+            }
+            ServerError::QueryPanicked { message } => {
+                write!(f, "served query panicked on remote input: {message}")
+            }
+            ServerError::PublishDroppedAtEos { client_id, count } => {
+                write!(
+                    f,
+                    "dropped {count} tuples from client {client_id} acknowledged during the EOS flush"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Failure to start a server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding the listener failed.
+    Io(std::io::Error),
+    /// The query graph did not compile (cycle, dangling edge).
+    Graph(EngineError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "bind failed: {e}"),
+            ServeError::Graph(e) => write!(f, "query graph rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A query graph prepared for serving, optionally with named metrics
+/// handles (wrap hot operators in [`ustream_core::Metered`] and register
+/// the handles here; the `stats` command serves their snapshots).
+pub struct ServedQuery {
+    graph: QueryGraph,
+    metrics: Vec<(String, MetricsHandle)>,
+}
+
+impl ServedQuery {
+    pub fn new(graph: QueryGraph) -> Self {
+        ServedQuery {
+            graph,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Register a named metrics handle to be served by `stats`.
+    pub fn with_metric(mut self, name: impl Into<String>, handle: MetricsHandle) -> Self {
+        self.metrics.push((name.into(), handle));
+        self
+    }
+}
+
+/// Serving knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Target tuples per [`Batch`] pushed into the session.
+    pub batch_size: usize,
+    /// Bound on in-flight engine messages (publish backpressure depth).
+    pub inbox_capacity: usize,
+    /// Bound on undelivered result batches per subscriber (a slow
+    /// subscriber backpressures the engine rather than ballooning
+    /// memory).
+    pub subscriber_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            batch_size: 512,
+            inbox_capacity: 256,
+            subscriber_capacity: 64,
+        }
+    }
+}
+
+/// What handler threads send the engine.
+enum EngineMsg {
+    /// A connection declared itself a publisher (EOS accounting).
+    Joined {
+        client: u64,
+    },
+    Publish {
+        client: u64,
+        node: NodeId,
+        port: usize,
+        tuples: Vec<Tuple>,
+    },
+    /// The publisher is done (explicit `Finish`, or its disconnect).
+    Finished {
+        client: u64,
+    },
+    Subscribe {
+        client: u64,
+        tx: Sender<SubMsg>,
+    },
+    Shutdown,
+}
+
+/// What the engine streams to a subscriber's relay thread. Result
+/// frames arrive pre-encoded (one encode per batch, shared bytes across
+/// subscribers).
+enum SubMsg {
+    Frame(Arc<Vec<u8>>),
+    Eos,
+}
+
+/// Per-publisher merge state.
+#[derive(Default)]
+struct PubState {
+    queue: VecDeque<(NodeId, usize, Tuple)>,
+    /// Highest timestamp enqueued so far — the publisher's watermark: a
+    /// ts-ordered stream cannot later deliver anything older.
+    last_ts: u64,
+    finished: bool,
+}
+
+/// State shared between the accept loop and every handler thread.
+struct Shared {
+    engine_tx: Sender<EngineMsg>,
+    /// Named source entries as `(entry node, its input-port count)` —
+    /// the port count lets handlers reject out-of-range publish ports
+    /// before they can trip an operator's `assert!` on the engine
+    /// thread.
+    sources: HashMap<String, (NodeId, usize)>,
+    metrics: Vec<(String, MetricsHandle)>,
+    errors: Mutex<Vec<ServerError>>,
+    finished: AtomicBool,
+    /// Set by [`ServerHandle::shutdown`]; breaks the engine out of a
+    /// backpressure wait on a stalled subscriber and stops the accept
+    /// loop.
+    shutdown: AtomicBool,
+    subscriber_capacity: usize,
+}
+
+impl Shared {
+    fn record(&self, e: ServerError) {
+        self.errors.lock().expect("error log poisoned").push(e);
+    }
+}
+
+/// The ingest server. [`Server::serve`] binds, spawns the thread
+/// complex, and returns a handle.
+pub struct Server;
+
+impl Server {
+    /// Serve `query` on `addr` with default [`ServerConfig`].
+    pub fn serve(addr: impl ToSocketAddrs, query: ServedQuery) -> Result<ServerHandle, ServeError> {
+        Server::serve_with(addr, query, ServerConfig::default())
+    }
+
+    /// Serve with explicit knobs.
+    pub fn serve_with(
+        addr: impl ToSocketAddrs,
+        query: ServedQuery,
+        config: ServerConfig,
+    ) -> Result<ServerHandle, ServeError> {
+        let listener = TcpListener::bind(addr).map_err(ServeError::Io)?;
+        let addr = listener.local_addr().map_err(ServeError::Io)?;
+
+        let ServedQuery { graph, metrics } = query;
+        let sources: HashMap<String, (NodeId, usize)> = graph
+            .source_entries()
+            .map(|(name, node)| (name.to_string(), (node, graph.operator(node).num_ports())))
+            .collect();
+        let session = graph.into_session().map_err(ServeError::Graph)?;
+
+        let (engine_tx, engine_rx) = bounded::<EngineMsg>(config.inbox_capacity);
+        let shared = Arc::new(Shared {
+            engine_tx: engine_tx.clone(),
+            sources,
+            metrics,
+            errors: Mutex::new(Vec::new()),
+            finished: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            subscriber_capacity: config.subscriber_capacity,
+        });
+
+        let engine_shared = shared.clone();
+        let batch_size = config.batch_size;
+        let engine = std::thread::spawn(move || {
+            Engine {
+                rx: engine_rx,
+                session: Some(session),
+                pubs: BTreeMap::new(),
+                subs: Vec::new(),
+                batch_size,
+                shared: engine_shared,
+            }
+            .run()
+        });
+
+        let accept_shared = shared.clone();
+        let accept = std::thread::spawn(move || {
+            let next_id = AtomicU64::new(1);
+            for stream in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let client_id = next_id.fetch_add(1, Ordering::Relaxed);
+                let shared = accept_shared.clone();
+                std::thread::spawn(move || handle_client(stream, client_id, shared));
+            }
+        });
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            engine_tx,
+            accept: Some(accept),
+            engine: Some(engine),
+        })
+    }
+}
+
+/// In-process handle to a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    engine_tx: Sender<EngineMsg>,
+    accept: Option<JoinHandle<()>>,
+    engine: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (use with port 0 to serve on an ephemeral
+    /// loopback port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the served query has flushed (EOS reached).
+    pub fn is_finished(&self) -> bool {
+        self.shared.finished.load(Ordering::SeqCst)
+    }
+
+    /// Drain the typed errors recorded so far (malformed frames,
+    /// mid-stream disconnects).
+    pub fn take_errors(&self) -> Vec<ServerError> {
+        std::mem::take(&mut *self.shared.errors.lock().expect("error log poisoned"))
+    }
+
+    /// Stop accepting, stop the engine (subscribers receive `Eos` if the
+    /// query had not flushed), and join the server threads. Returns any
+    /// errors recorded over the server's lifetime.
+    pub fn shutdown(mut self) -> Vec<ServerError> {
+        // Flag first: an engine parked on a stalled subscriber's full
+        // outbox polls this flag and drops the subscriber instead of
+        // waiting forever, so the join below cannot hang.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.engine_tx.send(EngineMsg::Shutdown);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.engine.take() {
+            let _ = h.join();
+        }
+        self.take_errors()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine thread
+// ---------------------------------------------------------------------
+
+struct Engine {
+    rx: Receiver<EngineMsg>,
+    session: Option<ExecSession>,
+    pubs: BTreeMap<u64, PubState>,
+    subs: Vec<(u64, Sender<SubMsg>)>,
+    batch_size: usize,
+    shared: Arc<Shared>,
+}
+
+impl Engine {
+    fn run(mut self) {
+        loop {
+            let msg = match self.rx.recv() {
+                Ok(m) => m,
+                Err(_) => break, // every handle dropped: server torn down
+            };
+            match msg {
+                EngineMsg::Joined { client } => {
+                    self.pubs.entry(client).or_default();
+                }
+                EngineMsg::Publish {
+                    client,
+                    node,
+                    port,
+                    tuples,
+                } => {
+                    let p = self.pubs.entry(client).or_default();
+                    // A finished publisher's tuples would slip in behind
+                    // the watermark its Finish released; the handler
+                    // already rejects this, so reaching here means a
+                    // racing abort — drop, never corrupt the merge.
+                    if !p.finished {
+                        for t in tuples {
+                            p.last_ts = p.last_ts.max(t.ts);
+                            p.queue.push_back((node, port, t));
+                        }
+                    }
+                }
+                EngineMsg::Finished { client } => {
+                    if let Some(p) = self.pubs.get_mut(&client) {
+                        p.finished = true;
+                    }
+                }
+                EngineMsg::Subscribe { client, tx } => {
+                    self.subs.push((client, tx));
+                }
+                EngineMsg::Shutdown => {
+                    self.broadcast_eos();
+                    return;
+                }
+            }
+            if let Err(panic) = self.pump() {
+                self.fail(panic);
+                return;
+            }
+            if !self.pubs.is_empty() && self.pubs.values().all(|p| p.finished) {
+                self.complete();
+                return;
+            }
+        }
+    }
+
+    /// Merge the per-publisher queues up to the collective watermark,
+    /// push the merged run through the session in destination-chunked
+    /// batches, then stream any newly closed windows to subscribers.
+    ///
+    /// An entry is safe to emit when no *unfinished* publisher with an
+    /// empty queue could still deliver a tuple that precedes it in the
+    /// canonical `(ts, connection id)` order — a strictly older
+    /// timestamp (watermark below the entry's ts), or an equal one from
+    /// a lower-id connection (its next tuple could tie and ties break by
+    /// id).
+    /// `Err` carries the panic message when an operator panicked on the
+    /// pushed input — the session is then poisoned and the caller must
+    /// [`Engine::fail`].
+    fn pump(&mut self) -> Result<(), String> {
+        let drained = {
+            let Some(session) = self.session.as_mut() else {
+                return Ok(());
+            };
+            // Remote tuples run user operator code; a panic must surface
+            // as a dead query with Eos'd subscribers, never unwind the
+            // engine thread (mirrors the sharded runtime's containment).
+            let push =
+                |session: &mut ExecSession, n: NodeId, p: usize, b: Batch| -> Result<(), String> {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.push(n, p, b)))
+                        .map_err(|e| panic_message(e.as_ref()).to_string())
+                };
+            let mut cur: Option<(NodeId, usize, Batch)> = None;
+            loop {
+                let mut best: Option<(u64, u64)> = None; // (ts, client)
+                for (&id, p) in &self.pubs {
+                    if let Some((_, _, t)) = p.queue.front() {
+                        let key = (t.ts, id);
+                        if best.is_none_or(|b| key < b) {
+                            best = Some(key);
+                        }
+                    }
+                }
+                let Some((ts, pid)) = best else { break };
+                let blocked = self.pubs.iter().any(|(&id, p)| {
+                    id != pid
+                        && !p.finished
+                        && p.queue.is_empty()
+                        && (p.last_ts < ts || (p.last_ts == ts && id < pid))
+                });
+                if blocked {
+                    break;
+                }
+                let (node, port, tuple) = self
+                    .pubs
+                    .get_mut(&pid)
+                    .expect("candidate publisher exists")
+                    .queue
+                    .pop_front()
+                    .expect("candidate queue non-empty");
+                match &mut cur {
+                    Some((n, p, b)) if *n == node && *p == port && b.len() < self.batch_size => {
+                        b.push(tuple)
+                    }
+                    slot => {
+                        if let Some((n, p, b)) = slot.take() {
+                            push(session, n, p, b)?;
+                        }
+                        *slot = Some((node, port, Batch::one(tuple)));
+                    }
+                }
+            }
+            if let Some((n, p, b)) = cur {
+                push(session, n, p, b)?;
+            }
+            session.drain_collected()
+        };
+        self.broadcast(drained);
+        Ok(())
+    }
+
+    /// All publishers finished: feed the stragglers, flush the session,
+    /// stream the final windows, and send `Eos` to every subscriber.
+    fn complete(&mut self) {
+        // Flag first: handlers reject new publishes while the (possibly
+        // long) flush runs, so nothing can be acknowledged into an
+        // engine that is about to stop reading its inbox.
+        self.shared.finished.store(true, Ordering::SeqCst);
+        if let Err(panic) = self.pump() {
+            // Nothing blocks once every publisher is finished.
+            self.fail(panic);
+            return;
+        }
+        if let Some(session) = self.session.take() {
+            let finished =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.finish()));
+            match finished {
+                Ok(collected) => {
+                    let mut finals: Vec<(NodeId, Vec<Tuple>)> = collected
+                        .into_iter()
+                        .filter(|(_, tuples)| !tuples.is_empty())
+                        .collect();
+                    finals.sort_by_key(|(n, _)| n.index());
+                    self.broadcast(finals);
+                }
+                Err(e) => {
+                    self.fail(panic_message(e.as_ref()).to_string());
+                    return;
+                }
+            }
+        }
+        self.broadcast_eos();
+        self.drain_inbox_after_eos();
+    }
+
+    /// An operator panicked on remote input: discard the poisoned
+    /// session, record the typed error, release subscribers with `Eos`,
+    /// and reject everything else — the serving threads keep running.
+    fn fail(&mut self, message: String) {
+        self.session = None;
+        self.shared.record(ServerError::QueryPanicked { message });
+        self.shared.finished.store(true, Ordering::SeqCst);
+        self.broadcast_eos();
+        self.drain_inbox_after_eos();
+    }
+
+    /// Drain whatever raced into the inbox while EOS/fail was being
+    /// reached: late subscribers still get their `Eos` (no hang), and
+    /// acknowledged-but-unprocessable publishes are recorded instead of
+    /// vanishing.
+    fn drain_inbox_after_eos(&mut self) {
+        while let Ok(msg) = self.rx.try_recv() {
+            match msg {
+                EngineMsg::Subscribe { tx, .. } => {
+                    let _ = tx.send(SubMsg::Eos);
+                }
+                EngineMsg::Publish { client, tuples, .. } if !tuples.is_empty() => {
+                    self.shared.record(ServerError::PublishDroppedAtEos {
+                        client_id: client,
+                        count: tuples.len(),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn broadcast(&mut self, batches: Vec<(NodeId, Vec<Tuple>)>) {
+        for (sink, tuples) in batches {
+            self.broadcast_batch(sink.index() as u32, &tuples);
+        }
+    }
+
+    /// Encode one result batch into its `Results` frame exactly once and
+    /// fan the shared bytes out to every subscriber. A batch whose frame
+    /// would exceed the payload cap is split in half recursively.
+    fn broadcast_batch(&mut self, sink: u32, tuples: &[Tuple]) {
+        if self.subs.is_empty() || tuples.is_empty() {
+            return;
+        }
+        let mut bytes = Vec::new();
+        match protocol::write_results(&mut bytes, sink, tuples) {
+            Ok(()) => {
+                let frame = Arc::new(bytes);
+                let shared = self.shared.clone();
+                self.subs
+                    .retain(|(_, tx)| patient_send(&shared, tx, SubMsg::Frame(frame.clone())));
+            }
+            Err(WireError::FrameTooLarge(_)) if tuples.len() > 1 => {
+                let mid = tuples.len() / 2;
+                self.broadcast_batch(sink, &tuples[..mid]);
+                self.broadcast_batch(sink, &tuples[mid..]);
+            }
+            Err(_) => {} // a single tuple too large for any frame: drop it
+        }
+    }
+
+    fn broadcast_eos(&mut self) {
+        let shared = self.shared.clone();
+        for (_, tx) in self.subs.drain(..) {
+            let _ = patient_send(&shared, &tx, SubMsg::Eos);
+        }
+    }
+}
+
+/// Send to a subscriber's bounded outbox, waiting out a full ring (the
+/// documented backpressure: a slow subscriber slows the engine, it does
+/// not balloon memory) — but giving up when the subscriber vanished or
+/// the server is shutting down, so [`ServerHandle::shutdown`] can never
+/// hang behind a subscriber that stopped reading. Returns whether the
+/// subscriber should be kept.
+fn patient_send(shared: &Shared, tx: &Sender<SubMsg>, msg: SubMsg) -> bool {
+    let mut msg = msg;
+    loop {
+        match tx.try_send(msg) {
+            Ok(()) => return true,
+            Err(TrySendError::Disconnected(_)) => return false,
+            Err(TrySendError::Full(m)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return false;
+                }
+                msg = m;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Handler threads
+// ---------------------------------------------------------------------
+
+/// Serve one connection until it closes. Malformed frames are answered
+/// with a typed error response and the connection is dropped (the length
+/// prefix can no longer be trusted); a publisher that vanishes without
+/// `Finish` is marked finished so the query still reaches EOS, and the
+/// abort is recorded.
+///
+/// The socket's write half is shared (frame-at-a-time, under a mutex)
+/// between this thread's replies and the subscription relay thread, so
+/// a subscribed connection stays fully duplex — it can keep publishing
+/// and issuing `stats`/`Finish` while results stream back.
+fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let reply_to = |resp: &Response| -> bool {
+        let mut w = writer.lock().expect("connection writer poisoned");
+        protocol::write_response(&mut *w, resp).is_ok()
+    };
+    let mut is_publisher = false;
+    let mut subscribed = false;
+    let mut finish_sent = false;
+    let abort_publisher = |finish_sent: bool, is_publisher: bool, why: Option<ServerError>| {
+        if let Some(e) = why {
+            shared.record(e);
+        }
+        if is_publisher && !finish_sent {
+            let _ = shared
+                .engine_tx
+                .send(EngineMsg::Finished { client: client_id });
+        }
+    };
+    loop {
+        let req = match protocol::read_request(&mut stream) {
+            Ok(req) => req,
+            Err(WireError::Disconnected) | Err(WireError::Io(_)) => {
+                let why =
+                    (is_publisher && !finish_sent).then_some(ServerError::ClientDisconnected {
+                        client_id,
+                        role: "publisher",
+                    });
+                abort_publisher(finish_sent, is_publisher, why);
+                return;
+            }
+            Err(error) => {
+                shared.record(ServerError::Malformed {
+                    client_id,
+                    error: error.clone(),
+                });
+                reply_to(&Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: error.to_string(),
+                });
+                abort_publisher(finish_sent, is_publisher, None);
+                return;
+            }
+        };
+        let reply = match req {
+            Request::Hello { publisher } => {
+                // Joining after EOS is allowed (the connection can still
+                // query stats); only publishes are rejected then.
+                if publisher
+                    && !is_publisher
+                    && shared
+                        .engine_tx
+                        .send(EngineMsg::Joined { client: client_id })
+                        .is_ok()
+                {
+                    is_publisher = true;
+                }
+                Response::HelloAck { client_id }
+            }
+            Request::Publish {
+                source,
+                port,
+                tuples,
+            } => match shared.sources.get(&source) {
+                _ if shared.finished.load(Ordering::SeqCst) => Response::Error {
+                    code: ErrorCode::Finished,
+                    message: "query already finished; publish rejected".into(),
+                },
+                _ if finish_sent => Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: "this connection already finished publishing".into(),
+                },
+                None => Response::Error {
+                    code: ErrorCode::UnknownSource,
+                    message: format!("unknown source `{source}`"),
+                },
+                Some(&(_, num_ports)) if port as usize >= num_ports => Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: format!(
+                        "source `{source}` enters an operator with {num_ports} input port(s); \
+                         port {port} is out of range"
+                    ),
+                },
+                Some(&(node, _)) => {
+                    // Publishing implies publisher role even without a
+                    // prior Hello, so EOS accounting stays sound.
+                    if !is_publisher {
+                        if shared
+                            .engine_tx
+                            .send(EngineMsg::Joined { client: client_id })
+                            .is_err()
+                        {
+                            reply_to(&Response::Error {
+                                code: ErrorCode::Finished,
+                                message: "query already finished".into(),
+                            });
+                            continue;
+                        }
+                        is_publisher = true;
+                    }
+                    let count = tuples.len() as u32;
+                    match shared.engine_tx.send(EngineMsg::Publish {
+                        client: client_id,
+                        node,
+                        port: port as usize,
+                        tuples,
+                    }) {
+                        Ok(()) => Response::Ack { count },
+                        Err(_) => Response::Error {
+                            code: ErrorCode::Finished,
+                            message: "query already finished; publish rejected".into(),
+                        },
+                    }
+                }
+            },
+            Request::Subscribe => {
+                if subscribed {
+                    Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: "connection already has a subscription".into(),
+                    }
+                } else {
+                    let (tx, rx) = bounded::<SubMsg>(shared.subscriber_capacity);
+                    if shared
+                        .engine_tx
+                        .send(EngineMsg::Subscribe {
+                            client: client_id,
+                            tx,
+                        })
+                        .is_err()
+                    {
+                        Response::Error {
+                            code: ErrorCode::Finished,
+                            message: "query already finished; no further results".into(),
+                        }
+                    } else {
+                        subscribed = true;
+                        let relay_writer = writer.clone();
+                        let relay_shared = shared.clone();
+                        std::thread::spawn(move || {
+                            relay_results(rx, relay_writer, client_id, relay_shared)
+                        });
+                        Response::Ack { count: 0 }
+                    }
+                }
+            }
+            Request::Finish => {
+                let _ = shared
+                    .engine_tx
+                    .send(EngineMsg::Finished { client: client_id });
+                finish_sent = true;
+                Response::Ack { count: 0 }
+            }
+            Request::Stats => Response::Stats(
+                shared
+                    .metrics
+                    .iter()
+                    .map(|(name, handle)| {
+                        let m = handle.snapshot();
+                        OpStat {
+                            name: name.clone(),
+                            tuples_in: m.tuples_in,
+                            tuples_out: m.tuples_out,
+                            busy_ns: m.busy.as_nanos().min(u64::MAX as u128) as u64,
+                            calls: m.calls,
+                        }
+                    })
+                    .collect(),
+            ),
+        };
+        if !reply_to(&reply) {
+            let why = (is_publisher && !finish_sent).then_some(ServerError::ClientDisconnected {
+                client_id,
+                role: "publisher",
+            });
+            abort_publisher(finish_sent, is_publisher, why);
+            return;
+        }
+    }
+}
+
+/// Relay one subscription's engine output onto the shared socket writer
+/// until `Eos`, the engine goes away, or the subscriber stops reading.
+fn relay_results(
+    rx: Receiver<SubMsg>,
+    writer: Arc<Mutex<TcpStream>>,
+    client_id: u64,
+    shared: Arc<Shared>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            SubMsg::Frame(bytes) => {
+                let mut w = writer.lock().expect("connection writer poisoned");
+                if w.write_all(&bytes).and_then(|_| w.flush()).is_err() {
+                    shared.record(ServerError::ClientDisconnected {
+                        client_id,
+                        role: "subscriber",
+                    });
+                    return;
+                }
+            }
+            SubMsg::Eos => {
+                let mut w = writer.lock().expect("connection writer poisoned");
+                let _ = protocol::write_response(&mut *w, &Response::Eos);
+                return;
+            }
+        }
+    }
+}

@@ -35,6 +35,16 @@ pub mod channel {
         Disconnected,
     }
 
+    /// `try_send` outcome when the message was not enqueued; returns the
+    /// unsent value either way (mirroring the real crate).
+    #[derive(Debug)]
+    pub enum TrySendError<T> {
+        /// Ring currently full, but receivers remain connected.
+        Full(T),
+        /// Every receiver dropped.
+        Disconnected(T),
+    }
+
     /// Ring state under the mutex. The buffer is a `VecDeque` whose
     /// backing allocation is made once at channel creation (`with_capacity`)
     /// and never grows past `cap`, so it behaves as a fixed ring.
@@ -122,6 +132,25 @@ pub mod channel {
                 }
                 ring = self.shared.not_full.wait(ring).unwrap();
             }
+        }
+
+        /// Non-blocking enqueue: fails immediately with the value when
+        /// the ring is full or every receiver is gone. The escape hatch
+        /// for producers that must not park forever behind a stalled
+        /// consumer (e.g. a result broadcaster that wants to drop the
+        /// slow subscriber instead).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut ring = self.shared.ring.lock().unwrap();
+            if ring.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if ring.buf.len() < ring.cap {
+                ring.buf.push_back(value);
+                drop(ring);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            Err(TrySendError::Full(value))
         }
     }
 
@@ -261,6 +290,18 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         drop(rx); // full ring, sender parked: must wake and error
         assert!(h.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn try_send_distinguishes_full_and_disconnected() {
+        use super::channel::TrySendError;
+        let (tx, rx) = bounded::<u32>(1);
+        assert!(tx.try_send(1).is_ok());
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert!(tx.try_send(3).is_ok());
+        drop(rx);
+        assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
     }
 
     #[test]

@@ -103,6 +103,23 @@ fn canonical(tuples: &[Tuple]) -> Vec<CanonicalRow> {
 }
 
 #[test]
+fn keyed_plan_describes_as_fully_parallel() {
+    let (proto, _) = q1_graph();
+    let plan = ShardedExecutor::shard_plan(&proto).unwrap();
+    assert!(plan.is_parallel());
+    assert_eq!(plan.num_entries(), 1);
+    assert_eq!(plan.pinned_entries(), 0, "nothing degrades in Q1");
+    let describe = plan.describe();
+    assert!(
+        describe.contains("keyed on") && describe.contains("0/1 entries pinned"),
+        "unexpected describe(): {describe}"
+    );
+    let rules: Vec<_> = plan.entry_rules().collect();
+    assert_eq!(rules.len(), 1);
+    assert_eq!(rules[0].0, "in");
+}
+
+#[test]
 fn sharded_matches_run_batched_across_shard_counts() {
     let inputs = q1_inputs();
     let (mut g, sink) = q1_graph();
@@ -373,6 +390,16 @@ fn probabilistic_join_degrades_to_pinned_plan_and_stays_exact() {
         !plan.is_parallel(),
         "a probabilistic join must pin the whole stream to one shard"
     );
+    // Degraded parallelism is observable, not silent.
+    assert_eq!(plan.num_entries(), 2);
+    assert_eq!(plan.pinned_entries(), 2);
+    let describe = plan.describe();
+    assert!(
+        describe.contains("2/2 entries pinned") && describe.contains("degraded"),
+        "describe() must call out the fully pinned plan: {describe}"
+    );
+    let describe_via_exec = ShardedExecutor::describe_plan(&proto).unwrap();
+    assert_eq!(describe, describe_via_exec);
 
     let schema = Schema::builder()
         .field("id", DataType::Int)

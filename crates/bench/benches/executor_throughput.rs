@@ -1,7 +1,11 @@
 //! Executor throughput on a Q1-style select → project → aggregate graph:
 //! tuple-at-a-time single-threaded execution vs batched single-threaded
 //! execution vs the threaded executor (batch sizes {1, 64, 1024}) vs the
-//! sharded runtime at shard counts {1, 2, 4, 8}.
+//! sharded runtime at shard counts {1, 2, 4, 8}, plus the **staged
+//! exchange pipeline** (`staged/N`: the same Q1 chain feeding a keyed
+//! equi-join, a two-stage plan with an exchange at the aggregate→join
+//! boundary) and its single-threaded `run_batched` reference
+//! (`staged/batched`).
 //!
 //! This is the perf-trajectory baseline for the execution engine:
 //! `BENCH_executor_throughput.json` at the repo root records the
@@ -196,6 +200,52 @@ fn q1_graph() -> (QueryGraph, NodeId) {
     (g, sink)
 }
 
+/// The staged workload: the Q1 chain's windowed aggregate feeding a
+/// keyed equi-join against a reference stream — two keyed anchors, so
+/// the shard plan cuts the graph into two exchange-connected stages.
+fn staged_graph() -> (QueryGraph, NodeId) {
+    use ustream_core::ops::join::{JoinCondition, WindowJoin};
+    let (select, project, agg) = q1_ops();
+    let join = WindowJoin::new(
+        10_000_000,
+        JoinCondition::KeyEquals {
+            left: Box::new(|t| GroupKey::from_value(t.get("group").ok()?)),
+            right: Box::new(|t| GroupKey::from_value(t.get("gname").ok()?)),
+        },
+        0.0,
+    );
+    let mut g = QueryGraph::new();
+    let select = g.add(Box::new(select));
+    let project = g.add(Box::new(project));
+    let agg = g.add(Box::new(agg));
+    let join = g.add(Box::new(join));
+    let sink = g.add(Box::new(Passthrough::new("sink")));
+    g.connect(select, project, 0).unwrap();
+    g.connect(project, agg, 0).unwrap();
+    g.connect(agg, join, 0).unwrap();
+    g.connect(join, sink, 0).unwrap();
+    g.source("in", select);
+    g.source("refs", join);
+    g.sink(sink);
+    (g, sink)
+}
+
+fn ref_inputs() -> Vec<Tuple> {
+    let s = Schema::builder()
+        .field("rid", DataType::Int)
+        .field("gname", DataType::Str)
+        .build();
+    (0..64u64)
+        .map(|j| {
+            Tuple::new(
+                s.clone(),
+                vec![Value::Int(j as i64), Value::from(format!("Int({})", j % 4))],
+                j * (N_TUPLES as u64 / 64),
+            )
+        })
+        .collect()
+}
+
 fn q1_seed() -> SeedExecutor {
     let (select, project, agg) = q1_ops();
     SeedExecutor {
@@ -278,6 +328,47 @@ fn bench_executor_throughput(c: &mut Criterion) {
                         .run(|| q1_graph().0, vec![("in".into(), 0, tuples)])
                         .unwrap();
                     out[&sink].len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // Staged exchange pipeline: aggregate → keyed join, a two-stage
+    // plan. `staged/batched` is the single-threaded run_batched
+    // reference over the identical graph and feed; `staged/N` pays the
+    // exchange (canonical boundary sort + per-stage barrier at EOS) in
+    // return for two key-partitioned stages.
+    let refs = ref_inputs();
+    let staged_sink = staged_graph().1;
+    group.bench_function("staged/batched/1024", |b| {
+        b.iter_batched(
+            || (staged_graph(), feed.clone(), refs.clone()),
+            |((mut g, sink), tuples, refs)| {
+                let out = g
+                    .run_batched(
+                        vec![("in".into(), 0, tuples), ("refs".into(), 1, refs)],
+                        1024,
+                    )
+                    .unwrap();
+                out[&sink].len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    for shards in SHARD_COUNTS {
+        group.bench_function(format!("staged/{shards}/1024"), |b| {
+            b.iter_batched(
+                || (feed.clone(), refs.clone()),
+                |(tuples, refs)| {
+                    let exec = ShardedExecutor::new(shards).with_batch_size(1024);
+                    let out = exec
+                        .run(
+                            || staged_graph().0,
+                            vec![("in".into(), 0, tuples), ("refs".into(), 1, refs)],
+                        )
+                        .unwrap();
+                    out[&staged_sink].len()
                 },
                 BatchSize::SmallInput,
             )

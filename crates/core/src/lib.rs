@@ -23,8 +23,11 @@
 //!   multi-threaded (crossbeam channels carrying [`batch::Batch`]es).
 //! - [`confidence`] — intervals, highest-density unions, ellipsoids.
 //! - [`window`] — tumbling/count/sliding event-time windows.
+//! - [`canon`] — the canonical `(ts, content)` tuple order shared by
+//!   window emission, exchange boundaries, and sharded sink merging.
 
 pub mod batch;
+pub mod canon;
 pub mod confidence;
 pub mod error;
 pub mod lineage;
@@ -39,6 +42,7 @@ pub mod value;
 pub mod window;
 
 pub use batch::{Batch, BatchPool};
+pub use canon::canonical_sort;
 pub use confidence::{confidence_region, ConfidenceRegion};
 pub use error::{panic_message, EngineError, Result};
 pub use lineage::{ApproxLineage, Archive, Lineage};

@@ -132,6 +132,15 @@ impl<O: Operator> Operator for Metered<O> {
         out
     }
 
+    fn advance_watermark(&mut self, watermark: u64) -> Vec<Tuple> {
+        let t0 = Instant::now();
+        let out = self.inner.advance_watermark(watermark);
+        let mut m = self.handle.inner.lock();
+        m.tuples_out += out.len() as u64;
+        m.busy += t0.elapsed();
+        out
+    }
+
     // Partitioning is the inner operator's property; without these
     // delegations a metered operator would fall back to the trait's
     // `Global` default and pin the whole sharded plan.

@@ -237,6 +237,11 @@ impl WindowedAggregate {
                 }
             }
         }
+        // Aggregates are computed in key order (deterministic rng draw
+        // order for the sampling strategies), but the *emitted* rows are
+        // ordered by the engine's canonical (ts, content) key below — so
+        // one window's rows read the same whether one instance or eight
+        // key-partitioned shard instances produced them.
         groups.sort_by(|(a, _), (b, _)| a.cmp(b));
 
         let mut out = Vec::new();
@@ -280,6 +285,9 @@ impl WindowedAggregate {
                 lineage,
             ));
         }
+        // All rows of one window share ts = window end, so this orders
+        // purely by content — the partition-independent canonical order.
+        crate::canon::canonical_sort(&mut out);
         out
     }
 
@@ -303,26 +311,56 @@ impl WindowedAggregate {
             *next_emit = Some((tuple.ts / slide_ms + 1) * slide_ms);
         }
         // Close every slide boundary the new tuple jumps past.
-        while let Some(boundary) = *next_emit {
-            if tuple.ts < boundary {
-                break;
-            }
-            let start = boundary.saturating_sub(range_ms);
-            let members: Vec<Tuple> = buf
-                .iter()
-                .filter(|t| t.ts >= start && t.ts < boundary)
-                .cloned()
-                .collect();
-            if !members.is_empty() {
-                pending.push((start, boundary, members));
-            }
-            *next_emit = Some(boundary + slide_ms);
-            // Evict tuples that can never appear in later windows.
-            let keep_from = (boundary + slide_ms).saturating_sub(range_ms);
-            buf.retain(|t| t.ts >= keep_from);
+        while next_emit.is_some_and(|boundary| tuple.ts >= boundary) {
+            close_sliding_boundary(range_ms, slide_ms, next_emit, buf, pending);
         }
         buf.push(tuple);
     }
+
+    /// Close sliding boundaries an external watermark has passed —
+    /// the same trigger [`WindowedAggregate::sliding_push`] applies when
+    /// a tuple jumps a boundary, driven by punctuation instead of data.
+    fn sliding_advance(&mut self, watermark: u64, pending: &mut Vec<(u64, u64, Vec<Tuple>)>) {
+        let WindowState::Sliding {
+            range_ms,
+            slide_ms,
+            next_emit,
+            buf,
+        } = &mut self.window
+        else {
+            unreachable!("sliding_advance on a non-sliding window");
+        };
+        let (range_ms, slide_ms) = (*range_ms, *slide_ms);
+        while next_emit.is_some_and(|boundary| boundary <= watermark) {
+            close_sliding_boundary(range_ms, slide_ms, next_emit, buf, pending);
+        }
+    }
+}
+
+/// Close the sliding window ending at `next_emit`: collect the grid
+/// window's members, advance the boundary by one slide, evict tuples
+/// that can never appear in later windows. The one place a sliding
+/// boundary closes, shared by the push, watermark, and flush paths.
+fn close_sliding_boundary(
+    range_ms: u64,
+    slide_ms: u64,
+    next_emit: &mut Option<u64>,
+    buf: &mut Vec<Tuple>,
+    pending: &mut Vec<(u64, u64, Vec<Tuple>)>,
+) {
+    let Some(boundary) = *next_emit else { return };
+    let start = boundary.saturating_sub(range_ms);
+    let members: Vec<Tuple> = buf
+        .iter()
+        .filter(|t| t.ts >= start && t.ts < boundary)
+        .cloned()
+        .collect();
+    if !members.is_empty() {
+        pending.push((start, boundary, members));
+    }
+    *next_emit = Some(boundary + slide_ms);
+    let keep_from = (boundary + slide_ms).saturating_sub(range_ms);
+    buf.retain(|t| t.ts >= keep_from);
 }
 
 /// Compute one aggregate's result distribution over the group members.
@@ -538,16 +576,18 @@ impl Operator for WindowedAggregate {
         &self.name
     }
 
-    /// Tumbling-window aggregation shards by group key: window boundaries
-    /// are grid-aligned (`k·len`), so each group's windows have identical
-    /// spans and members no matter which other groups share the operator
-    /// instance. Three configurations pin the whole stream to one
-    /// instance instead:
+    /// Event-time window aggregation shards by group key: tumbling and
+    /// sliding window boundaries are grid-aligned (`k·len`, `k·slide`),
+    /// so each group's windows have identical spans and members no
+    /// matter which other groups share the operator instance — sliding
+    /// windows joined the keyed club when the flush remainder stopped
+    /// deriving its span from the cross-group union of leftover tuples
+    /// (every emitted window is now a pure function of tuple
+    /// timestamps). Two configurations still pin the whole stream to one
+    /// instance:
     ///
     /// - count windows (window membership depends on the global arrival
     ///   interleaving across groups),
-    /// - sliding windows (the flush remainder derives its span from the
-    ///   union of all groups' leftover tuples),
     /// - sampling strategies (draw order from the shared rng depends on
     ///   which groups coexist in the instance).
     fn partition_keys(&self) -> crate::ops::Partitioning {
@@ -556,7 +596,9 @@ impl Operator for WindowedAggregate {
             .iter()
             .any(|s| matches!(s.strategy, Strategy::HistogramSampling { .. }));
         match (&self.window, sampling) {
-            (WindowState::Tumbling(_), false) => crate::ops::Partitioning::Key,
+            (WindowState::Tumbling(_) | WindowState::Sliding { .. }, false) => {
+                crate::ops::Partitioning::Key
+            }
             _ => crate::ops::Partitioning::Global,
         }
     }
@@ -643,22 +685,61 @@ impl Operator for WindowedAggregate {
                 }
                 None => Vec::new(),
             },
-            WindowState::Sliding {
-                range_ms,
-                next_emit,
-                buf,
-                ..
-            } => {
-                let Some(boundary) = *next_emit else {
-                    return Vec::new();
-                };
-                let members = std::mem::take(buf);
-                if members.is_empty() {
-                    return Vec::new();
+            // Keep closing grid-aligned slide boundaries until eviction
+            // drains the buffer, so every emitted window — including at
+            // end of stream — is a `[b − range, b)` window whose span and
+            // membership are pure functions of tuple timestamps. (The
+            // remainder used to be emitted as one window spanning the
+            // union of *all* groups' leftover tuples, which coupled each
+            // group's output to whichever other groups shared the
+            // instance and made sliding windows impossible to
+            // key-partition.)
+            WindowState::Sliding { .. } => {
+                let mut pending: Vec<(u64, u64, Vec<Tuple>)> = Vec::new();
+                {
+                    let WindowState::Sliding {
+                        range_ms,
+                        slide_ms,
+                        next_emit,
+                        buf,
+                    } = &mut self.window
+                    else {
+                        unreachable!()
+                    };
+                    let (range_ms, slide_ms) = (*range_ms, *slide_ms);
+                    while !buf.is_empty() {
+                        close_sliding_boundary(range_ms, slide_ms, next_emit, buf, &mut pending);
+                    }
+                    *next_emit = None;
                 }
-                let start = boundary.saturating_sub(*range_ms);
-                let end = members.iter().map(|t| t.ts).max().unwrap_or(boundary) + 1;
-                self.emit_window(start.min(end - 1), end, members)
+                let mut out = Vec::new();
+                for (start, end, members) in pending {
+                    out.extend(self.emit_window(start, end, members));
+                }
+                out
+            }
+        }
+    }
+
+    /// Tumbling and sliding event-time windows close on punctuation:
+    /// `watermark` promises no future tuple with `ts < watermark`, so
+    /// every window ending at or before it can emit now. Count windows
+    /// ignore watermarks (membership is arrival-count-based).
+    fn advance_watermark(&mut self, watermark: u64) -> Vec<Tuple> {
+        match &mut self.window {
+            WindowState::Tumbling(w) => match w.close_through(watermark) {
+                Some(b) => self.emit_window(b.start, b.end, b.tuples),
+                None => Vec::new(),
+            },
+            WindowState::Count(_) => Vec::new(),
+            WindowState::Sliding { .. } => {
+                let mut pending: Vec<(u64, u64, Vec<Tuple>)> = Vec::new();
+                self.sliding_advance(watermark, &mut pending);
+                let mut out = Vec::new();
+                for (start, end, members) in pending {
+                    out.extend(self.emit_window(start, end, members));
+                }
+                out
             }
         }
     }
@@ -719,7 +800,12 @@ mod tests {
         // Next window closes the first.
         let out = a.process(0, tup(1500, 1, 0.0, 1.0));
         assert_eq!(out.len(), 2, "two groups in closed window");
-        let g1 = &out[0];
+        // Rows emit in canonical (ts, content) order, not key order; find
+        // the group-1 row by its field.
+        let g1 = out
+            .iter()
+            .find(|t| t.str("group").unwrap() == "Int(1)")
+            .expect("group 1 present");
         let total = g1.updf("total").unwrap();
         assert!((total.mean() - 12.0).abs() < 1e-9);
         assert!((total.variance() - 2.0).abs() < 1e-9);
@@ -971,17 +1057,18 @@ mod tests {
         out.extend(a.process(0, tup(1500, 1, 20.0, 1.0)));
         out.extend(a.process(0, tup(2500, 1, 40.0, 1.0)));
         out.extend(a.process(0, tup(5000, 1, 0.0, 1.0))); // closes 3000/4000
-                                                          // Window @1000: {500} → 10. @2000: {500,1500} → 30. @3000:
-                                                          // {1500,2500} → 60. @4000: {2500} → 40.
+        out.extend(a.flush()); // grid windows @6000/@7000 cover t=5000
+                               // Window @1000: {500} → 10. @2000: {500,1500} → 30. @3000:
+                               // {1500,2500} → 60. @4000: {2500} → 40. Flush: @6000 {5000}
+                               // → 0, @7000 {5000} → 0 (every window grid-aligned).
         let sums: Vec<f64> = out
             .iter()
             .map(|t| t.updf("total").unwrap().mean())
             .collect();
-        assert_eq!(sums.len(), 4, "sums: {sums:?}");
-        assert!((sums[0] - 10.0).abs() < 1e-9);
-        assert!((sums[1] - 30.0).abs() < 1e-9);
-        assert!((sums[2] - 60.0).abs() < 1e-9);
-        assert!((sums[3] - 40.0).abs() < 1e-9);
+        assert_eq!(sums.len(), 6, "sums: {sums:?}");
+        for (got, want) in sums.iter().zip([10.0, 30.0, 60.0, 40.0, 0.0, 0.0]) {
+            assert!((got - want).abs() < 1e-9, "sums: {sums:?}");
+        }
     }
 
     #[test]
@@ -1045,6 +1132,139 @@ mod tests {
         let out = a.flush();
         assert_eq!(out.len(), 1);
         assert!((out[0].updf("total").unwrap().mean() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn watermark_closes_tumbling_window_like_the_closing_tuple() {
+        let mut a = agg(Strategy::ExactParametric);
+        assert!(a.process(0, tup(10, 1, 5.0, 1.0)).is_empty());
+        assert!(a.process(0, tup(20, 1, 7.0, 1.0)).is_empty());
+        // Watermark short of the window end: nothing closes (a tuple at
+        // ts 999 would not have closed it either).
+        assert!(a.advance_watermark(999).is_empty());
+        // Watermark at the end closes it, exactly as a ts=1000 tuple
+        // arriving elsewhere in the stream would have.
+        let out = a.advance_watermark(1000);
+        assert_eq!(out.len(), 1);
+        let total = out[0].updf("total").unwrap();
+        assert!((total.mean() - 12.0).abs() < 1e-9);
+        assert_eq!(out[0].ts, 1000);
+        // Idempotent: no window is open any more.
+        assert!(a.advance_watermark(5000).is_empty());
+        // The next tuple starts a fresh window.
+        assert!(a.process(0, tup(5100, 1, 1.0, 1.0)).is_empty());
+        assert_eq!(a.flush().len(), 1);
+    }
+
+    #[test]
+    fn watermark_closes_sliding_boundaries() {
+        let mut a = WindowedAggregate::new(
+            WindowKind::Sliding {
+                range_ms: 2000,
+                slide_ms: 1000,
+            },
+            |_| GroupKey::Unit,
+            sum_spec(Strategy::ExactParametric),
+        );
+        assert!(a.process(0, tup(500, 1, 10.0, 1.0)).is_empty());
+        let out = a.advance_watermark(2000);
+        // Boundaries 1000 and 2000 both close: {500} appears in each.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].ts, 1000);
+        assert_eq!(out[1].ts, 2000);
+        // Punctuation-closed windows match the tuple-closed/flushed ones:
+        // nothing is left for flush (the t=500 tuple was evicted).
+        assert!(a.flush().is_empty());
+    }
+
+    #[test]
+    fn sliding_windows_partition_by_key() {
+        let sliding = || {
+            WindowedAggregate::new(
+                WindowKind::Sliding {
+                    range_ms: 2000,
+                    slide_ms: 1000,
+                },
+                |t: &Tuple| GroupKey::from_value(t.get("area").unwrap()).unwrap(),
+                sum_spec(Strategy::ExactParametric),
+            )
+        };
+        assert_eq!(
+            sliding().partition_keys(),
+            crate::ops::Partitioning::Key,
+            "grid-aligned sliding windows shard by group key"
+        );
+        let sampling = WindowedAggregate::new(
+            WindowKind::Sliding {
+                range_ms: 2000,
+                slide_ms: 1000,
+            },
+            |_| GroupKey::Unit,
+            sum_spec(Strategy::HistogramSampling {
+                buckets: 10,
+                samples: 100,
+            }),
+        );
+        assert_eq!(
+            sampling.partition_keys(),
+            crate::ops::Partitioning::Global,
+            "shared-rng sampling still pins"
+        );
+    }
+
+    /// Per-group output of a keyed sliding window must be a pure function
+    /// of that group's own tuples — the property key-partitioning relies
+    /// on. Run the same per-group streams alone and mixed; the rows for
+    /// each group must be identical.
+    #[test]
+    fn sliding_per_group_output_is_independent_of_cohabiting_groups() {
+        let mk = || {
+            WindowedAggregate::new(
+                WindowKind::Sliding {
+                    range_ms: 2000,
+                    slide_ms: 500,
+                },
+                |t: &Tuple| GroupKey::from_value(t.get("area").unwrap()).unwrap(),
+                sum_spec(Strategy::ExactParametric),
+            )
+        };
+        let tuples: Vec<Tuple> = (0..60u64)
+            .map(|i| tup(i * 171, (i % 3) as i64, i as f64, 1.0))
+            .collect();
+        let render = |ts: Vec<Tuple>, group: &str| -> Vec<(u64, u64, u64, i64, u64)> {
+            ts.iter()
+                .filter(|t| t.str("group").unwrap() == group)
+                .map(|t| {
+                    (
+                        t.get("window_start").unwrap().as_time().unwrap(),
+                        t.get("window_end").unwrap().as_time().unwrap(),
+                        t.ts,
+                        t.int("n_tuples").unwrap(),
+                        t.updf("total").unwrap().mean().to_bits(),
+                    )
+                })
+                .collect()
+        };
+        let mut mixed = mk();
+        let mut mixed_out = Vec::new();
+        for t in tuples.clone() {
+            mixed_out.extend(mixed.process(0, t));
+        }
+        mixed_out.extend(mixed.flush());
+        for g in 0..3i64 {
+            let mut alone = mk();
+            let mut alone_out = Vec::new();
+            for t in tuples.iter().filter(|t| t.int("area").unwrap() == g) {
+                alone_out.extend(alone.process(0, t.clone()));
+            }
+            alone_out.extend(alone.flush());
+            let group = format!("Int({g})");
+            assert_eq!(
+                render(mixed_out.clone(), &group),
+                render(alone_out, &group),
+                "group {g} must not observe its cohabitants"
+            );
+        }
     }
 
     #[test]

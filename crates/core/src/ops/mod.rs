@@ -69,6 +69,24 @@ pub trait Operator: Send {
         Vec::new()
     }
 
+    /// Event time has advanced to `watermark` without (necessarily) a
+    /// tuple arriving at this instance: no future input on any port will
+    /// carry `ts < watermark`, though `ts == watermark` may still come.
+    /// Operators with event-time windows emit every window the watermark
+    /// closes, exactly as if the closing tuple had arrived here.
+    ///
+    /// This is how the sharded runtime keeps window-close timing global:
+    /// a shard that never receives the stream's latest tuples still
+    /// learns that time moved on, so its windows close when the
+    /// single-threaded engine's would — the punctuation that makes a
+    /// key-partitioned instance's *stream* (not just its final state)
+    /// match the unsharded run. The default is a no-op: operators
+    /// without event-time windows have nothing to close.
+    fn advance_watermark(&mut self, watermark: u64) -> Vec<Tuple> {
+        let _ = watermark;
+        Vec::new()
+    }
+
     /// Declare how this operator's state constrains sharding. The default
     /// is [`Partitioning::Global`] — the safe answer for stateful
     /// operators the runtime knows nothing about; stateless operators

@@ -246,34 +246,24 @@ impl QueryGraph {
     /// Merge the named input streams into one timestamp-ordered feed of
     /// `(ts, node, port, tuple)` entries — the arrival order every
     /// executor (single-threaded, threaded, sharded) presents to the
-    /// graph.
+    /// graph. Delegates to [`merged_feed`].
     pub fn ordered_feed(
         &self,
         inputs: Vec<(String, usize, Vec<Tuple>)>,
     ) -> Result<Vec<(u64, NodeId, usize, Tuple)>> {
-        Ok(Self::build_feed(&self.sources, inputs)?
-            .into_iter()
-            .map(|(ts, node, port, t)| (ts, NodeId(node), port, t))
-            .collect())
+        merged_feed(&self.sources, inputs)
     }
 
     /// Merge the named input streams into one timestamp-ordered feed of
-    /// `(ts, node, port, tuple)` entries.
+    /// `(ts, node, port, tuple)` entries, with positional node indices.
     fn build_feed(
         sources: &HashMap<String, NodeId>,
         inputs: Vec<(String, usize, Vec<Tuple>)>,
     ) -> Result<Vec<(u64, usize, usize, Tuple)>> {
-        let mut feed: Vec<(u64, usize, usize, Tuple)> = Vec::new();
-        for (name, port, tuples) in inputs {
-            let node = *sources
-                .get(&name)
-                .ok_or_else(|| EngineError::InvalidGraph(format!("unknown source `{name}`")))?;
-            for t in tuples {
-                feed.push((t.ts, node.0, port, t));
-            }
-        }
-        feed.sort_by_key(|(ts, node, port, _)| (*ts, *node, *port));
-        Ok(feed)
+        Ok(merged_feed(sources, inputs)?
+            .into_iter()
+            .map(|(ts, node, port, t)| (ts, node.0, port, t))
+            .collect())
     }
 
     /// Single-threaded execution: push each (source, port, tuple) triple
@@ -390,6 +380,30 @@ impl QueryGraph {
         Ok(collected)
     }
 
+    /// Decompose the graph into its raw parts — operators (in node-id
+    /// order), edges as `(from, to, port)`, named source entries, and
+    /// sinks — for builders that re-assemble subgraphs. The staged
+    /// sharded planner uses this to cut one factory-built graph into
+    /// per-stage pipelines connected by exchanges.
+    #[allow(clippy::type_complexity)]
+    pub fn dismantle(
+        self,
+    ) -> (
+        Vec<Box<dyn Operator>>,
+        Vec<(NodeId, NodeId, usize)>,
+        HashMap<String, NodeId>,
+        Vec<NodeId>,
+    ) {
+        let QueryGraph {
+            nodes,
+            edges,
+            sources,
+            sinks,
+        } = self;
+        let edges = edges.into_iter().map(|e| (e.from, e.to, e.port)).collect();
+        (nodes, edges, sources, sinks)
+    }
+
     /// Consume the graph into an incremental batched execution session:
     /// the long-lived form of [`Self::run_batched`] for drivers that
     /// interleave feeding with other work — each shard pipeline of the
@@ -413,6 +427,29 @@ impl QueryGraph {
             pool: None,
         })
     }
+}
+
+/// Merge named input streams into one timestamp-ordered feed of
+/// `(ts, node, port, tuple)` entries. The **single home** of the feed
+/// tiebreak — `(ts, node index, port)`, stable within ties — shared by
+/// `run`/`run_batched`, the threaded executor, and the sharded
+/// session's driver: if this ordering ever changed in one executor but
+/// not another, their outputs would silently diverge.
+pub fn merged_feed(
+    sources: &HashMap<String, NodeId>,
+    inputs: Vec<(String, usize, Vec<Tuple>)>,
+) -> Result<Vec<(u64, NodeId, usize, Tuple)>> {
+    let mut feed: Vec<(u64, NodeId, usize, Tuple)> = Vec::new();
+    for (name, port, tuples) in inputs {
+        let node = *sources
+            .get(&name)
+            .ok_or_else(|| EngineError::InvalidGraph(format!("unknown source `{name}`")))?;
+        for t in tuples {
+            feed.push((t.ts, node, port, t));
+        }
+    }
+    feed.sort_by_key(|(ts, node, port, _)| (*ts, node.0, *port));
+    Ok(feed)
 }
 
 /// Push one batch into `node` and drain the graph from that node's rank
@@ -565,6 +602,43 @@ impl ExecSession {
     /// The plan's registered sinks, in registration order.
     pub fn sink_nodes(&self) -> &[NodeId] {
         self.plan.sinks()
+    }
+
+    /// Event time reached `watermark` (no future input with
+    /// `ts < watermark`): advance every operator in topological order,
+    /// cascading whatever windows the punctuation closes — the
+    /// session-level form of [`Operator::advance_watermark`]. The
+    /// sharded runtime broadcasts this to every shard pipeline so a
+    /// shard whose keys went quiet still closes its windows when the
+    /// stream's clock passes them.
+    pub fn advance_watermark(&mut self, watermark: u64) {
+        for idx in 0..self.plan.order.len() {
+            let i = self.plan.order[idx];
+            for (port, b) in std::mem::take(&mut self.pending[i]) {
+                let out = self.nodes[i].process_batch(port, b);
+                if !out.is_empty() {
+                    deliver_batch(
+                        &self.plan,
+                        &mut self.pending,
+                        &mut self.collected,
+                        self.pool.as_ref(),
+                        i,
+                        out,
+                    );
+                }
+            }
+            let closed = self.nodes[i].advance_watermark(watermark);
+            if !closed.is_empty() {
+                deliver_batch(
+                    &self.plan,
+                    &mut self.pending,
+                    &mut self.collected,
+                    self.pool.as_ref(),
+                    i,
+                    Batch::from(closed),
+                );
+            }
+        }
     }
 
     /// Drain the tuples collected at each sink since the session started

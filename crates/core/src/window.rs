@@ -66,6 +66,29 @@ impl TumblingWindow {
         }
     }
 
+    /// Close the open window if event time has advanced past its end —
+    /// the same trigger [`TumblingWindow::push`] applies when a tuple
+    /// from a later window arrives, driven by an external watermark
+    /// instead of a tuple. A caller advancing to `watermark` promises no
+    /// future tuple with `ts < watermark`; a tuple at exactly
+    /// `watermark` would start the next window, so `end ≤ watermark`
+    /// closes.
+    pub fn close_through(&mut self, watermark: u64) -> Option<WindowBatch> {
+        let cur = self.current_start?;
+        if cur + self.len_ms > watermark {
+            return None;
+        }
+        self.current_start = None;
+        if self.buf.is_empty() {
+            return None;
+        }
+        Some(WindowBatch {
+            start: cur,
+            end: cur + self.len_ms,
+            tuples: std::mem::take(&mut self.buf),
+        })
+    }
+
     /// Flush the open window (end of stream).
     pub fn flush(&mut self) -> Option<WindowBatch> {
         let cur = self.current_start.take()?;

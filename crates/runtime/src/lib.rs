@@ -2,15 +2,16 @@
 //!
 //! Scales the batched execution engine across cores without giving up
 //! the engine's determinism guarantees. A [`ShardedExecutor`] compiles a
-//! query graph into **N shard pipelines** (full copies of the operator
-//! chain built by a graph factory), hash-partitions the input feed by
-//! **operator-declared partition keys** ([`ustream_core::Operator::partition_keys`]:
-//! group-by keys for tumbling aggregation, join keys for equi-joins;
-//! stateless operators split freely), runs the shards on a **persistent
-//! worker pool** connected by bounded MPMC channels (backpressure: a
-//! fast driver blocks rather than ballooning memory), and merges sink
-//! outputs into a canonical `(timestamp, content)` order that is
-//! byte-for-byte reproducible across runs and shard counts.
+//! query graph into a **staged shard plan** ([`plan::ShardPlan`]): the
+//! graph is cut at keyed-anchor boundaries into exchange-connected
+//! stages, each stage runs as **N key-partitioned pipelines** (full
+//! copies of the stage subgraph built from a graph factory) on a
+//! **persistent worker pool**, and every stage boundary re-shuffles by
+//! the next stage's partition key with per-shard watermark/EOS
+//! propagation and a canonical `(ts, content)` merge. Chained keyed
+//! anchors — a windowed aggregate feeding a keyed equi-join, an
+//! aggregate feeding an aggregate on a different key — shard
+//! stage-by-stage instead of collapsing to a single pinned pipeline.
 //!
 //! Key design points:
 //!
@@ -18,19 +19,25 @@
 //!   partitioning (and therefore the output); the worker pool defaults
 //!   to `min(shards, available cores)`. The same plan runs unchanged —
 //!   and produces identical bytes — on a laptop and a 64-core box.
-//! - **Soundness over parallelism.** The [`plan::ShardPlan`] pins
-//!   entries whose downstream cone contains a
+//! - **Soundness over parallelism.** Graphs containing a
 //!   [`ustream_core::Partitioning::Global`] operator (count windows,
-//!   probabilistic joins, sampling aggregates) to a single shard, and
-//!   pinning cascades through shared keyed anchors. Degraded plans lose
+//!   probabilistic joins, sampling aggregates) fall back to the
+//!   single-stage plan with classic cascading pinning; fully pinned
+//!   plans run the plain single-pipeline session. Degraded plans lose
 //!   speedup, never equivalence.
+//! - **One execution core.** [`session::ShardedSession`] — the
+//!   incremental sharded analogue of
+//!   [`ustream_core::query::ExecSession`] (`push_batch` / `flush` /
+//!   `drain_collected`) — backs both [`ShardedExecutor::run`] and the
+//!   ingest server's engine thread, so serving scales with cores too.
 //! - **Pooled batches.** Per-shard sub-batches are carved from a shared
-//!   [`BatchPool`]; spent buffers are recycled where batches end their
-//!   lives (sink collection), cutting steady-state allocator traffic.
-//! - **Failure surfaces.** A panicking operator tears down its worker;
-//!   the driver stops feeding, joins the pool, and returns
-//!   [`EngineError::OperatorPanicked`] — never a hang, never a silently
-//!   truncated result.
+//!   [`ustream_core::batch::BatchPool`]; spent buffers are recycled
+//!   where batches end their lives, cutting steady-state allocator
+//!   traffic.
+//! - **Failure surfaces.** A panicking operator poisons its slot; the
+//!   driver returns
+//!   [`ustream_core::error::EngineError::OperatorPanicked`] — never a
+//!   hang, never a silently truncated result.
 //!
 //! The thread-per-operator `ThreadedExecutor` in `ustream-core` remains
 //! as the legacy comparison point; this runtime is the deployment path
@@ -38,26 +45,21 @@
 
 pub mod merge;
 pub mod plan;
+pub mod session;
 
-use crossbeam::channel::{bounded, Sender};
-use plan::{shard_of, ShardPlan};
+use plan::ShardPlan;
+use session::ShardedSession;
 use std::collections::HashMap;
-use ustream_core::batch::{Batch, BatchPool};
-use ustream_core::error::{panic_message, EngineError, Result};
-use ustream_core::query::{ExecSession, QueryGraph};
+use ustream_core::batch::Batch;
+use ustream_core::canon::canonical_sort;
+use ustream_core::error::Result;
+use ustream_core::query::QueryGraph;
 use ustream_core::{NodeId, Tuple};
 
-/// One unit of work for a shard pipeline: a batch addressed to a node's
-/// input port, tagged with the worker-local session slot.
-struct WorkerMsg {
-    slot: usize,
-    node: NodeId,
-    port: usize,
-    batch: Batch,
-}
-
 /// The sharded executor. Construct with [`ShardedExecutor::new`], tune
-/// with the `with_*` builders, run with [`ShardedExecutor::run`].
+/// with the `with_*` builders, run to completion with
+/// [`ShardedExecutor::run`] or serve incrementally through
+/// [`ShardedExecutor::session`].
 pub struct ShardedExecutor {
     shards: usize,
     workers: Option<usize>,
@@ -88,7 +90,7 @@ impl ShardedExecutor {
         self
     }
 
-    /// Bound each worker's inbox to `cap` in-flight batches
+    /// Bound each worker's inbox to `cap` in-flight messages
     /// (backpressure depth).
     pub fn with_channel_capacity(mut self, cap: usize) -> Self {
         assert!(cap > 0);
@@ -104,8 +106,9 @@ impl ShardedExecutor {
     }
 
     /// Routing decision the executor would make for `graph` — exposed
-    /// for diagnostics and tests (e.g. asserting that a probabilistic
-    /// join degrades to a pinned single-shard plan). See
+    /// for diagnostics and tests (e.g. asserting that an
+    /// aggregate-into-join graph stages with an exchange, or that a
+    /// probabilistic join degrades to a pinned single-shard plan). See
     /// [`ShardPlan::describe`] and [`ShardPlan::pinned_entries`] for the
     /// observability surface.
     pub fn shard_plan(graph: &QueryGraph) -> Result<ShardPlan> {
@@ -113,254 +116,67 @@ impl ShardedExecutor {
         Ok(ShardPlan::analyze(graph, &plan))
     }
 
-    /// [`ShardPlan::describe`] for `graph`: the per-entry routing rules
-    /// and the pinned-entry count, rendered for logs — how an operator
-    /// deployment notices that a plan change silently degraded
-    /// parallelism.
+    /// [`ShardPlan::describe`] for `graph`: the per-stage entry routing
+    /// rules, exchange edges, and the pinned-entry count, rendered for
+    /// logs — how an operator deployment notices that a plan change
+    /// silently degraded parallelism.
     pub fn describe_plan(graph: &QueryGraph) -> Result<String> {
         Ok(Self::shard_plan(graph)?.describe())
     }
 
-    /// Run the graph produced by `factory` to completion over `inputs`.
+    /// Build an incremental [`ShardedSession`] over the graph produced
+    /// by `factory`.
     ///
     /// `factory` is invoked once per shard plus once for the routing
     /// prototype and must build the same graph every time (same
     /// operators in the same order with the same configuration —
-    /// enforced structurally, trusted behaviorally). Returns the merged
-    /// per-sink collections in canonical `(timestamp, content)` order.
-    ///
-    /// The driver thread participates in the pool as worker 0: its
-    /// shards execute inline between routing steps (no channel, no
-    /// context switch), and `workers - 1` pool threads carry the rest.
-    /// With a single worker the whole run is thread-free; the output is
-    /// identical either way because each shard's batch order is fixed by
-    /// the router, not by scheduling.
+    /// enforced structurally, trusted behaviorally). With one shard, or
+    /// a plan that cannot parallelize, the session wraps a plain
+    /// single-pipeline [`ustream_core::query::ExecSession`].
+    pub fn session(&self, factory: impl Fn() -> QueryGraph) -> Result<ShardedSession> {
+        ShardedSession::build(
+            self.shards,
+            self.workers,
+            self.channel_capacity,
+            self.batch_size,
+            self.pool_buffers,
+            &factory,
+        )
+    }
+
+    /// Run the graph produced by `factory` to completion over `inputs`:
+    /// build a session, push the timestamp-ordered feed, finish, and
+    /// sort each sink into the canonical `(ts, content)` order — byte
+    /// identical across runs, worker counts, and shard counts, and
+    /// exactly equal (values/ts/existence/lineage) to
+    /// [`QueryGraph::run_batched`] over the same inputs.
     pub fn run(
         &self,
         factory: impl Fn() -> QueryGraph,
         inputs: Vec<(String, usize, Vec<Tuple>)>,
     ) -> Result<HashMap<NodeId, Vec<Tuple>>> {
-        let prototype = factory();
-        let compiled = prototype.compile()?;
-        let shard_plan = ShardPlan::analyze(&prototype, &compiled);
-        let feed = prototype.ordered_feed(inputs)?;
-
-        let n_shards = self.shards;
-        let cores = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        let n_workers = self.workers.unwrap_or(cores).clamp(1, n_shards);
-        let pool = BatchPool::new(self.pool_buffers);
-
-        // Build one session per shard, dealt round-robin onto workers:
-        // shard s lives on worker s % n_workers at slot s / n_workers.
-        // Worker 0 is the driver itself.
-        let mut per_worker: Vec<Vec<(usize, ExecSession)>> =
-            (0..n_workers).map(|_| Vec::new()).collect();
-        for s in 0..n_shards {
-            let g = factory();
-            if g.num_nodes() != prototype.num_nodes()
-                || (0..g.num_nodes()).any(|i| {
-                    g.operator(NodeId::from_index(i)).name()
-                        != prototype.operator(NodeId::from_index(i)).name()
-                })
-            {
-                return Err(EngineError::InvalidConfig(
-                    "shard factory must build identical graphs on every call".into(),
-                ));
-            }
-            let session = g.into_session()?.with_pool(pool.clone());
-            per_worker[s % n_workers].push((s, session));
-        }
-        let mut inline_sessions = per_worker.remove(0);
-
-        // Spawn the pool threads: one bounded inbox per worker (per-shard
-        // batch order is fixed by the driver and must survive delivery,
-        // so shards do not share a free-for-all queue).
-        let mut senders: Vec<Sender<WorkerMsg>> = Vec::with_capacity(per_worker.len());
-        let mut handles = Vec::with_capacity(per_worker.len());
-        for sessions in per_worker {
-            let (tx, rx) = bounded::<WorkerMsg>(self.channel_capacity);
-            senders.push(tx);
-            handles.push(std::thread::spawn(move || {
-                let mut sessions = sessions;
-                while let Ok(WorkerMsg {
-                    slot,
-                    node,
-                    port,
-                    batch,
-                }) = rx.recv()
-                {
-                    sessions[slot].1.push(node, port, batch);
+        let mut session = self.session(factory)?;
+        let feed = session.ordered_feed(inputs)?;
+        let mut cur: Option<(NodeId, usize, Batch)> = None;
+        for (_, node, port, tuple) in feed {
+            match &mut cur {
+                Some((n, p, b)) if *n == node && *p == port && b.len() < self.batch_size => {
+                    b.push(tuple)
                 }
-                // Channel disconnected: end of stream. Flush every shard.
-                sessions
-                    .into_iter()
-                    .map(|(shard, session)| (shard, session.finish()))
-                    .collect::<Vec<_>>()
-            }));
-        }
-
-        // Route the feed: per-shard builders cut the stream into runs of
-        // consecutive same-(node, port) tuples, preserving each shard's
-        // arrival order. Driver-owned shards execute inline (panics
-        // caught and surfaced); remote sends block when a worker's inbox
-        // is full — the backpressure path — and fail only if the worker
-        // died, in which case we stop feeding and surface its panic at
-        // the join below.
-        struct Builder {
-            node: NodeId,
-            port: usize,
-            batch: Batch,
-        }
-        let mut builders: Vec<Builder> = (0..n_shards)
-            .map(|_| Builder {
-                node: NodeId::from_index(0),
-                port: 0,
-                batch: Batch::new(),
-            })
-            .collect();
-        let mut spread = 0usize;
-        /// Why the feed loop stopped early.
-        enum FeedError {
-            /// A panic on the driver thread (inline shard or routing key
-            /// computation), already rendered to a message.
-            DriverPanic(String),
-            /// A pool thread dropped its inbox; its panic surfaces when
-            /// the thread is joined.
-            WorkerGone,
-        }
-        let mut feed_failed: Option<FeedError> = None;
-        let dispatch = |node: NodeId,
-                        port: usize,
-                        batch: Batch,
-                        shard: usize,
-                        inline_sessions: &mut Vec<(usize, ExecSession)>|
-         -> std::result::Result<(), FeedError> {
-            let worker = shard % n_workers;
-            let slot = shard / n_workers;
-            if worker == 0 {
-                let session = &mut inline_sessions[slot].1;
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    session.push(node, port, batch)
-                }))
-                .map_err(|p| {
-                    FeedError::DriverPanic(format!(
-                        "worker 0 (driver): {}",
-                        panic_message(p.as_ref())
-                    ))
-                })
-            } else {
-                senders[worker - 1]
-                    .send(WorkerMsg {
-                        slot,
-                        node,
-                        port,
-                        batch,
-                    })
-                    .map_err(|_| FeedError::WorkerGone)
-            }
-        };
-        let single_shard = n_shards == 1;
-        'feed: for (_, node, port, tuple) in feed {
-            let shard = if single_shard {
-                0 // everything is pinned anyway; skip the key computation
-            } else {
-                // The key computation runs a user closure against the raw
-                // source tuple; if it cannot handle that tuple (e.g. the
-                // key attribute is minted downstream), surface the panic
-                // as an error instead of unwinding through the driver.
-                let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let rule = shard_plan.rule(node);
-                    shard_of(rule, &prototype, port, &tuple, n_shards, &mut spread)
-                }));
-                match routed {
-                    Ok(shard) => shard,
-                    Err(p) => {
-                        feed_failed = Some(FeedError::DriverPanic(format!(
-                            "routing (partition key): {}",
-                            panic_message(p.as_ref())
-                        )));
-                        break 'feed;
+                slot => {
+                    if let Some((n, p, b)) = slot.take() {
+                        session.push_batch(n, p, b)?;
                     }
-                }
-            };
-            let b = &mut builders[shard];
-            if !b.batch.is_empty()
-                && (b.node != node || b.port != port || b.batch.len() >= self.batch_size)
-            {
-                let full = std::mem::replace(&mut b.batch, pool.take(self.batch_size.min(64)));
-                let (n, p) = (b.node, b.port);
-                if let Err(e) = dispatch(n, p, full, shard, &mut inline_sessions) {
-                    feed_failed = Some(e);
-                    break 'feed;
-                }
-            }
-            let b = &mut builders[shard];
-            b.node = node;
-            b.port = port;
-            b.batch.push(tuple);
-        }
-        if feed_failed.is_none() {
-            for (shard, b) in builders.into_iter().enumerate() {
-                if !b.batch.is_empty() {
-                    if let Err(e) = dispatch(b.node, b.port, b.batch, shard, &mut inline_sessions) {
-                        feed_failed = Some(e);
-                        break;
-                    }
+                    *slot = Some((node, port, Batch::one(tuple)));
                 }
             }
         }
-        drop(senders); // EOS: pool threads drain, flush, and return
-
-        // Collect: inline shards finish on the driver (panics caught),
-        // pool threads are joined (panics surface from the join).
-        let mut shard_outputs: Vec<(usize, HashMap<NodeId, Vec<Tuple>>)> = Vec::new();
-        let mut panics: Vec<String> = Vec::new();
-        let send_failed = matches!(&feed_failed, Some(FeedError::WorkerGone));
-        if let Some(FeedError::DriverPanic(msg)) = feed_failed {
-            panics.push(msg);
+        if let Some((n, p, b)) = cur {
+            session.push_batch(n, p, b)?;
         }
-        if panics.is_empty() {
-            for (shard, session) in inline_sessions {
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.finish())) {
-                    Ok(outs) => shard_outputs.push((shard, outs)),
-                    Err(p) => {
-                        panics.push(format!("worker 0 (driver): {}", panic_message(p.as_ref())))
-                    }
-                }
-            }
-        }
-        for (w, h) in handles.into_iter().enumerate() {
-            match h.join() {
-                Ok(outs) => shard_outputs.extend(outs),
-                Err(payload) => panics.push(format!(
-                    "worker {}: {}",
-                    w + 1,
-                    panic_message(payload.as_ref())
-                )),
-            }
-        }
-        if !panics.is_empty() {
-            return Err(EngineError::OperatorPanicked(panics.join("; ")));
-        }
-        if send_failed {
-            return Err(EngineError::InvalidGraph(
-                "worker disconnected mid-stream".into(),
-            ));
-        }
-
-        // Deterministic merge: concatenate in shard order, then sort each
-        // sink into the canonical order (stable w.r.t. per-shard order).
-        shard_outputs.sort_by_key(|(shard, _)| *shard);
-        let mut merged: HashMap<NodeId, Vec<Tuple>> = HashMap::new();
-        for (_, outs) in shard_outputs {
-            for (sink, tuples) in outs {
-                merged.entry(sink).or_default().extend(tuples);
-            }
-        }
+        let mut merged = session.finish()?;
         for tuples in merged.values_mut() {
-            merge::canonical_sort(tuples);
+            canonical_sort(tuples);
         }
         Ok(merged)
     }

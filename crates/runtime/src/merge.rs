@@ -1,171 +1,8 @@
-//! Deterministic sink merging.
-//!
-//! Each shard collects its sink outputs in its own deterministic order;
-//! the driver concatenates the per-shard collections (in shard-id order)
-//! and sorts by a canonical content key. The content key makes the final
-//! order a function of the output *multiset* alone — independent of how
-//! tuples were partitioned — so a sharded run is byte-for-byte
-//! reproducible across runs *and* across shard counts (keyed/stateless
-//! plans produce the same multiset at any shard count; only its
-//! interleaving differs).
-//!
-//! Keys are compact binary encodings (timestamp big-endian first, then
-//! existence bits, lineage ids, and per-value payloads), built without
-//! the `Debug` formatting machinery. Distribution payloads encode their
-//! variant, dimension, moments — a discriminator that separates every
-//! realistic pair of distinct outputs; on the off chance two *different*
-//! tuples still collide (same moments, different shape), the tie run is
-//! re-ordered by the full `Debug` rendering, which spells out every
-//! parameter. The expensive exact path therefore runs only on actual
-//! ties, which are normally zero.
+//! Deterministic sink merging — re-exported from
+//! [`ustream_core::canon`], where the canonical `(ts, content)` order
+//! moved when it became a whole-engine concern: the windowed aggregate
+//! emits each closed window's rows in it, exchange boundaries deliver
+//! re-shuffled stage input in it, and the sharded runtime sorts each
+//! merged sink into it. One total order, independent of partitioning.
 
-use ustream_core::{Tuple, Updf, Value};
-
-/// Compact canonical key: lexicographic order = (ts, content) order.
-fn fast_key(t: &Tuple) -> Vec<u8> {
-    let mut k = Vec::with_capacity(48 + 16 * t.values().len());
-    k.extend_from_slice(&t.ts.to_be_bytes());
-    k.extend_from_slice(&t.existence.to_bits().to_be_bytes());
-    let ids = t.lineage.ids();
-    k.extend_from_slice(&(ids.len() as u32).to_be_bytes());
-    for &id in ids {
-        k.extend_from_slice(&id.to_be_bytes());
-    }
-    for v in t.values() {
-        encode_value(&mut k, v);
-    }
-    k
-}
-
-fn encode_value(k: &mut Vec<u8>, v: &Value) {
-    match v {
-        Value::Null => k.push(0),
-        Value::Bool(b) => {
-            k.push(1);
-            k.push(*b as u8);
-        }
-        Value::Int(i) => {
-            k.push(2);
-            k.extend_from_slice(&i.to_be_bytes());
-        }
-        Value::Float(f) => {
-            k.push(3);
-            k.extend_from_slice(&f.to_bits().to_be_bytes());
-        }
-        Value::Str(s) => {
-            k.push(4);
-            k.extend_from_slice(&(s.len() as u32).to_be_bytes());
-            k.extend_from_slice(s.as_bytes());
-        }
-        Value::Time(t) => {
-            k.push(5);
-            k.extend_from_slice(&t.to_be_bytes());
-        }
-        Value::Uncertain(u) => {
-            k.push(6);
-            k.push(match u.as_ref() {
-                Updf::Parametric(_) => 0,
-                Updf::Samples(_) => 1,
-                Updf::Histogram(_) => 2,
-                Updf::Mv(_) => 3,
-                Updf::MvSamples(_) => 4,
-            });
-            let dim = u.dim();
-            k.push(dim.min(255) as u8);
-            for m in u.mean_vec() {
-                k.extend_from_slice(&m.to_bits().to_be_bytes());
-            }
-            if dim == 1 {
-                k.extend_from_slice(&u.variance().to_bits().to_be_bytes());
-            }
-        }
-    }
-}
-
-/// Exhaustive fallback key: the `Debug` rendering spells out every
-/// distribution parameter, so distinct tuples always order distinctly.
-fn exact_key(t: &Tuple) -> String {
-    format!("{:?}|{:?}", t.values(), t.lineage)
-}
-
-/// Sort `tuples` into the canonical merged order: fast binary keys
-/// first, then exact re-ordering of any residual tie runs.
-pub fn canonical_sort(tuples: &mut Vec<Tuple>) {
-    if tuples.len() < 2 {
-        return;
-    }
-    let mut keyed: Vec<(Vec<u8>, usize)> = tuples
-        .iter()
-        .enumerate()
-        .map(|(i, t)| (fast_key(t), i))
-        .collect();
-    keyed.sort_by(|(a, ai), (b, bi)| a.cmp(b).then(ai.cmp(bi)));
-
-    // Re-order runs of equal fast keys by the exact rendering (the index
-    // tiebreak above is partition-dependent, so it must not decide the
-    // final order between distinct tuples).
-    let mut i = 0;
-    while i < keyed.len() {
-        let mut j = i + 1;
-        while j < keyed.len() && keyed[j].0 == keyed[i].0 {
-            j += 1;
-        }
-        if j - i > 1 {
-            keyed[i..j].sort_by_cached_key(|&(_, idx)| exact_key(&tuples[idx]));
-        }
-        i = j;
-    }
-
-    let mut slots: Vec<Option<Tuple>> = tuples.drain(..).map(Some).collect();
-    tuples.extend(
-        keyed
-            .into_iter()
-            .map(|(_, idx)| slots[idx].take().expect("each index moved once")),
-    );
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use ustream_core::schema::{DataType, Schema};
-
-    #[test]
-    fn orders_by_ts_then_content_independent_of_input_order() {
-        let s = Schema::builder()
-            .field("a", DataType::Int)
-            .field("b", DataType::Str)
-            .build();
-        let mk = |ts: u64, a: i64, b: &str| {
-            Tuple::new(s.clone(), vec![Value::Int(a), Value::from(b)], ts)
-        };
-        let mut one = vec![mk(5, 2, "x"), mk(1, 9, "z"), mk(5, 2, "a"), mk(5, 1, "q")];
-        let mut two = vec![
-            one[2].clone(),
-            one[3].clone(),
-            one[0].clone(),
-            one[1].clone(),
-        ];
-        canonical_sort(&mut one);
-        canonical_sort(&mut two);
-        let render = |ts: &[Tuple]| -> Vec<(u64, i64, String)> {
-            ts.iter()
-                .map(|t| (t.ts, t.int("a").unwrap(), t.str("b").unwrap().to_string()))
-                .collect()
-        };
-        assert_eq!(render(&one), render(&two));
-        assert_eq!(one[0].ts, 1, "timestamp is the primary key");
-    }
-
-    #[test]
-    fn identical_fast_keys_fall_back_to_exact_ordering() {
-        // Same ts and certain values; the distributions differ only in
-        // shape beyond the encoded moments? Simplest observable case:
-        // equal tuples must simply survive the tie path unchanged.
-        let s = Schema::builder().field("v", DataType::Int).build();
-        let a = Tuple::new(s.clone(), vec![Value::Int(1)], 3);
-        let mut ts = vec![a.clone(), a.clone(), a];
-        canonical_sort(&mut ts);
-        assert_eq!(ts.len(), 3);
-        assert!(ts.iter().all(|t| t.ts == 3 && t.int("v").unwrap() == 1));
-    }
-}
+pub use ustream_core::canon::{canonical_sort, fast_key};

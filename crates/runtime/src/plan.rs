@@ -1,29 +1,58 @@
-//! Shard planning: decide, per source entry, how input tuples are routed
-//! across shard pipelines.
+//! Shard planning: cut a compiled graph into exchange-connected stages
+//! and decide, per stage entry, how tuples are routed across shards.
 //!
-//! The planner reads each operator's [`Partitioning`] declaration and the
-//! compiled adjacency, then assigns every entry node one of three rules:
+//! ## Stages and exchanges
 //!
-//! - **Keyed** — the entry's downstream cone contains exactly one keyed
-//!   stateful operator (its *anchor*); tuples route by the anchor's
-//!   partition key so every group's state lives on one shard.
-//! - **Spread** — no stateful operator downstream; tuples spread
+//! A graph whose operators are all `Any`/`Key` partitioning is cut at
+//! **keyed-anchor boundaries**: every node gets a *stage index* equal to
+//! the number of keyed stateful operators strictly upstream of it, so a
+//! chain `select → agg(by g) → join(by k) → sink` splits into stage 0
+//! (`select`, `agg`) and stage 1 (`join`, `sink`). Each stage runs
+//! key-partitioned across the worker pool; an **exchange** carries every
+//! edge that crosses a stage boundary, re-shuffling the producing
+//! stage's output by the next stage's partition key (with per-shard
+//! watermark/EOS propagation and the canonical `(ts, content)` merge at
+//! the boundary). Chained keyed anchors therefore shard stage-by-stage
+//! instead of degrading to a single pinned pipeline. A trailing segment
+//! with no anchor of its own (the common `… → agg → sink` tail) is
+//! folded back into its producing stage — no exchange is needed where
+//! no re-keying happens.
+//!
+//! ## Per-stage routing rules
+//!
+//! Within each stage, the planner reads each operator's [`Partitioning`]
+//! declaration and assigns every stage entry — a registered source node
+//! owned by the stage, or the target of a cut edge — one of three rules:
+//!
+//! - **Keyed** — the entry's within-stage downstream cone contains
+//!   exactly one keyed stateful operator (its *anchor*); tuples route by
+//!   the anchor's partition key so every group's state lives on one
+//!   shard.
+//! - **Spread** — no stateful operator in the cone; tuples spread
 //!   round-robin (stateless operators replicate freely).
-//! - **Pinned** — a global operator, conflicting anchors, or an
-//!   ambiguous anchor port: the entry's tuples all go to shard 0, where
-//!   a single instance sees the whole stream.
+//! - **Pinned** — conflicting anchors or an ambiguous anchor port: the
+//!   entry's tuples all go to shard 0, where a single instance sees the
+//!   whole sub-stream.
 //!
-//! Pinning cascades: a keyed anchor fed by *any* pinned entry would see
-//! its per-key state split between shards, so all entries feeding that
-//! anchor are pinned with it (fixpoint below). The result is always a
-//! *sound* plan — degraded configurations lose parallelism, never
+//! Pinning cascades within a stage: a keyed anchor fed by *any* pinned
+//! entry would see its per-key state split between shards, so all
+//! entries feeding that anchor are pinned with it.
+//!
+//! ## Global operators
+//!
+//! A graph containing any [`Partitioning::Global`] operator (count
+//! windows, probabilistic joins, sampling aggregates) falls back to the
+//! single-stage analysis with the classic cascading-pin rules: a global
+//! operator's output stream can be order-sensitive (Monte-Carlo rngs),
+//! so re-ordering it through an exchange would not preserve exact
+//! equivalence. Degraded configurations lose parallelism, never
 //! correctness.
 
 use ustream_core::query::{CompiledPlan, QueryGraph};
 use ustream_core::value::GroupKey;
 use ustream_core::{NodeId, Partitioning, Tuple};
 
-/// How tuples entering at one source node choose a shard.
+/// How tuples entering at one stage entry choose a shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouteRule {
     /// Hash the partition key computed by the anchor operator. `port` is
@@ -37,13 +66,30 @@ pub enum RouteRule {
     Pinned,
 }
 
-/// The routing decision for a compiled graph.
+/// One graph edge that crosses a stage boundary: the output of `from`
+/// (captured as a stage sink) is re-shuffled by `to`'s stage rules and
+/// delivered to `to`'s input `port`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CutEdge {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub port: usize,
+}
+
+/// The staged routing decision for a compiled graph.
 #[derive(Debug, Clone)]
 pub struct ShardPlan {
-    /// Rule per node index (non-entry nodes default to `Pinned`; only
-    /// entry indices are ever consulted). A flat table because the
-    /// driver reads it once per input tuple.
+    /// Rule per node index. Only stage-entry indices (registered sources
+    /// and cut-edge targets) are ever consulted; everything else
+    /// defaults to `Pinned`. A flat table because the driver reads it
+    /// once per routed tuple.
     rules: Vec<RouteRule>,
+    /// Stage index per node.
+    stage_of: Vec<usize>,
+    /// Number of stages (≥ 1).
+    num_stages: usize,
+    /// Edges crossing stage boundaries, in graph edge order.
+    cuts: Vec<CutEdge>,
     /// True when at least one entry routes by key or spreads — i.e. the
     /// plan actually uses more than one shard when shards > 1.
     parallel: bool,
@@ -56,20 +102,80 @@ pub struct ShardPlan {
 }
 
 impl ShardPlan {
-    /// Analyze `graph` (with its compiled `plan`) into routing rules for
-    /// every registered source entry.
+    /// Analyze `graph` (with its compiled `plan`) into stages, cut
+    /// edges, and routing rules for every stage entry.
     pub fn analyze(graph: &QueryGraph, plan: &CompiledPlan) -> ShardPlan {
         let n = plan.num_nodes();
-        // Downstream-reachable set per node, self included (bitsets as
-        // Vec<bool>; graphs are tens of nodes, not millions).
+        let partitioning: Vec<Partitioning> = (0..n)
+            .map(|i| graph.operator(NodeId::from_index(i)).partition_keys())
+            .collect();
+        let any_global = partitioning.contains(&Partitioning::Global);
+
+        // Stage index = number of keyed anchors strictly upstream. With
+        // a global operator anywhere we keep the whole graph in one
+        // stage (see module docs); otherwise cut at keyed anchors and
+        // fold an anchor-free trailing segment back into its producer.
+        let stage_of: Vec<usize> = if any_global {
+            vec![0; n]
+        } else {
+            let mut depth = vec![0usize; n];
+            for &i in plan.topo_order() {
+                let out_depth = depth[i] + usize::from(partitioning[i] == Partitioning::Key);
+                for &(to, _) in plan.downstream_of(NodeId::from_index(i)) {
+                    depth[to] = depth[to].max(out_depth);
+                }
+            }
+            let max_depth = depth.iter().copied().max().unwrap_or(0);
+            let last_has_anchor =
+                (0..n).any(|i| depth[i] == max_depth && partitioning[i] == Partitioning::Key);
+            if max_depth > 0 && !last_has_anchor {
+                for d in depth.iter_mut() {
+                    if *d == max_depth {
+                        *d = max_depth - 1;
+                    }
+                }
+            }
+            depth
+        };
+        let num_stages = stage_of.iter().copied().max().unwrap_or(0) + 1;
+
+        // Cut edges: everything crossing a stage boundary.
+        let mut cuts: Vec<CutEdge> = Vec::new();
+        for i in 0..n {
+            for &(to, port) in plan.downstream_of(NodeId::from_index(i)) {
+                if stage_of[i] != stage_of[to] {
+                    cuts.push(CutEdge {
+                        from: NodeId::from_index(i),
+                        to: NodeId::from_index(to),
+                        port,
+                    });
+                }
+            }
+        }
+
+        // Per-stage entries: registered sources owned by the stage plus
+        // cut-edge targets.
+        let registered: Vec<usize> = graph.source_entries().map(|(_, id)| id.index()).collect();
+        let mut stage_entries: Vec<Vec<usize>> = vec![Vec::new(); num_stages];
+        for &e in &registered {
+            stage_entries[stage_of[e]].push(e);
+        }
+        for c in &cuts {
+            let t = c.to.index();
+            if !stage_entries[stage_of[t]].contains(&t) {
+                stage_entries[stage_of[t]].push(t);
+            }
+        }
+
+        // Within-stage reachability (self included), as bitsets over the
+        // stage-internal edges. Graphs are tens of nodes, not millions.
         let mut reach: Vec<Vec<bool>> = vec![vec![false; n]; n];
-        // Walk in reverse topological order so each node's set is the
-        // union of its successors' sets.
         for &i in plan.topo_order().iter().rev() {
             reach[i][i] = true;
             let succs: Vec<usize> = plan
                 .downstream_of(NodeId::from_index(i))
                 .iter()
+                .filter(|&&(to, _)| stage_of[to] == stage_of[i])
                 .map(|&(to, _)| to)
                 .collect();
             for s in succs {
@@ -81,62 +187,63 @@ impl ShardPlan {
             }
         }
 
-        let partitioning: Vec<Partitioning> = (0..n)
-            .map(|i| graph.operator(NodeId::from_index(i)).partition_keys())
-            .collect();
-
-        let entries: Vec<usize> = graph.source_entries().map(|(_, id)| id.index()).collect();
+        // Per-stage rule analysis with cascading pinning.
         let mut rules: Vec<RouteRule> = vec![RouteRule::Pinned; n];
-        for &e in &entries {
-            let anchors: Vec<usize> = (0..n)
-                .filter(|&i| reach[e][i] && partitioning[i] != Partitioning::Any)
-                .collect();
-            let rule = match anchors.as_slice() {
-                [] => RouteRule::Spread,
-                [a] if partitioning[*a] == Partitioning::Key => {
-                    match anchor_port(plan, &reach, e, *a) {
-                        Some(port) => RouteRule::Keyed {
-                            anchor: NodeId::from_index(*a),
-                            port,
-                        },
-                        None => RouteRule::Pinned,
+        for entries in &stage_entries {
+            for &e in entries {
+                let anchors: Vec<usize> = (0..n)
+                    .filter(|&i| reach[e][i] && partitioning[i] != Partitioning::Any)
+                    .collect();
+                let rule = match anchors.as_slice() {
+                    [] => RouteRule::Spread,
+                    [a] if partitioning[*a] == Partitioning::Key => {
+                        match anchor_port(plan, &reach, &stage_of, e, *a) {
+                            Some(port) => RouteRule::Keyed {
+                                anchor: NodeId::from_index(*a),
+                                port,
+                            },
+                            None => RouteRule::Pinned,
+                        }
                     }
-                }
-                _ => RouteRule::Pinned,
-            };
-            rules[e] = rule;
-        }
-
-        // Fixpoint: a keyed anchor with any pinned feeder pins all of its
-        // feeders (otherwise its per-key state would split across shards).
-        loop {
-            let mut changed = false;
-            let anchors: Vec<usize> = entries
-                .iter()
-                .filter_map(|&e| match rules[e] {
-                    RouteRule::Keyed { anchor, .. } => Some(anchor.index()),
-                    _ => None,
-                })
-                .collect();
-            for a in anchors {
-                let feeders: Vec<usize> =
-                    entries.iter().copied().filter(|&e| reach[e][a]).collect();
-                let any_pinned = feeders.iter().any(|&e| rules[e] == RouteRule::Pinned);
-                if any_pinned {
-                    for e in feeders {
-                        if rules[e] != RouteRule::Pinned {
-                            rules[e] = RouteRule::Pinned;
-                            changed = true;
+                    _ => RouteRule::Pinned,
+                };
+                rules[e] = rule;
+            }
+            // Fixpoint: a keyed anchor with any pinned feeder pins all of
+            // its feeders (otherwise its per-key state would split across
+            // shards).
+            loop {
+                let mut changed = false;
+                let anchors: Vec<usize> = entries
+                    .iter()
+                    .filter_map(|&e| match rules[e] {
+                        RouteRule::Keyed { anchor, .. } => Some(anchor.index()),
+                        _ => None,
+                    })
+                    .collect();
+                for a in anchors {
+                    let feeders: Vec<usize> =
+                        entries.iter().copied().filter(|&e| reach[e][a]).collect();
+                    let any_pinned = feeders.iter().any(|&e| rules[e] == RouteRule::Pinned);
+                    if any_pinned {
+                        for e in feeders {
+                            if rules[e] != RouteRule::Pinned {
+                                rules[e] = RouteRule::Pinned;
+                                changed = true;
+                            }
                         }
                     }
                 }
-            }
-            if !changed {
-                break;
+                if !changed {
+                    break;
+                }
             }
         }
 
-        let parallel = entries.iter().any(|&e| rules[e] != RouteRule::Pinned);
+        let parallel = stage_entries
+            .iter()
+            .flatten()
+            .any(|&e| rules[e] != RouteRule::Pinned);
         let mut named_entries: Vec<(String, usize)> = graph
             .source_entries()
             .map(|(name, id)| (name.to_string(), id.index()))
@@ -147,19 +254,37 @@ impl ShardPlan {
             .collect();
         ShardPlan {
             rules,
+            stage_of,
+            num_stages,
+            cuts,
             parallel,
             entries: named_entries,
             op_names,
         }
     }
 
-    /// Routing rule for the entry node `node` (entries not registered as
-    /// sources are pinned).
+    /// Routing rule for the stage entry `node` (nodes that are neither
+    /// registered sources nor cut-edge targets are pinned).
     pub fn rule(&self, node: NodeId) -> RouteRule {
         self.rules
             .get(node.index())
             .copied()
             .unwrap_or(RouteRule::Pinned)
+    }
+
+    /// Number of stages the graph was cut into (1 = no exchange).
+    pub fn num_stages(&self) -> usize {
+        self.num_stages
+    }
+
+    /// Stage index of `node`.
+    pub fn stage_of(&self, node: NodeId) -> usize {
+        self.stage_of.get(node.index()).copied().unwrap_or(0)
+    }
+
+    /// The edges crossing stage boundaries, in graph edge order.
+    pub fn cut_edges(&self) -> &[CutEdge] {
+        &self.cuts
     }
 
     /// Whether any entry routes across shards (false ⇒ the graph runs as
@@ -181,10 +306,10 @@ impl ShardPlan {
         self.entries.len()
     }
 
-    /// How many entries are pinned to shard 0 — the *degraded* portion
-    /// of the plan. `pinned_entries() == num_entries()` means the whole
-    /// graph runs as a single pipeline no matter how many shards are
-    /// configured.
+    /// How many registered entries are pinned to shard 0 — the
+    /// *degraded* portion of the plan. `pinned_entries() ==
+    /// num_entries()` means every external stream enters a single
+    /// pipeline no matter how many shards are configured.
     pub fn pinned_entries(&self) -> usize {
         self.entries
             .iter()
@@ -192,30 +317,53 @@ impl ShardPlan {
             .count()
     }
 
-    /// Human-readable routing summary: one line per entry naming its
-    /// [`RouteRule`] (with the anchor operator for keyed routes), plus a
-    /// pinned-entry count. Lost parallelism is visible here instead of
-    /// silent — a probabilistic join quietly pinning the plan shows up
-    /// as `pinned`.
+    fn rule_text(&self, idx: usize) -> String {
+        match self.rules[idx] {
+            RouteRule::Keyed { anchor, port } => {
+                let port = match port {
+                    Some(p) => format!("port {p}"),
+                    None => "feed port".to_string(),
+                };
+                format!("keyed on `{}` ({port})", self.op_names[anchor.index()])
+            }
+            RouteRule::Spread => "spread (stateless cone)".to_string(),
+            RouteRule::Pinned => "pinned to shard 0".to_string(),
+        }
+    }
+
+    /// Human-readable routing summary. Single-stage plans render one
+    /// line per entry naming its [`RouteRule`] (with the anchor operator
+    /// for keyed routes); staged plans group the lines per stage and
+    /// list each exchange edge with the routing rule its re-shuffle
+    /// applies. A pinned-entry footer makes lost parallelism visible
+    /// instead of silent — a probabilistic join quietly pinning the plan
+    /// shows up as `pinned`.
     pub fn describe(&self) -> String {
         let mut out = String::new();
-        for (name, idx) in &self.entries {
-            let line = match self.rules[*idx] {
-                RouteRule::Keyed { anchor, port } => {
-                    let port = match port {
-                        Some(p) => format!("port {p}"),
-                        None => "feed port".to_string(),
-                    };
-                    format!(
-                        "entry `{name}` -> keyed on `{}` ({port})",
-                        self.op_names[anchor.index()]
-                    )
+        if self.num_stages == 1 {
+            for (name, idx) in &self.entries {
+                out.push_str(&format!("entry `{name}` -> {}\n", self.rule_text(*idx)));
+            }
+        } else {
+            for stage in 0..self.num_stages {
+                out.push_str(&format!("stage {stage}:\n"));
+                for (name, idx) in &self.entries {
+                    if self.stage_of[*idx] == stage {
+                        out.push_str(&format!("  entry `{name}` -> {}\n", self.rule_text(*idx)));
+                    }
                 }
-                RouteRule::Spread => format!("entry `{name}` -> spread (stateless cone)"),
-                RouteRule::Pinned => format!("entry `{name}` -> pinned to shard 0"),
-            };
-            out.push_str(&line);
-            out.push('\n');
+                for c in &self.cuts {
+                    if self.stage_of[c.to.index()] == stage {
+                        out.push_str(&format!(
+                            "  exchange `{}` -> `{}` (port {}): {}\n",
+                            self.op_names[c.from.index()],
+                            self.op_names[c.to.index()],
+                            c.port,
+                            self.rule_text(c.to.index())
+                        ));
+                    }
+                }
+            }
         }
         let pinned = self.pinned_entries();
         out.push_str(&format!(
@@ -229,17 +377,26 @@ impl ShardPlan {
                 ""
             }
         ));
+        if self.num_stages > 1 {
+            out.push_str(&format!(
+                "\n{} stages, {} exchange edge(s)",
+                self.num_stages,
+                self.cuts.len()
+            ));
+        }
         out
     }
 }
 
-/// The unique input port of `anchor` that flows from entry `e` arrive on:
-/// `Some(None)` when `e` is the anchor itself (feed port applies),
-/// `Some(Some(p))` for a unique in-edge port, `None` when paths from `e`
-/// enter the anchor on more than one port (ambiguous ⇒ pin).
+/// The unique within-stage input port of `anchor` that flows from entry
+/// `e` arrive on: `Some(None)` when `e` is the anchor itself (feed port
+/// applies), `Some(Some(p))` for a unique in-edge port, `None` when
+/// paths from `e` enter the anchor on more than one port (ambiguous ⇒
+/// pin).
 fn anchor_port(
     plan: &CompiledPlan,
     reach: &[Vec<bool>],
+    stage_of: &[usize],
     e: usize,
     anchor: usize,
 ) -> Option<Option<usize>> {
@@ -248,7 +405,7 @@ fn anchor_port(
     }
     let mut ports: Vec<usize> = Vec::new();
     for (u, reachable) in reach[e].iter().enumerate() {
-        if !reachable {
+        if !reachable || stage_of[u] != stage_of[anchor] {
             continue;
         }
         for &(to, port) in plan.downstream_of(NodeId::from_index(u)) {
@@ -323,11 +480,95 @@ pub fn shard_of(
         RouteRule::Keyed { anchor, port } => {
             let port = port.unwrap_or(feed_port);
             match prototype.operator(anchor).partition_key(port, tuple) {
-                // Keyless tuples never touch keyed state; park them on a
-                // fixed shard so routing stays deterministic.
-                None => 0,
+                // Keyless tuples never touch keyed state (a `None` key
+                // matches nothing); spread them round-robin so the
+                // stateless work they do feed still parallelizes instead
+                // of parking on shard 0.
+                None => {
+                    let s = *spread % shards;
+                    *spread += 1;
+                    s
+                }
                 Some(k) => (stable_key_hash(&k) % shards as u64) as usize,
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustream_core::ops::join::{JoinCondition, WindowJoin};
+    use ustream_core::ops::Passthrough;
+    use ustream_core::schema::{DataType, Schema};
+    use ustream_core::Value;
+
+    fn keyed_join_graph() -> (QueryGraph, NodeId) {
+        let mut g = QueryGraph::new();
+        let join = g.add(Box::new(WindowJoin::new(
+            1_000,
+            JoinCondition::KeyEquals {
+                left: Box::new(|t| GroupKey::from_value(t.get("k").ok()?)),
+                right: Box::new(|t| GroupKey::from_value(t.get("k").ok()?)),
+            },
+            0.0,
+        )));
+        let sink = g.add(Box::new(Passthrough::new("sink")));
+        g.connect(join, sink, 0).unwrap();
+        g.source("left", join);
+        g.source("right", join);
+        g.sink(sink);
+        (g, join)
+    }
+
+    fn tuple_with_key(k: Value) -> Tuple {
+        let s = Schema::builder().field("k", DataType::Int).build();
+        Tuple::new(s, vec![k], 0)
+    }
+
+    #[test]
+    fn keyed_tuples_route_by_stable_hash() {
+        let (g, join) = keyed_join_graph();
+        let plan = ShardPlan::analyze(&g, &g.compile().unwrap()).clone();
+        let rule = plan.rule(join);
+        assert!(matches!(rule, RouteRule::Keyed { .. }));
+        let mut spread = 0usize;
+        let t = tuple_with_key(Value::Int(7));
+        let a = shard_of(rule, &g, 0, &t, 8, &mut spread);
+        let b = shard_of(rule, &g, 0, &t, 8, &mut spread);
+        assert_eq!(a, b, "same key, same shard");
+        assert_eq!(
+            spread, 0,
+            "keyed routing does not consume the spread counter"
+        );
+    }
+
+    #[test]
+    fn keyless_tuples_spread_round_robin_not_shard_zero() {
+        let (g, join) = keyed_join_graph();
+        let plan = ShardPlan::analyze(&g, &g.compile().unwrap());
+        let rule = plan.rule(join);
+        let mut spread = 0usize;
+        let t = tuple_with_key(Value::Null); // key closure yields None
+        let shards: Vec<usize> = (0..4)
+            .map(|_| shard_of(rule, &g, 0, &t, 4, &mut spread))
+            .collect();
+        assert_eq!(shards, vec![0, 1, 2, 3], "keyless tuples round-robin");
+        assert_eq!(spread, 4);
+    }
+
+    #[test]
+    fn stable_hash_is_platform_stable() {
+        // Frozen values: reproducible shard assignment is part of the
+        // determinism contract, so the hash must never silently change.
+        assert_eq!(stable_key_hash(&GroupKey::Int(0)), 0x529a_2cdc_8ff5_33ac);
+        assert_eq!(
+            stable_key_hash(&GroupKey::Str("area-51".into())),
+            stable_key_hash(&GroupKey::Str("area-51".into()))
+        );
+        assert_ne!(
+            stable_key_hash(&GroupKey::Int(1)),
+            stable_key_hash(&GroupKey::Int(2))
+        );
     }
 }

@@ -1,0 +1,939 @@
+//! The incremental sharded execution session.
+//!
+//! [`ShardedSession`] is the sharded analogue of
+//! [`ustream_core::query::ExecSession`]: a long-lived engine that
+//! accepts input batches over time ([`ShardedSession::push_batch`]),
+//! streams completed sink output between pushes
+//! ([`ShardedSession::drain_collected`]), and flushes at end of stream
+//! ([`ShardedSession::finish`]). It is the one execution core behind
+//! both [`crate::ShardedExecutor::run`] (which pushes a whole feed and
+//! finishes) and the ingest server's engine thread (which pumps batches
+//! as publishers deliver them) — the serving path is no longer
+//! bottlenecked on one single-threaded session.
+//!
+//! ## Execution model
+//!
+//! The [`ShardPlan`] cuts the graph into stages (see [`crate::plan`]);
+//! every stage × shard pair is one [`ExecSession`] over that stage's
+//! subgraph, dealt across a persistent worker pool (the driver
+//! participates as worker 0, running its slots inline). Stage-0 input
+//! routes immediately; input addressed to later stages (exchange output
+//! and external feeds entering downstream of an anchor) is pooled and
+//! forwarded during *sweeps*.
+//!
+//! A sweep walks the stages in order. For each stage it forwards the
+//! pooled input whose timestamps the watermark has sealed — sorted into
+//! the canonical `(ts, entry, port, content)` order, so the exchange
+//! delivery is independent of how the producing stage was partitioned —
+//! then broadcasts the watermark to every shard of the stage
+//! ([`ExecSession::advance_watermark`]: windows close when the
+//! *stream's* clock passes them, not when a shard happens to receive its
+//! next tuple), and barriers on a drain of the stage's collected
+//! output. Output at a cut node feeds the next stage's pool; output at
+//! a real sink is held until the watermark seals its timestamp.
+//!
+//! ## Watermark discipline and determinism
+//!
+//! The session watermark W is the highest timestamp pushed so far; the
+//! input contract (shared with `run_batched`'s sorted feed and the
+//! server's per-publisher merge) is that pushes are globally
+//! ts-nondecreasing. Every operator emission carries `ts ≤ W`, and once
+//! W passes a timestamp no new emission at it can appear — so sink
+//! tuples with `ts < W` are *complete* and are released in canonical
+//! `(ts, content)` order, while `ts == W` tuples are held for the next
+//! sweep. Each released interval is therefore a deterministic function
+//! of the input stream alone: byte-identical across runs, worker
+//! counts, and shard counts, and — for keyed plans whose operators
+//! declare their partitioning honestly — exactly equal, in stream
+//! order, to what `run_batched` collects over the same feed.
+//!
+//! ## Failure containment
+//!
+//! An operator panic (or a panic in a routing key closure) never
+//! unwinds into the caller and never hangs the pool: the slot is
+//! poisoned, the panic message is captured, and every subsequent call
+//! returns [`EngineError::OperatorPanicked`] — the server maps this to
+//! a typed `QueryPanicked` serving error.
+
+use crate::plan::{shard_of, ShardPlan};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::collections::{BTreeMap, HashMap};
+use std::thread::JoinHandle;
+use ustream_core::batch::{Batch, BatchPool};
+use ustream_core::canon;
+use ustream_core::error::{panic_message, EngineError, Result};
+use ustream_core::query::{ExecSession, QueryGraph};
+use ustream_core::{NodeId, Tuple};
+
+/// Run a closure, converting a panic into its rendered message.
+fn catch<T>(f: impl FnOnce() -> T) -> std::result::Result<T, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+        .map_err(|p| panic_message(p.as_ref()).to_string())
+}
+
+/// One unit of work for a pool worker, addressed to a slot it owns.
+enum WorkerMsg {
+    Push {
+        slot: usize,
+        node: NodeId,
+        port: usize,
+        batch: Batch,
+    },
+    Advance {
+        slot: usize,
+        watermark: u64,
+    },
+    /// Drain the slot's collected sink output; reply on the shared
+    /// reply channel.
+    Drain {
+        slot: usize,
+    },
+    /// Flush and consume the slot's session; reply with its final
+    /// collections.
+    Finish {
+        slot: usize,
+    },
+}
+
+/// One slot's drained/final output: per-sink tuple runs in stage-local
+/// node order.
+type SlotOutput = Vec<(NodeId, Vec<Tuple>)>;
+
+/// A worker's answer to `Drain`/`Finish`: the slot's per-sink output in
+/// stage-local node order, or the panic message that poisoned it.
+struct Reply {
+    slot: usize,
+    result: std::result::Result<SlotOutput, String>,
+}
+
+/// One stage×shard pipeline owned by a worker (or inline by the driver).
+struct SlotState {
+    session: Option<ExecSession>,
+    poisoned: Option<String>,
+}
+
+impl SlotState {
+    fn run(&mut self, f: impl FnOnce(&mut ExecSession)) {
+        if self.poisoned.is_some() {
+            return;
+        }
+        if let Some(session) = self.session.as_mut() {
+            if let Err(msg) = catch(std::panic::AssertUnwindSafe(|| f(session))) {
+                self.session = None;
+                self.poisoned = Some(msg);
+            }
+        }
+    }
+
+    fn drain(&mut self) -> std::result::Result<SlotOutput, String> {
+        if let Some(msg) = &self.poisoned {
+            return Err(msg.clone());
+        }
+        match self.session.as_mut() {
+            Some(session) => {
+                match catch(std::panic::AssertUnwindSafe(|| session.drain_collected())) {
+                    Ok(outs) => Ok(outs),
+                    Err(msg) => {
+                        self.session = None;
+                        self.poisoned = Some(msg.clone());
+                        Err(msg)
+                    }
+                }
+            }
+            None => Ok(Vec::new()),
+        }
+    }
+
+    fn finish(&mut self) -> std::result::Result<SlotOutput, String> {
+        if let Some(msg) = &self.poisoned {
+            return Err(msg.clone());
+        }
+        match self.session.take() {
+            Some(session) => match catch(std::panic::AssertUnwindSafe(|| session.finish())) {
+                Ok(map) => {
+                    let mut outs: Vec<(NodeId, Vec<Tuple>)> = map
+                        .into_iter()
+                        .filter(|(_, tuples)| !tuples.is_empty())
+                        .collect();
+                    outs.sort_by_key(|(n, _)| n.index());
+                    Ok(outs)
+                }
+                Err(msg) => {
+                    self.poisoned = Some(msg.clone());
+                    Err(msg)
+                }
+            },
+            None => Ok(Vec::new()),
+        }
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<WorkerMsg>,
+    reply_tx: Sender<Reply>,
+    mut slots: BTreeMap<usize, SlotState>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Push {
+                slot,
+                node,
+                port,
+                batch,
+            } => {
+                if let Some(st) = slots.get_mut(&slot) {
+                    st.run(|s| s.push(node, port, batch));
+                }
+            }
+            WorkerMsg::Advance { slot, watermark } => {
+                if let Some(st) = slots.get_mut(&slot) {
+                    st.run(|s| s.advance_watermark(watermark));
+                }
+            }
+            WorkerMsg::Drain { slot } => {
+                let result = match slots.get_mut(&slot) {
+                    Some(st) => st.drain(),
+                    None => Ok(Vec::new()),
+                };
+                if reply_tx.send(Reply { slot, result }).is_err() {
+                    return;
+                }
+            }
+            WorkerMsg::Finish { slot } => {
+                let result = match slots.get_mut(&slot) {
+                    Some(st) => st.finish(),
+                    None => Ok(Vec::new()),
+                };
+                if reply_tx.send(Reply { slot, result }).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Stage-local view of the original graph: index translation in both
+/// directions.
+struct StageMeta {
+    /// Original node index → stage-local node, for nodes in this stage.
+    local_of: Vec<Option<NodeId>>,
+    /// Stage-local node index → original node index.
+    orig_of: Vec<usize>,
+}
+
+/// A pending input run being assembled for one slot.
+struct SlotBuilder {
+    node: usize,
+    port: usize,
+    batch: Batch,
+}
+
+/// Input waiting at a stage boundary: `(ts, entry node, port, tuple)`.
+type PoolEntry = (u64, usize, usize, Tuple);
+
+/// The multi-stage, multi-shard session core.
+struct StagedCore {
+    prototype: QueryGraph,
+    plan: ShardPlan,
+    shards: usize,
+    n_workers: usize,
+    batch_size: usize,
+    pool: BatchPool,
+    stages: Vec<StageMeta>,
+    /// Driver-owned (worker 0) slots, by global slot id.
+    inline: BTreeMap<usize, SlotState>,
+    senders: Vec<Sender<WorkerMsg>>,
+    reply_rx: Receiver<Reply>,
+    handles: Vec<JoinHandle<()>>,
+    builders: Vec<SlotBuilder>,
+    /// Per-stage pending input (exchange output + external feeds for
+    /// stages > 0); index 0 is unused.
+    pools: Vec<Vec<PoolEntry>>,
+    /// Held sink output whose timestamps the watermark has not sealed
+    /// yet, by original sink node index.
+    held: BTreeMap<usize, Vec<Tuple>>,
+    /// Per-stage round-robin spread counters.
+    spread: Vec<usize>,
+    /// Cut edges out of each original node as `(target, port)`.
+    cut_targets: Vec<Vec<(usize, usize)>>,
+    is_real_sink: Vec<bool>,
+    /// Original sink node indices in registration order.
+    sink_order: Vec<usize>,
+    watermark: u64,
+    failed: Option<String>,
+}
+
+enum BarrierOp {
+    Drain,
+    Finish,
+}
+
+impl StagedCore {
+    fn fail(&mut self, msg: String) -> EngineError {
+        let e = EngineError::OperatorPanicked(msg.clone());
+        self.failed = Some(msg);
+        e
+    }
+
+    fn guard(&self) -> Result<()> {
+        match &self.failed {
+            Some(msg) => Err(EngineError::OperatorPanicked(msg.clone())),
+            None => Ok(()),
+        }
+    }
+
+    fn slot_id(&self, stage: usize, shard: usize) -> usize {
+        stage * self.shards + shard
+    }
+
+    fn worker_of(&self, shard: usize) -> usize {
+        shard % self.n_workers
+    }
+
+    /// Ship the slot's pending run to its session (inline for worker-0
+    /// slots, via the worker's inbox otherwise).
+    fn flush_builder(&mut self, stage: usize, shard: usize) -> Result<()> {
+        let slot = self.slot_id(stage, shard);
+        if self.builders[slot].batch.is_empty() {
+            return Ok(());
+        }
+        let replacement = self.pool.take(self.batch_size.min(64));
+        let b = &mut self.builders[slot];
+        let batch = std::mem::replace(&mut b.batch, replacement);
+        let (node, port) = (b.node, b.port);
+        let local = self.stages[stage].local_of[node].expect("routed node belongs to its stage");
+        let worker = self.worker_of(shard);
+        if worker == 0 {
+            let st = self.inline.get_mut(&slot).expect("inline slot exists");
+            st.run(|s| s.push(local, port, batch));
+            if let Some(msg) = st.poisoned.clone() {
+                return Err(self.fail(format!("worker 0 (driver): {msg}")));
+            }
+            Ok(())
+        } else {
+            self.senders[worker - 1]
+                .send(WorkerMsg::Push {
+                    slot,
+                    node: local,
+                    port,
+                    batch,
+                })
+                .map_err(|_| self.fail("worker disconnected mid-stream".into()))
+        }
+    }
+
+    /// Route one tuple into a stage, merging consecutive same-(node,
+    /// port) tuples per shard into batched runs.
+    fn route_one(&mut self, stage: usize, node: usize, port: usize, tuple: Tuple) -> Result<()> {
+        let rule = self.plan.rule(NodeId::from_index(node));
+        // The key computation runs a user closure against the tuple as
+        // it exists at the stage boundary; a panic (e.g. the key
+        // attribute is minted deeper in the stage) surfaces as an error
+        // instead of unwinding through the driver.
+        let shard = {
+            let prototype = &self.prototype;
+            let shards = self.shards;
+            let spread = &mut self.spread[stage];
+            match catch(std::panic::AssertUnwindSafe(|| {
+                shard_of(rule, prototype, port, &tuple, shards, spread)
+            })) {
+                Ok(shard) => shard,
+                Err(msg) => return Err(self.fail(format!("routing (partition key): {msg}"))),
+            }
+        };
+        let slot = self.slot_id(stage, shard);
+        let b = &self.builders[slot];
+        if !b.batch.is_empty()
+            && (b.node != node || b.port != port || b.batch.len() >= self.batch_size)
+        {
+            self.flush_builder(stage, shard)?;
+        }
+        let b = &mut self.builders[slot];
+        b.node = node;
+        b.port = port;
+        b.batch.push(tuple);
+        Ok(())
+    }
+
+    fn push_batch(&mut self, node: NodeId, port: usize, batch: Batch) -> Result<()> {
+        self.guard()?;
+        if let Some(max_ts) = batch.iter().map(|t| t.ts).max() {
+            self.watermark = self.watermark.max(max_ts);
+        }
+        let stage = self.plan.stage_of(node);
+        if stage == 0 {
+            for tuple in batch {
+                self.route_one(0, node.index(), port, tuple)?;
+            }
+        } else {
+            // External feeds entering downstream of an anchor join the
+            // stage's exchange pool so they interleave with exchange
+            // output in one deterministic ts-ordered feed.
+            self.pools[stage].extend(batch.into_iter().map(|t| (t.ts, node.index(), port, t)));
+        }
+        Ok(())
+    }
+
+    /// Advance the watermark on every shard of `stage`.
+    fn advance_stage(&mut self, stage: usize, watermark: u64) -> Result<()> {
+        for shard in 0..self.shards {
+            let slot = self.slot_id(stage, shard);
+            let worker = self.worker_of(shard);
+            if worker == 0 {
+                let st = self.inline.get_mut(&slot).expect("inline slot exists");
+                st.run(|s| s.advance_watermark(watermark));
+                if let Some(msg) = st.poisoned.clone() {
+                    return Err(self.fail(format!("worker 0 (driver): {msg}")));
+                }
+            } else {
+                self.senders[worker - 1]
+                    .send(WorkerMsg::Advance { slot, watermark })
+                    .map_err(|_| self.fail("worker disconnected mid-stream".into()))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Collect every shard of `stage` (drain or finish), in shard order.
+    fn barrier(&mut self, stage: usize, op: BarrierOp) -> Result<Vec<SlotOutput>> {
+        let mut results: BTreeMap<usize, SlotOutput> = BTreeMap::new();
+        let mut errors: Vec<String> = Vec::new();
+        let mut expected_remote = 0usize;
+        for shard in 0..self.shards {
+            let slot = self.slot_id(stage, shard);
+            let worker = self.worker_of(shard);
+            if worker == 0 {
+                let st = self.inline.get_mut(&slot).expect("inline slot exists");
+                let result = match op {
+                    BarrierOp::Drain => st.drain(),
+                    BarrierOp::Finish => st.finish(),
+                };
+                match result {
+                    Ok(outs) => {
+                        results.insert(slot, outs);
+                    }
+                    Err(msg) => errors.push(format!("worker 0 (driver): {msg}")),
+                }
+            } else {
+                let msg = match op {
+                    BarrierOp::Drain => WorkerMsg::Drain { slot },
+                    BarrierOp::Finish => WorkerMsg::Finish { slot },
+                };
+                if self.senders[worker - 1].send(msg).is_err() {
+                    errors.push("worker disconnected mid-stream".into());
+                } else {
+                    expected_remote += 1;
+                }
+            }
+        }
+        for _ in 0..expected_remote {
+            match self.reply_rx.recv() {
+                Ok(Reply { slot, result }) => match result {
+                    Ok(outs) => {
+                        results.insert(slot, outs);
+                    }
+                    Err(msg) => {
+                        let worker = self.worker_of(slot % self.shards);
+                        errors.push(format!("worker {worker}: {msg}"));
+                    }
+                },
+                Err(_) => {
+                    errors.push("worker disconnected mid-stream".into());
+                    break;
+                }
+            }
+        }
+        if !errors.is_empty() {
+            return Err(self.fail(errors.join("; ")));
+        }
+        Ok(results.into_values().collect())
+    }
+
+    /// Distribute one stage's collected output: cut-node output feeds
+    /// downstream exchange pools, real-sink output joins the held
+    /// buffers.
+    fn distribute(&mut self, stage: usize, collected: Vec<SlotOutput>) {
+        for outs in collected {
+            for (local, tuples) in outs {
+                let orig = self.stages[stage].orig_of[local.index()];
+                let targets = self.cut_targets[orig].clone();
+                for &(to, port) in &targets {
+                    let to_stage = self.plan.stage_of(NodeId::from_index(to));
+                    self.pools[to_stage].extend(tuples.iter().map(|t| (t.ts, to, port, t.clone())));
+                }
+                if self.is_real_sink[orig] {
+                    self.held.entry(orig).or_default().extend(tuples);
+                }
+            }
+        }
+    }
+
+    /// Walk all stages: forward sealed exchange input, advance
+    /// watermarks (drain sweeps), and collect each stage's output.
+    /// `finish` forwards everything and consumes the sessions.
+    fn sweep(&mut self, finish: bool) -> Result<()> {
+        self.guard()?;
+        let wm = self.watermark;
+        for stage in 0..self.plan.num_stages() {
+            if stage > 0 {
+                // Forward pooled input the watermark has sealed (all of
+                // it at finish), in canonical (ts, entry, port, content)
+                // order — the deterministic exchange delivery order.
+                let pool = std::mem::take(&mut self.pools[stage]);
+                let mut forward: Vec<PoolEntry>;
+                if finish {
+                    forward = pool;
+                } else {
+                    forward = Vec::new();
+                    let mut kept = Vec::new();
+                    for e in pool {
+                        if e.0 < wm {
+                            forward.push(e);
+                        } else {
+                            kept.push(e);
+                        }
+                    }
+                    self.pools[stage] = kept;
+                }
+                // Mirror `canon::canonical_sort`: fast binary keys
+                // first, then re-order residual fast-key tie runs by
+                // the exhaustive rendering — a distinct-tuple collision
+                // on the compact key must not fall back to the
+                // partition-dependent pool order.
+                type ForwardKey = (u64, usize, usize, Vec<u8>);
+                let mut keyed: Vec<(ForwardKey, PoolEntry)> = forward
+                    .into_iter()
+                    .map(|e| ((e.0, e.1, e.2, canon::fast_key(&e.3)), e))
+                    .collect();
+                keyed.sort_by(|(a, _), (b, _)| a.cmp(b));
+                let mut i = 0;
+                while i < keyed.len() {
+                    let mut j = i + 1;
+                    while j < keyed.len() && keyed[j].0 == keyed[i].0 {
+                        j += 1;
+                    }
+                    if j - i > 1 {
+                        keyed[i..j].sort_by_cached_key(|(_, e)| canon::exact_key(&e.3));
+                    }
+                    i = j;
+                }
+                for (_, (_, node, port, tuple)) in keyed {
+                    self.route_one(stage, node, port, tuple)?;
+                }
+            }
+            for shard in 0..self.shards {
+                self.flush_builder(stage, shard)?;
+            }
+            let collected = if finish {
+                self.barrier(stage, BarrierOp::Finish)?
+            } else {
+                self.advance_stage(stage, wm)?;
+                self.barrier(stage, BarrierOp::Drain)?
+            };
+            self.distribute(stage, collected);
+        }
+        Ok(())
+    }
+
+    /// Release held sink output: everything with `ts < watermark` (or
+    /// everything at finish), per sink in registration order, each
+    /// interval in canonical (ts, content) order.
+    fn release(&mut self, all: bool) -> Vec<(NodeId, Vec<Tuple>)> {
+        let wm = self.watermark;
+        let mut out: Vec<(NodeId, Vec<Tuple>)> = Vec::new();
+        for &sink in &self.sink_order {
+            let Some(bucket) = self.held.get_mut(&sink) else {
+                continue;
+            };
+            let mut released: Vec<Tuple>;
+            if all {
+                released = std::mem::take(bucket);
+            } else {
+                released = Vec::new();
+                let mut kept = Vec::new();
+                for t in bucket.drain(..) {
+                    if t.ts < wm {
+                        released.push(t);
+                    } else {
+                        kept.push(t);
+                    }
+                }
+                *bucket = kept;
+            }
+            if !released.is_empty() {
+                canon::canonical_sort(&mut released);
+                out.push((NodeId::from_index(sink), released));
+            }
+        }
+        out
+    }
+
+    fn drain_collected(&mut self) -> Result<Vec<(NodeId, Vec<Tuple>)>> {
+        self.sweep(false)?;
+        Ok(self.release(false))
+    }
+
+    fn finish(&mut self) -> Result<HashMap<NodeId, Vec<Tuple>>> {
+        self.sweep(true)?;
+        let mut out: HashMap<NodeId, Vec<Tuple>> = HashMap::new();
+        for (sink, tuples) in self.release(true) {
+            out.insert(sink, tuples);
+        }
+        Ok(out)
+    }
+
+    fn shutdown(&mut self) {
+        self.inline.clear();
+        self.senders.clear(); // disconnect: workers drain and exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for StagedCore {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The single-pipeline fast path: one [`ExecSession`] over the whole
+/// graph, byte-identical (including sink arrival order) to driving the
+/// plain incremental engine — used when one shard is configured or the
+/// plan cannot parallelize, so degraded plans pay no exchange machinery.
+struct SingleCore {
+    session: Option<ExecSession>,
+    failed: Option<String>,
+}
+
+impl SingleCore {
+    fn op<T>(&mut self, f: impl FnOnce(&mut ExecSession) -> T) -> Result<T> {
+        if let Some(msg) = &self.failed {
+            return Err(EngineError::OperatorPanicked(msg.clone()));
+        }
+        let session = self
+            .session
+            .as_mut()
+            .expect("session present until failure");
+        match catch(std::panic::AssertUnwindSafe(|| f(session))) {
+            Ok(v) => Ok(v),
+            Err(msg) => {
+                self.session = None;
+                self.failed = Some(msg.clone());
+                Err(EngineError::OperatorPanicked(msg))
+            }
+        }
+    }
+}
+
+/// An incremental sharded execution session over a query-graph factory.
+/// Build one with [`crate::ShardedExecutor::session`]; see the module
+/// docs for the execution model.
+pub struct ShardedSession {
+    sources: HashMap<String, NodeId>,
+    core: Core,
+}
+
+enum Core {
+    Single(Box<SingleCore>),
+    Staged(Box<StagedCore>),
+}
+
+impl ShardedSession {
+    /// Wrap one already-built graph as a single-pipeline session: exact
+    /// [`ExecSession`] semantics (including sink arrival order) behind
+    /// the sharded session surface, with the same typed panic
+    /// containment. The shape a server uses when it was handed a built
+    /// graph rather than a factory.
+    pub fn single(graph: QueryGraph) -> Result<ShardedSession> {
+        let sources: HashMap<String, NodeId> = graph
+            .source_entries()
+            .map(|(name, id)| (name.to_string(), id))
+            .collect();
+        let session = graph.into_session()?;
+        Ok(ShardedSession {
+            sources,
+            core: Core::Single(Box::new(SingleCore {
+                session: Some(session),
+                failed: None,
+            })),
+        })
+    }
+
+    pub(crate) fn build(
+        shards: usize,
+        workers: Option<usize>,
+        channel_capacity: usize,
+        batch_size: usize,
+        pool_buffers: usize,
+        factory: &dyn Fn() -> QueryGraph,
+    ) -> Result<ShardedSession> {
+        let prototype = factory();
+        let compiled = prototype.compile()?;
+        let plan = ShardPlan::analyze(&prototype, &compiled);
+        let sources: HashMap<String, NodeId> = prototype
+            .source_entries()
+            .map(|(name, id)| (name.to_string(), id))
+            .collect();
+
+        // Single pipeline when sharding cannot help: one shard
+        // configured, or a fully pinned plan. The plain session also
+        // preserves exact sink *arrival* order, which multi-shard
+        // release trades for the canonical order.
+        if shards == 1 || !plan.is_parallel() {
+            let session = prototype.into_session()?;
+            return Ok(ShardedSession {
+                sources,
+                core: Core::Single(Box::new(SingleCore {
+                    session: Some(session),
+                    failed: None,
+                })),
+            });
+        }
+
+        let n = compiled.num_nodes();
+        let num_stages = plan.num_stages();
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let n_workers = workers.unwrap_or(cores).clamp(1, shards);
+        let pool = BatchPool::new(pool_buffers);
+
+        let mut is_real_sink = vec![false; n];
+        let mut sink_order: Vec<usize> = Vec::new();
+        for &s in compiled.sinks() {
+            is_real_sink[s.index()] = true;
+            sink_order.push(s.index());
+        }
+        let mut cut_targets: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for c in plan.cut_edges() {
+            cut_targets[c.from.index()].push((c.to.index(), c.port));
+        }
+
+        // Build stage metadata once from the prototype's shape.
+        let stage_nodes: Vec<Vec<usize>> = {
+            let mut v: Vec<Vec<usize>> = vec![Vec::new(); num_stages];
+            for i in 0..n {
+                v[plan.stage_of(NodeId::from_index(i))].push(i);
+            }
+            v
+        };
+        let stages: Vec<StageMeta> = stage_nodes
+            .iter()
+            .map(|nodes| {
+                let mut local_of = vec![None; n];
+                for (local, &orig) in nodes.iter().enumerate() {
+                    local_of[orig] = Some(NodeId::from_index(local));
+                }
+                StageMeta {
+                    local_of,
+                    orig_of: nodes.clone(),
+                }
+            })
+            .collect();
+
+        // One full graph per shard, split into per-stage sessions.
+        let mut per_worker: Vec<BTreeMap<usize, SlotState>> =
+            (0..n_workers).map(|_| BTreeMap::new()).collect();
+        for shard in 0..shards {
+            let g = factory();
+            if g.num_nodes() != n
+                || (0..n).any(|i| {
+                    g.operator(NodeId::from_index(i)).name()
+                        != prototype.operator(NodeId::from_index(i)).name()
+                })
+            {
+                return Err(EngineError::InvalidConfig(
+                    "shard factory must build identical graphs on every call".into(),
+                ));
+            }
+            let stage_sessions = split_stages(g, &plan, &stages, num_stages, &pool)?;
+            for (stage, session) in stage_sessions.into_iter().enumerate() {
+                let slot = stage * shards + shard;
+                per_worker[shard % n_workers].insert(
+                    slot,
+                    SlotState {
+                        session: Some(session),
+                        poisoned: None,
+                    },
+                );
+            }
+        }
+        let inline = per_worker.remove(0);
+
+        let (reply_tx, reply_rx) = bounded::<Reply>(num_stages * shards + 4);
+        let mut senders: Vec<Sender<WorkerMsg>> = Vec::with_capacity(per_worker.len());
+        let mut handles = Vec::with_capacity(per_worker.len());
+        for slots in per_worker {
+            let (tx, rx) = bounded::<WorkerMsg>(channel_capacity);
+            senders.push(tx);
+            let reply_tx = reply_tx.clone();
+            handles.push(std::thread::spawn(move || worker_loop(rx, reply_tx, slots)));
+        }
+
+        let builders = (0..num_stages * shards)
+            .map(|_| SlotBuilder {
+                node: 0,
+                port: 0,
+                batch: Batch::new(),
+            })
+            .collect();
+        Ok(ShardedSession {
+            sources,
+            core: Core::Staged(Box::new(StagedCore {
+                prototype,
+                plan,
+                shards,
+                n_workers,
+                batch_size,
+                pool,
+                stages,
+                inline,
+                senders,
+                reply_rx,
+                handles,
+                builders,
+                pools: vec![Vec::new(); num_stages],
+                held: BTreeMap::new(),
+                spread: vec![0; num_stages],
+                cut_targets,
+                is_real_sink,
+                sink_order,
+                watermark: 0,
+                failed: None,
+            })),
+        })
+    }
+
+    /// Named entry node for `name`, if the graph registered one.
+    pub fn source_node(&self, name: &str) -> Option<NodeId> {
+        self.sources.get(name).copied()
+    }
+
+    /// Merge named input streams into one timestamp-ordered feed of
+    /// `(ts, node, port, tuple)` entries — the arrival order the session
+    /// expects pushes to follow. Delegates to
+    /// [`ustream_core::query::merged_feed`], the shared home of the feed
+    /// tiebreak, so this driver can never order ties differently from
+    /// `run_batched`.
+    pub fn ordered_feed(
+        &self,
+        inputs: Vec<(String, usize, Vec<Tuple>)>,
+    ) -> Result<Vec<(u64, NodeId, usize, Tuple)>> {
+        ustream_core::query::merged_feed(&self.sources, inputs)
+    }
+
+    /// Push one batch of input addressed to `node`'s input `port`.
+    /// Pushes must be globally ts-nondecreasing (the contract every
+    /// driver — `ordered_feed`, the server's watermark merge — already
+    /// satisfies). Errors when an operator or routing key panicked.
+    pub fn push_batch(&mut self, node: NodeId, port: usize, batch: Batch) -> Result<()> {
+        match &mut self.core {
+            Core::Single(s) => s.op(|session| session.push(node, port, batch)),
+            Core::Staged(s) => s.push_batch(node, port, batch),
+        }
+    }
+
+    /// Event time reached `watermark` without (necessarily) data: the
+    /// caller promises no future push will carry `ts < watermark`.
+    /// Event-time windows the clock has passed close — immediately on a
+    /// single pipeline, at the next sweep across shards — so results
+    /// gated only on time still flow. This is how a served query whose
+    /// publishers are idle-but-heartbeating keeps streaming: the
+    /// server's collective publisher watermark can run ahead of the
+    /// last pushed tuple.
+    pub fn advance_watermark(&mut self, watermark: u64) -> Result<()> {
+        match &mut self.core {
+            Core::Single(s) => s.op(|session| session.advance_watermark(watermark)),
+            Core::Staged(s) => {
+                s.guard()?;
+                s.watermark = s.watermark.max(watermark);
+                Ok(())
+            }
+        }
+    }
+
+    /// Drain the sink output completed since the previous drain, per
+    /// sink in registration order. With one pipeline this is the plain
+    /// session's arrival-order drain; across shards it sweeps the
+    /// exchange stages, broadcasts the watermark, and releases every
+    /// sink tuple whose timestamp the watermark sealed, in canonical
+    /// `(ts, content)` order.
+    pub fn drain_collected(&mut self) -> Result<Vec<(NodeId, Vec<Tuple>)>> {
+        match &mut self.core {
+            Core::Single(s) => s.op(|session| session.drain_collected()),
+            Core::Staged(s) => s.drain_collected(),
+        }
+    }
+
+    /// End of stream: flush every stage in order (exchanging the final
+    /// windows downstream) and return the undrained remainder per sink.
+    pub fn finish(mut self) -> Result<HashMap<NodeId, Vec<Tuple>>> {
+        match &mut self.core {
+            Core::Single(s) => {
+                if let Some(msg) = &s.failed {
+                    return Err(EngineError::OperatorPanicked(msg.clone()));
+                }
+                let session = s.session.take().expect("session present until failure");
+                match catch(std::panic::AssertUnwindSafe(|| session.finish())) {
+                    Ok(map) => Ok(map),
+                    Err(msg) => {
+                        s.failed = Some(msg.clone());
+                        Err(EngineError::OperatorPanicked(msg))
+                    }
+                }
+            }
+            Core::Staged(s) => {
+                let out = s.finish();
+                s.shutdown();
+                out
+            }
+        }
+    }
+}
+
+/// Split one factory-built graph into its per-stage [`ExecSession`]s.
+fn split_stages(
+    graph: QueryGraph,
+    plan: &ShardPlan,
+    stages: &[StageMeta],
+    num_stages: usize,
+    pool: &BatchPool,
+) -> Result<Vec<ExecSession>> {
+    if num_stages == 1 {
+        // No cuts: the stage graph is the graph itself (stage-local ids
+        // coincide with the original ids).
+        return Ok(vec![graph.into_session()?.with_pool(pool.clone())]);
+    }
+    let (nodes, edges, _sources, sinks) = graph.dismantle();
+    let mut stage_graphs: Vec<QueryGraph> = (0..num_stages).map(|_| QueryGraph::new()).collect();
+    for (i, op) in nodes.into_iter().enumerate() {
+        let stage = plan.stage_of(NodeId::from_index(i));
+        let local = stage_graphs[stage].add(op);
+        debug_assert_eq!(Some(local), stages[stage].local_of[i], "stable split");
+    }
+    for (from, to, port) in edges {
+        let stage = plan.stage_of(from);
+        if stage == plan.stage_of(to) {
+            let lf = stages[stage].local_of[from.index()].expect("node in stage");
+            let lt = stages[stage].local_of[to.index()].expect("node in stage");
+            stage_graphs[stage].connect(lf, lt, port)?;
+        }
+    }
+    // Stage sinks: the query's real sinks plus every cut-edge source
+    // (the exchange captures its output there).
+    for s in sinks {
+        let stage = plan.stage_of(s);
+        let local = stages[stage].local_of[s.index()].expect("sink in stage");
+        stage_graphs[stage].sink(local);
+    }
+    for c in plan.cut_edges() {
+        let stage = plan.stage_of(c.from);
+        let local = stages[stage].local_of[c.from.index()].expect("cut source in stage");
+        stage_graphs[stage].sink(local);
+    }
+    stage_graphs
+        .into_iter()
+        .map(|g| Ok(g.into_session()?.with_pool(pool.clone())))
+        .collect()
+}

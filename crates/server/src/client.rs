@@ -150,6 +150,23 @@ impl Client {
         }
     }
 
+    /// Promise the server that this publisher will publish nothing
+    /// older than `watermark` — the idle-but-alive signal. A publisher
+    /// that goes quiet while others keep publishing stalls the server's
+    /// timestamp merge (results are gated on every unfinished
+    /// publisher's progress); sending a heartbeat with the current
+    /// event-time clock, periodically while idle, keeps results
+    /// flowing. Publishing a tuple older than an advertised watermark
+    /// afterwards violates the ts-ordered stream contract, exactly as
+    /// publishing out of order would.
+    pub fn heartbeat(&mut self, watermark: u64) -> ClientResult<()> {
+        protocol::write_request(&mut self.stream, &Request::Heartbeat { watermark })?;
+        match self.await_reply()? {
+            Response::Ack { .. } => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Snapshot the served query's registered per-operator metrics.
     pub fn stats(&mut self) -> ClientResult<Vec<OpStat>> {
         protocol::write_request(&mut self.stream, &Request::Stats)?;

@@ -18,14 +18,17 @@
 //!   allocation — and encode→decode→encode is byte-identical.
 //! - [`server`] — a multi-client TCP server (`std::net` threads; the
 //!   deployment image has no async runtime) driving one incremental
-//!   [`ustream_core::ExecSession`]: per-client framed readers feed
-//!   bounded channels (backpressure), a per-query engine thread merges
-//!   publisher streams in timestamp order and pushes batches through
-//!   the session, and a subscription protocol streams sink output to
-//!   any number of subscribers as windows close.
+//!   [`ustream_runtime::session::ShardedSession`]: per-client framed
+//!   readers feed bounded channels (backpressure), a per-query engine
+//!   thread merges publisher streams in timestamp order and pushes
+//!   batches through the session — single-pipeline for
+//!   [`server::ServedQuery::new`], key-partitioned across the
+//!   session's worker pool for [`server::ServedQuery::sharded`] — and
+//!   a subscription protocol streams sink output to any number of
+//!   subscribers as windows close.
 //! - [`client`] — [`client::Client`] with `publish` / `subscribe` /
-//!   `finish` (EOS) / `stats` (engine
-//!   [`ustream_core::OpMetrics`] snapshots over the wire).
+//!   `finish` (EOS) / `heartbeat` (idle-publisher watermark) / `stats`
+//!   (engine [`ustream_core::OpMetrics`] snapshots over the wire).
 //!
 //! See the repo README's *Serving* section for the frame format table
 //! and `examples/serve_quickstart.rs` for an end-to-end loopback run.

@@ -17,6 +17,7 @@ const KIND_PUBLISH: u8 = 0x02;
 const KIND_SUBSCRIBE: u8 = 0x03;
 const KIND_FINISH: u8 = 0x04;
 const KIND_STATS: u8 = 0x05;
+const KIND_HEARTBEAT: u8 = 0x06;
 const KIND_HELLO_ACK: u8 = 0x81;
 const KIND_ACK: u8 = 0x82;
 const KIND_ERROR: u8 = 0x83;
@@ -43,6 +44,12 @@ pub enum Request {
     /// This publisher is done; when every publisher has finished, the
     /// server flushes the query and streams the final windows.
     Finish,
+    /// A publisher's idle-but-alive promise: it will publish nothing
+    /// with `ts < watermark`. Advances the server's k-way timestamp
+    /// merge without data, so a quiet publisher does not stall results
+    /// for everyone else. Publishers that may go idle should send this
+    /// periodically with their current clock.
+    Heartbeat { watermark: u64 },
     /// Snapshot the served query's per-operator metrics.
     Stats,
 }
@@ -137,6 +144,10 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> WireResult<()> {
         } => return write_publish(w, source, *port, tuples),
         Request::Subscribe => KIND_SUBSCRIBE,
         Request::Finish => KIND_FINISH,
+        Request::Heartbeat { watermark } => {
+            payload.extend_from_slice(&watermark.to_be_bytes());
+            KIND_HEARTBEAT
+        }
         Request::Stats => KIND_STATS,
     };
     write_frame(w, kind, &payload)
@@ -162,6 +173,9 @@ pub fn read_request<R: Read>(r: &mut R) -> WireResult<Request> {
         }
         KIND_SUBSCRIBE => Request::Subscribe,
         KIND_FINISH => Request::Finish,
+        KIND_HEARTBEAT => Request::Heartbeat {
+            watermark: rd.u64()?,
+        },
         KIND_STATS => Request::Stats,
         tag => {
             return Err(WireError::UnknownTag {
@@ -307,6 +321,10 @@ mod tests {
         ));
         assert!(matches!(roundtrip_req(Request::Finish), Request::Finish));
         assert!(matches!(roundtrip_req(Request::Stats), Request::Stats));
+        assert!(matches!(
+            roundtrip_req(Request::Heartbeat { watermark: 12345 }),
+            Request::Heartbeat { watermark: 12345 }
+        ));
         let t = Tuple::new(schema(), vec![Value::Int(3)], 17);
         match roundtrip_req(Request::Publish {
             source: "in".into(),

@@ -1,5 +1,5 @@
 //! The serving core: a multi-client TCP server running one continuous
-//! query on an incremental [`ExecSession`].
+//! query on an incremental [`ShardedSession`].
 //!
 //! Thread layout (all `std::net` + `std::thread`; the deployment
 //! environment has no async runtime):
@@ -10,12 +10,28 @@
 //!   publishes into the engine's bounded inbox — a full inbox blocks the
 //!   handler *before* it acknowledges, so backpressure reaches the
 //!   publisher as a delayed `Ack`;
-//! - one **engine thread** owns the session. It merges the per-publisher
-//!   queues into a single timestamp-ordered feed (k-way merge gated on
-//!   per-publisher watermarks), chunks consecutive same-destination
-//!   tuples into [`Batch`]es, pushes them through the session, and
-//!   streams every newly collected sink batch to all subscribers as
-//!   windows close.
+//! - one **engine thread** owns the session — a
+//!   [`ustream_runtime::session::ShardedSession`], the incremental
+//!   sharded engine. It merges the per-publisher queues into a single
+//!   timestamp-ordered feed (k-way merge gated on per-publisher
+//!   watermarks), chunks consecutive same-destination tuples into
+//!   [`Batch`]es, pushes them through the session, and streams every
+//!   newly collected sink batch to all subscribers as windows close.
+//!   With [`ServedQuery::new`] the session wraps a single pipeline
+//!   (exact `ExecSession` semantics); with [`ServedQuery::sharded`] the
+//!   query's graph factory is compiled into a staged shard plan and the
+//!   engine thread becomes a *router* — operator work runs
+//!   key-partitioned across the session's worker pool, so serving
+//!   throughput scales with cores instead of bottlenecking on one
+//!   engine thread.
+//!
+//! **Idle publishers.** The merge can only release a tuple when every
+//! unfinished publisher's watermark has passed it; a connected-but-idle
+//! publisher therefore stalls results for everyone. Publishers that may
+//! go quiet should send periodic watermark heartbeats
+//! ([`crate::Client::heartbeat`]) — a promise that nothing older than
+//! the advertised timestamp will be published — which advance the merge
+//! without data.
 //!
 //! **Determinism.** When every publisher ships its stream in
 //! non-decreasing timestamp order (the natural property of a live
@@ -29,7 +45,7 @@
 //!
 //! **End of stream.** Each publisher declares itself via `Hello` and
 //! closes with `Finish`. When every publisher has finished, the engine
-//! flushes open windows ([`ExecSession::finish`]), streams the final
+//! flushes open windows ([`ShardedSession::finish`]), streams the final
 //! batches, sends `Eos` to every subscriber, and rejects further
 //! publishes with a typed error. A publisher that disconnects without
 //! finishing is treated as finished so the query still terminates, and
@@ -56,8 +72,10 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use ustream_core::query::{ExecSession, QueryGraph};
-use ustream_core::{panic_message, Batch, EngineError, MetricsHandle, NodeId, Tuple};
+use ustream_core::query::QueryGraph;
+use ustream_core::{Batch, EngineError, MetricsHandle, NodeId, Tuple};
+use ustream_runtime::session::ShardedSession;
+use ustream_runtime::ShardedExecutor;
 
 /// Typed server-side failures, readable from the in-process
 /// [`ServerHandle`]. Client misbehavior (malformed frames, abrupt
@@ -127,20 +145,63 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// A query graph prepared for serving, optionally with named metrics
-/// handles (wrap hot operators in [`ustream_core::Metered`] and register
-/// the handles here; the `stats` command serves their snapshots).
+/// A query prepared for serving, optionally with named metrics handles
+/// (wrap hot operators in [`ustream_core::Metered`] and register the
+/// handles here; the `stats` command serves their snapshots).
 pub struct ServedQuery {
-    graph: QueryGraph,
+    source: QuerySource,
     metrics: Vec<(String, MetricsHandle)>,
 }
 
+/// How the engine session is built: from one already-built graph
+/// (single pipeline) or from a graph factory (staged sharded session).
+enum QuerySource {
+    Graph(QueryGraph),
+    Factory {
+        factory: Box<dyn Fn() -> QueryGraph + Send>,
+        shards: usize,
+        workers: Option<usize>,
+    },
+}
+
 impl ServedQuery {
+    /// Serve `graph` on one single-threaded pipeline — the exact
+    /// incremental-engine semantics, sink arrival order included.
     pub fn new(graph: QueryGraph) -> Self {
         ServedQuery {
-            graph,
+            source: QuerySource::Graph(graph),
             metrics: Vec::new(),
         }
+    }
+
+    /// Serve the query built by `factory` as a staged sharded session
+    /// with `shards` logical partitions: the engine thread routes, the
+    /// session's worker pool runs the operator work key-partitioned.
+    /// `factory` must build the same graph on every call (the sharded
+    /// runtime's factory contract). Results stream in the engine's
+    /// canonical `(ts, content)` order per watermark interval — the
+    /// same rows `run_batched` would produce over the merged feed.
+    pub fn sharded(factory: impl Fn() -> QueryGraph + Send + 'static, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ServedQuery {
+            source: QuerySource::Factory {
+                factory: Box::new(factory),
+                shards,
+                workers: None,
+            },
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Pin the sharded session's worker-pool size (otherwise
+    /// `min(shards, available cores)`); no effect on [`ServedQuery::new`]
+    /// single-pipeline serving.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        if let QuerySource::Factory { workers, .. } = &mut self.source {
+            *workers = Some(n);
+        }
+        self
     }
 
     /// Register a named metrics handle to be served by `stats`.
@@ -188,6 +249,12 @@ enum EngineMsg {
     /// The publisher is done (explicit `Finish`, or its disconnect).
     Finished {
         client: u64,
+    },
+    /// A publisher promises to publish nothing older than `watermark` —
+    /// the idle-but-alive signal that keeps the k-way merge moving.
+    Heartbeat {
+        client: u64,
+        watermark: u64,
     },
     Subscribe {
         client: u64,
@@ -257,12 +324,42 @@ impl Server {
         let listener = TcpListener::bind(addr).map_err(ServeError::Io)?;
         let addr = listener.local_addr().map_err(ServeError::Io)?;
 
-        let ServedQuery { graph, metrics } = query;
-        let sources: HashMap<String, (NodeId, usize)> = graph
-            .source_entries()
-            .map(|(name, node)| (name.to_string(), (node, graph.operator(node).num_ports())))
-            .collect();
-        let session = graph.into_session().map_err(ServeError::Graph)?;
+        let ServedQuery { source, metrics } = query;
+        let (sources, session) = match source {
+            QuerySource::Graph(graph) => {
+                let sources: HashMap<String, (NodeId, usize)> = graph
+                    .source_entries()
+                    .map(|(name, node)| {
+                        (name.to_string(), (node, graph.operator(node).num_ports()))
+                    })
+                    .collect();
+                let session = ShardedSession::single(graph).map_err(ServeError::Graph)?;
+                (sources, session)
+            }
+            QuerySource::Factory {
+                factory,
+                shards,
+                workers,
+            } => {
+                let prototype = factory();
+                let sources: HashMap<String, (NodeId, usize)> = prototype
+                    .source_entries()
+                    .map(|(name, node)| {
+                        (
+                            name.to_string(),
+                            (node, prototype.operator(node).num_ports()),
+                        )
+                    })
+                    .collect();
+                drop(prototype);
+                let mut executor = ShardedExecutor::new(shards).with_batch_size(config.batch_size);
+                if let Some(w) = workers {
+                    executor = executor.with_workers(w);
+                }
+                let session = executor.session(&*factory).map_err(ServeError::Graph)?;
+                (sources, session)
+            }
+        };
 
         let (engine_tx, engine_rx) = bounded::<EngineMsg>(config.inbox_capacity);
         let shared = Arc::new(Shared {
@@ -367,7 +464,7 @@ impl ServerHandle {
 
 struct Engine {
     rx: Receiver<EngineMsg>,
-    session: Option<ExecSession>,
+    session: Option<ShardedSession>,
     pubs: BTreeMap<u64, PubState>,
     subs: Vec<(u64, Sender<SubMsg>)>,
     batch_size: usize,
@@ -408,6 +505,17 @@ impl Engine {
                         p.finished = true;
                     }
                 }
+                EngineMsg::Heartbeat { client, watermark } => {
+                    // Advance the publisher's merge watermark without
+                    // data: its queue can stay empty without blocking
+                    // other publishers' releases. (Same contract as a
+                    // publish at `watermark`: nothing older may follow.)
+                    if let Some(p) = self.pubs.get_mut(&client) {
+                        if !p.finished {
+                            p.last_ts = p.last_ts.max(watermark);
+                        }
+                    }
+                }
                 EngineMsg::Subscribe { client, tx } => {
                     self.subs.push((client, tx));
                 }
@@ -445,14 +553,17 @@ impl Engine {
             let Some(session) = self.session.as_mut() else {
                 return Ok(());
             };
-            // Remote tuples run user operator code; a panic must surface
-            // as a dead query with Eos'd subscribers, never unwind the
-            // engine thread (mirrors the sharded runtime's containment).
-            let push =
-                |session: &mut ExecSession, n: NodeId, p: usize, b: Batch| -> Result<(), String> {
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.push(n, p, b)))
-                        .map_err(|e| panic_message(e.as_ref()).to_string())
-                };
+            // Remote tuples run user operator code; the session contains
+            // panics (on the engine thread and on its pool workers) and
+            // reports them as typed errors — the query dies with Eos'd
+            // subscribers, the serving threads never unwind.
+            let push = |session: &mut ShardedSession,
+                        n: NodeId,
+                        p: usize,
+                        b: Batch|
+             -> Result<(), String> {
+                session.push_batch(n, p, b).map_err(|e| e.to_string())
+            };
             let mut cur: Option<(NodeId, usize, Batch)> = None;
             loop {
                 let mut best: Option<(u64, u64)> = None; // (ts, client)
@@ -496,7 +607,25 @@ impl Engine {
             if let Some((n, p, b)) = cur {
                 push(session, n, p, b)?;
             }
-            session.drain_collected()
+            // The collective publisher watermark: every unfinished
+            // publisher has promised (via data or heartbeats) nothing
+            // older, and everything below it is already pushed — so the
+            // session's event-time clock may advance past the last
+            // pushed tuple. Windows sealed purely by the clock (idle
+            // publishers heartbeating past them) close and stream now
+            // instead of stalling until the next data push or EOS.
+            let watermark = self
+                .pubs
+                .values()
+                .filter(|p| !p.finished)
+                .map(|p| p.last_ts)
+                .min();
+            if let Some(watermark) = watermark {
+                session
+                    .advance_watermark(watermark)
+                    .map_err(|e| e.to_string())?;
+            }
+            session.drain_collected().map_err(|e| e.to_string())?
         };
         self.broadcast(drained);
         Ok(())
@@ -515,9 +644,7 @@ impl Engine {
             return;
         }
         if let Some(session) = self.session.take() {
-            let finished =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.finish()));
-            match finished {
+            match session.finish() {
                 Ok(collected) => {
                     let mut finals: Vec<(NodeId, Vec<Tuple>)> = collected
                         .into_iter()
@@ -527,7 +654,7 @@ impl Engine {
                     self.broadcast(finals);
                 }
                 Err(e) => {
-                    self.fail(panic_message(e.as_ref()).to_string());
+                    self.fail(e.to_string());
                     return;
                 }
             }
@@ -798,6 +925,28 @@ fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
                     .send(EngineMsg::Finished { client: client_id });
                 finish_sent = true;
                 Response::Ack { count: 0 }
+            }
+            Request::Heartbeat { watermark } => {
+                // Only a live publisher's watermark means anything to
+                // the merge; after Finish the publisher no longer gates
+                // it, and a non-publisher never did.
+                if !is_publisher {
+                    Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: "heartbeat from a connection that never published".into(),
+                    }
+                } else if finish_sent {
+                    Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: "heartbeat after finish".into(),
+                    }
+                } else {
+                    let _ = shared.engine_tx.send(EngineMsg::Heartbeat {
+                        client: client_id,
+                        watermark,
+                    });
+                    Response::Ack { count: 0 }
+                }
             }
             Request::Stats => Response::Stats(
                 shared

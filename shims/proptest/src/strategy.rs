@@ -1,6 +1,6 @@
 //! Value-generation strategies: ranges, tuples, `prop_map`, unions,
 //! `Just`, and `collection::vec`. Generation is a plain function of the
-//! [`TestRng`](crate::TestRng); there is no shrinking tree.
+//! [`TestRng`]; there is no shrinking tree.
 
 use crate::TestRng;
 use std::ops::{Range, RangeInclusive};

@@ -1,0 +1,418 @@
+//! Serving-path tests for the sharded session and the watermark
+//! heartbeat: the engine thread routes into a `ShardedSession` worker
+//! pool ([`ServedQuery::sharded`]) and its streamed results must stay
+//! exactly equal to `run_batched` over the merged input; an
+//! idle-but-alive publisher must no longer stall the k-way timestamp
+//! merge once it advertises watermark heartbeats.
+
+use std::sync::Arc;
+use std::time::Duration;
+use uncertain_streams::core::ops::aggregate::{
+    AggFunc, AggSpec, Strategy, WindowKind, WindowedAggregate,
+};
+use uncertain_streams::core::ops::join::{JoinCondition, WindowJoin};
+use uncertain_streams::core::ops::project::{Derivation, Project};
+use uncertain_streams::core::ops::select::{Predicate, Select};
+use uncertain_streams::core::ops::Passthrough;
+use uncertain_streams::core::query::{NodeId, QueryGraph};
+use uncertain_streams::core::schema::{DataType, Field, Schema};
+use uncertain_streams::core::{GroupKey, Tuple, Updf, Value};
+use uncertain_streams::prob::dist::Dist;
+use uncertain_streams::server::{Client, ClientError, ErrorCode, ServedQuery, Server, ServerError};
+
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn schema() -> Arc<Schema> {
+    Schema::builder()
+        .field("g", DataType::Int)
+        .field("tag", DataType::Int)
+        .field("x", DataType::Uncertain)
+        .build()
+}
+
+/// Unique-timestamp input stream (ts = index), so the merged arrival
+/// order at the server is fully determined and matches the feed
+/// `run_batched` sorts out of the same tuples.
+fn inputs(n: usize) -> Vec<Tuple> {
+    let s = schema();
+    (0..n)
+        .map(|i| {
+            Tuple::new(
+                s.clone(),
+                vec![
+                    Value::Int((i % 4) as i64),
+                    Value::Int((i % 17) as i64),
+                    Value::from(Updf::Parametric(Dist::gaussian(
+                        (i % 10) as f64,
+                        1.0 + (i % 3) as f64 * 0.25,
+                    ))),
+                ],
+                i as u64,
+            )
+        })
+        .collect()
+}
+
+/// The Q1-style keyed-aggregation graph the loopback suite serves —
+/// here built by a *factory* so the sharded session can replicate it
+/// per shard.
+fn q1_graph() -> (QueryGraph, NodeId) {
+    let select =
+        Select::new(Predicate::UncertainAbove("x".into(), 2.0), 0.05).without_conditioning();
+    let project = Project::new(vec![
+        Derivation::Certain {
+            out: Field::new("weight", DataType::Float),
+            f: Box::new(|t: &Tuple| Value::Float(t.int("tag").unwrap() as f64 * 2.5)),
+        },
+        Derivation::Linear {
+            input: "x".into(),
+            a: 0.5,
+            b: 1.0,
+            out: "y".into(),
+        },
+    ]);
+    let agg = WindowedAggregate::new(
+        WindowKind::Tumbling(100),
+        |t: &Tuple| GroupKey::from_value(t.get("g").unwrap()).unwrap(),
+        vec![AggSpec {
+            field: "y".into(),
+            func: AggFunc::Sum,
+            out: "total".into(),
+            strategy: Strategy::Clt,
+        }],
+    );
+    let mut g = QueryGraph::new();
+    let select = g.add(Box::new(select));
+    let project = g.add(Box::new(project));
+    let agg = g.add(Box::new(agg));
+    let sink = g.add(Box::new(Passthrough::new("sink")));
+    g.connect(select, project, 0).unwrap();
+    g.connect(project, agg, 0).unwrap();
+    g.connect(agg, sink, 0).unwrap();
+    g.source("in", select);
+    g.sink(sink);
+    (g, sink)
+}
+
+/// Exact tuple fingerprint: timestamp, existence bits, lineage ids, and
+/// the full `Debug` rendering of every value.
+fn fingerprint(t: &Tuple) -> String {
+    format!(
+        "ts={} ex={:016x} lin={:?} vals={:?}",
+        t.ts,
+        t.existence.to_bits(),
+        t.lineage.ids(),
+        t.values()
+    )
+}
+
+/// The headline serving claim: with the engine thread routing into a
+/// 4-shard worker-pool session, three concurrent publishers' interleaved
+/// streams still produce a subscriber stream *exactly* equal — values,
+/// timestamps, existence bits, lineage, and stream order — to
+/// `run_batched` over the merged input. Watermark-gated release plus the
+/// canonical per-interval order make the parallel stream reproducible.
+#[test]
+fn sharded_serving_matches_run_batched_exactly() {
+    let n = 1500;
+    let all_inputs = inputs(n);
+
+    let (mut ref_graph, sink) = q1_graph();
+    let expected = ref_graph
+        .run_batched(vec![("in".into(), 0, all_inputs.clone())], 512)
+        .unwrap()
+        .remove(&sink)
+        .unwrap();
+    assert!(!expected.is_empty());
+
+    let served = ServedQuery::sharded(|| q1_graph().0, 4);
+    let handle = Server::serve("127.0.0.1:0", served).unwrap();
+    let addr = handle.addr();
+
+    let mut subscriber = Client::subscriber(addr).unwrap();
+    subscriber.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+    let mut publishers: Vec<Client> = (0..3).map(|_| Client::publisher(addr).unwrap()).collect();
+
+    let threads: Vec<_> = publishers
+        .drain(..)
+        .enumerate()
+        .map(|(p, mut client)| {
+            let slice: Vec<Tuple> = all_inputs.iter().skip(p).step_by(3).cloned().collect();
+            std::thread::spawn(move || {
+                for chunk in slice.chunks(37) {
+                    let accepted = client.publish("in", 0, chunk).unwrap();
+                    assert_eq!(accepted, chunk.len());
+                }
+                client.finish().unwrap();
+            })
+        })
+        .collect();
+
+    let collected = subscriber.collect_until_eos().unwrap();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert!(handle.is_finished());
+
+    assert_eq!(collected.len(), 1, "one sink");
+    let (sink_idx, received) = &collected[0];
+    assert_eq!(*sink_idx, sink.index());
+    assert_eq!(received.len(), expected.len());
+    for (got, want) in received.iter().zip(&expected) {
+        assert_eq!(fingerprint(got), fingerprint(want));
+    }
+
+    let errors = handle.shutdown();
+    assert!(errors.is_empty(), "clean sharded run: {errors:?}");
+}
+
+/// A staged plan (aggregate → keyed equi-join) behind the serving path:
+/// the engine routes stage 0, the exchange re-shuffles window rows by
+/// join key, and the subscriber's total result set equals `run_batched`
+/// exactly (compared sorted: a join's within-probe emission order is
+/// not part of the canonical contract).
+#[test]
+fn staged_query_serves_sharded_and_matches_run_batched() {
+    let mk_graph = || {
+        let mut g = QueryGraph::new();
+        let agg = g.add(Box::new(WindowedAggregate::new(
+            WindowKind::Tumbling(100),
+            |t: &Tuple| GroupKey::from_value(t.get("g").unwrap()).unwrap(),
+            vec![AggSpec {
+                field: "x".into(),
+                func: AggFunc::Sum,
+                out: "total".into(),
+                strategy: Strategy::ExactParametric,
+            }],
+        )));
+        let join = g.add(Box::new(WindowJoin::new(
+            1_000_000,
+            JoinCondition::KeyEquals {
+                left: Box::new(|t| GroupKey::from_value(t.get("group").ok()?)),
+                right: Box::new(|t| GroupKey::from_value(t.get("gname").ok()?)),
+            },
+            0.0,
+        )));
+        let sink = g.add(Box::new(Passthrough::new("sink")));
+        g.connect(agg, join, 0).unwrap();
+        g.connect(join, sink, 0).unwrap();
+        g.source("readings", agg);
+        g.source("refs", join);
+        g.sink(sink);
+        g
+    };
+    let sink = NodeId::from_index(2);
+
+    let readings = inputs(800);
+    let ref_schema = Schema::builder()
+        .field("rid", DataType::Int)
+        .field("gname", DataType::Str)
+        .build();
+    let refs: Vec<Tuple> = (0..30u64)
+        .map(|j| {
+            Tuple::new(
+                ref_schema.clone(),
+                vec![Value::Int(j as i64), Value::from(format!("Int({})", j % 4))],
+                j * 26,
+            )
+        })
+        .collect();
+
+    let mut ref_graph = mk_graph();
+    let expected = ref_graph
+        .run_batched(
+            vec![
+                ("readings".into(), 0, readings.clone()),
+                ("refs".into(), 1, refs.clone()),
+            ],
+            256,
+        )
+        .unwrap()
+        .remove(&sink)
+        .unwrap();
+    assert!(!expected.is_empty(), "windows joined against references");
+
+    let handle = Server::serve("127.0.0.1:0", ServedQuery::sharded(mk_graph, 4)).unwrap();
+    let addr = handle.addr();
+    let mut subscriber = Client::subscriber(addr).unwrap();
+    subscriber.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+
+    // One publisher per source, each stream ts-ordered.
+    let mut pub_readings = Client::publisher(addr).unwrap();
+    pub_readings.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+    let mut pub_refs = Client::publisher(addr).unwrap();
+    pub_refs.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+    let t1 = std::thread::spawn(move || {
+        for chunk in readings.chunks(64) {
+            pub_readings.publish("readings", 0, chunk).unwrap();
+        }
+        pub_readings.finish().unwrap();
+    });
+    let t2 = std::thread::spawn(move || {
+        for chunk in refs.chunks(7) {
+            pub_refs.publish("refs", 1, chunk).unwrap();
+        }
+        pub_refs.finish().unwrap();
+    });
+
+    let collected = subscriber.collect_until_eos().unwrap();
+    t1.join().unwrap();
+    t2.join().unwrap();
+
+    assert_eq!(collected.len(), 1);
+    let mut got: Vec<String> = collected[0].1.iter().map(fingerprint).collect();
+    let mut want: Vec<String> = expected.iter().map(fingerprint).collect();
+    got.sort();
+    want.sort();
+    assert_eq!(got, want, "staged serving must reproduce run_batched");
+
+    let errors = handle.shutdown();
+    assert!(errors.is_empty(), "clean staged run: {errors:?}");
+}
+
+/// Regression: an idle-but-alive publisher used to stall the merge
+/// forever (its watermark never advanced, so no other publisher's
+/// tuples could release). Heartbeats advance it without data.
+#[test]
+fn silent_publisher_heartbeat_unblocks_the_merge() {
+    let (graph, sink) = q1_graph();
+    let handle = Server::serve("127.0.0.1:0", ServedQuery::new(graph)).unwrap();
+    let addr = handle.addr();
+
+    let mut subscriber = Client::subscriber(addr).unwrap();
+    // Silent publisher joins first (so EOS cannot happen early), then
+    // the active one publishes everything and finishes.
+    let mut silent = Client::publisher(addr).unwrap();
+    silent.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+    let mut active = Client::publisher(addr).unwrap();
+    active.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+
+    let all = inputs(1000);
+    for chunk in all.chunks(100) {
+        active.publish("in", 0, chunk).unwrap();
+    }
+    active.finish().unwrap();
+
+    // Without a heartbeat the merge is gated on the silent publisher's
+    // watermark (0): nothing may stream yet.
+    subscriber
+        .set_read_timeout(Some(Duration::from_millis(300)))
+        .unwrap();
+    match subscriber.next_event() {
+        Err(ClientError::Wire(_)) => {} // read timed out: nothing released
+        other => panic!("merge must stall before the heartbeat, got {other:?}"),
+    }
+
+    let (mut ref_graph, ref_sink) = q1_graph();
+    let expected = ref_graph
+        .run_batched(vec![("in".into(), 0, all)], 512)
+        .unwrap()
+        .remove(&ref_sink)
+        .unwrap();
+
+    // The silent publisher advertises its clock: the collective
+    // watermark now seals every published window (heartbeat ts is past
+    // all of them), so the *entire* result set streams while it stays
+    // connected and unfinished — the merge gate opens AND the engine's
+    // event-time clock advances (windows close on punctuation, not
+    // only on data).
+    silent.heartbeat(10_000).unwrap();
+    subscriber.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+    let mut received: Vec<Tuple> = Vec::new();
+    while received.len() < expected.len() {
+        match subscriber.next_event().unwrap() {
+            uncertain_streams::server::Event::Results { sink: s, tuples } => {
+                assert_eq!(s, sink.index());
+                received.extend(tuples);
+            }
+            other => panic!("expected results after heartbeat, got {other:?}"),
+        }
+    }
+    assert!(
+        !handle.is_finished(),
+        "all results flowed while the silent publisher was still open"
+    );
+
+    // Now the silent publisher finishes; EOS follows (nothing is left
+    // to flush — the watermark already closed every window).
+    silent.finish().unwrap();
+    for (s, tuples) in subscriber.collect_until_eos().unwrap() {
+        assert_eq!(s, sink.index());
+        received.extend(tuples);
+    }
+    assert_eq!(received.len(), expected.len());
+    for (got, want) in received.iter().zip(&expected) {
+        assert_eq!(fingerprint(got), fingerprint(want));
+    }
+    handle.shutdown();
+}
+
+/// Heartbeats are a publisher-stream concept: connections that never
+/// published (and publishers that already finished) get typed errors.
+#[test]
+fn heartbeat_protocol_errors_are_typed() {
+    let (graph, _) = q1_graph();
+    let handle = Server::serve("127.0.0.1:0", ServedQuery::new(graph)).unwrap();
+
+    let mut watcher = Client::subscriber(handle.addr()).unwrap();
+    watcher.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+    match watcher.heartbeat(5) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Protocol),
+        other => panic!("expected Protocol error for non-publisher heartbeat, got {other:?}"),
+    }
+
+    let mut publisher = Client::publisher(handle.addr()).unwrap();
+    publisher.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+    publisher.publish("in", 0, &inputs(5)).unwrap();
+    publisher.heartbeat(100).unwrap();
+    publisher.finish().unwrap();
+    match publisher.heartbeat(200) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Protocol),
+        other => panic!("expected Protocol error after finish, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// A routing-key panic on remote input (tuples whose schema the keyed
+/// router cannot evaluate) must poison the sharded session, not the
+/// serving threads: subscribers get Eos, the error is typed.
+#[test]
+fn sharded_serving_contains_routing_panics() {
+    let handle = Server::serve("127.0.0.1:0", ServedQuery::sharded(|| q1_graph().0, 4)).unwrap();
+    let mut subscriber = Client::subscriber(handle.addr()).unwrap();
+    subscriber.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+    let mut publisher = Client::publisher(handle.addr()).unwrap();
+    publisher.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+
+    // No "g" column: the aggregate's group-key closure (evaluated by
+    // the router on the engine thread) unwraps and panics.
+    let bad_schema = Schema::builder().field("x", DataType::Uncertain).build();
+    let bad: Vec<Tuple> = (0..8)
+        .map(|i| {
+            Tuple::new(
+                bad_schema.clone(),
+                vec![Value::from(Updf::Parametric(Dist::gaussian(5.0, 1.0)))],
+                i as u64,
+            )
+        })
+        .collect();
+    publisher.publish("in", 0, &bad).unwrap();
+
+    let collected = subscriber.collect_until_eos().unwrap();
+    assert!(collected.is_empty() || collected[0].1.is_empty());
+
+    let mut late = Client::publisher(handle.addr()).unwrap();
+    late.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+    match late.publish("in", 0, &inputs(1)) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Finished),
+        other => panic!("expected Finished from dead query, got {other:?}"),
+    }
+
+    let errors = handle.shutdown();
+    assert!(
+        errors
+            .iter()
+            .any(|e| matches!(e, ServerError::QueryPanicked { .. })),
+        "expected QueryPanicked, got {errors:?}"
+    );
+}

@@ -360,6 +360,345 @@ fn eos_with_empty_shards_completes_and_matches() {
 }
 
 // ---------------------------------------------------------------------
+// Staged plans: chained keyed anchors shard stage-by-stage through an
+// exchange instead of collapsing to a pinned single pipeline.
+// ---------------------------------------------------------------------
+
+/// Q1/Q2-style chain: select → tumbling group-by SUM → keyed equi-join
+/// against a second source entering the join directly. Two keyed
+/// anchors in one cone — the configuration the single-stage planner
+/// could only pin.
+fn agg_join_graph() -> (QueryGraph, NodeId) {
+    let mut g = QueryGraph::new();
+    let select = g.add(Box::new(
+        Select::new(Predicate::UncertainAbove("x".into(), 0.0), 0.1).without_conditioning(),
+    ));
+    let agg = g.add(Box::new(WindowedAggregate::new(
+        WindowKind::Tumbling(1_000),
+        |t: &Tuple| GroupKey::from_value(t.get("g").unwrap()).unwrap(),
+        vec![AggSpec {
+            field: "x".into(),
+            func: AggFunc::Sum,
+            out: "total".into(),
+            strategy: Strategy::ExactParametric,
+        }],
+    )));
+    // Range far beyond the feed's timespan: the pair set is the full
+    // same-key cross product, insensitive to cross-port interleaving.
+    let join = g.add(Box::new(WindowJoin::new(
+        1_000_000,
+        JoinCondition::KeyEquals {
+            left: Box::new(|t| GroupKey::from_value(t.get("group").ok()?)),
+            right: Box::new(|t| GroupKey::from_value(t.get("gname").ok()?)),
+        },
+        0.0,
+    )));
+    let sink = g.add(Box::new(Passthrough::new("sink")));
+    g.connect(select, agg, 0).unwrap();
+    g.connect(agg, join, 0).unwrap();
+    g.connect(join, sink, 0).unwrap();
+    g.source("readings", select);
+    g.source("refs", join);
+    g.sink(sink);
+    (g, sink)
+}
+
+fn agg_join_inputs() -> (Vec<Tuple>, Vec<Tuple>) {
+    let readings = q1_inputs();
+    let ref_schema = Schema::builder()
+        .field("rid", DataType::Int)
+        .field("gname", DataType::Str)
+        .build();
+    // Reference rows keyed by the aggregate's group rendering, with
+    // timestamps interleaving the windows' close times.
+    let refs: Vec<Tuple> = (0..40u64)
+        .map(|j| {
+            Tuple::new(
+                ref_schema.clone(),
+                vec![Value::Int(j as i64), Value::from(format!("Int({})", j % 7))],
+                j * 173,
+            )
+        })
+        .collect();
+    (readings, refs)
+}
+
+type JoinedRow = (String, u64, i64, i64, i64, u64, u64, Vec<u64>);
+
+fn joined_rows(tuples: &[Tuple]) -> Vec<JoinedRow> {
+    let mut rows: Vec<JoinedRow> = tuples
+        .iter()
+        .map(|t| {
+            let total = t.updf("total").unwrap();
+            (
+                t.str("group").unwrap().to_string(),
+                t.get("window_end").unwrap().as_time().unwrap(),
+                t.int("n_tuples").unwrap(),
+                (total.mean() * 1e6).round() as i64,
+                t.int("rid").unwrap(),
+                t.ts,
+                t.existence.to_bits(),
+                t.lineage.ids().to_vec(),
+            )
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn agg_into_keyed_join_stages_with_an_exchange_and_no_pinning() {
+    let (proto, _) = agg_join_graph();
+    let plan = ShardedExecutor::shard_plan(&proto).unwrap();
+    assert_eq!(plan.num_stages(), 2, "cut at the second keyed anchor");
+    assert_eq!(plan.cut_edges().len(), 1, "one exchange edge (agg → join)");
+    assert!(plan.is_parallel());
+    assert_eq!(
+        plan.pinned_entries(),
+        0,
+        "chained keyed anchors must not pin: {}",
+        plan.describe()
+    );
+    let describe = plan.describe();
+    assert!(
+        describe.contains("stage 0:")
+            && describe.contains("stage 1:")
+            && describe.contains("exchange `aggregate` -> `join` (port 0)")
+            && describe.contains("entry `readings` -> keyed on `aggregate`")
+            && describe.contains("entry `refs` -> keyed on `join`")
+            && describe.contains("0/2 entries pinned")
+            && describe.contains("2 stages, 1 exchange edge"),
+        "unexpected describe():\n{describe}"
+    );
+    assert!(
+        !describe.contains("pinned to shard 0") && !describe.contains("degraded"),
+        "staged plan must not degrade:\n{describe}"
+    );
+}
+
+#[test]
+fn staged_agg_join_matches_run_batched_across_shard_and_worker_counts() {
+    let (readings, refs) = agg_join_inputs();
+    let feeds = || {
+        vec![
+            ("readings".to_string(), 0usize, readings.clone()),
+            ("refs".to_string(), 1usize, refs.clone()),
+        ]
+    };
+    let (mut g, sink) = agg_join_graph();
+    let reference = joined_rows(&g.run_batched(feeds(), 64).unwrap()[&sink]);
+    assert!(!reference.is_empty(), "windows joined against references");
+
+    for shards in [1usize, 2, 8] {
+        for workers in [1usize, 2] {
+            let exec = ShardedExecutor::new(shards)
+                .with_workers(workers)
+                .with_batch_size(48);
+            let out = exec.run(|| agg_join_graph().0, feeds()).unwrap();
+            assert_eq!(
+                reference,
+                joined_rows(&out[&sink]),
+                "staged agg→join diverged at shards={shards} workers={workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn staged_output_is_byte_identical_across_runs_and_shard_counts() {
+    let (readings, refs) = agg_join_inputs();
+    let render = |shards: usize, workers: usize| -> String {
+        let exec = ShardedExecutor::new(shards)
+            .with_workers(workers)
+            .with_batch_size(32);
+        let (_, sink) = agg_join_graph();
+        let out = exec
+            .run(
+                || agg_join_graph().0,
+                vec![
+                    ("readings".to_string(), 0usize, readings.clone()),
+                    ("refs".to_string(), 1usize, refs.clone()),
+                ],
+            )
+            .unwrap();
+        out[&sink]
+            .iter()
+            .map(|t| {
+                format!(
+                    "{:?}|{:x}|{:?}\n",
+                    t.values(),
+                    t.existence.to_bits(),
+                    t.lineage
+                )
+            })
+            .collect()
+    };
+    let reference = render(4, 2);
+    assert_eq!(reference, render(4, 2), "same config must be reproducible");
+    assert_eq!(reference, render(4, 1), "worker count must not matter");
+    assert_eq!(reference, render(2, 2), "shard count must not matter");
+    assert_eq!(reference, render(8, 2), "shard count must not matter");
+    assert_eq!(
+        reference,
+        render(1, 1),
+        "single pipeline agrees byte-for-byte"
+    );
+}
+
+/// Aggregate feeding an aggregate on a *different* key: the window-count
+/// distribution re-keys each window row, so the second aggregate's
+/// groups cut across the first's — only an exchange can shard this.
+fn agg_agg_graph() -> (QueryGraph, NodeId) {
+    let mut g = QueryGraph::new();
+    let agg1 = g.add(Box::new(WindowedAggregate::new(
+        WindowKind::Tumbling(1_000),
+        |t: &Tuple| GroupKey::from_value(t.get("g").unwrap()).unwrap(),
+        vec![AggSpec {
+            field: "x".into(),
+            func: AggFunc::Sum,
+            out: "total".into(),
+            strategy: Strategy::ExactParametric,
+        }],
+    )));
+    let agg2 = g.add(Box::new(
+        WindowedAggregate::new(
+            WindowKind::Tumbling(4_000),
+            |t: &Tuple| GroupKey::from_value(t.get("n_tuples").unwrap()).unwrap(),
+            vec![AggSpec {
+                field: "total".into(),
+                func: AggFunc::Sum,
+                out: "grand".into(),
+                strategy: Strategy::ExactParametric,
+            }],
+        )
+        .named("reagg"),
+    ));
+    let sink = g.add(Box::new(Passthrough::new("sink")));
+    g.connect(agg1, agg2, 0).unwrap();
+    g.connect(agg2, sink, 0).unwrap();
+    g.source("in", agg1);
+    g.sink(sink);
+    (g, sink)
+}
+
+#[test]
+fn staged_agg_into_agg_on_different_key_matches_run_batched_bit_exactly() {
+    let (proto, _) = agg_agg_graph();
+    let plan = ShardedExecutor::shard_plan(&proto).unwrap();
+    assert_eq!(plan.num_stages(), 2);
+    assert_eq!(plan.pinned_entries(), 0);
+    let describe = plan.describe();
+    assert!(
+        describe.contains("exchange `aggregate` -> `reagg` (port 0): keyed on `reagg`")
+            && !describe.contains("pinned to shard 0"),
+        "unexpected describe():\n{describe}"
+    );
+
+    let inputs = q1_inputs();
+    let (mut g, sink) = agg_agg_graph();
+    let reference: Vec<String> = g
+        .run_batched(vec![("in".into(), 0, inputs.clone())], 64)
+        .unwrap()[&sink]
+        .iter()
+        .map(|t| {
+            format!(
+                "{:?}|{:x}|{:?}",
+                t.values(),
+                t.existence.to_bits(),
+                t.lineage
+            )
+        })
+        .collect();
+    assert!(!reference.is_empty());
+
+    for shards in [1usize, 2, 8] {
+        for workers in [1usize, 2] {
+            let exec = ShardedExecutor::new(shards)
+                .with_workers(workers)
+                .with_batch_size(48);
+            let out = exec
+                .run(|| agg_agg_graph().0, vec![("in".into(), 0, inputs.clone())])
+                .unwrap();
+            let mut got: Vec<String> = out[&sink]
+                .iter()
+                .map(|t| {
+                    format!(
+                        "{:?}|{:x}|{:?}",
+                        t.values(),
+                        t.existence.to_bits(),
+                        t.lineage
+                    )
+                })
+                .collect();
+            let mut want = reference.clone();
+            // The merged order is canonical in both paths; sorting keeps
+            // the comparison shape-agnostic while the strings keep every
+            // bit of every distribution parameter in play.
+            got.sort();
+            want.sort();
+            assert_eq!(
+                want, got,
+                "agg→agg re-key diverged at shards={shards} workers={workers}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Keyless tuples at a keyed anchor spread round-robin (not shard 0).
+// ---------------------------------------------------------------------
+
+#[test]
+fn keyless_tuples_spread_round_robin_and_stay_exact() {
+    // The join's key closures return None for Null keys: such tuples
+    // never participate in keyed state, so the router spreads them for
+    // balance instead of parking them on shard 0 — and results must not
+    // change.
+    let schema = Schema::builder()
+        .field("id", DataType::Int)
+        .field("k", DataType::Int)
+        .build();
+    let mk = |shift: u64, keyless_every: u64| -> Vec<Tuple> {
+        (0..120u64)
+            .map(|i| {
+                let k = if i % keyless_every == 0 {
+                    Value::Null
+                } else {
+                    Value::Int((i % 9) as i64)
+                };
+                Tuple::new(
+                    schema.clone(),
+                    vec![Value::Int(i as i64), k],
+                    (i / 10) * 700 + shift + (i % 10),
+                )
+            })
+            .collect()
+    };
+    let (left, right) = (mk(0, 4), mk(350, 5));
+    let feeds = || {
+        vec![
+            ("left".to_string(), 0usize, left.clone()),
+            ("right".to_string(), 1usize, right.clone()),
+        ]
+    };
+    let (mut g, sink) = join_graph();
+    let reference = join_rows(&g.run_batched(feeds(), 32).unwrap()[&sink]);
+    assert!(!reference.is_empty());
+
+    for shards in [2usize, 8] {
+        let exec = ShardedExecutor::new(shards)
+            .with_workers(2)
+            .with_batch_size(16);
+        let out = exec.run(|| join_graph().0, feeds()).unwrap();
+        assert_eq!(
+            reference,
+            join_rows(&out[&sink]),
+            "keyless spread changed results at shards={shards}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // Non-shardable graphs degrade to a pinned plan, not to wrong answers.
 // ---------------------------------------------------------------------
 

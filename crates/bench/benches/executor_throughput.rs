@@ -23,7 +23,7 @@ use ustream_core::ops::project::{Derivation, Project};
 use ustream_core::ops::select::{Predicate, Select};
 use ustream_core::ops::{Operator, Passthrough};
 use ustream_core::query::{NodeId, QueryGraph, ThreadedExecutor};
-use ustream_core::schema::{DataType, Field, Schema};
+use ustream_core::schema::{DataType, Schema};
 use ustream_core::tuple::Tuple;
 use ustream_core::updf::Updf;
 use ustream_core::value::{GroupKey, Value};
@@ -154,16 +154,21 @@ fn inputs() -> Vec<Tuple> {
 }
 
 /// The Q1 operators (§2): probabilistic selection, a projection deriving
-/// two attributes (one certain lookup, one transform of the uncertain
-/// attribute), and a windowed group-by SUM (100-tuple windows, as in
-/// Table 2).
+/// two attributes (one certain linear lookup, one linear transform of
+/// the uncertain attribute), and a windowed group-by SUM (100-tuple
+/// windows, as in Table 2). Built from the declarative forms
+/// (`CertainLinear`, `keyed_by_field`) so the columnar kernels engage —
+/// closure-based derivations and key functions are opaque to the
+/// vectorizer and would force the row path.
 fn q1_ops() -> (Select, Project, WindowedAggregate) {
     let select =
         Select::new(Predicate::UncertainAbove("x".into(), 2.0), 0.05).without_conditioning();
     let project = Project::new(vec![
-        Derivation::Certain {
-            out: Field::new("weight", DataType::Float),
-            f: Box::new(|t: &Tuple| Value::Float(t.int("tag").unwrap() as f64 * 2.5)),
+        Derivation::CertainLinear {
+            input: "tag".into(),
+            a: 2.5,
+            b: 0.0,
+            out: "weight".into(),
         },
         Derivation::Linear {
             input: "x".into(),
@@ -172,9 +177,9 @@ fn q1_ops() -> (Select, Project, WindowedAggregate) {
             out: "y".into(),
         },
     ]);
-    let agg = WindowedAggregate::new(
+    let agg = WindowedAggregate::keyed_by_field(
         WindowKind::Tumbling(100),
-        |t: &Tuple| GroupKey::from_value(t.get("g").unwrap()).unwrap(),
+        "g",
         vec![AggSpec {
             field: "y".into(),
             func: AggFunc::Sum,

@@ -10,6 +10,10 @@
 //!   mixture / samples / histogram / multivariate), the worst realistic
 //!   payload mix.
 //!
+//! Each workload is decoded twice: `decode` materializes row tuples
+//! (`decode_tuples`), `decode_columnar` fills the columnar batch layout
+//! in place (`decode_batch`).
+//!
 //! `BENCH_wire_codec.json` at the repo root records the medians (of 5
 //! bench repetitions, same format as `BENCH_executor_throughput.json`).
 
@@ -124,6 +128,22 @@ fn bench_wire_codec(c: &mut Criterion) {
                     let mut r = wire::Reader::new(&bytes);
                     let back = wire::decode_tuples(&mut r).expect("valid bytes");
                     back.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+
+        // The in-place columnar path: shared-schema payloads fill typed
+        // column vectors directly, skipping per-tuple `Vec<Value>`
+        // construction; heterogeneous cells land in row-fallback
+        // columns. Bit-identical to `decode_tuples` + columnarize.
+        group.bench_function(format!("decode_columnar/{label}"), |b| {
+            b.iter_batched(
+                || encoded.clone(),
+                |bytes| {
+                    let mut r = wire::Reader::new(&bytes);
+                    let batch = wire::decode_batch(&mut r).expect("valid bytes");
+                    batch.len()
                 },
                 BatchSize::SmallInput,
             )

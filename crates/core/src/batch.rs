@@ -10,7 +10,24 @@
 //! The key fast path is [`Batch::shared_schema`]: input streams build
 //! every tuple against one `Arc<Schema>`, so operators can resolve field
 //! names to indices **once per batch** instead of once per tuple.
+//!
+//! A batch carries its tuples in one of two layouts:
+//!
+//! - **rows** — the original `Vec<Tuple>`;
+//! - **columnar** — a [`Columns`] decomposition into per-field typed
+//!   arrays (see [`crate::columnar`]), produced by the feed chunker and
+//!   the wire decoder for same-schema runs.
+//!
+//! At most one layout is populated. Row-oriented accessors that can take
+//! `&mut self` or `self` ([`Batch::iter_mut`], [`Batch::retain_mut`],
+//! [`Batch::into_vec`], the owned iterator) transparently *hydrate* a
+//! columnar batch back to rows — losslessly, so an operator without a
+//! vectorized path behaves exactly as before. The shared-reference
+//! accessors ([`Batch::iter`], [`Batch::as_slice`]) cannot hydrate and
+//! panic on columnar batches; engine code that may see columnar input
+//! either takes the columns ([`Batch::take_columns`]) or hydrates first.
 
+use crate::columnar::Columns;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 use std::sync::{Arc, Mutex};
@@ -22,16 +39,22 @@ use std::sync::{Arc, Mutex};
 #[derive(Debug, Clone, Default)]
 pub struct Batch {
     tuples: Vec<Tuple>,
+    /// Columnar layout, populated only while `tuples` is empty.
+    cols: Option<Columns>,
 }
 
 impl Batch {
     pub fn new() -> Self {
-        Batch { tuples: Vec::new() }
+        Batch {
+            tuples: Vec::new(),
+            cols: None,
+        }
     }
 
     pub fn with_capacity(n: usize) -> Self {
         Batch {
             tuples: Vec::with_capacity(n),
+            cols: None,
         }
     }
 
@@ -39,48 +62,137 @@ impl Batch {
     pub fn one(tuple: Tuple) -> Self {
         Batch {
             tuples: vec![tuple],
+            cols: None,
+        }
+    }
+
+    /// Wrap a columnar decomposition as a batch.
+    pub fn from_columns(cols: Columns) -> Self {
+        Batch {
+            tuples: Vec::new(),
+            cols: Some(cols),
+        }
+    }
+
+    /// Whether this batch currently holds columnar data.
+    pub fn is_columnar(&self) -> bool {
+        self.cols.as_ref().is_some_and(|c| !c.is_empty())
+    }
+
+    /// The columnar layout, when populated.
+    pub fn columns(&self) -> Option<&Columns> {
+        self.cols.as_ref().filter(|c| !c.is_empty())
+    }
+
+    /// Take the columnar layout out, leaving an empty batch.
+    pub fn take_columns(&mut self) -> Option<Columns> {
+        self.cols.take().filter(|c| !c.is_empty())
+    }
+
+    /// Convert rows to the columnar layout when every tuple shares one
+    /// schema `Arc`; no-op (returning false) otherwise.
+    pub fn columnarize(&mut self) -> bool {
+        if self.is_columnar() {
+            return true;
+        }
+        if self.tuples.is_empty() {
+            return false;
+        }
+        match Columns::from_rows(std::mem::take(&mut self.tuples)) {
+            Ok(cols) => {
+                self.cols = Some(cols);
+                true
+            }
+            Err(rows) => {
+                self.tuples = rows;
+                false
+            }
+        }
+    }
+
+    /// Hydrate a columnar batch back to rows (lossless); no-op on rows.
+    pub fn hydrate(&mut self) {
+        if let Some(cols) = self.cols.take() {
+            debug_assert!(self.tuples.is_empty(), "dual-layout batch");
+            if self.tuples.is_empty() {
+                self.tuples = cols.into_rows();
+            } else {
+                self.tuples.extend(cols.into_rows());
+            }
         }
     }
 
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.tuples.len() + self.cols.as_ref().map_or(0, |c| c.len())
     }
 
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len() == 0
+    }
+
+    /// The highest timestamp in the batch, layout-independent.
+    pub fn max_ts(&self) -> Option<u64> {
+        match self.columns() {
+            Some(c) => c.max_ts(),
+            None => self.tuples.iter().map(|t| t.ts).max(),
+        }
     }
 
     pub fn push(&mut self, t: Tuple) {
-        self.tuples.push(t);
+        match &mut self.cols {
+            Some(cols) if Arc::ptr_eq(cols.schema(), t.schema()) => cols.push_row(t),
+            _ => {
+                self.hydrate();
+                self.tuples.push(t);
+            }
+        }
     }
 
+    /// Row iterator. Panics on a columnar batch — a `&self` borrow
+    /// cannot hydrate; use [`Batch::hydrate`] (or an owning accessor)
+    /// first.
     pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        assert!(
+            !self.is_columnar(),
+            "Batch::iter on a columnar batch — hydrate first"
+        );
         self.tuples.iter()
     }
 
     pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, Tuple> {
+        self.hydrate();
         self.tuples.iter_mut()
     }
 
+    /// Row slice. Panics on a columnar batch (see [`Batch::iter`]).
     pub fn as_slice(&self) -> &[Tuple] {
+        assert!(
+            !self.is_columnar(),
+            "Batch::as_slice on a columnar batch — hydrate first"
+        );
         &self.tuples
     }
 
-    pub fn into_vec(self) -> Vec<Tuple> {
+    pub fn into_vec(mut self) -> Vec<Tuple> {
+        self.hydrate();
         self.tuples
     }
 
     /// Keep only tuples for which `f` returns true, mutating in place —
     /// the allocation-free shape of a batched filter.
     pub fn retain_mut(&mut self, f: impl FnMut(&mut Tuple) -> bool) {
+        self.hydrate();
         self.tuples.retain_mut(f);
     }
 
     /// The schema shared by **every** tuple in the batch, when there is
     /// one (pointer equality on the `Arc`). `None` for empty or
     /// mixed-schema batches; operators then fall back to per-tuple
-    /// resolution.
+    /// resolution. Columnar batches always have one.
     pub fn shared_schema(&self) -> Option<&Arc<Schema>> {
+        if let Some(cols) = self.columns() {
+            return Some(cols.schema());
+        }
         let first = self.tuples.first()?.schema();
         if self
             .tuples
@@ -131,7 +243,10 @@ impl BatchPool {
     pub fn take(&self, capacity: usize) -> Batch {
         let buf = self.free.lock().expect("batch pool poisoned").pop();
         match buf {
-            Some(buf) => Batch { tuples: buf },
+            Some(buf) => Batch {
+                tuples: buf,
+                cols: None,
+            },
             None => Batch::with_capacity(capacity),
         }
     }
@@ -149,7 +264,8 @@ impl BatchPool {
         }
     }
 
-    /// [`BatchPool::put`] for a whole batch.
+    /// [`BatchPool::put`] for a whole batch. Columnar storage is simply
+    /// dropped — only row buffers are worth pooling.
     pub fn recycle(&self, batch: Batch) {
         self.put(batch.tuples);
     }
@@ -162,18 +278,19 @@ impl BatchPool {
 
 impl From<Vec<Tuple>> for Batch {
     fn from(tuples: Vec<Tuple>) -> Self {
-        Batch { tuples }
+        Batch { tuples, cols: None }
     }
 }
 
 impl From<Batch> for Vec<Tuple> {
     fn from(b: Batch) -> Self {
-        b.tuples
+        b.into_vec()
     }
 }
 
 impl Extend<Tuple> for Batch {
     fn extend<I: IntoIterator<Item = Tuple>>(&mut self, iter: I) {
+        self.hydrate();
         self.tuples.extend(iter);
     }
 }
@@ -183,7 +300,7 @@ impl IntoIterator for Batch {
     type IntoIter = std::vec::IntoIter<Tuple>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.tuples.into_iter()
+        self.into_vec().into_iter()
     }
 }
 
@@ -192,7 +309,7 @@ impl<'a> IntoIterator for &'a Batch {
     type IntoIter = std::slice::Iter<'a, Tuple>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.tuples.iter()
+        self.iter()
     }
 }
 
@@ -200,6 +317,7 @@ impl FromIterator<Tuple> for Batch {
     fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
         Batch {
             tuples: iter.into_iter().collect(),
+            cols: None,
         }
     }
 }
@@ -273,5 +391,41 @@ mod tests {
         b.push(t(&s, 8));
         let v: Vec<Tuple> = b.into_vec();
         assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn columnarize_and_hydrate_round_trip() {
+        let s = Schema::builder().field("v", DataType::Int).build();
+        let rows: Vec<Tuple> = (0..5).map(|i| t(&s, i)).collect();
+        let rendered: Vec<String> = rows.iter().map(|t| format!("{t:?}")).collect();
+        let mut b: Batch = rows.into();
+        assert!(b.columnarize());
+        assert!(b.is_columnar());
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.max_ts(), Some(4));
+        assert!(Arc::ptr_eq(b.shared_schema().unwrap(), &s));
+        let back = b.into_vec();
+        let back_rendered: Vec<String> = back.iter().map(|t| format!("{t:?}")).collect();
+        assert_eq!(back_rendered, rendered);
+    }
+
+    #[test]
+    fn push_into_columnar_batch_keeps_order() {
+        let s = Schema::builder().field("v", DataType::Int).build();
+        let mut b: Batch = (0..3).map(|i| t(&s, i)).collect();
+        b.columnarize();
+        b.push(t(&s, 3));
+        assert!(b.is_columnar(), "same-schema push stays columnar");
+        let vs: Vec<i64> = b.into_vec().iter().map(|t| t.int("v").unwrap()).collect();
+        assert_eq!(vs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "hydrate first")]
+    fn iter_refuses_columnar() {
+        let s = Schema::builder().field("v", DataType::Int).build();
+        let mut b: Batch = (0..3).map(|i| t(&s, i)).collect();
+        b.columnarize();
+        let _ = b.iter();
     }
 }

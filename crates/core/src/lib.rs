@@ -28,6 +28,7 @@
 
 pub mod batch;
 pub mod canon;
+pub mod columnar;
 pub mod confidence;
 pub mod error;
 pub mod lineage;
@@ -43,6 +44,7 @@ pub mod window;
 
 pub use batch::{Batch, BatchPool};
 pub use canon::canonical_sort;
+pub use columnar::{Column, Columns};
 pub use confidence::{confidence_region, ConfidenceRegion};
 pub use error::{panic_message, EngineError, Result};
 pub use lineage::{ApproxLineage, Archive, Lineage};

@@ -24,6 +24,7 @@
 //! lineage-aware path (see `source of truth` note on [`AggFunc::Sum`]).
 
 use crate::batch::Batch;
+use crate::columnar::{Column, Columns};
 use crate::lineage::Lineage;
 use crate::ops::Operator;
 use crate::schema::{DataType, Schema};
@@ -130,10 +131,19 @@ pub struct WindowedAggregate {
     name: String,
     window: WindowState,
     key_fn: Box<dyn Fn(&Tuple) -> GroupKey + Send>,
+    /// Set when the group key is a plain field read
+    /// ([`Self::keyed_by_field`]) — unlocks the columnar emit path and
+    /// key-column routing at exchanges.
+    key_field: Option<String>,
     specs: Vec<AggSpec>,
     having: Option<Having>,
     policy: ConversionPolicy,
     out_schema: Arc<Schema>,
+    /// Columnar tumbling-window buffer: `(window_start, columns)`.
+    /// Invariant: when this is non-empty the row window buffer is empty,
+    /// and vice versa — [`Self::hydrate_col_window`] restores the row
+    /// form before any row-path processing touches the window.
+    col_buf: Option<(u64, Columns)>,
     /// Deterministic rng for the sampling strategies.
     rng: StdRng,
 }
@@ -174,12 +184,39 @@ impl WindowedAggregate {
                 }
             },
             key_fn: Box::new(key_fn),
+            key_field: None,
             specs,
             having: None,
             policy: ConversionPolicy::FitGaussian,
             out_schema,
+            col_buf: None,
             rng: StdRng::seed_from_u64(0xA66),
         }
+    }
+
+    /// A windowed aggregate whose group key is the value of one input
+    /// field — semantically `GROUP BY field`. Behaves exactly like
+    /// [`Self::new`] with a field-lookup closure, but because the key is
+    /// declared rather than hidden in the closure, columnar batches can
+    /// be grouped by reading the key column (and exchanges can route by
+    /// it) without materializing tuples.
+    pub fn keyed_by_field(
+        window: WindowKind,
+        field: impl Into<String>,
+        specs: Vec<AggSpec>,
+    ) -> Self {
+        let field = field.into();
+        let lookup = field.clone();
+        let mut agg = Self::new(
+            window,
+            move |t: &Tuple| {
+                GroupKey::from_value(t.get(&lookup).expect("group key field present"))
+                    .expect("group key field must hold a groupable value")
+            },
+            specs,
+        );
+        agg.key_field = Some(field);
+        agg
     }
 
     pub fn with_having(mut self, having: Having) -> Self {
@@ -289,6 +326,172 @@ impl WindowedAggregate {
         // purely by content — the partition-independent canonical order.
         crate::canon::canonical_sort(&mut out);
         out
+    }
+
+    /// Emit a closed window held in columnar form: the vectorized
+    /// SUM/CLT path when the configuration and column layout allow it,
+    /// otherwise hydrate the members and run the row emit.
+    fn emit_columns(&mut self, start: u64, end: u64, cols: Columns) -> Vec<Tuple> {
+        match self.emit_window_columnar(start, end, &cols) {
+            Some(out) => out,
+            None => self.emit_window(start, end, cols.into_rows()),
+        }
+    }
+
+    /// Vectorized window emit: group by reading the key column, then for
+    /// each group feed the Gaussian column's `(mean, sd)` pairs straight
+    /// into the shared SUM strategy core. Returns `None` when anything
+    /// needs the row form — a closure key, a HAVING clause, a non-SUM/AVG
+    /// aggregate, a time-series strategy, lineage provenance columns, or
+    /// a non-Gaussian payload column. Produces bit-identical output to
+    /// [`Self::emit_window`]: same grouping order, same rng draw order,
+    /// same scalar call chain.
+    fn emit_window_columnar(&mut self, start: u64, end: u64, cols: &Columns) -> Option<Vec<Tuple>> {
+        if self.having.is_some() {
+            return None;
+        }
+        let schema = cols.schema();
+        let key_idx = schema.index_of(self.key_field.as_ref()?).ok()?;
+        let key_col = cols.col(key_idx);
+        // Typed key columns yield a group key for every row; a row
+        // fallback column may hold ungroupable values (which the row
+        // path's key closure would reject by panicking, not dropping).
+        if !matches!(
+            key_col,
+            Column::Int(_) | Column::Time(_) | Column::Str { .. }
+        ) {
+            return None;
+        }
+        let mut spec_cols = Vec::with_capacity(self.specs.len());
+        for spec in &self.specs {
+            if !matches!(spec.func, AggFunc::Sum | AggFunc::Avg)
+                || matches!(spec.strategy, Strategy::MaClt { .. })
+                || schema.index_of(&format!("{}__src", spec.field)).is_ok()
+            {
+                return None;
+            }
+            let idx = schema.index_of(&spec.field).ok()?;
+            cols.col(idx).as_gaussian()?;
+            spec_cols.push(idx);
+        }
+
+        // Group rows by key into a vec kept sorted by key (binary-search
+        // insert: group counts per window are small, and a contiguous vec
+        // beats a node-allocating map). Ascending key order is the same
+        // order emit_window computes (and draws the rng) in after its
+        // sort, and within a group ascending row index is arrival order,
+        // so float accumulation order matches too.
+        let mut groups: Vec<(GroupKey, Vec<usize>)> = Vec::new();
+        for r in 0..cols.len() {
+            let key = key_col.group_key_at(r).expect("typed key column");
+            match groups.binary_search_by(|(k, _)| k.cmp(&key)) {
+                Ok(i) => groups[i].1.push(r),
+                Err(i) => groups.insert(i, (key, vec![r])),
+            }
+        }
+
+        let existence = cols.existence();
+        let mut out = Vec::new();
+        'group: for (key, rows) in groups {
+            let mut values: Vec<Value> = vec![
+                Value::Str(format!("{key:?}")),
+                Value::Time(start),
+                Value::Time(end),
+                Value::Int(rows.len() as i64),
+            ];
+            let lineage = Lineage::union_all(rows.iter().map(|&r| &cols.lineage()[r]));
+            for (spec, &idx) in self.specs.iter().zip(&spec_cols) {
+                let (mean, sd) = cols.col(idx).as_gaussian().expect("eligibility checked");
+                let Some(mut dist) =
+                    sum_gaussian_rows(mean, sd, &rows, existence, &spec.strategy, &mut self.rng)
+                else {
+                    continue 'group;
+                };
+                if spec.func == AggFunc::Avg {
+                    dist = dist.affine(1.0 / rows.len() as f64, 0.0);
+                }
+                values.push(Value::from(dist));
+                values.push(Value::Float(1.0));
+            }
+            out.push(Tuple::derived(
+                self.out_schema.clone(),
+                values,
+                end,
+                1.0,
+                lineage,
+            ));
+        }
+        crate::canon::canonical_sort(&mut out);
+        Some(out)
+    }
+
+    /// Buffer a columnar batch into the tumbling window without
+    /// hydrating, returning every window it closes. Mirrors
+    /// [`TumblingWindow::push`] row for row: the first row fixes the open
+    /// window's start, late rows fold in, and a row whose window starts
+    /// later closes the buffer.
+    fn push_columns_tumbling(
+        &mut self,
+        len_ms: u64,
+        mut cols: Columns,
+    ) -> Vec<(u64, u64, Columns)> {
+        let mut closed = Vec::new();
+        if cols.is_empty() {
+            return closed;
+        }
+        // One forward scan finds every row that opens a window after the
+        // one currently accumulating; rows whose window start is not past
+        // the current one (including late rows) fold into it.
+        let mut cur = match &self.col_buf {
+            Some((start, _)) => *start,
+            None => (cols.ts()[0] / len_ms) * len_ms,
+        };
+        let mut bounds: Vec<(usize, u64)> = Vec::new();
+        for (i, &t) in cols.ts().iter().enumerate() {
+            let w = (t / len_ms) * len_ms;
+            if w > cur {
+                bounds.push((i, w));
+                cur = w;
+            }
+        }
+        // Split from the back so each segment's rows move exactly once;
+        // splitting forward would recopy the whole tail at every boundary.
+        let mut segments: Vec<(u64, Columns)> = Vec::with_capacity(bounds.len());
+        for &(at, w) in bounds.iter().rev() {
+            segments.push((w, cols.split_off(at)));
+        }
+        // `cols` is now only the head, which continues the open window.
+        match &mut self.col_buf {
+            Some((_, buf)) => buf.append(cols),
+            None => {
+                let start = (cols.ts()[0] / len_ms) * len_ms;
+                self.col_buf = Some((start, cols));
+            }
+        }
+        // Each later segment closes whatever window was accumulating.
+        for (w, seg) in segments.into_iter().rev() {
+            let (start, buf) = self.col_buf.take().expect("buffer filled above");
+            closed.push((start, start + len_ms, buf));
+            self.col_buf = Some((w, seg));
+        }
+        closed
+    }
+
+    /// Replay the columnar buffer into the row tumbling window before any
+    /// row-path processing. Replay reproduces the row window's state
+    /// exactly: the buffer's first row opens the window at the buffered
+    /// start and every later row folds in, so nothing can close here.
+    fn hydrate_col_window(&mut self) {
+        let Some((_, buf)) = self.col_buf.take() else {
+            return;
+        };
+        let WindowState::Tumbling(w) = &mut self.window else {
+            unreachable!("columnar buffer only exists for tumbling windows");
+        };
+        for t in buf.into_rows() {
+            let closed = w.push(t);
+            debug_assert!(closed.is_empty(), "replay must not close windows");
+        }
     }
 
     /// Advance the sliding-window state by one tuple, appending every
@@ -425,13 +628,50 @@ fn collect_dists(
     Some(dists)
 }
 
-/// Whether every member definitely exists.
-fn all_certain_existence(members: &[Tuple]) -> bool {
-    members.iter().all(|m| m.existence >= 1.0 - 1e-12)
-}
-
 /// Bernoulli-thinned moments: X·B(e) has mean e·μ and variance
 /// e·σ² + e(1−e)·μ².
+/// SUM over one group's rows of a Gaussian column, indexed by `rows`.
+///
+/// The existence-thinned branch — the common case once a `Select` has
+/// scaled existence below certainty — runs straight off the `(mean, sd)`
+/// slices, constructing each `Dist` on the stack and calling the same
+/// scalar chain (`thinned_moments`, `Gaussian::from_mean_var`) in the
+/// same row order as [`sum_dists_core`], so the result is bit-identical
+/// without materializing a `Vec<Dist>` per group. All other branches
+/// materialize the dists and defer to [`sum_dists_core`] unchanged.
+fn sum_gaussian_rows(
+    mean: &[f64],
+    sd: &[f64],
+    rows: &[usize],
+    existence: &[f64],
+    strategy: &Strategy,
+    rng: &mut StdRng,
+) -> Option<Updf> {
+    if rows.is_empty() {
+        return None;
+    }
+    if !rows.iter().all(|&r| existence[r] >= 1.0 - 1e-12) {
+        let mut m = 0.0;
+        let mut v = 0.0;
+        for &r in rows {
+            let d = Dist::Gaussian(Gaussian::new(mean[r], sd[r]));
+            let (tm, tv) = thinned_moments(&d, existence[r]);
+            m += tm;
+            v += tv;
+        }
+        return Some(Updf::Parametric(Dist::Gaussian(Gaussian::from_mean_var(
+            m,
+            v.max(1e-18),
+        ))));
+    }
+    let dists: Vec<Dist> = rows
+        .iter()
+        .map(|&r| Dist::Gaussian(Gaussian::new(mean[r], sd[r])))
+        .collect();
+    let ex: Vec<f64> = rows.iter().map(|&r| existence[r]).collect();
+    sum_dists_core(dists, &ex, strategy, rng)
+}
+
 fn thinned_moments(d: &Dist, existence: f64) -> (f64, f64) {
     let (mu, var) = (d.mean(), d.variance());
     (
@@ -482,12 +722,30 @@ fn sum_distribution(
         return lineage_aware_sum(&src_field, members, &dists);
     }
 
+    let existences: Vec<f64> = members.iter().map(|m| m.existence).collect();
+    sum_dists_core(dists, &existences, &spec.strategy, rng)
+}
+
+/// Strategy dispatch over per-member distributions + existence
+/// probabilities — the SUM core shared by the row emit path and the
+/// columnar emit path. The time-series (`MaClt`) and lineage-aware
+/// provenance cases are resolved by [`sum_distribution`] before reaching
+/// here.
+fn sum_dists_core(
+    dists: Vec<Dist>,
+    existences: &[f64],
+    strategy: &Strategy,
+    rng: &mut StdRng,
+) -> Option<Updf> {
+    if dists.is_empty() {
+        return None;
+    }
     // Existence-probability thinning (uncommon path; moment-based).
-    if !all_certain_existence(members) {
+    if !existences.iter().all(|&e| e >= 1.0 - 1e-12) {
         let mut mean = 0.0;
         let mut var = 0.0;
-        for (m, d) in members.iter().zip(&dists) {
-            let (tm, tv) = thinned_moments(d, m.existence);
+        for (&e, d) in existences.iter().zip(&dists) {
+            let (tm, tv) = thinned_moments(d, e);
             mean += tm;
             var += tv;
         }
@@ -497,7 +755,7 @@ fn sum_distribution(
         ))));
     }
 
-    let updf = match &spec.strategy {
+    let updf = match strategy {
         Strategy::Auto => match exact_sum(&dists) {
             Some(d) => Updf::Parametric(d),
             None => Updf::Parametric(cf_approx_auto(&CfSum::new(dists), 0.3, 1.0)),
@@ -522,7 +780,7 @@ fn sum_distribution(
         Strategy::HistogramSampling { buckets, samples } => {
             Updf::Histogram(histogram_sum(&dists, *buckets, *samples, 6.0, rng))
         }
-        Strategy::MaClt { .. } => unreachable!("handled above"),
+        Strategy::MaClt { .. } => unreachable!("handled by the row layer"),
     };
     Some(updf)
 }
@@ -607,7 +865,15 @@ impl Operator for WindowedAggregate {
         Some((self.key_fn)(tuple))
     }
 
+    fn partition_key_field(&self) -> Option<&str> {
+        match self.partition_keys() {
+            crate::ops::Partitioning::Key => self.key_field.as_deref(),
+            _ => None,
+        }
+    }
+
     fn process(&mut self, _port: usize, tuple: Tuple) -> Vec<Tuple> {
+        self.hydrate_col_window();
         match &mut self.window {
             WindowState::Tumbling(w) => {
                 let batches = w.push(tuple);
@@ -641,7 +907,30 @@ impl Operator for WindowedAggregate {
     /// the (expensive, shared) emit step once per closed window. Sliding
     /// windows take the same bulk shape: one shared pending list across
     /// the batch instead of a per-tuple output `Vec` per member.
-    fn process_batch(&mut self, _port: usize, batch: Batch) -> Batch {
+    fn process_batch(&mut self, _port: usize, mut batch: Batch) -> Batch {
+        if batch.is_columnar() {
+            // Columnar fast path: tumbling windows buffer columns as-is
+            // (no per-tuple hydration), provided the row window is empty
+            // and the batch extends the buffered schema run.
+            if let WindowState::Tumbling(w) = &self.window {
+                let schema_ok = match (&self.col_buf, batch.columns()) {
+                    (Some((_, buf)), Some(c)) => Arc::ptr_eq(buf.schema(), c.schema()),
+                    _ => true,
+                };
+                if w.pending_len() == 0 && schema_ok {
+                    let len_ms = w.len_ms();
+                    let cols = batch.take_columns().expect("columnar batch");
+                    let mut out = Batch::new();
+                    let __closed = self.push_columns_tumbling(len_ms, cols);
+                    for (start, end, wcols) in __closed {
+                        out.extend(self.emit_columns(start, end, wcols));
+                    }
+                    return out;
+                }
+            }
+            batch.hydrate();
+        }
+        self.hydrate_col_window();
         let mut closed: Vec<(u64, u64, Vec<Tuple>)> = Vec::new();
         match &mut self.window {
             WindowState::Tumbling(w) => {
@@ -673,6 +962,13 @@ impl Operator for WindowedAggregate {
     }
 
     fn flush(&mut self) -> Vec<Tuple> {
+        if let Some((start, buf)) = self.col_buf.take() {
+            let WindowState::Tumbling(w) = &self.window else {
+                unreachable!("columnar buffer only exists for tumbling windows");
+            };
+            let end = start + w.len_ms();
+            return self.emit_columns(start, end, buf);
+        }
         match &mut self.window {
             WindowState::Tumbling(w) => match w.flush() {
                 Some(b) => self.emit_window(b.start, b.end, b.tuples),
@@ -726,6 +1022,18 @@ impl Operator for WindowedAggregate {
     /// every window ending at or before it can emit now. Count windows
     /// ignore watermarks (membership is arrival-count-based).
     fn advance_watermark(&mut self, watermark: u64) -> Vec<Tuple> {
+        if let Some((start, _)) = &self.col_buf {
+            let WindowState::Tumbling(w) = &self.window else {
+                unreachable!("columnar buffer only exists for tumbling windows");
+            };
+            // Same trigger as TumblingWindow::close_through.
+            if start + w.len_ms() > watermark {
+                return Vec::new();
+            }
+            let (start, buf) = self.col_buf.take().expect("just matched");
+            let end = start + w.len_ms();
+            return self.emit_columns(start, end, buf);
+        }
         match &mut self.window {
             WindowState::Tumbling(w) => match w.close_through(watermark) {
                 Some(b) => self.emit_window(b.start, b.end, b.tuples),
@@ -1265,6 +1573,139 @@ mod tests {
                 "group {g} must not observe its cohabitants"
             );
         }
+    }
+
+    fn mixed_existence_feed(n: u64) -> Vec<Tuple> {
+        let s = schema();
+        (0..n)
+            .map(|i| {
+                let mut t = Tuple::new(
+                    s.clone(),
+                    vec![
+                        Value::from((i % 4) as i64),
+                        Value::from(Updf::Parametric(Dist::gaussian(
+                            (i % 10) as f64,
+                            1.0 + (i % 3) as f64 * 0.25,
+                        ))),
+                    ],
+                    i * 7,
+                );
+                // Mix certain and thinned tuples (exercises both SUM
+                // branches of the shared core).
+                if i % 3 == 0 {
+                    t.existence = 0.6 + (i % 5) as f64 * 0.05;
+                }
+                t
+            })
+            .collect()
+    }
+
+    fn keyed(strategy: Strategy) -> WindowedAggregate {
+        WindowedAggregate::keyed_by_field(WindowKind::Tumbling(100), "area", sum_spec(strategy))
+    }
+
+    fn run_chunked(mut a: WindowedAggregate, feed: &[Tuple], columnar: bool) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        for chunk in feed.chunks(13) {
+            let mut b = Batch::from(chunk.to_vec());
+            if columnar {
+                assert!(b.columnarize());
+            }
+            out.extend(a.process_batch(0, b));
+        }
+        out.extend(a.flush());
+        out
+    }
+
+    #[test]
+    fn columnar_aggregate_is_bit_identical_to_rows() {
+        for strategy in [Strategy::Clt, Strategy::ExactParametric, Strategy::Auto] {
+            let label = format!("{strategy:?}");
+            let feed = mixed_existence_feed(120);
+            let rows = run_chunked(keyed(strategy.clone()), &feed, false);
+            let cols = run_chunked(keyed(strategy), &feed, true);
+            assert_eq!(rows.len(), cols.len(), "{label}");
+            assert!(!rows.is_empty(), "{label}: windows must close");
+            for (a, b) in rows.iter().zip(&cols) {
+                assert_eq!(format!("{a:?}"), format!("{b:?}"), "{label}");
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_buffer_interops_with_row_batches() {
+        // Alternate columnar and row batches mid-stream: the buffered
+        // columns must replay into the row window losslessly.
+        let feed = mixed_existence_feed(90);
+        let expected = run_chunked(keyed(Strategy::Clt), &feed, false);
+        let mut a = keyed(Strategy::Clt);
+        let mut got = Vec::new();
+        for (i, chunk) in feed.chunks(13).enumerate() {
+            let mut b = Batch::from(chunk.to_vec());
+            if i % 2 == 0 {
+                assert!(b.columnarize());
+            }
+            got.extend(a.process_batch(0, b));
+        }
+        got.extend(a.flush());
+        assert_eq!(expected.len(), got.len());
+        for (a, b) in expected.iter().zip(&got) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn columnar_ineligible_specs_hydrate_and_match() {
+        // Count aggregates and HAVING clauses have no columnar kernel:
+        // the batch hydrates and the row emit runs — outputs identical.
+        let mk = || {
+            WindowedAggregate::keyed_by_field(
+                WindowKind::Tumbling(100),
+                "area",
+                vec![AggSpec {
+                    field: "weight".into(),
+                    func: AggFunc::Count,
+                    out: "cnt".into(),
+                    strategy: Strategy::Auto,
+                }],
+            )
+        };
+        let feed = mixed_existence_feed(60);
+        let rows = run_chunked(mk(), &feed, false);
+        let cols = run_chunked(mk(), &feed, true);
+        assert_eq!(rows.len(), cols.len());
+        for (a, b) in rows.iter().zip(&cols) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn watermark_closes_columnar_buffer() {
+        let mut a = keyed(Strategy::Clt);
+        let mut b = Batch::from(mixed_existence_feed(5)); // ts 0..28, window [0,100)
+        assert!(b.columnarize());
+        assert!(a.process_batch(0, b).is_empty());
+        assert!(a.advance_watermark(99).is_empty(), "window still open");
+        let out = a.advance_watermark(100);
+        assert!(!out.is_empty(), "watermark closes the buffered window");
+        assert!(a.flush().is_empty(), "nothing left after the close");
+    }
+
+    #[test]
+    fn keyed_by_field_declares_partition_key_field() {
+        let a = keyed(Strategy::Clt);
+        assert_eq!(a.partition_key_field(), Some("area"));
+        assert_eq!(a.partition_keys(), crate::ops::Partitioning::Key);
+        // Closure-keyed aggregates expose no key field.
+        assert_eq!(agg(Strategy::Clt).partition_key_field(), None);
+        // Global-partitioned configurations hide the field: routing by
+        // key would split state a single instance must own.
+        let count_window = WindowedAggregate::keyed_by_field(
+            WindowKind::Count(10),
+            "area",
+            sum_spec(Strategy::Clt),
+        );
+        assert_eq!(count_window.partition_key_field(), None);
     }
 
     #[test]

@@ -103,6 +103,15 @@ pub trait Operator: Send {
         let _ = (port, tuple);
         None
     }
+
+    /// The input field this operator's partition key is read from, when
+    /// [`Self::partition_key`] is a plain field lookup. Lets the sharded
+    /// runtime route columnar batches by reading the key column directly
+    /// instead of materializing tuples; `None` (the default) means the
+    /// key needs the row form.
+    fn partition_key_field(&self) -> Option<&str> {
+        None
+    }
 }
 
 /// A trivial pass-through operator; useful as a graph sink and in tests.

@@ -12,6 +12,7 @@
 //!   functions.
 
 use crate::batch::Batch;
+use crate::columnar::Column;
 use crate::ops::Operator;
 use crate::schema::{DataType, Field, Schema};
 use crate::tuple::Tuple;
@@ -27,6 +28,17 @@ pub enum Derivation {
     Certain {
         out: Field,
         f: Box<dyn Fn(&Tuple) -> Value + Send>,
+    },
+    /// Certain linear transform `a·x + b` of a certain numeric attribute
+    /// (Int widens to Float). The declarative sibling of [`Self::Certain`]:
+    /// because the transform is visible to the engine instead of hidden
+    /// in a closure, the columnar path runs it as one tight loop over the
+    /// input column.
+    CertainLinear {
+        input: String,
+        a: f64,
+        b: f64,
+        out: String,
     },
     /// Exact linear transform of an uncertain scalar attribute.
     Linear {
@@ -74,6 +86,7 @@ impl Derivation {
     fn out_field(&self) -> Field {
         match self {
             Derivation::Certain { out, .. } => out.clone(),
+            Derivation::CertainLinear { out, .. } => Field::new(out.clone(), DataType::Float),
             Derivation::Linear { out, .. }
             | Derivation::Monotone { out, .. }
             | Derivation::Delta { out, .. }
@@ -157,7 +170,8 @@ impl Project {
                     let resolve = |name: &str| input.index_of(name).ok();
                     match d {
                         Derivation::Certain { .. } => ResolvedInputs::Closure,
-                        Derivation::Linear { input: f, .. }
+                        Derivation::CertainLinear { input: f, .. }
+                        | Derivation::Linear { input: f, .. }
                         | Derivation::Monotone { input: f, .. }
                         | Derivation::Delta { input: f, .. } => match resolve(f) {
                             Some(i) => ResolvedInputs::One(i),
@@ -183,6 +197,10 @@ impl Project {
     fn derive_value(d: &Derivation, t: &Tuple) -> Option<Value> {
         match d {
             Derivation::Certain { f, .. } => Some(f(t)),
+            Derivation::CertainLinear { input, a, b, .. } => {
+                let x = t.get(input).ok()?.as_float()?;
+                Some(Value::Float(x * a + b))
+            }
             Derivation::Linear { input, a, b, .. } => {
                 let u = t.updf(input).ok()?;
                 Some(Value::from(u.affine(*a, *b)))
@@ -234,6 +252,10 @@ impl Project {
         match (d, inputs) {
             (_, ResolvedInputs::Missing) => None,
             (Derivation::Certain { f, .. }, _) => Some(f(t)),
+            (Derivation::CertainLinear { a, b, .. }, ResolvedInputs::One(i)) => {
+                let x = t.at(i).as_float()?;
+                Some(Value::Float(x * a + b))
+            }
             (Derivation::Linear { a, b, .. }, ResolvedInputs::One(i)) => {
                 let u = t.at(i).as_updf()?;
                 Some(Value::from(u.affine(*a, *b)))
@@ -273,6 +295,70 @@ impl Project {
             }
             _ => unreachable!("resolution shape matches derivation shape"),
         }
+    }
+
+    /// Vectorized column-at-a-time derivation. Returns `true` when every
+    /// derivation had a columnar kernel for its input column's layout and
+    /// the batch was widened in place; `false` asks the caller to hydrate
+    /// and run the row path. The kernels call the exact same scalar
+    /// functions as the row path, so outputs are bit-identical.
+    fn columnar_derive(&self, batch: &mut Batch, out_schema: &Arc<Schema>) -> bool {
+        let resolved = self.resolved.as_ref().expect("resolved before columnar");
+        let Some(cols) = batch.columns() else {
+            return false;
+        };
+        for (d, &idx) in self.derivations.iter().zip(&resolved.inputs) {
+            let ok = match (d, idx) {
+                (Derivation::Linear { .. }, ResolvedInputs::One(i)) => {
+                    cols.col(i).as_gaussian().is_some()
+                }
+                (Derivation::CertainLinear { .. }, ResolvedInputs::One(i)) => {
+                    cols.col(i).as_int().is_some() || cols.col(i).as_float().is_some()
+                }
+                _ => false,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        let mut cols = batch.take_columns().expect("checked columnar above");
+        let mut derived = Vec::with_capacity(self.derivations.len());
+        for (d, &idx) in self.derivations.iter().zip(&resolved.inputs) {
+            match (d, idx) {
+                (Derivation::Linear { a, b, .. }, ResolvedInputs::One(i)) => {
+                    let (mean, sd) = cols.col(i).as_gaussian().expect("eligibility checked");
+                    // Route each row through the same scalar affine as
+                    // the row path (`Dist::affine` on a Gaussian, which
+                    // always yields a Gaussian), but keep the result in
+                    // column form — no per-row `Updf` boxing.
+                    let mut om = Vec::with_capacity(mean.len());
+                    let mut os = Vec::with_capacity(sd.len());
+                    for r in 0..mean.len() {
+                        let g = match Dist::Gaussian(Gaussian::new(mean[r], sd[r])).affine(*a, *b) {
+                            Dist::Gaussian(g) => g,
+                            _ => unreachable!("affine of a Gaussian is Gaussian"),
+                        };
+                        om.push(g.mean());
+                        os.push(g.std_dev());
+                    }
+                    derived.push(Column::Gaussian { mean: om, sd: os });
+                }
+                (Derivation::CertainLinear { a, b, .. }, ResolvedInputs::One(i)) => {
+                    let col = cols.col(i);
+                    let ys: Vec<f64> = if let Some(xs) = col.as_int() {
+                        xs.iter().map(|&x| x as f64 * a + b).collect()
+                    } else {
+                        let xs = col.as_float().expect("eligibility checked");
+                        xs.iter().map(|&x| x * a + b).collect()
+                    };
+                    derived.push(Column::Float(ys));
+                }
+                _ => unreachable!("eligibility checked above"),
+            }
+        }
+        cols.add_columns(out_schema.clone(), derived);
+        *batch = Batch::from_columns(cols);
+        true
     }
 }
 
@@ -352,8 +438,29 @@ impl Operator for Project {
             return out;
         };
         self.ensure_resolved(&schema);
+        let out_schema = self
+            .resolved
+            .as_ref()
+            .expect("just resolved")
+            .out_schema
+            .clone();
+        if batch.is_columnar() {
+            let resolved = self.resolved.as_ref().expect("just resolved");
+            if resolved
+                .inputs
+                .iter()
+                .any(|i| matches!(i, ResolvedInputs::Missing))
+            {
+                // An unresolvable input field drops every tuple of this
+                // schema — same as the row path, without hydrating.
+                return Batch::new();
+            }
+            if self.columnar_derive(&mut batch, &out_schema) {
+                return batch;
+            }
+            batch.hydrate();
+        }
         let resolved = self.resolved.as_ref().expect("just resolved");
-        let out_schema = resolved.out_schema.clone();
         let derivations = &self.derivations;
         let inputs = &resolved.inputs;
         // One scratch buffer for all tuples (extend_in_place drains it).
@@ -635,6 +742,129 @@ mod tests {
         }]);
         let batch = Batch::from(vec![tuple(0.0, 1.0), tuple(1.0, 1.0)]);
         assert!(p.process_batch(0, batch).is_empty());
+    }
+
+    #[test]
+    fn columnar_project_is_bit_identical_to_rows() {
+        use crate::batch::Batch;
+        let mk_proj = || {
+            Project::new(vec![
+                Derivation::CertainLinear {
+                    input: "tag_id".into(),
+                    a: 2.5,
+                    b: 0.0,
+                    out: "weight".into(),
+                },
+                Derivation::Linear {
+                    input: "x".into(),
+                    a: 0.5,
+                    b: 1.0,
+                    out: "y".into(),
+                },
+            ])
+        };
+        let shared = schema();
+        let inputs: Vec<Tuple> = (0..32)
+            .map(|i| {
+                Tuple::new(
+                    shared.clone(),
+                    vec![
+                        Value::from(i as i64),
+                        Value::from(Updf::Parametric(Dist::gaussian(
+                            i as f64,
+                            1.0 + (i % 3) as f64 * 0.25,
+                        ))),
+                    ],
+                    i as u64,
+                )
+            })
+            .collect();
+        let rows = mk_proj()
+            .process_batch(0, Batch::from(inputs.clone()))
+            .into_vec();
+        let mut col_batch = Batch::from(inputs);
+        assert!(col_batch.columnarize());
+        let out = mk_proj().process_batch(0, col_batch);
+        assert!(out.is_columnar(), "fast path keeps the batch columnar");
+        let cols = out.columns().unwrap();
+        assert!(cols.col(2).as_float().is_some(), "weight is a Float column");
+        assert!(cols.col(3).as_gaussian().is_some(), "y stays Gaussian");
+        let back = out.into_vec();
+        assert_eq!(rows.len(), back.len());
+        for (a, b) in rows.iter().zip(&back) {
+            assert_eq!(a.schema().fields(), b.schema().fields());
+            assert_eq!(
+                a.float("weight").unwrap().to_bits(),
+                b.float("weight").unwrap().to_bits()
+            );
+            let (ya, yb) = (a.updf("y").unwrap(), b.updf("y").unwrap());
+            assert_eq!(ya.mean().to_bits(), yb.mean().to_bits());
+            assert_eq!(ya.std_dev().to_bits(), yb.std_dev().to_bits());
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn columnar_project_hydrates_for_closure_derivations() {
+        use crate::batch::Batch;
+        let shared = schema();
+        let inputs: Vec<Tuple> = (0..8)
+            .map(|i| {
+                Tuple::new(
+                    shared.clone(),
+                    vec![
+                        Value::from(i as i64),
+                        Value::from(Updf::Parametric(Dist::gaussian(i as f64, 1.0))),
+                    ],
+                    i as u64,
+                )
+            })
+            .collect();
+        let mut p = Project::new(vec![Derivation::Certain {
+            out: Field::new("double_id", DataType::Int),
+            f: Box::new(|t: &Tuple| Value::from(t.int("tag_id").unwrap() * 2)),
+        }]);
+        let mut b = Batch::from(inputs);
+        assert!(b.columnarize());
+        let out = p.process_batch(0, b);
+        assert!(!out.is_columnar(), "closure derivations hydrate");
+        assert_eq!(out.len(), 8);
+        assert_eq!(out.as_slice()[3].int("double_id").unwrap(), 6);
+    }
+
+    #[test]
+    fn columnar_project_missing_input_drops_all() {
+        use crate::batch::Batch;
+        let mut p = Project::new(vec![Derivation::Linear {
+            input: "missing".into(),
+            a: 1.0,
+            b: 0.0,
+            out: "y".into(),
+        }]);
+        let mut b = Batch::from(vec![tuple(0.0, 1.0), tuple(1.0, 1.0)]);
+        b.columnarize();
+        assert!(p.process_batch(0, b).is_empty());
+    }
+
+    #[test]
+    fn certain_linear_matches_certain_closure() {
+        let mut closure = Project::new(vec![Derivation::Certain {
+            out: Field::new("w", DataType::Float),
+            f: Box::new(|t: &Tuple| Value::from(t.int("tag_id").unwrap() as f64 * 2.5 + 1.0)),
+        }]);
+        let mut linear = Project::new(vec![Derivation::CertainLinear {
+            input: "tag_id".into(),
+            a: 2.5,
+            b: 1.0,
+            out: "w".into(),
+        }]);
+        let t = tuple(0.0, 1.0);
+        let a = closure.process(0, t.clone());
+        let b = linear.process(0, t);
+        assert_eq!(
+            a[0].float("w").unwrap().to_bits(),
+            b[0].float("w").unwrap().to_bits()
+        );
     }
 
     #[test]

@@ -9,12 +9,14 @@
 //! probability falls below `min_prob` are dropped.
 
 use crate::batch::Batch;
+use crate::columnar::{Column, Columns};
 use crate::ops::Operator;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::updf::Updf;
 use crate::value::Value;
 use std::sync::Arc;
+use ustream_prob::dist::{Dist, Gaussian};
 
 /// Comparison operators for certain numeric predicates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -170,6 +172,112 @@ impl CompiledPredicate {
             CompiledPredicate::Not(p) => Some(1.0 - p.probability(t)?),
         }
     }
+
+    /// Columnar counterpart of [`CompiledPredicate::probability`]: one
+    /// probability per row, with `NaN` standing for `None` (missing or
+    /// mistyped value ⇒ drop). Leaves over typed columns run as tight
+    /// loops — the Gaussian case bottoms out in the same Cody erf
+    /// kernel, called in the same order as the row path, so surviving
+    /// probabilities are bit-identical.
+    fn probabilities(&self, cols: &Columns) -> Vec<f64> {
+        let n = cols.len();
+        let nan = f64::NAN;
+        match self {
+            CompiledPredicate::StrEq(idx, want) => match cols.col(*idx) {
+                Column::Str { codes, dict } => {
+                    // One comparison per dictionary entry, then a lookup
+                    // per row.
+                    let hits: Vec<f64> = dict.iter().map(|d| (d == want) as u8 as f64).collect();
+                    codes.iter().map(|&c| hits[c as usize]).collect()
+                }
+                Column::Rows(rows) => rows
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .map_or(nan, |s| (s == want.as_str()) as u8 as f64)
+                    })
+                    .collect(),
+                _ => vec![nan; n],
+            },
+            CompiledPredicate::NumCmp(idx, op, c) => match cols.col(*idx) {
+                Column::Int(xs) => xs
+                    .iter()
+                    .map(|&x| op.eval(x as f64, *c) as u8 as f64)
+                    .collect(),
+                Column::Float(xs) => xs.iter().map(|&x| op.eval(x, *c) as u8 as f64).collect(),
+                Column::Rows(rows) => rows
+                    .iter()
+                    .map(|v| v.as_float().map_or(nan, |x| op.eval(x, *c) as u8 as f64))
+                    .collect(),
+                _ => vec![nan; n],
+            },
+            CompiledPredicate::UncertainAbove(idx, c) => match cols.col(*idx) {
+                Column::Gaussian { mean, sd } => mean
+                    .iter()
+                    .zip(sd)
+                    .map(|(&m, &s)| {
+                        Updf::Parametric(Dist::Gaussian(Gaussian::new(m, s))).prob_above(*c)
+                    })
+                    .collect(),
+                Column::Rows(rows) => rows
+                    .iter()
+                    .map(|v| v.as_updf().map_or(nan, |u| u.prob_above(*c)))
+                    .collect(),
+                _ => vec![nan; n],
+            },
+            CompiledPredicate::UncertainBelow(idx, c) => match cols.col(*idx) {
+                Column::Gaussian { mean, sd } => mean
+                    .iter()
+                    .zip(sd)
+                    .map(|(&m, &s)| {
+                        1.0 - Updf::Parametric(Dist::Gaussian(Gaussian::new(m, s))).prob_above(*c)
+                    })
+                    .collect(),
+                Column::Rows(rows) => rows
+                    .iter()
+                    .map(|v| v.as_updf().map_or(nan, |u| 1.0 - u.prob_above(*c)))
+                    .collect(),
+                _ => vec![nan; n],
+            },
+            CompiledPredicate::UncertainBetween(idx, lo, hi) => match cols.col(*idx) {
+                Column::Gaussian { mean, sd } => mean
+                    .iter()
+                    .zip(sd)
+                    .map(|(&m, &s)| {
+                        Updf::Parametric(Dist::Gaussian(Gaussian::new(m, s))).prob_in(*lo, *hi)
+                    })
+                    .collect(),
+                Column::Rows(rows) => rows
+                    .iter()
+                    .map(|v| v.as_updf().map_or(nan, |u| u.prob_in(*lo, *hi)))
+                    .collect(),
+                _ => vec![nan; n],
+            },
+            CompiledPredicate::And(a, b) => {
+                let mut pa = a.probabilities(cols);
+                let pb = b.probabilities(cols);
+                for (x, y) in pa.iter_mut().zip(pb) {
+                    *x *= y;
+                }
+                pa
+            }
+            CompiledPredicate::Or(a, b) => {
+                let mut pa = a.probabilities(cols);
+                let pb = b.probabilities(cols);
+                for (x, y) in pa.iter_mut().zip(pb) {
+                    *x = *x + y - *x * y;
+                }
+                pa
+            }
+            CompiledPredicate::Not(p) => {
+                let mut ps = p.probabilities(cols);
+                for x in &mut ps {
+                    *x = 1.0 - *x;
+                }
+                ps
+            }
+        }
+    }
 }
 
 /// Everything Select resolves once per input schema: the compiled
@@ -282,8 +390,39 @@ impl Operator for Select {
 
     /// Batched path: compile the predicate once for the batch's shared
     /// schema, then filter/condition in place — no per-tuple string
-    /// lookups, no per-tuple `Vec` allocations.
+    /// lookups, no per-tuple `Vec` allocations. Columnar batches run a
+    /// vectorized filter over the typed columns (unless conditioning
+    /// applies, which needs per-tuple distribution rewrites — those
+    /// hydrate and take the row path).
     fn process_batch(&mut self, port: usize, mut batch: Batch) -> Batch {
+        if batch.is_columnar() {
+            let schema = batch
+                .shared_schema()
+                .cloned()
+                .expect("columnar batches have one schema");
+            let min_prob = self.min_prob;
+            let compiled = self.compiled_for(&schema);
+            let Some(pred) = &compiled.predicate else {
+                return Batch::new(); // missing field: every tuple drops
+            };
+            if compiled.conditioning.is_none() {
+                let mut cols = batch.take_columns().expect("columnar batch");
+                let probs = pred.probabilities(&cols);
+                let existence = cols.existence_mut();
+                let mut keep = Vec::with_capacity(probs.len());
+                for (i, &p) in probs.iter().enumerate() {
+                    let survival = existence[i] * p;
+                    let ok = !p.is_nan() && survival >= min_prob && survival > 0.0;
+                    if ok {
+                        existence[i] = survival.min(1.0);
+                    }
+                    keep.push(ok);
+                }
+                cols.filter(&keep);
+                return Batch::from_columns(cols);
+            }
+            batch.hydrate();
+        }
         let Some(schema) = batch.shared_schema().cloned() else {
             // Mixed-schema batch: fall back to per-tuple execution.
             let mut out = Batch::with_capacity(batch.len());
@@ -532,6 +671,86 @@ mod tests {
             assert!(
                 (a.updf("temp").unwrap().mean() - b.updf("temp").unwrap().mean()).abs() < 1e-12
             );
+        }
+    }
+
+    #[test]
+    fn columnar_select_is_bit_identical_to_rows() {
+        use crate::batch::Batch;
+        let pred = Predicate::And(
+            Box::new(Predicate::StrEq("kind".into(), "flammable".into())),
+            Box::new(Predicate::UncertainAbove("temp".into(), 60.0)),
+        );
+        let s = schema();
+        let inputs: Vec<Tuple> = (0..64)
+            .map(|i| {
+                Tuple::new(
+                    s.clone(),
+                    vec![
+                        Value::from(if i % 3 == 0 { "flammable" } else { "inert" }),
+                        Value::from(Updf::Parametric(Dist::gaussian(50.0 + i as f64, 5.0))),
+                    ],
+                    i,
+                )
+            })
+            .collect();
+        let mut row_op = Select::new(pred.clone(), 0.05).without_conditioning();
+        let row_out = row_op
+            .process_batch(0, Batch::from(inputs.clone()))
+            .into_vec();
+        let mut col_op = Select::new(pred, 0.05).without_conditioning();
+        let mut cb = Batch::from(inputs);
+        assert!(cb.columnarize());
+        let col_batch = col_op.process_batch(0, cb);
+        assert!(col_batch.is_columnar(), "fast path keeps columns");
+        let col_out = col_batch.into_vec();
+        assert_eq!(row_out.len(), col_out.len());
+        for (a, b) in row_out.iter().zip(&col_out) {
+            assert_eq!(a.ts, b.ts);
+            assert_eq!(a.existence.to_bits(), b.existence.to_bits(), "bit-exact");
+            assert_eq!(a.lineage, b.lineage);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn columnar_select_with_conditioning_hydrates_and_matches() {
+        use crate::batch::Batch;
+        let pred = Predicate::UncertainAbove("temp".into(), 60.0);
+        let inputs: Vec<Tuple> = (0..16).map(|i| tuple("x", 55.0 + i as f64, 5.0)).collect();
+        let mut row_op = Select::new(pred.clone(), 0.05);
+        let row_out = row_op
+            .process_batch(0, Batch::from(inputs.clone()))
+            .into_vec();
+        let mut col_op = Select::new(pred, 0.05);
+        let cb = Batch::from(inputs);
+        // Mixed-schema inputs (every `tuple()` call builds a fresh Arc)
+        // refuse to columnarize; rebuild against one schema.
+        let shared = schema();
+        let rows: Vec<Tuple> = cb
+            .into_vec()
+            .into_iter()
+            .map(|t| {
+                Tuple::derived(
+                    shared.clone(),
+                    t.values().to_vec(),
+                    t.ts,
+                    t.existence,
+                    t.lineage.clone(),
+                )
+            })
+            .collect();
+        let mut cb = Batch::from(rows);
+        assert!(cb.columnarize());
+        let col_out = col_op.process_batch(0, cb).into_vec();
+        assert_eq!(row_out.len(), col_out.len());
+        for (a, b) in row_out.iter().zip(&col_out) {
+            assert_eq!(a.existence.to_bits(), b.existence.to_bits());
+            let (am, bm) = (
+                a.updf("temp").unwrap().mean(),
+                b.updf("temp").unwrap().mean(),
+            );
+            assert_eq!(am.to_bits(), bm.to_bits(), "conditioning identical");
         }
     }
 

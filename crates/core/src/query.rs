@@ -503,7 +503,9 @@ fn deliver_batch(
             }
             return;
         }
-        bucket.extend(batch.iter().cloned());
+        // Sink with downstream fan-out: clone, then hydrate the clone
+        // (the batch itself continues downstream in whatever form).
+        bucket.append(&mut batch.clone().into_vec());
     } else if targets.is_empty() {
         if let Some(p) = pool {
             p.recycle(batch);
@@ -674,8 +676,18 @@ impl ExecSession {
     }
 }
 
+/// Minimum chunk length worth columnarizing before injection: below this
+/// the decompose/reassemble overhead outweighs the vectorized operator
+/// fast paths. Shared policy for every driver that assembles row runs
+/// (the batched executors here, the ingest server's merge).
+pub const COLUMNAR_MIN_CHUNK: usize = 64;
+
 /// Cut a timestamp-sorted feed into runs of up to `batch_size`
-/// consecutive tuples addressed to the same (node, port).
+/// consecutive tuples addressed to the same (node, port). Runs long
+/// enough to benefit are converted to the columnar layout so operators
+/// with vectorized fast paths (select, project, windowed aggregate) get
+/// column input; mixed-schema runs stay rows ([`Batch::columnarize`]
+/// declines them).
 fn chunk_feed(
     feed: Vec<(u64, usize, usize, Tuple)>,
     batch_size: usize,
@@ -689,6 +701,11 @@ fn chunk_feed(
                 b.push(t);
                 chunks.push((node, port, b));
             }
+        }
+    }
+    for (_, _, b) in &mut chunks {
+        if b.len() >= COLUMNAR_MIN_CHUNK {
+            b.columnarize();
         }
     }
     chunks

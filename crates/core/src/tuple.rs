@@ -161,6 +161,18 @@ impl Tuple {
         }
     }
 
+    /// Decompose into owned parts — the columnar batch layout takes the
+    /// values vector without cloning.
+    pub fn into_parts(self) -> (Arc<Schema>, Vec<Value>, u64, f64, Lineage) {
+        (
+            self.schema,
+            self.values,
+            self.ts,
+            self.existence,
+            self.lineage,
+        )
+    }
+
     /// Total approximate payload size (bytes) of uncertain attributes —
     /// used to measure the stream-volume effect of §4.3 conversions.
     pub fn uncertain_payload_bytes(&self) -> usize {

@@ -105,6 +105,10 @@ impl TumblingWindow {
     pub fn pending_len(&self) -> usize {
         self.buf.len()
     }
+
+    pub fn len_ms(&self) -> u64 {
+        self.len_ms
+    }
 }
 
 /// A count-based tumbling window (the paper's Table 2 uses "a tumbling

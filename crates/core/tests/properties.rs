@@ -7,6 +7,7 @@ use proptest::prelude::*;
 use std::sync::Arc;
 use ustream_core::lineage::Lineage;
 use ustream_core::ops::aggregate::{AggFunc, AggSpec, Strategy, WindowKind, WindowedAggregate};
+use ustream_core::ops::project::{Derivation, Project};
 use ustream_core::ops::select::{Predicate, Select};
 use ustream_core::ops::Operator;
 use ustream_core::schema::{DataType, Schema};
@@ -14,7 +15,9 @@ use ustream_core::tuple::Tuple;
 use ustream_core::updf::Updf;
 use ustream_core::value::{GroupKey, Value};
 use ustream_core::window::{CountWindow, SlidingBuffer, TumblingWindow};
+use ustream_core::Batch;
 use ustream_prob::dist::Dist;
+use ustream_prob::samples::WeightedSamples;
 
 fn schema() -> Arc<Schema> {
     Schema::builder()
@@ -40,6 +43,84 @@ fn lineage_from(ids: Vec<u64>) -> Lineage {
         l = l.union(&Lineage::base(id));
     }
     l
+}
+
+/// Per-tuple recipe for the mixed-payload batch generator: timestamp,
+/// group key, Gaussian mean, existence, whether the heterogeneous
+/// column holds a sample cloud instead of a Gaussian (odd = cloud), and
+/// a lineage id.
+type MixedRow = (u64, i64, f64, f64, u64, u64);
+
+fn mixed_schema() -> Arc<Schema> {
+    Schema::builder()
+        .field("k", DataType::Int)
+        .field("s", DataType::Str)
+        .field("f", DataType::Float)
+        .field("x", DataType::Uncertain)
+        .field("m", DataType::Uncertain)
+        .build()
+}
+
+/// A shared-schema batch whose columns exercise every columnar layout:
+/// an Int key, a dictionary string, a Float, an all-Gaussian Updf column
+/// (struct-of-arrays), and a heterogeneous Updf column that demotes to
+/// row storage whenever any recipe asks for a sample cloud.
+fn mixed_batch(rows: &[MixedRow]) -> Vec<Tuple> {
+    let s = mixed_schema();
+    let mut tss: Vec<u64> = rows.iter().map(|r| r.0).collect();
+    tss.sort();
+    rows.iter()
+        .zip(tss)
+        .map(|(&(_, k, mean, existence, cloudy, lin), ts)| {
+            let m = if cloudy % 2 == 1 {
+                Value::from(Updf::Samples(WeightedSamples::new(
+                    vec![mean, mean + 1.0, mean - 0.5],
+                    vec![1.0, 2.0, 0.5],
+                )))
+            } else {
+                Value::from(Updf::Parametric(Dist::gaussian(mean + 0.25, 1.5)))
+            };
+            Tuple::derived(
+                s.clone(),
+                vec![
+                    Value::Int(k),
+                    Value::Str(format!("g{k}")),
+                    Value::Float(mean * 2.0),
+                    Value::from(Updf::Parametric(Dist::gaussian(mean, 1.0))),
+                    m,
+                ],
+                ts,
+                existence,
+                lineage_from(vec![lin]),
+            )
+        })
+        .collect()
+}
+
+/// Exact tuple fingerprint: ts, existence bits, lineage ids, and the
+/// full Debug rendering of every value.
+fn fingerprint(t: &Tuple) -> String {
+    format!(
+        "ts={} ex={:016x} lin={:?} vals={:?}",
+        t.ts,
+        t.existence.to_bits(),
+        t.lineage.ids(),
+        t.values()
+    )
+}
+
+fn arb_mixed_rows() -> impl proptest::strategy::Strategy<Value = Vec<MixedRow>> {
+    proptest::collection::vec(
+        (
+            0u64..5_000,
+            0i64..6,
+            -3.0f64..3.0,
+            0.01f64..1.0,
+            0u64..2,
+            0u64..100,
+        ),
+        1..150,
+    )
 }
 
 proptest! {
@@ -139,6 +220,73 @@ proptest! {
             prop_assert!((e - p1 * p2).abs() < 1e-9);
             prop_assert!(e <= p1 + 1e-12 && e <= p2 + 1e-12);
         }
+    }
+
+    /// Columnar decomposition is lossless: columnarize → hydrate returns
+    /// every tuple bit-identically — values, timestamps, existence bits,
+    /// lineage — for arbitrary mixed-payload batches, including the
+    /// heterogeneous column's row fallback.
+    #[test]
+    fn columnarize_hydrate_preserves_everything(rows in arb_mixed_rows()) {
+        let tuples = mixed_batch(&rows);
+        let want: Vec<String> = tuples.iter().map(fingerprint).collect();
+        let mut b = Batch::from(tuples);
+        prop_assert!(b.columnarize(), "shared schema must columnarize");
+        prop_assert!(b.is_columnar());
+        let got: Vec<String> = b.into_vec().iter().map(fingerprint).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Columnar and row execution are observationally identical: the
+    /// same Select → Project → keyed WindowedAggregate chain over the
+    /// same tuples produces value/ts/existence/lineage-identical output
+    /// streams whether the batch enters as rows or as columns (where the
+    /// operators take their vectorized fast paths).
+    #[test]
+    fn columnar_execution_identical_to_rows(rows in arb_mixed_rows()) {
+        let mk_chain = || {
+            let sel = Select::new(Predicate::UncertainAbove("x".into(), 0.0), 0.05)
+                .without_conditioning();
+            let proj = Project::new(vec![
+                Derivation::CertainLinear {
+                    input: "f".into(),
+                    a: 2.0,
+                    b: 1.0,
+                    out: "cf".into(),
+                },
+                Derivation::Linear {
+                    input: "x".into(),
+                    a: 0.5,
+                    b: 1.0,
+                    out: "y".into(),
+                },
+            ]);
+            let agg = WindowedAggregate::keyed_by_field(
+                WindowKind::Tumbling(1_000),
+                "k",
+                vec![AggSpec {
+                    field: "y".into(),
+                    func: AggFunc::Sum,
+                    out: "total".into(),
+                    strategy: Strategy::Clt,
+                }],
+            );
+            (sel, proj, agg)
+        };
+        let run = |mut batch: Batch| -> Vec<String> {
+            let (mut sel, mut proj, mut agg) = mk_chain();
+            batch = sel.process_batch(0, batch);
+            batch = proj.process_batch(0, batch);
+            let mut out = agg.process_batch(0, batch).into_vec();
+            out.extend(agg.flush());
+            out.iter().map(fingerprint).collect()
+        };
+        let tuples = mixed_batch(&rows);
+        let row_out = run(Batch::from(tuples.clone()));
+        let mut columnar = Batch::from(tuples);
+        prop_assert!(columnar.columnarize());
+        let col_out = run(columnar);
+        prop_assert_eq!(col_out, row_out);
     }
 
     /// Poisson–binomial COUNT: mean = Σeᵢ, variance = Σeᵢ(1−eᵢ), and the

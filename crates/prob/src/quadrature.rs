@@ -54,6 +54,118 @@ fn simpson_recurse<F: Fn(f64) -> f64>(
     }
 }
 
+/// Composite Filon quadrature of the oscillatory pair
+/// (∫ₐᵇ f(x)·cos(tx) dx, ∫ₐᵇ f(x)·sin(tx) dx) on a uniform grid of
+/// `intervals` panels (`intervals` even, one `f` evaluation per grid
+/// point). On each double panel `f` is fitted by the interpolating
+/// quadratic and the product with the oscillation is integrated
+/// *exactly* via the classical Filon weights α(θ), β(θ), γ(θ) with
+/// θ = t·h — so the step size only has to resolve `f`, never the
+/// oscillation. The small-θ weights switch to their Taylor series to
+/// dodge the catastrophic cancellation in the closed forms (θ → 0
+/// recovers composite Simpson: α → 0, β → 2/3, γ → 4/3).
+pub fn filon_cos_sin<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    t: f64,
+    intervals: usize,
+) -> (f64, f64) {
+    assert!(
+        intervals >= 2 && intervals.is_multiple_of(2),
+        "need an even grid"
+    );
+    assert!(t != 0.0, "t = 0 is not oscillatory; use adaptive_simpson");
+    let n = intervals;
+    let h = (b - a) / n as f64;
+    let (alpha, beta, gamma) = filon_weights(t * h);
+    let (mut c_even, mut c_odd, mut s_even, mut s_odd) = (0.0, 0.0, 0.0, 0.0);
+    let (mut fa_cos, mut fa_sin, mut fb_cos, mut fb_sin) = (0.0, 0.0, 0.0, 0.0);
+    for i in 0..=n {
+        let x = if i == n { b } else { a + i as f64 * h };
+        let fx = f(x);
+        let (sin_tx, cos_tx) = (t * x).sin_cos();
+        if i % 2 == 0 {
+            c_even += fx * cos_tx;
+            s_even += fx * sin_tx;
+        } else {
+            c_odd += fx * cos_tx;
+            s_odd += fx * sin_tx;
+        }
+        if i == 0 {
+            fa_cos = fx * cos_tx;
+            fa_sin = fx * sin_tx;
+        }
+        if i == n {
+            fb_cos = fx * cos_tx;
+            fb_sin = fx * sin_tx;
+        }
+    }
+    c_even -= 0.5 * (fa_cos + fb_cos);
+    s_even -= 0.5 * (fa_sin + fb_sin);
+    let cos_int = h * (alpha * (fb_sin - fa_sin) + beta * c_even + gamma * c_odd);
+    let sin_int = h * (alpha * (fa_cos - fb_cos) + beta * s_even + gamma * s_odd);
+    (cos_int, sin_int)
+}
+
+/// Filon's α, β, γ as functions of θ = t·h (Abramowitz & Stegun
+/// 25.4.47ff), with the θ → 0 Taylor series below |θ| = 1/6.
+fn filon_weights(theta: f64) -> (f64, f64, f64) {
+    let th = theta;
+    let t2 = th * th;
+    if th.abs() < 1.0 / 6.0 {
+        let alpha = th * t2 * (2.0 / 45.0 + t2 * (-2.0 / 315.0 + t2 * (2.0 / 4725.0)));
+        let beta = 2.0 / 3.0 + t2 * (2.0 / 15.0 + t2 * (-4.0 / 105.0 + t2 * (2.0 / 567.0)));
+        let gamma = 4.0 / 3.0 + t2 * (-2.0 / 15.0 + t2 * (1.0 / 210.0 + t2 * (-1.0 / 11340.0)));
+        (alpha, beta, gamma)
+    } else {
+        let (s, c) = th.sin_cos();
+        let t3 = t2 * th;
+        let alpha = (t2 + th * s * c - 2.0 * s * s) / t3;
+        let beta = 2.0 * (th * (1.0 + c * c) - 2.0 * s * c) / t3;
+        let gamma = 4.0 * (s - th * c) / t3;
+        (alpha, beta, gamma)
+    }
+}
+
+/// Gauss–Legendre nodes and weights on [−1, 1] (ascending nodes), by
+/// Newton iteration on the Legendre recurrence from Chebyshev initial
+/// guesses. Exact for polynomials of degree ≤ 2n−1.
+pub fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(n >= 1);
+    let mut nodes = vec![0.0; n];
+    let mut weights = vec![0.0; n];
+    let m = n.div_ceil(2);
+    for i in 0..m {
+        // i-th largest root.
+        let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        let mut dp = 0.0;
+        for _ in 0..100 {
+            let (mut p0, mut p1) = (1.0f64, 0.0f64);
+            for j in 0..n {
+                let p2 = p1;
+                p1 = p0;
+                p0 = (((2 * j + 1) as f64) * x * p1 - j as f64 * p2) / (j as f64 + 1.0);
+            }
+            dp = n as f64 * (x * p0 - p1) / (x * x - 1.0);
+            let dx = p0 / dp;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        let w = 2.0 / ((1.0 - x * x) * dp * dp);
+        nodes[n - 1 - i] = x;
+        nodes[i] = -x;
+        weights[n - 1 - i] = w;
+        weights[i] = w;
+    }
+    if n % 2 == 1 {
+        nodes[n / 2] = 0.0;
+    }
+    (nodes, weights)
+}
+
 /// Trapezoid rule on a uniform grid of `n` intervals (n+1 evaluations).
 pub fn trapezoid<F: Fn(f64) -> f64>(f: &F, a: f64, b: f64, n: usize) -> f64 {
     assert!(n >= 1, "trapezoid needs at least one interval");
@@ -145,6 +257,53 @@ mod tests {
         let fine = trapezoid(&|x: f64| x.sin(), 0.0, std::f64::consts::PI, 4096);
         assert!((fine - 2.0).abs() < (coarse - 2.0).abs());
         close(fine, 2.0, 1e-6);
+    }
+
+    #[test]
+    fn filon_matches_closed_form_on_oscillatory_products() {
+        // ∫₀^π x·cos(t x) and x·sin(t x) against the exact
+        // antiderivatives, across slow and fast oscillation. (An adaptive
+        // Simpson reference would alias here: for t = −8 every dyadic
+        // sample sees cos(8x) = 1 and it confidently returns ∫x dx.)
+        let l = std::f64::consts::PI;
+        for &t in &[0.3f64, 2.0, 17.0, 61.5, -8.0] {
+            let f = |x: f64| x;
+            let (c, s) = filon_cos_sin(&f, 0.0, l, t, 512);
+            let want_c = ((t * l).cos() - 1.0) / (t * t) + l * (t * l).sin() / t;
+            let want_s = (t * l).sin() / (t * t) - l * (t * l).cos() / t;
+            close(c, want_c, 1e-10);
+            close(s, want_s, 1e-10);
+        }
+    }
+
+    #[test]
+    fn filon_small_theta_degrades_to_simpson() {
+        // θ = t·h far below the series cutoff: Filon must agree with the
+        // smooth-integrand answer (here exact: a quadratic times cos of a
+        // barely-oscillating phase).
+        let f = |x: f64| 1.0 + x * x;
+        let (c, s) = filon_cos_sin(&f, -1.0, 1.0, 1e-4, 64);
+        let want_c = adaptive_simpson(&|x: f64| (1.0 + x * x) * (1e-4 * x).cos(), -1.0, 1.0, 1e-13);
+        let want_s = adaptive_simpson(&|x: f64| (1.0 + x * x) * (1e-4 * x).sin(), -1.0, 1.0, 1e-13);
+        close(c, want_c, 1e-12);
+        close(s, want_s, 1e-12);
+    }
+
+    #[test]
+    fn gauss_legendre_exact_for_low_degree() {
+        // n = 5 integrates degree ≤ 9 exactly on [−1, 1].
+        let (x, w) = gauss_legendre(5);
+        assert_eq!(x.len(), 5);
+        close(w.iter().sum::<f64>(), 2.0, 1e-14);
+        let int_x8: f64 = x.iter().zip(&w).map(|(xi, wi)| wi * xi.powi(8)).sum();
+        close(int_x8, 2.0 / 9.0, 1e-13);
+        let int_x9: f64 = x.iter().zip(&w).map(|(xi, wi)| wi * xi.powi(9)).sum();
+        close(int_x9, 0.0, 1e-14);
+        // Nodes come out ascending and symmetric.
+        for pair in x.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        close(x[0] + x[4], 0.0, 1e-14);
     }
 
     #[test]

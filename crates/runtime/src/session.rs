@@ -55,12 +55,13 @@
 //! returns [`EngineError::OperatorPanicked`] — the server maps this to
 //! a typed `QueryPanicked` serving error.
 
-use crate::plan::{shard_of, ShardPlan};
+use crate::plan::{shard_of, stable_key_hash, RouteRule, ShardPlan};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::collections::{BTreeMap, HashMap};
 use std::thread::JoinHandle;
 use ustream_core::batch::{Batch, BatchPool};
 use ustream_core::canon;
+use ustream_core::columnar::Columns;
 use ustream_core::error::{panic_message, EngineError, Result};
 use ustream_core::query::{ExecSession, QueryGraph};
 use ustream_core::{NodeId, Tuple};
@@ -355,13 +356,108 @@ impl StagedCore {
         Ok(())
     }
 
-    fn push_batch(&mut self, node: NodeId, port: usize, batch: Batch) -> Result<()> {
+    /// Deliver one columnar run straight to a stage-0 slot, after
+    /// flushing any pending row run so per-slot arrival order is
+    /// preserved.
+    fn push_cols_to_shard(
+        &mut self,
+        shard: usize,
+        node: usize,
+        port: usize,
+        cols: Columns,
+    ) -> Result<()> {
+        self.flush_builder(0, shard)?;
+        let slot = self.slot_id(0, shard);
+        let local = self.stages[0].local_of[node].expect("routed node belongs to its stage");
+        let batch = Batch::from_columns(cols);
+        let worker = self.worker_of(shard);
+        if worker == 0 {
+            let st = self.inline.get_mut(&slot).expect("inline slot exists");
+            st.run(|s| s.push(local, port, batch));
+            if let Some(msg) = st.poisoned.clone() {
+                return Err(self.fail(format!("worker 0 (driver): {msg}")));
+            }
+            Ok(())
+        } else {
+            self.senders[worker - 1]
+                .send(WorkerMsg::Push {
+                    slot,
+                    node: local,
+                    port,
+                    batch,
+                })
+                .map_err(|_| self.fail("worker disconnected mid-stream".into()))
+        }
+    }
+
+    /// Route a columnar batch at stage 0 without materializing tuples:
+    /// whole-batch delivery for pinned entries, per-row key-column
+    /// hashing for keyed entries whose anchor declares its key field
+    /// ([`ustream_core::Operator::partition_key_field`]). Returns
+    /// `false` when the rule or the batch's shape needs the row path —
+    /// spread entries (the round-robin counter is per-tuple), closure
+    /// keys, a missing key field, or any row whose key cell is not
+    /// groupable (the row path's key closure decides what happens
+    /// there, e.g. keyless-spread or a routing panic).
+    fn route_columns(&mut self, node: usize, port: usize, batch: &mut Batch) -> Result<bool> {
+        let rule = self.plan.rule(NodeId::from_index(node));
+        match rule {
+            RouteRule::Pinned => {
+                let cols = batch.take_columns().expect("columnar batch");
+                self.push_cols_to_shard(0, node, port, cols)?;
+                Ok(true)
+            }
+            RouteRule::Keyed { anchor, .. } => {
+                let Some(field) = self
+                    .prototype
+                    .operator(anchor)
+                    .partition_key_field()
+                    .map(str::to_string)
+                else {
+                    return Ok(false);
+                };
+                let Some(cols_ref) = batch.columns() else {
+                    return Ok(false);
+                };
+                let Ok(idx) = cols_ref.schema().index_of(&field) else {
+                    return Ok(false);
+                };
+                let key_col = cols_ref.col(idx);
+                let mut row_shard = Vec::with_capacity(cols_ref.len());
+                for r in 0..cols_ref.len() {
+                    match key_col.group_key_at(r) {
+                        Some(k) => {
+                            row_shard.push((stable_key_hash(&k) % self.shards as u64) as usize)
+                        }
+                        None => return Ok(false),
+                    }
+                }
+                let cols = batch.take_columns().expect("columnar batch");
+                for shard in 0..self.shards {
+                    if !row_shard.contains(&shard) {
+                        continue;
+                    }
+                    let keep: Vec<bool> = row_shard.iter().map(|&s| s == shard).collect();
+                    let mut part = cols.clone();
+                    part.filter(&keep);
+                    self.push_cols_to_shard(shard, node, port, part)?;
+                }
+                Ok(true)
+            }
+            RouteRule::Spread => Ok(false),
+        }
+    }
+
+    fn push_batch(&mut self, node: NodeId, port: usize, mut batch: Batch) -> Result<()> {
         self.guard()?;
-        if let Some(max_ts) = batch.iter().map(|t| t.ts).max() {
+        if let Some(max_ts) = batch.max_ts() {
             self.watermark = self.watermark.max(max_ts);
         }
         let stage = self.plan.stage_of(node);
         if stage == 0 {
+            if batch.is_columnar() && self.route_columns(node.index(), port, &mut batch)? {
+                return Ok(());
+            }
             for tuple in batch {
                 self.route_one(0, node.index(), port, tuple)?;
             }

@@ -10,12 +10,34 @@
 //! [`Event::Eos`]. Result frames that arrive while a different reply is
 //! awaited are queued, so a connection may publish and subscribe at
 //! once.
+//!
+//! ## Auto-heartbeat
+//!
+//! An idle-but-alive publisher stalls the server's k-way merge: results
+//! are gated on every unfinished publisher's watermark, so one quiet
+//! connection delays every subscriber's windows. Publisher connections
+//! therefore run a background heartbeat timer by default: the client
+//! tracks the publisher's event-time clock (the highest timestamp it
+//! has published, ratcheted further by [`Client::advance_watermark`])
+//! and the timer advertises it to the server whenever it advances — the
+//! application no longer has to remember to call [`Client::heartbeat`]
+//! on a schedule of its own. The timer never *invents* time: it only
+//! repeats what this process has already published or explicitly
+//! promised, so synthetic-timestamp streams are never corrupted by a
+//! wall clock. Opt out with [`Client::publisher_manual`] when the
+//! application owns all watermark advertisement.
 
 use crate::protocol::{self, ErrorCode, OpStat, Request, Response};
 use crate::wire::WireError;
 use std::collections::VecDeque;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, TryLockError, Weak};
 use ustream_core::Tuple;
+
+/// How often the background timer checks whether the publisher's clock
+/// advanced past the last advertised watermark.
+const HEARTBEAT_TICK: std::time::Duration = std::time::Duration::from_millis(50);
 
 /// Client-side failures.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,18 +89,64 @@ pub enum Event {
     Eos,
 }
 
-/// One connection to an ingest server.
-pub struct Client {
+/// The connection state every request/reply cycle needs: holding the
+/// lock for the whole cycle keeps the strict request/response discipline
+/// intact when the heartbeat timer shares the stream with the
+/// application thread (each party's reply can never be consumed by the
+/// other).
+struct Conn {
     stream: TcpStream,
-    client_id: u64,
     /// Result/Eos frames that arrived while awaiting another reply.
     queued: VecDeque<Event>,
+}
+
+/// Shared state between a publisher [`Client`] and its heartbeat timer.
+struct HeartbeatState {
+    /// The publisher's event-time clock: the highest timestamp published
+    /// on this connection, ratcheted further by
+    /// [`Client::advance_watermark`]. Zero means "no clock yet" — the
+    /// timer stays silent.
+    clock: AtomicU64,
+    /// Highest watermark already advertised (by the timer or a manual
+    /// [`Client::heartbeat`]); the timer only speaks when the clock
+    /// moves past this.
+    advertised: AtomicU64,
+    /// Set by [`Client::finish`] (and drop) before the Finish frame goes
+    /// out, so the timer never heartbeats a finished publisher.
+    stop: AtomicBool,
+}
+
+/// One connection to an ingest server.
+pub struct Client {
+    conn: Arc<Mutex<Conn>>,
+    client_id: u64,
+    /// Present on publisher connections with the background timer.
+    heartbeat: Option<Arc<HeartbeatState>>,
 }
 
 impl Client {
     /// Connect in the publisher role: this connection participates in
     /// end-of-stream accounting and must eventually [`Client::finish`].
+    /// Runs the background heartbeat timer (see the module docs); use
+    /// [`Client::publisher_manual`] to opt out.
     pub fn publisher(addr: impl ToSocketAddrs) -> ClientResult<Client> {
+        let mut c = Client::connect(addr, true)?;
+        let state = Arc::new(HeartbeatState {
+            clock: AtomicU64::new(0),
+            advertised: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let weak = Arc::downgrade(&c.conn);
+        let thread_state = state.clone();
+        std::thread::spawn(move || heartbeat_loop(weak, thread_state));
+        c.heartbeat = Some(state);
+        Ok(c)
+    }
+
+    /// Connect in the publisher role without the background heartbeat
+    /// timer: the application owns all watermark advertisement via
+    /// [`Client::heartbeat`].
+    pub fn publisher_manual(addr: impl ToSocketAddrs) -> ClientResult<Client> {
         Client::connect(addr, true)
     }
 
@@ -92,18 +160,28 @@ impl Client {
 
     fn connect(addr: impl ToSocketAddrs, publisher: bool) -> ClientResult<Client> {
         let stream = TcpStream::connect(addr)?;
-        let mut c = Client {
+        let mut conn = Conn {
             stream,
-            client_id: 0,
             queued: VecDeque::new(),
         };
-        protocol::write_request(&mut c.stream, &Request::Hello { publisher })?;
-        match c.await_reply()? {
-            Response::HelloAck { client_id } => {
-                c.client_id = client_id;
-                Ok(c)
-            }
+        protocol::write_request(&mut conn.stream, &Request::Hello { publisher })?;
+        match await_reply(&mut conn)? {
+            Response::HelloAck { client_id } => Ok(Client {
+                conn: Arc::new(Mutex::new(conn)),
+                client_id,
+                heartbeat: None,
+            }),
             other => Err(unexpected(other)),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Conn> {
+        // A panic mid-reply on another thread leaves the stream out of
+        // frame sync anyway; inheriting the poisoned state's data is the
+        // best a sync client can do.
+        match self.conn.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
         }
     }
 
@@ -115,25 +193,38 @@ impl Client {
     /// Bound how long reads may block (tests use this to fail instead of
     /// hanging when a server drops the ball). `None` blocks forever.
     pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> ClientResult<()> {
-        self.stream.set_read_timeout(timeout)?;
+        self.lock().stream.set_read_timeout(timeout)?;
         Ok(())
     }
 
     /// Append tuples to the named source stream (input `port` of the
     /// source's entry operator; 0 for unary entries). Blocks until the
-    /// server acknowledges; returns the accepted tuple count.
+    /// server acknowledges; returns the accepted tuple count. Ratchets
+    /// the auto-heartbeat clock to the batch's highest timestamp.
     pub fn publish(&mut self, source: &str, port: u16, tuples: &[Tuple]) -> ClientResult<usize> {
-        protocol::write_publish(&mut self.stream, source, port, tuples)?;
-        match self.await_reply()? {
-            Response::Ack { count } => Ok(count as usize),
+        let max_ts = tuples.iter().map(|t| t.ts).max();
+        let mut conn = self.lock();
+        protocol::write_publish(&mut conn.stream, source, port, tuples)?;
+        match await_reply(&mut conn)? {
+            Response::Ack { count } => {
+                drop(conn);
+                if let (Some(state), Some(ts)) = (&self.heartbeat, max_ts) {
+                    state.clock.fetch_max(ts, Ordering::AcqRel);
+                    // Published data already carries this watermark to
+                    // the merge; no need for the timer to repeat it.
+                    state.advertised.fetch_max(ts, Ordering::AcqRel);
+                }
+                Ok(count as usize)
+            }
             other => Err(unexpected(other)),
         }
     }
 
     /// Subscribe this connection to the query's sink streams.
     pub fn subscribe(&mut self) -> ClientResult<()> {
-        protocol::write_request(&mut self.stream, &Request::Subscribe)?;
-        match self.await_reply()? {
+        let mut conn = self.lock();
+        protocol::write_request(&mut conn.stream, &Request::Subscribe)?;
+        match await_reply(&mut conn)? {
             Response::Ack { .. } => Ok(()),
             other => Err(unexpected(other)),
         }
@@ -141,48 +232,79 @@ impl Client {
 
     /// Declare end of stream for this publisher. Once every publisher
     /// has finished, the server flushes the query and streams the final
-    /// windows to subscribers.
+    /// windows to subscribers. Stops the auto-heartbeat timer first, so
+    /// no heartbeat can trail the Finish frame.
     pub fn finish(&mut self) -> ClientResult<()> {
-        protocol::write_request(&mut self.stream, &Request::Finish)?;
-        match self.await_reply()? {
+        if let Some(state) = &self.heartbeat {
+            state.stop.store(true, Ordering::Release);
+        }
+        let mut conn = self.lock();
+        protocol::write_request(&mut conn.stream, &Request::Finish)?;
+        match await_reply(&mut conn)? {
             Response::Ack { .. } => Ok(()),
             other => Err(unexpected(other)),
         }
     }
 
+    /// Advance this publisher's event-time clock without publishing or
+    /// blocking: a promise that nothing older than `watermark` will ever
+    /// be published here. The background timer advertises the new clock
+    /// to the server on its next tick — the non-blocking analogue of
+    /// [`Client::heartbeat`], and the one call an idle publisher needs
+    /// so it stops delaying everyone else's results. No-op on
+    /// connections without the timer (use [`Client::heartbeat`] there).
+    pub fn advance_watermark(&self, watermark: u64) {
+        if let Some(state) = &self.heartbeat {
+            state.clock.fetch_max(watermark, Ordering::AcqRel);
+        }
+    }
+
     /// Promise the server that this publisher will publish nothing
-    /// older than `watermark` — the idle-but-alive signal. A publisher
-    /// that goes quiet while others keep publishing stalls the server's
-    /// timestamp merge (results are gated on every unfinished
-    /// publisher's progress); sending a heartbeat with the current
-    /// event-time clock, periodically while idle, keeps results
-    /// flowing. Publishing a tuple older than an advertised watermark
-    /// afterwards violates the ts-ordered stream contract, exactly as
-    /// publishing out of order would.
+    /// older than `watermark` — the idle-but-alive signal, sent
+    /// synchronously. A publisher that goes quiet while others keep
+    /// publishing stalls the server's timestamp merge (results are
+    /// gated on every unfinished publisher's progress); advertising the
+    /// current event-time clock keeps results flowing. Publishing a
+    /// tuple older than an advertised watermark afterwards violates the
+    /// ts-ordered stream contract, exactly as publishing out of order
+    /// would. Publishers with the background timer can use the
+    /// non-blocking [`Client::advance_watermark`] instead.
     pub fn heartbeat(&mut self, watermark: u64) -> ClientResult<()> {
-        protocol::write_request(&mut self.stream, &Request::Heartbeat { watermark })?;
-        match self.await_reply()? {
-            Response::Ack { .. } => Ok(()),
+        let mut conn = self.lock();
+        protocol::write_request(&mut conn.stream, &Request::Heartbeat { watermark })?;
+        match await_reply(&mut conn)? {
+            Response::Ack { .. } => {
+                drop(conn);
+                if let Some(state) = &self.heartbeat {
+                    state.clock.fetch_max(watermark, Ordering::AcqRel);
+                    state.advertised.fetch_max(watermark, Ordering::AcqRel);
+                }
+                Ok(())
+            }
             other => Err(unexpected(other)),
         }
     }
 
     /// Snapshot the served query's registered per-operator metrics.
     pub fn stats(&mut self) -> ClientResult<Vec<OpStat>> {
-        protocol::write_request(&mut self.stream, &Request::Stats)?;
-        match self.await_reply()? {
+        let mut conn = self.lock();
+        protocol::write_request(&mut conn.stream, &Request::Stats)?;
+        match await_reply(&mut conn)? {
             Response::Stats(stats) => Ok(stats),
             other => Err(unexpected(other)),
         }
     }
 
     /// Next streamed event (subscribers). Blocks until a result batch or
-    /// EOS arrives.
+    /// EOS arrives. Holds the connection for the wait, so a combined
+    /// publisher+subscriber connection pauses its heartbeat timer while
+    /// blocked here (the timer skips contended ticks).
     pub fn next_event(&mut self) -> ClientResult<Event> {
-        if let Some(ev) = self.queued.pop_front() {
+        let mut conn = self.lock();
+        if let Some(ev) = conn.queued.pop_front() {
             return Ok(ev);
         }
-        match protocol::read_response(&mut self.stream)? {
+        match protocol::read_response(&mut conn.stream)? {
             Response::Results { sink, tuples } => Ok(Event::Results {
                 sink: sink as usize,
                 tuples,
@@ -209,22 +331,69 @@ impl Client {
             }
         }
     }
+}
 
-    /// Read frames until a non-stream reply arrives, queueing any
-    /// `Results`/`Eos` pushed in between.
-    fn await_reply(&mut self) -> ClientResult<Response> {
-        loop {
-            match protocol::read_response(&mut self.stream)? {
-                Response::Results { sink, tuples } => self.queued.push_back(Event::Results {
-                    sink: sink as usize,
-                    tuples,
-                }),
-                Response::Eos => self.queued.push_back(Event::Eos),
-                Response::Error { code, message } => {
-                    return Err(ClientError::Server { code, message })
-                }
-                reply => return Ok(reply),
+impl Drop for Client {
+    fn drop(&mut self) {
+        if let Some(state) = &self.heartbeat {
+            state.stop.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Read frames until a non-stream reply arrives, queueing any
+/// `Results`/`Eos` pushed in between.
+fn await_reply(conn: &mut Conn) -> ClientResult<Response> {
+    loop {
+        match protocol::read_response(&mut conn.stream)? {
+            Response::Results { sink, tuples } => conn.queued.push_back(Event::Results {
+                sink: sink as usize,
+                tuples,
+            }),
+            Response::Eos => conn.queued.push_back(Event::Eos),
+            Response::Error { code, message } => return Err(ClientError::Server { code, message }),
+            reply => return Ok(reply),
+        }
+    }
+}
+
+/// The background heartbeat timer: whenever the publisher's clock moves
+/// past the last advertised watermark, send one heartbeat. Exits when
+/// the client finishes, drops, or the connection errors; skips ticks
+/// while the application thread holds the connection (its own traffic
+/// is advancing the merge anyway).
+fn heartbeat_loop(weak: Weak<Mutex<Conn>>, state: Arc<HeartbeatState>) {
+    loop {
+        std::thread::sleep(HEARTBEAT_TICK);
+        if state.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let clock = state.clock.load(Ordering::Acquire);
+        if clock == 0 || clock <= state.advertised.load(Ordering::Acquire) {
+            continue;
+        }
+        let Some(conn) = weak.upgrade() else { return };
+        let mut conn = match conn.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => continue,
+            Err(TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+        };
+        if state.stop.load(Ordering::Acquire) {
+            return;
+        }
+        if protocol::write_request(&mut conn.stream, &Request::Heartbeat { watermark: clock })
+            .is_err()
+        {
+            return;
+        }
+        match await_reply(&mut conn) {
+            Ok(Response::Ack { .. }) => {
+                state.advertised.fetch_max(clock, Ordering::AcqRel);
             }
+            // Any other outcome (typed error, transport failure) means
+            // this connection no longer wants heartbeats; the
+            // application's own calls surface the real condition.
+            _ => return,
         }
     }
 }

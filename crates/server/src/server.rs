@@ -560,8 +560,14 @@ impl Engine {
             let push = |session: &mut ShardedSession,
                         n: NodeId,
                         p: usize,
-                        b: Batch|
+                        mut b: Batch|
              -> Result<(), String> {
+                // Long same-destination runs go columnar so the sharded
+                // session routes by key column and operators hit their
+                // vectorized paths; short runs stay rows.
+                if b.len() >= ustream_core::query::COLUMNAR_MIN_CHUNK {
+                    b.columnarize();
+                }
                 session.push_batch(n, p, b).map_err(|e| e.to_string())
             };
             let mut cur: Option<(NodeId, usize, Batch)> = None;

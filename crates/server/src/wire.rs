@@ -27,7 +27,7 @@ use std::io::{Read, Write};
 use std::sync::Arc;
 use ustream_core::lineage::Lineage;
 use ustream_core::schema::{DataType, Field, Schema};
-use ustream_core::{Batch, Tuple, Updf, Value};
+use ustream_core::{Batch, Column, Columns, Tuple, Updf, Value};
 use ustream_prob::dist::{Dist, Gaussian, GaussianMixture, MixtureComponent, MvGaussian};
 use ustream_prob::histogram::HistogramPdf;
 use ustream_prob::samples::{WeightedSamples, WeightedSamplesNd};
@@ -186,6 +186,13 @@ impl<'a> Reader<'a> {
             });
         }
         (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// Look ahead `n` bytes without consuming them (`None` when fewer
+    /// remain) — lets the batch decoder recognize a fixed tag sequence
+    /// and take a columnar fast path.
+    pub fn peek(&self, n: usize) -> Option<&'a [u8]> {
+        self.buf.get(self.pos..self.pos + n)
     }
 
     /// Error unless the payload was consumed exactly.
@@ -736,14 +743,167 @@ pub fn decode_tuples(r: &mut Reader<'_>) -> WireResult<Vec<Tuple>> {
     }
 }
 
-/// [`encode_tuples`] over a [`Batch`].
+/// [`encode_tuples`] over a [`Batch`]. A columnar batch is encoded
+/// straight from its columns without materializing tuples; the
+/// decomposition is lossless, so the bytes are identical to hydrating
+/// first.
 pub fn encode_batch(out: &mut Vec<u8>, batch: &Batch) {
-    encode_tuples(out, batch.as_slice());
+    match batch.columns() {
+        Some(cols) if !cols.is_empty() => encode_columns(out, cols),
+        Some(_) => encode_tuples(out, &[]),
+        None => encode_tuples(out, batch.as_slice()),
+    }
 }
 
-/// [`decode_tuples`] into a [`Batch`].
+/// Row-major encode from columns. A `Columns` always carries one shared
+/// schema `Arc`, so this is always the [`BATCH_SHARED_SCHEMA`] framing —
+/// the same branch [`encode_tuples`] takes for the hydrated rows.
+fn encode_columns(out: &mut Vec<u8>, cols: &Columns) {
+    out.push(BATCH_SHARED_SCHEMA);
+    encode_schema(out, cols.schema());
+    out.extend_from_slice(&(cols.len() as u32).to_be_bytes());
+    for r in 0..cols.len() {
+        for c in 0..cols.num_cols() {
+            encode_cell(out, cols.col(c), r);
+        }
+        out.extend_from_slice(&cols.ts()[r].to_be_bytes());
+        put_f64(out, cols.existence()[r]);
+        let ids = cols.lineage()[r].ids();
+        out.extend_from_slice(&(ids.len() as u32).to_be_bytes());
+        for &id in ids {
+            out.extend_from_slice(&id.to_be_bytes());
+        }
+    }
+}
+
+/// Encode one column cell exactly as [`encode_value`] would encode the
+/// reconstructed `Value`.
+fn encode_cell(out: &mut Vec<u8>, col: &Column, r: usize) {
+    match col {
+        Column::Int(xs) => {
+            out.push(VALUE_INT);
+            out.extend_from_slice(&xs[r].to_be_bytes());
+        }
+        Column::Float(xs) => {
+            out.push(VALUE_FLOAT);
+            put_f64(out, xs[r]);
+        }
+        Column::Time(xs) => {
+            out.push(VALUE_TIME);
+            out.extend_from_slice(&xs[r].to_be_bytes());
+        }
+        Column::Str { codes, dict } => {
+            out.push(VALUE_STR);
+            put_str(out, &dict[codes[r] as usize]);
+        }
+        Column::Gaussian { mean, sd } => {
+            out.push(VALUE_UNCERTAIN);
+            out.push(UPDF_PARAMETRIC);
+            out.push(DIST_GAUSSIAN);
+            put_f64(out, mean[r]);
+            put_f64(out, sd[r]);
+        }
+        Column::Rows(vs) => encode_value(out, &vs[r]),
+    }
+}
+
+/// The three-byte tag prefix of a parametric-Gaussian uncertain value —
+/// the cell shape the columnar decoder turns into `(mean, sd)` column
+/// entries without boxing an `Updf`.
+const GAUSSIAN_CELL_TAGS: [u8; 3] = [VALUE_UNCERTAIN, UPDF_PARAMETRIC, DIST_GAUSSIAN];
+
+/// Decode one shared-schema tuple body directly into columns, applying
+/// the same validation as [`decode_tuple_body`].
+///
+/// Once a column has settled on a typed layout, a cell whose wire tag
+/// matches it decodes straight into the column vector — no
+/// intermediate `Value`. Mismatched tags (and the first row, while
+/// columns are still untyped) fall back to the generic
+/// decode-then-push path, which carries the demotion logic. The fast
+/// paths read exactly the bytes [`decode_value`] would and apply the
+/// same validation (Int/Float/Time cells have none), so accepted
+/// payloads and resulting columns are identical.
+fn decode_row_into(r: &mut Reader<'_>, cols: &mut Columns) -> WireResult<()> {
+    for c in 0..cols.num_cols() {
+        match cols.col_mut(c) {
+            Column::Int(xs) if r.peek(1) == Some(&[VALUE_INT]) => {
+                r.bytes(1)?;
+                xs.push(r.i64()?);
+            }
+            Column::Float(xs) if r.peek(1) == Some(&[VALUE_FLOAT]) => {
+                r.bytes(1)?;
+                xs.push(r.f64()?);
+            }
+            Column::Time(xs) if r.peek(1) == Some(&[VALUE_TIME]) => {
+                r.bytes(1)?;
+                xs.push(r.u64()?);
+            }
+            col => {
+                if r.peek(3) == Some(&GAUSSIAN_CELL_TAGS) {
+                    r.bytes(3)?;
+                    let (mean, sd) = (r.f64()?, r.f64()?);
+                    decode_gaussian(mean, sd)?;
+                    col.push_gaussian(mean, sd);
+                } else {
+                    let v = decode_value(r)?;
+                    col.push_value(v);
+                }
+            }
+        }
+    }
+    let ts = r.u64()?;
+    let existence = r.f64()?;
+    if !(0.0..=1.0).contains(&existence) {
+        return Err(WireError::InvalidPayload("existence outside [0, 1]"));
+    }
+    let n_ids = r.u32()? as usize;
+    let id_bytes = n_ids
+        .checked_mul(8)
+        .ok_or(WireError::InvalidPayload("length overflow"))?;
+    if id_bytes > r.remaining() {
+        return Err(WireError::Truncated {
+            needed: id_bytes,
+            have: r.remaining(),
+        });
+    }
+    let ids: Vec<u64> = (0..n_ids).map(|_| r.u64()).collect::<WireResult<_>>()?;
+    let lineage = Lineage::from_sorted_ids(ids).ok_or(WireError::InvalidPayload(
+        "lineage ids not strictly increasing",
+    ))?;
+    cols.push_meta(ts, existence, lineage);
+    Ok(())
+}
+
+/// Decode a batch. Shared-schema frames decode **in place into the
+/// columnar layout**: each value lands directly in its typed column
+/// (parametric Gaussians as raw `(mean, sd)` pairs), so downstream
+/// operators get vectorized input without a row → column conversion
+/// pass. Mixed-schema frames decode to rows as before. Validation is
+/// identical to [`decode_tuples`] either way.
 pub fn decode_batch(r: &mut Reader<'_>) -> WireResult<Batch> {
-    Ok(Batch::from(decode_tuples(r)?))
+    match r.u8()? {
+        BATCH_SHARED_SCHEMA => {
+            let schema = decode_schema(r)?;
+            let n = r.u32()? as usize;
+            if n == 0 {
+                return Ok(Batch::new());
+            }
+            let mut cols = Columns::with_capacity(schema, n);
+            for _ in 0..n {
+                decode_row_into(r, &mut cols)?;
+            }
+            Ok(Batch::from_columns(cols))
+        }
+        BATCH_MIXED => {
+            let n = r.u32()? as usize;
+            let mut tuples = Vec::new();
+            for _ in 0..n {
+                tuples.push(decode_tuple(r)?);
+            }
+            Ok(Batch::from(tuples))
+        }
+        tag => Err(WireError::UnknownTag { what: "Batch", tag }),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -939,6 +1099,92 @@ mod tests {
         let back = decode_tuples(&mut r).unwrap();
         r.finish().unwrap();
         assert_eq!(back[1].float("b").unwrap(), 2.0);
+    }
+
+    #[test]
+    fn shared_schema_frames_decode_columnar_and_reencode_byte_identically() {
+        let s = Schema::builder()
+            .field("tag", DataType::Int)
+            .field("zone", DataType::Str)
+            .field("x", DataType::Uncertain)
+            .field("mixed", DataType::Uncertain)
+            .build();
+        let tuples: Vec<Tuple> = (0..9)
+            .map(|i| {
+                // `mixed` alternates payload shapes, forcing that column
+                // into the row fallback while the others stay typed.
+                let mixed = if i % 2 == 0 {
+                    Value::from(Updf::Parametric(Dist::gaussian(i as f64, 1.0)))
+                } else {
+                    Value::from(Updf::Samples(WeightedSamples::new(
+                        vec![i as f64, i as f64 + 1.0],
+                        vec![1.0, 3.0],
+                    )))
+                };
+                Tuple::derived(
+                    s.clone(),
+                    vec![
+                        Value::Int(i),
+                        Value::Str(format!("z{}", i % 3)),
+                        Value::from(Updf::Parametric(Dist::gaussian(0.5 * i as f64, 2.0))),
+                        mixed,
+                    ],
+                    i as u64 * 10,
+                    1.0 - 0.05 * (i % 4) as f64,
+                    Lineage::base(i as u64),
+                )
+            })
+            .collect();
+        let mut bytes = Vec::new();
+        encode_tuples(&mut bytes, &tuples);
+        assert_eq!(bytes[0], BATCH_SHARED_SCHEMA);
+
+        let mut r = Reader::new(&bytes);
+        let batch = decode_batch(&mut r).unwrap();
+        r.finish().unwrap();
+        assert!(batch.is_columnar(), "shared-schema frame decodes in place");
+        let cols = batch.columns().unwrap();
+        assert!(cols.col(0).as_int().is_some());
+        assert!(cols.col(1).as_str_dict().is_some());
+        assert!(
+            cols.col(2).as_gaussian().is_some(),
+            "parametric gaussians land in the typed column"
+        );
+        assert!(
+            cols.col(3).as_rows().is_some(),
+            "heterogeneous payloads fall back to rows"
+        );
+
+        // Re-encoding straight from columns reproduces the frame.
+        let mut again = Vec::new();
+        encode_batch(&mut again, &batch);
+        assert_eq!(bytes, again, "columnar encode must be byte-identical");
+
+        // And the hydrated rows match the row decoder exactly.
+        let rows = decode_tuples(&mut Reader::new(&bytes)).unwrap();
+        let hydrated = batch.into_vec();
+        assert_eq!(format!("{hydrated:?}"), format!("{rows:?}"));
+    }
+
+    #[test]
+    fn columnar_decode_validates_like_the_row_decoder() {
+        let s = Schema::builder().field("x", DataType::Uncertain).build();
+        let t = Tuple::new(
+            s,
+            vec![Value::from(Updf::Parametric(Dist::gaussian(1.0, 2.0)))],
+            5,
+        );
+        let mut bytes = Vec::new();
+        encode_tuples(&mut bytes, std::slice::from_ref(&t));
+        // Corrupt the sd bits (the trailing 8 bytes before ts/existence/
+        // lineage = last 8+8+4+8 = 28 bytes; sd sits just before them).
+        let sd_at = bytes.len() - 28 - 8;
+        bytes[sd_at..sd_at + 8].copy_from_slice(&(-1.0f64).to_bits().to_be_bytes());
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            decode_batch(&mut r),
+            Err(WireError::InvalidPayload(_))
+        ));
     }
 
     #[test]

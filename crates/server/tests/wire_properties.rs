@@ -239,6 +239,74 @@ proptest! {
         prop_assert_eq!(bytes, again);
     }
 
+    /// Shared-schema frames decode straight into columns — including
+    /// heterogeneous columns that demote to row storage — re-encode
+    /// byte-identically from the columnar form, and hydrate to exactly
+    /// what the row decoder produces.
+    #[test]
+    fn columnar_decode_roundtrips_byte_exactly(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nfields = rng.gen_range(1..5usize);
+        let schema: Arc<Schema> = Schema::new(
+            (0..nfields)
+                .map(|i| Field::new(format!("f{i}"), DataType::Int))
+                .collect(),
+        );
+        // Per-column payload style: typed columns (Int/Float/Str/
+        // Gaussian) or fully arbitrary values, which force that column
+        // into the row-fallback representation.
+        let styles: Vec<u8> = (0..nfields).map(|_| rng.gen_range(0..5)).collect();
+        let n = rng.gen_range(1..30usize);
+        let tuples: Vec<Tuple> = (0..n)
+            .map(|i| {
+                let values: Vec<Value> = styles
+                    .iter()
+                    .map(|&st| match st {
+                        0 => Value::Int(rng.gen()),
+                        1 => Value::Float(rng.gen_range(-1e3..1e3)),
+                        2 => Value::Str(format!("s{}", rng.gen_range(0..8u8))),
+                        3 => Value::from(Updf::Parametric(Dist::gaussian(
+                            rng.gen_range(-50.0..50.0),
+                            rng.gen_range(0.01..9.0),
+                        ))),
+                        _ => arb_value(&mut rng),
+                    })
+                    .collect();
+                let mut lineage = Lineage::empty();
+                for _ in 0..rng.gen_range(0..4usize) {
+                    lineage = lineage.union(&Lineage::base(rng.gen()));
+                }
+                Tuple::derived(
+                    schema.clone(),
+                    values,
+                    i as u64,
+                    rng.gen_range(0.0..1.0),
+                    lineage,
+                )
+            })
+            .collect();
+        let mut bytes = Vec::new();
+        wire::encode_tuples(&mut bytes, &tuples);
+        let mut r = wire::Reader::new(&bytes);
+        let batch = wire::decode_batch(&mut r).expect("valid encoding must decode");
+        r.finish().expect("decode must consume the payload exactly");
+        prop_assert!(batch.is_columnar(), "shared-schema frame must decode columnar");
+        let mut again = Vec::new();
+        wire::encode_batch(&mut again, &batch);
+        prop_assert_eq!(&bytes, &again, "columnar re-encode must be byte-identical");
+        // Hydration matches the row decoder tuple-for-tuple.
+        let rows = batch.into_vec();
+        let mut r2 = wire::Reader::new(&bytes);
+        let want = wire::decode_tuples(&mut r2).expect("row decode");
+        prop_assert_eq!(rows.len(), want.len());
+        for (a, b) in rows.iter().zip(&want) {
+            prop_assert_eq!(a.ts, b.ts);
+            prop_assert_eq!(a.existence.to_bits(), b.existence.to_bits());
+            prop_assert_eq!(a.lineage.clone(), b.lineage.clone());
+            prop_assert_eq!(format!("{:?}", a.values()), format!("{:?}", b.values()));
+        }
+    }
+
     /// Truncating a valid encoding at *any* point yields a typed error
     /// (or, for value payloads, never a panic) — the decoder must not
     /// read past the buffer or allocate from a lying length.

@@ -68,10 +68,88 @@ fn join_outputs_carry_joint_lineage_and_probability() {
     let out = join.process(1, t);
     assert_eq!(out.len(), 1);
     let alert = &out[0];
-    assert!(alert.existence > 0.5, "co-located: p = {}", alert.existence);
+    // Exact expectation: the difference of the two isotropic locations
+    // is diagonal with per-axis variance 0.4² + 0.2², so the box
+    // probability is the product of independent 1-d Gaussian bands —
+    // computable in closed form without touching the multivariate code
+    // path under test.
+    let sd = (0.4f64 * 0.4 + 0.2 * 0.2).sqrt();
+    let expected = Dist::gaussian(5.0 - 5.2, sd).prob_in(-3.0, 3.0)
+        * Dist::gaussian(5.0 - 4.9, sd).prob_in(-3.0, 3.0);
+    assert!(
+        (alert.existence - expected).abs() < 1e-9,
+        "co-located: p = {}, closed form {}",
+        alert.existence,
+        expected
+    );
     assert_eq!(alert.lineage, o_lineage.union(&t_lineage));
     assert!(alert.get("temp").is_ok());
     assert!(alert.get("r_loc").is_ok(), "clashing field prefixed");
+}
+
+#[test]
+fn correlated_3d_location_join_probability_is_quadrature_exact() {
+    // A correlated 3-d location forces the join's box probability
+    // through the deterministic Genz quadrature (d > 2, off-diagonal
+    // covariance). Built block-diagonal — a correlated (x, y) block plus
+    // an independent z — so the exact answer factors into the 2-d
+    // conditional quadrature times a closed-form marginal band, and the
+    // tolerance can sit at quadrature accuracy instead of the ~1e-2 the
+    // old Monte-Carlo fallback allowed.
+    let obj_schema = Schema::builder()
+        .field("tag_id", DataType::Int)
+        .field("loc", DataType::UncertainVec(3))
+        .build();
+    let temp_schema = Schema::builder()
+        .field("loc", DataType::UncertainVec(3))
+        .field("temp", DataType::Uncertain)
+        .build();
+    let obj_cov = vec![
+        0.16, 0.08, 0.0, //
+        0.08, 0.16, 0.0, //
+        0.0, 0.0, 0.16,
+    ];
+    let o = Tuple::new(
+        obj_schema,
+        vec![
+            Value::Int(7),
+            Value::from(Updf::Mv(MvGaussian::new(vec![5.0, 5.0, 1.0], obj_cov))),
+        ],
+        100,
+    );
+    let t = Tuple::new(
+        temp_schema,
+        vec![
+            Value::from(Updf::Mv(MvGaussian::isotropic(vec![5.2, 4.9, 1.3], 0.2))),
+            Value::from(Updf::Parametric(Dist::gaussian(65.0, 1.0))),
+        ],
+        200,
+    );
+    let mut join = WindowJoin::new(
+        3_000,
+        JoinCondition::LocEquals {
+            left_field: "loc".into(),
+            right_field: "loc".into(),
+            epsilon: 0.5,
+        },
+        0.0,
+    );
+    join.process(0, o);
+    let out = join.process(1, t);
+    assert_eq!(out.len(), 1);
+
+    // Reference: difference covariance = obj_cov + 0.04·I, block-diagonal
+    // in {x,y} ⊕ {z}.
+    let diff_xy = MvGaussian::new(vec![5.0 - 5.2, 5.0 - 4.9], vec![0.20, 0.08, 0.08, 0.20]);
+    let p_xy = diff_xy.prob_in_box(&[-0.5, -0.5], &[0.5, 0.5]);
+    let p_z = Dist::gaussian(1.0 - 1.3, 0.2f64.sqrt()).prob_in(-0.5, 0.5);
+    let expected = p_xy * p_z;
+    assert!(
+        (out[0].existence - expected).abs() < 1e-6,
+        "Genz join probability {} vs block factorization {}",
+        out[0].existence,
+        expected
+    );
 }
 
 #[test]
@@ -116,10 +194,10 @@ fn shared_base_tuple_correlation_detected_and_handled() {
     res.extend(agg.flush());
     assert_eq!(res.len(), 1);
     let total = res[0].updf("total").unwrap();
-    assert!((total.mean() - 130.0).abs() < 1e-6);
+    assert!((total.mean() - 130.0).abs() < 1e-9);
     // Exact: Var(2X) = 4·4 = 16. Naive independence would claim 8.
     assert!(
-        (total.variance() - 16.0).abs() < 1e-6,
+        (total.variance() - 16.0).abs() < 1e-9,
         "lineage-aware variance {} (naive would be 8)",
         total.variance()
     );
@@ -164,9 +242,9 @@ fn independent_sources_still_add_variances() {
     }
     res.extend(agg.flush());
     let total = res[0].updf("total").unwrap();
-    assert!((total.mean() - 130.0).abs() < 1e-6);
+    assert!((total.mean() - 130.0).abs() < 1e-9);
     assert!(
-        (total.variance() - 8.0).abs() < 1e-6,
+        (total.variance() - 8.0).abs() < 1e-9,
         "independent sources: Var = σ²+σ² = 8, got {}",
         total.variance()
     );

@@ -347,6 +347,72 @@ fn silent_publisher_heartbeat_unblocks_the_merge() {
     handle.shutdown();
 }
 
+/// Regression for the auto-heartbeat timer: a publisher that never
+/// publishes and never calls `heartbeat` itself no longer delays
+/// results — it advances its event-time clock with the non-blocking
+/// `advance_watermark` and the background timer advertises it to the
+/// server. (Before the timer existed, forgetting the explicit
+/// `heartbeat` call stalled every subscriber's windows forever.)
+#[test]
+fn silent_publisher_auto_heartbeat_no_longer_delays_results() {
+    let (graph, sink) = q1_graph();
+    let handle = Server::serve("127.0.0.1:0", ServedQuery::new(graph)).unwrap();
+    let addr = handle.addr();
+
+    let mut subscriber = Client::subscriber(addr).unwrap();
+    subscriber.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+    let mut silent = Client::publisher(addr).unwrap();
+    silent.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+    let mut active = Client::publisher(addr).unwrap();
+    active.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+
+    let all = inputs(1000);
+    for chunk in all.chunks(100) {
+        active.publish("in", 0, chunk).unwrap();
+    }
+    active.finish().unwrap();
+
+    let (mut ref_graph, ref_sink) = q1_graph();
+    let expected = ref_graph
+        .run_batched(vec![("in".into(), 0, all)], 512)
+        .unwrap()
+        .remove(&ref_sink)
+        .unwrap();
+
+    // The application keeps its clock current and goes on with its
+    // life: no explicit heartbeat call, no blocking round-trip. The
+    // client's background timer owns the protocol traffic.
+    silent.advance_watermark(10_000);
+
+    let mut received: Vec<Tuple> = Vec::new();
+    while received.len() < expected.len() {
+        match subscriber.next_event().unwrap() {
+            uncertain_streams::server::Event::Results { sink: s, tuples } => {
+                assert_eq!(s, sink.index());
+                received.extend(tuples);
+            }
+            other => panic!("expected results after auto-heartbeat, got {other:?}"),
+        }
+    }
+    assert!(
+        !handle.is_finished(),
+        "all results flowed while the silent publisher was still open"
+    );
+    for (got, want) in received.iter().zip(&expected) {
+        assert_eq!(fingerprint(got), fingerprint(want));
+    }
+
+    // Orderly close: finishing stops the timer before the Finish frame,
+    // so no heartbeat can trail it. Nothing is left to flush — the
+    // advertised watermark already closed every window.
+    silent.finish().unwrap();
+    for (s, tuples) in subscriber.collect_until_eos().unwrap() {
+        assert_eq!(s, sink.index());
+        assert!(tuples.is_empty(), "no residue after the watermark flush");
+    }
+    handle.shutdown();
+}
+
 /// Heartbeats are a publisher-stream concept: connections that never
 /// published (and publishers that already finished) get typed errors.
 #[test]

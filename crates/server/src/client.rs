@@ -11,6 +11,20 @@
 //! awaited are queued, so a connection may publish and subscribe at
 //! once.
 //!
+//! ## Fault tolerance
+//!
+//! With [`ClientConfig::reconnect`] (the default), a broken connection
+//! heals transparently: publishes are buffered until acked, and on a
+//! connection loss the client redials with capped exponential backoff +
+//! jitter (deterministic when [`ClientConfig::backoff_seed`] is set),
+//! presents its session token via `Resume`, drops whatever the server
+//! already applied (the `ResumeOk` high-water mark), and replays the
+//! rest — the per-publish sequence numbers make the replay exactly-once
+//! on the server. Subscribers resubscribe with `from:` the next result
+//! sequence they expect, so the server's replay ring fills the hole (or
+//! reports it as [`Event::Gap`]). Read timeouts do *not* trigger
+//! reconnection — only genuine connection losses do.
+//!
 //! ## Auto-heartbeat
 //!
 //! An idle-but-alive publisher stalls the server's k-way merge: results
@@ -29,15 +43,59 @@
 
 use crate::protocol::{self, ErrorCode, OpStat, Request, Response};
 use crate::wire::WireError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, TryLockError, Weak};
+use std::time::Duration;
 use ustream_core::Tuple;
 
 /// How often the background timer checks whether the publisher's clock
 /// advanced past the last advertised watermark.
-const HEARTBEAT_TICK: std::time::Duration = std::time::Duration::from_millis(50);
+const HEARTBEAT_TICK: Duration = Duration::from_millis(50);
+
+/// Connection-robustness knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Bound on each dial attempt.
+    pub connect_timeout: Duration,
+    /// Socket read timeout (`None` blocks forever). A read timing out
+    /// surfaces as a typed error; it does not trigger reconnection.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout (`None` blocks forever).
+    pub write_timeout: Option<Duration>,
+    /// Heal broken connections transparently (resume + replay for
+    /// publishers, resubscribe-from for subscribers).
+    pub reconnect: bool,
+    /// Dial attempts per reestablishment before giving up and surfacing
+    /// the underlying error.
+    pub max_retries: u32,
+    /// First backoff delay; attempt `n` waits `base << n`, jittered.
+    pub backoff_base: Duration,
+    /// Ceiling on the backoff delay.
+    pub backoff_cap: Duration,
+    /// Seed for the backoff jitter; `None` derives one from the clock.
+    /// Set it for deterministic retry timing in tests.
+    pub backoff_seed: Option<u64>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            reconnect: true,
+            max_retries: 8,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(1),
+            backoff_seed: None,
+        }
+    }
+}
 
 /// Client-side failures.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,13 +138,41 @@ impl From<std::io::Error> for ClientError {
 
 pub type ClientResult<T> = std::result::Result<T, ClientError>;
 
+/// Does this error mean the connection itself is gone (as opposed to a
+/// timeout, a typed server refusal, or a codec problem)? Only these
+/// trigger auto-reconnection.
+fn is_connection_loss(e: &ClientError) -> bool {
+    match e {
+        ClientError::Wire(WireError::Disconnected) => true,
+        ClientError::Wire(WireError::Io(kind)) => !matches!(
+            kind,
+            std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::TimedOut
+                | std::io::ErrorKind::Interrupted
+        ),
+        _ => false,
+    }
+}
+
 /// A streamed server event delivered to subscribers.
 #[derive(Debug, Clone)]
 pub enum Event {
     /// A batch of result tuples from the sink with node index `sink`.
     Results { sink: usize, tuples: Vec<Tuple> },
+    /// `missed` result frames were dropped before the next one (the
+    /// server shed them under `DropOldest`, or a reconnect outran the
+    /// replay ring).
+    Gap { missed: u64 },
     /// The query flushed; no further results will arrive.
     Eos,
+}
+
+/// One publish not yet acknowledged: the encoded frame is kept verbatim
+/// so a replay after reconnection is byte-identical.
+struct PendingPublish {
+    seq: u64,
+    count: u32,
+    frame: Vec<u8>,
 }
 
 /// The connection state every request/reply cycle needs: holding the
@@ -98,6 +184,24 @@ struct Conn {
     stream: TcpStream,
     /// Result/Eos frames that arrived while awaiting another reply.
     queued: VecDeque<Event>,
+    /// Resolved server addresses, for redialing.
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
+    publisher: bool,
+    /// The resumable-session credential from `HelloAck`.
+    token: Option<u64>,
+    /// Next publish sequence number (sequences start at 1).
+    next_seq: u64,
+    /// Highest sequence the server has acknowledged.
+    last_acked: u64,
+    /// Publishes written but not yet acked, oldest first.
+    unacked: VecDeque<PendingPublish>,
+    subscribed: bool,
+    /// Next result-frame sequence this subscriber expects — the `from`
+    /// of a resubscribe.
+    results_from: u64,
+    /// Backoff jitter source.
+    rng: StdRng,
 }
 
 /// Shared state between a publisher [`Client`] and its heartbeat timer.
@@ -130,7 +234,12 @@ impl Client {
     /// Runs the background heartbeat timer (see the module docs); use
     /// [`Client::publisher_manual`] to opt out.
     pub fn publisher(addr: impl ToSocketAddrs) -> ClientResult<Client> {
-        let mut c = Client::connect(addr, true)?;
+        Client::publisher_with(addr, ClientConfig::default())
+    }
+
+    /// [`Client::publisher`] with explicit robustness knobs.
+    pub fn publisher_with(addr: impl ToSocketAddrs, config: ClientConfig) -> ClientResult<Client> {
+        let mut c = Client::connect(addr, true, config)?;
         let state = Arc::new(HeartbeatState {
             clock: AtomicU64::new(0),
             advertised: AtomicU64::new(0),
@@ -147,30 +256,67 @@ impl Client {
     /// timer: the application owns all watermark advertisement via
     /// [`Client::heartbeat`].
     pub fn publisher_manual(addr: impl ToSocketAddrs) -> ClientResult<Client> {
-        Client::connect(addr, true)
+        Client::connect(addr, true, ClientConfig::default())
+    }
+
+    /// [`Client::publisher_manual`] with explicit robustness knobs.
+    pub fn publisher_manual_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> ClientResult<Client> {
+        Client::connect(addr, true, config)
     }
 
     /// Connect in the subscriber role and subscribe to the query's sink
     /// streams; read with [`Client::next_event`].
     pub fn subscriber(addr: impl ToSocketAddrs) -> ClientResult<Client> {
-        let mut c = Client::connect(addr, false)?;
+        Client::subscriber_with(addr, ClientConfig::default())
+    }
+
+    /// [`Client::subscriber`] with explicit robustness knobs.
+    pub fn subscriber_with(addr: impl ToSocketAddrs, config: ClientConfig) -> ClientResult<Client> {
+        let mut c = Client::connect(addr, false, config)?;
         c.subscribe()?;
         Ok(c)
     }
 
-    fn connect(addr: impl ToSocketAddrs, publisher: bool) -> ClientResult<Client> {
-        let stream = TcpStream::connect(addr)?;
+    fn connect(
+        addr: impl ToSocketAddrs,
+        publisher: bool,
+        config: ClientConfig,
+    ) -> ClientResult<Client> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = dial(&addrs, &config)?;
+        let seed = config.backoff_seed.unwrap_or_else(|| {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+                .unwrap_or(0x5EED)
+        });
         let mut conn = Conn {
             stream,
             queued: VecDeque::new(),
+            addrs,
+            config,
+            publisher,
+            token: None,
+            next_seq: 1,
+            last_acked: 0,
+            unacked: VecDeque::new(),
+            subscribed: false,
+            results_from: 0,
+            rng: StdRng::seed_from_u64(seed),
         };
         protocol::write_request(&mut conn.stream, &Request::Hello { publisher })?;
         match await_reply(&mut conn)? {
-            Response::HelloAck { client_id } => Ok(Client {
-                conn: Arc::new(Mutex::new(conn)),
-                client_id,
-                heartbeat: None,
-            }),
+            Response::HelloAck { client_id, token } => {
+                conn.token = token;
+                Ok(Client {
+                    conn: Arc::new(Mutex::new(conn)),
+                    client_id,
+                    heartbeat: None,
+                })
+            }
             other => Err(unexpected(other)),
         }
     }
@@ -185,47 +331,60 @@ impl Client {
         }
     }
 
-    /// The server-assigned connection id.
+    /// The server-assigned connection id (of the first connection; it
+    /// does not change across resumes).
     pub fn client_id(&self) -> u64 {
         self.client_id
     }
 
     /// Bound how long reads may block (tests use this to fail instead of
     /// hanging when a server drops the ball). `None` blocks forever.
-    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> ClientResult<()> {
-        self.lock().stream.set_read_timeout(timeout)?;
+    /// Remembered across reconnects.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> ClientResult<()> {
+        let mut conn = self.lock();
+        conn.config.read_timeout = timeout;
+        conn.stream.set_read_timeout(timeout)?;
         Ok(())
     }
 
     /// Append tuples to the named source stream (input `port` of the
     /// source's entry operator; 0 for unary entries). Blocks until the
     /// server acknowledges; returns the accepted tuple count. Ratchets
-    /// the auto-heartbeat clock to the batch's highest timestamp.
+    /// the auto-heartbeat clock to the batch's highest timestamp. With
+    /// reconnection enabled, a connection loss here is healed by
+    /// resume-and-replay — the server applies this batch exactly once.
     pub fn publish(&mut self, source: &str, port: u16, tuples: &[Tuple]) -> ClientResult<usize> {
         let max_ts = tuples.iter().map(|t| t.ts).max();
         let mut conn = self.lock();
-        protocol::write_publish(&mut conn.stream, source, port, tuples)?;
-        match await_reply(&mut conn)? {
-            Response::Ack { count } => {
-                drop(conn);
-                if let (Some(state), Some(ts)) = (&self.heartbeat, max_ts) {
-                    state.clock.fetch_max(ts, Ordering::AcqRel);
-                    // Published data already carries this watermark to
-                    // the merge; no need for the timer to repeat it.
-                    state.advertised.fetch_max(ts, Ordering::AcqRel);
-                }
-                Ok(count as usize)
-            }
-            other => Err(unexpected(other)),
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        let mut frame = Vec::new();
+        protocol::write_publish(&mut frame, source, port, Some(seq), tuples)?;
+        conn.unacked.push_back(PendingPublish {
+            seq,
+            count: tuples.len() as u32,
+            frame,
+        });
+        let count = flush_unacked(&mut conn)?;
+        drop(conn);
+        if let (Some(state), Some(ts)) = (&self.heartbeat, max_ts) {
+            state.clock.fetch_max(ts, Ordering::AcqRel);
+            // Published data already carries this watermark to the
+            // merge; no need for the timer to repeat it.
+            state.advertised.fetch_max(ts, Ordering::AcqRel);
         }
+        Ok(count)
     }
 
     /// Subscribe this connection to the query's sink streams.
     pub fn subscribe(&mut self) -> ClientResult<()> {
         let mut conn = self.lock();
-        protocol::write_request(&mut conn.stream, &Request::Subscribe)?;
+        protocol::write_request(&mut conn.stream, &Request::Subscribe { from: None })?;
         match await_reply(&mut conn)? {
-            Response::Ack { .. } => Ok(()),
+            Response::Ack { .. } => {
+                conn.subscribed = true;
+                Ok(())
+            }
             other => Err(unexpected(other)),
         }
     }
@@ -239,10 +398,21 @@ impl Client {
             state.stop.store(true, Ordering::Release);
         }
         let mut conn = self.lock();
-        protocol::write_request(&mut conn.stream, &Request::Finish)?;
-        match await_reply(&mut conn)? {
-            Response::Ack { .. } => Ok(()),
-            other => Err(unexpected(other)),
+        loop {
+            let attempt = (|conn: &mut Conn| -> ClientResult<()> {
+                protocol::write_request(&mut conn.stream, &Request::Finish)?;
+                match await_reply(conn)? {
+                    Response::Ack { .. } => Ok(()),
+                    other => Err(unexpected(other)),
+                }
+            })(&mut conn);
+            match attempt {
+                Ok(()) => return Ok(()),
+                Err(e) if conn.config.reconnect && is_connection_loss(&e) => {
+                    reestablish(&mut conn, e)?;
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -295,28 +465,33 @@ impl Client {
         }
     }
 
-    /// Next streamed event (subscribers). Blocks until a result batch or
-    /// EOS arrives. Holds the connection for the wait, so a combined
-    /// publisher+subscriber connection pauses its heartbeat timer while
-    /// blocked here (the timer skips contended ticks).
+    /// Next streamed event (subscribers). Blocks until a result batch,
+    /// gap notice, or EOS arrives. Holds the connection for the wait, so
+    /// a combined publisher+subscriber connection pauses its heartbeat
+    /// timer while blocked here (the timer skips contended ticks). With
+    /// reconnection enabled, a connection loss here resubscribes from
+    /// the next expected result sequence.
     pub fn next_event(&mut self) -> ClientResult<Event> {
         let mut conn = self.lock();
-        if let Some(ev) = conn.queued.pop_front() {
-            return Ok(ev);
-        }
-        match protocol::read_response(&mut conn.stream)? {
-            Response::Results { sink, tuples } => Ok(Event::Results {
-                sink: sink as usize,
-                tuples,
-            }),
-            Response::Eos => Ok(Event::Eos),
-            Response::Error { code, message } => Err(ClientError::Server { code, message }),
-            other => Err(unexpected(other)),
+        loop {
+            if let Some(ev) = conn.queued.pop_front() {
+                return Ok(ev);
+            }
+            let read = read_event(&mut conn);
+            match read {
+                Ok(ev) => return Ok(ev),
+                Err(e) if conn.subscribed && conn.config.reconnect && is_connection_loss(&e) => {
+                    reestablish(&mut conn, e)?;
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
     /// Collect streamed results until EOS, concatenated per sink index
     /// in arrival order — the convenient shape for tests and examples.
+    /// [`Event::Gap`] notices are skipped (lossy subscriptions know what
+    /// they signed up for); use [`Client::next_event`] to observe them.
     pub fn collect_until_eos(&mut self) -> ClientResult<Vec<(usize, Vec<Tuple>)>> {
         let mut per_sink: Vec<(usize, Vec<Tuple>)> = Vec::new();
         loop {
@@ -327,6 +502,7 @@ impl Client {
                         None => per_sink.push((sink, tuples)),
                     }
                 }
+                Event::Gap { .. } => {}
                 Event::Eos => return Ok(per_sink),
             }
         }
@@ -341,15 +517,193 @@ impl Drop for Client {
     }
 }
 
-/// Read frames until a non-stream reply arrives, queueing any
-/// `Results`/`Eos` pushed in between.
-fn await_reply(conn: &mut Conn) -> ClientResult<Response> {
+/// Dial the first reachable address within the configured timeout and
+/// apply the socket timeouts.
+fn dial(addrs: &[SocketAddr], config: &ClientConfig) -> ClientResult<TcpStream> {
+    let mut last: Option<std::io::Error> = None;
+    for addr in addrs {
+        match TcpStream::connect_timeout(addr, config.connect_timeout) {
+            Ok(stream) => {
+                stream.set_read_timeout(config.read_timeout)?;
+                stream.set_write_timeout(config.write_timeout)?;
+                return Ok(stream);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last
+        .map(ClientError::from)
+        .unwrap_or(ClientError::Wire(WireError::Io(
+            std::io::ErrorKind::AddrNotAvailable,
+        ))))
+}
+
+/// Write every unacked publish in sequence order and await one ack per
+/// frame, healing connection losses by reestablishing (which drops the
+/// server-acked prefix) and retrying. Returns the accepted count of the
+/// *last* pending publish — the one the caller just queued. When a
+/// resume reveals the server already applied that frame (its ack was
+/// lost in flight), the locally recorded tuple count stands in for the
+/// ack that never arrived.
+fn flush_unacked(conn: &mut Conn) -> ClientResult<usize> {
+    let own = conn.unacked.back().map(|p| p.count as usize).unwrap_or(0);
     loop {
-        match protocol::read_response(&mut conn.stream)? {
-            Response::Results { sink, tuples } => conn.queued.push_back(Event::Results {
-                sink: sink as usize,
-                tuples,
-            }),
+        let attempt = try_flush(conn);
+        match attempt {
+            Ok(Some(count)) => return Ok(count),
+            Ok(None) => return Ok(own),
+            Err(e) if conn.config.reconnect && is_connection_loss(&e) => {
+                reestablish(conn, e)?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One pass over the unacked queue; `Ok(None)` means the queue drained
+/// without any ack arriving on this pass (everything was dropped by a
+/// resume's high-water mark).
+fn try_flush(conn: &mut Conn) -> ClientResult<Option<usize>> {
+    let mut count = None;
+    while let Some(pending) = conn.unacked.front() {
+        let seq = pending.seq;
+        conn.stream
+            .write_all(&pending.frame)
+            .and_then(|_| conn.stream.flush())
+            .map_err(ClientError::from)?;
+        match await_reply(conn) {
+            Ok(Response::Ack { count: c }) => {
+                count = Some(c as usize);
+                conn.unacked.pop_front();
+                conn.last_acked = conn.last_acked.max(seq);
+            }
+            Ok(other) => return Err(unexpected(other)),
+            Err(e) => {
+                // A typed server refusal is this publish's final answer:
+                // drop the refused frame, and — since a refusal never
+                // consumes a sequence number on the server — give the
+                // number back so the next publish lines up. (Safe:
+                // publish is synchronous, so the refused frame is always
+                // the only and newest unacked entry.)
+                if matches!(e, ClientError::Server { .. }) {
+                    conn.unacked.pop_front();
+                    if conn.unacked.is_empty() && seq == conn.next_seq - 1 {
+                        conn.next_seq -= 1;
+                    }
+                }
+                return Err(e);
+            }
+        }
+    }
+    Ok(count)
+}
+
+/// Redial with capped exponential backoff + jitter, resume the
+/// publisher session (dropping publishes the server already applied)
+/// and/or resubscribe from the next expected result sequence. Returns
+/// the original `cause` when every retry fails; a typed server refusal
+/// (e.g. an expired lease) surfaces immediately.
+fn reestablish(conn: &mut Conn, cause: ClientError) -> ClientResult<()> {
+    if conn.publisher && conn.token.is_none() {
+        // Nothing to resume onto (a pre-lease server): healing would
+        // fork a new merge slot and corrupt EOS accounting.
+        return Err(cause);
+    }
+    let mut last = cause;
+    for attempt in 0..conn.config.max_retries {
+        std::thread::sleep(backoff_delay(
+            &mut conn.rng,
+            conn.config.backoff_base,
+            conn.config.backoff_cap,
+            attempt,
+        ));
+        match try_reestablish(conn) {
+            Ok(()) => return Ok(()),
+            Err(e)
+                if is_connection_loss(&e) || matches!(e, ClientError::Wire(WireError::Io(_))) =>
+            {
+                last = e;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last)
+}
+
+fn backoff_delay(rng: &mut StdRng, base: Duration, cap: Duration, attempt: u32) -> Duration {
+    let exp = base.saturating_mul(1u32 << attempt.min(16));
+    let capped = exp.min(cap);
+    // Jitter in [0.5, 1.0]× so synchronized clients fan out.
+    capped.mul_f64(0.5 + 0.5 * rng.gen::<f64>())
+}
+
+fn try_reestablish(conn: &mut Conn) -> ClientResult<()> {
+    let mut stream = dial(&conn.addrs, &conn.config)?;
+    if conn.publisher {
+        let token = conn.token.expect("checked by reestablish");
+        protocol::write_request(
+            &mut stream,
+            &Request::Resume {
+                token,
+                last_acked_seq: conn.last_acked,
+            },
+        )?;
+        match await_reply_on(&mut stream, conn)? {
+            Response::ResumeOk { last_seq, .. } => {
+                // Drop what the server already applied (acks lost in
+                // flight); everything after it will be replayed.
+                while conn.unacked.front().is_some_and(|p| p.seq <= last_seq) {
+                    conn.unacked.pop_front();
+                }
+                conn.last_acked = conn.last_acked.max(last_seq);
+            }
+            other => return Err(unexpected(other)),
+        }
+    } else {
+        protocol::write_request(&mut stream, &Request::Hello { publisher: false })?;
+        match await_reply_on(&mut stream, conn)? {
+            Response::HelloAck { .. } => {}
+            other => return Err(unexpected(other)),
+        }
+    }
+    if conn.subscribed {
+        protocol::write_request(
+            &mut stream,
+            &Request::Subscribe {
+                from: Some(conn.results_from),
+            },
+        )?;
+        match await_reply_on(&mut stream, conn)? {
+            Response::Ack { .. } => {}
+            other => return Err(unexpected(other)),
+        }
+    }
+    conn.stream = stream;
+    Ok(())
+}
+
+/// Read frames until a non-stream reply arrives, queueing any
+/// `Results`/`Gap`/`Eos` pushed in between.
+fn await_reply(conn: &mut Conn) -> ClientResult<Response> {
+    let mut stream = conn.stream.try_clone()?;
+    await_reply_on(&mut stream, conn)
+}
+
+/// [`await_reply`] against an explicit stream (used mid-reestablish,
+/// when the replacement socket is not yet installed in `conn`).
+fn await_reply_on(stream: &mut TcpStream, conn: &mut Conn) -> ClientResult<Response> {
+    loop {
+        match protocol::read_response(stream)? {
+            Response::Results { sink, seq, tuples } => {
+                if let Some(seq) = seq {
+                    conn.results_from = conn.results_from.max(seq + 1);
+                }
+                conn.queued.push_back(Event::Results {
+                    sink: sink as usize,
+                    tuples,
+                });
+            }
+            Response::Gap { missed } => conn.queued.push_back(Event::Gap { missed }),
             Response::Eos => conn.queued.push_back(Event::Eos),
             Response::Error { code, message } => return Err(ClientError::Server { code, message }),
             reply => return Ok(reply),
@@ -357,11 +711,33 @@ fn await_reply(conn: &mut Conn) -> ClientResult<Response> {
     }
 }
 
+/// Read the next subscriber event off the wire (no queue check — the
+/// caller does that).
+fn read_event(conn: &mut Conn) -> ClientResult<Event> {
+    let mut stream = conn.stream.try_clone()?;
+    match protocol::read_response(&mut stream)? {
+        Response::Results { sink, seq, tuples } => {
+            if let Some(seq) = seq {
+                conn.results_from = conn.results_from.max(seq + 1);
+            }
+            Ok(Event::Results {
+                sink: sink as usize,
+                tuples,
+            })
+        }
+        Response::Gap { missed } => Ok(Event::Gap { missed }),
+        Response::Eos => Ok(Event::Eos),
+        Response::Error { code, message } => Err(ClientError::Server { code, message }),
+        other => Err(unexpected(other)),
+    }
+}
+
 /// The background heartbeat timer: whenever the publisher's clock moves
 /// past the last advertised watermark, send one heartbeat. Exits when
-/// the client finishes, drops, or the connection errors; skips ticks
-/// while the application thread holds the connection (its own traffic
-/// is advancing the merge anyway).
+/// the client finishes, drops, or the connection errors in a
+/// non-recoverable way; a connection loss just skips the tick (the
+/// application path owns reconnection, and its next call will heal the
+/// stream this timer shares).
 fn heartbeat_loop(weak: Weak<Mutex<Conn>>, state: Arc<HeartbeatState>) {
     loop {
         std::thread::sleep(HEARTBEAT_TICK);
@@ -384,15 +760,19 @@ fn heartbeat_loop(weak: Weak<Mutex<Conn>>, state: Arc<HeartbeatState>) {
         if protocol::write_request(&mut conn.stream, &Request::Heartbeat { watermark: clock })
             .is_err()
         {
+            if conn.config.reconnect {
+                continue; // the app path will heal the stream
+            }
             return;
         }
         match await_reply(&mut conn) {
             Ok(Response::Ack { .. }) => {
                 state.advertised.fetch_max(clock, Ordering::AcqRel);
             }
-            // Any other outcome (typed error, transport failure) means
-            // this connection no longer wants heartbeats; the
-            // application's own calls surface the real condition.
+            Err(e) if conn.config.reconnect && is_connection_loss(&e) => continue,
+            // Any other outcome (typed error, timeout) means this
+            // connection no longer wants heartbeats; the application's
+            // own calls surface the real condition.
             _ => return,
         }
     }

@@ -33,12 +33,17 @@
 //! See the repo README's *Serving* section for the frame format table
 //! and `examples/serve_quickstart.rs` for an end-to-end loopback run.
 
+pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError, Event};
+pub use chaos::{ChaosProxy, Fault};
+pub use client::{Client, ClientConfig, ClientError, Event};
 pub use protocol::{ErrorCode, OpStat, Request, Response};
-pub use server::{ServeError, ServedQuery, Server, ServerConfig, ServerError, ServerHandle};
-pub use wire::{WireError, WireResult, MAX_FRAME_LEN, WIRE_VERSION};
+pub use server::{
+    ServeError, ServedQuery, Server, ServerConfig, ServerError, ServerHandle, Severity,
+    SubscriberPolicy,
+};
+pub use wire::{WireError, WireResult, MAX_FRAME_LEN, MIN_WIRE_VERSION, WIRE_VERSION};

@@ -18,12 +18,17 @@ const KIND_SUBSCRIBE: u8 = 0x03;
 const KIND_FINISH: u8 = 0x04;
 const KIND_STATS: u8 = 0x05;
 const KIND_HEARTBEAT: u8 = 0x06;
+const KIND_RESUME: u8 = 0x07;
+const KIND_PUBLISH_SEQ: u8 = 0x08;
 const KIND_HELLO_ACK: u8 = 0x81;
 const KIND_ACK: u8 = 0x82;
 const KIND_ERROR: u8 = 0x83;
 const KIND_RESULTS: u8 = 0x84;
 const KIND_EOS: u8 = 0x85;
 const KIND_STATS_REPLY: u8 = 0x86;
+const KIND_RESUME_OK: u8 = 0x87;
+const KIND_GAP: u8 = 0x88;
+const KIND_RESULTS_SEQ: u8 = 0x89;
 
 /// What a client asks of the server.
 #[derive(Debug, Clone)]
@@ -32,15 +37,25 @@ pub enum Request {
     /// end-of-stream accounting; subscribers do not.
     Hello { publisher: bool },
     /// Append tuples to the named source stream of the served query.
+    ///
+    /// `seq` is the per-publisher sequence number (starting at 1) that
+    /// makes replay after a reconnect exactly-once: the server acks but
+    /// does not re-apply a sequence it has already seen. `None` is the
+    /// legacy (version-1) unsequenced publish, which bypasses dedup.
     Publish {
         source: String,
         port: u16,
+        seq: Option<u64>,
         tuples: Vec<Tuple>,
     },
     /// Turn this connection into a result stream: every sink batch the
     /// engine produces from now on is pushed as a [`Response::Results`]
-    /// frame, terminated by [`Response::Eos`].
-    Subscribe,
+    /// frame, terminated by [`Response::Eos`]. `from: Some(seq)` asks
+    /// the server to replay its bounded ring of already-broadcast result
+    /// frames starting at that sequence number (a reconnecting
+    /// subscriber passes one past the last frame it saw); frames that
+    /// have aged out of the ring are summarized by a [`Response::Gap`].
+    Subscribe { from: Option<u64> },
     /// This publisher is done; when every publisher has finished, the
     /// server flushes the query and streams the final windows.
     Finish,
@@ -52,6 +67,13 @@ pub enum Request {
     Heartbeat { watermark: u64 },
     /// Snapshot the served query's per-operator metrics.
     Stats,
+    /// Re-attach to a parked publisher session after a disconnect. The
+    /// `token` came from [`Response::HelloAck`]; `last_acked_seq` is the
+    /// highest publish sequence the client saw acked. The server answers
+    /// [`Response::ResumeOk`] with its own high-water mark so the client
+    /// can drop acked-but-unconfirmed buffered publishes before
+    /// replaying the rest.
+    Resume { token: u64, last_acked_seq: u64 },
 }
 
 /// Error categories a server can answer with.
@@ -65,6 +87,12 @@ pub enum ErrorCode {
     Finished = 2,
     /// The request was well-formed but illegal in this connection state.
     Protocol = 3,
+    /// `Resume` presented a token whose lease already expired; the
+    /// session's slot was released and cannot be re-attached.
+    Expired = 4,
+    /// A subscriber fell too far behind under the `Disconnect` policy
+    /// and its result stream was severed.
+    Lagging = 5,
 }
 
 impl ErrorCode {
@@ -74,6 +102,8 @@ impl ErrorCode {
             1 => Ok(ErrorCode::UnknownSource),
             2 => Ok(ErrorCode::Finished),
             3 => Ok(ErrorCode::Protocol),
+            4 => Ok(ErrorCode::Expired),
+            5 => Ok(ErrorCode::Lagging),
             tag => Err(WireError::UnknownTag {
                 what: "ErrorCode",
                 tag,
@@ -96,8 +126,10 @@ pub struct OpStat {
 /// What the server answers.
 #[derive(Debug, Clone)]
 pub enum Response {
-    /// Reply to `Hello`: the server-assigned connection id.
-    HelloAck { client_id: u64 },
+    /// Reply to `Hello`: the server-assigned connection id, plus (for
+    /// publishers) a session token to present in [`Request::Resume`]
+    /// after a disconnect. Version-1 servers omit the token.
+    HelloAck { client_id: u64, token: Option<u64> },
     /// Generic success; `count` echoes how many tuples were accepted for
     /// a publish (0 otherwise).
     Ack { count: u32 },
@@ -105,11 +137,27 @@ pub enum Response {
     /// requests (it never just drops the connection, and never panics).
     Error { code: ErrorCode, message: String },
     /// A batch of result tuples from the sink with the given node index.
-    Results { sink: u32, tuples: Vec<Tuple> },
+    /// `seq` numbers broadcast frames consecutively from 0 so a
+    /// reconnecting subscriber can ask for a replay; `None` is the
+    /// legacy unsequenced form.
+    Results {
+        sink: u32,
+        seq: Option<u64>,
+        tuples: Vec<Tuple>,
+    },
     /// End of stream: the query flushed; no further results will come.
     Eos,
     /// Reply to `Stats`.
     Stats(Vec<OpStat>),
+    /// Reply to `Resume`: the session is re-attached. `last_seq` is the
+    /// highest publish sequence the server has applied — the client must
+    /// drop buffered publishes at or below it and replay the rest.
+    ResumeOk { session_id: u64, last_seq: u64 },
+    /// Pushed to a subscriber when result frames were dropped between
+    /// the previous frame it saw and the next one (the `DropOldest`
+    /// policy, or a replay request older than the ring). `missed` counts
+    /// the dropped frames.
+    Gap { missed: u64 },
 }
 
 /// Serialize and frame one publish without taking ownership of the
@@ -120,13 +168,21 @@ pub fn write_publish<W: Write>(
     w: &mut W,
     source: &str,
     port: u16,
+    seq: Option<u64>,
     tuples: &[Tuple],
 ) -> WireResult<()> {
     let mut payload = Vec::new();
+    let kind = match seq {
+        Some(seq) => {
+            payload.extend_from_slice(&seq.to_be_bytes());
+            KIND_PUBLISH_SEQ
+        }
+        None => KIND_PUBLISH,
+    };
     put_str(&mut payload, source);
     payload.extend_from_slice(&port.to_be_bytes());
     wire::encode_tuples(&mut payload, tuples);
-    write_frame(w, KIND_PUBLISH, &payload)
+    write_frame(w, kind, &payload)
 }
 
 /// Serialize and frame one request into `w`.
@@ -140,15 +196,31 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> WireResult<()> {
         Request::Publish {
             source,
             port,
+            seq,
             tuples,
-        } => return write_publish(w, source, *port, tuples),
-        Request::Subscribe => KIND_SUBSCRIBE,
+        } => return write_publish(w, source, *port, *seq, tuples),
+        Request::Subscribe { from } => {
+            // Length-discriminated: an empty payload is the version-1
+            // subscribe; 8 bytes carry the replay-from sequence.
+            if let Some(from) = from {
+                payload.extend_from_slice(&from.to_be_bytes());
+            }
+            KIND_SUBSCRIBE
+        }
         Request::Finish => KIND_FINISH,
         Request::Heartbeat { watermark } => {
             payload.extend_from_slice(&watermark.to_be_bytes());
             KIND_HEARTBEAT
         }
         Request::Stats => KIND_STATS,
+        Request::Resume {
+            token,
+            last_acked_seq,
+        } => {
+            payload.extend_from_slice(&token.to_be_bytes());
+            payload.extend_from_slice(&last_acked_seq.to_be_bytes());
+            KIND_RESUME
+        }
     };
     write_frame(w, kind, &payload)
 }
@@ -168,15 +240,38 @@ pub fn read_request<R: Read>(r: &mut R) -> WireResult<Request> {
             Request::Publish {
                 source,
                 port,
+                seq: None,
                 tuples,
             }
         }
-        KIND_SUBSCRIBE => Request::Subscribe,
+        KIND_PUBLISH_SEQ => {
+            let seq = rd.u64()?;
+            let source = rd.str()?;
+            let port = rd.u16()?;
+            let tuples = wire::decode_tuples(&mut rd)?;
+            Request::Publish {
+                source,
+                port,
+                seq: Some(seq),
+                tuples,
+            }
+        }
+        KIND_SUBSCRIBE => Request::Subscribe {
+            from: if rd.remaining() == 0 {
+                None
+            } else {
+                Some(rd.u64()?)
+            },
+        },
         KIND_FINISH => Request::Finish,
         KIND_HEARTBEAT => Request::Heartbeat {
             watermark: rd.u64()?,
         },
         KIND_STATS => Request::Stats,
+        KIND_RESUME => Request::Resume {
+            token: rd.u64()?,
+            last_acked_seq: rd.u64()?,
+        },
         tag => {
             return Err(WireError::UnknownTag {
                 what: "Request",
@@ -191,19 +286,36 @@ pub fn read_request<R: Read>(r: &mut R) -> WireResult<Request> {
 /// Serialize and frame one `Results` push without taking ownership of
 /// the tuples — the server broadcast path encodes each batch exactly
 /// once and shares the bytes across subscribers.
-pub fn write_results<W: Write>(w: &mut W, sink: u32, tuples: &[Tuple]) -> WireResult<()> {
+pub fn write_results<W: Write>(
+    w: &mut W,
+    sink: u32,
+    seq: Option<u64>,
+    tuples: &[Tuple],
+) -> WireResult<()> {
     let mut payload = Vec::new();
+    let kind = match seq {
+        Some(seq) => {
+            payload.extend_from_slice(&seq.to_be_bytes());
+            KIND_RESULTS_SEQ
+        }
+        None => KIND_RESULTS,
+    };
     payload.extend_from_slice(&sink.to_be_bytes());
     wire::encode_tuples(&mut payload, tuples);
-    write_frame(w, KIND_RESULTS, &payload)
+    write_frame(w, kind, &payload)
 }
 
 /// Serialize and frame one response into `w`.
 pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> WireResult<()> {
     let mut payload = Vec::new();
     let kind = match resp {
-        Response::HelloAck { client_id } => {
+        Response::HelloAck { client_id, token } => {
+            // Length-discriminated: 8 bytes is the version-1 ack, 16
+            // bytes append the publisher session token.
             payload.extend_from_slice(&client_id.to_be_bytes());
+            if let Some(token) = token {
+                payload.extend_from_slice(&token.to_be_bytes());
+            }
             KIND_HELLO_ACK
         }
         Response::Ack { count } => {
@@ -215,7 +327,7 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> WireResult<()> {
             put_str(&mut payload, message);
             KIND_ERROR
         }
-        Response::Results { sink, tuples } => return write_results(w, *sink, tuples),
+        Response::Results { sink, seq, tuples } => return write_results(w, *sink, *seq, tuples),
         Response::Eos => KIND_EOS,
         Response::Stats(stats) => {
             payload.extend_from_slice(&(stats.len() as u32).to_be_bytes());
@@ -228,6 +340,18 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> WireResult<()> {
             }
             KIND_STATS_REPLY
         }
+        Response::ResumeOk {
+            session_id,
+            last_seq,
+        } => {
+            payload.extend_from_slice(&session_id.to_be_bytes());
+            payload.extend_from_slice(&last_seq.to_be_bytes());
+            KIND_RESUME_OK
+        }
+        Response::Gap { missed } => {
+            payload.extend_from_slice(&missed.to_be_bytes());
+            KIND_GAP
+        }
     };
     write_frame(w, kind, &payload)
 }
@@ -237,9 +361,15 @@ pub fn read_response<R: Read>(r: &mut R) -> WireResult<Response> {
     let (kind, payload) = read_frame(r)?;
     let mut rd = Reader::new(&payload);
     let resp = match kind {
-        KIND_HELLO_ACK => Response::HelloAck {
-            client_id: rd.u64()?,
-        },
+        KIND_HELLO_ACK => {
+            let client_id = rd.u64()?;
+            let token = if rd.remaining() == 0 {
+                None
+            } else {
+                Some(rd.u64()?)
+            };
+            Response::HelloAck { client_id, token }
+        }
         KIND_ACK => Response::Ack { count: rd.u32()? },
         KIND_ERROR => Response::Error {
             code: ErrorCode::from_u8(rd.u8()?)?,
@@ -248,9 +378,28 @@ pub fn read_response<R: Read>(r: &mut R) -> WireResult<Response> {
         KIND_RESULTS => {
             let sink = rd.u32()?;
             let tuples = wire::decode_tuples(&mut rd)?;
-            Response::Results { sink, tuples }
+            Response::Results {
+                sink,
+                seq: None,
+                tuples,
+            }
+        }
+        KIND_RESULTS_SEQ => {
+            let seq = rd.u64()?;
+            let sink = rd.u32()?;
+            let tuples = wire::decode_tuples(&mut rd)?;
+            Response::Results {
+                sink,
+                seq: Some(seq),
+                tuples,
+            }
         }
         KIND_EOS => Response::Eos,
+        KIND_RESUME_OK => Response::ResumeOk {
+            session_id: rd.u64()?,
+            last_seq: rd.u64()?,
+        },
+        KIND_GAP => Response::Gap { missed: rd.u64()? },
         KIND_STATS_REPLY => {
             let n = rd.u32()? as usize;
             // Each stat is at least 36 bytes (empty name + 4 counters).
@@ -316,8 +465,12 @@ mod tests {
             Request::Hello { publisher: true }
         ));
         assert!(matches!(
-            roundtrip_req(Request::Subscribe),
-            Request::Subscribe
+            roundtrip_req(Request::Subscribe { from: None }),
+            Request::Subscribe { from: None }
+        ));
+        assert!(matches!(
+            roundtrip_req(Request::Subscribe { from: Some(41) }),
+            Request::Subscribe { from: Some(41) }
         ));
         assert!(matches!(roundtrip_req(Request::Finish), Request::Finish));
         assert!(matches!(roundtrip_req(Request::Stats), Request::Stats));
@@ -325,37 +478,82 @@ mod tests {
             roundtrip_req(Request::Heartbeat { watermark: 12345 }),
             Request::Heartbeat { watermark: 12345 }
         ));
-        let t = Tuple::new(schema(), vec![Value::Int(3)], 17);
-        match roundtrip_req(Request::Publish {
-            source: "in".into(),
-            port: 1,
-            tuples: vec![t.clone()],
-        }) {
-            Request::Publish {
-                source,
-                port,
-                tuples,
-            } => {
-                assert_eq!(source, "in");
-                assert_eq!(port, 1);
-                assert_eq!(tuples[0].int("v").unwrap(), 3);
-                assert_eq!(tuples[0].lineage, t.lineage);
+        assert!(matches!(
+            roundtrip_req(Request::Resume {
+                token: 0xDEAD_BEEF,
+                last_acked_seq: 7,
+            }),
+            Request::Resume {
+                token: 0xDEAD_BEEF,
+                last_acked_seq: 7,
             }
-            other => panic!("wrong decode: {other:?}"),
+        ));
+        let t = Tuple::new(schema(), vec![Value::Int(3)], 17);
+        for seq in [None, Some(9u64)] {
+            match roundtrip_req(Request::Publish {
+                source: "in".into(),
+                port: 1,
+                seq,
+                tuples: vec![t.clone()],
+            }) {
+                Request::Publish {
+                    source,
+                    port,
+                    seq: back_seq,
+                    tuples,
+                } => {
+                    assert_eq!(source, "in");
+                    assert_eq!(port, 1);
+                    assert_eq!(back_seq, seq);
+                    assert_eq!(tuples[0].int("v").unwrap(), 3);
+                    assert_eq!(tuples[0].lineage, t.lineage);
+                }
+                other => panic!("wrong decode: {other:?}"),
+            }
         }
     }
 
     #[test]
     fn responses_roundtrip() {
         assert!(matches!(
-            roundtrip_resp(Response::HelloAck { client_id: 9 }),
-            Response::HelloAck { client_id: 9 }
+            roundtrip_resp(Response::HelloAck {
+                client_id: 9,
+                token: None,
+            }),
+            Response::HelloAck {
+                client_id: 9,
+                token: None,
+            }
+        ));
+        assert!(matches!(
+            roundtrip_resp(Response::HelloAck {
+                client_id: 9,
+                token: Some(77),
+            }),
+            Response::HelloAck {
+                client_id: 9,
+                token: Some(77),
+            }
         ));
         assert!(matches!(
             roundtrip_resp(Response::Ack { count: 4 }),
             Response::Ack { count: 4 }
         ));
         assert!(matches!(roundtrip_resp(Response::Eos), Response::Eos));
+        assert!(matches!(
+            roundtrip_resp(Response::ResumeOk {
+                session_id: 5,
+                last_seq: 12,
+            }),
+            Response::ResumeOk {
+                session_id: 5,
+                last_seq: 12,
+            }
+        ));
+        assert!(matches!(
+            roundtrip_resp(Response::Gap { missed: 3 }),
+            Response::Gap { missed: 3 }
+        ));
         match roundtrip_resp(Response::Error {
             code: ErrorCode::UnknownSource,
             message: "no such stream".into(),
@@ -378,15 +576,23 @@ mod tests {
             other => panic!("wrong decode: {other:?}"),
         }
         let t = Tuple::new(schema(), vec![Value::Int(1)], 2);
-        match roundtrip_resp(Response::Results {
-            sink: 3,
-            tuples: vec![t],
-        }) {
-            Response::Results { sink, tuples } => {
-                assert_eq!(sink, 3);
-                assert_eq!(tuples.len(), 1);
+        for seq in [None, Some(6u64)] {
+            match roundtrip_resp(Response::Results {
+                sink: 3,
+                seq,
+                tuples: vec![t.clone()],
+            }) {
+                Response::Results {
+                    sink,
+                    seq: back_seq,
+                    tuples,
+                } => {
+                    assert_eq!(sink, 3);
+                    assert_eq!(back_seq, seq);
+                    assert_eq!(tuples.len(), 1);
+                }
+                other => panic!("wrong decode: {other:?}"),
             }
-            other => panic!("wrong decode: {other:?}"),
         }
     }
 

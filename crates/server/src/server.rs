@@ -47,9 +47,20 @@
 //! closes with `Finish`. When every publisher has finished, the engine
 //! flushes open windows ([`ShardedSession::finish`]), streams the final
 //! batches, sends `Eos` to every subscriber, and rejects further
-//! publishes with a typed error. A publisher that disconnects without
-//! finishing is treated as finished so the query still terminates, and
-//! the abort is recorded as a typed [`ServerError`] — never a panic.
+//! publishes with a typed error.
+//!
+//! **Fault tolerance.** A publisher that disconnects without finishing
+//! is *parked*: its merge slot stays open for [`ServerConfig::lease`],
+//! waiting for the client to reconnect and `Resume` with its session
+//! token. Publishes carry per-session sequence numbers, so the replay a
+//! resuming client sends is applied exactly once (duplicates are acked
+//! but not re-merged) and the byte-equality guarantee above survives
+//! the disconnect. If the lease runs out, the session degrades to
+//! finished — the query still terminates cleanly, and the loss is
+//! recorded as a `Fatal` [`ServerError::LeaseExpired`] escalating the
+//! `Transient` disconnect. Slow subscribers are governed by
+//! [`SubscriberPolicy`], and a bounded replay ring lets a reconnecting
+//! subscriber catch up via `Subscribe { from }`.
 //!
 //! **Subscriptions.** A subscriber receives every sink batch produced
 //! *after* it subscribes (plus the flush); the server does not replay
@@ -65,13 +76,14 @@
 
 use crate::protocol::{self, ErrorCode, OpStat, Request, Response};
 use crate::wire::WireError;
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 use ustream_core::query::QueryGraph;
 use ustream_core::{Batch, EngineError, MetricsHandle, NodeId, Tuple};
 use ustream_runtime::session::ShardedSession;
@@ -99,6 +111,47 @@ pub enum ServerError {
     /// engine was flushing at EOS had to be dropped (the session was
     /// already finishing); recorded so the loss is observable.
     PublishDroppedAtEos { client_id: u64, count: usize },
+    /// A parked publisher session's lease ran out with no `Resume`: the
+    /// merge slot was released as finished and any unreplayed tail of
+    /// that publisher's stream is lost. This is the `Fatal` escalation
+    /// of the `Transient` [`ServerError::ClientDisconnected`] recorded
+    /// when the publisher dropped.
+    LeaseExpired { session_id: u64, lease_ms: u64 },
+    /// A subscriber under [`SubscriberPolicy::DropOldest`] fell behind
+    /// and `dropped` of its queued result frames were discarded; the
+    /// subscriber was told via a `Gap` frame.
+    SubscriberLagged { client_id: u64, dropped: u64 },
+    /// A subscriber under [`SubscriberPolicy::Disconnect`] fell behind
+    /// and its result stream was severed with a typed `Lagging` error.
+    SubscriberDropped { client_id: u64 },
+}
+
+/// How bad a [`ServerError`] is — the alerting split: `Transient`
+/// faults are the expected weather of serving over real networks
+/// (clients drop, slow subscribers shed load) and the protocol is built
+/// to absorb them; `Fatal` faults mean query output was (or may have
+/// been) lost or the query itself died.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Absorbed by design: no result data was lost.
+    Transient,
+    /// Data loss or query death: page somebody.
+    Fatal,
+}
+
+impl ServerError {
+    /// Classify this error for alerting. See [`Severity`].
+    pub fn severity(&self) -> Severity {
+        match self {
+            ServerError::ClientDisconnected { .. }
+            | ServerError::SubscriberLagged { .. }
+            | ServerError::SubscriberDropped { .. } => Severity::Transient,
+            ServerError::Malformed { .. }
+            | ServerError::QueryPanicked { .. }
+            | ServerError::PublishDroppedAtEos { .. }
+            | ServerError::LeaseExpired { .. } => Severity::Fatal,
+        }
+    }
 }
 
 impl std::fmt::Display for ServerError {
@@ -118,6 +171,25 @@ impl std::fmt::Display for ServerError {
                     f,
                     "dropped {count} tuples from client {client_id} acknowledged during the EOS flush"
                 )
+            }
+            ServerError::LeaseExpired {
+                session_id,
+                lease_ms,
+            } => {
+                write!(
+                    f,
+                    "publisher session {session_id} lease expired after {lease_ms}ms with no resume; \
+                     its merge slot was released"
+                )
+            }
+            ServerError::SubscriberLagged { client_id, dropped } => {
+                write!(
+                    f,
+                    "subscriber {client_id} lagged; dropped {dropped} queued result frame(s)"
+                )
+            }
+            ServerError::SubscriberDropped { client_id } => {
+                write!(f, "subscriber {client_id} lagged and was disconnected")
             }
         }
     }
@@ -211,6 +283,22 @@ impl ServedQuery {
     }
 }
 
+/// What to do when a subscriber's bounded send queue fills up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubscriberPolicy {
+    /// Backpressure: the engine waits for the subscriber to drain (a
+    /// slow subscriber slows everyone, but nobody misses a frame).
+    Block,
+    /// Shed load: discard the oldest queued frames to make room and
+    /// tell the subscriber how many it missed with a `Gap` frame
+    /// (recorded as a `Transient` [`ServerError::SubscriberLagged`]).
+    DropOldest,
+    /// Sever: clear the queue and end the subscription with a typed
+    /// `Lagging` error frame
+    /// (recorded as a `Transient` [`ServerError::SubscriberDropped`]).
+    Disconnect,
+}
+
 /// Serving knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -218,10 +306,21 @@ pub struct ServerConfig {
     pub batch_size: usize,
     /// Bound on in-flight engine messages (publish backpressure depth).
     pub inbox_capacity: usize,
-    /// Bound on undelivered result batches per subscriber (a slow
-    /// subscriber backpressures the engine rather than ballooning
-    /// memory).
+    /// Bound on undelivered result frames per subscriber (a slow
+    /// subscriber triggers [`ServerConfig::subscriber_policy`] rather
+    /// than ballooning memory).
     pub subscriber_capacity: usize,
+    /// How long a publisher's merge slot stays parked after an abrupt
+    /// disconnect, waiting for a `Resume`. Zero disables parking: a
+    /// disconnect immediately finishes the publisher (the pre-lease
+    /// behavior, minus the grace window).
+    pub lease: Duration,
+    /// What a full subscriber queue does. Default: [`SubscriberPolicy::Block`].
+    pub subscriber_policy: SubscriberPolicy,
+    /// How many already-broadcast result frames the engine retains for
+    /// replay to reconnecting subscribers (`Subscribe { from }`). Zero
+    /// disables the ring.
+    pub replay_frames: usize,
 }
 
 impl Default for ServerConfig {
@@ -230,45 +329,284 @@ impl Default for ServerConfig {
             batch_size: 512,
             inbox_capacity: 256,
             subscriber_capacity: 64,
+            lease: Duration::from_secs(5),
+            subscriber_policy: SubscriberPolicy::Block,
+            replay_frames: 64,
         }
     }
 }
 
-/// What handler threads send the engine.
+/// What handler threads send the engine. Publisher-side messages are
+/// keyed by *session* id, which survives reconnects — a resumed
+/// connection keeps feeding the same merge slot.
 enum EngineMsg {
     /// A connection declared itself a publisher (EOS accounting).
     Joined {
-        client: u64,
+        session: u64,
     },
     Publish {
-        client: u64,
+        session: u64,
         node: NodeId,
         port: usize,
         tuples: Vec<Tuple>,
     },
-    /// The publisher is done (explicit `Finish`, or its disconnect).
+    /// The publisher is done (explicit `Finish`, or lease expiry).
     Finished {
-        client: u64,
+        session: u64,
     },
     /// A publisher promises to publish nothing older than `watermark` —
     /// the idle-but-alive signal that keeps the k-way merge moving.
     Heartbeat {
-        client: u64,
+        session: u64,
         watermark: u64,
     },
     Subscribe {
         client: u64,
-        tx: Sender<SubMsg>,
+        queue: Arc<SubQueue>,
+        /// Replay already-broadcast result frames from this sequence
+        /// number (a reconnecting subscriber's catch-up request).
+        from: Option<u64>,
     },
     Shutdown,
 }
 
-/// What the engine streams to a subscriber's relay thread. Result
-/// frames arrive pre-encoded (one encode per batch, shared bytes across
+/// What the engine hands a subscriber's relay thread. Result frames
+/// arrive pre-encoded (one encode per batch, shared bytes across
 /// subscribers).
-enum SubMsg {
+enum SubItem {
     Frame(Arc<Vec<u8>>),
+    /// `missed` result frames were dropped before the next one.
+    Gap {
+        missed: u64,
+    },
+    /// The subscriber fell behind under [`SubscriberPolicy::Disconnect`].
+    Lagged,
     Eos,
+}
+
+/// What [`SubQueue::push_frame`] reports back to the engine.
+enum PushOutcome {
+    Delivered,
+    /// Delivered, but `dropped` older frames were shed to make room.
+    Lagged {
+        dropped: u64,
+    },
+    /// The queue was severed under [`SubscriberPolicy::Disconnect`].
+    Severed,
+    /// The relay is gone (subscriber socket died or server shutdown).
+    Gone,
+}
+
+/// A subscriber's bounded outbox: a policy-aware queue between the
+/// engine thread and the relay thread writing that subscriber's socket.
+/// Replaces a plain bounded channel so a full queue can shed or sever
+/// per [`SubscriberPolicy`] instead of only blocking, and so a gap left
+/// by shed frames is reported in-order as a [`SubItem::Gap`].
+struct SubQueue {
+    inner: Mutex<SubQueueInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+struct SubQueueInner {
+    items: VecDeque<SubItem>,
+    /// Frames dropped just behind the current front — delivered as one
+    /// `Gap` before the next item. Gaps only ever form at the front:
+    /// `DropOldest` pops there, and a replay request older than the
+    /// ring starts there.
+    front_gap: u64,
+    /// No further pushes will be read (relay died, EOS queued, or the
+    /// queue was severed).
+    closed: bool,
+}
+
+impl SubQueue {
+    fn new(cap: usize) -> Arc<SubQueue> {
+        Arc::new(SubQueue {
+            inner: Mutex::new(SubQueueInner {
+                items: VecDeque::new(),
+                front_gap: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        })
+    }
+
+    fn push_frame(
+        &self,
+        frame: Arc<Vec<u8>>,
+        policy: SubscriberPolicy,
+        shutdown: &AtomicBool,
+    ) -> PushOutcome {
+        let mut g = self.inner.lock().expect("subscriber queue poisoned");
+        if g.closed {
+            return PushOutcome::Gone;
+        }
+        match policy {
+            SubscriberPolicy::Block => {
+                while g.items.len() >= self.cap && !g.closed {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return PushOutcome::Gone;
+                    }
+                    let (back, _) = self
+                        .not_full
+                        .wait_timeout(g, Duration::from_millis(5))
+                        .expect("subscriber queue poisoned");
+                    g = back;
+                }
+                if g.closed {
+                    return PushOutcome::Gone;
+                }
+                g.items.push_back(SubItem::Frame(frame));
+                self.not_empty.notify_one();
+                PushOutcome::Delivered
+            }
+            SubscriberPolicy::DropOldest => {
+                let mut dropped = 0u64;
+                while g.items.len() >= self.cap {
+                    match g.items.pop_front() {
+                        Some(SubItem::Frame(_)) => {
+                            g.front_gap += 1;
+                            dropped += 1;
+                        }
+                        Some(SubItem::Gap { missed }) => g.front_gap += missed,
+                        Some(other) => {
+                            // Eos/Lagged never precede a frame push; keep
+                            // them rather than corrupt the stream end.
+                            g.items.push_front(other);
+                            break;
+                        }
+                        None => break,
+                    }
+                }
+                g.items.push_back(SubItem::Frame(frame));
+                self.not_empty.notify_one();
+                if dropped > 0 {
+                    PushOutcome::Lagged { dropped }
+                } else {
+                    PushOutcome::Delivered
+                }
+            }
+            SubscriberPolicy::Disconnect => {
+                if g.items.len() >= self.cap {
+                    g.items.clear();
+                    g.front_gap = 0;
+                    g.items.push_back(SubItem::Lagged);
+                    g.closed = true;
+                    self.not_empty.notify_one();
+                    PushOutcome::Severed
+                } else {
+                    g.items.push_back(SubItem::Frame(frame));
+                    self.not_empty.notify_one();
+                    PushOutcome::Delivered
+                }
+            }
+        }
+    }
+
+    /// Record `missed` frames dropped before whatever is pushed next
+    /// (the catch-up path: a replay request older than the ring).
+    fn push_gap(&self, missed: u64) {
+        if missed == 0 {
+            return;
+        }
+        let mut g = self.inner.lock().expect("subscriber queue poisoned");
+        if !g.closed {
+            g.front_gap += missed;
+            self.not_empty.notify_one();
+        }
+    }
+
+    /// Queue the end-of-stream marker (bypasses the capacity bound so
+    /// it can never block the engine) and refuse further pushes.
+    fn push_eos(&self) {
+        let mut g = self.inner.lock().expect("subscriber queue poisoned");
+        if !g.closed {
+            g.items.push_back(SubItem::Eos);
+            g.closed = true;
+            self.not_empty.notify_one();
+        }
+    }
+
+    /// Relay side: the socket died; unblock and turn away the engine.
+    fn sever(&self) {
+        let mut g = self.inner.lock().expect("subscriber queue poisoned");
+        g.closed = true;
+        g.items.clear();
+        g.front_gap = 0;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Relay side: next item, blocking. A closed-and-drained queue
+    /// yields `Eos`.
+    fn pop(&self) -> SubItem {
+        let mut g = self.inner.lock().expect("subscriber queue poisoned");
+        loop {
+            if g.front_gap > 0 {
+                let missed = g.front_gap;
+                g.front_gap = 0;
+                return SubItem::Gap { missed };
+            }
+            if let Some(item) = g.items.pop_front() {
+                self.not_full.notify_one();
+                return item;
+            }
+            if g.closed {
+                return SubItem::Eos;
+            }
+            g = self.not_empty.wait(g).expect("subscriber queue poisoned");
+        }
+    }
+}
+
+/// A publisher session's lifecycle. Guarded by epoch counters so a
+/// stale lease timer or a usurped (replaced-by-resume) connection can
+/// never regress the state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lifecycle {
+    /// A live connection owns the session.
+    Active,
+    /// The owning connection dropped; the merge slot is held open until
+    /// a `Resume` arrives or the lease expires.
+    Parked,
+    /// The lease ran out; the merge slot was released as finished.
+    Expired,
+    /// The publisher sent `Finish` (or the query reached EOS).
+    Finished,
+}
+
+/// One publisher session: the unit that survives reconnects.
+struct SessionEntry {
+    /// The merge-slot key (the original connection's client id — stable
+    /// across resumes, so reconnection cannot perturb tie-breaking).
+    session_id: u64,
+    /// The opaque credential handed out in `HelloAck` and presented in
+    /// `Resume`.
+    token: u64,
+    state: Mutex<SessionState>,
+}
+
+struct SessionState {
+    /// Next publish sequence expected (sequences start at 1). Anything
+    /// below it was already applied to the merge and is acked without
+    /// re-application — the exactly-once dedup.
+    next_seq: u64,
+    lifecycle: Lifecycle,
+    /// Bumped by every successful `Resume`; a connection or lease timer
+    /// acts only while its captured epoch is current.
+    epoch: u64,
+}
+
+/// The opaque resume credential for a session id. Injective (odd
+/// multiplier), so tokens never collide; not guessable-in-practice
+/// without being a secret — the threat model is accidental cross-wiring,
+/// not adversaries (the codec itself is unauthenticated).
+fn session_token(session_id: u64) -> u64 {
+    session_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03
 }
 
 /// Per-publisher merge state.
@@ -293,10 +631,13 @@ struct Shared {
     errors: Mutex<Vec<ServerError>>,
     finished: AtomicBool,
     /// Set by [`ServerHandle::shutdown`]; breaks the engine out of a
-    /// backpressure wait on a stalled subscriber and stops the accept
-    /// loop.
+    /// backpressure wait on a stalled subscriber, disarms pending lease
+    /// timers, and stops the accept loop.
     shutdown: AtomicBool,
     subscriber_capacity: usize,
+    lease: Duration,
+    /// Resumable publisher sessions, keyed by token.
+    sessions: Mutex<HashMap<u64, Arc<SessionEntry>>>,
 }
 
 impl Shared {
@@ -370,10 +711,14 @@ impl Server {
             finished: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             subscriber_capacity: config.subscriber_capacity,
+            lease: config.lease,
+            sessions: Mutex::new(HashMap::new()),
         });
 
         let engine_shared = shared.clone();
         let batch_size = config.batch_size;
+        let policy = config.subscriber_policy;
+        let replay_cap = config.replay_frames;
         let engine = std::thread::spawn(move || {
             Engine {
                 rx: engine_rx,
@@ -381,6 +726,11 @@ impl Server {
                 pubs: BTreeMap::new(),
                 subs: Vec::new(),
                 batch_size,
+                policy,
+                next_results_seq: 0,
+                replay: VecDeque::new(),
+                replay_cap,
+                ever_subscribed: false,
                 shared: engine_shared,
             }
             .run()
@@ -432,7 +782,12 @@ impl ServerHandle {
     }
 
     /// Drain the typed errors recorded so far (malformed frames,
-    /// mid-stream disconnects).
+    /// mid-stream disconnects, lease expiries, shed subscribers).
+    /// Filter with [`ServerError::severity`] before alerting: the
+    /// `Transient` entries are absorbed faults (a disconnected client
+    /// whose lease is still running, a lagging subscriber that was told
+    /// about its gap); only `Fatal` entries mean result data was lost
+    /// or the query died.
     pub fn take_errors(&self) -> Vec<ServerError> {
         std::mem::take(&mut *self.shared.errors.lock().expect("error log poisoned"))
     }
@@ -466,29 +821,41 @@ struct Engine {
     rx: Receiver<EngineMsg>,
     session: Option<ShardedSession>,
     pubs: BTreeMap<u64, PubState>,
-    subs: Vec<(u64, Sender<SubMsg>)>,
+    subs: Vec<(u64, Arc<SubQueue>)>,
     batch_size: usize,
+    policy: SubscriberPolicy,
+    /// Sequence number of the next broadcast `Results` frame (frames
+    /// are numbered consecutively from 0 once the first subscriber has
+    /// ever attached).
+    next_results_seq: u64,
+    /// The bounded replay ring: the last `replay_cap` broadcast frames,
+    /// by sequence number, for `Subscribe { from }` catch-up.
+    replay: VecDeque<(u64, Arc<Vec<u8>>)>,
+    replay_cap: usize,
+    /// Until the first subscriber attaches, result frames are neither
+    /// encoded nor ringed (a publisher-only server pays no encode tax);
+    /// from then on they are, so reconnectors can catch up even while
+    /// no subscriber is currently attached.
+    ever_subscribed: bool,
     shared: Arc<Shared>,
 }
 
 impl Engine {
     fn run(mut self) {
-        loop {
-            let msg = match self.rx.recv() {
-                Ok(m) => m,
-                Err(_) => break, // every handle dropped: server torn down
-            };
+        // The loop ends when every sender handle drops (server torn
+        // down) or an early-return arm fires.
+        while let Ok(msg) = self.rx.recv() {
             match msg {
-                EngineMsg::Joined { client } => {
-                    self.pubs.entry(client).or_default();
+                EngineMsg::Joined { session } => {
+                    self.pubs.entry(session).or_default();
                 }
                 EngineMsg::Publish {
-                    client,
+                    session,
                     node,
                     port,
                     tuples,
                 } => {
-                    let p = self.pubs.entry(client).or_default();
+                    let p = self.pubs.entry(session).or_default();
                     // A finished publisher's tuples would slip in behind
                     // the watermark its Finish released; the handler
                     // already rejects this, so reaching here means a
@@ -500,24 +867,31 @@ impl Engine {
                         }
                     }
                 }
-                EngineMsg::Finished { client } => {
-                    if let Some(p) = self.pubs.get_mut(&client) {
+                EngineMsg::Finished { session } => {
+                    if let Some(p) = self.pubs.get_mut(&session) {
                         p.finished = true;
                     }
                 }
-                EngineMsg::Heartbeat { client, watermark } => {
+                EngineMsg::Heartbeat { session, watermark } => {
                     // Advance the publisher's merge watermark without
                     // data: its queue can stay empty without blocking
                     // other publishers' releases. (Same contract as a
                     // publish at `watermark`: nothing older may follow.)
-                    if let Some(p) = self.pubs.get_mut(&client) {
+                    if let Some(p) = self.pubs.get_mut(&session) {
                         if !p.finished {
                             p.last_ts = p.last_ts.max(watermark);
                         }
                     }
                 }
-                EngineMsg::Subscribe { client, tx } => {
-                    self.subs.push((client, tx));
+                EngineMsg::Subscribe {
+                    client,
+                    queue,
+                    from,
+                } => {
+                    self.ever_subscribed = true;
+                    if self.replay_frames_for(&queue, client, from) {
+                        self.subs.push((client, queue));
+                    }
                 }
                 EngineMsg::Shutdown => {
                     self.broadcast_eos();
@@ -666,7 +1040,7 @@ impl Engine {
             }
         }
         self.broadcast_eos();
-        self.drain_inbox_after_eos();
+        self.post_eos_loop();
     }
 
     /// An operator panicked on remote input: discard the poisoned
@@ -677,28 +1051,62 @@ impl Engine {
         self.shared.record(ServerError::QueryPanicked { message });
         self.shared.finished.store(true, Ordering::SeqCst);
         self.broadcast_eos();
-        self.drain_inbox_after_eos();
+        self.post_eos_loop();
     }
 
-    /// Drain whatever raced into the inbox while EOS/fail was being
-    /// reached: late subscribers still get their `Eos` (no hang), and
-    /// acknowledged-but-unprocessable publishes are recorded instead of
-    /// vanishing.
-    fn drain_inbox_after_eos(&mut self) {
-        while let Ok(msg) = self.rx.try_recv() {
+    /// Keep serving the inbox after EOS until shutdown (or teardown):
+    /// late subscribers still get a ring replay and their `Eos` (no
+    /// hang, no race with the flush), lease expiries for sessions parked
+    /// across the flush land here as ignored no-ops instead of re-opening
+    /// the merge gate, and acknowledged-but-unprocessable publishes are
+    /// recorded instead of vanishing.
+    fn post_eos_loop(&mut self) {
+        while let Ok(msg) = self.rx.recv() {
             match msg {
-                EngineMsg::Subscribe { tx, .. } => {
-                    let _ = tx.send(SubMsg::Eos);
+                EngineMsg::Subscribe {
+                    client,
+                    queue,
+                    from,
+                } => {
+                    self.replay_frames_for(&queue, client, from);
+                    queue.push_eos();
                 }
-                EngineMsg::Publish { client, tuples, .. } if !tuples.is_empty() => {
+                EngineMsg::Publish {
+                    session, tuples, ..
+                } if !tuples.is_empty() => {
                     self.shared.record(ServerError::PublishDroppedAtEos {
-                        client_id: client,
+                        client_id: session,
                         count: tuples.len(),
                     });
                 }
+                EngineMsg::Shutdown => return,
                 _ => {}
             }
         }
+    }
+
+    /// Serve a new subscriber's `from` catch-up request out of the
+    /// replay ring: one `Gap` for whatever aged out, then every retained
+    /// frame at or past `from`. Returns whether the subscriber is still
+    /// attached (its policy may sever it mid-replay).
+    fn replay_frames_for(&self, queue: &Arc<SubQueue>, client: u64, from: Option<u64>) -> bool {
+        let Some(from) = from else { return true };
+        let ring_start = self
+            .replay
+            .front()
+            .map(|(seq, _)| *seq)
+            .unwrap_or(self.next_results_seq);
+        // `from` beyond the live sequence is a confused client; nothing
+        // to replay and nothing was missed yet.
+        if from < ring_start {
+            queue.push_gap(ring_start - from);
+        }
+        for (seq, frame) in &self.replay {
+            if *seq >= from && !deliver(&self.shared, self.policy, client, queue, frame.clone()) {
+                return false;
+            }
+        }
+        true
     }
 
     fn broadcast(&mut self, batches: Vec<(NodeId, Vec<Tuple>)>) {
@@ -707,20 +1115,32 @@ impl Engine {
         }
     }
 
-    /// Encode one result batch into its `Results` frame exactly once and
-    /// fan the shared bytes out to every subscriber. A batch whose frame
-    /// would exceed the payload cap is split in half recursively.
+    /// Encode one result batch into its sequenced `Results` frame
+    /// exactly once, remember it in the replay ring, and fan the shared
+    /// bytes out to every subscriber under the configured policy. A
+    /// batch whose frame would exceed the payload cap is split in half
+    /// recursively (each half gets its own sequence number).
     fn broadcast_batch(&mut self, sink: u32, tuples: &[Tuple]) {
-        if self.subs.is_empty() || tuples.is_empty() {
+        if tuples.is_empty() || (self.subs.is_empty() && !self.ever_subscribed) {
             return;
         }
         let mut bytes = Vec::new();
-        match protocol::write_results(&mut bytes, sink, tuples) {
+        match protocol::write_results(&mut bytes, sink, Some(self.next_results_seq), tuples) {
             Ok(()) => {
+                let seq = self.next_results_seq;
+                self.next_results_seq += 1;
                 let frame = Arc::new(bytes);
+                if self.replay_cap > 0 {
+                    if self.replay.len() == self.replay_cap {
+                        self.replay.pop_front();
+                    }
+                    self.replay.push_back((seq, frame.clone()));
+                }
                 let shared = self.shared.clone();
-                self.subs
-                    .retain(|(_, tx)| patient_send(&shared, tx, SubMsg::Frame(frame.clone())));
+                let policy = self.policy;
+                self.subs.retain(|(client, queue)| {
+                    deliver(&shared, policy, *client, queue, frame.clone())
+                });
             }
             Err(WireError::FrameTooLarge(_)) if tuples.len() > 1 => {
                 let mid = tuples.len() / 2;
@@ -732,33 +1152,35 @@ impl Engine {
     }
 
     fn broadcast_eos(&mut self) {
-        let shared = self.shared.clone();
-        for (_, tx) in self.subs.drain(..) {
-            let _ = patient_send(&shared, &tx, SubMsg::Eos);
+        for (_, queue) in self.subs.drain(..) {
+            queue.push_eos();
         }
     }
 }
 
-/// Send to a subscriber's bounded outbox, waiting out a full ring (the
-/// documented backpressure: a slow subscriber slows the engine, it does
-/// not balloon memory) — but giving up when the subscriber vanished or
-/// the server is shutting down, so [`ServerHandle::shutdown`] can never
-/// hang behind a subscriber that stopped reading. Returns whether the
-/// subscriber should be kept.
-fn patient_send(shared: &Shared, tx: &Sender<SubMsg>, msg: SubMsg) -> bool {
-    let mut msg = msg;
-    loop {
-        match tx.try_send(msg) {
-            Ok(()) => return true,
-            Err(TrySendError::Disconnected(_)) => return false,
-            Err(TrySendError::Full(m)) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return false;
-                }
-                msg = m;
-                std::thread::sleep(std::time::Duration::from_millis(1));
-            }
+/// Push one frame into a subscriber's queue, recording the policy
+/// outcome. Returns whether the subscriber should stay attached.
+fn deliver(
+    shared: &Arc<Shared>,
+    policy: SubscriberPolicy,
+    client: u64,
+    queue: &Arc<SubQueue>,
+    frame: Arc<Vec<u8>>,
+) -> bool {
+    match queue.push_frame(frame, policy, &shared.shutdown) {
+        PushOutcome::Delivered => true,
+        PushOutcome::Lagged { dropped } => {
+            shared.record(ServerError::SubscriberLagged {
+                client_id: client,
+                dropped,
+            });
+            true
         }
+        PushOutcome::Severed => {
+            shared.record(ServerError::SubscriberDropped { client_id: client });
+            false
+        }
+        PushOutcome::Gone => false,
     }
 }
 
@@ -766,11 +1188,94 @@ fn patient_send(shared: &Shared, tx: &Sender<SubMsg>, msg: SubMsg) -> bool {
 // Handler threads
 // ---------------------------------------------------------------------
 
+/// What became of a publisher connection that stopped cleanly or not:
+/// park (or immediately expire) its session so the merge slot either
+/// waits for a `Resume` under the lease or degrades to finished.
+///
+/// Epoch-guarded: if the session was already resumed by a newer
+/// connection (usurped), parked, expired, or finished, this is a no-op.
+fn park_publisher(
+    shared: &Arc<Shared>,
+    client_id: u64,
+    is_publisher: bool,
+    finish_sent: bool,
+    session: &Option<Arc<SessionEntry>>,
+    my_epoch: u64,
+    why: Option<ServerError>,
+) {
+    if let Some(e) = why {
+        shared.record(e);
+    }
+    if !is_publisher || finish_sent {
+        return;
+    }
+    let Some(entry) = session else {
+        // Legacy sessionless publisher: finished immediately (the
+        // pre-lease behavior — nothing to resume onto).
+        let _ = shared
+            .engine_tx
+            .send(EngineMsg::Finished { session: client_id });
+        return;
+    };
+    let mut st = entry.state.lock().expect("session state poisoned");
+    if st.lifecycle != Lifecycle::Active || st.epoch != my_epoch {
+        return;
+    }
+    if shared.finished.load(Ordering::SeqCst) {
+        // EOS already flushed: the merge gate is closed for good; a
+        // disconnect after that must not be allowed to re-open it (or
+        // to count as a lost lease).
+        st.lifecycle = Lifecycle::Finished;
+        return;
+    }
+    if shared.shutdown.load(Ordering::SeqCst) {
+        st.lifecycle = Lifecycle::Expired;
+        return;
+    }
+    if shared.lease.is_zero() {
+        st.lifecycle = Lifecycle::Expired;
+        drop(st);
+        expire_session(shared, entry);
+        return;
+    }
+    st.lifecycle = Lifecycle::Parked;
+    let epoch = st.epoch;
+    drop(st);
+    let shared = shared.clone();
+    let entry = entry.clone();
+    std::thread::spawn(move || {
+        std::thread::sleep(shared.lease);
+        let mut st = entry.state.lock().expect("session state poisoned");
+        if st.lifecycle == Lifecycle::Parked
+            && st.epoch == epoch
+            && !shared.shutdown.load(Ordering::SeqCst)
+            && !shared.finished.load(Ordering::SeqCst)
+        {
+            st.lifecycle = Lifecycle::Expired;
+            drop(st);
+            expire_session(&shared, &entry);
+        }
+    });
+}
+
+/// The lease ran out (or was zero): escalate the earlier `Transient`
+/// disconnect to a `Fatal` [`ServerError::LeaseExpired`] and release
+/// the merge slot as finished so the query still reaches a clean EOS.
+fn expire_session(shared: &Arc<Shared>, entry: &Arc<SessionEntry>) {
+    shared.record(ServerError::LeaseExpired {
+        session_id: entry.session_id,
+        lease_ms: shared.lease.as_millis().min(u64::MAX as u128) as u64,
+    });
+    let _ = shared.engine_tx.send(EngineMsg::Finished {
+        session: entry.session_id,
+    });
+}
+
 /// Serve one connection until it closes. Malformed frames are answered
 /// with a typed error response and the connection is dropped (the length
 /// prefix can no longer be trusted); a publisher that vanishes without
-/// `Finish` is marked finished so the query still reaches EOS, and the
-/// abort is recorded.
+/// `Finish` has its session parked under the lease (see
+/// [`park_publisher`]) so a `Resume` can pick the stream back up.
 ///
 /// The socket's write half is shared (frame-at-a-time, under a mutex)
 /// between this thread's replies and the subscription relay thread, so
@@ -788,16 +1293,10 @@ fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
     let mut is_publisher = false;
     let mut subscribed = false;
     let mut finish_sent = false;
-    let abort_publisher = |finish_sent: bool, is_publisher: bool, why: Option<ServerError>| {
-        if let Some(e) = why {
-            shared.record(e);
-        }
-        if is_publisher && !finish_sent {
-            let _ = shared
-                .engine_tx
-                .send(EngineMsg::Finished { client: client_id });
-        }
-    };
+    // The resumable session this connection owns (every sequenced
+    // publisher has one; `my_epoch` proves ownership against resumes).
+    let mut session: Option<Arc<SessionEntry>> = None;
+    let mut my_epoch = 0u64;
     loop {
         let req = match protocol::read_request(&mut stream) {
             Ok(req) => req,
@@ -807,7 +1306,15 @@ fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
                         client_id,
                         role: "publisher",
                     });
-                abort_publisher(finish_sent, is_publisher, why);
+                park_publisher(
+                    &shared,
+                    client_id,
+                    is_publisher,
+                    finish_sent,
+                    &session,
+                    my_epoch,
+                    why,
+                );
                 return;
             }
             Err(error) => {
@@ -819,7 +1326,15 @@ fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
                     code: ErrorCode::Malformed,
                     message: error.to_string(),
                 });
-                abort_publisher(finish_sent, is_publisher, None);
+                park_publisher(
+                    &shared,
+                    client_id,
+                    is_publisher,
+                    finish_sent,
+                    &session,
+                    my_epoch,
+                    None,
+                );
                 return;
             }
         };
@@ -831,16 +1346,92 @@ fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
                     && !is_publisher
                     && shared
                         .engine_tx
-                        .send(EngineMsg::Joined { client: client_id })
+                        .send(EngineMsg::Joined { session: client_id })
                         .is_ok()
                 {
                     is_publisher = true;
+                    session = Some(register_session(&shared, client_id));
+                    my_epoch = 0;
                 }
-                Response::HelloAck { client_id }
+                Response::HelloAck {
+                    client_id,
+                    token: session.as_ref().map(|e| e.token),
+                }
+            }
+            Request::Resume {
+                token,
+                last_acked_seq: _,
+            } => {
+                // The server's applied high-water mark is authoritative
+                // (the client's view can only lag it); `last_acked_seq`
+                // is advisory.
+                if is_publisher {
+                    Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: "connection already has a publisher session".into(),
+                    }
+                } else {
+                    let entry = shared
+                        .sessions
+                        .lock()
+                        .expect("session map poisoned")
+                        .get(&token)
+                        .cloned();
+                    match entry {
+                        None => Response::Error {
+                            code: ErrorCode::Protocol,
+                            message: "unknown session token".into(),
+                        },
+                        Some(entry) => {
+                            let mut st = entry.state.lock().expect("session state poisoned");
+                            match st.lifecycle {
+                                Lifecycle::Expired => Response::Error {
+                                    code: ErrorCode::Expired,
+                                    message: "session lease expired; its slot was released".into(),
+                                },
+                                Lifecycle::Finished => {
+                                    // Idempotent: a client retrying a
+                                    // `Finish` whose ack it never saw may
+                                    // resume a finished session; only
+                                    // further publishes are refused.
+                                    let last_seq = st.next_seq - 1;
+                                    let session_id = entry.session_id;
+                                    drop(st);
+                                    is_publisher = true;
+                                    finish_sent = true;
+                                    session = Some(entry);
+                                    Response::ResumeOk {
+                                        session_id,
+                                        last_seq,
+                                    }
+                                }
+                                Lifecycle::Active | Lifecycle::Parked => {
+                                    // Usurp: the epoch bump turns the
+                                    // previous owner's park (and any
+                                    // pending lease timer) into a no-op.
+                                    st.lifecycle = Lifecycle::Active;
+                                    st.epoch += 1;
+                                    my_epoch = st.epoch;
+                                    let last_seq = st.next_seq - 1;
+                                    let session_id = entry.session_id;
+                                    drop(st);
+                                    is_publisher = true;
+                                    finish_sent = false;
+                                    session = Some(entry);
+                                    Response::ResumeOk {
+                                        session_id,
+                                        last_seq,
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
             }
             Request::Publish {
                 source,
                 port,
+                seq,
                 tuples,
             } => match shared.sources.get(&source) {
                 _ if shared.finished.load(Ordering::SeqCst) => Response::Error {
@@ -868,7 +1459,7 @@ fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
                     if !is_publisher {
                         if shared
                             .engine_tx
-                            .send(EngineMsg::Joined { client: client_id })
+                            .send(EngineMsg::Joined { session: client_id })
                             .is_err()
                         {
                             reply_to(&Response::Error {
@@ -878,35 +1469,86 @@ fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
                             continue;
                         }
                         is_publisher = true;
+                        session = Some(register_session(&shared, client_id));
+                        my_epoch = 0;
                     }
                     let count = tuples.len() as u32;
-                    match shared.engine_tx.send(EngineMsg::Publish {
-                        client: client_id,
-                        node,
-                        port: port as usize,
-                        tuples,
-                    }) {
-                        Ok(()) => Response::Ack { count },
-                        Err(_) => Response::Error {
-                            code: ErrorCode::Finished,
-                            message: "query already finished; publish rejected".into(),
+                    let sid = session.as_ref().map(|e| e.session_id).unwrap_or(client_id);
+                    match (&session, seq) {
+                        (Some(entry), Some(seq)) => {
+                            // Exactly-once: the state lock is held across
+                            // the engine send, so a duplicate of this
+                            // sequence racing in from a usurped
+                            // connection observes the bumped `next_seq`
+                            // only after this send is ordered — each
+                            // sequence is applied to the merge once, in
+                            // order, no matter how many connections
+                            // replay it.
+                            let mut st = entry.state.lock().expect("session state poisoned");
+                            if st.lifecycle == Lifecycle::Finished {
+                                Response::Error {
+                                    code: ErrorCode::Protocol,
+                                    message: "session already finished publishing".into(),
+                                }
+                            } else if seq < st.next_seq {
+                                // Replay of an already-applied batch:
+                                // re-ack, never re-apply.
+                                Response::Ack { count }
+                            } else if seq > st.next_seq {
+                                Response::Error {
+                                    code: ErrorCode::Protocol,
+                                    message: format!(
+                                        "publish sequence gap: got {seq}, expected {}",
+                                        st.next_seq
+                                    ),
+                                }
+                            } else {
+                                match shared.engine_tx.send(EngineMsg::Publish {
+                                    session: sid,
+                                    node,
+                                    port: port as usize,
+                                    tuples,
+                                }) {
+                                    Ok(()) => {
+                                        st.next_seq += 1;
+                                        Response::Ack { count }
+                                    }
+                                    Err(_) => Response::Error {
+                                        code: ErrorCode::Finished,
+                                        message: "query already finished; publish rejected".into(),
+                                    },
+                                }
+                            }
+                        }
+                        _ => match shared.engine_tx.send(EngineMsg::Publish {
+                            session: sid,
+                            node,
+                            port: port as usize,
+                            tuples,
+                        }) {
+                            Ok(()) => Response::Ack { count },
+                            Err(_) => Response::Error {
+                                code: ErrorCode::Finished,
+                                message: "query already finished; publish rejected".into(),
+                            },
                         },
                     }
                 }
             },
-            Request::Subscribe => {
+            Request::Subscribe { from } => {
                 if subscribed {
                     Response::Error {
                         code: ErrorCode::Protocol,
                         message: "connection already has a subscription".into(),
                     }
                 } else {
-                    let (tx, rx) = bounded::<SubMsg>(shared.subscriber_capacity);
+                    let queue = SubQueue::new(shared.subscriber_capacity);
                     if shared
                         .engine_tx
                         .send(EngineMsg::Subscribe {
                             client: client_id,
-                            tx,
+                            queue: queue.clone(),
+                            from,
                         })
                         .is_err()
                     {
@@ -919,17 +1561,23 @@ fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
                         let relay_writer = writer.clone();
                         let relay_shared = shared.clone();
                         std::thread::spawn(move || {
-                            relay_results(rx, relay_writer, client_id, relay_shared)
+                            relay_results(queue, relay_writer, client_id, relay_shared)
                         });
                         Response::Ack { count: 0 }
                     }
                 }
             }
             Request::Finish => {
-                let _ = shared
-                    .engine_tx
-                    .send(EngineMsg::Finished { client: client_id });
+                let sid = session.as_ref().map(|e| e.session_id).unwrap_or(client_id);
+                let _ = shared.engine_tx.send(EngineMsg::Finished { session: sid });
                 finish_sent = true;
+                if let Some(entry) = &session {
+                    entry
+                        .state
+                        .lock()
+                        .expect("session state poisoned")
+                        .lifecycle = Lifecycle::Finished;
+                }
                 Response::Ack { count: 0 }
             }
             Request::Heartbeat { watermark } => {
@@ -947,8 +1595,9 @@ fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
                         message: "heartbeat after finish".into(),
                     }
                 } else {
+                    let sid = session.as_ref().map(|e| e.session_id).unwrap_or(client_id);
                     let _ = shared.engine_tx.send(EngineMsg::Heartbeat {
-                        client: client_id,
+                        session: sid,
                         watermark,
                     });
                     Response::Ack { count: 0 }
@@ -976,35 +1625,87 @@ fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
                 client_id,
                 role: "publisher",
             });
-            abort_publisher(finish_sent, is_publisher, why);
+            park_publisher(
+                &shared,
+                client_id,
+                is_publisher,
+                finish_sent,
+                &session,
+                my_epoch,
+                why,
+            );
             return;
         }
     }
 }
 
+/// Create and index the resumable session for a newly declared
+/// publisher connection.
+fn register_session(shared: &Arc<Shared>, client_id: u64) -> Arc<SessionEntry> {
+    let token = session_token(client_id);
+    let entry = Arc::new(SessionEntry {
+        session_id: client_id,
+        token,
+        state: Mutex::new(SessionState {
+            next_seq: 1,
+            lifecycle: Lifecycle::Active,
+            epoch: 0,
+        }),
+    });
+    shared
+        .sessions
+        .lock()
+        .expect("session map poisoned")
+        .insert(token, entry.clone());
+    entry
+}
+
 /// Relay one subscription's engine output onto the shared socket writer
-/// until `Eos`, the engine goes away, or the subscriber stops reading.
+/// until `Eos`, a policy severance, or the subscriber stops reading.
 fn relay_results(
-    rx: Receiver<SubMsg>,
+    queue: Arc<SubQueue>,
     writer: Arc<Mutex<TcpStream>>,
     client_id: u64,
     shared: Arc<Shared>,
 ) {
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            SubMsg::Frame(bytes) => {
+    let write = |resp: &Response| -> bool {
+        let mut w = writer.lock().expect("connection writer poisoned");
+        protocol::write_response(&mut *w, resp).is_ok()
+    };
+    loop {
+        match queue.pop() {
+            SubItem::Frame(bytes) => {
                 let mut w = writer.lock().expect("connection writer poisoned");
-                if w.write_all(&bytes).and_then(|_| w.flush()).is_err() {
+                let gone = w.write_all(&bytes).and_then(|_| w.flush()).is_err();
+                drop(w);
+                if gone {
                     shared.record(ServerError::ClientDisconnected {
                         client_id,
                         role: "subscriber",
                     });
+                    queue.sever();
                     return;
                 }
             }
-            SubMsg::Eos => {
-                let mut w = writer.lock().expect("connection writer poisoned");
-                let _ = protocol::write_response(&mut *w, &Response::Eos);
+            SubItem::Gap { missed } => {
+                if !write(&Response::Gap { missed }) {
+                    shared.record(ServerError::ClientDisconnected {
+                        client_id,
+                        role: "subscriber",
+                    });
+                    queue.sever();
+                    return;
+                }
+            }
+            SubItem::Lagged => {
+                let _ = write(&Response::Error {
+                    code: ErrorCode::Lagging,
+                    message: "subscriber fell behind; subscription severed".into(),
+                });
+                return;
+            }
+            SubItem::Eos => {
+                let _ = write(&Response::Eos);
                 return;
             }
         }

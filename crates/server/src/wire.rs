@@ -34,8 +34,15 @@ use ustream_prob::samples::{WeightedSamples, WeightedSamplesNd};
 
 /// First magic byte of every frame (`b"US"` = uncertain streams).
 pub const MAGIC: [u8; 2] = *b"US";
-/// Codec version this build writes and accepts.
-pub const WIRE_VERSION: u8 = 1;
+/// Codec version this build writes. Version 2 added the fault-tolerance
+/// frames (`Resume`/`ResumeOk`/`Gap`, sequenced publishes, sequenced
+/// results, session tokens in `HelloAck`).
+pub const WIRE_VERSION: u8 = 2;
+/// Oldest codec version this build still accepts. Version-1 frames
+/// (e.g. a `Hello` from a pre-lease client) decode unchanged — the new
+/// payloads all live behind new frame kinds or are length-discriminated,
+/// so old shapes stay valid.
+pub const MIN_WIRE_VERSION: u8 = 1;
 /// Frame header: magic(2) + version(1) + kind(1) + payload length(4).
 pub const FRAME_HEADER_LEN: usize = 8;
 /// Upper bound on a single frame's payload — a corrupted length field
@@ -81,7 +88,7 @@ impl std::fmt::Display for WireError {
             WireError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported wire version {v} (this build speaks {WIRE_VERSION})"
+                    "unsupported wire version {v} (this build speaks {MIN_WIRE_VERSION}..={WIRE_VERSION})"
                 )
             }
             WireError::UnknownTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
@@ -944,7 +951,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> WireResult<(u8, Vec<u8>)> {
     if header[0..2] != MAGIC {
         return Err(WireError::BadMagic([header[0], header[1]]));
     }
-    if header[2] != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&header[2]) {
         return Err(WireError::UnsupportedVersion(header[2]));
     }
     let kind = header[3];

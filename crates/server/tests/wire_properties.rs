@@ -17,7 +17,9 @@ use ustream_core::{Tuple, Updf, Value};
 use ustream_prob::dist::{Dist, GaussianMixture, MvGaussian};
 use ustream_prob::histogram::HistogramPdf;
 use ustream_prob::samples::{WeightedSamples, WeightedSamplesNd};
+use ustream_server::protocol::{self, OpStat, Request, Response};
 use ustream_server::wire;
+use ustream_server::{ErrorCode, MIN_WIRE_VERSION};
 
 fn arb_dist(rng: &mut StdRng, depth: usize) -> Dist {
     let max = if depth == 0 { 8 } else { 7 };
@@ -167,6 +169,107 @@ fn encode_value_bytes(v: &Value) -> Vec<u8> {
     let mut out = Vec::new();
     wire::encode_value(&mut out, v);
     out
+}
+
+/// Arbitrary protocol request, biased toward the fault-tolerance frames
+/// (sequenced publishes, replay-from subscribes, resumes).
+fn arb_request(rng: &mut StdRng) -> Request {
+    match rng.gen_range(0..8) {
+        0 => Request::Hello {
+            publisher: rng.gen(),
+        },
+        1 | 2 => Request::Publish {
+            source: format!("src{}", rng.gen_range(0..4u8)),
+            port: rng.gen_range(0..4u16),
+            seq: if rng.gen() { Some(rng.gen()) } else { None },
+            tuples: (0..rng.gen_range(0..4usize))
+                .map(|_| arb_tuple(rng))
+                .collect(),
+        },
+        3 => Request::Subscribe {
+            from: if rng.gen() { Some(rng.gen()) } else { None },
+        },
+        4 => Request::Finish,
+        5 => Request::Heartbeat {
+            watermark: rng.gen(),
+        },
+        6 => Request::Stats,
+        _ => Request::Resume {
+            token: rng.gen(),
+            last_acked_seq: rng.gen(),
+        },
+    }
+}
+
+/// Arbitrary protocol response, biased toward the fault-tolerance
+/// frames (tokened hello-acks, sequenced results, resume-oks, gaps).
+fn arb_response(rng: &mut StdRng) -> Response {
+    match rng.gen_range(0..9) {
+        0 => Response::HelloAck {
+            client_id: rng.gen(),
+            token: if rng.gen() { Some(rng.gen()) } else { None },
+        },
+        1 => Response::Ack { count: rng.gen() },
+        2 => Response::Error {
+            code: match rng.gen_range(0..6u8) {
+                0 => ErrorCode::Malformed,
+                1 => ErrorCode::UnknownSource,
+                2 => ErrorCode::Finished,
+                3 => ErrorCode::Protocol,
+                4 => ErrorCode::Expired,
+                _ => ErrorCode::Lagging,
+            },
+            message: format!("m{}", rng.gen_range(0..32u8)),
+        },
+        3 | 4 => Response::Results {
+            sink: rng.gen_range(0..8u32),
+            seq: if rng.gen() { Some(rng.gen()) } else { None },
+            tuples: (0..rng.gen_range(0..4usize))
+                .map(|_| arb_tuple(rng))
+                .collect(),
+        },
+        5 => Response::Eos,
+        6 => Response::Stats(
+            (0..rng.gen_range(0..3usize))
+                .map(|i| OpStat {
+                    name: format!("op{i}"),
+                    tuples_in: rng.gen(),
+                    tuples_out: rng.gen(),
+                    busy_ns: rng.gen(),
+                    calls: rng.gen(),
+                })
+                .collect(),
+        ),
+        7 => Response::ResumeOk {
+            session_id: rng.gen(),
+            last_seq: rng.gen(),
+        },
+        _ => Response::Gap { missed: rng.gen() },
+    }
+}
+
+fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    protocol::write_request(&mut out, req).unwrap();
+    out
+}
+
+fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    protocol::write_response(&mut out, resp).unwrap();
+    out
+}
+
+/// Hand-build a frame with an explicit version byte (the public writers
+/// always stamp the current version).
+fn frame_with_version(version: u8, kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::new();
+    frame.extend_from_slice(b"US");
+    frame.push(version);
+    frame.push(kind);
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
+    frame
 }
 
 proptest! {
@@ -356,15 +459,137 @@ proptest! {
         frame[idx] ^= rng.gen_range(1..=255u8);
         match wire::read_frame(&mut frame.as_slice()) {
             Ok((kind, payload)) => {
-                // A flipped magic or version byte must never parse; the
-                // kind byte, a shrunken length field, or payload bytes
-                // can.
-                prop_assert!(idx >= 3);
+                // A flipped magic byte must never parse; the kind byte,
+                // a shrunken length field, or payload bytes can — and so
+                // can the version byte, but only when the flip lands on
+                // another *supported* version (e.g. 2 ^ 3 = 1).
+                if idx == 2 {
+                    prop_assert!(
+                        (MIN_WIRE_VERSION..=wire::WIRE_VERSION).contains(&frame[2]),
+                        "unsupported version {} parsed",
+                        frame[2]
+                    );
+                } else {
+                    prop_assert!(idx >= 3);
+                }
                 let _ = (kind, payload);
             }
             Err(e) => {
                 let _ = e.to_string();
             }
         }
+    }
+
+    /// Every protocol frame — including the fault-tolerance additions
+    /// (sequenced publishes/results, `Resume`/`ResumeOk`/`Gap`,
+    /// replay-from subscribes, tokened hello-acks) — roundtrips through
+    /// encode→decode→encode byte-identically.
+    #[test]
+    fn protocol_frames_roundtrip_byte_exactly(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let req = arb_request(&mut rng);
+        let bytes = encode_request(&req);
+        let back = protocol::read_request(&mut bytes.as_slice())
+            .expect("valid request must decode");
+        prop_assert_eq!(&bytes, &encode_request(&back));
+
+        let resp = arb_response(&mut rng);
+        let bytes = encode_response(&resp);
+        let back = protocol::read_response(&mut bytes.as_slice())
+            .expect("valid response must decode");
+        prop_assert_eq!(&bytes, &encode_response(&back));
+    }
+
+    /// Truncating any protocol frame at any point yields a typed error,
+    /// never a panic and never a bogus success.
+    #[test]
+    fn truncated_protocol_frames_are_typed_errors(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bytes = if rng.gen() {
+            encode_request(&arb_request(&mut rng))
+        } else {
+            encode_response(&arb_response(&mut rng))
+        };
+        let cut = rng.gen_range(0..bytes.len());
+        let req = protocol::read_request(&mut bytes[..cut].as_ref());
+        let resp = protocol::read_response(&mut bytes[..cut].as_ref());
+        prop_assert!(req.is_err(), "truncated request decoded: {:?}", req);
+        prop_assert!(resp.is_err(), "truncated response decoded: {:?}", resp);
+        let _ = (req.unwrap_err().to_string(), resp.unwrap_err().to_string());
+    }
+
+    /// Flipping any byte of a protocol frame never panics: the decoder
+    /// either still produces a frame (payload-value flips) or fails
+    /// with a typed, displayable error.
+    #[test]
+    fn corrupted_protocol_frames_never_panic(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let as_request: bool = rng.gen();
+        let mut bytes = if as_request {
+            encode_request(&arb_request(&mut rng))
+        } else {
+            encode_response(&arb_response(&mut rng))
+        };
+        let idx = rng.gen_range(0..bytes.len());
+        bytes[idx] ^= rng.gen_range(1..=255u8);
+        // Decode under both grammars: untrusted bytes don't announce
+        // which side sent them.
+        match protocol::read_request(&mut bytes.as_slice()) {
+            Ok(frame) => { let _ = format!("{frame:?}"); }
+            Err(e) => { let _ = e.to_string(); }
+        }
+        match protocol::read_response(&mut bytes.as_slice()) {
+            Ok(frame) => { let _ = format!("{frame:?}"); }
+            Err(e) => { let _ = e.to_string(); }
+        }
+    }
+}
+
+/// Cross-version compatibility: frames a version-1 peer would send —
+/// version byte 1, no publish sequences, bare subscribes, 8-byte
+/// hello-acks — must still decode on this build, with the extension
+/// fields reading as absent.
+#[test]
+fn version_1_frames_still_decode() {
+    // Hello { publisher: true }, version 1.
+    let frame = frame_with_version(1, 0x01, &[1]);
+    match protocol::read_request(&mut frame.as_slice()).unwrap() {
+        Request::Hello { publisher } => assert!(publisher),
+        other => panic!("expected Hello, got {other:?}"),
+    }
+
+    // Unsequenced Publish: str source, u16 port, empty tuple batch.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&2u32.to_be_bytes());
+    payload.extend_from_slice(b"in");
+    payload.extend_from_slice(&0u16.to_be_bytes());
+    wire::encode_tuples(&mut payload, &[]);
+    let frame = frame_with_version(1, 0x02, &payload);
+    match protocol::read_request(&mut frame.as_slice()).unwrap() {
+        Request::Publish {
+            source, seq, port, ..
+        } => {
+            assert_eq!(source, "in");
+            assert_eq!(port, 0);
+            assert_eq!(seq, None, "a v1 publish carries no sequence");
+        }
+        other => panic!("expected Publish, got {other:?}"),
+    }
+
+    // Bare Subscribe (empty payload): no replay-from.
+    let frame = frame_with_version(1, 0x03, &[]);
+    match protocol::read_request(&mut frame.as_slice()).unwrap() {
+        Request::Subscribe { from } => assert_eq!(from, None),
+        other => panic!("expected Subscribe, got {other:?}"),
+    }
+
+    // 8-byte HelloAck: client id only, no session token.
+    let frame = frame_with_version(1, 0x81, &77u64.to_be_bytes());
+    match protocol::read_response(&mut frame.as_slice()).unwrap() {
+        Response::HelloAck { client_id, token } => {
+            assert_eq!(client_id, 77);
+            assert_eq!(token, None, "a v1 hello-ack carries no token");
+        }
+        other => panic!("expected HelloAck, got {other:?}"),
     }
 }

@@ -306,6 +306,22 @@ fn bench_executor_throughput(c: &mut Criterion) {
         });
     }
 
+    // Instrumentation-overhead A/B: the identical batched run with the
+    // always-on per-operator counters switched off. The delta between
+    // `single/batched/1024` and this row is the telemetry tax.
+    group.bench_function("single/batched_uninstrumented/1024", |b| {
+        b.iter_batched(
+            || (q1_graph(), feed.clone()),
+            |((mut g, sink), tuples)| {
+                let out = g
+                    .run_batched_uninstrumented(vec![("in".into(), 0, tuples)], 1024)
+                    .unwrap();
+                out[&sink].len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
     for bs in BATCH_SIZES {
         group.bench_function(format!("threaded/batched/{bs}"), |b| {
             b.iter_batched(

@@ -5,13 +5,18 @@
 //! operator in [`Metered`] and read its [`OpMetrics`] snapshot; the
 //! bench harnesses and the examples use this to report tuples/second
 //! without hand-rolled timing.
+//!
+//! The counters are `ustream-telemetry` atomic [`Counter`]s, so the
+//! per-tuple record path is four relaxed `fetch_add`s — no lock is
+//! taken anywhere on the hot path, and a [`MetricsHandle`] can be
+//! adopted into a [`ustream_telemetry::MetricsRegistry`] so the same
+//! cells a `Metered` wrapper bumps also feed a served metrics surface.
 
 use crate::batch::Batch;
 use crate::ops::Operator;
 use crate::tuple::Tuple;
-use parking_lot::Mutex;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
+use ustream_telemetry::Counter;
 
 /// A snapshot of an operator's counters.
 #[derive(Debug, Clone, Default)]
@@ -25,23 +30,18 @@ pub struct OpMetrics {
 }
 
 impl OpMetrics {
-    /// Input tuples per second of busy time.
-    pub fn throughput(&self) -> f64 {
+    /// Input tuples per second of busy time, or `None` while the busy
+    /// time is still below timer resolution — a rate computed against a
+    /// zero denominator is "not yet measurable", not zero.
+    pub fn throughput(&self) -> Option<f64> {
         let secs = self.busy.as_secs_f64();
-        if secs <= 0.0 {
-            0.0
-        } else {
-            self.tuples_in as f64 / secs
-        }
+        (secs > 0.0).then(|| self.tuples_in as f64 / secs)
     }
 
-    /// Mean busy time per input tuple.
-    pub fn mean_latency(&self) -> Duration {
-        if self.tuples_in == 0 {
-            Duration::ZERO
-        } else {
-            self.busy.div_f64(self.tuples_in as f64)
-        }
+    /// Mean busy time per input tuple, or `None` before any input has
+    /// been observed.
+    pub fn mean_latency(&self) -> Option<Duration> {
+        (self.tuples_in > 0).then(|| self.busy.div_f64(self.tuples_in as f64))
     }
 
     /// Output/input amplification factor.
@@ -54,15 +54,73 @@ impl OpMetrics {
     }
 }
 
-/// Shared handle to an operator's live metrics.
+/// Shared handle to an operator's live metrics: four atomic counter
+/// cells, readable from any thread while the operator runs.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsHandle {
-    inner: Arc<Mutex<OpMetrics>>,
+    tuples_in: Counter,
+    tuples_out: Counter,
+    busy_ns: Counter,
+    calls: Counter,
 }
 
 impl MetricsHandle {
+    /// A consistent-enough point-in-time copy (each cell is read once,
+    /// relaxed — counters may be mid-update, but each value is a real
+    /// value the counter held).
     pub fn snapshot(&self) -> OpMetrics {
-        self.inner.lock().clone()
+        OpMetrics {
+            tuples_in: self.tuples_in.get(),
+            tuples_out: self.tuples_out.get(),
+            busy: Duration::from_nanos(self.busy_ns.get()),
+            calls: self.calls.get(),
+        }
+    }
+
+    /// The underlying counter cells, in `(tuples_in, tuples_out,
+    /// busy_ns, calls)` order — for adopting into a
+    /// [`ustream_telemetry::MetricsRegistry`] so a served metrics
+    /// surface reads the very cells the wrapper bumps.
+    pub fn cells(&self) -> (Counter, Counter, Counter, Counter) {
+        (
+            self.tuples_in.clone(),
+            self.tuples_out.clone(),
+            self.busy_ns.clone(),
+            self.calls.clone(),
+        )
+    }
+}
+
+/// Always-on per-operator execution counters recorded by the batched
+/// executors themselves ([`crate::query::ExecSession`],
+/// [`crate::query::QueryGraph::run_batched`]) — no [`Metered`] wrapper
+/// needed, no lock taken: every field is a relaxed atomic cell cheap
+/// enough to leave enabled on the hot path.
+///
+/// `columnar_batches` vs `row_batches` is the fast-path hit rate: how
+/// often an operator received column input (vectorized kernels) versus
+/// row input.
+#[derive(Debug, Clone, Default)]
+pub struct OpTelemetry {
+    pub tuples_in: Counter,
+    pub tuples_out: Counter,
+    /// Number of `process_batch` invocations.
+    pub batches: Counter,
+    /// Nanoseconds inside `process_batch`/`flush`/`advance_watermark`.
+    pub busy_ns: Counter,
+    /// Batches that arrived in the columnar layout.
+    pub columnar_batches: Counter,
+    /// Batches that arrived as rows.
+    pub row_batches: Counter,
+}
+
+impl OpTelemetry {
+    /// Fraction of batches that hit the columnar fast path, or `None`
+    /// before any batch has been processed.
+    pub fn columnar_hit_rate(&self) -> Option<f64> {
+        let c = self.columnar_batches.get();
+        let r = self.row_batches.get();
+        (c + r > 0).then(|| c as f64 / (c + r) as f64)
     }
 }
 
@@ -99,45 +157,42 @@ impl<O: Operator> Operator for Metered<O> {
     fn process(&mut self, port: usize, tuple: Tuple) -> Vec<Tuple> {
         let t0 = Instant::now();
         let out = self.inner.process(port, tuple);
-        let elapsed = t0.elapsed();
-        let mut m = self.handle.inner.lock();
-        m.tuples_in += 1;
-        m.tuples_out += out.len() as u64;
-        m.busy += elapsed;
-        m.calls += 1;
+        let h = &self.handle;
+        h.tuples_in.inc();
+        h.tuples_out.add(out.len() as u64);
+        h.busy_ns.add(t0.elapsed().as_nanos() as u64);
+        h.calls.inc();
         out
     }
 
-    /// Meters the *inner operator's* batched path: one lock and one
-    /// timestamp pair per batch, `tuples_in` advanced by the batch size.
+    /// Meters the *inner operator's* batched path: four relaxed atomic
+    /// adds and one timestamp pair per batch, `tuples_in` advanced by
+    /// the batch size.
     fn process_batch(&mut self, port: usize, batch: Batch) -> Batch {
         let n_in = batch.len() as u64;
         let t0 = Instant::now();
         let out = self.inner.process_batch(port, batch);
-        let elapsed = t0.elapsed();
-        let mut m = self.handle.inner.lock();
-        m.tuples_in += n_in;
-        m.tuples_out += out.len() as u64;
-        m.busy += elapsed;
-        m.calls += 1;
+        let h = &self.handle;
+        h.tuples_in.add(n_in);
+        h.tuples_out.add(out.len() as u64);
+        h.busy_ns.add(t0.elapsed().as_nanos() as u64);
+        h.calls.inc();
         out
     }
 
     fn flush(&mut self) -> Vec<Tuple> {
         let t0 = Instant::now();
         let out = self.inner.flush();
-        let mut m = self.handle.inner.lock();
-        m.tuples_out += out.len() as u64;
-        m.busy += t0.elapsed();
+        self.handle.tuples_out.add(out.len() as u64);
+        self.handle.busy_ns.add(t0.elapsed().as_nanos() as u64);
         out
     }
 
     fn advance_watermark(&mut self, watermark: u64) -> Vec<Tuple> {
         let t0 = Instant::now();
         let out = self.inner.advance_watermark(watermark);
-        let mut m = self.handle.inner.lock();
-        m.tuples_out += out.len() as u64;
-        m.busy += t0.elapsed();
+        self.handle.tuples_out.add(out.len() as u64);
+        self.handle.busy_ns.add(t0.elapsed().as_nanos() as u64);
         out
     }
 
@@ -182,7 +237,40 @@ mod tests {
         assert_eq!(m.tuples_out, 20);
         assert_eq!(m.calls, 10);
         assert!((m.selectivity() - 2.0).abs() < 1e-12);
-        assert!(m.throughput() > 0.0);
+        match m.throughput() {
+            Some(rate) => assert!(rate > 0.0),
+            // Sub-resolution busy time reports "not measurable", never 0.
+            None => assert_eq!(m.busy, Duration::ZERO),
+        }
+    }
+
+    #[test]
+    fn rates_are_none_until_measurable() {
+        let m = OpMetrics::default();
+        assert_eq!(m.throughput(), None, "zero busy time has no rate");
+        assert_eq!(m.mean_latency(), None, "zero input has no latency");
+        assert_eq!(m.selectivity(), 0.0);
+
+        let m = OpMetrics {
+            tuples_in: 100,
+            tuples_out: 50,
+            busy: Duration::from_micros(10),
+            calls: 1,
+        };
+        assert!((m.throughput().unwrap() - 1e7).abs() < 1.0);
+        assert_eq!(m.mean_latency().unwrap(), Duration::from_nanos(100));
+    }
+
+    #[test]
+    fn handle_cells_share_the_wrapped_counters() {
+        let (mut op, handle) = Metered::new(Passthrough::new("p"));
+        let (tuples_in, tuples_out, busy_ns, calls) = handle.cells();
+        op.process(0, t(1));
+        assert_eq!(tuples_in.get(), 1);
+        assert_eq!(tuples_out.get(), 1);
+        assert_eq!(calls.get(), 1);
+        // busy_ns is whatever the timer said; the cell is live either way.
+        assert_eq!(busy_ns.get(), handle.snapshot().busy.as_nanos() as u64);
     }
 
     #[test]

@@ -26,9 +26,11 @@
 
 use crate::batch::{Batch, BatchPool};
 use crate::error::{EngineError, Result};
+use crate::metrics::OpTelemetry;
 use crate::ops::Operator;
 use crate::tuple::Tuple;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Node handle in a query graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -358,6 +360,28 @@ impl QueryGraph {
         inputs: Vec<(String, usize, Vec<Tuple>)>,
         batch_size: usize,
     ) -> Result<HashMap<NodeId, Vec<Tuple>>> {
+        let telem = fresh_telemetry(self.nodes.len());
+        self.run_batched_inner(inputs, batch_size, Some(&telem))
+    }
+
+    /// [`Self::run_batched`] with the always-on per-operator counters
+    /// switched off — the control arm of the instrumentation-overhead
+    /// A/B benchmark. Results are identical; only the counter updates
+    /// and their timestamp reads are skipped.
+    pub fn run_batched_uninstrumented(
+        &mut self,
+        inputs: Vec<(String, usize, Vec<Tuple>)>,
+        batch_size: usize,
+    ) -> Result<HashMap<NodeId, Vec<Tuple>>> {
+        self.run_batched_inner(inputs, batch_size, None)
+    }
+
+    fn run_batched_inner(
+        &mut self,
+        inputs: Vec<(String, usize, Vec<Tuple>)>,
+        batch_size: usize,
+        telem: Option<&[OpTelemetry]>,
+    ) -> Result<HashMap<NodeId, Vec<Tuple>>> {
         assert!(batch_size > 0, "batch size must be positive");
         let plan = self.compile()?;
         let feed = Self::build_feed(&self.sources, inputs)?;
@@ -371,12 +395,20 @@ impl QueryGraph {
                 &mut pending,
                 &mut collected,
                 None,
+                telem,
                 node,
                 port,
                 batch,
             );
         }
-        flush_cascade(&mut self.nodes, &plan, &mut pending, &mut collected, None);
+        flush_cascade(
+            &mut self.nodes,
+            &plan,
+            &mut pending,
+            &mut collected,
+            None,
+            telem,
+        );
         Ok(collected)
     }
 
@@ -418,6 +450,7 @@ impl QueryGraph {
         } = self;
         let pending = vec![Vec::new(); nodes.len()];
         let collected = plan.empty_collection();
+        let telem = Some(fresh_telemetry(nodes.len()));
         Ok(ExecSession {
             nodes,
             plan,
@@ -425,8 +458,16 @@ impl QueryGraph {
             pending,
             collected,
             pool: None,
+            telem,
         })
     }
+}
+
+/// One independent [`OpTelemetry`] per node. `vec![default; n]` would
+/// clone one handle — every node sharing the same atomic cells — so the
+/// cells are allocated per slot.
+fn fresh_telemetry(n: usize) -> Vec<OpTelemetry> {
+    (0..n).map(|_| OpTelemetry::default()).collect()
 }
 
 /// Merge named input streams into one timestamp-ordered feed of
@@ -452,6 +493,42 @@ pub fn merged_feed(
     Ok(feed)
 }
 
+/// Per-node telemetry handle lookup for the executor hot paths.
+#[inline]
+fn telem_at(telem: Option<&[OpTelemetry]>, i: usize) -> Option<&OpTelemetry> {
+    telem.map(|t| &t[i])
+}
+
+/// Run one batch through an operator, recording per-operator counters
+/// when instrumentation is on. The uninstrumented arm pays only the
+/// branch — no timestamps are taken.
+#[inline]
+fn run_op_batch(
+    node: &mut Box<dyn Operator>,
+    telem: Option<&OpTelemetry>,
+    port: usize,
+    batch: Batch,
+) -> Batch {
+    match telem {
+        Some(t) => {
+            let n_in = batch.len() as u64;
+            if batch.is_columnar() {
+                t.columnar_batches.inc();
+            } else {
+                t.row_batches.inc();
+            }
+            let t0 = Instant::now();
+            let out = node.process_batch(port, batch);
+            t.busy_ns.add(t0.elapsed().as_nanos() as u64);
+            t.tuples_in.add(n_in);
+            t.tuples_out.add(out.len() as u64);
+            t.batches.inc();
+            out
+        }
+        None => node.process_batch(port, batch),
+    }
+}
+
 /// Push one batch into `node` and drain the graph from that node's rank
 /// downward (edges only point to higher ranks, so one forward sweep over
 /// the cached order fully cascades the batch).
@@ -462,6 +539,7 @@ fn pump_batch(
     pending: &mut [Vec<(usize, Batch)>],
     collected: &mut HashMap<NodeId, Vec<Tuple>>,
     pool: Option<&BatchPool>,
+    telem: Option<&[OpTelemetry]>,
     node: usize,
     port: usize,
     batch: Batch,
@@ -473,7 +551,7 @@ fn pump_batch(
             continue;
         }
         for (port, b) in std::mem::take(&mut pending[i]) {
-            let out = nodes[i].process_batch(port, b);
+            let out = run_op_batch(&mut nodes[i], telem_at(telem, i), port, b);
             if !out.is_empty() {
                 deliver_batch(plan, pending, collected, pool, i, out);
             }
@@ -530,16 +608,26 @@ fn flush_cascade(
     pending: &mut [Vec<(usize, Batch)>],
     collected: &mut HashMap<NodeId, Vec<Tuple>>,
     pool: Option<&BatchPool>,
+    telem: Option<&[OpTelemetry]>,
 ) {
     for idx in 0..plan.order.len() {
         let i = plan.order[idx];
         for (port, b) in std::mem::take(&mut pending[i]) {
-            let out = nodes[i].process_batch(port, b);
+            let out = run_op_batch(&mut nodes[i], telem_at(telem, i), port, b);
             if !out.is_empty() {
                 deliver_batch(plan, pending, collected, pool, i, out);
             }
         }
-        let fl = nodes[i].flush();
+        let fl = match telem_at(telem, i) {
+            Some(t) => {
+                let t0 = Instant::now();
+                let fl = nodes[i].flush();
+                t.busy_ns.add(t0.elapsed().as_nanos() as u64);
+                t.tuples_out.add(fl.len() as u64);
+                fl
+            }
+            None => nodes[i].flush(),
+        };
         if !fl.is_empty() {
             deliver_batch(plan, pending, collected, pool, i, Batch::from(fl));
         }
@@ -562,6 +650,9 @@ pub struct ExecSession {
     pending: Vec<Vec<(usize, Batch)>>,
     collected: HashMap<NodeId, Vec<Tuple>>,
     pool: Option<BatchPool>,
+    /// Always-on per-node counters (`None` only when explicitly
+    /// switched off for the instrumentation-overhead A/B benchmark).
+    telem: Option<Vec<OpTelemetry>>,
 }
 
 impl ExecSession {
@@ -570,6 +661,22 @@ impl ExecSession {
     pub fn with_pool(mut self, pool: BatchPool) -> Self {
         self.pool = Some(pool);
         self
+    }
+
+    /// Switch off the always-on per-node counters. Exists for the
+    /// instrumentation-overhead A/B benchmark; production drivers keep
+    /// the default.
+    pub fn without_instrumentation(mut self) -> Self {
+        self.telem = None;
+        self
+    }
+
+    /// The live per-node counters, indexed by [`NodeId::index`], or
+    /// `None` when the session was built with
+    /// [`Self::without_instrumentation`]. Handles are cloneable and
+    /// readable from other threads while the session runs.
+    pub fn node_telemetry(&self) -> Option<&[OpTelemetry]> {
+        self.telem.as_deref()
     }
 
     /// Named entry node for `name`, if the graph registered one.
@@ -595,6 +702,7 @@ impl ExecSession {
             &mut self.pending,
             &mut self.collected,
             self.pool.as_ref(),
+            self.telem.as_deref(),
             node.0,
             port,
             batch,
@@ -617,7 +725,12 @@ impl ExecSession {
         for idx in 0..self.plan.order.len() {
             let i = self.plan.order[idx];
             for (port, b) in std::mem::take(&mut self.pending[i]) {
-                let out = self.nodes[i].process_batch(port, b);
+                let out = run_op_batch(
+                    &mut self.nodes[i],
+                    telem_at(self.telem.as_deref(), i),
+                    port,
+                    b,
+                );
                 if !out.is_empty() {
                     deliver_batch(
                         &self.plan,
@@ -629,7 +742,16 @@ impl ExecSession {
                     );
                 }
             }
-            let closed = self.nodes[i].advance_watermark(watermark);
+            let closed = match telem_at(self.telem.as_deref(), i) {
+                Some(t) => {
+                    let t0 = Instant::now();
+                    let closed = self.nodes[i].advance_watermark(watermark);
+                    t.busy_ns.add(t0.elapsed().as_nanos() as u64);
+                    t.tuples_out.add(closed.len() as u64);
+                    closed
+                }
+                None => self.nodes[i].advance_watermark(watermark),
+            };
             if !closed.is_empty() {
                 deliver_batch(
                     &self.plan,
@@ -671,6 +793,7 @@ impl ExecSession {
             &mut self.pending,
             &mut self.collected,
             self.pool.as_ref(),
+            self.telem.as_deref(),
         );
         self.collected
     }
@@ -1079,6 +1202,62 @@ mod tests {
         assert_eq!(out[&src].len(), 10);
         assert_eq!(out[&s1].len(), 10);
         assert_eq!(out[&s2].len(), 10);
+    }
+
+    #[test]
+    fn session_records_per_node_telemetry() {
+        let (g, sink) = doubling_graph();
+        let mut s = g.into_session().unwrap();
+        let node = s.source_node("in").unwrap();
+        let telem: Vec<_> = s.node_telemetry().unwrap().to_vec();
+
+        // One shared schema Arc so `columnarize` accepts the run.
+        let schema = Schema::builder().field("v", DataType::Int).build();
+        let mut big = Batch::from(
+            (0..100)
+                .map(|i| Tuple::new(schema.clone(), vec![Value::from(i as i64)], i))
+                .collect::<Vec<_>>(),
+        );
+        assert!(big.columnarize());
+        s.push(node, 0, big);
+        s.push(node, 0, Batch::from(vec![t(100, 7)]));
+        let out = s.finish();
+        assert_eq!(out[&sink].len(), 101);
+
+        let double = &telem[node.index()];
+        assert_eq!(double.tuples_in.get(), 101);
+        assert_eq!(double.tuples_out.get(), 101);
+        assert_eq!(double.batches.get(), 2);
+        assert_eq!(double.columnar_batches.get(), 1);
+        assert_eq!(double.row_batches.get(), 1);
+        assert_eq!(double.columnar_hit_rate(), Some(0.5));
+        assert_eq!(telem[sink.index()].tuples_in.get(), 101);
+    }
+
+    #[test]
+    fn uninstrumented_run_matches_instrumented() {
+        let inputs: Vec<Tuple> = (0..300).map(|i| t(i, i as i64)).collect();
+        let (mut g1, sink1) = doubling_graph();
+        let a = g1
+            .run_batched(vec![("in".into(), 0, inputs.clone())], 64)
+            .unwrap()
+            .remove(&sink1)
+            .unwrap();
+        let (mut g2, sink2) = doubling_graph();
+        let b = g2
+            .run_batched_uninstrumented(vec![("in".into(), 0, inputs.clone())], 64)
+            .unwrap()
+            .remove(&sink2)
+            .unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.int("v").unwrap(), y.int("v").unwrap());
+            assert_eq!(x.ts, y.ts);
+        }
+
+        let (g3, _) = doubling_graph();
+        let s = g3.into_session().unwrap().without_instrumentation();
+        assert!(s.node_telemetry().is_none());
     }
 
     #[test]

@@ -46,6 +46,7 @@
 pub mod merge;
 pub mod plan;
 pub mod session;
+pub mod telemetry;
 
 use plan::ShardPlan;
 use session::ShardedSession;

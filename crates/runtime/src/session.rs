@@ -56,6 +56,7 @@
 //! a typed `QueryPanicked` serving error.
 
 use crate::plan::{shard_of, stable_key_hash, RouteRule, ShardPlan};
+use crate::telemetry::{OpTelemetryEntry, SessionTelemetry};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::collections::{BTreeMap, HashMap};
 use std::thread::JoinHandle;
@@ -65,6 +66,7 @@ use ustream_core::columnar::Columns;
 use ustream_core::error::{panic_message, EngineError, Result};
 use ustream_core::query::{ExecSession, QueryGraph};
 use ustream_core::{NodeId, Tuple};
+use ustream_telemetry::{MetricsRegistry, TraceDetail};
 
 /// Run a closure, converting a panic into its rendered message.
 fn catch<T>(f: impl FnOnce() -> T) -> std::result::Result<T, String> {
@@ -262,6 +264,10 @@ struct StagedCore {
     sink_order: Vec<usize>,
     watermark: u64,
     failed: Option<String>,
+    telem: SessionTelemetry,
+    /// Watermark most recently broadcast to each stage (seal point for
+    /// the per-stage watermark-lag sketches).
+    sealed: Vec<u64>,
 }
 
 enum BarrierOp {
@@ -303,6 +309,12 @@ impl StagedCore {
         let batch = std::mem::replace(&mut b.batch, replacement);
         let (node, port) = (b.node, b.port);
         let local = self.stages[stage].local_of[node].expect("routed node belongs to its stage");
+        self.telem.routed(stage, shard).add(batch.len() as u64);
+        self.telem.journal().record(TraceDetail::ShardRouted {
+            stage,
+            shard,
+            tuples: batch.len(),
+        });
         let worker = self.worker_of(shard);
         if worker == 0 {
             let st = self.inline.get_mut(&slot).expect("inline slot exists");
@@ -370,6 +382,12 @@ impl StagedCore {
         let slot = self.slot_id(0, shard);
         let local = self.stages[0].local_of[node].expect("routed node belongs to its stage");
         let batch = Batch::from_columns(cols);
+        self.telem.routed(0, shard).add(batch.len() as u64);
+        self.telem.journal().record(TraceDetail::ShardRouted {
+            stage: 0,
+            shard,
+            tuples: batch.len(),
+        });
         let worker = self.worker_of(shard);
         if worker == 0 {
             let st = self.inline.get_mut(&slot).expect("inline slot exists");
@@ -450,6 +468,13 @@ impl StagedCore {
 
     fn push_batch(&mut self, node: NodeId, port: usize, mut batch: Batch) -> Result<()> {
         self.guard()?;
+        self.telem.batches_pushed.inc();
+        self.telem.tuples_pushed.add(batch.len() as u64);
+        self.telem.journal().record(TraceDetail::BatchPumped {
+            node: node.index(),
+            port,
+            tuples: batch.len(),
+        });
         if let Some(max_ts) = batch.max_ts() {
             self.watermark = self.watermark.max(max_ts);
         }
@@ -571,6 +596,7 @@ impl StagedCore {
         self.guard()?;
         let wm = self.watermark;
         for stage in 0..self.plan.num_stages() {
+            let mut forwarded = 0usize;
             if stage > 0 {
                 // Forward pooled input the watermark has sealed (all of
                 // it at finish), in canonical (ts, entry, port, content)
@@ -613,9 +639,22 @@ impl StagedCore {
                     }
                     i = j;
                 }
+                forwarded = keyed.len();
                 for (_, (_, node, port, tuple)) in keyed {
                     self.route_one(stage, node, port, tuple)?;
                 }
+            }
+            if stage > 0 {
+                if forwarded > 0 {
+                    self.telem.exchange_forwarded(stage).add(forwarded as u64);
+                    self.telem.journal().record(TraceDetail::ExchangeForwarded {
+                        stage,
+                        tuples: forwarded,
+                    });
+                }
+                self.telem
+                    .pool_depth(stage)
+                    .set(self.pools[stage].len() as i64);
             }
             for shard in 0..self.shards {
                 self.flush_builder(stage, shard)?;
@@ -626,6 +665,20 @@ impl StagedCore {
                 self.advance_stage(stage, wm)?;
                 self.barrier(stage, BarrierOp::Drain)?
             };
+            let prev = self.sealed[stage];
+            if wm > prev {
+                self.telem.record_seal(stage, prev, wm);
+                self.sealed[stage] = wm;
+            }
+            let released: usize = collected
+                .iter()
+                .map(|outs| outs.iter().map(|(_, t)| t.len()).sum::<usize>())
+                .sum();
+            self.telem.journal().record(TraceDetail::WindowSealed {
+                stage,
+                watermark: wm,
+                released,
+            });
             self.distribute(stage, collected);
         }
         Ok(())
@@ -700,6 +753,11 @@ impl Drop for StagedCore {
 struct SingleCore {
     session: Option<ExecSession>,
     failed: Option<String>,
+    telem: SessionTelemetry,
+    /// Highest timestamp pushed so far (event-time high water).
+    high_water: u64,
+    /// Watermark most recently sealed via `advance_watermark`.
+    sealed: u64,
 }
 
 impl SingleCore {
@@ -747,11 +805,15 @@ impl ShardedSession {
             .map(|(name, id)| (name.to_string(), id))
             .collect();
         let session = graph.into_session()?;
+        let telem = single_telemetry(&session);
         Ok(ShardedSession {
             sources,
             core: Core::Single(Box::new(SingleCore {
                 session: Some(session),
                 failed: None,
+                telem,
+                high_water: 0,
+                sealed: 0,
             })),
         })
     }
@@ -778,11 +840,15 @@ impl ShardedSession {
         // release trades for the canonical order.
         if shards == 1 || !plan.is_parallel() {
             let session = prototype.into_session()?;
+            let telem = single_telemetry(&session);
             return Ok(ShardedSession {
                 sources,
                 core: Core::Single(Box::new(SingleCore {
                     session: Some(session),
                     failed: None,
+                    telem,
+                    high_water: 0,
+                    sealed: 0,
                 })),
             });
         }
@@ -828,7 +894,11 @@ impl ShardedSession {
             })
             .collect();
 
-        // One full graph per shard, split into per-stage sessions.
+        // One full graph per shard, split into per-stage sessions. The
+        // per-node counter handles are harvested before the sessions
+        // move onto their workers, so the driver (and anything it binds
+        // a registry for) reads the same cells the workers bump.
+        let mut telem = SessionTelemetry::new(num_stages, shards);
         let mut per_worker: Vec<BTreeMap<usize, SlotState>> =
             (0..n_workers).map(|_| BTreeMap::new()).collect();
         for shard in 0..shards {
@@ -845,6 +915,22 @@ impl ShardedSession {
             }
             let stage_sessions = split_stages(g, &plan, &stages, num_stages, &pool)?;
             for (stage, session) in stage_sessions.into_iter().enumerate() {
+                if let Some(handles) = session.node_telemetry() {
+                    let orig_of = &stages[stage].orig_of;
+                    telem.push_op_entries(handles.iter().enumerate().map(|(local, h)| {
+                        let orig = orig_of[local];
+                        OpTelemetryEntry {
+                            op: prototype
+                                .operator(NodeId::from_index(orig))
+                                .name()
+                                .to_string(),
+                            node: orig,
+                            stage,
+                            shard,
+                            telem: h.clone(),
+                        }
+                    }));
+                }
                 let slot = stage * shards + shard;
                 per_worker[shard % n_workers].insert(
                     slot,
@@ -897,6 +983,8 @@ impl ShardedSession {
                 sink_order,
                 watermark: 0,
                 failed: None,
+                telem,
+                sealed: vec![0; num_stages],
             })),
         })
     }
@@ -925,9 +1013,42 @@ impl ShardedSession {
     /// satisfies). Errors when an operator or routing key panicked.
     pub fn push_batch(&mut self, node: NodeId, port: usize, batch: Batch) -> Result<()> {
         match &mut self.core {
-            Core::Single(s) => s.op(|session| session.push(node, port, batch)),
+            Core::Single(s) => {
+                let tuples = batch.len();
+                s.telem.batches_pushed.inc();
+                s.telem.tuples_pushed.add(tuples as u64);
+                s.telem.routed(0, 0).add(tuples as u64);
+                s.telem.journal().record(TraceDetail::BatchPumped {
+                    node: node.index(),
+                    port,
+                    tuples,
+                });
+                if let Some(max_ts) = batch.max_ts() {
+                    s.high_water = s.high_water.max(max_ts);
+                }
+                s.op(|session| session.push(node, port, batch))
+            }
             Core::Staged(s) => s.push_batch(node, port, batch),
         }
+    }
+
+    /// The session's live telemetry handles: routing and exchange
+    /// counters, stage pool depths, watermark-lag sketches, per-operator
+    /// counters, and the structured event journal. Always on; handles
+    /// are cloneable and readable from other threads while the session
+    /// runs.
+    pub fn telemetry(&self) -> &SessionTelemetry {
+        match &self.core {
+            Core::Single(s) => &s.telem,
+            Core::Staged(s) => &s.telem,
+        }
+    }
+
+    /// Adopt every telemetry handle into `registry` under the
+    /// `engine_*` metric families (see
+    /// [`SessionTelemetry::bind_registry`]).
+    pub fn bind_registry(&self, registry: &MetricsRegistry) {
+        self.telemetry().bind_registry(registry);
     }
 
     /// Event time reached `watermark` without (necessarily) data: the
@@ -940,7 +1061,14 @@ impl ShardedSession {
     /// last pushed tuple.
     pub fn advance_watermark(&mut self, watermark: u64) -> Result<()> {
         match &mut self.core {
-            Core::Single(s) => s.op(|session| session.advance_watermark(watermark)),
+            Core::Single(s) => {
+                s.high_water = s.high_water.max(watermark);
+                if watermark > s.sealed {
+                    s.telem.record_seal(0, s.sealed, watermark);
+                    s.sealed = watermark;
+                }
+                s.op(|session| session.advance_watermark(watermark))
+            }
             Core::Staged(s) => {
                 s.guard()?;
                 s.watermark = s.watermark.max(watermark);
@@ -957,7 +1085,16 @@ impl ShardedSession {
     /// `(ts, content)` order.
     pub fn drain_collected(&mut self) -> Result<Vec<(NodeId, Vec<Tuple>)>> {
         match &mut self.core {
-            Core::Single(s) => s.op(|session| session.drain_collected()),
+            Core::Single(s) => {
+                let out = s.op(|session| session.drain_collected())?;
+                let released: usize = out.iter().map(|(_, t)| t.len()).sum();
+                s.telem.journal().record(TraceDetail::WindowSealed {
+                    stage: 0,
+                    watermark: s.sealed,
+                    released,
+                });
+                Ok(out)
+            }
             Core::Staged(s) => s.drain_collected(),
         }
     }
@@ -986,6 +1123,22 @@ impl ShardedSession {
             }
         }
     }
+}
+
+/// Harvest a single-pipeline session's per-node counters into a fresh
+/// 1×1 telemetry bundle.
+fn single_telemetry(session: &ExecSession) -> SessionTelemetry {
+    let mut telem = SessionTelemetry::new(1, 1);
+    if let Some(handles) = session.node_telemetry() {
+        telem.push_op_entries(handles.iter().enumerate().map(|(i, h)| OpTelemetryEntry {
+            op: session.operator(NodeId::from_index(i)).name().to_string(),
+            node: i,
+            stage: 0,
+            shard: 0,
+            telem: h.clone(),
+        }));
+    }
+    telem
 }
 
 /// Split one factory-built graph into its per-stage [`ExecSession`]s.

@@ -52,6 +52,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, TryLockError, Weak};
 use std::time::Duration;
 use ustream_core::Tuple;
+use ustream_telemetry::MetricSnapshot;
 
 /// How often the background timer checks whether the publisher's clock
 /// advanced past the last advertised watermark.
@@ -461,6 +462,20 @@ impl Client {
         protocol::write_request(&mut conn.stream, &Request::Stats)?;
         match await_reply(&mut conn)? {
             Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Snapshot the server's full metrics registry: every `engine_*`
+    /// and `server_*` counter/gauge/histogram/sketch as typed
+    /// [`MetricSnapshot`]s (sorted by family then labels) plus the
+    /// Prometheus-style text exposition rendered server-side. The
+    /// modern superset of [`Client::stats`].
+    pub fn stats_v2(&mut self) -> ClientResult<(Vec<MetricSnapshot>, String)> {
+        let mut conn = self.lock();
+        protocol::write_request(&mut conn.stream, &Request::StatsV2)?;
+        match await_reply(&mut conn)? {
+            Response::StatsV2 { metrics, text } => Ok((metrics, text)),
             other => Err(unexpected(other)),
         }
     }

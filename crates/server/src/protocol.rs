@@ -10,6 +10,7 @@
 use crate::wire::{self, put_str, read_frame, write_frame, Reader, WireError, WireResult};
 use std::io::{Read, Write};
 use ustream_core::Tuple;
+use ustream_telemetry::{HistogramSnapshot, MetricSnapshot, MetricValue, SketchSnapshot};
 
 // Frame kinds. Requests have the high bit clear, responses set.
 const KIND_HELLO: u8 = 0x01;
@@ -20,6 +21,7 @@ const KIND_STATS: u8 = 0x05;
 const KIND_HEARTBEAT: u8 = 0x06;
 const KIND_RESUME: u8 = 0x07;
 const KIND_PUBLISH_SEQ: u8 = 0x08;
+const KIND_STATS_V2: u8 = 0x09;
 const KIND_HELLO_ACK: u8 = 0x81;
 const KIND_ACK: u8 = 0x82;
 const KIND_ERROR: u8 = 0x83;
@@ -29,6 +31,13 @@ const KIND_STATS_REPLY: u8 = 0x86;
 const KIND_RESUME_OK: u8 = 0x87;
 const KIND_GAP: u8 = 0x88;
 const KIND_RESULTS_SEQ: u8 = 0x89;
+const KIND_STATS_V2_REPLY: u8 = 0x8A;
+
+// Metric-value tags inside a StatsV2 reply.
+const METRIC_COUNTER: u8 = 0;
+const METRIC_GAUGE: u8 = 1;
+const METRIC_HISTOGRAM: u8 = 2;
+const METRIC_SKETCH: u8 = 3;
 
 /// What a client asks of the server.
 #[derive(Debug, Clone)]
@@ -67,6 +76,11 @@ pub enum Request {
     Heartbeat { watermark: u64 },
     /// Snapshot the served query's per-operator metrics.
     Stats,
+    /// Snapshot the server's full metrics registry: every engine and
+    /// serving counter/gauge/histogram/sketch, typed, plus the
+    /// Prometheus-style text exposition. The modern superset of
+    /// [`Request::Stats`] (which remains served for old clients).
+    StatsV2,
     /// Re-attach to a parked publisher session after a disconnect. The
     /// `token` came from [`Response::HelloAck`]; `last_acked_seq` is the
     /// highest publish sequence the client saw acked. The server answers
@@ -149,6 +163,14 @@ pub enum Response {
     Eos,
     /// Reply to `Stats`.
     Stats(Vec<OpStat>),
+    /// Reply to `StatsV2`: the registry snapshot (typed, sorted by
+    /// family then labels) plus its text exposition rendered
+    /// server-side, so a scraper can forward `text` verbatim while a
+    /// programmatic client works the typed list.
+    StatsV2 {
+        metrics: Vec<MetricSnapshot>,
+        text: String,
+    },
     /// Reply to `Resume`: the session is re-attached. `last_seq` is the
     /// highest publish sequence the server has applied — the client must
     /// drop buffered publishes at or below it and replay the rest.
@@ -213,6 +235,7 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> WireResult<()> {
             KIND_HEARTBEAT
         }
         Request::Stats => KIND_STATS,
+        Request::StatsV2 => KIND_STATS_V2,
         Request::Resume {
             token,
             last_acked_seq,
@@ -268,6 +291,7 @@ pub fn read_request<R: Read>(r: &mut R) -> WireResult<Request> {
             watermark: rd.u64()?,
         },
         KIND_STATS => Request::Stats,
+        KIND_STATS_V2 => Request::StatsV2,
         KIND_RESUME => Request::Resume {
             token: rd.u64()?,
             last_acked_seq: rd.u64()?,
@@ -281,6 +305,99 @@ pub fn read_request<R: Read>(r: &mut R) -> WireResult<Request> {
     };
     rd.finish()?;
     Ok(req)
+}
+
+/// Append one registry metric: family, labels, then a tagged value.
+fn put_metric(out: &mut Vec<u8>, m: &MetricSnapshot) {
+    put_str(out, &m.family);
+    out.extend_from_slice(&(m.labels.len() as u16).to_be_bytes());
+    for (k, v) in &m.labels {
+        put_str(out, k);
+        put_str(out, v);
+    }
+    match &m.value {
+        MetricValue::Counter(v) => {
+            out.push(METRIC_COUNTER);
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        MetricValue::Gauge(v) => {
+            out.push(METRIC_GAUGE);
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        MetricValue::Histogram(h) => {
+            out.push(METRIC_HISTOGRAM);
+            out.extend_from_slice(&(h.buckets.len() as u32).to_be_bytes());
+            for (bound, count) in &h.buckets {
+                out.extend_from_slice(&bound.to_be_bytes());
+                out.extend_from_slice(&count.to_be_bytes());
+            }
+            out.extend_from_slice(&h.overflow.to_be_bytes());
+            out.extend_from_slice(&h.sum.to_be_bytes());
+            out.extend_from_slice(&h.count.to_be_bytes());
+        }
+        MetricValue::Sketch(s) => {
+            out.push(METRIC_SKETCH);
+            out.extend_from_slice(&s.count.to_be_bytes());
+            for v in [s.min, s.max, s.p50, s.p90, s.p95, s.p99] {
+                out.extend_from_slice(&v.to_bits().to_be_bytes());
+            }
+        }
+    }
+}
+
+fn read_metric(rd: &mut Reader<'_>) -> WireResult<MetricSnapshot> {
+    let family = rd.str()?;
+    let n_labels = rd.u16()? as usize;
+    let mut labels = Vec::with_capacity(n_labels.min(64));
+    for _ in 0..n_labels {
+        labels.push((rd.str()?, rd.str()?));
+    }
+    let value = match rd.u8()? {
+        METRIC_COUNTER => MetricValue::Counter(rd.u64()?),
+        METRIC_GAUGE => MetricValue::Gauge(rd.i64()?),
+        METRIC_HISTOGRAM => {
+            let n = rd.u32()? as usize;
+            let floor = n
+                .checked_mul(16)
+                .ok_or(WireError::InvalidPayload("length overflow"))?;
+            if floor > rd.remaining() {
+                return Err(WireError::Truncated {
+                    needed: floor,
+                    have: rd.remaining(),
+                });
+            }
+            let mut buckets = Vec::with_capacity(n);
+            for _ in 0..n {
+                buckets.push((rd.u64()?, rd.u64()?));
+            }
+            MetricValue::Histogram(HistogramSnapshot {
+                buckets,
+                overflow: rd.u64()?,
+                sum: rd.u64()?,
+                count: rd.u64()?,
+            })
+        }
+        METRIC_SKETCH => MetricValue::Sketch(SketchSnapshot {
+            count: rd.u64()?,
+            min: rd.f64()?,
+            max: rd.f64()?,
+            p50: rd.f64()?,
+            p90: rd.f64()?,
+            p95: rd.f64()?,
+            p99: rd.f64()?,
+        }),
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "MetricValue",
+                tag,
+            })
+        }
+    };
+    Ok(MetricSnapshot {
+        family,
+        labels,
+        value,
+    })
 }
 
 /// Serialize and frame one `Results` push without taking ownership of
@@ -339,6 +456,14 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> WireResult<()> {
                 payload.extend_from_slice(&s.calls.to_be_bytes());
             }
             KIND_STATS_REPLY
+        }
+        Response::StatsV2 { metrics, text } => {
+            payload.extend_from_slice(&(metrics.len() as u32).to_be_bytes());
+            for m in metrics {
+                put_metric(&mut payload, m);
+            }
+            put_str(&mut payload, text);
+            KIND_STATS_V2_REPLY
         }
         Response::ResumeOk {
             session_id,
@@ -423,6 +548,26 @@ pub fn read_response<R: Read>(r: &mut R) -> WireResult<Response> {
                 });
             }
             Response::Stats(stats)
+        }
+        KIND_STATS_V2_REPLY => {
+            let n = rd.u32()? as usize;
+            // Each metric is at least 15 bytes (empty family, no
+            // labels, tag + the smallest 8-byte value).
+            let floor = n
+                .checked_mul(15)
+                .ok_or(WireError::InvalidPayload("length overflow"))?;
+            if floor > rd.remaining() {
+                return Err(WireError::Truncated {
+                    needed: floor,
+                    have: rd.remaining(),
+                });
+            }
+            let mut metrics = Vec::with_capacity(n);
+            for _ in 0..n {
+                metrics.push(read_metric(&mut rd)?);
+            }
+            let text = rd.str()?;
+            Response::StatsV2 { metrics, text }
         }
         tag => {
             return Err(WireError::UnknownTag {
@@ -593,6 +738,61 @@ mod tests {
                 }
                 other => panic!("wrong decode: {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn stats_v2_roundtrips_every_metric_kind() {
+        assert!(matches!(roundtrip_req(Request::StatsV2), Request::StatsV2));
+        let metrics = vec![
+            MetricSnapshot {
+                family: "engine_tuples_pushed_total".into(),
+                labels: vec![],
+                value: MetricValue::Counter(42),
+            },
+            MetricSnapshot {
+                family: "engine_stage_pool_depth".into(),
+                labels: vec![("stage".into(), "1".into())],
+                value: MetricValue::Gauge(-3),
+            },
+            MetricSnapshot {
+                family: "op_latency_ns".into(),
+                labels: vec![("op".into(), "select".into()), ("shard".into(), "0".into())],
+                value: MetricValue::Histogram(HistogramSnapshot {
+                    buckets: vec![(1_000, 5), (10_000, 2)],
+                    overflow: 1,
+                    sum: 123_456,
+                    count: 8,
+                }),
+            },
+            MetricSnapshot {
+                family: "engine_watermark_lag".into(),
+                labels: vec![("stage".into(), "0".into())],
+                value: MetricValue::Sketch(SketchSnapshot {
+                    count: 100,
+                    min: 0.5,
+                    max: 99.5,
+                    p50: 48.0,
+                    p90: 90.25,
+                    p95: 95.0,
+                    p99: 99.0,
+                }),
+            },
+        ];
+        let text = "# TYPE engine_tuples_pushed_total counter\n\
+                    engine_tuples_pushed_total 42\n";
+        match roundtrip_resp(Response::StatsV2 {
+            metrics: metrics.clone(),
+            text: text.into(),
+        }) {
+            Response::StatsV2 {
+                metrics: back,
+                text: back_text,
+            } => {
+                assert_eq!(back, metrics);
+                assert_eq!(back_text, text);
+            }
+            other => panic!("wrong decode: {other:?}"),
         }
     }
 

@@ -88,6 +88,7 @@ use ustream_core::query::QueryGraph;
 use ustream_core::{Batch, EngineError, MetricsHandle, NodeId, Tuple};
 use ustream_runtime::session::ShardedSession;
 use ustream_runtime::ShardedExecutor;
+use ustream_telemetry::{Counter, EventJournal, Gauge, MetricsRegistry, TraceDetail};
 
 /// Typed server-side failures, readable from the in-process
 /// [`ServerHandle`]. Client misbehavior (malformed frames, abrupt
@@ -541,6 +542,16 @@ impl SubQueue {
         self.not_empty.notify_all();
     }
 
+    /// Undelivered items currently queued (the engine samples this into
+    /// the subscriber's depth gauge after each broadcast).
+    fn depth(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("subscriber queue poisoned")
+            .items
+            .len()
+    }
+
     /// Relay side: next item, blocking. A closed-and-drained queue
     /// yields `Eos`.
     fn pop(&self) -> SubItem {
@@ -619,6 +630,70 @@ struct PubState {
     finished: bool,
 }
 
+/// The server's own always-on counters, registered under `server_*`
+/// families in the shared [`MetricsRegistry`] at startup. One relaxed
+/// atomic bump per serving event; the registry serves the same cells to
+/// `StatsV2` and [`MetricsRegistry::render_text`].
+struct ServerMetrics {
+    /// Publish frames applied to the merge (dedup replays excluded).
+    publish_frames: Counter,
+    /// Tuples in those frames.
+    publish_tuples: Counter,
+    /// Every `Ack` response written, any request kind.
+    acks: Counter,
+    /// Duplicate sequenced publishes re-acked without re-application
+    /// (the exactly-once dedup firing during a replay).
+    replay_publishes: Counter,
+    /// Successful `Resume` handshakes (`ResumeOk` sent).
+    resumes: Counter,
+    heartbeats: Counter,
+    finishes: Counter,
+    subscribes: Counter,
+    /// Encoded `Results` frames broadcast (splits count individually).
+    results_frames: Counter,
+    /// `Eos` markers queued to subscribers.
+    eos: Counter,
+    /// `Gap` frames written to subscribers, and the frames they report
+    /// missing.
+    gap_frames: Counter,
+    gap_missed: Counter,
+    /// Lease lifecycle: sessions parked after an abrupt disconnect,
+    /// parked sessions picked back up, leases that ran out.
+    lease_parked: Counter,
+    lease_resumed: Counter,
+    lease_expired: Counter,
+    /// [`ServerError`]s recorded, split by [`Severity`]. Always equal
+    /// to the count of errors handed out by
+    /// [`ServerHandle::take_errors`] over the server's lifetime.
+    errors_transient: Counter,
+    errors_fatal: Counter,
+}
+
+impl ServerMetrics {
+    fn register(registry: &MetricsRegistry) -> ServerMetrics {
+        ServerMetrics {
+            publish_frames: registry.counter("server_publish_frames_total"),
+            publish_tuples: registry.counter("server_publish_tuples_total"),
+            acks: registry.counter("server_acks_total"),
+            replay_publishes: registry.counter("server_replay_publishes_total"),
+            resumes: registry.counter("server_resumes_total"),
+            heartbeats: registry.counter("server_heartbeats_total"),
+            finishes: registry.counter("server_finishes_total"),
+            subscribes: registry.counter("server_subscribes_total"),
+            results_frames: registry.counter("server_results_frames_total"),
+            eos: registry.counter("server_eos_total"),
+            gap_frames: registry.counter("server_gap_frames_total"),
+            gap_missed: registry.counter("server_gap_missed_total"),
+            lease_parked: registry.counter("server_lease_parked_total"),
+            lease_resumed: registry.counter("server_lease_resumed_total"),
+            lease_expired: registry.counter("server_lease_expired_total"),
+            errors_transient: registry
+                .counter_with("server_errors_total", &[("severity", "transient")]),
+            errors_fatal: registry.counter_with("server_errors_total", &[("severity", "fatal")]),
+        }
+    }
+}
+
 /// State shared between the accept loop and every handler thread.
 struct Shared {
     engine_tx: Sender<EngineMsg>,
@@ -638,10 +713,22 @@ struct Shared {
     lease: Duration,
     /// Resumable publisher sessions, keyed by token.
     sessions: Mutex<HashMap<u64, Arc<SessionEntry>>>,
+    /// The always-on metrics surface: the engine session's handles are
+    /// adopted here at startup, the server's own counters live here,
+    /// and `StatsV2` serves a snapshot plus the text exposition.
+    registry: MetricsRegistry,
+    /// Structured serving events (gaps, lease lifecycle), merged with
+    /// the engine session's journal.
+    journal: EventJournal,
+    m: ServerMetrics,
 }
 
 impl Shared {
     fn record(&self, e: ServerError) {
+        match e.severity() {
+            Severity::Transient => self.m.errors_transient.inc(),
+            Severity::Fatal => self.m.errors_fatal.inc(),
+        }
         self.errors.lock().expect("error log poisoned").push(e);
     }
 }
@@ -702,6 +789,16 @@ impl Server {
             }
         };
 
+        // One registry serves the whole deployment: the session adopts
+        // its engine handles into it here, the server's own counters
+        // register beside them, and `StatsV2` snapshots the union. The
+        // journal is the session's — serving events (leases, gaps)
+        // interleave with engine events (pumps, seals) in one sequence.
+        let registry = MetricsRegistry::new();
+        session.bind_registry(&registry);
+        let journal = session.telemetry().journal().clone();
+        let m = ServerMetrics::register(&registry);
+
         let (engine_tx, engine_rx) = bounded::<EngineMsg>(config.inbox_capacity);
         let shared = Arc::new(Shared {
             engine_tx: engine_tx.clone(),
@@ -713,6 +810,9 @@ impl Server {
             subscriber_capacity: config.subscriber_capacity,
             lease: config.lease,
             sessions: Mutex::new(HashMap::new()),
+            registry,
+            journal,
+            m,
         });
 
         let engine_shared = shared.clone();
@@ -781,6 +881,21 @@ impl ServerHandle {
         self.shared.finished.load(Ordering::SeqCst)
     }
 
+    /// The server's live metrics registry: the engine session's
+    /// `engine_*` handles plus the serving-layer `server_*` counters —
+    /// the same cells `StatsV2` snapshots remotely. `Clone` shares the
+    /// table, so the handle stays valid after [`ServerHandle::shutdown`].
+    pub fn registry(&self) -> MetricsRegistry {
+        self.shared.registry.clone()
+    }
+
+    /// The structured event journal: engine events (batches pumped,
+    /// windows sealed, shard routing) interleaved with serving events
+    /// (lease lifecycle, subscriber gaps) in one monotonic sequence.
+    pub fn journal(&self) -> EventJournal {
+        self.shared.journal.clone()
+    }
+
     /// Drain the typed errors recorded so far (malformed frames,
     /// mid-stream disconnects, lease expiries, shed subscribers).
     /// Filter with [`ServerError::severity`] before alerting: the
@@ -817,11 +932,19 @@ impl ServerHandle {
 // Engine thread
 // ---------------------------------------------------------------------
 
+/// One attached subscriber: its queue plus the live depth gauge the
+/// engine refreshes after every broadcast.
+struct Sub {
+    client: u64,
+    queue: Arc<SubQueue>,
+    depth: Gauge,
+}
+
 struct Engine {
     rx: Receiver<EngineMsg>,
     session: Option<ShardedSession>,
     pubs: BTreeMap<u64, PubState>,
-    subs: Vec<(u64, Arc<SubQueue>)>,
+    subs: Vec<Sub>,
     batch_size: usize,
     policy: SubscriberPolicy,
     /// Sequence number of the next broadcast `Results` frame (frames
@@ -890,7 +1013,16 @@ impl Engine {
                 } => {
                     self.ever_subscribed = true;
                     if self.replay_frames_for(&queue, client, from) {
-                        self.subs.push((client, queue));
+                        let depth = self.shared.registry.gauge_with(
+                            "server_subscriber_queue_depth",
+                            &[("client", &client.to_string())],
+                        );
+                        depth.set(queue.depth() as i64);
+                        self.subs.push(Sub {
+                            client,
+                            queue,
+                            depth,
+                        });
                     }
                 }
                 EngineMsg::Shutdown => {
@@ -1129,6 +1261,7 @@ impl Engine {
             Ok(()) => {
                 let seq = self.next_results_seq;
                 self.next_results_seq += 1;
+                self.shared.m.results_frames.inc();
                 let frame = Arc::new(bytes);
                 if self.replay_cap > 0 {
                     if self.replay.len() == self.replay_cap {
@@ -1138,8 +1271,10 @@ impl Engine {
                 }
                 let shared = self.shared.clone();
                 let policy = self.policy;
-                self.subs.retain(|(client, queue)| {
-                    deliver(&shared, policy, *client, queue, frame.clone())
+                self.subs.retain(|sub| {
+                    let keep = deliver(&shared, policy, sub.client, &sub.queue, frame.clone());
+                    sub.depth.set(sub.queue.depth() as i64);
+                    keep
                 });
             }
             Err(WireError::FrameTooLarge(_)) if tuples.len() > 1 => {
@@ -1152,8 +1287,10 @@ impl Engine {
     }
 
     fn broadcast_eos(&mut self) {
-        for (_, queue) in self.subs.drain(..) {
-            queue.push_eos();
+        for sub in self.subs.drain(..) {
+            sub.queue.push_eos();
+            sub.depth.set(sub.queue.depth() as i64);
+            self.shared.m.eos.inc();
         }
     }
 }
@@ -1241,6 +1378,10 @@ fn park_publisher(
     st.lifecycle = Lifecycle::Parked;
     let epoch = st.epoch;
     drop(st);
+    shared.m.lease_parked.inc();
+    shared.journal.record(TraceDetail::LeaseParked {
+        session: entry.session_id,
+    });
     let shared = shared.clone();
     let entry = entry.clone();
     std::thread::spawn(move || {
@@ -1262,6 +1403,10 @@ fn park_publisher(
 /// disconnect to a `Fatal` [`ServerError::LeaseExpired`] and release
 /// the merge slot as finished so the query still reaches a clean EOS.
 fn expire_session(shared: &Arc<Shared>, entry: &Arc<SessionEntry>) {
+    shared.m.lease_expired.inc();
+    shared.journal.record(TraceDetail::LeaseExpired {
+        session: entry.session_id,
+    });
     shared.record(ServerError::LeaseExpired {
         session_id: entry.session_id,
         lease_ms: shared.lease.as_millis().min(u64::MAX as u128) as u64,
@@ -1400,12 +1545,14 @@ fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
                                     is_publisher = true;
                                     finish_sent = true;
                                     session = Some(entry);
+                                    shared.m.resumes.inc();
                                     Response::ResumeOk {
                                         session_id,
                                         last_seq,
                                     }
                                 }
                                 Lifecycle::Active | Lifecycle::Parked => {
+                                    let was_parked = st.lifecycle == Lifecycle::Parked;
                                     // Usurp: the epoch bump turns the
                                     // previous owner's park (and any
                                     // pending lease timer) into a no-op.
@@ -1418,6 +1565,13 @@ fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
                                     is_publisher = true;
                                     finish_sent = false;
                                     session = Some(entry);
+                                    shared.m.resumes.inc();
+                                    if was_parked {
+                                        shared.m.lease_resumed.inc();
+                                        shared.journal.record(TraceDetail::LeaseResumed {
+                                            session: session_id,
+                                        });
+                                    }
                                     Response::ResumeOk {
                                         session_id,
                                         last_seq,
@@ -1493,6 +1647,7 @@ fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
                             } else if seq < st.next_seq {
                                 // Replay of an already-applied batch:
                                 // re-ack, never re-apply.
+                                shared.m.replay_publishes.inc();
                                 Response::Ack { count }
                             } else if seq > st.next_seq {
                                 Response::Error {
@@ -1511,6 +1666,8 @@ fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
                                 }) {
                                     Ok(()) => {
                                         st.next_seq += 1;
+                                        shared.m.publish_frames.inc();
+                                        shared.m.publish_tuples.add(count as u64);
                                         Response::Ack { count }
                                     }
                                     Err(_) => Response::Error {
@@ -1526,7 +1683,11 @@ fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
                             port: port as usize,
                             tuples,
                         }) {
-                            Ok(()) => Response::Ack { count },
+                            Ok(()) => {
+                                shared.m.publish_frames.inc();
+                                shared.m.publish_tuples.add(count as u64);
+                                Response::Ack { count }
+                            }
                             Err(_) => Response::Error {
                                 code: ErrorCode::Finished,
                                 message: "query already finished; publish rejected".into(),
@@ -1558,6 +1719,7 @@ fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
                         }
                     } else {
                         subscribed = true;
+                        shared.m.subscribes.inc();
                         let relay_writer = writer.clone();
                         let relay_shared = shared.clone();
                         std::thread::spawn(move || {
@@ -1571,6 +1733,7 @@ fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
                 let sid = session.as_ref().map(|e| e.session_id).unwrap_or(client_id);
                 let _ = shared.engine_tx.send(EngineMsg::Finished { session: sid });
                 finish_sent = true;
+                shared.m.finishes.inc();
                 if let Some(entry) = &session {
                     entry
                         .state
@@ -1600,6 +1763,7 @@ fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
                         session: sid,
                         watermark,
                     });
+                    shared.m.heartbeats.inc();
                     Response::Ack { count: 0 }
                 }
             }
@@ -1619,7 +1783,14 @@ fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
                     })
                     .collect(),
             ),
+            Request::StatsV2 => Response::StatsV2 {
+                metrics: shared.registry.snapshot(),
+                text: shared.registry.render_text(),
+            },
         };
+        if matches!(reply, Response::Ack { .. }) {
+            shared.m.acks.inc();
+        }
         if !reply_to(&reply) {
             let why = (is_publisher && !finish_sent).then_some(ServerError::ClientDisconnected {
                 client_id,
@@ -1696,6 +1867,12 @@ fn relay_results(
                     queue.sever();
                     return;
                 }
+                shared.m.gap_frames.inc();
+                shared.m.gap_missed.add(missed);
+                shared.journal.record(TraceDetail::GapEmitted {
+                    subscriber: client_id,
+                    missed,
+                });
             }
             SubItem::Lagged => {
                 let _ = write(&Response::Error {

@@ -1,0 +1,266 @@
+//! A bounded, structured event journal: the engine's flight recorder.
+//!
+//! Counters say *how much*; the journal says *what happened, in what
+//! order*. Each [`TraceEvent`] carries a monotonic sequence number
+//! assigned at record time, so interleavings across subsystems are
+//! reconstructible even after the bounded ring has evicted older
+//! entries. Recording is gated per [`Subsystem`] by an atomic bit mask
+//! — a disabled subsystem pays one relaxed load and nothing else.
+//!
+//! The ring itself is a mutex-guarded deque: events are batch-, window-
+//! and session-granular (never per-tuple), so the lock is touched a few
+//! times per engine pump, far off any per-tuple path.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Event sources that can be enabled/disabled independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Subsystem {
+    /// Batches pumped through the engine.
+    Engine = 0,
+    /// Shard routing and exchange forwarding.
+    Exchange = 1,
+    /// Window sealing (watermark advances releasing output).
+    Window = 2,
+    /// Server request handling (gaps, subscriber shedding).
+    Server = 3,
+    /// Session lease lifecycle.
+    Lease = 4,
+}
+
+impl Subsystem {
+    fn bit(self) -> u64 {
+        1u64 << (self as u8)
+    }
+
+    pub const ALL: [Subsystem; 5] = [
+        Subsystem::Engine,
+        Subsystem::Exchange,
+        Subsystem::Window,
+        Subsystem::Server,
+        Subsystem::Lease,
+    ];
+}
+
+/// What happened. Every variant names its subsystem via
+/// [`TraceDetail::subsystem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceDetail {
+    /// A batch entered the engine at `(node, port)`.
+    BatchPumped {
+        node: usize,
+        port: usize,
+        tuples: usize,
+    },
+    /// A watermark advance sealed windows and released output.
+    WindowSealed {
+        stage: usize,
+        watermark: u64,
+        released: usize,
+    },
+    /// A batch was routed to `(stage, shard)`.
+    ShardRouted {
+        stage: usize,
+        shard: usize,
+        tuples: usize,
+    },
+    /// Sealed exchange output was forwarded downstream to `stage`.
+    ExchangeForwarded { stage: usize, tuples: usize },
+    /// A publisher vanished; its session parked under a lease.
+    LeaseParked { session: u64 },
+    /// A parked session was resumed before its lease ran out.
+    LeaseResumed { session: u64 },
+    /// A parked session's lease expired unresumed.
+    LeaseExpired { session: u64 },
+    /// A subscriber was told it missed `missed` result frames.
+    GapEmitted { subscriber: u64, missed: u64 },
+}
+
+impl TraceDetail {
+    pub fn subsystem(&self) -> Subsystem {
+        match self {
+            TraceDetail::BatchPumped { .. } => Subsystem::Engine,
+            TraceDetail::WindowSealed { .. } => Subsystem::Window,
+            TraceDetail::ShardRouted { .. } | TraceDetail::ExchangeForwarded { .. } => {
+                Subsystem::Exchange
+            }
+            TraceDetail::GapEmitted { .. } => Subsystem::Server,
+            TraceDetail::LeaseParked { .. }
+            | TraceDetail::LeaseResumed { .. }
+            | TraceDetail::LeaseExpired { .. } => Subsystem::Lease,
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic across the journal; gaps mean the ring evicted
+    /// entries (or a subsystem was disabled — disabled records do not
+    /// consume sequence numbers).
+    pub seq: u64,
+    pub detail: TraceDetail,
+}
+
+/// Bounded journal handle; `Clone` shares the ring.
+#[derive(Debug, Clone)]
+pub struct EventJournal {
+    inner: Arc<JournalInner>,
+}
+
+#[derive(Debug)]
+struct JournalInner {
+    seq: AtomicU64,
+    /// Per-subsystem enable bits (bit set = enabled).
+    mask: AtomicU64,
+    capacity: usize,
+    ring: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl EventJournal {
+    /// A journal retaining the newest `capacity` events, all
+    /// subsystems enabled.
+    pub fn new(capacity: usize) -> EventJournal {
+        EventJournal {
+            inner: Arc::new(JournalInner {
+                seq: AtomicU64::new(0),
+                mask: AtomicU64::new(u64::MAX),
+                capacity: capacity.max(1),
+                ring: Mutex::new(VecDeque::new()),
+            }),
+        }
+    }
+
+    /// Record an event if its subsystem is enabled; returns its
+    /// sequence number when recorded.
+    pub fn record(&self, detail: TraceDetail) -> Option<u64> {
+        if !self.enabled(detail.subsystem()) {
+            return None;
+        }
+        let inner = &*self.inner;
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        let mut ring = inner.ring.lock().unwrap_or_else(|p| p.into_inner());
+        if ring.len() == inner.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(TraceEvent { seq, detail });
+        Some(seq)
+    }
+
+    /// Enable or disable one subsystem.
+    pub fn set_enabled(&self, subsystem: Subsystem, on: bool) {
+        if on {
+            self.inner.mask.fetch_or(subsystem.bit(), Ordering::Relaxed);
+        } else {
+            self.inner
+                .mask
+                .fetch_and(!subsystem.bit(), Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn enabled(&self, subsystem: Subsystem) -> bool {
+        self.inner.mask.load(Ordering::Relaxed) & subsystem.bit() != 0
+    }
+
+    /// Total events ever recorded (≥ the ring's current length).
+    pub fn recorded(&self) -> u64 {
+        self.inner.seq.load(Ordering::Relaxed)
+    }
+
+    /// The newest retained events, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<TraceEvent> {
+        let ring = self.inner.ring.lock().unwrap_or_else(|p| p.into_inner());
+        ring.iter().rev().take(n).rev().cloned().collect()
+    }
+
+    /// Every retained event, oldest first.
+    pub fn all(&self) -> Vec<TraceEvent> {
+        let ring = self.inner.ring.lock().unwrap_or_else(|p| p.into_inner());
+        ring.iter().cloned().collect()
+    }
+}
+
+impl Default for EventJournal {
+    fn default() -> Self {
+        EventJournal::new(1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_is_monotonic_and_ring_bounded() {
+        let j = EventJournal::new(4);
+        for i in 0..10 {
+            j.record(TraceDetail::BatchPumped {
+                node: i,
+                port: 0,
+                tuples: 1,
+            });
+        }
+        let events = j.all();
+        assert_eq!(events.len(), 4, "ring keeps the newest 4");
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(j.recorded(), 10);
+    }
+
+    #[test]
+    fn disabled_subsystem_records_nothing() {
+        let j = EventJournal::new(8);
+        j.set_enabled(Subsystem::Lease, false);
+        assert!(j.record(TraceDetail::LeaseParked { session: 1 }).is_none());
+        assert!(j
+            .record(TraceDetail::GapEmitted {
+                subscriber: 2,
+                missed: 3
+            })
+            .is_some());
+        assert_eq!(j.all().len(), 1);
+        j.set_enabled(Subsystem::Lease, true);
+        assert!(j.record(TraceDetail::LeaseParked { session: 1 }).is_some());
+    }
+
+    #[test]
+    fn details_map_to_subsystems() {
+        assert_eq!(
+            TraceDetail::ShardRouted {
+                stage: 0,
+                shard: 1,
+                tuples: 2
+            }
+            .subsystem(),
+            Subsystem::Exchange
+        );
+        assert_eq!(
+            TraceDetail::WindowSealed {
+                stage: 0,
+                watermark: 1,
+                released: 2
+            }
+            .subsystem(),
+            Subsystem::Window
+        );
+    }
+
+    #[test]
+    fn recent_returns_newest_in_order() {
+        let j = EventJournal::new(16);
+        for i in 0..6 {
+            j.record(TraceDetail::ExchangeForwarded {
+                stage: i,
+                tuples: 1,
+            });
+        }
+        let last2 = j.recent(2);
+        assert_eq!(last2.len(), 2);
+        assert_eq!(last2[0].seq, 4);
+        assert_eq!(last2[1].seq, 5);
+    }
+}

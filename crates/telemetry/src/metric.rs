@@ -1,0 +1,237 @@
+//! Scalar metrics: counters, gauges, fixed-bucket histograms.
+//!
+//! All three are plain atomics under an `Arc`, so a handle is `Clone +
+//! Send + Sync` and costs one pointer to hold. Updates use `Relaxed`
+//! ordering: metrics are statistical observations, not synchronization
+//! edges, and the reader only needs eventual visibility (any stronger
+//! ordering the caller needs comes from its own synchronization).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Do two handles share the same cell?
+    pub fn same_cell(&self, other: &Counter) -> bool {
+        Arc::ptr_eq(&self.cell, &other.cell)
+    }
+}
+
+/// A signed instantaneous value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.cell.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if it is currently lower (a high-water
+    /// mark).
+    #[inline]
+    pub fn fetch_max(&self, v: i64) {
+        self.cell.fetch_max(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Do two handles share the same cell?
+    pub fn same_cell(&self, other: &Gauge) -> bool {
+        Arc::ptr_eq(&self.cell, &other.cell)
+    }
+}
+
+/// A fixed-bucket histogram: cumulative-style buckets with explicit
+/// upper bounds, plus a running sum and count. One atomic add on the
+/// matching bucket per record — no allocation, no lock.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+#[derive(Debug)]
+struct HistInner {
+    /// Inclusive upper bounds, ascending; values above the last bound
+    /// land in the implicit `+Inf` bucket.
+    bounds: Vec<u64>,
+    /// One cell per bound, plus the `+Inf` overflow cell at the end.
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A point-in-time copy of a histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// `(upper_bound, count_in_bucket)` per finite bucket; the overflow
+    /// count is everything beyond the last bound.
+    pub buckets: Vec<(u64, u64)>,
+    pub overflow: u64,
+    pub sum: u64,
+    pub count: u64,
+}
+
+impl Histogram {
+    /// A histogram over the given inclusive upper bounds (must be
+    /// non-empty and strictly ascending).
+    pub fn with_bounds(bounds: Vec<u64>) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            inner: Arc::new(HistInner {
+                bounds,
+                buckets,
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The default latency layout: powers of two from 512 ns to ~17 s.
+    pub fn latency_ns() -> Histogram {
+        Histogram::with_bounds((9..=34).map(|e| 1u64 << e).collect())
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let inner = &*self.inner;
+        // partition_point = first bound >= value (bounds are tiny, this
+        // is a handful of compares).
+        let idx = inner.bounds.partition_point(|&b| b < value);
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &*self.inner;
+        let buckets = inner
+            .bounds
+            .iter()
+            .zip(&inner.buckets)
+            .map(|(&b, c)| (b, c.load(Ordering::Relaxed)))
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            overflow: inner.buckets[inner.bounds.len()].load(Ordering::Relaxed),
+            sum: inner.sum.load(Ordering::Relaxed),
+            count: inner.count.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Do two handles share the same cells?
+    pub fn same_cell(&self, other: &Histogram) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::latency_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_across_clones() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+        assert!(c.same_cell(&c2));
+        assert!(!c.same_cell(&Counter::new()));
+    }
+
+    #[test]
+    fn gauge_set_add_sub_max() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+        g.fetch_max(7);
+        assert_eq!(g.get(), 12, "fetch_max never lowers");
+        g.fetch_max(40);
+        assert_eq!(g.get(), 40);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bound() {
+        let h = Histogram::with_bounds(vec![10, 100, 1000]);
+        for v in [1, 10, 11, 100, 5000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![(10, 2), (100, 2), (1000, 0)]);
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1 + 10 + 11 + 100 + 5000);
+    }
+
+    #[test]
+    fn latency_layout_covers_wide_range() {
+        let h = Histogram::latency_ns();
+        h.record(0);
+        h.record(1_000_000);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.overflow, 1);
+    }
+}

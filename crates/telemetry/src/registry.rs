@@ -1,0 +1,490 @@
+//! The metrics registry: names to handles, snapshots, text exposition.
+//!
+//! A metric is identified by a *family* (e.g.
+//! `engine_operator_tuples_in_total`) plus a label set (e.g.
+//! `op="select", node="0"`). Registration hands back a cheap cloneable
+//! handle; the hot path only ever touches the handle's atomics — the
+//! registry lock guards registration and snapshotting, which happen at
+//! setup time and on scrape.
+//!
+//! Handles created elsewhere (e.g. a session that instruments itself
+//! before any server exists) can be *adopted* under a name with the
+//! `adopt_*` methods, so one set of atomics serves both the local
+//! accessor API and the registry's wire/text surface.
+
+use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::sketch::{QuantileSketch, SketchSnapshot};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+    Sketch(QuantileSketch),
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    family: String,
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+/// A registry handle; `Clone` shares the underlying table.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+/// One metric's point-in-time value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSnapshot),
+    Sketch(SketchSnapshot),
+}
+
+/// One named metric in a registry snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    pub family: String,
+    pub labels: Vec<(String, String)>,
+    pub value: MetricValue,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Vec<Entry>> {
+        self.entries.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn find_or_insert<T: Clone>(
+        &self,
+        family: &str,
+        labels: &[(&str, &str)],
+        extract: impl Fn(&Metric) -> Option<T>,
+        make: impl FnOnce() -> (T, Metric),
+    ) -> T {
+        debug_assert!(valid_family(family), "invalid metric family {family:?}");
+        let mut entries = self.lock();
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.family == family && label_eq(&e.labels, labels))
+        {
+            if let Some(t) = extract(&e.metric) {
+                return t;
+            }
+            panic!("metric {family:?} re-registered with a different kind");
+        }
+        let (handle, metric) = make();
+        entries.push(Entry {
+            family: family.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            metric,
+        });
+        handle
+    }
+
+    /// Get or register an unlabeled counter.
+    pub fn counter(&self, family: &str) -> Counter {
+        self.counter_with(family, &[])
+    }
+
+    /// Get or register a labeled counter.
+    pub fn counter_with(&self, family: &str, labels: &[(&str, &str)]) -> Counter {
+        self.find_or_insert(
+            family,
+            labels,
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            || {
+                let c = Counter::new();
+                (c.clone(), Metric::Counter(c))
+            },
+        )
+    }
+
+    /// Get or register an unlabeled gauge.
+    pub fn gauge(&self, family: &str) -> Gauge {
+        self.gauge_with(family, &[])
+    }
+
+    /// Get or register a labeled gauge.
+    pub fn gauge_with(&self, family: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.find_or_insert(
+            family,
+            labels,
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            || {
+                let g = Gauge::new();
+                (g.clone(), Metric::Gauge(g))
+            },
+        )
+    }
+
+    /// Get or register a labeled histogram (default latency layout).
+    pub fn histogram_with(&self, family: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.find_or_insert(
+            family,
+            labels,
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            || {
+                let h = Histogram::latency_ns();
+                (h.clone(), Metric::Histogram(h))
+            },
+        )
+    }
+
+    /// Get or register a labeled quantile sketch.
+    pub fn sketch_with(&self, family: &str, labels: &[(&str, &str)]) -> QuantileSketch {
+        self.find_or_insert(
+            family,
+            labels,
+            |m| match m {
+                Metric::Sketch(s) => Some(s.clone()),
+                _ => None,
+            },
+            || {
+                let s = QuantileSketch::new();
+                (s.clone(), Metric::Sketch(s))
+            },
+        )
+    }
+
+    /// Register an existing counter handle under a name (idempotent
+    /// when the same cell is already registered under that name).
+    pub fn adopt_counter(&self, family: &str, labels: &[(&str, &str)], handle: &Counter) {
+        let h = handle.clone();
+        self.find_or_insert(
+            family,
+            labels,
+            |m| match m {
+                Metric::Counter(c) if c.same_cell(handle) => Some(()),
+                _ => None,
+            },
+            move || ((), Metric::Counter(h)),
+        );
+    }
+
+    /// Register an existing gauge handle under a name.
+    pub fn adopt_gauge(&self, family: &str, labels: &[(&str, &str)], handle: &Gauge) {
+        let h = handle.clone();
+        self.find_or_insert(
+            family,
+            labels,
+            |m| match m {
+                Metric::Gauge(g) if g.same_cell(handle) => Some(()),
+                _ => None,
+            },
+            move || ((), Metric::Gauge(h)),
+        );
+    }
+
+    /// Register an existing sketch handle under a name.
+    pub fn adopt_sketch(&self, family: &str, labels: &[(&str, &str)], handle: &QuantileSketch) {
+        let h = handle.clone();
+        self.find_or_insert(
+            family,
+            labels,
+            |m| match m {
+                Metric::Sketch(s) if s.same_cell(handle) => Some(()),
+                _ => None,
+            },
+            move || ((), Metric::Sketch(h)),
+        );
+    }
+
+    /// Register an existing histogram handle under a name.
+    pub fn adopt_histogram(&self, family: &str, labels: &[(&str, &str)], handle: &Histogram) {
+        let h = handle.clone();
+        self.find_or_insert(
+            family,
+            labels,
+            |m| match m {
+                Metric::Histogram(x) if x.same_cell(handle) => Some(()),
+                _ => None,
+            },
+            move || ((), Metric::Histogram(h)),
+        );
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by
+    /// family then labels (stable across calls, friendly to diffing
+    /// and to the wire encoding).
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let mut out: Vec<MetricSnapshot> = self
+            .lock()
+            .iter()
+            .map(|e| MetricSnapshot {
+                family: e.family.clone(),
+                labels: e.labels.clone(),
+                value: match &e.metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    Metric::Sketch(s) => MetricValue::Sketch(s.snapshot()),
+                },
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.family, &a.labels).cmp(&(&b.family, &b.labels)));
+        out
+    }
+
+    /// Prometheus-style text exposition of the whole registry:
+    /// counters and gauges as single samples, histograms as cumulative
+    /// `_bucket{le=...}` series plus `_sum`/`_count`, sketches as
+    /// summary `{quantile=...}` series plus `_count`. Sketch extremes
+    /// ride along as `_min`/`_max` gauges.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_family: Option<(String, &'static str)> = None;
+        for m in self.snapshot() {
+            let (kind, family) = match &m.value {
+                MetricValue::Counter(_) => ("counter", m.family.clone()),
+                MetricValue::Gauge(_) => ("gauge", m.family.clone()),
+                MetricValue::Histogram(_) => ("histogram", m.family.clone()),
+                MetricValue::Sketch(_) => ("summary", m.family.clone()),
+            };
+            if last_family.as_ref().map(|(f, _)| f) != Some(&family) {
+                out.push_str(&format!("# TYPE {family} {kind}\n"));
+                last_family = Some((family.clone(), kind));
+            }
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{}{} {v}\n", m.family, label_str(&m.labels, &[])));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{}{} {v}\n", m.family, label_str(&m.labels, &[])));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (bound, count) in &h.buckets {
+                        cum += count;
+                        out.push_str(&format!(
+                            "{}_bucket{} {cum}\n",
+                            m.family,
+                            label_str(&m.labels, &[("le", &bound.to_string())])
+                        ));
+                    }
+                    cum += h.overflow;
+                    out.push_str(&format!(
+                        "{}_bucket{} {cum}\n",
+                        m.family,
+                        label_str(&m.labels, &[("le", "+Inf")])
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        m.family,
+                        label_str(&m.labels, &[]),
+                        h.sum
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        m.family,
+                        label_str(&m.labels, &[]),
+                        h.count
+                    ));
+                }
+                MetricValue::Sketch(s) => {
+                    if s.count > 0 {
+                        for (q, v) in [(0.5, s.p50), (0.9, s.p90), (0.95, s.p95), (0.99, s.p99)] {
+                            out.push_str(&format!(
+                                "{}{} {v}\n",
+                                m.family,
+                                label_str(&m.labels, &[("quantile", &q.to_string())])
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{}_min{} {}\n",
+                            m.family,
+                            label_str(&m.labels, &[]),
+                            s.min
+                        ));
+                        out.push_str(&format!(
+                            "{}_max{} {}\n",
+                            m.family,
+                            label_str(&m.labels, &[]),
+                            s.max
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        m.family,
+                        label_str(&m.labels, &[]),
+                        s.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn valid_family(family: &str) -> bool {
+    !family.is_empty()
+        && family
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && family
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn label_eq(have: &[(String, String)], want: &[(&str, &str)]) -> bool {
+    have.len() == want.len()
+        && have
+            .iter()
+            .zip(want)
+            .all(|((hk, hv), (wk, wv))| hk == wk && hv == wv)
+}
+
+/// Render a label set (base labels plus extras) as
+/// `{k="v",...}`, escaping `\`, `"` and newlines; empty when there are
+/// no labels at all.
+fn label_str(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = Vec::with_capacity(labels.len() + extra.len());
+    for (k, v) in labels {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    for (k, v) in extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_the_same_cell() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("requests_total");
+        let b = r.counter("requests_total");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert!(a.same_cell(&b));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn labels_distinguish_metrics() {
+        let r = MetricsRegistry::new();
+        let a = r.counter_with("routed_total", &[("stage", "0")]);
+        let b = r.counter_with("routed_total", &[("stage", "1")]);
+        a.add(3);
+        b.add(5);
+        assert_eq!(r.len(), 2);
+        let snap = r.snapshot();
+        assert_eq!(snap[0].value, MetricValue::Counter(3));
+        assert_eq!(snap[1].value, MetricValue::Counter(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflict_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("thing");
+        r.gauge("thing");
+    }
+
+    #[test]
+    fn adopted_handle_shows_up_in_snapshot() {
+        let r = MetricsRegistry::new();
+        let c = Counter::new();
+        c.add(7);
+        r.adopt_counter("external_total", &[("id", "x")], &c);
+        // Idempotent for the same cell.
+        r.adopt_counter("external_total", &[("id", "x")], &c);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.snapshot()[0].value, MetricValue::Counter(7));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_stable() {
+        let r = MetricsRegistry::new();
+        r.counter("zebra_total");
+        r.gauge("alpha_depth");
+        let snap = r.snapshot();
+        assert_eq!(snap[0].family, "alpha_depth");
+        assert_eq!(snap[1].family, "zebra_total");
+        assert_eq!(r.snapshot(), snap);
+    }
+
+    #[test]
+    fn render_text_formats_each_kind() {
+        let r = MetricsRegistry::new();
+        r.counter_with("pumped_total", &[("stage", "0")]).add(2);
+        r.gauge("depth").set(-3);
+        let h = r.histogram_with("lat_ns", &[]);
+        h.record(100);
+        h.record(u64::MAX);
+        let s = r.sketch_with("lag", &[("stage", "0")]);
+        for i in 0..100 {
+            s.record(i as f64);
+        }
+        let text = r.render_text();
+        assert!(text.contains("# TYPE pumped_total counter"));
+        assert!(text.contains("pumped_total{stage=\"0\"} 2"));
+        assert!(text.contains("# TYPE depth gauge"));
+        assert!(text.contains("depth -3"));
+        assert!(text.contains("# TYPE lat_ns histogram"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_ns_count 2"));
+        assert!(text.contains("# TYPE lag summary"));
+        assert!(text.contains("lag{stage=\"0\",quantile=\"0.5\"}"));
+        assert!(text.contains("lag_count{stage=\"0\"} 100"));
+    }
+
+    #[test]
+    fn empty_sketch_renders_count_only() {
+        let r = MetricsRegistry::new();
+        r.sketch_with("idle_lag", &[]);
+        let text = r.render_text();
+        assert!(text.contains("idle_lag_count 0"));
+        assert!(!text.contains("quantile"));
+    }
+
+    #[test]
+    fn label_escaping() {
+        let r = MetricsRegistry::new();
+        r.counter_with("c_total", &[("msg", "a\"b\\c\nd")]).inc();
+        let text = r.render_text();
+        assert!(text.contains(r#"msg="a\"b\\c\nd""#));
+    }
+}

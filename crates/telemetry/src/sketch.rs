@@ -1,0 +1,483 @@
+//! Incremental quantile estimation with bounded memory.
+//!
+//! The estimator follows Chambers, James, Lambert & Vander Wiel,
+//! *Monitoring Networked Applications With Incremental Quantile
+//! Estimation* (Statistical Science 21(4), 2006): instead of storing
+//! the stream, keep a fixed grid of running quantile estimates
+//! ("markers") and, for each arriving block of raw samples, replace the
+//! markers with the quantiles of the *pooled* distribution — the old
+//! markers weighted by how many samples they summarize, plus the new
+//! block's order statistics weighted one each. Every update is a
+//! stochastic approximation step toward the stream's true quantile
+//! function; memory stays O(markers + block) forever.
+//!
+//! ## Concurrency contract
+//!
+//! The record path is wait-free: a sample is one `fetch_add` on the
+//! ring cursor plus one atomic store, and — on block boundaries — the
+//! recording thread folds the completed block into the markers. Marker
+//! state is published through a seqlock of plain atomics, so readers
+//! ([`QuantileSketch::quantile`], [`QuantileSketch::snapshot`]) never
+//! block writers and never see torn `f64`s.
+//!
+//! The sketch assumes **one logical writer** (every integration in
+//! this workspace records from a single engine/driver thread). With
+//! concurrent writers nothing is unsafe and nothing blocks, but a
+//! sample may occasionally be folded twice or replaced by a stale ring
+//! slot — estimates remain statistical, exactness is not promised.
+//! Single-threaded use is exactly deterministic: the same stream
+//! always yields the same estimates.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Raw samples buffered per stochastic-approximation step.
+const BLOCK: usize = 64;
+/// Ring capacity for not-yet-absorbed samples (4 blocks deep).
+const RING: usize = 256;
+/// Running marker estimates at probabilities `i / (MARKERS - 1)`.
+const MARKERS: usize = 65;
+
+/// How many times a reader retries for a seq-consistent marker copy
+/// before accepting a (sorted, still sane) possibly-mixed copy.
+const READ_RETRIES: usize = 16;
+
+struct Inner {
+    /// Unabsorbed raw samples, as `f64` bits; slot `i % RING` holds
+    /// record `i`.
+    ring: Vec<AtomicU64>,
+    /// Total records accepted (monotonic; assigns ring slots).
+    cursor: AtomicU64,
+    /// Single-absorber guard for the fold step.
+    absorbing: AtomicBool,
+    /// Seqlock generation for the marker state below (odd = mid-write).
+    seq: AtomicU64,
+    /// Marker estimates, as `f64` bits, ascending.
+    markers: Vec<AtomicU64>,
+    /// How many samples the markers summarize.
+    weight: AtomicU64,
+    /// Records folded so far (the ring drain position).
+    absorbed: AtomicU64,
+}
+
+/// A streaming quantile estimator; `Clone` shares the underlying state.
+#[derive(Clone)]
+pub struct QuantileSketch {
+    inner: Arc<Inner>,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new()
+    }
+}
+
+/// A point-in-time summary of a sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchSnapshot {
+    pub count: u64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p95: f64,
+    pub p99: f64,
+}
+
+impl QuantileSketch {
+    pub fn new() -> QuantileSketch {
+        QuantileSketch {
+            inner: Arc::new(Inner {
+                ring: (0..RING).map(|_| AtomicU64::new(0)).collect(),
+                cursor: AtomicU64::new(0),
+                absorbing: AtomicBool::new(false),
+                seq: AtomicU64::new(0),
+                markers: (0..MARKERS).map(|_| AtomicU64::new(0)).collect(),
+                weight: AtomicU64::new(0),
+                absorbed: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one observation. Non-finite values are ignored (a NaN
+    /// has no rank). Wait-free; folds a completed block inline on
+    /// every `BLOCK`-th record.
+    #[inline]
+    pub fn record(&self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        let inner = &*self.inner;
+        let i = inner.cursor.fetch_add(1, Ordering::AcqRel);
+        inner.ring[(i % RING as u64) as usize].store(x.to_bits(), Ordering::Release);
+        if (i + 1).is_multiple_of(BLOCK as u64) {
+            self.try_absorb(i + 1);
+        }
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.inner.cursor.load(Ordering::Acquire)
+    }
+
+    /// Estimate the `q`-quantile (`q` clamped to `[0, 1]`); `None`
+    /// until anything has been recorded.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let atoms = self.atoms();
+        if atoms.is_empty() {
+            return None;
+        }
+        Some(weighted_quantile(&atoms, q.clamp(0.0, 1.0)))
+    }
+
+    /// Count, extremes, and the headline quantiles in one pass.
+    pub fn snapshot(&self) -> SketchSnapshot {
+        let atoms = self.atoms();
+        if atoms.is_empty() {
+            return SketchSnapshot {
+                count: 0,
+                min: f64::NAN,
+                max: f64::NAN,
+                p50: f64::NAN,
+                p90: f64::NAN,
+                p95: f64::NAN,
+                p99: f64::NAN,
+            };
+        }
+        let count = atoms.iter().map(|a| a.1).sum::<f64>().round() as u64;
+        SketchSnapshot {
+            count,
+            min: atoms.first().map(|a| a.0).unwrap_or(f64::NAN),
+            max: atoms.last().map(|a| a.0).unwrap_or(f64::NAN),
+            p50: weighted_quantile(&atoms, 0.50),
+            p90: weighted_quantile(&atoms, 0.90),
+            p95: weighted_quantile(&atoms, 0.95),
+            p99: weighted_quantile(&atoms, 0.99),
+        }
+    }
+
+    /// Pool two sketches into a fresh one summarizing both streams.
+    /// Deterministic, commutative up to interpolation, and associative
+    /// within the estimator's tolerance — the summary of a distributed
+    /// stream can be assembled in any merge order.
+    pub fn merged(a: &QuantileSketch, b: &QuantileSketch) -> QuantileSketch {
+        let mut atoms = a.atoms();
+        atoms.extend(b.atoms());
+        atoms.sort_by(|x, y| x.0.total_cmp(&y.0));
+        let out = QuantileSketch::new();
+        if atoms.is_empty() {
+            return out;
+        }
+        let total: f64 = atoms.iter().map(|a| a.1).sum();
+        let grid = extract_grid(&atoms);
+        let n = total.round() as u64;
+        let inner = &*out.inner;
+        for (slot, v) in inner.markers.iter().zip(&grid) {
+            slot.store(v.to_bits(), Ordering::Relaxed);
+        }
+        inner.weight.store(n, Ordering::Relaxed);
+        inner.absorbed.store(n, Ordering::Relaxed);
+        inner.cursor.store(n, Ordering::Release);
+        out
+    }
+
+    /// Do two handles share the same cells?
+    pub fn same_cell(&self, other: &QuantileSketch) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Fold every complete record up to `upto` into the markers. Only
+    /// one thread absorbs at a time; losers simply return (their block
+    /// is picked up by the next fold).
+    fn try_absorb(&self, upto: u64) {
+        let inner = &*self.inner;
+        if inner
+            .absorbing
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let lo = inner.absorbed.load(Ordering::Acquire);
+        if upto > lo && upto - lo <= RING as u64 {
+            let mut block: Vec<f64> = (lo..upto)
+                .map(|j| {
+                    f64::from_bits(inner.ring[(j % RING as u64) as usize].load(Ordering::Acquire))
+                })
+                .filter(|v| v.is_finite())
+                .collect();
+            block.sort_by(f64::total_cmp);
+            let (markers, weight, _) = self.read_marker_state();
+            let mut atoms = marker_atoms(&markers, weight);
+            atoms.extend(block.iter().map(|&v| (v, 1.0)));
+            atoms.sort_by(|x, y| x.0.total_cmp(&y.0));
+            let grid = extract_grid(&atoms);
+            // Publish under the seqlock: bump to odd, write, bump to even.
+            inner.seq.fetch_add(1, Ordering::Release);
+            for (slot, v) in inner.markers.iter().zip(&grid) {
+                slot.store(v.to_bits(), Ordering::Relaxed);
+            }
+            inner
+                .weight
+                .store(weight + block.len() as u64, Ordering::Relaxed);
+            inner.absorbed.store(upto, Ordering::Relaxed);
+            inner.seq.fetch_add(1, Ordering::Release);
+        }
+        inner.absorbing.store(false, Ordering::Release);
+    }
+
+    /// A seq-consistent copy of `(markers, weight, absorbed)`. After
+    /// bounded retries under writer pressure, falls back to a sorted
+    /// possibly-mixed copy — still a sane marker vector, never torn
+    /// floats.
+    fn read_marker_state(&self) -> (Vec<f64>, u64, u64) {
+        let inner = &*self.inner;
+        let mut markers = vec![0.0f64; MARKERS];
+        let mut weight = 0u64;
+        let mut absorbed = 0u64;
+        for attempt in 0..READ_RETRIES {
+            let s1 = inner.seq.load(Ordering::Acquire);
+            if s1 % 2 == 1 && attempt + 1 < READ_RETRIES {
+                std::hint::spin_loop();
+                continue;
+            }
+            for (dst, slot) in markers.iter_mut().zip(&inner.markers) {
+                *dst = f64::from_bits(slot.load(Ordering::Relaxed));
+            }
+            weight = inner.weight.load(Ordering::Relaxed);
+            absorbed = inner.absorbed.load(Ordering::Relaxed);
+            let s2 = inner.seq.load(Ordering::Acquire);
+            if s1 == s2 && s1.is_multiple_of(2) {
+                return (markers, weight, absorbed);
+            }
+        }
+        markers.sort_by(f64::total_cmp);
+        (markers, weight, absorbed)
+    }
+
+    /// The full current state as weighted atoms, sorted ascending:
+    /// markers (each carrying `weight / MARKERS`) plus the unabsorbed
+    /// ring tail (weight 1 each).
+    fn atoms(&self) -> Vec<(f64, f64)> {
+        let inner = &*self.inner;
+        let (markers, weight, absorbed) = self.read_marker_state();
+        let mut atoms = marker_atoms(&markers, weight);
+        let hi = inner.cursor.load(Ordering::Acquire);
+        let lo = absorbed.max(hi.saturating_sub(RING as u64));
+        for j in lo..hi {
+            let v = f64::from_bits(inner.ring[(j % RING as u64) as usize].load(Ordering::Acquire));
+            if v.is_finite() {
+                atoms.push((v, 1.0));
+            }
+        }
+        atoms.sort_by(|x, y| x.0.total_cmp(&y.0));
+        atoms
+    }
+}
+
+impl std::fmt::Debug for QuantileSketch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("QuantileSketch")
+            .field("count", &s.count)
+            .field("p50", &s.p50)
+            .field("p95", &s.p95)
+            .field("p99", &s.p99)
+            .finish()
+    }
+}
+
+/// The marker summary as weighted atoms (empty while nothing has been
+/// absorbed). Trapezoid weighting — interior markers carry
+/// `weight / (MARKERS - 1)`, the two extremes half that — places each
+/// interior atom's midpoint cumulative rank exactly at its grid
+/// probability `i / (MARKERS - 1)`, so re-extracting the grid from an
+/// unchanged summary reproduces the markers bit-for-bit (no drift
+/// toward the extremes across folds).
+fn marker_atoms(markers: &[f64], weight: u64) -> Vec<(f64, f64)> {
+    if weight == 0 {
+        return Vec::new();
+    }
+    let m = markers.len();
+    let unit = weight as f64 / (m - 1) as f64;
+    markers
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let w = if i == 0 || i == m - 1 {
+                unit / 2.0
+            } else {
+                unit
+            };
+            (v, w)
+        })
+        .collect()
+}
+
+/// Read the `MARKERS`-point quantile grid off a sorted weighted atom
+/// set, anchoring the ends at the exact extremes so running min/max
+/// survive every fold.
+fn extract_grid(atoms: &[(f64, f64)]) -> Vec<f64> {
+    debug_assert!(!atoms.is_empty());
+    (0..MARKERS)
+        .map(|i| {
+            if i == 0 {
+                atoms[0].0
+            } else if i == MARKERS - 1 {
+                atoms[atoms.len() - 1].0
+            } else {
+                weighted_quantile(atoms, i as f64 / (MARKERS - 1) as f64)
+            }
+        })
+        .collect()
+}
+
+/// Midpoint-interpolated weighted quantile of a sorted atom set: atom
+/// `j` sits at cumulative probability `(C_{j-1} + w_j / 2) / W`, and
+/// `p` interpolates linearly between straddling atoms (clamped to the
+/// extremes). If interpolation overflows (atoms straddling ±huge),
+/// falls back to the nearer atom — the estimate stays finite and
+/// within the atoms' range.
+fn weighted_quantile(atoms: &[(f64, f64)], p: f64) -> f64 {
+    debug_assert!(!atoms.is_empty());
+    let total: f64 = atoms.iter().map(|a| a.1).sum();
+    let mut cum = 0.0f64;
+    let mut prev: Option<(f64, f64)> = None; // (value, midpoint prob)
+    for &(v, w) in atoms {
+        let mid = (cum + w / 2.0) / total;
+        if p <= mid {
+            return match prev {
+                None => v,
+                Some((pv, pm)) => {
+                    let span = mid - pm;
+                    if span <= 0.0 {
+                        return v;
+                    }
+                    let t = (p - pm) / span;
+                    let r = pv + t * (v - pv);
+                    if r.is_finite() {
+                        r
+                    } else if t < 0.5 {
+                        pv
+                    } else {
+                        v
+                    }
+                }
+            };
+        }
+        prev = Some((v, mid));
+        cum += w;
+    }
+    atoms[atoms.len() - 1].0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_rank(data: &[f64], est: f64) -> (f64, f64) {
+        let below = data.iter().filter(|&&v| v < est).count() as f64;
+        let at_or_below = data.iter().filter(|&&v| v <= est).count() as f64;
+        (below / data.len() as f64, at_or_below / data.len() as f64)
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = QuantileSketch::new();
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.count(), 0);
+        assert!(s.snapshot().p50.is_nan());
+    }
+
+    #[test]
+    fn small_stream_is_near_exact() {
+        let s = QuantileSketch::new();
+        for i in 0..10 {
+            s.record(i as f64);
+        }
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((4.0..=5.0).contains(&p50), "p50 of 0..10 was {p50}");
+        let snap = s.snapshot();
+        assert_eq!(snap.count, 10);
+        assert_eq!(snap.min, 0.0);
+        assert_eq!(snap.max, 9.0);
+    }
+
+    #[test]
+    fn long_stream_tracks_quantiles_within_rank_tolerance() {
+        // A deterministic, shuffled-looking stream long enough to force
+        // many fold steps.
+        let n = 10_000usize;
+        let data: Vec<f64> = (0..n)
+            .map(|i| ((i as u64).wrapping_mul(2654435761) % 10_000) as f64)
+            .collect();
+        let s = QuantileSketch::new();
+        for &v in &data {
+            s.record(v);
+        }
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            let est = s.quantile(q).unwrap();
+            let (lo, hi) = exact_rank(&data, est);
+            assert!(
+                lo - 0.05 <= q && q <= hi + 0.05,
+                "q={q}: estimate {est} has rank [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let s = QuantileSketch::new();
+        for i in 0..1000 {
+            s.record(i as f64);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.min, 0.0);
+        assert_eq!(snap.max, 999.0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let s = QuantileSketch::new();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        s.record(1.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.quantile(0.5), Some(1.0));
+    }
+
+    #[test]
+    fn merged_covers_both_streams() {
+        let a = QuantileSketch::new();
+        let b = QuantileSketch::new();
+        for i in 0..500 {
+            a.record(i as f64);
+            b.record((i + 500) as f64);
+        }
+        let m = QuantileSketch::merged(&a, &b);
+        let snap = m.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.min, 0.0);
+        assert_eq!(snap.max, 999.0);
+        let p50 = m.quantile(0.5).unwrap();
+        assert!((400.0..600.0).contains(&p50), "merged p50 was {p50}");
+    }
+
+    #[test]
+    fn readers_do_not_disturb_the_stream() {
+        let s = QuantileSketch::new();
+        let mut probes = Vec::new();
+        for i in 0..1000 {
+            s.record(i as f64);
+            if i % 97 == 0 {
+                probes.push(s.quantile(0.5));
+            }
+        }
+        // Rerun without probing: identical final estimate.
+        let t = QuantileSketch::new();
+        for i in 0..1000 {
+            t.record(i as f64);
+        }
+        assert_eq!(s.quantile(0.5), t.quantile(0.5));
+    }
+}

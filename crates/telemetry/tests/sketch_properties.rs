@@ -1,0 +1,119 @@
+//! Property suite for the incremental quantile sketch (ISSUE 8): the
+//! estimates must track exact quantiles within a rank tolerance over
+//! arbitrary finite f64 streams, merging must be associative within
+//! the estimator's tolerance (with extremes preserved exactly), and
+//! the whole estimator must be deterministic — same stream, same
+//! estimates, bit for bit.
+
+use proptest::prelude::*;
+use ustream_telemetry::QuantileSketch;
+
+/// Values spanning ten orders of magnitude either side of zero, plus
+/// degenerate repeats — the adversarial shapes for a marker sketch.
+fn value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1.0f64..1.0,
+        -1e6f64..1e6,
+        -1e300f64..1e300,
+        0.0f64..1e-6,
+        Just(0.0),
+        Just(42.0),
+    ]
+}
+
+fn stream() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(value(), 1..1200)
+}
+
+/// The estimate's possible ranks in the exact data: (fraction strictly
+/// below, fraction at-or-below) — an interval, so duplicate-heavy
+/// streams are judged fairly.
+fn rank_bounds(data: &[f64], est: f64) -> (f64, f64) {
+    let below = data.iter().filter(|&&v| v < est).count() as f64;
+    let at_or_below = data.iter().filter(|&&v| v <= est).count() as f64;
+    (below / data.len() as f64, at_or_below / data.len() as f64)
+}
+
+const HEADLINE: [f64; 3] = [0.50, 0.95, 0.99];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    #[test]
+    fn quantiles_track_exact_ranks(data in stream()) {
+        let s = QuantileSketch::new();
+        for &v in &data {
+            s.record(v);
+        }
+        for q in HEADLINE {
+            let est = s.quantile(q).expect("non-empty stream has quantiles");
+            prop_assert!(est.is_finite(), "estimate must stay finite, got {est}");
+            let (lo, hi) = rank_bounds(&data, est);
+            prop_assert!(
+                lo - 0.10 <= q && q <= hi + 0.10,
+                "q={q}: estimate {est} has exact rank [{lo}, {hi}] over {} samples",
+                data.len()
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_within_tolerance(
+        a in stream(),
+        b in stream(),
+        c in stream(),
+    ) {
+        let mk = |data: &[f64]| {
+            let s = QuantileSketch::new();
+            for &v in data {
+                s.record(v);
+            }
+            s
+        };
+        let (sa, sb, sc) = (mk(&a), mk(&b), mk(&c));
+        let left = QuantileSketch::merged(&QuantileSketch::merged(&sa, &sb), &sc);
+        let right = QuantileSketch::merged(&sa, &QuantileSketch::merged(&sb, &sc));
+
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+
+        let (l, r) = (left.snapshot(), right.snapshot());
+        prop_assert_eq!(l.count, r.count);
+        prop_assert_eq!(l.count, all.len() as u64);
+        // Extremes survive pooling exactly, in either merge order.
+        prop_assert_eq!(l.min.to_bits(), r.min.to_bits());
+        prop_assert_eq!(l.max.to_bits(), r.max.to_bits());
+
+        for (sketch, side) in [(&left, "left"), (&right, "right")] {
+            for q in HEADLINE {
+                let est = sketch.quantile(q).expect("merged stream is non-empty");
+                let (lo, hi) = rank_bounds(&all, est);
+                prop_assert!(
+                    lo - 0.12 <= q && q <= hi + 0.12,
+                    "{side} merge, q={q}: estimate {est} has rank [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_stream_same_estimates(data in stream()) {
+        let (s1, s2) = (QuantileSketch::new(), QuantileSketch::new());
+        for &v in &data {
+            s1.record(v);
+        }
+        for &v in &data {
+            s2.record(v);
+        }
+        prop_assert_eq!(s1.count(), s2.count());
+        for q in [0.0, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0] {
+            let (e1, e2) = (s1.quantile(q), s2.quantile(q));
+            prop_assert_eq!(
+                e1.map(f64::to_bits),
+                e2.map(f64::to_bits),
+                "q={}: {:?} vs {:?}", q, e1, e2
+            );
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Live observability dashboard: poll the always-on telemetry surface
+//! over the wire while a query streams.
+//!
+//! One process plays every role: it serves a Q1-style windowed
+//! aggregation, publishes 4 000 uncertain readings in chunks, and —
+//! between chunks — fetches `StatsV2` over the same TCP connection and
+//! renders a small dashboard from the returned metric snapshots:
+//! ingest counters, watermark-lag quantiles, per-operator busy time,
+//! and subscriber queue depth. After EOS it prints the journal tail
+//! (the engine's flight recorder) and the full Prometheus-style text
+//! exposition a scraper would collect.
+//!
+//! Run: `cargo run --release --example observe`
+
+use std::collections::BTreeMap;
+use uncertain_streams::core::ops::aggregate::{
+    AggFunc, AggSpec, Strategy, WindowKind, WindowedAggregate,
+};
+use uncertain_streams::core::ops::select::{Predicate, Select};
+use uncertain_streams::core::ops::Passthrough;
+use uncertain_streams::core::query::QueryGraph;
+use uncertain_streams::core::schema::{DataType, Schema};
+use uncertain_streams::core::{GroupKey, Tuple, Updf, Value};
+use uncertain_streams::prob::dist::Dist;
+use uncertain_streams::server::{Client, Event, ServedQuery, Server};
+use uncertain_streams::telemetry::{MetricSnapshot, MetricValue};
+
+/// Sum a counter family across its label sets.
+fn counter(metrics: &[MetricSnapshot], family: &str) -> u64 {
+    metrics
+        .iter()
+        .filter(|m| m.family == family)
+        .map(|m| match &m.value {
+            MetricValue::Counter(v) => *v,
+            _ => 0,
+        })
+        .sum()
+}
+
+fn label<'a>(m: &'a MetricSnapshot, key: &str) -> &'a str {
+    m.labels
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .unwrap_or("-")
+}
+
+fn dashboard(tick: usize, metrics: &[MetricSnapshot]) {
+    println!("--- telemetry tick {tick} ---");
+    println!(
+        "  ingest : {:>6} tuples in {:>3} frames -> engine {:>6} tuples / {:>3} batches",
+        counter(metrics, "server_publish_tuples_total"),
+        counter(metrics, "server_publish_frames_total"),
+        counter(metrics, "engine_tuples_pushed_total"),
+        counter(metrics, "engine_batches_pushed_total"),
+    );
+    for m in metrics
+        .iter()
+        .filter(|m| m.family == "engine_watermark_lag")
+    {
+        if let MetricValue::Sketch(s) = &m.value {
+            if s.count > 0 {
+                println!(
+                    "  lag    : stage {} sealed {:>3}x  p50={:>6.0}ms p99={:>6.0}ms max={:>6.0}ms",
+                    label(m, "stage"),
+                    s.count,
+                    s.p50,
+                    s.p99,
+                    s.max
+                );
+            }
+        }
+    }
+    // Per-operator busy time, aggregated across stages and shards.
+    let mut busy: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for m in metrics {
+        let (ns, tuples) = match (m.family.as_str(), &m.value) {
+            ("engine_op_busy_ns_total", MetricValue::Counter(v)) => (*v, 0),
+            ("engine_op_tuples_in_total", MetricValue::Counter(v)) => (0, *v),
+            _ => continue,
+        };
+        let e = busy.entry(label(m, "op")).or_default();
+        e.0 += ns;
+        e.1 += tuples;
+    }
+    for (op, (ns, tuples)) in &busy {
+        println!(
+            "  op     : {:<10} {:>6} tuples in, {:>8.2} ms busy",
+            op,
+            tuples,
+            *ns as f64 / 1e6
+        );
+    }
+    for m in metrics
+        .iter()
+        .filter(|m| m.family == "server_subscriber_queue_depth")
+    {
+        if let MetricValue::Gauge(depth) = &m.value {
+            println!(
+                "  outbox : subscriber {} queue depth {}",
+                label(m, "client"),
+                depth
+            );
+        }
+    }
+}
+
+fn main() {
+    // Q1 in miniature: plausibly-hot selection into a 1-second tumbling
+    // per-sensor average.
+    let select = Select::new(Predicate::UncertainAbove("temp".into(), 60.0), 0.05);
+    let agg = WindowedAggregate::new(
+        WindowKind::Tumbling(1_000),
+        |t: &Tuple| GroupKey::from_value(t.get("sensor").unwrap()).unwrap(),
+        vec![AggSpec {
+            field: "temp".into(),
+            func: AggFunc::Avg,
+            out: "avg_temp".into(),
+            strategy: Strategy::Auto,
+        }],
+    );
+    let mut graph = QueryGraph::new();
+    let select = graph.add(Box::new(select));
+    let agg = graph.add(Box::new(agg));
+    let sink = graph.add(Box::new(Passthrough::new("sink")));
+    graph.connect(select, agg, 0).unwrap();
+    graph.connect(agg, sink, 0).unwrap();
+    graph.source("readings", select);
+    graph.sink(sink);
+
+    let handle = Server::serve("127.0.0.1:0", ServedQuery::new(graph)).expect("bind loopback");
+    println!(
+        "serving on {} — polling StatsV2 between chunks\n",
+        handle.addr()
+    );
+
+    let mut subscriber = Client::subscriber(handle.addr()).expect("subscribe");
+    let mut publisher = Client::publisher(handle.addr()).expect("connect");
+
+    let schema = Schema::builder()
+        .field("sensor", DataType::Int)
+        .field("temp", DataType::Uncertain)
+        .build();
+    let readings: Vec<Tuple> = (0..4_000u64)
+        .map(|i| {
+            let mean = 55.0 + 10.0 * ((i as f64) / 300.0).sin() + (i % 8) as f64;
+            Tuple::new(
+                schema.clone(),
+                vec![
+                    Value::Int((i % 8) as i64),
+                    Value::from(Updf::Parametric(Dist::gaussian(mean, 3.0))),
+                ],
+                i * 10,
+            )
+        })
+        .collect();
+
+    // Publish in chunks; after every few chunks, fetch the metrics
+    // surface over the wire and render it — the dashboard an operator's
+    // scrape loop would show.
+    for (i, chunk) in readings.chunks(500).enumerate() {
+        publisher.publish("readings", 0, chunk).expect("publish");
+        let (metrics, _text) = publisher.stats_v2().expect("stats_v2");
+        dashboard(i, &metrics);
+    }
+    publisher.finish().expect("finish");
+
+    let mut windows = 0usize;
+    while let Event::Results { tuples, .. } = subscriber.next_event().expect("result stream") {
+        windows += tuples.len();
+    }
+    println!("\nEOS after {windows} aggregate windows");
+
+    // The journal is the ordered flight recorder behind the counters.
+    let journal = handle.journal();
+    println!(
+        "\njournal tail ({} events recorded in total):",
+        journal.recorded()
+    );
+    for e in journal.recent(8) {
+        println!("  #{:<4} {:?}", e.seq, e.detail);
+    }
+
+    // What a Prometheus scrape of this deployment would collect.
+    let registry = handle.registry();
+    println!("\ntext exposition (first 24 lines):");
+    for line in registry.render_text().lines().take(24) {
+        println!("  {line}");
+    }
+
+    let errors = handle.shutdown();
+    assert!(errors.is_empty(), "clean run: {errors:?}");
+}

@@ -6,4 +6,5 @@ pub use ustream_inference as inference;
 pub use ustream_prob as prob;
 pub use ustream_runtime as runtime;
 pub use ustream_server as server;
+pub use ustream_telemetry as telemetry;
 pub use ustream_ts as ts;

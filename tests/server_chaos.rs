@@ -30,8 +30,26 @@ use uncertain_streams::server::{
     ChaosProxy, Client, ClientConfig, ErrorCode, Fault, ServedQuery, Server, ServerConfig,
     ServerError, Severity, SubscriberPolicy,
 };
+use uncertain_streams::telemetry::{MetricSnapshot, MetricValue, TraceDetail};
 
 const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Sum a counter family across label sets (optionally filtered to one
+/// label pair) from a metrics snapshot.
+fn counter_total(metrics: &[MetricSnapshot], family: &str, label: Option<(&str, &str)>) -> u64 {
+    metrics
+        .iter()
+        .filter(|m| m.family == family)
+        .filter(|m| match label {
+            Some((k, v)) => m.labels.iter().any(|(lk, lv)| lk == k && lv == v),
+            None => true,
+        })
+        .map(|m| match &m.value {
+            MetricValue::Counter(v) => *v,
+            other => panic!("{family} must be a counter, got {other:?}"),
+        })
+        .sum()
+}
 
 fn schema() -> Arc<Schema> {
     Schema::builder()
@@ -248,13 +266,98 @@ fn run_seed_matrix(seed: u64) {
     assert_eq!(collected[0].0, sink.index());
     assert_streams_equal(&collected[0].1, &expected);
 
+    // The always-on telemetry surface, fetched over the wire exactly as
+    // an operator would: exactly-once must be visible in the counters,
+    // not just in the output bytes.
+    let (metrics, text) = subscriber.stats_v2().unwrap();
+    assert_eq!(
+        counter_total(&metrics, "server_publish_tuples_total", None),
+        n as u64,
+        "chaos must not duplicate or drop a single applied tuple"
+    );
+    assert_eq!(
+        counter_total(&metrics, "engine_tuples_pushed_total", None),
+        n as u64,
+        "everything published must have reached the engine by EOS"
+    );
+    assert!(counter_total(&metrics, "server_eos_total", None) >= 1);
+    let lag = metrics
+        .iter()
+        .find(|m| m.family == "engine_watermark_lag")
+        .expect("the watermark-lag sketch is registered");
+    match &lag.value {
+        MetricValue::Sketch(s) => {
+            assert!(s.count > 0, "serving must have sealed watermarks");
+            assert!(
+                s.p99 > 0.0 && s.max > 0.0,
+                "lag quantiles are non-zero over a real event-time feed: {s:?}"
+            );
+        }
+        other => panic!("engine_watermark_lag must be a sketch, got {other:?}"),
+    }
+    assert!(text.contains("# TYPE engine_watermark_lag summary"));
+    assert!(text.contains("server_publish_tuples_total"));
+    assert!(text.contains("server_subscriber_queue_depth"));
+
     for proxy in &proxies {
         proxy.shutdown();
     }
+    let registry = handle.registry();
+    let journal = handle.journal();
     let errors = handle.shutdown();
     assert!(
         errors.iter().all(|e| e.severity() == Severity::Transient),
         "chaos must leave only transient scars, got {errors:?}"
+    );
+
+    // The severity-split error counters reconcile exactly with the scar
+    // list the handle drained — every recorded error was counted once.
+    let snap = registry.snapshot();
+    assert_eq!(
+        counter_total(
+            &snap,
+            "server_errors_total",
+            Some(("severity", "transient"))
+        ),
+        errors.len() as u64,
+    );
+    assert_eq!(
+        counter_total(&snap, "server_errors_total", Some(("severity", "fatal"))),
+        0
+    );
+
+    // Lease ledger: counters, journal events, and scars agree. Every
+    // chaos-forced park was resumed (the publishers all finished), and
+    // nothing expired under the generous lease.
+    let events = journal.all();
+    let parked = events
+        .iter()
+        .filter(|e| matches!(e.detail, TraceDetail::LeaseParked { .. }))
+        .count() as u64;
+    let resumed = events
+        .iter()
+        .filter(|e| matches!(e.detail, TraceDetail::LeaseResumed { .. }))
+        .count() as u64;
+    assert_eq!(
+        counter_total(&snap, "server_lease_parked_total", None),
+        parked
+    );
+    assert_eq!(
+        counter_total(&snap, "server_lease_resumed_total", None),
+        resumed
+    );
+    assert_eq!(parked, resumed, "every park must have been resumed");
+    assert_eq!(counter_total(&snap, "server_lease_expired_total", None), 0);
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e.detail, TraceDetail::LeaseExpired { .. })),
+        "no lease expiry under a 30 s lease"
+    );
+    assert_eq!(
+        counter_total(&snap, "server_gap_frames_total", None),
+        0,
+        "a clean subscriber never sees a gap"
     );
 }
 
@@ -334,7 +437,23 @@ fn torn_publish_frame_is_replayed_exactly_once() {
         "the cut must have forced a reconnect"
     );
     proxy.shutdown();
+    let registry = handle.registry();
     let errors = handle.shutdown();
+    // The scripted cut parks the session exactly once, and the healed
+    // resume pairs with it — visible in the lease counters.
+    let snap = registry.snapshot();
+    assert_eq!(
+        counter_total(&snap, "server_lease_parked_total", None),
+        1,
+        "one mid-stream cut, one park"
+    );
+    assert_eq!(counter_total(&snap, "server_lease_resumed_total", None), 1);
+    assert!(counter_total(&snap, "server_resumes_total", None) >= 1);
+    assert_eq!(
+        counter_total(&snap, "server_publish_tuples_total", None),
+        50,
+        "the torn batch replays once, never twice"
+    );
     assert!(
         errors.iter().any(|e| matches!(
             e,
@@ -473,6 +592,8 @@ fn lease_expiry_without_resume_escalates_and_still_reaches_eos() {
     assert_streams_equal(&collected[0].1, &expected);
     assert!(handle.is_finished());
 
+    let registry = handle.registry();
+    let journal = handle.journal();
     let errors = handle.shutdown();
     let disconnect = errors.iter().find(|e| {
         matches!(
@@ -496,6 +617,45 @@ fn lease_expiry_without_resume_escalates_and_still_reaches_eos() {
         Some(Severity::Fatal),
         "unresumed expiry must escalate to fatal: {errors:?}"
     );
+
+    // The expiry is visible in the counters and the journal, and the
+    // severity split reconciles exactly with the scar list.
+    let snap = registry.snapshot();
+    let expired_scars = errors
+        .iter()
+        .filter(|e| matches!(e, ServerError::LeaseExpired { .. }))
+        .count() as u64;
+    assert_eq!(
+        counter_total(&snap, "server_lease_expired_total", None),
+        expired_scars
+    );
+    assert_eq!(counter_total(&snap, "server_lease_parked_total", None), 1);
+    assert_eq!(counter_total(&snap, "server_lease_resumed_total", None), 0);
+    assert_eq!(
+        counter_total(&snap, "server_errors_total", Some(("severity", "fatal"))),
+        errors
+            .iter()
+            .filter(|e| e.severity() == Severity::Fatal)
+            .count() as u64
+    );
+    assert_eq!(
+        counter_total(
+            &snap,
+            "server_errors_total",
+            Some(("severity", "transient"))
+        ),
+        errors
+            .iter()
+            .filter(|e| e.severity() == Severity::Transient)
+            .count() as u64
+    );
+    let events = journal.all();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.detail, TraceDetail::LeaseParked { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.detail, TraceDetail::LeaseExpired { .. })));
 }
 
 #[test]
@@ -671,14 +831,44 @@ fn flood_slow_subscriber(policy: SubscriberPolicy) -> (usize, u64, bool) {
         }
     }
 
+    let registry = handle.registry();
+    let journal = handle.journal();
     let errors = handle.shutdown();
     match policy {
-        SubscriberPolicy::DropOldest => assert!(
-            errors
+        SubscriberPolicy::DropOldest => {
+            assert!(
+                errors
+                    .iter()
+                    .any(|e| matches!(e, ServerError::SubscriberLagged { .. })),
+                "shed frames must be recorded, got {errors:?}"
+            );
+            // The gap ledger closes three ways at once: the frames the
+            // subscriber was told it missed, the frames the scars say
+            // were shed, and the gap counters — all the same number.
+            let snap = registry.snapshot();
+            let scarred: u64 = errors
                 .iter()
-                .any(|e| matches!(e, ServerError::SubscriberLagged { .. })),
-            "shed frames must be recorded, got {errors:?}"
-        ),
+                .filter_map(|e| match e {
+                    ServerError::SubscriberLagged { dropped, .. } => Some(*dropped),
+                    _ => None,
+                })
+                .sum();
+            assert_eq!(scarred, missed_total, "scars account for every shed frame");
+            assert_eq!(
+                counter_total(&snap, "server_gap_missed_total", None),
+                missed_total
+            );
+            assert!(counter_total(&snap, "server_gap_frames_total", None) > 0);
+            let journal_missed: u64 = journal
+                .all()
+                .iter()
+                .filter_map(|e| match e.detail {
+                    TraceDetail::GapEmitted { missed, .. } => Some(missed),
+                    _ => None,
+                })
+                .sum();
+            assert_eq!(journal_missed, missed_total);
+        }
         SubscriberPolicy::Disconnect => assert!(
             errors
                 .iter()

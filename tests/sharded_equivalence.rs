@@ -6,6 +6,7 @@
 //! pinned single-shard plan, never to wrong answers. Panicking operators
 //! must surface as `Err` at the driver.
 
+use uncertain_streams::core::batch::Batch;
 use uncertain_streams::core::ops::aggregate::{
     AggFunc, AggSpec, Strategy, WindowKind, WindowedAggregate,
 };
@@ -19,6 +20,7 @@ use uncertain_streams::core::{
 };
 use uncertain_streams::prob::dist::Dist;
 use uncertain_streams::runtime::ShardedExecutor;
+use uncertain_streams::telemetry::{MetricValue, MetricsRegistry, TraceDetail};
 
 // ---------------------------------------------------------------------
 // Q1-style keyed aggregation: select → project → tumbling group-by SUM.
@@ -872,6 +874,183 @@ fn routing_key_panic_surfaces_as_error() {
         }
         other => panic!("expected OperatorPanicked, got {other:?}"),
     }
+}
+
+// ---------------------------------------------------------------------
+// Telemetry non-perturbation: the always-on counters, sketches, and
+// journal — with a registry bound on top — must not change one output
+// byte, and what they count must reconcile exactly with the feed.
+// ---------------------------------------------------------------------
+
+/// Drive a session over a ts-ordered feed the same way
+/// `ShardedExecutor::run` does (coalescing per-(node, port) batches),
+/// so telemetry tests observe the production push pattern.
+fn push_feed(
+    session: &mut uncertain_streams::runtime::session::ShardedSession,
+    inputs: Vec<(String, usize, Vec<Tuple>)>,
+    batch_size: usize,
+) {
+    let feed = session.ordered_feed(inputs).unwrap();
+    let mut cur: Option<(NodeId, usize, Batch)> = None;
+    for (_, node, port, tuple) in feed {
+        match &mut cur {
+            Some((n, p, b)) if *n == node && *p == port && b.len() < batch_size => b.push(tuple),
+            slot => {
+                if let Some((n, p, b)) = slot.take() {
+                    session.push_batch(n, p, b).unwrap();
+                }
+                *slot = Some((node, port, Batch::one(tuple)));
+            }
+        }
+    }
+    if let Some((n, p, b)) = cur {
+        session.push_batch(n, p, b).unwrap();
+    }
+}
+
+#[test]
+fn staged_run_with_registry_bound_is_byte_identical_and_counters_reconcile() {
+    let (readings, refs) = agg_join_inputs();
+    let feeds = || {
+        vec![
+            ("readings".to_string(), 0usize, readings.clone()),
+            ("refs".to_string(), 1usize, refs.clone()),
+        ]
+    };
+    let (mut g, sink) = agg_join_graph();
+    let reference = joined_rows(&g.run_batched(feeds(), 64).unwrap()[&sink]);
+    assert!(!reference.is_empty());
+
+    let exec = ShardedExecutor::new(4).with_workers(2).with_batch_size(48);
+    let mut session = exec.session(|| agg_join_graph().0).unwrap();
+    let registry = MetricsRegistry::new();
+    session.bind_registry(&registry);
+    let registered = registry.len();
+    assert!(registered > 0, "binding must register the engine families");
+    session.bind_registry(&registry);
+    assert_eq!(
+        registry.len(),
+        registered,
+        "bind_registry must be idempotent (adoption, not duplication)"
+    );
+
+    let telem = session.telemetry().clone();
+    push_feed(&mut session, feeds(), 48);
+    let out = session.finish().unwrap();
+    assert_eq!(
+        reference,
+        joined_rows(&out[&sink]),
+        "a bound registry must not perturb output"
+    );
+
+    // Ingest counters reconcile exactly with the feed.
+    let n_total = (readings.len() + refs.len()) as u64;
+    assert_eq!(telem.tuples_pushed.get(), n_total);
+    assert!(telem.batches_pushed.get() > 0);
+    let routed0: u64 = (0..4).map(|s| telem.routed(0, s).get()).sum();
+    assert_eq!(
+        routed0,
+        readings.len() as u64,
+        "every reading routes into exactly one stage-0 shard"
+    );
+    let routed1: u64 = (0..4).map(|s| telem.routed(1, s).get()).sum();
+    assert!(
+        routed1 >= refs.len() as u64,
+        "stage 1 sees at least the refs entries"
+    );
+    assert!(
+        telem.exchange_forwarded(1).get() > 0,
+        "sealed window rows must cross the exchange"
+    );
+
+    // Per-operator counters: the stage-0 entry operator sees the whole
+    // readings feed, split across shards.
+    let select_in: u64 = telem
+        .op_entries()
+        .iter()
+        .filter(|e| e.op == "select" && e.stage == 0)
+        .map(|e| e.telem.tuples_in.get())
+        .sum();
+    assert_eq!(select_in, readings.len() as u64);
+
+    // Watermark-lag sketches: seals happened, lag is non-zero (the feed
+    // spans event time), quantiles are ordered.
+    assert!(telem.watermark_sealed.get() > 0);
+    let lag = telem.watermark_lag(0).snapshot();
+    assert!(lag.count > 0, "stage 0 must have sealed at least once");
+    assert!(lag.max > 0.0, "lag quantiles must be non-zero");
+    assert!(lag.min >= 0.0 && lag.p50 <= lag.p99 && lag.p99 <= lag.max);
+
+    // The journal saw routing, sealing, and exchange traffic.
+    let journal = telem.journal();
+    assert!(journal.recorded() > 0);
+    let events = journal.all();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.detail, TraceDetail::ShardRouted { stage: 0, .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.detail, TraceDetail::WindowSealed { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.detail, TraceDetail::ExchangeForwarded { stage: 1, .. })));
+
+    // The registry reads the same cells the session bumped.
+    let snap = registry.snapshot();
+    let pushed = snap
+        .iter()
+        .find(|m| m.family == "engine_tuples_pushed_total")
+        .expect("adopted family");
+    assert_eq!(pushed.value, MetricValue::Counter(n_total));
+    let routed_via_registry: u64 = snap
+        .iter()
+        .filter(|m| {
+            m.family == "engine_shard_routed_tuples_total"
+                && m.labels.iter().any(|(k, v)| k == "stage" && v == "0")
+        })
+        .map(|m| match &m.value {
+            MetricValue::Counter(v) => *v,
+            other => panic!("routed must be a counter, got {other:?}"),
+        })
+        .sum();
+    assert_eq!(routed_via_registry, readings.len() as u64);
+
+    let text = registry.render_text();
+    assert!(text.contains("# TYPE engine_tuples_pushed_total counter"));
+    assert!(text.contains("engine_watermark_lag{stage=\"0\",quantile=\"0.5\"}"));
+    assert!(text.contains("engine_op_tuples_in_total{op=\"select\""));
+}
+
+#[test]
+fn single_pipeline_session_telemetry_reconciles_without_perturbation() {
+    let inputs = q1_inputs();
+    let (mut g, sink) = q1_graph();
+    let reference = canonical(
+        &g.run_batched(vec![("in".into(), 0, inputs.clone())], 64)
+            .unwrap()[&sink],
+    );
+
+    let exec = ShardedExecutor::new(1).with_batch_size(64);
+    let mut session = exec.session(|| q1_graph().0).unwrap();
+    let registry = MetricsRegistry::new();
+    session.bind_registry(&registry);
+    let telem = session.telemetry().clone();
+    push_feed(&mut session, vec![("in".into(), 0, inputs.clone())], 64);
+    // A serving driver seals incrementally; mid-stream seals must not
+    // change what finish() ultimately emits.
+    session.advance_watermark(3_500).unwrap();
+    let out = session.finish().unwrap();
+    assert_eq!(reference, canonical(&out[&sink]));
+
+    assert_eq!(telem.tuples_pushed.get(), inputs.len() as u64);
+    assert_eq!(telem.routed(0, 0).get(), inputs.len() as u64);
+    let lag = telem.watermark_lag(0).snapshot();
+    assert!(lag.count > 0 && lag.max > 0.0);
+    assert!(telem
+        .journal()
+        .all()
+        .iter()
+        .any(|e| matches!(e.detail, TraceDetail::BatchPumped { .. })));
 }
 
 #[test]

@@ -18,6 +18,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::collections::HashMap;
 use std::sync::Arc;
+use ustream_core::batch::Batch;
 use ustream_core::ops::aggregate::{AggFunc, AggSpec, Strategy, WindowKind, WindowedAggregate};
 use ustream_core::ops::project::{Derivation, Project};
 use ustream_core::ops::select::{Predicate, Select};
@@ -339,6 +340,43 @@ fn bench_executor_throughput(c: &mut Criterion) {
     // NodeIds are positional, so the sink handle from one construction
     // addresses every factory-built copy.
     let sink = q1_graph().1;
+
+    // Trace-sampling A/B over the incremental session driver: the same
+    // Q1 feed pushed as pre-built 1024-tuple batches through a one-shard
+    // `ShardedSession`, with sampling explicitly off and at 1-in-4.
+    // The off row prices the machinery a never-sampled deployment pays
+    // (one relaxed atomic load + early return per pushed batch); the
+    // 1-in-4 row adds the modulo, clock reads, and span appends for
+    // elected batches. Both pre-build their batches in setup, so they
+    // compare against each other (sharded/1/1024, the same driver at
+    // its untraced default, builds its feed inside the timed region).
+    for (label, every) in [
+        ("session/trace_off/1024", 0u64),
+        ("session/trace_1in4/1024", 4),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    feed.chunks(1024)
+                        .map(|chunk| Batch::from(chunk.to_vec()))
+                        .collect::<Vec<Batch>>()
+                },
+                |batches| {
+                    let exec = ShardedExecutor::new(1).with_batch_size(1024);
+                    let mut session = exec.session(|| q1_graph().0).unwrap();
+                    session.telemetry().traces().configure(every, 7);
+                    let entry = session.source_node("in").unwrap();
+                    for batch in batches {
+                        session.push_batch(entry, 0, batch).unwrap();
+                    }
+                    let out = session.finish().unwrap();
+                    out[&sink].len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
     for shards in SHARD_COUNTS {
         group.bench_function(format!("sharded/{shards}/1024"), |b| {
             b.iter_batched(

@@ -45,8 +45,11 @@
 
 pub mod merge;
 pub mod plan;
+pub mod report;
 pub mod session;
 pub mod telemetry;
+
+pub use report::{OpReport, PlanReport, StageReport};
 
 use plan::ShardPlan;
 use session::ShardedSession;

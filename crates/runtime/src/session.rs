@@ -60,13 +60,14 @@ use crate::telemetry::{OpTelemetryEntry, SessionTelemetry};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::collections::{BTreeMap, HashMap};
 use std::thread::JoinHandle;
+use std::time::Instant;
 use ustream_core::batch::{Batch, BatchPool};
 use ustream_core::canon;
 use ustream_core::columnar::Columns;
 use ustream_core::error::{panic_message, EngineError, Result};
 use ustream_core::query::{ExecSession, QueryGraph};
 use ustream_core::{NodeId, Tuple};
-use ustream_telemetry::{MetricsRegistry, TraceDetail};
+use ustream_telemetry::{MetricsRegistry, SpanKind, TraceDetail};
 
 /// Run a closure, converting a panic into its rendered message.
 fn catch<T>(f: impl FnOnce() -> T) -> std::result::Result<T, String> {
@@ -234,6 +235,26 @@ struct SlotBuilder {
 /// Input waiting at a stage boundary: `(ts, entry node, port, tuple)`.
 type PoolEntry = (u64, usize, usize, Tuple);
 
+/// The most recent sampled batch's causal trace: later hops (routes
+/// during sweeps, seals, the emit) link their spans back to its root.
+struct ActiveTrace {
+    trace: u64,
+    /// The `Pump` root span's sequence number.
+    root: u64,
+    /// The newest `Seal` span's sequence number (the emit's parent).
+    last_seal: Option<u64>,
+}
+
+/// A hop observed while a traced batch was live, buffered until the
+/// span it parents under exists.
+struct PendingSpan {
+    kind: SpanKind,
+    stage: usize,
+    shard: usize,
+    tuples: usize,
+    elapsed_ns: u64,
+}
+
 /// The multi-stage, multi-shard session core.
 struct StagedCore {
     prototype: QueryGraph,
@@ -268,6 +289,15 @@ struct StagedCore {
     /// Watermark most recently broadcast to each stage (seal point for
     /// the per-stage watermark-lag sketches).
     sealed: Vec<u64>,
+    /// Causal-trace state for the most recent sampled batch; `None`
+    /// between traces (the overwhelmingly common state).
+    active_trace: Option<ActiveTrace>,
+    /// True while routing activity should buffer `Route` spans (a
+    /// sampled push, or a sweep with an active trace).
+    trace_live: bool,
+    /// Reused span buffer: only touched for sampled batches, and
+    /// allocation-free once warm.
+    trace_buf: Vec<PendingSpan>,
 }
 
 enum BarrierOp {
@@ -309,14 +339,16 @@ impl StagedCore {
         let batch = std::mem::replace(&mut b.batch, replacement);
         let (node, port) = (b.node, b.port);
         let local = self.stages[stage].local_of[node].expect("routed node belongs to its stage");
-        self.telem.routed(stage, shard).add(batch.len() as u64);
+        let tuples = batch.len();
+        self.telem.routed(stage, shard).add(tuples as u64);
         self.telem.journal().record(TraceDetail::ShardRouted {
             stage,
             shard,
-            tuples: batch.len(),
+            tuples,
         });
+        let t0 = self.trace_live.then(Instant::now);
         let worker = self.worker_of(shard);
-        if worker == 0 {
+        let result = if worker == 0 {
             let st = self.inline.get_mut(&slot).expect("inline slot exists");
             st.run(|s| s.push(local, port, batch));
             if let Some(msg) = st.poisoned.clone() {
@@ -332,7 +364,19 @@ impl StagedCore {
                     batch,
                 })
                 .map_err(|_| self.fail("worker disconnected mid-stream".into()))
+        };
+        if result.is_ok() {
+            if let Some(t0) = t0 {
+                self.trace_buf.push(PendingSpan {
+                    kind: SpanKind::Route,
+                    stage,
+                    shard,
+                    tuples,
+                    elapsed_ns: t0.elapsed().as_nanos() as u64,
+                });
+            }
         }
+        result
     }
 
     /// Route one tuple into a stage, merging consecutive same-(node,
@@ -382,14 +426,16 @@ impl StagedCore {
         let slot = self.slot_id(0, shard);
         let local = self.stages[0].local_of[node].expect("routed node belongs to its stage");
         let batch = Batch::from_columns(cols);
-        self.telem.routed(0, shard).add(batch.len() as u64);
+        let tuples = batch.len();
+        self.telem.routed(0, shard).add(tuples as u64);
         self.telem.journal().record(TraceDetail::ShardRouted {
             stage: 0,
             shard,
-            tuples: batch.len(),
+            tuples,
         });
+        let t0 = self.trace_live.then(Instant::now);
         let worker = self.worker_of(shard);
-        if worker == 0 {
+        let result = if worker == 0 {
             let st = self.inline.get_mut(&slot).expect("inline slot exists");
             st.run(|s| s.push(local, port, batch));
             if let Some(msg) = st.poisoned.clone() {
@@ -405,7 +451,19 @@ impl StagedCore {
                     batch,
                 })
                 .map_err(|_| self.fail("worker disconnected mid-stream".into()))
+        };
+        if result.is_ok() {
+            if let Some(t0) = t0 {
+                self.trace_buf.push(PendingSpan {
+                    kind: SpanKind::Route,
+                    stage: 0,
+                    shard,
+                    tuples,
+                    elapsed_ns: t0.elapsed().as_nanos() as u64,
+                });
+            }
         }
+        result
     }
 
     /// Route a columnar batch at stage 0 without materializing tuples:
@@ -466,19 +524,59 @@ impl StagedCore {
         }
     }
 
-    fn push_batch(&mut self, node: NodeId, port: usize, mut batch: Batch) -> Result<()> {
+    fn push_batch(&mut self, node: NodeId, port: usize, batch: Batch) -> Result<()> {
         self.guard()?;
         self.telem.batches_pushed.inc();
-        self.telem.tuples_pushed.add(batch.len() as u64);
+        let tuples = batch.len();
+        self.telem.tuples_pushed.add(tuples as u64);
         self.telem.journal().record(TraceDetail::BatchPumped {
             node: node.index(),
             port,
-            tuples: batch.len(),
+            tuples,
         });
+        // Causal sampling by publish ordinal: deterministic for the
+        // same feed + seed. Unsampled batches pay one relaxed load and
+        // a modulo here — no clock read, no allocation.
+        let trace = self.telem.traces().sample(self.telem.batches_pushed.get());
+        let stage = self.plan.stage_of(node);
+        let t0 = trace.map(|_| {
+            self.trace_buf.clear();
+            self.trace_live = true;
+            Instant::now()
+        });
+        let result = self.ingest(node, port, batch, stage);
+        if let Some(trace) = trace {
+            self.trace_live = false;
+            if result.is_ok() {
+                let root = self.telem.traces().record(
+                    trace,
+                    None,
+                    SpanKind::Pump,
+                    stage,
+                    0,
+                    tuples,
+                    t0.expect("timed when sampled").elapsed().as_nanos() as u64,
+                );
+                self.flush_trace_buf(trace, root);
+                self.active_trace = Some(ActiveTrace {
+                    trace,
+                    root,
+                    last_seal: None,
+                });
+            } else {
+                self.trace_buf.clear();
+            }
+        }
+        result
+    }
+
+    /// The routing body of [`StagedCore::push_batch`]: advance the high
+    /// water, then route stage-0 input (columnar fast path first) or
+    /// pool input addressed downstream.
+    fn ingest(&mut self, node: NodeId, port: usize, mut batch: Batch, stage: usize) -> Result<()> {
         if let Some(max_ts) = batch.max_ts() {
             self.watermark = self.watermark.max(max_ts);
         }
-        let stage = self.plan.stage_of(node);
         if stage == 0 {
             if batch.is_columnar() && self.route_columns(node.index(), port, &mut batch)? {
                 return Ok(());
@@ -493,6 +591,25 @@ impl StagedCore {
             self.pools[stage].extend(batch.into_iter().map(|t| (t.ts, node.index(), port, t)));
         }
         Ok(())
+    }
+
+    /// Record the buffered hops of the live trace as children of
+    /// `parent`, leaving the buffer warm for reuse.
+    fn flush_trace_buf(&mut self, trace: u64, parent: u64) {
+        let buf = std::mem::take(&mut self.trace_buf);
+        for p in &buf {
+            self.telem.traces().record(
+                trace,
+                Some(parent),
+                p.kind,
+                p.stage,
+                p.shard,
+                p.tuples,
+                p.elapsed_ns,
+            );
+        }
+        self.trace_buf = buf;
+        self.trace_buf.clear();
     }
 
     /// Advance the watermark on every shard of `stage`.
@@ -595,8 +712,10 @@ impl StagedCore {
     fn sweep(&mut self, finish: bool) -> Result<()> {
         self.guard()?;
         let wm = self.watermark;
+        self.trace_live = self.active_trace.is_some();
         for stage in 0..self.plan.num_stages() {
             let mut forwarded = 0usize;
+            let fwd_t0 = self.trace_live.then(Instant::now);
             if stage > 0 {
                 // Forward pooled input the watermark has sealed (all of
                 // it at finish), in canonical (ts, entry, port, content)
@@ -651,6 +770,15 @@ impl StagedCore {
                         stage,
                         tuples: forwarded,
                     });
+                    if let Some(t0) = fwd_t0 {
+                        self.trace_buf.push(PendingSpan {
+                            kind: SpanKind::ExchangeForward,
+                            stage,
+                            shard: 0,
+                            tuples: forwarded,
+                            elapsed_ns: t0.elapsed().as_nanos() as u64,
+                        });
+                    }
                 }
                 self.telem
                     .pool_depth(stage)
@@ -659,6 +787,7 @@ impl StagedCore {
             for shard in 0..self.shards {
                 self.flush_builder(stage, shard)?;
             }
+            let seal_t0 = self.trace_live.then(Instant::now);
             let collected = if finish {
                 self.barrier(stage, BarrierOp::Finish)?
             } else {
@@ -679,8 +808,25 @@ impl StagedCore {
                 watermark: wm,
                 released,
             });
+            if let Some(at) = &self.active_trace {
+                let (trace, root) = (at.trace, at.root);
+                self.flush_trace_buf(trace, root);
+                if wm > prev || finish {
+                    let seq = self.telem.traces().record(
+                        trace,
+                        Some(root),
+                        SpanKind::Seal,
+                        stage,
+                        0,
+                        released,
+                        seal_t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+                    );
+                    self.active_trace.as_mut().expect("just checked").last_seal = Some(seq);
+                }
+            }
             self.distribute(stage, collected);
         }
+        self.trace_live = false;
         Ok(())
     }
 
@@ -719,16 +865,38 @@ impl StagedCore {
 
     fn drain_collected(&mut self) -> Result<Vec<(NodeId, Vec<Tuple>)>> {
         self.sweep(false)?;
-        Ok(self.release(false))
+        let t0 = self.active_trace.is_some().then(Instant::now);
+        let out = self.release(false);
+        self.record_emit(out.iter().map(|(_, t)| t.len()).sum(), t0);
+        Ok(out)
     }
 
     fn finish(&mut self) -> Result<HashMap<NodeId, Vec<Tuple>>> {
         self.sweep(true)?;
+        let t0 = self.active_trace.is_some().then(Instant::now);
+        let released = self.release(true);
+        self.record_emit(released.iter().map(|(_, t)| t.len()).sum(), t0);
         let mut out: HashMap<NodeId, Vec<Tuple>> = HashMap::new();
-        for (sink, tuples) in self.release(true) {
+        for (sink, tuples) in released {
             out.insert(sink, tuples);
         }
         Ok(out)
+    }
+
+    /// Close the live trace (if any) with its `Emit` span, parented
+    /// under the newest seal.
+    fn record_emit(&mut self, tuples: usize, t0: Option<Instant>) {
+        if let Some(at) = self.active_trace.take() {
+            self.telem.traces().record(
+                at.trace,
+                Some(at.last_seal.unwrap_or(at.root)),
+                SpanKind::Emit,
+                0,
+                0,
+                tuples,
+                t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+            );
+        }
     }
 
     fn shutdown(&mut self) {
@@ -758,6 +926,8 @@ struct SingleCore {
     high_water: u64,
     /// Watermark most recently sealed via `advance_watermark`.
     sealed: u64,
+    /// Causal-trace state for the most recent sampled batch.
+    active_trace: Option<ActiveTrace>,
 }
 
 impl SingleCore {
@@ -804,8 +974,13 @@ impl ShardedSession {
             .source_entries()
             .map(|(name, id)| (name.to_string(), id))
             .collect();
+        let plan_text = graph
+            .compile()
+            .map(|compiled| ShardPlan::analyze(&graph, &compiled).describe())
+            .unwrap_or_default();
         let session = graph.into_session()?;
         let telem = single_telemetry(&session);
+        telem.set_plan(plan_text);
         Ok(ShardedSession {
             sources,
             core: Core::Single(Box::new(SingleCore {
@@ -814,6 +989,7 @@ impl ShardedSession {
                 telem,
                 high_water: 0,
                 sealed: 0,
+                active_trace: None,
             })),
         })
     }
@@ -839,8 +1015,10 @@ impl ShardedSession {
         // preserves exact sink *arrival* order, which multi-shard
         // release trades for the canonical order.
         if shards == 1 || !plan.is_parallel() {
+            let plan_text = plan.describe();
             let session = prototype.into_session()?;
             let telem = single_telemetry(&session);
+            telem.set_plan(plan_text);
             return Ok(ShardedSession {
                 sources,
                 core: Core::Single(Box::new(SingleCore {
@@ -849,6 +1027,7 @@ impl ShardedSession {
                     telem,
                     high_water: 0,
                     sealed: 0,
+                    active_trace: None,
                 })),
             });
         }
@@ -899,6 +1078,7 @@ impl ShardedSession {
         // move onto their workers, so the driver (and anything it binds
         // a registry for) reads the same cells the workers bump.
         let mut telem = SessionTelemetry::new(num_stages, shards);
+        telem.set_plan(plan.describe());
         let mut per_worker: Vec<BTreeMap<usize, SlotState>> =
             (0..n_workers).map(|_| BTreeMap::new()).collect();
         for shard in 0..shards {
@@ -985,6 +1165,9 @@ impl ShardedSession {
                 failed: None,
                 telem,
                 sealed: vec![0; num_stages],
+                active_trace: None,
+                trace_live: false,
+                trace_buf: Vec::new(),
             })),
         })
     }
@@ -1026,7 +1209,28 @@ impl ShardedSession {
                 if let Some(max_ts) = batch.max_ts() {
                     s.high_water = s.high_water.max(max_ts);
                 }
-                s.op(|session| session.push(node, port, batch))
+                let trace = s.telem.traces().sample(s.telem.batches_pushed.get());
+                let t0 = trace.map(|_| Instant::now());
+                let result = s.op(|session| session.push(node, port, batch));
+                if let Some(trace) = trace {
+                    if result.is_ok() {
+                        let root = s.telem.traces().record(
+                            trace,
+                            None,
+                            SpanKind::Pump,
+                            0,
+                            0,
+                            tuples,
+                            t0.expect("timed when sampled").elapsed().as_nanos() as u64,
+                        );
+                        s.active_trace = Some(ActiveTrace {
+                            trace,
+                            root,
+                            last_seal: None,
+                        });
+                    }
+                }
+                result
             }
             Core::Staged(s) => s.push_batch(node, port, batch),
         }
@@ -1063,11 +1267,30 @@ impl ShardedSession {
         match &mut self.core {
             Core::Single(s) => {
                 s.high_water = s.high_water.max(watermark);
-                if watermark > s.sealed {
+                let sealed_now = watermark > s.sealed;
+                if sealed_now {
                     s.telem.record_seal(0, s.sealed, watermark);
                     s.sealed = watermark;
                 }
-                s.op(|session| session.advance_watermark(watermark))
+                let t0 = (sealed_now && s.active_trace.is_some()).then(Instant::now);
+                let result = s.op(|session| session.advance_watermark(watermark));
+                if let Some(t0) = t0 {
+                    if result.is_ok() {
+                        if let Some(at) = &mut s.active_trace {
+                            let seq = s.telem.traces().record(
+                                at.trace,
+                                Some(at.root),
+                                SpanKind::Seal,
+                                0,
+                                0,
+                                0,
+                                t0.elapsed().as_nanos() as u64,
+                            );
+                            at.last_seal = Some(seq);
+                        }
+                    }
+                }
+                result
             }
             Core::Staged(s) => {
                 s.guard()?;
@@ -1086,6 +1309,7 @@ impl ShardedSession {
     pub fn drain_collected(&mut self) -> Result<Vec<(NodeId, Vec<Tuple>)>> {
         match &mut self.core {
             Core::Single(s) => {
+                let t0 = s.active_trace.is_some().then(Instant::now);
                 let out = s.op(|session| session.drain_collected())?;
                 let released: usize = out.iter().map(|(_, t)| t.len()).sum();
                 s.telem.journal().record(TraceDetail::WindowSealed {
@@ -1093,6 +1317,17 @@ impl ShardedSession {
                     watermark: s.sealed,
                     released,
                 });
+                if let Some(at) = s.active_trace.take() {
+                    s.telem.traces().record(
+                        at.trace,
+                        Some(at.last_seal.unwrap_or(at.root)),
+                        SpanKind::Emit,
+                        0,
+                        0,
+                        released,
+                        t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+                    );
+                }
                 Ok(out)
             }
             Core::Staged(s) => s.drain_collected(),

@@ -27,8 +27,11 @@
 //! naming table), so the same cells the driver bumps feed a served
 //! metrics surface.
 
+use std::sync::{Arc, Mutex};
 use ustream_core::OpTelemetry;
-use ustream_telemetry::{Counter, EventJournal, Gauge, MetricsRegistry, QuantileSketch};
+use ustream_telemetry::{
+    Counter, EventJournal, Gauge, MetricsRegistry, QuantileSketch, TraceStore,
+};
 
 /// One operator's counters plus its identity in the sharded plan.
 #[derive(Debug, Clone)]
@@ -66,6 +69,12 @@ pub struct SessionTelemetry {
     /// Per-operator counters harvested from the slot sessions.
     ops: Vec<OpTelemetryEntry>,
     journal: EventJournal,
+    /// Causal span store; sampling disabled until
+    /// [`ustream_telemetry::TraceStore::configure`] turns it on.
+    traces: TraceStore,
+    /// The rendered [`crate::plan::ShardPlan::describe`] topology,
+    /// captured when the session is built (shared across clones).
+    plan: Arc<Mutex<String>>,
 }
 
 impl SessionTelemetry {
@@ -86,6 +95,8 @@ impl SessionTelemetry {
             watermark_lag: (0..stages).map(|_| QuantileSketch::new()).collect(),
             ops: Vec::new(),
             journal: EventJournal::default(),
+            traces: TraceStore::default(),
+            plan: Arc::new(Mutex::new(String::new())),
         }
     }
 
@@ -132,12 +143,58 @@ impl SessionTelemetry {
         &self.journal
     }
 
+    /// The session's causal span store. Call
+    /// [`ustream_telemetry::TraceStore::configure`] on it to turn on
+    /// 1-in-N batch sampling; it ships disabled.
+    pub fn traces(&self) -> &TraceStore {
+        &self.traces
+    }
+
+    /// The rendered plan topology this session executes (empty until
+    /// the session is built).
+    pub fn plan_text(&self) -> String {
+        self.plan.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    pub(crate) fn set_plan(&self, text: String) {
+        *self.plan.lock().unwrap_or_else(|p| p.into_inner()) = text;
+    }
+
     /// Adopt every handle into `registry` under the `engine_*`
     /// families, labeled by stage/shard/operator. Idempotent for the
     /// same registry; the registered cells are the live ones, so
     /// subsequent session activity is visible through the registry with
     /// no further plumbing.
     pub fn bind_registry(&self, registry: &MetricsRegistry) {
+        registry.set_help(
+            "engine_batches_pushed_total",
+            "Batches accepted by push_batch",
+        );
+        registry.set_help(
+            "engine_tuples_pushed_total",
+            "Tuples accepted by push_batch",
+        );
+        registry.set_help("engine_watermark_sealed", "Most recently sealed watermark");
+        registry.set_help(
+            "engine_shard_routed_tuples_total",
+            "Tuples routed into each (stage, shard) slot session",
+        );
+        registry.set_help(
+            "engine_exchange_forwarded_tuples_total",
+            "Tuples forwarded across the exchange into each stage",
+        );
+        registry.set_help(
+            "engine_stage_pool_depth",
+            "Pending exchange-pool depth per stage, sampled at each sweep",
+        );
+        registry.set_help(
+            "engine_watermark_lag",
+            "Event-time span sealed per stage seal (see README: watermark-lag semantics)",
+        );
+        registry.set_help(
+            "engine_watermark_lag_merged",
+            "Cross-stage merge of every stage's watermark-lag sketch",
+        );
         registry.adopt_counter("engine_batches_pushed_total", &[], &self.batches_pushed);
         registry.adopt_counter("engine_tuples_pushed_total", &[], &self.tuples_pushed);
         registry.adopt_gauge("engine_watermark_sealed", &[], &self.watermark_sealed);
@@ -168,6 +225,10 @@ impl SessionTelemetry {
                 &self.watermark_lag[stage],
             );
         }
+        // One cross-stage lag summary: the per-stage sketches merged at
+        // snapshot time, so scrapes see tail lag without client-side
+        // folding.
+        registry.adopt_merged_sketch("engine_watermark_lag_merged", &[], &self.watermark_lag);
         for e in &self.ops {
             let labels: Vec<(String, String)> = vec![
                 ("op".to_string(), e.op.clone()),

@@ -52,7 +52,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, TryLockError, Weak};
 use std::time::Duration;
 use ustream_core::Tuple;
-use ustream_telemetry::MetricSnapshot;
+use ustream_runtime::PlanReport;
+use ustream_telemetry::{HealthReport, MetricSnapshot, TraceEvent};
 
 /// How often the background timer checks whether the publisher's clock
 /// advanced past the last advertised watermark.
@@ -476,6 +477,42 @@ impl Client {
         protocol::write_request(&mut conn.stream, &Request::StatsV2)?;
         match await_reply(&mut conn)? {
             Response::StatsV2 { metrics, text } => Ok((metrics, text)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetch the live EXPLAIN ANALYZE report: the static plan topology
+    /// annotated with per-stage routing/skew/lag and per-operator
+    /// counters, assembled server-side from the same cells the engine
+    /// bumps. Render with [`PlanReport::render`].
+    pub fn explain(&mut self) -> ClientResult<PlanReport> {
+        let mut conn = self.lock();
+        protocol::write_request(&mut conn.stream, &Request::Explain)?;
+        match await_reply(&mut conn)? {
+            Response::Explain(report) => Ok(report),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Evaluate the server's health checks now and fetch the typed
+    /// report (overall status, per-check findings, evaluation count).
+    pub fn health(&mut self) -> ClientResult<HealthReport> {
+        let mut conn = self.lock();
+        protocol::write_request(&mut conn.stream, &Request::Health)?;
+        match await_reply(&mut conn)? {
+            Response::Health(report) => Ok(report),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetch the newest `n` structured journal events (oldest first)
+    /// plus the journal's lifetime recorded count — the tail of the
+    /// merged engine + serving event sequence.
+    pub fn journal_tail(&mut self, n: u32) -> ClientResult<(u64, Vec<TraceEvent>)> {
+        let mut conn = self.lock();
+        protocol::write_request(&mut conn.stream, &Request::JournalTail { n })?;
+        match await_reply(&mut conn)? {
+            Response::JournalTail { recorded, events } => Ok((recorded, events)),
             other => Err(unexpected(other)),
         }
     }

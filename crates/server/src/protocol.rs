@@ -10,7 +10,11 @@
 use crate::wire::{self, put_str, read_frame, write_frame, Reader, WireError, WireResult};
 use std::io::{Read, Write};
 use ustream_core::Tuple;
-use ustream_telemetry::{HistogramSnapshot, MetricSnapshot, MetricValue, SketchSnapshot};
+use ustream_runtime::{OpReport, PlanReport, StageReport};
+use ustream_telemetry::{
+    HealthCheck, HealthReport, HealthStatus, HistogramSnapshot, MetricSnapshot, MetricValue,
+    SketchSnapshot, TraceDetail, TraceEvent,
+};
 
 // Frame kinds. Requests have the high bit clear, responses set.
 const KIND_HELLO: u8 = 0x01;
@@ -22,6 +26,9 @@ const KIND_HEARTBEAT: u8 = 0x06;
 const KIND_RESUME: u8 = 0x07;
 const KIND_PUBLISH_SEQ: u8 = 0x08;
 const KIND_STATS_V2: u8 = 0x09;
+const KIND_EXPLAIN: u8 = 0x0A;
+const KIND_HEALTH: u8 = 0x0B;
+const KIND_JOURNAL_TAIL: u8 = 0x0C;
 const KIND_HELLO_ACK: u8 = 0x81;
 const KIND_ACK: u8 = 0x82;
 const KIND_ERROR: u8 = 0x83;
@@ -32,6 +39,9 @@ const KIND_RESUME_OK: u8 = 0x87;
 const KIND_GAP: u8 = 0x88;
 const KIND_RESULTS_SEQ: u8 = 0x89;
 const KIND_STATS_V2_REPLY: u8 = 0x8A;
+const KIND_EXPLAIN_REPLY: u8 = 0x8B;
+const KIND_HEALTH_REPLY: u8 = 0x8C;
+const KIND_JOURNAL_REPLY: u8 = 0x8D;
 
 // Metric-value tags inside a StatsV2 reply.
 const METRIC_COUNTER: u8 = 0;
@@ -81,6 +91,17 @@ pub enum Request {
     /// Prometheus-style text exposition. The modern superset of
     /// [`Request::Stats`] (which remains served for old clients).
     StatsV2,
+    /// EXPLAIN ANALYZE the served query: the static shard-plan topology
+    /// annotated with live per-stage and per-operator counters
+    /// ([`ustream_runtime::PlanReport`]).
+    Explain,
+    /// Evaluate the server's health watchdog now and return the typed
+    /// report (independent of the periodic background evaluation, but
+    /// sharing its transition state).
+    Health,
+    /// The newest `n` events from the server's structured event
+    /// journal, oldest first.
+    JournalTail { n: u32 },
     /// Re-attach to a parked publisher session after a disconnect. The
     /// `token` came from [`Response::HelloAck`]; `last_acked_seq` is the
     /// highest publish sequence the client saw acked. The server answers
@@ -171,6 +192,17 @@ pub enum Response {
         metrics: Vec<MetricSnapshot>,
         text: String,
     },
+    /// Reply to `Explain`: the live plan report.
+    Explain(PlanReport),
+    /// Reply to `Health`: the watchdog's fresh evaluation.
+    Health(HealthReport),
+    /// Reply to `JournalTail`: the retained tail (oldest first) plus
+    /// the journal's lifetime event count, so a client can tell how
+    /// much history the bounded ring has already evicted.
+    JournalTail {
+        recorded: u64,
+        events: Vec<TraceEvent>,
+    },
     /// Reply to `Resume`: the session is re-attached. `last_seq` is the
     /// highest publish sequence the server has applied — the client must
     /// drop buffered publishes at or below it and replay the rest.
@@ -236,6 +268,12 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> WireResult<()> {
         }
         Request::Stats => KIND_STATS,
         Request::StatsV2 => KIND_STATS_V2,
+        Request::Explain => KIND_EXPLAIN,
+        Request::Health => KIND_HEALTH,
+        Request::JournalTail { n } => {
+            payload.extend_from_slice(&n.to_be_bytes());
+            KIND_JOURNAL_TAIL
+        }
         Request::Resume {
             token,
             last_acked_seq,
@@ -292,6 +330,9 @@ pub fn read_request<R: Read>(r: &mut R) -> WireResult<Request> {
         },
         KIND_STATS => Request::Stats,
         KIND_STATS_V2 => Request::StatsV2,
+        KIND_EXPLAIN => Request::Explain,
+        KIND_HEALTH => Request::Health,
+        KIND_JOURNAL_TAIL => Request::JournalTail { n: rd.u32()? },
         KIND_RESUME => Request::Resume {
             token: rd.u64()?,
             last_acked_seq: rd.u64()?,
@@ -337,12 +378,30 @@ fn put_metric(out: &mut Vec<u8>, m: &MetricSnapshot) {
         }
         MetricValue::Sketch(s) => {
             out.push(METRIC_SKETCH);
-            out.extend_from_slice(&s.count.to_be_bytes());
-            for v in [s.min, s.max, s.p50, s.p90, s.p95, s.p99] {
-                out.extend_from_slice(&v.to_bits().to_be_bytes());
-            }
+            put_sketch(out, s);
         }
     }
+}
+
+/// Append one sketch snapshot: count + six `f64`s as raw bits (56
+/// bytes, fixed).
+fn put_sketch(out: &mut Vec<u8>, s: &SketchSnapshot) {
+    out.extend_from_slice(&s.count.to_be_bytes());
+    for v in [s.min, s.max, s.p50, s.p90, s.p95, s.p99] {
+        out.extend_from_slice(&v.to_bits().to_be_bytes());
+    }
+}
+
+fn read_sketch(rd: &mut Reader<'_>) -> WireResult<SketchSnapshot> {
+    Ok(SketchSnapshot {
+        count: rd.u64()?,
+        min: rd.f64()?,
+        max: rd.f64()?,
+        p50: rd.f64()?,
+        p90: rd.f64()?,
+        p95: rd.f64()?,
+        p99: rd.f64()?,
+    })
 }
 
 fn read_metric(rd: &mut Reader<'_>) -> WireResult<MetricSnapshot> {
@@ -377,15 +436,7 @@ fn read_metric(rd: &mut Reader<'_>) -> WireResult<MetricSnapshot> {
                 count: rd.u64()?,
             })
         }
-        METRIC_SKETCH => MetricValue::Sketch(SketchSnapshot {
-            count: rd.u64()?,
-            min: rd.f64()?,
-            max: rd.f64()?,
-            p50: rd.f64()?,
-            p90: rd.f64()?,
-            p95: rd.f64()?,
-            p99: rd.f64()?,
-        }),
+        METRIC_SKETCH => MetricValue::Sketch(read_sketch(rd)?),
         tag => {
             return Err(WireError::UnknownTag {
                 what: "MetricValue",
@@ -398,6 +449,298 @@ fn read_metric(rd: &mut Reader<'_>) -> WireResult<MetricSnapshot> {
         labels,
         value,
     })
+}
+
+fn put_plan_report(out: &mut Vec<u8>, r: &PlanReport) {
+    put_str(out, &r.topology);
+    out.extend_from_slice(&r.batches_pushed.to_be_bytes());
+    out.extend_from_slice(&r.tuples_pushed.to_be_bytes());
+    out.extend_from_slice(&r.watermark_sealed.to_be_bytes());
+    put_sketch(out, &r.lag_merged);
+    out.extend_from_slice(&r.spans_recorded.to_be_bytes());
+    out.extend_from_slice(&r.traces_sampled.to_be_bytes());
+    out.extend_from_slice(&(r.stages.len() as u32).to_be_bytes());
+    for s in &r.stages {
+        out.extend_from_slice(&(s.stage as u32).to_be_bytes());
+        out.extend_from_slice(&(s.routed.len() as u32).to_be_bytes());
+        for &n in &s.routed {
+            out.extend_from_slice(&n.to_be_bytes());
+        }
+        out.extend_from_slice(&s.exchange_forwarded.to_be_bytes());
+        out.extend_from_slice(&s.pool_depth.to_be_bytes());
+        put_sketch(out, &s.lag);
+        out.extend_from_slice(&s.skew.to_bits().to_be_bytes());
+        out.extend_from_slice(&(s.ops.len() as u32).to_be_bytes());
+        for op in &s.ops {
+            put_str(out, &op.op);
+            out.extend_from_slice(&(op.node as u32).to_be_bytes());
+            out.extend_from_slice(&(op.stage as u32).to_be_bytes());
+            out.extend_from_slice(&(op.shard as u32).to_be_bytes());
+            for v in [
+                op.tuples_in,
+                op.tuples_out,
+                op.batches,
+                op.busy_ns,
+                op.columnar_batches,
+                op.row_batches,
+            ] {
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+        }
+    }
+}
+
+fn read_plan_report(rd: &mut Reader<'_>) -> WireResult<PlanReport> {
+    let topology = rd.str()?;
+    let batches_pushed = rd.u64()?;
+    let tuples_pushed = rd.u64()?;
+    let watermark_sealed = rd.i64()?;
+    let lag_merged = read_sketch(rd)?;
+    let spans_recorded = rd.u64()?;
+    let traces_sampled = rd.u64()?;
+    let n_stages = rd.u32()? as usize;
+    // Each stage is at least 92 bytes (ids + counters + one sketch).
+    let floor = n_stages
+        .checked_mul(92)
+        .ok_or(WireError::InvalidPayload("length overflow"))?;
+    if floor > rd.remaining() {
+        return Err(WireError::Truncated {
+            needed: floor,
+            have: rd.remaining(),
+        });
+    }
+    let mut stages = Vec::with_capacity(n_stages);
+    for _ in 0..n_stages {
+        let stage = rd.u32()? as usize;
+        let n_shards = rd.u32()? as usize;
+        let shard_floor = n_shards
+            .checked_mul(8)
+            .ok_or(WireError::InvalidPayload("length overflow"))?;
+        if shard_floor > rd.remaining() {
+            return Err(WireError::Truncated {
+                needed: shard_floor,
+                have: rd.remaining(),
+            });
+        }
+        let mut routed = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            routed.push(rd.u64()?);
+        }
+        let exchange_forwarded = rd.u64()?;
+        let pool_depth = rd.i64()?;
+        let lag = read_sketch(rd)?;
+        let skew = rd.f64()?;
+        let n_ops = rd.u32()? as usize;
+        // Each op is at least 64 bytes (empty name + ids + 6 counters).
+        let op_floor = n_ops
+            .checked_mul(64)
+            .ok_or(WireError::InvalidPayload("length overflow"))?;
+        if op_floor > rd.remaining() {
+            return Err(WireError::Truncated {
+                needed: op_floor,
+                have: rd.remaining(),
+            });
+        }
+        let mut ops = Vec::with_capacity(n_ops);
+        for _ in 0..n_ops {
+            ops.push(OpReport {
+                op: rd.str()?,
+                node: rd.u32()? as usize,
+                stage: rd.u32()? as usize,
+                shard: rd.u32()? as usize,
+                tuples_in: rd.u64()?,
+                tuples_out: rd.u64()?,
+                batches: rd.u64()?,
+                busy_ns: rd.u64()?,
+                columnar_batches: rd.u64()?,
+                row_batches: rd.u64()?,
+            });
+        }
+        stages.push(StageReport {
+            stage,
+            routed,
+            exchange_forwarded,
+            pool_depth,
+            lag,
+            skew,
+            ops,
+        });
+    }
+    Ok(PlanReport {
+        topology,
+        stages,
+        batches_pushed,
+        tuples_pushed,
+        watermark_sealed,
+        lag_merged,
+        spans_recorded,
+        traces_sampled,
+    })
+}
+
+fn health_status(tag: u8) -> WireResult<HealthStatus> {
+    HealthStatus::from_u8(tag).ok_or(WireError::UnknownTag {
+        what: "HealthStatus",
+        tag,
+    })
+}
+
+fn put_health_report(out: &mut Vec<u8>, r: &HealthReport) {
+    out.push(r.status.as_u8());
+    out.extend_from_slice(&r.evaluations.to_be_bytes());
+    out.extend_from_slice(&(r.checks.len() as u32).to_be_bytes());
+    for c in &r.checks {
+        put_str(out, &c.name);
+        out.push(c.status.as_u8());
+        out.extend_from_slice(&c.value.to_bits().to_be_bytes());
+        out.extend_from_slice(&c.threshold.to_bits().to_be_bytes());
+        put_str(out, &c.detail);
+    }
+}
+
+fn read_health_report(rd: &mut Reader<'_>) -> WireResult<HealthReport> {
+    let status = health_status(rd.u8()?)?;
+    let evaluations = rd.u64()?;
+    let n = rd.u32()? as usize;
+    // Each check is at least 25 bytes (two empty strings + status +
+    // two f64s).
+    let floor = n
+        .checked_mul(25)
+        .ok_or(WireError::InvalidPayload("length overflow"))?;
+    if floor > rd.remaining() {
+        return Err(WireError::Truncated {
+            needed: floor,
+            have: rd.remaining(),
+        });
+    }
+    let mut checks = Vec::with_capacity(n);
+    for _ in 0..n {
+        checks.push(HealthCheck {
+            name: rd.str()?,
+            status: health_status(rd.u8()?)?,
+            value: rd.f64()?,
+            threshold: rd.f64()?,
+            detail: rd.str()?,
+        });
+    }
+    Ok(HealthReport {
+        status,
+        checks,
+        evaluations,
+    })
+}
+
+// Journal-event detail tags inside a JournalTail reply.
+const EVENT_BATCH_PUMPED: u8 = 0;
+const EVENT_WINDOW_SEALED: u8 = 1;
+const EVENT_SHARD_ROUTED: u8 = 2;
+const EVENT_EXCHANGE_FORWARDED: u8 = 3;
+const EVENT_LEASE_PARKED: u8 = 4;
+const EVENT_LEASE_RESUMED: u8 = 5;
+const EVENT_LEASE_EXPIRED: u8 = 6;
+const EVENT_GAP_EMITTED: u8 = 7;
+const EVENT_HEALTH_CHANGED: u8 = 8;
+
+fn put_journal_event(out: &mut Vec<u8>, e: &TraceEvent) {
+    out.extend_from_slice(&e.seq.to_be_bytes());
+    match &e.detail {
+        TraceDetail::BatchPumped { node, port, tuples } => {
+            out.push(EVENT_BATCH_PUMPED);
+            out.extend_from_slice(&(*node as u32).to_be_bytes());
+            out.extend_from_slice(&(*port as u32).to_be_bytes());
+            out.extend_from_slice(&(*tuples as u64).to_be_bytes());
+        }
+        TraceDetail::WindowSealed {
+            stage,
+            watermark,
+            released,
+        } => {
+            out.push(EVENT_WINDOW_SEALED);
+            out.extend_from_slice(&(*stage as u32).to_be_bytes());
+            out.extend_from_slice(&watermark.to_be_bytes());
+            out.extend_from_slice(&(*released as u64).to_be_bytes());
+        }
+        TraceDetail::ShardRouted {
+            stage,
+            shard,
+            tuples,
+        } => {
+            out.push(EVENT_SHARD_ROUTED);
+            out.extend_from_slice(&(*stage as u32).to_be_bytes());
+            out.extend_from_slice(&(*shard as u32).to_be_bytes());
+            out.extend_from_slice(&(*tuples as u64).to_be_bytes());
+        }
+        TraceDetail::ExchangeForwarded { stage, tuples } => {
+            out.push(EVENT_EXCHANGE_FORWARDED);
+            out.extend_from_slice(&(*stage as u32).to_be_bytes());
+            out.extend_from_slice(&(*tuples as u64).to_be_bytes());
+        }
+        TraceDetail::LeaseParked { session } => {
+            out.push(EVENT_LEASE_PARKED);
+            out.extend_from_slice(&session.to_be_bytes());
+        }
+        TraceDetail::LeaseResumed { session } => {
+            out.push(EVENT_LEASE_RESUMED);
+            out.extend_from_slice(&session.to_be_bytes());
+        }
+        TraceDetail::LeaseExpired { session } => {
+            out.push(EVENT_LEASE_EXPIRED);
+            out.extend_from_slice(&session.to_be_bytes());
+        }
+        TraceDetail::GapEmitted { subscriber, missed } => {
+            out.push(EVENT_GAP_EMITTED);
+            out.extend_from_slice(&subscriber.to_be_bytes());
+            out.extend_from_slice(&missed.to_be_bytes());
+        }
+        TraceDetail::HealthChanged { from, to } => {
+            out.push(EVENT_HEALTH_CHANGED);
+            out.push(from.as_u8());
+            out.push(to.as_u8());
+        }
+    }
+}
+
+fn read_journal_event(rd: &mut Reader<'_>) -> WireResult<TraceEvent> {
+    let seq = rd.u64()?;
+    let detail = match rd.u8()? {
+        EVENT_BATCH_PUMPED => TraceDetail::BatchPumped {
+            node: rd.u32()? as usize,
+            port: rd.u32()? as usize,
+            tuples: rd.u64()? as usize,
+        },
+        EVENT_WINDOW_SEALED => TraceDetail::WindowSealed {
+            stage: rd.u32()? as usize,
+            watermark: rd.u64()?,
+            released: rd.u64()? as usize,
+        },
+        EVENT_SHARD_ROUTED => TraceDetail::ShardRouted {
+            stage: rd.u32()? as usize,
+            shard: rd.u32()? as usize,
+            tuples: rd.u64()? as usize,
+        },
+        EVENT_EXCHANGE_FORWARDED => TraceDetail::ExchangeForwarded {
+            stage: rd.u32()? as usize,
+            tuples: rd.u64()? as usize,
+        },
+        EVENT_LEASE_PARKED => TraceDetail::LeaseParked { session: rd.u64()? },
+        EVENT_LEASE_RESUMED => TraceDetail::LeaseResumed { session: rd.u64()? },
+        EVENT_LEASE_EXPIRED => TraceDetail::LeaseExpired { session: rd.u64()? },
+        EVENT_GAP_EMITTED => TraceDetail::GapEmitted {
+            subscriber: rd.u64()?,
+            missed: rd.u64()?,
+        },
+        EVENT_HEALTH_CHANGED => TraceDetail::HealthChanged {
+            from: health_status(rd.u8()?)?,
+            to: health_status(rd.u8()?)?,
+        },
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "TraceDetail",
+                tag,
+            })
+        }
+    };
+    Ok(TraceEvent { seq, detail })
 }
 
 /// Serialize and frame one `Results` push without taking ownership of
@@ -476,6 +819,22 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> WireResult<()> {
         Response::Gap { missed } => {
             payload.extend_from_slice(&missed.to_be_bytes());
             KIND_GAP
+        }
+        Response::Explain(report) => {
+            put_plan_report(&mut payload, report);
+            KIND_EXPLAIN_REPLY
+        }
+        Response::Health(report) => {
+            put_health_report(&mut payload, report);
+            KIND_HEALTH_REPLY
+        }
+        Response::JournalTail { recorded, events } => {
+            payload.extend_from_slice(&recorded.to_be_bytes());
+            payload.extend_from_slice(&(events.len() as u32).to_be_bytes());
+            for e in events {
+                put_journal_event(&mut payload, e);
+            }
+            KIND_JOURNAL_REPLY
         }
     };
     write_frame(w, kind, &payload)
@@ -568,6 +927,27 @@ pub fn read_response<R: Read>(r: &mut R) -> WireResult<Response> {
             }
             let text = rd.str()?;
             Response::StatsV2 { metrics, text }
+        }
+        KIND_EXPLAIN_REPLY => Response::Explain(read_plan_report(&mut rd)?),
+        KIND_HEALTH_REPLY => Response::Health(read_health_report(&mut rd)?),
+        KIND_JOURNAL_REPLY => {
+            let recorded = rd.u64()?;
+            let n = rd.u32()? as usize;
+            // Each event is at least 9 bytes (seq + detail tag).
+            let floor = n
+                .checked_mul(9)
+                .ok_or(WireError::InvalidPayload("length overflow"))?;
+            if floor > rd.remaining() {
+                return Err(WireError::Truncated {
+                    needed: floor,
+                    have: rd.remaining(),
+                });
+            }
+            let mut events = Vec::with_capacity(n);
+            for _ in 0..n {
+                events.push(read_journal_event(&mut rd)?);
+            }
+            Response::JournalTail { recorded, events }
         }
         tag => {
             return Err(WireError::UnknownTag {
@@ -794,6 +1174,227 @@ mod tests {
             }
             other => panic!("wrong decode: {other:?}"),
         }
+    }
+
+    fn sample_sketch() -> SketchSnapshot {
+        SketchSnapshot {
+            count: 12,
+            min: 1.0,
+            max: 240.0,
+            p50: 40.0,
+            p90: 200.5,
+            p95: 220.0,
+            p99: 239.0,
+        }
+    }
+
+    #[test]
+    fn explain_roundtrips_the_full_report() {
+        assert!(matches!(roundtrip_req(Request::Explain), Request::Explain));
+        let report = PlanReport {
+            topology: "stage 0: shard by key(k)\n  exchange -> stage 1\n".into(),
+            stages: vec![
+                StageReport {
+                    stage: 0,
+                    routed: vec![500, 480, 20],
+                    exchange_forwarded: 0,
+                    pool_depth: 0,
+                    lag: sample_sketch(),
+                    skew: 1.5,
+                    ops: vec![OpReport {
+                        op: "select".into(),
+                        node: 1,
+                        stage: 0,
+                        shard: 2,
+                        tuples_in: 1000,
+                        tuples_out: 700,
+                        batches: 4,
+                        busy_ns: 98_765,
+                        columnar_batches: 3,
+                        row_batches: 1,
+                    }],
+                },
+                StageReport {
+                    stage: 1,
+                    routed: vec![],
+                    exchange_forwarded: 700,
+                    pool_depth: -2,
+                    lag: SketchSnapshot {
+                        count: 0,
+                        min: 0.0,
+                        max: 0.0,
+                        p50: 0.0,
+                        p90: 0.0,
+                        p95: 0.0,
+                        p99: 0.0,
+                    },
+                    skew: 0.0,
+                    ops: vec![],
+                },
+            ],
+            batches_pushed: 9,
+            tuples_pushed: 1000,
+            watermark_sealed: 170,
+            lag_merged: sample_sketch(),
+            spans_recorded: 31,
+            traces_sampled: 3,
+        };
+        match roundtrip_resp(Response::Explain(report.clone())) {
+            Response::Explain(back) => assert_eq!(back, report),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn health_roundtrips_every_status() {
+        assert!(matches!(roundtrip_req(Request::Health), Request::Health));
+        let report = HealthReport {
+            status: HealthStatus::Critical,
+            checks: vec![
+                HealthCheck {
+                    name: "lag_slo".into(),
+                    status: HealthStatus::Degraded,
+                    value: 120.0,
+                    threshold: 100.0,
+                    detail: "stage 1 watermark-lag p99 over SLO".into(),
+                },
+                HealthCheck {
+                    name: "stuck_stage".into(),
+                    status: HealthStatus::Critical,
+                    value: 5.0,
+                    threshold: 0.0,
+                    detail: "pool depth 5 with no seal progress".into(),
+                },
+            ],
+            evaluations: 17,
+        };
+        match roundtrip_resp(Response::Health(report.clone())) {
+            Response::Health(back) => assert_eq!(back, report),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn journal_tail_roundtrips_every_detail_variant() {
+        match roundtrip_req(Request::JournalTail { n: 64 }) {
+            Request::JournalTail { n } => assert_eq!(n, 64),
+            other => panic!("wrong decode: {other:?}"),
+        }
+        let details = vec![
+            TraceDetail::BatchPumped {
+                node: 1,
+                port: 0,
+                tuples: 128,
+            },
+            TraceDetail::WindowSealed {
+                stage: 1,
+                watermark: 500,
+                released: 42,
+            },
+            TraceDetail::ShardRouted {
+                stage: 0,
+                shard: 3,
+                tuples: 77,
+            },
+            TraceDetail::ExchangeForwarded {
+                stage: 1,
+                tuples: 9,
+            },
+            TraceDetail::LeaseParked { session: 11 },
+            TraceDetail::LeaseResumed { session: 11 },
+            TraceDetail::LeaseExpired { session: 12 },
+            TraceDetail::GapEmitted {
+                subscriber: 4,
+                missed: 6,
+            },
+            TraceDetail::HealthChanged {
+                from: HealthStatus::Healthy,
+                to: HealthStatus::Degraded,
+            },
+        ];
+        let events: Vec<TraceEvent> = details
+            .into_iter()
+            .enumerate()
+            .map(|(i, detail)| TraceEvent {
+                seq: 100 + i as u64,
+                detail,
+            })
+            .collect();
+        match roundtrip_resp(Response::JournalTail {
+            recorded: 1000,
+            events: events.clone(),
+        }) {
+            Response::JournalTail {
+                recorded,
+                events: back,
+            } => {
+                assert_eq!(recorded, 1000);
+                assert_eq!(back, events);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_counts_are_length_errors_not_allocations() {
+        // Each hostile frame claims far more elements than its payload
+        // could hold; the decoder must fail on the length floor before
+        // reserving anything.
+        let cases: [(u8, Vec<u8>); 3] = [
+            // Explain: valid prefix, then stage count u32::MAX.
+            (KIND_EXPLAIN_REPLY, {
+                let mut p = Vec::new();
+                put_str(&mut p, "");
+                p.extend_from_slice(&[0u8; 24]); // batches/tuples/sealed
+                put_sketch(&mut p, &sample_sketch());
+                p.extend_from_slice(&[0u8; 16]); // spans/sampled
+                p.extend_from_slice(&u32::MAX.to_be_bytes());
+                p
+            }),
+            // Health: status + evaluations, then check count u32::MAX.
+            (KIND_HEALTH_REPLY, {
+                let mut p = vec![0u8];
+                p.extend_from_slice(&[0u8; 8]);
+                p.extend_from_slice(&u32::MAX.to_be_bytes());
+                p
+            }),
+            // JournalTail: recorded, then event count u32::MAX.
+            (KIND_JOURNAL_REPLY, {
+                let mut p = Vec::new();
+                p.extend_from_slice(&[0u8; 8]);
+                p.extend_from_slice(&u32::MAX.to_be_bytes());
+                p
+            }),
+        ];
+        for (kind, payload) in cases {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, kind, &payload).unwrap();
+            assert!(
+                matches!(
+                    read_response(&mut buf.as_slice()),
+                    Err(WireError::Truncated { .. })
+                ),
+                "kind {kind:#x} should truncate"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_journal_detail_tag_is_typed() {
+        let mut p = Vec::new();
+        p.extend_from_slice(&[0u8; 8]); // recorded
+        p.extend_from_slice(&1u32.to_be_bytes());
+        p.extend_from_slice(&[0u8; 8]); // event seq
+        p.push(0xEE); // bogus detail tag
+        let mut buf = Vec::new();
+        write_frame(&mut buf, KIND_JOURNAL_REPLY, &p).unwrap();
+        assert!(matches!(
+            read_response(&mut buf.as_slice()),
+            Err(WireError::UnknownTag {
+                what: "TraceDetail",
+                tag: 0xEE,
+            })
+        ));
     }
 
     #[test]

@@ -87,8 +87,12 @@ use std::time::Duration;
 use ustream_core::query::QueryGraph;
 use ustream_core::{Batch, EngineError, MetricsHandle, NodeId, Tuple};
 use ustream_runtime::session::ShardedSession;
-use ustream_runtime::ShardedExecutor;
-use ustream_telemetry::{Counter, EventJournal, Gauge, MetricsRegistry, TraceDetail};
+use ustream_runtime::telemetry::SessionTelemetry;
+use ustream_runtime::{PlanReport, ShardedExecutor};
+use ustream_telemetry::{
+    Counter, EventJournal, Gauge, HealthConfig, HealthReport, HealthWatchdog, MetricsRegistry,
+    TraceDetail,
+};
 
 /// Typed server-side failures, readable from the in-process
 /// [`ServerHandle`]. Client misbehavior (malformed frames, abrupt
@@ -322,6 +326,19 @@ pub struct ServerConfig {
     /// replay to reconnecting subscribers (`Subscribe { from }`). Zero
     /// disables the ring.
     pub replay_frames: usize,
+    /// How often the background watchdog re-evaluates the health checks
+    /// (journaling status transitions). Zero disables the ticker —
+    /// `Health` requests still evaluate on demand.
+    pub health_interval: Duration,
+    /// Thresholds for the health checks (the watchdog fills
+    /// [`HealthConfig::subscriber_capacity`] in from
+    /// [`ServerConfig::subscriber_capacity`] unless already set).
+    pub health: HealthConfig,
+    /// Trace 1-in-N ingested batches through the engine (pump → route →
+    /// seal → emit spans). Zero (the default) disables tracing.
+    pub trace_sample_every: u64,
+    /// Seed for the trace sampler's residue class and trace IDs.
+    pub trace_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -333,6 +350,10 @@ impl Default for ServerConfig {
             lease: Duration::from_secs(5),
             subscriber_policy: SubscriberPolicy::Block,
             replay_frames: 64,
+            health_interval: Duration::from_millis(200),
+            health: HealthConfig::default(),
+            trace_sample_every: 0,
+            trace_seed: 0,
         }
     }
 }
@@ -720,6 +741,13 @@ struct Shared {
     /// Structured serving events (gaps, lease lifecycle), merged with
     /// the engine session's journal.
     journal: EventJournal,
+    /// The engine session's telemetry handle — `Clone` shares the
+    /// cells, so `Explain` assembles live numbers without touching the
+    /// engine thread.
+    telemetry: SessionTelemetry,
+    /// The health evaluator; shared between the background ticker and
+    /// on-demand `Health` requests so both see one transition history.
+    watchdog: HealthWatchdog,
     m: ServerMetrics,
 }
 
@@ -796,8 +824,17 @@ impl Server {
         // interleave with engine events (pumps, seals) in one sequence.
         let registry = MetricsRegistry::new();
         session.bind_registry(&registry);
-        let journal = session.telemetry().journal().clone();
+        let telemetry = session.telemetry().clone();
+        telemetry
+            .traces()
+            .configure(config.trace_sample_every, config.trace_seed);
+        let journal = telemetry.journal().clone();
         let m = ServerMetrics::register(&registry);
+        let mut health = config.health.clone();
+        if health.subscriber_capacity == 0 {
+            health.subscriber_capacity = config.subscriber_capacity as u64;
+        }
+        let watchdog = HealthWatchdog::new(health, registry.clone(), journal.clone());
 
         let (engine_tx, engine_rx) = bounded::<EngineMsg>(config.inbox_capacity);
         let shared = Arc::new(Shared {
@@ -812,6 +849,8 @@ impl Server {
             sessions: Mutex::new(HashMap::new()),
             registry,
             journal,
+            telemetry,
+            watchdog,
             m,
         });
 
@@ -850,12 +889,33 @@ impl Server {
             }
         });
 
+        // The watchdog ticker: re-evaluate on an interval so status
+        // transitions are journaled even when nobody is asking. Sleeps
+        // in short slices so shutdown is prompt.
+        let watchdog_thread = (config.health_interval > Duration::ZERO).then(|| {
+            let shared = shared.clone();
+            let interval = config.health_interval;
+            std::thread::spawn(move || {
+                let slice = Duration::from_millis(25).min(interval);
+                let mut elapsed = Duration::ZERO;
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(slice);
+                    elapsed += slice;
+                    if elapsed >= interval {
+                        elapsed = Duration::ZERO;
+                        let _ = shared.watchdog.evaluate();
+                    }
+                }
+            })
+        });
+
         Ok(ServerHandle {
             addr,
             shared,
             engine_tx,
             accept: Some(accept),
             engine: Some(engine),
+            watchdog: watchdog_thread,
         })
     }
 }
@@ -867,6 +927,7 @@ pub struct ServerHandle {
     engine_tx: Sender<EngineMsg>,
     accept: Option<JoinHandle<()>>,
     engine: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -896,6 +957,18 @@ impl ServerHandle {
         self.shared.journal.clone()
     }
 
+    /// Assemble the live EXPLAIN ANALYZE report in-process — the same
+    /// payload a remote [`crate::Client::explain`] receives.
+    pub fn explain(&self) -> PlanReport {
+        PlanReport::assemble(&self.shared.telemetry)
+    }
+
+    /// Evaluate the health checks now (sharing transition history with
+    /// the background ticker and remote `Health` requests).
+    pub fn health(&self) -> HealthReport {
+        self.shared.watchdog.evaluate()
+    }
+
     /// Drain the typed errors recorded so far (malformed frames,
     /// mid-stream disconnects, lease expiries, shed subscribers).
     /// Filter with [`ServerError::severity`] before alerting: the
@@ -922,6 +995,9 @@ impl ServerHandle {
             let _ = h.join();
         }
         if let Some(h) = self.engine.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.watchdog.take() {
             let _ = h.join();
         }
         self.take_errors()
@@ -1786,6 +1862,12 @@ fn handle_client(mut stream: TcpStream, client_id: u64, shared: Arc<Shared>) {
             Request::StatsV2 => Response::StatsV2 {
                 metrics: shared.registry.snapshot(),
                 text: shared.registry.render_text(),
+            },
+            Request::Explain => Response::Explain(PlanReport::assemble(&shared.telemetry)),
+            Request::Health => Response::Health(shared.watchdog.evaluate()),
+            Request::JournalTail { n } => Response::JournalTail {
+                recorded: shared.journal.recorded(),
+                events: shared.journal.recent(n as usize),
             },
         };
         if matches!(reply, Response::Ack { .. }) {

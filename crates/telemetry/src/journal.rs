@@ -29,6 +29,8 @@ pub enum Subsystem {
     Server = 3,
     /// Session lease lifecycle.
     Lease = 4,
+    /// Health-watchdog state transitions.
+    Health = 5,
 }
 
 impl Subsystem {
@@ -36,12 +38,13 @@ impl Subsystem {
         1u64 << (self as u8)
     }
 
-    pub const ALL: [Subsystem; 5] = [
+    pub const ALL: [Subsystem; 6] = [
         Subsystem::Engine,
         Subsystem::Exchange,
         Subsystem::Window,
         Subsystem::Server,
         Subsystem::Lease,
+        Subsystem::Health,
     ];
 }
 
@@ -77,6 +80,11 @@ pub enum TraceDetail {
     LeaseExpired { session: u64 },
     /// A subscriber was told it missed `missed` result frames.
     GapEmitted { subscriber: u64, missed: u64 },
+    /// The health watchdog's overall status transitioned.
+    HealthChanged {
+        from: crate::health::HealthStatus,
+        to: crate::health::HealthStatus,
+    },
 }
 
 impl TraceDetail {
@@ -91,6 +99,7 @@ impl TraceDetail {
             TraceDetail::LeaseParked { .. }
             | TraceDetail::LeaseResumed { .. }
             | TraceDetail::LeaseExpired { .. } => Subsystem::Lease,
+            TraceDetail::HealthChanged { .. } => Subsystem::Health,
         }
     }
 }
@@ -141,8 +150,10 @@ impl EventJournal {
             return None;
         }
         let inner = &*self.inner;
-        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
         let mut ring = inner.ring.lock().unwrap_or_else(|p| p.into_inner());
+        // Sequence numbers are claimed under the ring lock so retained
+        // events are always in seq order, even with concurrent writers.
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
         if ring.len() == inner.capacity {
             ring.pop_front();
         }

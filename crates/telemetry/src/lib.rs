@@ -22,16 +22,29 @@
 //! - [`MetricsRegistry`] — names (family + labels) to handles, with
 //!   [`MetricsRegistry::snapshot`] for wire transport and
 //!   [`MetricsRegistry::render_text`] for Prometheus-style scraping.
+//! - [`TraceStore`] — deterministically sampled causal tracing:
+//!   1-in-N batches (by publish ordinal, seedable) carry a trace ID,
+//!   and their pump/route/exchange/seal/emit hops land as timed
+//!   [`Span`]s with parent links in a bounded ring. Unsampled batches
+//!   pay one relaxed load.
+//! - [`HealthWatchdog`] — a periodic evaluator over a registry
+//!   producing typed [`HealthReport`]s (lag-SLO breaches, shard skew,
+//!   queue saturation, stuck-stage and silent-publisher detection),
+//!   journaling every status transition.
 //!
 //! The crate is dependency-free on purpose: it sits *below* the engine
 //! crates, which thread its handles through their hot paths.
 
+pub mod health;
 pub mod journal;
 pub mod metric;
 pub mod registry;
 pub mod sketch;
+pub mod trace;
 
+pub use health::{HealthCheck, HealthConfig, HealthReport, HealthStatus, HealthWatchdog};
 pub use journal::{EventJournal, Subsystem, TraceDetail, TraceEvent};
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{MetricSnapshot, MetricValue, MetricsRegistry};
 pub use sketch::{QuantileSketch, SketchSnapshot};
+pub use trace::{Span, SpanKind, TraceStore};

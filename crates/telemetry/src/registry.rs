@@ -22,6 +22,10 @@ enum Metric {
     Gauge(Gauge),
     Histogram(Histogram),
     Sketch(QuantileSketch),
+    /// A read-time merge of several live sketches
+    /// ([`QuantileSketch::merged`]): one summary series over e.g. every
+    /// stage's lag sketch, with no write-path coordination.
+    Merged(Vec<QuantileSketch>),
 }
 
 #[derive(Debug, Clone)]
@@ -35,6 +39,8 @@ struct Entry {
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     entries: Arc<Mutex<Vec<Entry>>>,
+    /// Per-family `# HELP` text for the exposition.
+    help: Arc<Mutex<Vec<(String, String)>>>,
 }
 
 /// One metric's point-in-time value.
@@ -224,6 +230,45 @@ impl MetricsRegistry {
         );
     }
 
+    /// Register a read-time merged view over several live sketches
+    /// (e.g. every stage's watermark-lag sketch as one cross-stage
+    /// summary). Snapshots fold the parts with
+    /// [`QuantileSketch::merged`]; the parts keep recording
+    /// independently. Idempotent for the same cells in the same order.
+    pub fn adopt_merged_sketch(
+        &self,
+        family: &str,
+        labels: &[(&str, &str)],
+        parts: &[QuantileSketch],
+    ) {
+        assert!(!parts.is_empty(), "merged sketch needs at least one part");
+        let owned: Vec<QuantileSketch> = parts.to_vec();
+        self.find_or_insert(
+            family,
+            labels,
+            |m| match m {
+                Metric::Merged(have)
+                    if have.len() == parts.len()
+                        && have.iter().zip(parts).all(|(a, b)| a.same_cell(b)) =>
+                {
+                    Some(())
+                }
+                _ => None,
+            },
+            move || ((), Metric::Merged(owned)),
+        );
+    }
+
+    /// Attach `# HELP` text to a family for the text exposition.
+    /// Families without help render their own name as the help line.
+    pub fn set_help(&self, family: &str, help: &str) {
+        let mut table = self.help.lock().unwrap_or_else(|p| p.into_inner());
+        match table.iter_mut().find(|(f, _)| f == family) {
+            Some((_, h)) => *h = help.to_string(),
+            None => table.push((family.to_string(), help.to_string())),
+        }
+    }
+
     /// Number of registered metrics.
     pub fn len(&self) -> usize {
         self.lock().len()
@@ -248,6 +293,12 @@ impl MetricsRegistry {
                     Metric::Gauge(g) => MetricValue::Gauge(g.get()),
                     Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
                     Metric::Sketch(s) => MetricValue::Sketch(s.snapshot()),
+                    Metric::Merged(parts) => {
+                        let mut it = parts.iter();
+                        let first = it.next().expect("merged sketch non-empty").clone();
+                        let merged = it.fold(first, |acc, part| QuantileSketch::merged(&acc, part));
+                        MetricValue::Sketch(merged.snapshot())
+                    }
                 },
             })
             .collect();
@@ -259,20 +310,32 @@ impl MetricsRegistry {
     /// counters and gauges as single samples, histograms as cumulative
     /// `_bucket{le=...}` series plus `_sum`/`_count`, sketches as
     /// summary `{quantile=...}` series plus `_count`. Sketch extremes
-    /// ride along as `_min`/`_max` gauges.
+    /// ride along as `_min`/`_max` gauges. Conforms to the exposition
+    /// format: `# HELP` then `# TYPE` once per family (help text set
+    /// via [`MetricsRegistry::set_help`], defaulting to the family
+    /// name), label values escaped, and non-finite floats rendered as
+    /// `+Inf`/`-Inf`/`NaN`.
     pub fn render_text(&self) -> String {
+        let help_table = self.help.lock().unwrap_or_else(|p| p.into_inner()).clone();
         let mut out = String::new();
-        let mut last_family: Option<(String, &'static str)> = None;
+        let mut last_family: Option<String> = None;
         for m in self.snapshot() {
-            let (kind, family) = match &m.value {
-                MetricValue::Counter(_) => ("counter", m.family.clone()),
-                MetricValue::Gauge(_) => ("gauge", m.family.clone()),
-                MetricValue::Histogram(_) => ("histogram", m.family.clone()),
-                MetricValue::Sketch(_) => ("summary", m.family.clone()),
+            let kind = match &m.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+                MetricValue::Sketch(_) => "summary",
             };
-            if last_family.as_ref().map(|(f, _)| f) != Some(&family) {
+            let family = m.family.clone();
+            if last_family.as_ref() != Some(&family) {
+                let help = help_table
+                    .iter()
+                    .find(|(f, _)| *f == family)
+                    .map(|(_, h)| h.as_str())
+                    .unwrap_or(family.as_str());
+                out.push_str(&format!("# HELP {family} {}\n", escape_help(help)));
                 out.push_str(&format!("# TYPE {family} {kind}\n"));
-                last_family = Some((family.clone(), kind));
+                last_family = Some(family.clone());
             }
             match &m.value {
                 MetricValue::Counter(v) => {
@@ -314,22 +377,23 @@ impl MetricsRegistry {
                     if s.count > 0 {
                         for (q, v) in [(0.5, s.p50), (0.9, s.p90), (0.95, s.p95), (0.99, s.p99)] {
                             out.push_str(&format!(
-                                "{}{} {v}\n",
+                                "{}{} {}\n",
                                 m.family,
-                                label_str(&m.labels, &[("quantile", &q.to_string())])
+                                label_str(&m.labels, &[("quantile", &q.to_string())]),
+                                fmt_f64(v)
                             ));
                         }
                         out.push_str(&format!(
                             "{}_min{} {}\n",
                             m.family,
                             label_str(&m.labels, &[]),
-                            s.min
+                            fmt_f64(s.min)
                         ));
                         out.push_str(&format!(
                             "{}_max{} {}\n",
                             m.family,
                             label_str(&m.labels, &[]),
-                            s.max
+                            fmt_f64(s.max)
                         ));
                     }
                     out.push_str(&format!(
@@ -385,6 +449,26 @@ fn escape_label(v: &str) -> String {
     v.replace('\\', "\\\\")
         .replace('"', "\\\"")
         .replace('\n', "\\n")
+}
+
+/// `# HELP` escaping per the exposition format: backslash and newline
+/// only (quotes are legal in help text).
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// A float sample value in exposition syntax: Rust's `{}` renders
+/// `inf`/`-inf`/`NaN`, Prometheus requires `+Inf`/`-Inf`/`NaN`.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
 }
 
 #[cfg(test)]
@@ -486,5 +570,95 @@ mod tests {
         r.counter_with("c_total", &[("msg", "a\"b\\c\nd")]).inc();
         let text = r.render_text();
         assert!(text.contains(r#"msg="a\"b\\c\nd""#));
+    }
+
+    /// The exposition-format conformance suite: HELP+TYPE per family,
+    /// escaped help and label values, non-finite floats in Prometheus
+    /// spelling.
+    #[test]
+    fn exposition_conformance() {
+        let r = MetricsRegistry::new();
+        r.counter_with("jobs_total", &[("q", "a")]).add(1);
+        r.counter_with("jobs_total", &[("q", "b")]).add(2);
+        r.set_help("jobs_total", "jobs processed\nby queue \\ path");
+        r.gauge("depth").set(5);
+        let s = r.sketch_with("lag", &[]);
+        for i in 0..100 {
+            s.record(i as f64);
+        }
+        let text = r.render_text();
+
+        // HELP precedes TYPE, once per family even with several label
+        // sets, with backslash/newline escaped in the help text.
+        assert_eq!(text.matches("# TYPE jobs_total counter").count(), 1);
+        assert_eq!(
+            text.matches(r"# HELP jobs_total jobs processed\nby queue \\ path")
+                .count(),
+            1
+        );
+        let help_at = text.find("# HELP jobs_total").unwrap();
+        let type_at = text.find("# TYPE jobs_total").unwrap();
+        assert!(help_at < type_at, "HELP must precede TYPE");
+        // Families without set_help fall back to the family name.
+        assert!(text.contains("# HELP depth depth"));
+        assert!(text.contains("# TYPE depth gauge"));
+        // Sketch extremes render, and Rust's `inf` spelling never
+        // leaks into sample values (non-finite spelling is pinned by
+        // `fmt_f64_spells_non_finite_values`).
+        assert!(text.contains("lag_max "));
+        assert!(text.contains("lag_min "));
+        assert!(
+            !text.contains(" inf\n"),
+            "Rust float formatting leaked:\n{text}"
+        );
+        // Every non-comment line is `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "malformed sample line: {line}");
+        }
+    }
+
+    #[test]
+    fn fmt_f64_spells_non_finite_values() {
+        assert_eq!(fmt_f64(f64::NAN), "NaN");
+        assert_eq!(fmt_f64(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_f64(2.5), "2.5");
+        assert_eq!(fmt_f64(-0.0), "-0");
+    }
+
+    #[test]
+    fn merged_sketch_folds_parts_at_snapshot_time() {
+        let r = MetricsRegistry::new();
+        let a = QuantileSketch::new();
+        let b = QuantileSketch::new();
+        for i in 0..500 {
+            a.record(i as f64); // 0..500
+            b.record(1_000.0 + i as f64); // 1000..1500
+        }
+        r.adopt_merged_sketch("lag_merged", &[], &[a.clone(), b.clone()]);
+        // Idempotent for the same cells.
+        r.adopt_merged_sketch("lag_merged", &[], &[a.clone(), b.clone()]);
+        assert_eq!(r.len(), 1);
+        let snap = r.snapshot();
+        let MetricValue::Sketch(s) = &snap[0].value else {
+            panic!("merged view snapshots as a sketch");
+        };
+        assert_eq!(s.count, 1_000);
+        assert!(s.min < 10.0 && s.max > 1_400.0);
+        assert!(
+            (400.0..1_100.0).contains(&s.p50),
+            "merged p50 between the parts, was {}",
+            s.p50
+        );
+        // Live: the parts keep recording, the view keeps up.
+        for _ in 0..500 {
+            b.record(2_000.0);
+        }
+        let MetricValue::Sketch(s2) = &r.snapshot()[0].value else {
+            panic!("still a sketch");
+        };
+        assert_eq!(s2.count, 1_500);
+        // Renders as a summary family.
+        assert!(r.render_text().contains("# TYPE lag_merged summary"));
     }
 }

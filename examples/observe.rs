@@ -6,9 +6,12 @@
 //! between chunks — fetches `StatsV2` over the same TCP connection and
 //! renders a small dashboard from the returned metric snapshots:
 //! ingest counters, watermark-lag quantiles, per-operator busy time,
-//! and subscriber queue depth. After EOS it prints the journal tail
-//! (the engine's flight recorder) and the full Prometheus-style text
-//! exposition a scraper would collect.
+//! and subscriber queue depth. Once the feed is in it fetches
+//! `Explain` (the compiled plan annotated with live telemetry — EXPLAIN
+//! ANALYZE over the wire) and `Health` (the watchdog's typed verdict),
+//! then after EOS prints the journal tail (the engine's flight
+//! recorder) and the full Prometheus-style text exposition a scraper
+//! would collect.
 //!
 //! Run: `cargo run --release --example observe`
 
@@ -22,7 +25,7 @@ use uncertain_streams::core::query::QueryGraph;
 use uncertain_streams::core::schema::{DataType, Schema};
 use uncertain_streams::core::{GroupKey, Tuple, Updf, Value};
 use uncertain_streams::prob::dist::Dist;
-use uncertain_streams::server::{Client, Event, ServedQuery, Server};
+use uncertain_streams::server::{Client, Event, ServedQuery, Server, ServerConfig};
 use uncertain_streams::telemetry::{MetricSnapshot, MetricValue};
 
 /// Sum a counter family across its label sets.
@@ -128,7 +131,16 @@ fn main() {
     graph.source("readings", select);
     graph.sink(sink);
 
-    let handle = Server::serve("127.0.0.1:0", ServedQuery::new(graph)).expect("bind loopback");
+    // Trace 1-in-4 ingest batches and run the health watchdog on a
+    // tight interval so the example exercises the whole surface.
+    let config = ServerConfig {
+        trace_sample_every: 4,
+        trace_seed: 7,
+        health_interval: std::time::Duration::from_millis(50),
+        ..ServerConfig::default()
+    };
+    let handle =
+        Server::serve_with("127.0.0.1:0", ServedQuery::new(graph), config).expect("bind loopback");
     println!(
         "serving on {} — polling StatsV2 between chunks\n",
         handle.addr()
@@ -163,6 +175,27 @@ fn main() {
         let (metrics, _text) = publisher.stats_v2().expect("stats_v2");
         dashboard(i, &metrics);
     }
+    // EXPLAIN ANALYZE over the wire: the compiled shard plan annotated
+    // with the live per-stage and per-operator telemetry.
+    let report = publisher.explain().expect("explain");
+    println!("\nEXPLAIN ANALYZE:\n{}", report.render());
+
+    // The watchdog's current verdict, served as a typed frame. At this
+    // point the publisher has gone quiet without signalling EOS, so the
+    // `silent_publisher` check typically reports Degraded — the
+    // watchdog catching exactly the hang it exists to catch.
+    let health = publisher.health().expect("health");
+    println!(
+        "health : {:?} after {} evaluations",
+        health.status, health.evaluations
+    );
+    for check in &health.checks {
+        println!(
+            "  check : {:<16} {:?} value={:.1} threshold={:.1} ({})",
+            check.name, check.status, check.value, check.threshold, check.detail
+        );
+    }
+
     publisher.finish().expect("finish");
 
     let mut windows = 0usize;

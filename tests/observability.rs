@@ -1,0 +1,662 @@
+//! Observability suite: causal batch tracing, EXPLAIN ANALYZE, the
+//! health watchdog, and their wire frames.
+//!
+//! The headline guarantees:
+//!
+//! - **Non-perturbation.** A sharded run with 1-in-4 trace sampling is
+//!   byte-identical to `run_batched` and to the same run with sampling
+//!   off — tracing reads clocks and records spans, it never touches
+//!   routing or data.
+//! - **Causality.** Retained spans form parent-linked trees rooted at
+//!   `Pump`, and the *structure* (kinds, stages, shards, tuple counts,
+//!   trace ids) is reproducible run over run; only the timings vary.
+//! - **Reconciliation.** `PlanReport` numbers equal the session's own
+//!   telemetry cells; the wire-served `Explain`/`Health`/`JournalTail`
+//!   frames agree with `StatsV2` counters, over loopback and through a
+//!   seeded chaos storm.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use uncertain_streams::core::batch::Batch;
+use uncertain_streams::core::ops::aggregate::{
+    AggFunc, AggSpec, Strategy, WindowKind, WindowedAggregate,
+};
+use uncertain_streams::core::ops::project::{Derivation, Project};
+use uncertain_streams::core::ops::select::{Predicate, Select};
+use uncertain_streams::core::ops::Passthrough;
+use uncertain_streams::core::query::{NodeId, QueryGraph};
+use uncertain_streams::core::schema::{DataType, Schema};
+use uncertain_streams::core::{GroupKey, Tuple, Updf, Value};
+use uncertain_streams::prob::dist::Dist;
+use uncertain_streams::runtime::session::ShardedSession;
+use uncertain_streams::runtime::{PlanReport, ShardedExecutor};
+use uncertain_streams::server::protocol::{self, Request, Response};
+use uncertain_streams::server::{ChaosProxy, Client, ServedQuery, Server, ServerConfig, Severity};
+use uncertain_streams::telemetry::{
+    HealthConfig, HealthStatus, MetricSnapshot, MetricValue, Span, SpanKind, TraceDetail,
+};
+
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+// ---------------------------------------------------------------------
+// Shared fixtures
+// ---------------------------------------------------------------------
+
+/// Two keyed anchors on different keys: shards as 2 stages joined by an
+/// exchange, so traces can cover pump → route → exchange-forward → seal
+/// → emit in one run.
+fn staged_graph() -> (QueryGraph, NodeId) {
+    let mut g = QueryGraph::new();
+    let agg1 = g.add(Box::new(WindowedAggregate::new(
+        WindowKind::Tumbling(1_000),
+        |t: &Tuple| GroupKey::from_value(t.get("g").unwrap()).unwrap(),
+        vec![AggSpec {
+            field: "x".into(),
+            func: AggFunc::Sum,
+            out: "total".into(),
+            strategy: Strategy::ExactParametric,
+        }],
+    )));
+    let agg2 = g.add(Box::new(
+        WindowedAggregate::new(
+            WindowKind::Tumbling(4_000),
+            |t: &Tuple| GroupKey::from_value(t.get("n_tuples").unwrap()).unwrap(),
+            vec![AggSpec {
+                field: "total".into(),
+                func: AggFunc::Sum,
+                out: "grand".into(),
+                strategy: Strategy::ExactParametric,
+            }],
+        )
+        .named("reagg"),
+    ));
+    let sink = g.add(Box::new(Passthrough::new("sink")));
+    g.connect(agg1, agg2, 0).unwrap();
+    g.connect(agg2, sink, 0).unwrap();
+    g.source("in", agg1);
+    g.sink(sink);
+    (g, sink)
+}
+
+fn staged_inputs() -> Vec<Tuple> {
+    let schema = Schema::builder()
+        .field("g", DataType::Int)
+        .field("x", DataType::Uncertain)
+        .build();
+    (0..700u64)
+        .map(|i| {
+            let mean = (i % 13) as f64 - 4.0;
+            let mut t = Tuple::new(
+                schema.clone(),
+                vec![
+                    Value::Int((i % 7) as i64),
+                    Value::from(Updf::Parametric(Dist::gaussian(mean, 1.0))),
+                ],
+                i * 10,
+            );
+            t.existence = 1.0 - (i % 5) as f64 * 0.05;
+            t
+        })
+        .collect()
+}
+
+/// Bit-exact row rendering: every distribution parameter, existence
+/// bits, and lineage id in play.
+fn rendered(tuples: &[Tuple]) -> Vec<String> {
+    let mut rows: Vec<String> = tuples
+        .iter()
+        .map(|t| {
+            format!(
+                "{:?}|{:x}|{:?}",
+                t.values(),
+                t.existence.to_bits(),
+                t.lineage
+            )
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// Drive a session over a ts-ordered feed the way `ShardedExecutor::run`
+/// does (coalescing per-(node, port) batches).
+fn push_feed(session: &mut ShardedSession, inputs: Vec<(String, usize, Vec<Tuple>)>, bs: usize) {
+    let feed = session.ordered_feed(inputs).unwrap();
+    let mut cur: Option<(NodeId, usize, Batch)> = None;
+    for (_, node, port, tuple) in feed {
+        match &mut cur {
+            Some((n, p, b)) if *n == node && *p == port && b.len() < bs => b.push(tuple),
+            slot => {
+                if let Some((n, p, b)) = slot.take() {
+                    session.push_batch(n, p, b).unwrap();
+                }
+                *slot = Some((node, port, Batch::one(tuple)));
+            }
+        }
+    }
+    if let Some((n, p, b)) = cur {
+        session.push_batch(n, p, b).unwrap();
+    }
+}
+
+/// Run `staged_graph` through a sharded session with the given trace
+/// sampling, returning the rendered sink rows and the retained spans.
+/// Takes the inputs (cloned from one allocation) so lineage ids are
+/// comparable across runs.
+fn traced_run(
+    inputs: &[Tuple],
+    shards: usize,
+    every: u64,
+    seed: u64,
+) -> (Vec<String>, Vec<Span>, u64) {
+    let exec = ShardedExecutor::new(shards)
+        .with_workers(2)
+        .with_batch_size(48);
+    let mut session = exec.session(|| staged_graph().0).unwrap();
+    session.telemetry().traces().configure(every, seed);
+    let (_, sink) = staged_graph();
+    push_feed(&mut session, vec![("in".into(), 0, inputs.to_vec())], 48);
+    let telem = session.telemetry().clone();
+    let out = session.finish().unwrap();
+    (
+        rendered(&out[&sink]),
+        telem.traces().all(),
+        telem.traces().sampled(),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Non-perturbation and span structure
+// ---------------------------------------------------------------------
+
+#[test]
+fn traced_run_is_byte_identical_to_run_batched_and_untraced() {
+    let inputs = staged_inputs();
+    let (mut g, sink) = staged_graph();
+    let reference = rendered(
+        &g.run_batched(vec![("in".into(), 0, inputs.clone())], 64)
+            .unwrap()[&sink],
+    );
+    assert!(!reference.is_empty());
+
+    let (untraced, spans_off, sampled_off) = traced_run(&inputs, 4, 0, 0);
+    assert_eq!(reference, untraced, "untraced sharded run diverged");
+    assert!(spans_off.is_empty(), "sampling off must record no spans");
+    assert_eq!(sampled_off, 0);
+
+    let (traced, spans_on, sampled_on) = traced_run(&inputs, 4, 4, 0xC1DA);
+    assert_eq!(
+        reference, traced,
+        "1-in-4 trace sampling must not change one output byte"
+    );
+    assert!(sampled_on > 0, "1-in-4 over many batches elects some");
+    assert!(!spans_on.is_empty());
+}
+
+#[test]
+fn spans_form_parent_linked_trees_covering_the_pipeline() {
+    let (_, spans, sampled) = traced_run(&staged_inputs(), 4, 4, 7);
+    assert!(sampled > 0);
+
+    // Every lifecycle hop appears (two stages → exchange forwards too).
+    for kind in [
+        SpanKind::Pump,
+        SpanKind::Route,
+        SpanKind::ExchangeForward,
+        SpanKind::Seal,
+        SpanKind::Emit,
+    ] {
+        assert!(
+            spans.iter().any(|s| s.kind == kind),
+            "no {kind:?} span in {} spans",
+            spans.len()
+        );
+    }
+
+    for s in &spans {
+        assert_ne!(s.trace, 0, "trace ids are nonzero");
+        match s.kind {
+            SpanKind::Pump => assert_eq!(s.parent, None, "Pump is the root"),
+            _ => {
+                let parent = s.parent.expect("non-root spans have parents");
+                assert!(parent < s.seq, "parents precede children");
+                // The parent is a retained span of the same trace.
+                let p = spans
+                    .iter()
+                    .find(|c| c.seq == parent)
+                    .expect("parent span retained");
+                assert_eq!(p.trace, s.trace, "parent links stay inside one trace");
+            }
+        }
+    }
+
+    // Seal spans cover stage 1 as well — the exchange stage seals too.
+    assert!(spans
+        .iter()
+        .any(|s| s.kind == SpanKind::Seal && s.stage == 1));
+}
+
+/// A span with its timing erased: everything that must reproduce.
+type SpanShape = (u64, u64, Option<u64>, SpanKind, usize, usize, usize);
+
+#[test]
+fn trace_structure_is_deterministic_run_over_run() {
+    let shape = |spans: &[Span]| -> Vec<SpanShape> {
+        spans
+            .iter()
+            .map(|s| (s.seq, s.trace, s.parent, s.kind, s.stage, s.shard, s.tuples))
+            .collect()
+    };
+    let inputs = staged_inputs();
+    let (rows_a, spans_a, sampled_a) = traced_run(&inputs, 4, 4, 99);
+    let (rows_b, spans_b, sampled_b) = traced_run(&inputs, 4, 4, 99);
+    assert_eq!(rows_a, rows_b);
+    assert_eq!(sampled_a, sampled_b, "the sampler elects the same batches");
+    assert_eq!(
+        shape(&spans_a),
+        shape(&spans_b),
+        "span structure is reproducible; only timings may differ"
+    );
+}
+
+/// The full-price equality check at scale — release-gated (the CI
+/// release step runs it) so debug runs stay fast.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-gated: run via the CI release step"
+)]
+fn traced_run_stays_byte_identical_at_scale() {
+    let schema = Schema::builder()
+        .field("g", DataType::Int)
+        .field("x", DataType::Uncertain)
+        .build();
+    let inputs: Vec<Tuple> = (0..20_000u64)
+        .map(|i| {
+            Tuple::new(
+                schema.clone(),
+                vec![
+                    Value::Int((i % 23) as i64),
+                    Value::from(Updf::Parametric(Dist::gaussian((i % 11) as f64, 0.5))),
+                ],
+                i,
+            )
+        })
+        .collect();
+    let (mut g, sink) = staged_graph();
+    let reference = rendered(
+        &g.run_batched(vec![("in".into(), 0, inputs.clone())], 256)
+            .unwrap()[&sink],
+    );
+
+    for (every, seed) in [(0u64, 0u64), (4, 0xBEEF)] {
+        let exec = ShardedExecutor::new(8).with_workers(2).with_batch_size(128);
+        let mut session = exec.session(|| staged_graph().0).unwrap();
+        session.telemetry().traces().configure(every, seed);
+        push_feed(&mut session, vec![("in".into(), 0, inputs.clone())], 128);
+        let out = session.finish().unwrap();
+        assert_eq!(
+            reference,
+            rendered(&out[&sink]),
+            "divergence at sampling every={every}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// EXPLAIN ANALYZE
+// ---------------------------------------------------------------------
+
+#[test]
+fn plan_report_reconciles_with_the_session_telemetry() {
+    let exec = ShardedExecutor::new(4).with_workers(2).with_batch_size(48);
+    let mut session = exec.session(|| staged_graph().0).unwrap();
+    session.telemetry().traces().configure(4, 5);
+    let inputs = staged_inputs();
+    push_feed(&mut session, vec![("in".into(), 0, inputs.clone())], 48);
+    let telem = session.telemetry().clone();
+    session.finish().unwrap();
+
+    let report = PlanReport::assemble(&telem);
+    assert_eq!(report.stages.len(), 2, "agg → reagg stages");
+    assert_eq!(report.batches_pushed, telem.batches_pushed.get());
+    assert_eq!(report.tuples_pushed, inputs.len() as u64);
+    assert_eq!(report.spans_recorded, telem.traces().recorded());
+    assert_eq!(report.traces_sampled, telem.traces().sampled());
+    assert!(report.traces_sampled > 0);
+
+    // Stage 0 routing covers the whole feed; skew is a sane ratio.
+    let s0 = &report.stages[0];
+    assert_eq!(s0.routed.len(), 4);
+    assert_eq!(s0.routed.iter().sum::<u64>(), inputs.len() as u64);
+    assert!(s0.skew >= 1.0 && s0.skew <= 4.0, "skew {}", s0.skew);
+    assert_eq!(s0.exchange_forwarded, 0, "stage 0 has no upstream exchange");
+    assert!(!s0.ops.is_empty(), "per-operator counters present");
+    let agg_in: u64 = s0
+        .ops
+        .iter()
+        .filter(|o| o.op == "aggregate")
+        .map(|o| o.tuples_in)
+        .sum();
+    assert_eq!(agg_in, inputs.len() as u64);
+
+    // Stage 1 saw the exchange and sealed; merged lag covers both.
+    let s1 = &report.stages[1];
+    assert!(s1.exchange_forwarded > 0);
+    assert!(s0.lag.count > 0 && s1.lag.count > 0);
+    assert_eq!(report.lag_merged.count, s0.lag.count + s1.lag.count);
+    assert_eq!(report.watermark_sealed, telem.watermark_sealed.get());
+
+    // The rendered tree carries the topology and the live annotations.
+    let text = report.render();
+    assert!(text.contains("stage 0"), "topology present:\n{text}");
+    assert!(text.contains("analyze: stage 0: routed ["));
+    assert!(text.contains("sampled batches"));
+    assert!(text.contains("aggregate#"));
+}
+
+// ---------------------------------------------------------------------
+// Loopback wire surface
+// ---------------------------------------------------------------------
+
+fn wire_schema() -> Arc<Schema> {
+    Schema::builder()
+        .field("g", DataType::Int)
+        .field("x", DataType::Uncertain)
+        .build()
+}
+
+fn wire_inputs(n: usize) -> Vec<Tuple> {
+    let s = wire_schema();
+    (0..n)
+        .map(|i| {
+            Tuple::new(
+                s.clone(),
+                vec![
+                    Value::Int((i % 16) as i64),
+                    Value::from(Updf::Parametric(Dist::gaussian((i % 10) as f64, 1.0))),
+                ],
+                i as u64,
+            )
+        })
+        .collect()
+}
+
+fn wire_graph() -> QueryGraph {
+    let select =
+        Select::new(Predicate::UncertainAbove("x".into(), 2.0), 0.05).without_conditioning();
+    let project = Project::new(vec![Derivation::Linear {
+        input: "x".into(),
+        a: 0.5,
+        b: 1.0,
+        out: "y".into(),
+    }]);
+    let agg = WindowedAggregate::new(
+        WindowKind::Tumbling(100),
+        |t: &Tuple| GroupKey::from_value(t.get("g").unwrap()).unwrap(),
+        vec![AggSpec {
+            field: "y".into(),
+            func: AggFunc::Sum,
+            out: "total".into(),
+            strategy: Strategy::Clt,
+        }],
+    );
+    let mut g = QueryGraph::new();
+    let select = g.add(Box::new(select));
+    let project = g.add(Box::new(project));
+    let agg = g.add(Box::new(agg));
+    let sink = g.add(Box::new(Passthrough::new("sink")));
+    g.connect(select, project, 0).unwrap();
+    g.connect(project, agg, 0).unwrap();
+    g.connect(agg, sink, 0).unwrap();
+    g.source("in", select);
+    g.sink(sink);
+    g
+}
+
+fn counter_total(metrics: &[MetricSnapshot], family: &str) -> u64 {
+    metrics
+        .iter()
+        .filter(|m| m.family == family)
+        .map(|m| match &m.value {
+            MetricValue::Counter(v) => *v,
+            other => panic!("{family} must be a counter, got {other:?}"),
+        })
+        .sum()
+}
+
+#[test]
+fn explain_health_and_journal_tail_roundtrip_over_loopback() {
+    let n = 1500;
+    let handle = Server::serve_with(
+        "127.0.0.1:0",
+        ServedQuery::sharded(wire_graph, 4),
+        ServerConfig {
+            trace_sample_every: 4,
+            trace_seed: 11,
+            health_interval: Duration::from_millis(25),
+            // A hash may land several of the 16 groups on one shard;
+            // this test is about the wire, not balance.
+            health: HealthConfig {
+                skew_ratio: 64.0,
+                ..HealthConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    let mut subscriber = Client::subscriber(addr).unwrap();
+    subscriber.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+    let mut publisher = Client::publisher(addr).unwrap();
+    for chunk in wire_inputs(n).chunks(64) {
+        assert_eq!(publisher.publish("in", 0, chunk).unwrap(), chunk.len());
+    }
+    publisher.finish().unwrap();
+    let collected = subscriber.collect_until_eos().unwrap();
+    assert!(!collected.is_empty() && !collected[0].1.is_empty());
+
+    // EXPLAIN reconciles with StatsV2 — two views of the same cells.
+    let (metrics, _) = subscriber.stats_v2().unwrap();
+    let report = subscriber.explain().unwrap();
+    assert_eq!(report.tuples_pushed, n as u64);
+    assert_eq!(
+        report.tuples_pushed,
+        counter_total(&metrics, "engine_tuples_pushed_total")
+    );
+    assert_eq!(
+        report.batches_pushed,
+        counter_total(&metrics, "engine_batches_pushed_total")
+    );
+    assert_eq!(report.stages.len(), 1, "one keyed stage");
+    assert_eq!(
+        report.stages[0].routed.iter().sum::<u64>(),
+        counter_total(&metrics, "engine_shard_routed_tuples_total")
+    );
+    assert!(report.traces_sampled > 0, "1-in-4 sampling was live");
+    assert!(report.spans_recorded > 0);
+    assert!(
+        report
+            .topology
+            .contains("entry `in` -> keyed on `aggregate`"),
+        "served topology present: {}",
+        report.topology
+    );
+    assert!(report.render().contains("analyze: stage 0"));
+    // The in-process accessor agrees (the engine is quiet post-EOS).
+    let local = handle.explain();
+    assert_eq!(local.tuples_pushed, report.tuples_pushed);
+    assert_eq!(local.stages[0].routed, report.stages[0].routed);
+
+    // Health: the defaults see a finished, drained, balanced server.
+    let health = subscriber.health().unwrap();
+    assert_eq!(health.status, HealthStatus::Healthy, "checks: {health:?}");
+    assert!(health.evaluations >= 1);
+    assert!(health.checks.is_empty(), "no findings: {:?}", health.checks);
+    assert_eq!(handle.health().status, HealthStatus::Healthy);
+
+    // JournalTail: newest events, oldest first, gap-free, and the
+    // lifetime count at least covers what we got.
+    let (recorded, events) = subscriber.journal_tail(64).unwrap();
+    assert!(!events.is_empty());
+    assert!(recorded >= events.len() as u64);
+    for w in events.windows(2) {
+        assert!(w[0].seq < w[1].seq, "tail is seq-ordered");
+    }
+    assert!(events.iter().any(|e| matches!(
+        e.detail,
+        TraceDetail::WindowSealed { .. } | TraceDetail::ShardRouted { .. }
+    )));
+
+    let errors = handle.shutdown();
+    assert!(errors.is_empty(), "clean run: {errors:?}");
+}
+
+#[test]
+fn lag_slo_breach_reports_critical_and_journals_the_transition() {
+    // An SLO of 1 event-time unit: any real tumbling window breaches it
+    // at 2x immediately, so the watchdog must walk Healthy → Critical
+    // and journal the transition.
+    let handle = Server::serve_with(
+        "127.0.0.1:0",
+        ServedQuery::sharded(wire_graph, 2),
+        ServerConfig {
+            health_interval: Duration::from_millis(10),
+            health: HealthConfig {
+                lag_slo_p99: 1.0,
+                skew_ratio: 64.0,
+                ..HealthConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    let mut subscriber = Client::subscriber(addr).unwrap();
+    subscriber.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+    let mut publisher = Client::publisher(addr).unwrap();
+    for chunk in wire_inputs(800).chunks(64) {
+        assert_eq!(publisher.publish("in", 0, chunk).unwrap(), chunk.len());
+    }
+    publisher.finish().unwrap();
+    subscriber.collect_until_eos().unwrap();
+
+    let health = subscriber.health().unwrap();
+    assert_eq!(health.status, HealthStatus::Critical, "{health:?}");
+    assert!(health
+        .checks
+        .iter()
+        .any(|c| c.name == "lag_slo" && c.status == HealthStatus::Critical));
+
+    // The transition (not every evaluation) landed in the journal, and
+    // the wire tail carries it with both endpoint statuses intact.
+    let (_, events) = subscriber.journal_tail(256).unwrap();
+    let transitions: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e.detail {
+            TraceDetail::HealthChanged { from, to } => Some((from, to)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        transitions.contains(&(HealthStatus::Healthy, HealthStatus::Critical)),
+        "transitions: {transitions:?}"
+    );
+
+    handle.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Chaos: the observability frames under a seeded storm
+// ---------------------------------------------------------------------
+
+/// Ask for one observability frame through a chaotic connection,
+/// retrying with fresh connections until a clean window lets the
+/// request through.
+fn ask_through_chaos(proxy: &ChaosProxy, req: &Request) -> Response {
+    for _ in 0..100 {
+        let Ok(mut stream) = TcpStream::connect(proxy.addr()) else {
+            continue;
+        };
+        stream.set_read_timeout(Some(Duration::from_secs(2))).ok();
+        if protocol::write_request(&mut stream, req).is_err() {
+            continue;
+        }
+        if let Ok(resp) = protocol::read_response(&mut stream) {
+            return resp;
+        }
+    }
+    panic!("chaos never let a {req:?} through in 100 attempts");
+}
+
+#[test]
+fn observability_frames_survive_a_seeded_chaos_storm() {
+    let n = 600;
+    let handle = Server::serve_with(
+        "127.0.0.1:0",
+        ServedQuery::sharded(wire_graph, 4),
+        ServerConfig {
+            trace_sample_every: 4,
+            trace_seed: 3,
+            health: HealthConfig {
+                skew_ratio: 64.0,
+                ..HealthConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // A clean publisher finishes the run first; the storm then batters
+    // only the observability plane.
+    let mut subscriber = Client::subscriber(addr).unwrap();
+    subscriber.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+    let mut publisher = Client::publisher(addr).unwrap();
+    for chunk in wire_inputs(n).chunks(48) {
+        assert_eq!(publisher.publish("in", 0, chunk).unwrap(), chunk.len());
+    }
+    publisher.finish().unwrap();
+    subscriber.collect_until_eos().unwrap();
+
+    let proxy = ChaosProxy::seeded(addr, 0xD1CE).unwrap();
+    let explained = match ask_through_chaos(&proxy, &Request::Explain) {
+        Response::Explain(r) => r,
+        other => panic!("expected Explain, got {other:?}"),
+    };
+    let health = match ask_through_chaos(&proxy, &Request::Health) {
+        Response::Health(r) => r,
+        other => panic!("expected Health, got {other:?}"),
+    };
+    let (recorded, events) = match ask_through_chaos(&proxy, &Request::JournalTail { n: 32 }) {
+        Response::JournalTail { recorded, events } => (recorded, events),
+        other => panic!("expected JournalTail, got {other:?}"),
+    };
+    proxy.shutdown();
+
+    // Reports fetched through the storm reconcile against the registry
+    // over a direct connection — chaos may delay them, never skew them.
+    let (metrics, _) = subscriber.stats_v2().unwrap();
+    assert_eq!(explained.tuples_pushed, n as u64);
+    assert_eq!(
+        explained.batches_pushed,
+        counter_total(&metrics, "engine_batches_pushed_total")
+    );
+    assert!(explained.traces_sampled > 0);
+    assert_eq!(health.status, HealthStatus::Healthy, "{health:?}");
+    assert!(recorded >= events.len() as u64);
+    assert!(!events.is_empty());
+    for w in events.windows(2) {
+        assert!(w[0].seq < w[1].seq);
+    }
+
+    let errors = handle.shutdown();
+    // Torn observability connections are at most transient scars.
+    assert!(
+        errors.iter().all(|e| e.severity() == Severity::Transient),
+        "chaos left non-transient scars: {errors:?}"
+    );
+}

@@ -24,6 +24,58 @@ use ustream_prob::dist::{Dist, Gaussian};
 /// Key-extraction closure for certain equi-joins.
 pub type KeyFn = Box<dyn Fn(&Tuple) -> Option<GroupKey> + Send>;
 
+/// Sorted key index over one side's sliding window: `(key, seq)` pairs in
+/// lexicographic order, where `seq` is a monotone per-side counter aligned
+/// with buffer positions (`position = seq − head_seq`; evictions only pop
+/// the front, in seq order, so the alignment is exact). Probing binary
+/// searches the equal-key range instead of scanning the whole window; the
+/// range's seqs ascend, which IS the buffer's insertion order, so the
+/// indexed probe emits matches in exactly the order the row scan would.
+#[derive(Default)]
+struct KeyIndex {
+    entries: Vec<(GroupKey, u64)>,
+    next_seq: u64,
+    head_seq: u64,
+}
+
+impl KeyIndex {
+    /// Account for one tuple pushed to the back of the buffer; index it
+    /// when it has a key (unkeyed tuples still consume a seq so positions
+    /// stay aligned — the row scan skips them, and so does an index that
+    /// never holds them).
+    fn pushed(&mut self, key: Option<GroupKey>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(k) = key {
+            let at = self
+                .entries
+                .partition_point(|(ek, es)| (ek, *es) < (&k, seq));
+            self.entries.insert(at, (k, seq));
+        }
+    }
+
+    /// The buffer evicted `count` tuples from its front.
+    fn evicted(&mut self, count: usize) {
+        if count == 0 {
+            return;
+        }
+        self.head_seq += count as u64;
+        let head = self.head_seq;
+        self.entries.retain(|&(_, s)| s >= head);
+    }
+
+    /// Buffer positions (front-relative, ascending = insertion order) of
+    /// live tuples whose key equals `key`.
+    fn probe<'a>(&'a self, key: &'a GroupKey) -> impl Iterator<Item = usize> + 'a {
+        let lo = self.entries.partition_point(|(k, _)| k < key);
+        let hi = lo + self.entries[lo..].partition_point(|(k, _)| k == key);
+        let head = self.head_seq;
+        self.entries[lo..hi]
+            .iter()
+            .map(move |&(_, s)| (s - head) as usize)
+    }
+}
+
 /// Candidate-pair prefilter (cheap certain-attribute pruning).
 type PairFilter = Box<dyn Fn(&Tuple, &Tuple) -> bool + Send>;
 
@@ -65,6 +117,12 @@ pub struct WindowJoin {
     archive: Option<(Archive, usize, String)>,
     out_schema: Option<(Arc<Schema>, Arc<Schema>, Arc<Schema>)>,
     rng: StdRng,
+    /// Declared key fields (left, right) for field-based equi-joins built
+    /// via [`WindowJoin::keyed_by_fields`]: enables the indexed probe and
+    /// key-column routing of columnar batches.
+    key_fields: Option<(String, String)>,
+    left_index: KeyIndex,
+    right_index: KeyIndex,
 }
 
 impl WindowJoin {
@@ -81,7 +139,39 @@ impl WindowJoin {
             archive: None,
             out_schema: None,
             rng: StdRng::seed_from_u64(0x701A),
+            key_fields: None,
+            left_index: KeyIndex::default(),
+            right_index: KeyIndex::default(),
         }
+    }
+
+    /// Certain equi-join keyed on plain field lookups: equivalent to
+    /// [`JoinCondition::KeyEquals`] with `GroupKey::from_value` closures
+    /// over the named fields, but because the fields are *declared*, the
+    /// join maintains a sorted key index per window (probes binary-search
+    /// the equal-key range instead of scanning every buffered tuple) and
+    /// columnar batches have their keys read straight off the key column.
+    /// Output is bit-identical to the closure form — same matches, same
+    /// order, same existence arithmetic.
+    pub fn keyed_by_fields(
+        range_ms: u64,
+        left_field: impl Into<String>,
+        right_field: impl Into<String>,
+        min_prob: f64,
+    ) -> Self {
+        let lf: String = left_field.into();
+        let rf: String = right_field.into();
+        let (lc, rc) = (lf.clone(), rf.clone());
+        let mut j = WindowJoin::new(
+            range_ms,
+            JoinCondition::KeyEquals {
+                left: Box::new(move |t| GroupKey::from_value(t.get(&lc).ok()?)),
+                right: Box::new(move |t| GroupKey::from_value(t.get(&rc).ok()?)),
+            },
+            min_prob,
+        );
+        j.key_fields = Some((lf, rf));
+        j
     }
 
     pub fn named(mut self, name: impl Into<String>) -> Self {
@@ -198,9 +288,75 @@ impl WindowJoin {
         }
     }
 
+    /// Indexed probe for declared-key equi-joins: binary search the
+    /// opposite window's key index instead of scanning the buffer. The
+    /// equal-key seqs ascend (insertion order), and the existence filter
+    /// and `emit` arithmetic are written to match the row scan exactly
+    /// (`p == 1.0` for every indexed candidate), so output is
+    /// bit-identical to [`Self::probe_into`].
+    fn probe_indexed(
+        &mut self,
+        incoming_port: usize,
+        t: &Tuple,
+        key: Option<&GroupKey>,
+        out: &mut Vec<Tuple>,
+    ) {
+        let Some(key) = key else { return };
+        let mut matched: Vec<Tuple> = Vec::new();
+        {
+            let (buf, index) = if incoming_port == 0 {
+                (&self.right, &self.right_index)
+            } else {
+                (&self.left, &self.left_index)
+            };
+            for pos in index.probe(key) {
+                let other = buf.get(pos).expect("key index aligned with buffer");
+                // Row-scan filter `p * l.e * r.e >= min_prob && p > 0.0`
+                // with p = 1.0, in the same multiplication order.
+                let (le, re) = if incoming_port == 0 {
+                    (t.existence, other.existence)
+                } else {
+                    (other.existence, t.existence)
+                };
+                if 1.0 * le * re >= self.min_prob {
+                    matched.push(other.clone());
+                }
+            }
+        }
+        out.reserve(matched.len());
+        for other in matched {
+            let (l, r) = if incoming_port == 0 {
+                (t, &other)
+            } else {
+                (&other, t)
+            };
+            out.push(self.emit(l, r, 1.0));
+        }
+    }
+
+    /// The incoming tuple's declared join key, when field-keyed.
+    fn extract_key(&self, port: usize, t: &Tuple) -> Option<GroupKey> {
+        let (lf, rf) = self.key_fields.as_ref()?;
+        let field = if port == 0 { lf } else { rf };
+        GroupKey::from_value(t.get(field).ok()?)
+    }
+
     /// Full per-tuple ingest (archive → evict → probe → buffer), shared
     /// by the tuple-at-a-time and batched paths.
     fn ingest(&mut self, port: usize, tuple: Tuple, out: &mut Vec<Tuple>) {
+        let key = self.extract_key(port, &tuple);
+        self.ingest_with_key(port, tuple, key, out);
+    }
+
+    /// Ingest with the declared key already extracted (`None` when the
+    /// join is not field-keyed, or the tuple has no key).
+    fn ingest_with_key(
+        &mut self,
+        port: usize,
+        tuple: Tuple,
+        key: Option<GroupKey>,
+        out: &mut Vec<Tuple>,
+    ) {
         assert!(port < 2, "join has two ports");
         // Archive the base distribution before anything else (A4's role).
         if let Some((archive, a_port, field)) = &self.archive {
@@ -210,18 +366,37 @@ impl WindowJoin {
                 }
             }
         }
+        let indexed = self.key_fields.is_some();
         // Evict the opposite buffer against the incoming event time first
         // so stale tuples cannot match.
         if port == 0 {
-            self.right.evict_before(tuple.ts);
+            let n = self.right.evict_before(tuple.ts);
+            if indexed {
+                self.right_index.evicted(n);
+            }
         } else {
-            self.left.evict_before(tuple.ts);
+            let n = self.left.evict_before(tuple.ts);
+            if indexed {
+                self.left_index.evicted(n);
+            }
         }
-        self.probe_into(port, &tuple, out);
-        if port == 0 {
-            self.left.push(tuple);
+        if indexed && self.prefilter.is_none() {
+            self.probe_indexed(port, &tuple, key.as_ref(), out);
         } else {
-            self.right.push(tuple);
+            self.probe_into(port, &tuple, out);
+        }
+        if port == 0 {
+            let n = self.left.push(tuple);
+            if indexed {
+                self.left_index.evicted(n);
+                self.left_index.pushed(key);
+            }
+        } else {
+            let n = self.right.push(tuple);
+            if indexed {
+                self.right_index.evicted(n);
+                self.right_index.pushed(key);
+            }
         }
     }
 }
@@ -383,12 +558,39 @@ impl Operator for WindowJoin {
         out
     }
 
+    fn partition_key_field_for(&self, port: usize) -> Option<&str> {
+        let (lf, rf) = self.key_fields.as_ref()?;
+        Some(if port == 0 { lf } else { rf })
+    }
+
     /// Batched path: ingest each tuple in order, accumulating all matches
-    /// into one output batch (no per-tuple output `Vec`s).
-    fn process_batch(&mut self, port: usize, batch: Batch) -> Batch {
+    /// into one output batch (no per-tuple output `Vec`s). Field-keyed
+    /// joins read columnar batches' keys straight off the key column
+    /// before hydrating, skipping the per-row field lookup.
+    fn process_batch(&mut self, port: usize, mut batch: Batch) -> Batch {
         let mut out = Vec::new();
-        for tuple in batch {
-            self.ingest(port, tuple, &mut out);
+        let col_keys: Option<Vec<Option<GroupKey>>> = match (&self.key_fields, batch.columns()) {
+            (Some((lf, rf)), Some(cols)) => {
+                let field = if port == 0 { lf } else { rf };
+                cols.schema().index_of(field).ok().map(|idx| {
+                    let col = cols.col(idx);
+                    (0..cols.len()).map(|i| col.group_key_at(i)).collect()
+                })
+            }
+            _ => None,
+        };
+        match col_keys {
+            Some(keys) => {
+                batch.hydrate();
+                for (tuple, key) in batch.into_vec().into_iter().zip(keys) {
+                    self.ingest_with_key(port, tuple, key, &mut out);
+                }
+            }
+            None => {
+                for tuple in batch {
+                    self.ingest(port, tuple, &mut out);
+                }
+            }
         }
         Batch::from(out)
     }
@@ -593,6 +795,112 @@ mod tests {
         let out = j.process(1, mk(3, 7));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].existence, 1.0);
+    }
+
+    #[test]
+    fn keyed_by_fields_matches_closure_form_bit_for_bit() {
+        let s = Schema::builder()
+            .field("k", DataType::Int)
+            .field("v", DataType::Int)
+            .build();
+        let mk = |ts: u64, k: i64, v: i64, e: f64| {
+            let mut t = Tuple::new(s.clone(), vec![Value::from(k), Value::from(v)], ts);
+            t.existence = e;
+            t
+        };
+        let mut closure_j = WindowJoin::new(
+            5000,
+            JoinCondition::KeyEquals {
+                left: Box::new(|t| GroupKey::from_value(t.get("k").ok()?)),
+                right: Box::new(|t| GroupKey::from_value(t.get("k").ok()?)),
+            },
+            0.3,
+        );
+        let mut field_j = WindowJoin::keyed_by_fields(5000, "k", "k", 0.3);
+        let feed: Vec<(usize, Tuple)> = (0..200)
+            .map(|i| {
+                let port = (i % 3 == 0) as usize;
+                (
+                    port,
+                    mk(
+                        i as u64 * 40,
+                        (i % 5) as i64,
+                        i as i64,
+                        1.0 - (i % 4) as f64 * 0.2,
+                    ),
+                )
+            })
+            .collect();
+        let render = |t: &Tuple| {
+            format!(
+                "ts={} e={:016x} lin={:?} vals={:?}",
+                t.ts,
+                t.existence.to_bits(),
+                t.lineage.ids(),
+                t.values()
+            )
+        };
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for (port, t) in feed {
+            for o in closure_j.process(port, t.clone()) {
+                a.push(render(&o));
+            }
+            for o in field_j.process(port, t) {
+                b.push(render(&o));
+            }
+        }
+        assert!(!a.is_empty(), "feed produces matches");
+        assert_eq!(a, b, "indexed probe is bit-identical to the row scan");
+    }
+
+    #[test]
+    fn keyed_by_fields_survives_window_eviction() {
+        let mut field_j = WindowJoin::keyed_by_fields(1000, "k", "k", 0.0);
+        let mut closure_j = WindowJoin::new(
+            1000,
+            JoinCondition::KeyEquals {
+                left: Box::new(|t| GroupKey::from_value(t.get("k").ok()?)),
+                right: Box::new(|t| GroupKey::from_value(t.get("k").ok()?)),
+            },
+            0.0,
+        );
+        let s = Schema::builder().field("k", DataType::Int).build();
+        let mk = |ts: u64, k: i64| Tuple::new(s.clone(), vec![Value::from(k)], ts);
+        // Stretch timestamps so the 1 s window evicts repeatedly; the
+        // index must stay aligned with the shrinking buffer.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..60u64 {
+            let t = mk(i * 97, (i % 3) as i64);
+            a.extend(
+                field_j
+                    .process((i % 2) as usize, t.clone())
+                    .iter()
+                    .map(|o| format!("{} {:?}", o.ts, o.values())),
+            );
+            b.extend(
+                closure_j
+                    .process((i % 2) as usize, t)
+                    .iter()
+                    .map(|o| format!("{} {:?}", o.ts, o.values())),
+            );
+        }
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn keyed_by_fields_declares_per_port_key_fields() {
+        let j = WindowJoin::keyed_by_fields(1000, "group", "gname", 0.0);
+        assert_eq!(j.partition_keys(), crate::ops::Partitioning::Key);
+        assert_eq!(j.partition_key_field_for(0), Some("group"));
+        assert_eq!(j.partition_key_field_for(1), Some("gname"));
+        assert_eq!(
+            j.partition_key_field(),
+            None,
+            "port-less declaration stays ambiguous for a two-keyed join"
+        );
     }
 
     #[test]

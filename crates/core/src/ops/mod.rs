@@ -112,6 +112,16 @@ pub trait Operator: Send {
     fn partition_key_field(&self) -> Option<&str> {
         None
     }
+
+    /// Port-aware form of [`Self::partition_key_field`]: the input field
+    /// the partition key is read from for tuples arriving on `port`.
+    /// Multi-input keyed operators (equi-join) key each port on a
+    /// different field; unary operators fall through to the port-less
+    /// declaration.
+    fn partition_key_field_for(&self, port: usize) -> Option<&str> {
+        let _ = port;
+        self.partition_key_field()
+    }
 }
 
 /// A trivial pass-through operator; useful as a graph sink and in tests.

@@ -168,33 +168,42 @@ impl SlidingBuffer {
     }
 
     /// Insert a tuple and evict everything older than `ts − range`.
-    pub fn push(&mut self, t: Tuple) {
+    /// Returns how many tuples fell off the front, so an index kept
+    /// alongside the buffer (e.g. a join key index) can realign.
+    pub fn push(&mut self, t: Tuple) -> usize {
         let cutoff = t.ts.saturating_sub(self.range_ms);
         self.buf.push_back(t);
-        while let Some(front) = self.buf.front() {
-            if front.ts < cutoff {
-                self.buf.pop_front();
-            } else {
-                break;
-            }
-        }
+        self.evict_cutoff(cutoff)
     }
 
     /// Evict against an externally-advanced watermark (e.g. the other
-    /// join input's clock), without inserting.
-    pub fn evict_before(&mut self, watermark: u64) {
+    /// join input's clock), without inserting. Returns the evicted count.
+    pub fn evict_before(&mut self, watermark: u64) -> usize {
         let cutoff = watermark.saturating_sub(self.range_ms);
+        self.evict_cutoff(cutoff)
+    }
+
+    fn evict_cutoff(&mut self, cutoff: u64) -> usize {
+        let mut evicted = 0;
         while let Some(front) = self.buf.front() {
             if front.ts < cutoff {
                 self.buf.pop_front();
+                evicted += 1;
             } else {
                 break;
             }
         }
+        evicted
     }
 
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
         self.buf.iter()
+    }
+
+    /// The tuple at position `i` from the front (insertion order), if
+    /// still buffered.
+    pub fn get(&self, i: usize) -> Option<&Tuple> {
+        self.buf.get(i)
     }
 
     pub fn len(&self) -> usize {
@@ -273,12 +282,14 @@ mod tests {
     #[test]
     fn sliding_buffer_evicts_by_range() {
         let mut b = SlidingBuffer::new(3000);
-        b.push(t(1000));
-        b.push(t(2000));
-        b.push(t(4500));
-        assert_eq!(b.len(), 2, "t=1000 evicted by 4500−3000 cutoff");
-        b.evict_before(10_000);
+        assert_eq!(b.push(t(1000)), 0);
+        assert_eq!(b.push(t(2000)), 0);
+        assert_eq!(b.push(t(4500)), 1, "t=1000 evicted by 4500−3000 cutoff");
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get(0).unwrap().ts, 2000);
+        assert_eq!(b.evict_before(10_000), 2);
         assert!(b.is_empty());
+        assert!(b.get(0).is_none());
     }
 
     #[test]

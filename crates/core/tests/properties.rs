@@ -289,6 +289,49 @@ proptest! {
         prop_assert_eq!(col_out, row_out);
     }
 
+    /// The field-keyed join's indexed probe (and its columnar key-column
+    /// path) is observationally identical to the closure-keyed row scan:
+    /// same matches, same order, same existence bits and lineage — for
+    /// arbitrary mixed batches fed to both ports, as rows and as columns.
+    #[test]
+    fn join_indexed_probe_identical_to_row_scan(
+        left_rows in arb_mixed_rows(),
+        right_rows in arb_mixed_rows(),
+        range in 500u64..8_000,
+        min_prob in 0.0f64..0.6,
+    ) {
+        use ustream_core::ops::join::{JoinCondition, WindowJoin};
+        let mut closure_j = WindowJoin::new(
+            range,
+            JoinCondition::KeyEquals {
+                left: Box::new(|t| GroupKey::from_value(t.get("k").ok()?)),
+                right: Box::new(|t| GroupKey::from_value(t.get("k").ok()?)),
+            },
+            min_prob,
+        );
+        let mut field_j = WindowJoin::keyed_by_fields(range, "k", "k", min_prob);
+        let mut field_col_j = WindowJoin::keyed_by_fields(range, "k", "k", min_prob);
+        // Interleave both sides in global ts order, like the executors do.
+        let mut feed: Vec<(usize, Tuple)> = mixed_batch(&left_rows)
+            .into_iter()
+            .map(|t| (0usize, t))
+            .chain(mixed_batch(&right_rows).into_iter().map(|t| (1usize, t)))
+            .collect();
+        feed.sort_by_key(|(port, t)| (t.ts, *port));
+        let mut scan_out = Vec::new();
+        let mut idx_out = Vec::new();
+        let mut col_out = Vec::new();
+        for (port, t) in feed {
+            scan_out.extend(closure_j.process(port, t.clone()).iter().map(fingerprint));
+            idx_out.extend(field_j.process(port, t.clone()).iter().map(fingerprint));
+            let mut b = Batch::one(t);
+            b.columnarize();
+            col_out.extend(field_col_j.process_batch(port, b).iter().map(fingerprint));
+        }
+        prop_assert_eq!(&idx_out, &scan_out, "indexed probe diverged from row scan");
+        prop_assert_eq!(&col_out, &scan_out, "columnar key path diverged from row scan");
+    }
+
     /// Poisson–binomial COUNT: mean = Σeᵢ, variance = Σeᵢ(1−eᵢ), and the
     /// pmf support is [0, n].
     #[test]

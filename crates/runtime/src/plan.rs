@@ -317,6 +317,44 @@ impl ShardPlan {
             .count()
     }
 
+    /// Stage-entry node indices of `stage`: registered sources the stage
+    /// owns plus cut-edge targets, in the same order the runtime pools
+    /// them.
+    fn stage_entry_indices(&self, stage: usize) -> Vec<usize> {
+        let mut es: Vec<usize> = self
+            .entries
+            .iter()
+            .map(|(_, i)| *i)
+            .filter(|&i| self.stage_of[i] == stage)
+            .collect();
+        for c in &self.cuts {
+            let t = c.to.index();
+            if self.stage_of[t] == stage && !es.contains(&t) {
+                es.push(t);
+            }
+        }
+        es
+    }
+
+    /// True when every entry of `stage` routes to shard 0 (all
+    /// [`RouteRule::Pinned`]): the stage has exactly one consuming slot
+    /// no matter how many shards are configured, so exchange input for
+    /// it can be delivered whole to slot `(stage, 0)` without per-tuple
+    /// shard routing or builder/pool round-trips.
+    pub fn single_consumer(&self, stage: usize) -> bool {
+        let es = self.stage_entry_indices(stage);
+        !es.is_empty() && es.iter().all(|&e| self.rules[e] == RouteRule::Pinned)
+    }
+
+    /// True when `stage`'s producing stage (`stage − 1`) runs on exactly
+    /// one slot — sealed-interval output arriving at `stage`'s exchange
+    /// comes from a single producer, already in that producer's emission
+    /// order, so the canonical exchange sort can be skipped whenever a
+    /// linear pre-check confirms the run is ordered.
+    pub fn single_producer(&self, stage: usize) -> bool {
+        stage > 0 && stage < self.num_stages && self.single_consumer(stage - 1)
+    }
+
     fn rule_text(&self, idx: usize) -> String {
         match self.rules[idx] {
             RouteRule::Keyed { anchor, port } => {
@@ -555,6 +593,37 @@ mod tests {
             .collect();
         assert_eq!(shards, vec![0, 1, 2, 3], "keyless tuples round-robin");
         assert_eq!(spread, 4);
+    }
+
+    #[test]
+    fn producer_consumer_annotations_follow_pinning() {
+        // Band joins are probabilistic ⇒ Global ⇒ one pinned stage:
+        // single consumer at stage 0, and no producing stage above it.
+        let mut g = QueryGraph::new();
+        let join = g.add(Box::new(WindowJoin::new(
+            1_000,
+            JoinCondition::BandUncertain {
+                left_field: "x".into(),
+                right_field: "x".into(),
+                epsilon: 1.0,
+            },
+            0.0,
+        )));
+        let sink = g.add(Box::new(Passthrough::new("sink")));
+        g.connect(join, sink, 0).unwrap();
+        g.source("left", join);
+        g.source("right", join);
+        g.sink(sink);
+        let plan = ShardPlan::analyze(&g, &g.compile().unwrap());
+        assert!(plan.single_consumer(0), "global join pins every entry");
+        assert!(!plan.single_producer(0), "stage 0 has no producing stage");
+        assert!(!plan.single_producer(1), "no stage 1 exists");
+
+        // A fully keyed plan has parallel consumers everywhere.
+        let (g, _) = keyed_join_graph();
+        let plan = ShardPlan::analyze(&g, &g.compile().unwrap());
+        assert!(!plan.single_consumer(0));
+        assert!(!plan.single_producer(1));
     }
 
     #[test]

@@ -54,6 +54,13 @@ pub struct StageReport {
     pub routed: Vec<u64>,
     /// Tuples forwarded across the upstream exchange (0 for stage 0).
     pub exchange_forwarded: u64,
+    /// Eager (pipelined) forward rounds that delivered tuples into this
+    /// stage ahead of a drain/finish barrier (0 for stage 0, and when
+    /// pipelined delivery is disabled).
+    pub eager_forwards: u64,
+    /// Eager intervals forwarded into this stage since its last
+    /// drain/finish barrier — the pipeline's run-ahead depth.
+    pub interval_depth: i64,
     /// Pending exchange-pool depth at the last sweep.
     pub pool_depth: i64,
     /// This stage's watermark-lag distribution.
@@ -121,6 +128,8 @@ impl PlanReport {
                     stage,
                     routed,
                     exchange_forwarded: telemetry.exchange_forwarded(stage).get(),
+                    eager_forwards: telemetry.eager_forwards(stage).get(),
+                    interval_depth: telemetry.interval_depth(stage).get(),
                     pool_depth: telemetry.pool_depth(stage).get(),
                     lag: telemetry.watermark_lag(stage).snapshot(),
                     skew,
@@ -169,11 +178,14 @@ impl PlanReport {
             let routed: Vec<String> = s.routed.iter().map(|r| r.to_string()).collect();
             let _ = writeln!(
                 out,
-                "analyze: stage {}: routed [{}] (skew {:.2}x), forwarded {}, pool {}, lag {}",
+                "analyze: stage {}: routed [{}] (skew {:.2}x), forwarded {} \
+                 ({} eager rounds, depth {}), pool {}, lag {}",
                 s.stage,
                 routed.join(", "),
                 s.skew,
                 s.exchange_forwarded,
+                s.eager_forwards,
+                s.interval_depth,
                 s.pool_depth,
                 fmt_lag(&s.lag)
             );

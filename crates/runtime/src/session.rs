@@ -65,7 +65,7 @@ use ustream_core::batch::{Batch, BatchPool};
 use ustream_core::canon;
 use ustream_core::columnar::Columns;
 use ustream_core::error::{panic_message, EngineError, Result};
-use ustream_core::query::{ExecSession, QueryGraph};
+use ustream_core::query::{ExecSession, QueryGraph, COLUMNAR_MIN_CHUNK};
 use ustream_core::{NodeId, Tuple};
 use ustream_telemetry::{MetricsRegistry, SpanKind, TraceDetail};
 
@@ -235,6 +235,11 @@ struct SlotBuilder {
 /// Input waiting at a stage boundary: `(ts, entry node, port, tuple)`.
 type PoolEntry = (u64, usize, usize, Tuple);
 
+/// The canonical exchange-delivery sort key: `(ts, entry, port,
+/// fast content key)`. Mirrors [`canon::canonical_sort`]; fast-key tie
+/// runs are re-ordered by the exhaustive rendering before delivery.
+type ForwardKey = (u64, usize, usize, Vec<u8>);
+
 /// The most recent sampled batch's causal trace: later hops (routes
 /// during sweeps, seals, the emit) link their spans back to its root.
 struct ActiveTrace {
@@ -286,6 +291,25 @@ struct StagedCore {
     watermark: u64,
     failed: Option<String>,
     telem: SessionTelemetry,
+    /// Pipelined exchange delivery: forward each sealed watermark
+    /// interval downstream as soon as it seals, instead of parking it
+    /// until the next drain/finish barrier. Also gates the lean-path
+    /// optimizations (direct stage-0 routing, columnar exchange runs,
+    /// single-consumer delivery). On by default; disabled via
+    /// [`crate::ShardedExecutor::with_eager_exchange`].
+    eager: bool,
+    /// Watermark as of the last eager sweep — an eager sweep runs only
+    /// when the watermark has moved past it.
+    eager_swept: u64,
+    /// Eager intervals forwarded into each stage since its last
+    /// drain/finish barrier (mirrors the interval-depth gauge).
+    eager_depth: Vec<u64>,
+    /// Reused forward-sort scratch (see [`StagedCore::sweep`]).
+    fwd_buf: Vec<(ForwardKey, PoolEntry)>,
+    /// Reused not-yet-sealed partition scratch for the sweep.
+    keep_buf: Vec<PoolEntry>,
+    /// Reused per-shard partition scratch for direct stage-0 routing.
+    direct_scratch: Vec<Vec<Tuple>>,
     /// Watermark most recently broadcast to each stage (seal point for
     /// the per-stage watermark-lag sketches).
     sealed: Vec<u64>,
@@ -327,17 +351,18 @@ impl StagedCore {
         shard % self.n_workers
     }
 
-    /// Ship the slot's pending run to its session (inline for worker-0
-    /// slots, via the worker's inbox otherwise).
-    fn flush_builder(&mut self, stage: usize, shard: usize) -> Result<()> {
+    /// Ship one ready run to `(stage, shard)`'s slot session (inline
+    /// for worker-0 slots, via the worker's inbox otherwise), recording
+    /// the routing telemetry, journal entry, and `Route` span.
+    fn push_run_to_slot(
+        &mut self,
+        stage: usize,
+        shard: usize,
+        node: usize,
+        port: usize,
+        batch: Batch,
+    ) -> Result<()> {
         let slot = self.slot_id(stage, shard);
-        if self.builders[slot].batch.is_empty() {
-            return Ok(());
-        }
-        let replacement = self.pool.take(self.batch_size.min(64));
-        let b = &mut self.builders[slot];
-        let batch = std::mem::replace(&mut b.batch, replacement);
-        let (node, port) = (b.node, b.port);
         let local = self.stages[stage].local_of[node].expect("routed node belongs to its stage");
         let tuples = batch.len();
         self.telem.routed(stage, shard).add(tuples as u64);
@@ -377,6 +402,25 @@ impl StagedCore {
             }
         }
         result
+    }
+
+    /// Ship the slot's pending run to its session. On the lean (eager)
+    /// path, runs long enough to benefit go columnar on the way in, so
+    /// downstream operators keep their vectorized kernels after the
+    /// exchange.
+    fn flush_builder(&mut self, stage: usize, shard: usize) -> Result<()> {
+        let slot = self.slot_id(stage, shard);
+        if self.builders[slot].batch.is_empty() {
+            return Ok(());
+        }
+        let replacement = self.pool.take(self.batch_size.min(64));
+        let b = &mut self.builders[slot];
+        let mut batch = std::mem::replace(&mut b.batch, replacement);
+        let (node, port) = (b.node, b.port);
+        if self.eager && !batch.is_columnar() && batch.len() >= COLUMNAR_MIN_CHUNK {
+            batch.columnarize();
+        }
+        self.push_run_to_slot(stage, shard, node, port, batch)
     }
 
     /// Route one tuple into a stage, merging consecutive same-(node,
@@ -423,47 +467,49 @@ impl StagedCore {
         cols: Columns,
     ) -> Result<()> {
         self.flush_builder(0, shard)?;
-        let slot = self.slot_id(0, shard);
-        let local = self.stages[0].local_of[node].expect("routed node belongs to its stage");
-        let batch = Batch::from_columns(cols);
-        let tuples = batch.len();
-        self.telem.routed(0, shard).add(tuples as u64);
-        self.telem.journal().record(TraceDetail::ShardRouted {
-            stage: 0,
-            shard,
-            tuples,
-        });
-        let t0 = self.trace_live.then(Instant::now);
-        let worker = self.worker_of(shard);
-        let result = if worker == 0 {
-            let st = self.inline.get_mut(&slot).expect("inline slot exists");
-            st.run(|s| s.push(local, port, batch));
-            if let Some(msg) = st.poisoned.clone() {
-                return Err(self.fail(format!("worker 0 (driver): {msg}")));
-            }
-            Ok(())
-        } else {
-            self.senders[worker - 1]
-                .send(WorkerMsg::Push {
-                    slot,
-                    node: local,
-                    port,
-                    batch,
-                })
-                .map_err(|_| self.fail("worker disconnected mid-stream".into()))
-        };
-        if result.is_ok() {
-            if let Some(t0) = t0 {
-                self.trace_buf.push(PendingSpan {
-                    kind: SpanKind::Route,
-                    stage: 0,
-                    shard,
-                    tuples,
-                    elapsed_ns: t0.elapsed().as_nanos() as u64,
-                });
+        self.push_run_to_slot(0, shard, node, port, Batch::from_columns(cols))
+    }
+
+    /// Stage-0 external row batches on the lean path: compute every
+    /// row's shard up front (one panic guard for the whole batch instead
+    /// of one per tuple), partition preserving per-shard order, and
+    /// deliver each shard's run directly — no `SlotBuilder`
+    /// accumulation and no `BatchPool` round-trip. Runs long enough to
+    /// benefit go columnar on the way in.
+    fn route_rows_direct(&mut self, node: usize, port: usize, batch: Batch) -> Result<()> {
+        let rule = self.plan.rule(NodeId::from_index(node));
+        let mut row_shard: Vec<usize> = Vec::with_capacity(batch.len());
+        {
+            let prototype = &self.prototype;
+            let shards = self.shards;
+            let spread = &mut self.spread[0];
+            let tuples = batch.as_slice();
+            if let Err(msg) = catch(std::panic::AssertUnwindSafe(|| {
+                for t in tuples {
+                    row_shard.push(shard_of(rule, prototype, port, t, shards, spread));
+                }
+            })) {
+                return Err(self.fail(format!("routing (partition key): {msg}")));
             }
         }
-        result
+        let mut per_shard = std::mem::take(&mut self.direct_scratch);
+        per_shard.resize_with(self.shards, Vec::new);
+        for (t, &s) in batch.into_vec().into_iter().zip(&row_shard) {
+            per_shard[s].push(t);
+        }
+        for shard in 0..self.shards {
+            if per_shard[shard].is_empty() {
+                continue;
+            }
+            self.flush_builder(0, shard)?;
+            let mut run = Batch::from(std::mem::take(&mut per_shard[shard]));
+            if run.len() >= COLUMNAR_MIN_CHUNK {
+                run.columnarize();
+            }
+            self.push_run_to_slot(0, shard, node, port, run)?;
+        }
+        self.direct_scratch = per_shard;
+        Ok(())
     }
 
     /// Route a columnar batch at stage 0 without materializing tuples:
@@ -483,11 +529,18 @@ impl StagedCore {
                 self.push_cols_to_shard(0, node, port, cols)?;
                 Ok(true)
             }
-            RouteRule::Keyed { anchor, .. } => {
+            RouteRule::Keyed {
+                anchor,
+                port: anchor_port,
+            } => {
+                // The anchor's key field can differ per input port (a
+                // field-keyed join names one field per side); resolve
+                // against the port the rule pinned down, falling back
+                // to the feed port when the entry *is* the anchor.
                 let Some(field) = self
                     .prototype
                     .operator(anchor)
-                    .partition_key_field()
+                    .partition_key_field_for(anchor_port.unwrap_or(port))
                     .map(str::to_string)
                 else {
                     return Ok(false);
@@ -567,7 +620,24 @@ impl StagedCore {
                 self.trace_buf.clear();
             }
         }
-        result
+        result?;
+        self.maybe_eager_sweep()
+    }
+
+    /// Pipelined exchange delivery: once a push (or a bare watermark
+    /// advance) moves the session watermark, the interval it sealed is
+    /// complete — forward it downstream *now* instead of parking it
+    /// until the next drain, so stage N+1 consumes interval k while
+    /// stage N produces interval k+1. An eager sweep is a regular
+    /// drain-mode sweep minus the seal/lag accounting (which stays on
+    /// the barrier schedule); held sink output still waits for
+    /// [`StagedCore::drain_collected`]/[`StagedCore::finish`].
+    fn maybe_eager_sweep(&mut self) -> Result<()> {
+        if !self.eager || self.watermark <= self.eager_swept {
+            return Ok(());
+        }
+        self.eager_swept = self.watermark;
+        self.sweep(false, true)
     }
 
     /// The routing body of [`StagedCore::push_batch`]: advance the high
@@ -580,6 +650,9 @@ impl StagedCore {
         if stage == 0 {
             if batch.is_columnar() && self.route_columns(node.index(), port, &mut batch)? {
                 return Ok(());
+            }
+            if self.eager && !batch.is_columnar() && batch.len() >= COLUMNAR_MIN_CHUNK {
+                return self.route_rows_direct(node.index(), port, batch);
             }
             for tuple in batch {
                 self.route_one(0, node.index(), port, tuple)?;
@@ -694,13 +767,28 @@ impl StagedCore {
         for outs in collected {
             for (local, tuples) in outs {
                 let orig = self.stages[stage].orig_of[local.index()];
-                let targets = self.cut_targets[orig].clone();
-                for &(to, port) in &targets {
+                // Borrow dance: take the target list so the pools can be
+                // indexed mutably, and clone the tuple run one fewer time
+                // than there are consumers — the last consumer (or the
+                // held sink buffer) takes the run by move.
+                let targets = std::mem::take(&mut self.cut_targets[orig]);
+                let mut tuples = Some(tuples);
+                let consumers = targets.len() + usize::from(self.is_real_sink[orig]);
+                for (i, &(to, port)) in targets.iter().enumerate() {
                     let to_stage = self.plan.stage_of(NodeId::from_index(to));
-                    self.pools[to_stage].extend(tuples.iter().map(|t| (t.ts, to, port, t.clone())));
+                    if i + 1 == consumers {
+                        let run = tuples.take().expect("last consumer takes by move");
+                        self.pools[to_stage].extend(run.into_iter().map(|t| (t.ts, to, port, t)));
+                    } else {
+                        let run = tuples.as_ref().expect("run present until last consumer");
+                        self.pools[to_stage]
+                            .extend(run.iter().map(|t| (t.ts, to, port, t.clone())));
+                    }
                 }
+                self.cut_targets[orig] = targets;
                 if self.is_real_sink[orig] {
-                    self.held.entry(orig).or_default().extend(tuples);
+                    let run = tuples.take().expect("sink is the final consumer");
+                    self.held.entry(orig).or_default().extend(run);
                 }
             }
         }
@@ -708,8 +796,14 @@ impl StagedCore {
 
     /// Walk all stages: forward sealed exchange input, advance
     /// watermarks (drain sweeps), and collect each stage's output.
-    /// `finish` forwards everything and consumes the sessions.
-    fn sweep(&mut self, finish: bool) -> Result<()> {
+    /// `finish` forwards everything and consumes the sessions. `eager`
+    /// marks a pipelined (mid-stream) sweep: the interval is forwarded
+    /// and the stages drained exactly as at a barrier — byte-identical
+    /// delivery, since intervals are ts-disjoint and ts is the major
+    /// canonical sort key — but seal/lag accounting and the
+    /// `WindowSealed` journal stay on the barrier schedule, and the
+    /// eager counters/gauges tick instead.
+    fn sweep(&mut self, finish: bool, eager: bool) -> Result<()> {
         self.guard()?;
         let wm = self.watermark;
         self.trace_live = self.active_trace.is_some();
@@ -720,48 +814,80 @@ impl StagedCore {
                 // Forward pooled input the watermark has sealed (all of
                 // it at finish), in canonical (ts, entry, port, content)
                 // order — the deterministic exchange delivery order.
-                let pool = std::mem::take(&mut self.pools[stage]);
-                let mut forward: Vec<PoolEntry>;
+                // Scratch buffers are reused sweep-over-sweep, so the
+                // per-interval cadence of pipelined delivery stays
+                // allocation-free once warm.
+                let mut pool = std::mem::take(&mut self.pools[stage]);
+                let mut kept = std::mem::take(&mut self.keep_buf);
+                let mut keyed = std::mem::take(&mut self.fwd_buf);
                 if finish {
-                    forward = pool;
+                    keyed.extend(
+                        pool.drain(..)
+                            .map(|e| ((e.0, e.1, e.2, canon::fast_key(&e.3)), e)),
+                    );
                 } else {
-                    forward = Vec::new();
-                    let mut kept = Vec::new();
-                    for e in pool {
+                    for e in pool.drain(..) {
                         if e.0 < wm {
-                            forward.push(e);
+                            keyed.push(((e.0, e.1, e.2, canon::fast_key(&e.3)), e));
                         } else {
                             kept.push(e);
                         }
                     }
-                    self.pools[stage] = kept;
                 }
+                self.keep_buf = std::mem::replace(&mut self.pools[stage], kept);
                 // Mirror `canon::canonical_sort`: fast binary keys
                 // first, then re-order residual fast-key tie runs by
                 // the exhaustive rendering — a distinct-tuple collision
                 // on the compact key must not fall back to the
-                // partition-dependent pool order.
-                type ForwardKey = (u64, usize, usize, Vec<u8>);
-                let mut keyed: Vec<(ForwardKey, PoolEntry)> = forward
-                    .into_iter()
-                    .map(|e| ((e.0, e.1, e.2, canon::fast_key(&e.3)), e))
-                    .collect();
-                keyed.sort_by(|(a, _), (b, _)| a.cmp(b));
-                let mut i = 0;
-                while i < keyed.len() {
-                    let mut j = i + 1;
-                    while j < keyed.len() && keyed[j].0 == keyed[i].0 {
-                        j += 1;
+                // partition-dependent pool order. When the producing
+                // stage runs on a single slot its output pooled in
+                // emission order; a strictly-ascending pre-check skips
+                // the sort (and the tie pass) entirely.
+                let presorted = self.eager
+                    && (self.shards == 1 || self.plan.single_producer(stage))
+                    && keyed.windows(2).all(|w| w[0].0 < w[1].0);
+                if !presorted {
+                    keyed.sort_by(|(a, _), (b, _)| a.cmp(b));
+                    let mut i = 0;
+                    while i < keyed.len() {
+                        let mut j = i + 1;
+                        while j < keyed.len() && keyed[j].0 == keyed[i].0 {
+                            j += 1;
+                        }
+                        if j - i > 1 {
+                            keyed[i..j].sort_by_cached_key(|(_, e)| canon::exact_key(&e.3));
+                        }
+                        i = j;
                     }
-                    if j - i > 1 {
-                        keyed[i..j].sort_by_cached_key(|(_, e)| canon::exact_key(&e.3));
-                    }
-                    i = j;
                 }
                 forwarded = keyed.len();
-                for (_, (_, node, port, tuple)) in keyed {
-                    self.route_one(stage, node, port, tuple)?;
+                if self.eager && self.plan.single_consumer(stage) {
+                    // Every entry of this stage is pinned: the whole
+                    // sealed interval lands on shard 0. Skip the
+                    // per-tuple shard computation and builder
+                    // accumulation; deliver each consecutive
+                    // same-(node, port) run as one batch.
+                    self.flush_builder(stage, 0)?;
+                    let mut run: Vec<Tuple> = Vec::new();
+                    let mut run_at: Option<(usize, usize)> = None;
+                    for (_, (_, node, port, tuple)) in keyed.drain(..) {
+                        if run_at != Some((node, port)) {
+                            if let Some((n, p)) = run_at.take() {
+                                self.ship_run(stage, n, p, &mut run)?;
+                            }
+                            run_at = Some((node, port));
+                        }
+                        run.push(tuple);
+                    }
+                    if let Some((n, p)) = run_at {
+                        self.ship_run(stage, n, p, &mut run)?;
+                    }
+                } else {
+                    for (_, (_, node, port, tuple)) in keyed.drain(..) {
+                        self.route_one(stage, node, port, tuple)?;
+                    }
                 }
+                self.fwd_buf = keyed;
             }
             if stage > 0 {
                 if forwarded > 0 {
@@ -770,6 +896,9 @@ impl StagedCore {
                         stage,
                         tuples: forwarded,
                     });
+                    if eager {
+                        self.telem.eager_forwards(stage).inc();
+                    }
                     if let Some(t0) = fwd_t0 {
                         self.trace_buf.push(PendingSpan {
                             kind: SpanKind::ExchangeForward,
@@ -780,6 +909,16 @@ impl StagedCore {
                         });
                     }
                 }
+                if eager {
+                    if forwarded > 0 {
+                        self.eager_depth[stage] += 1;
+                    }
+                } else {
+                    self.eager_depth[stage] = 0;
+                }
+                self.telem
+                    .interval_depth(stage)
+                    .set(self.eager_depth[stage] as i64);
                 self.telem
                     .pool_depth(stage)
                     .set(self.pools[stage].len() as i64);
@@ -794,40 +933,58 @@ impl StagedCore {
                 self.advance_stage(stage, wm)?;
                 self.barrier(stage, BarrierOp::Drain)?
             };
-            let prev = self.sealed[stage];
-            if wm > prev {
-                self.telem.record_seal(stage, prev, wm);
-                self.sealed[stage] = wm;
-            }
-            let released: usize = collected
-                .iter()
-                .map(|outs| outs.iter().map(|(_, t)| t.len()).sum::<usize>())
-                .sum();
-            self.telem.journal().record(TraceDetail::WindowSealed {
-                stage,
-                watermark: wm,
-                released,
-            });
-            if let Some(at) = &self.active_trace {
+            if !eager {
+                let prev = self.sealed[stage];
+                if wm > prev {
+                    self.telem.record_seal(stage, prev, wm);
+                    self.sealed[stage] = wm;
+                }
+                let released: usize = collected
+                    .iter()
+                    .map(|outs| outs.iter().map(|(_, t)| t.len()).sum::<usize>())
+                    .sum();
+                self.telem.journal().record(TraceDetail::WindowSealed {
+                    stage,
+                    watermark: wm,
+                    released,
+                });
+                if let Some(at) = &self.active_trace {
+                    let (trace, root) = (at.trace, at.root);
+                    self.flush_trace_buf(trace, root);
+                    if wm > prev || finish {
+                        let seq = self.telem.traces().record(
+                            trace,
+                            Some(root),
+                            SpanKind::Seal,
+                            stage,
+                            0,
+                            released,
+                            seal_t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
+                        );
+                        self.active_trace.as_mut().expect("just checked").last_seal = Some(seq);
+                    }
+                }
+            } else if let Some(at) = &self.active_trace {
                 let (trace, root) = (at.trace, at.root);
                 self.flush_trace_buf(trace, root);
-                if wm > prev || finish {
-                    let seq = self.telem.traces().record(
-                        trace,
-                        Some(root),
-                        SpanKind::Seal,
-                        stage,
-                        0,
-                        released,
-                        seal_t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0),
-                    );
-                    self.active_trace.as_mut().expect("just checked").last_seal = Some(seq);
-                }
             }
             self.distribute(stage, collected);
         }
         self.trace_live = false;
         Ok(())
+    }
+
+    /// Deliver one accumulated single-consumer run to `(stage, 0)` as a
+    /// single batch, columnar when long enough to benefit.
+    fn ship_run(&mut self, stage: usize, node: usize, port: usize, run: &mut Vec<Tuple>) -> Result<()> {
+        if run.is_empty() {
+            return Ok(());
+        }
+        let mut batch = Batch::from(std::mem::take(run));
+        if batch.len() >= COLUMNAR_MIN_CHUNK {
+            batch.columnarize();
+        }
+        self.push_run_to_slot(stage, 0, node, port, batch)
     }
 
     /// Release held sink output: everything with `ts < watermark` (or
@@ -864,7 +1021,7 @@ impl StagedCore {
     }
 
     fn drain_collected(&mut self) -> Result<Vec<(NodeId, Vec<Tuple>)>> {
-        self.sweep(false)?;
+        self.sweep(false, false)?;
         let t0 = self.active_trace.is_some().then(Instant::now);
         let out = self.release(false);
         self.record_emit(out.iter().map(|(_, t)| t.len()).sum(), t0);
@@ -872,7 +1029,7 @@ impl StagedCore {
     }
 
     fn finish(&mut self) -> Result<HashMap<NodeId, Vec<Tuple>>> {
-        self.sweep(true)?;
+        self.sweep(true, false)?;
         let t0 = self.active_trace.is_some().then(Instant::now);
         let released = self.release(true);
         self.record_emit(released.iter().map(|(_, t)| t.len()).sum(), t0);
@@ -922,6 +1079,11 @@ struct SingleCore {
     session: Option<ExecSession>,
     failed: Option<String>,
     telem: SessionTelemetry,
+    /// Lean staged hot path: columnarize long row pushes up front so
+    /// the pipeline runs its vectorized kernels, exactly as
+    /// `run_batched`'s chunk feed does. Shares the eager-exchange flag
+    /// since both are the same "pipelined delivery" configuration.
+    eager: bool,
     /// Highest timestamp pushed so far (event-time high water).
     high_water: u64,
     /// Watermark most recently sealed via `advance_watermark`.
@@ -987,6 +1149,7 @@ impl ShardedSession {
                 session: Some(session),
                 failed: None,
                 telem,
+                eager: true,
                 high_water: 0,
                 sealed: 0,
                 active_trace: None,
@@ -1000,6 +1163,7 @@ impl ShardedSession {
         channel_capacity: usize,
         batch_size: usize,
         pool_buffers: usize,
+        eager: bool,
         factory: &dyn Fn() -> QueryGraph,
     ) -> Result<ShardedSession> {
         let prototype = factory();
@@ -1025,6 +1189,7 @@ impl ShardedSession {
                     session: Some(session),
                     failed: None,
                     telem,
+                    eager,
                     high_water: 0,
                     sealed: 0,
                     active_trace: None,
@@ -1164,6 +1329,12 @@ impl ShardedSession {
                 watermark: 0,
                 failed: None,
                 telem,
+                eager,
+                eager_swept: 0,
+                eager_depth: vec![0; num_stages],
+                fwd_buf: Vec::new(),
+                keep_buf: Vec::new(),
+                direct_scratch: Vec::new(),
                 sealed: vec![0; num_stages],
                 active_trace: None,
                 trace_live: false,
@@ -1194,9 +1365,16 @@ impl ShardedSession {
     /// Pushes must be globally ts-nondecreasing (the contract every
     /// driver — `ordered_feed`, the server's watermark merge — already
     /// satisfies). Errors when an operator or routing key panicked.
-    pub fn push_batch(&mut self, node: NodeId, port: usize, batch: Batch) -> Result<()> {
+    pub fn push_batch(&mut self, node: NodeId, port: usize, mut batch: Batch) -> Result<()> {
         match &mut self.core {
             Core::Single(s) => {
+                // The lean hot path: long row pushes go columnar up
+                // front (bit-identical per the columnar property
+                // suites), so a session-driven single pipeline runs the
+                // same vectorized kernels as `run_batched`'s chunk feed.
+                if s.eager && !batch.is_columnar() && batch.len() >= COLUMNAR_MIN_CHUNK {
+                    batch.columnarize();
+                }
                 let tuples = batch.len();
                 s.telem.batches_pushed.inc();
                 s.telem.tuples_pushed.add(tuples as u64);
@@ -1295,7 +1473,9 @@ impl ShardedSession {
             Core::Staged(s) => {
                 s.guard()?;
                 s.watermark = s.watermark.max(watermark);
-                Ok(())
+                // A bare watermark advance seals an interval just like a
+                // push does: deliver it downstream now.
+                s.maybe_eager_sweep()
             }
         }
     }

@@ -60,6 +60,13 @@ pub struct SessionTelemetry {
     /// Tuples forwarded across the exchange into each stage (index 0
     /// unused: stage 0 has no upstream exchange).
     exchange_forwarded: Vec<Counter>,
+    /// Eager (pipelined) forward rounds per stage that delivered at
+    /// least one tuple ahead of a drain/finish barrier (index 0 unused).
+    eager_forwards: Vec<Counter>,
+    /// Sealed intervals forwarded eagerly into each stage since its last
+    /// drain/finish barrier — how deep the pipeline is running ahead
+    /// (reset to 0 at every barrier; index 0 unused).
+    interval_depth: Vec<Gauge>,
     /// Pending exchange-pool depth per stage, sampled at each sweep.
     pool_depth: Vec<Gauge>,
     /// The most recently sealed watermark.
@@ -90,6 +97,8 @@ impl SessionTelemetry {
                 .map(|_| (0..shards).map(|_| Counter::new()).collect())
                 .collect(),
             exchange_forwarded: (0..stages).map(|_| Counter::new()).collect(),
+            eager_forwards: (0..stages).map(|_| Counter::new()).collect(),
+            interval_depth: (0..stages).map(|_| Gauge::new()).collect(),
             pool_depth: (0..stages).map(|_| Gauge::new()).collect(),
             watermark_sealed: Gauge::new(),
             watermark_lag: (0..stages).map(|_| QuantileSketch::new()).collect(),
@@ -121,6 +130,19 @@ impl SessionTelemetry {
     /// stage 0).
     pub fn exchange_forwarded(&self, stage: usize) -> &Counter {
         &self.exchange_forwarded[stage]
+    }
+
+    /// Eager forward rounds that delivered tuples into `stage` ahead of
+    /// a drain/finish barrier (always 0 for stage 0, and for sessions
+    /// running with pipelined delivery disabled).
+    pub fn eager_forwards(&self, stage: usize) -> &Counter {
+        &self.eager_forwards[stage]
+    }
+
+    /// Sealed intervals forwarded eagerly into `stage` since its last
+    /// drain/finish barrier.
+    pub fn interval_depth(&self, stage: usize) -> &Gauge {
+        &self.interval_depth[stage]
     }
 
     /// Pending exchange-pool depth of `stage` at the last sweep.
@@ -184,6 +206,14 @@ impl SessionTelemetry {
             "Tuples forwarded across the exchange into each stage",
         );
         registry.set_help(
+            "engine_exchange_eager_forwards_total",
+            "Eager (pipelined) forward rounds delivering tuples into each stage ahead of a barrier",
+        );
+        registry.set_help(
+            "engine_exchange_interval_depth",
+            "Sealed intervals forwarded eagerly into each stage since its last drain/finish",
+        );
+        registry.set_help(
             "engine_stage_pool_depth",
             "Pending exchange-pool depth per stage, sampled at each sweep",
         );
@@ -212,6 +242,16 @@ impl SessionTelemetry {
                     "engine_exchange_forwarded_tuples_total",
                     &[("stage", &s)],
                     &self.exchange_forwarded[stage],
+                );
+                registry.adopt_counter(
+                    "engine_exchange_eager_forwards_total",
+                    &[("stage", &s)],
+                    &self.eager_forwards[stage],
+                );
+                registry.adopt_gauge(
+                    "engine_exchange_interval_depth",
+                    &[("stage", &s)],
+                    &self.interval_depth[stage],
                 );
             }
             registry.adopt_gauge(

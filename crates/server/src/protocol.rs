@@ -467,6 +467,8 @@ fn put_plan_report(out: &mut Vec<u8>, r: &PlanReport) {
             out.extend_from_slice(&n.to_be_bytes());
         }
         out.extend_from_slice(&s.exchange_forwarded.to_be_bytes());
+        out.extend_from_slice(&s.eager_forwards.to_be_bytes());
+        out.extend_from_slice(&s.interval_depth.to_be_bytes());
         out.extend_from_slice(&s.pool_depth.to_be_bytes());
         put_sketch(out, &s.lag);
         out.extend_from_slice(&s.skew.to_bits().to_be_bytes());
@@ -499,9 +501,9 @@ fn read_plan_report(rd: &mut Reader<'_>) -> WireResult<PlanReport> {
     let spans_recorded = rd.u64()?;
     let traces_sampled = rd.u64()?;
     let n_stages = rd.u32()? as usize;
-    // Each stage is at least 92 bytes (ids + counters + one sketch).
+    // Each stage is at least 108 bytes (ids + counters + one sketch).
     let floor = n_stages
-        .checked_mul(92)
+        .checked_mul(108)
         .ok_or(WireError::InvalidPayload("length overflow"))?;
     if floor > rd.remaining() {
         return Err(WireError::Truncated {
@@ -527,6 +529,8 @@ fn read_plan_report(rd: &mut Reader<'_>) -> WireResult<PlanReport> {
             routed.push(rd.u64()?);
         }
         let exchange_forwarded = rd.u64()?;
+        let eager_forwards = rd.u64()?;
+        let interval_depth = rd.i64()?;
         let pool_depth = rd.i64()?;
         let lag = read_sketch(rd)?;
         let skew = rd.f64()?;
@@ -560,6 +564,8 @@ fn read_plan_report(rd: &mut Reader<'_>) -> WireResult<PlanReport> {
             stage,
             routed,
             exchange_forwarded,
+            eager_forwards,
+            interval_depth,
             pool_depth,
             lag,
             skew,
@@ -1198,6 +1204,8 @@ mod tests {
                     stage: 0,
                     routed: vec![500, 480, 20],
                     exchange_forwarded: 0,
+                    eager_forwards: 0,
+                    interval_depth: 0,
                     pool_depth: 0,
                     lag: sample_sketch(),
                     skew: 1.5,
@@ -1218,6 +1226,8 @@ mod tests {
                     stage: 1,
                     routed: vec![],
                     exchange_forwarded: 700,
+                    eager_forwards: 9,
+                    interval_depth: 3,
                     pool_depth: -2,
                     lag: SketchSnapshot {
                         count: 0,

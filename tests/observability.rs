@@ -348,10 +348,21 @@ fn plan_report_reconciles_with_the_session_telemetry() {
     assert_eq!(report.lag_merged.count, s0.lag.count + s1.lag.count);
     assert_eq!(report.watermark_sealed, telem.watermark_sealed.get());
 
+    // Pipelined delivery (on by default) ticked eager forward rounds
+    // into stage 1; the counters reconcile exactly against the live
+    // cells, and the run-ahead depth gauge reset at the finish barrier.
+    assert_eq!(s0.eager_forwards, 0, "stage 0 has no upstream exchange");
+    assert_eq!(s0.interval_depth, 0);
+    assert!(s1.eager_forwards > 0, "eager delivery ran ahead of drains");
+    assert_eq!(s1.eager_forwards, telem.eager_forwards(1).get());
+    assert_eq!(s1.interval_depth, telem.interval_depth(1).get());
+    assert_eq!(s1.interval_depth, 0, "finish barrier resets the depth");
+
     // The rendered tree carries the topology and the live annotations.
     let text = report.render();
     assert!(text.contains("stage 0"), "topology present:\n{text}");
     assert!(text.contains("analyze: stage 0: routed ["));
+    assert!(text.contains("eager rounds"), "eager counters rendered:\n{text}");
     assert!(text.contains("sampled batches"));
     assert!(text.contains("aggregate#"));
 }

@@ -383,6 +383,136 @@ fn chaos_seed_4() {
     run_seed_matrix(4);
 }
 
+/// A seeded chaos storm over a *staged* sharded query: the serving path
+/// runs pipelined exchange delivery by default, so the torn frames,
+/// resets, and replays all land on the eager path — sealed windows
+/// crossing the exchange ahead of the drain barrier while publishers
+/// reconnect mid-stream. The output must still be exactly equal to
+/// `run_batched` (compared sorted: a staged stream releases per
+/// watermark interval), and the eager forward counter must prove the
+/// pipelined path actually ran.
+#[test]
+fn chaos_storm_over_pipelined_staged_serving() {
+    let n = 900;
+    let all = inputs(n);
+    let mk_graph = || {
+        let mut g = QueryGraph::new();
+        let agg = g.add(Box::new(WindowedAggregate::new(
+            WindowKind::Tumbling(100),
+            |t: &Tuple| GroupKey::from_value(t.get("g").unwrap()).unwrap(),
+            vec![AggSpec {
+                field: "x".into(),
+                func: AggFunc::Sum,
+                out: "total".into(),
+                strategy: Strategy::ExactParametric,
+            }],
+        )));
+        let reagg = g.add(Box::new(
+            WindowedAggregate::new(
+                WindowKind::Tumbling(400),
+                |t: &Tuple| GroupKey::from_value(t.get("n_tuples").unwrap()).unwrap(),
+                vec![AggSpec {
+                    field: "total".into(),
+                    func: AggFunc::Sum,
+                    out: "grand".into(),
+                    strategy: Strategy::ExactParametric,
+                }],
+            )
+            .named("reagg"),
+        ));
+        let sink = g.add(Box::new(Passthrough::new("sink")));
+        g.connect(agg, reagg, 0).unwrap();
+        g.connect(reagg, sink, 0).unwrap();
+        g.source("in", agg);
+        g.sink(sink);
+        g
+    };
+    let sink = NodeId::from_index(2);
+    let mut ref_graph = mk_graph();
+    let expected = ref_graph
+        .run_batched(vec![("in".into(), 0, all.clone())], 512)
+        .unwrap()
+        .remove(&sink)
+        .unwrap();
+    assert!(!expected.is_empty(), "staged reference produced windows");
+
+    let handle = Server::serve_with(
+        "127.0.0.1:0",
+        ServedQuery::sharded(mk_graph, 4),
+        ServerConfig {
+            lease: Duration::from_secs(30),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+    let mut subscriber = Client::subscriber(addr).unwrap();
+    subscriber.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+
+    let proxies: Vec<ChaosProxy> = (0..3)
+        .map(|p| ChaosProxy::seeded(addr, 0xEA6E_Fu64.wrapping_mul(1009).wrapping_add(p)).unwrap())
+        .collect();
+    let threads: Vec<_> = proxies
+        .iter()
+        .enumerate()
+        .map(|(p, proxy)| {
+            let slice: Vec<Tuple> = all.iter().skip(p).step_by(3).cloned().collect();
+            let paddr = proxy.addr();
+            let config = chaotic_client_config(0xEA6E_F + p as u64);
+            std::thread::spawn(move || {
+                let mut client = Client::publisher_manual_with(paddr, config).unwrap();
+                for chunk in slice.chunks(37) {
+                    let accepted = client.publish("in", 0, chunk).unwrap();
+                    assert_eq!(accepted, chunk.len());
+                }
+                client.finish().unwrap();
+            })
+        })
+        .collect();
+
+    let collected = subscriber.collect_until_eos().unwrap();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    assert_eq!(collected.len(), 1, "one sink");
+    assert_eq!(collected[0].0, sink.index());
+    let mut got: Vec<String> = collected[0].1.iter().map(fingerprint).collect();
+    let mut want: Vec<String> = expected.iter().map(fingerprint).collect();
+    got.sort();
+    want.sort();
+    assert_eq!(got, want, "chaos over the eager path must stay exact");
+
+    // The wire-served counters prove pipelining actually engaged: the
+    // exchange stage forwarded intervals ahead of its drain barrier.
+    let (metrics, _) = subscriber.stats_v2().unwrap();
+    assert!(
+        counter_total(
+            &metrics,
+            "engine_exchange_eager_forwards_total",
+            Some(("stage", "1"))
+        ) > 0,
+        "eager delivery must have run during the storm"
+    );
+    assert!(
+        counter_total(
+            &metrics,
+            "engine_exchange_forwarded_tuples_total",
+            Some(("stage", "1"))
+        ) > 0,
+        "window rows crossed the exchange"
+    );
+
+    for proxy in &proxies {
+        proxy.shutdown();
+    }
+    let errors = handle.shutdown();
+    assert!(
+        errors.iter().all(|e| e.severity() == Severity::Transient),
+        "chaos must leave only transient scars, got {errors:?}"
+    );
+}
+
 /// Randomized variant for soak runs: `cargo test -- --ignored` picks a
 /// fresh seed each time (printed for reproduction via the fixed-seed
 /// path above).

@@ -647,6 +647,146 @@ fn staged_agg_into_agg_on_different_key_matches_run_batched_bit_exactly() {
 }
 
 // ---------------------------------------------------------------------
+// Pipelined (eager) exchange delivery: sealed watermark intervals cross
+// the exchange ahead of the drain barrier — a scheduling change that
+// must never show in the output.
+// ---------------------------------------------------------------------
+
+/// The full pipelining matrix: eager {on, off} × shards {1, 2, 8} ×
+/// workers {1, 2} over the staged agg→join graph, every cell exactly
+/// equal (values/ts/existence/lineage) to `run_batched`.
+#[test]
+fn pipelined_delivery_matrix_matches_run_batched() {
+    let (readings, refs) = agg_join_inputs();
+    let feeds = || {
+        vec![
+            ("readings".to_string(), 0usize, readings.clone()),
+            ("refs".to_string(), 1usize, refs.clone()),
+        ]
+    };
+    let (mut g, sink) = agg_join_graph();
+    let reference = joined_rows(&g.run_batched(feeds(), 64).unwrap()[&sink]);
+    assert!(!reference.is_empty(), "windows joined against references");
+
+    for eager in [true, false] {
+        for shards in [1usize, 2, 8] {
+            for workers in [1usize, 2] {
+                let exec = ShardedExecutor::new(shards)
+                    .with_workers(workers)
+                    .with_batch_size(48)
+                    .with_eager_exchange(eager);
+                let out = exec.run(|| agg_join_graph().0, feeds()).unwrap();
+                assert_eq!(
+                    reference,
+                    joined_rows(&out[&sink]),
+                    "eager={eager} shards={shards} workers={workers} diverged from run_batched"
+                );
+            }
+        }
+    }
+}
+
+/// Byte-for-byte across the toggle: the merged output rendering (full
+/// Debug of every distribution parameter, existence bits, lineage) with
+/// pipelined delivery on must equal the drain-barrier rendering at
+/// every shard/worker config.
+#[test]
+fn pipelined_and_barrier_delivery_render_identical_bytes() {
+    let (readings, refs) = agg_join_inputs();
+    let render = |shards: usize, workers: usize, eager: bool| -> String {
+        let exec = ShardedExecutor::new(shards)
+            .with_workers(workers)
+            .with_batch_size(32)
+            .with_eager_exchange(eager);
+        let (_, sink) = agg_join_graph();
+        let out = exec
+            .run(
+                || agg_join_graph().0,
+                vec![
+                    ("readings".to_string(), 0usize, readings.clone()),
+                    ("refs".to_string(), 1usize, refs.clone()),
+                ],
+            )
+            .unwrap();
+        out[&sink]
+            .iter()
+            .map(|t| {
+                format!(
+                    "{:?}|{:x}|{:?}\n",
+                    t.values(),
+                    t.existence.to_bits(),
+                    t.lineage
+                )
+            })
+            .collect()
+    };
+    let reference = render(4, 2, true);
+    assert_eq!(
+        reference,
+        render(4, 2, false),
+        "the toggle must not change one byte"
+    );
+    assert_eq!(reference, render(2, 1, false), "barrier, other config");
+    assert_eq!(reference, render(8, 2, true), "eager, other config");
+    assert_eq!(reference, render(1, 1, true), "single pipeline agrees");
+}
+
+/// The eager telemetry is an honest A/B witness: a pipelined run ticks
+/// `eager_forwards` on the exchange stage, a barrier run leaves it at
+/// zero, the total exchange traffic is identical either way, the
+/// run-ahead depth gauge reads zero once the finish barrier drained
+/// everything — and the outputs match exactly.
+#[test]
+fn eager_forward_counters_tick_only_with_pipelining_on() {
+    let inputs = q1_inputs();
+    let run = |eager: bool| -> (Vec<String>, u64, u64, i64) {
+        let exec = ShardedExecutor::new(4)
+            .with_workers(2)
+            .with_batch_size(48)
+            .with_eager_exchange(eager);
+        let (_, sink) = agg_agg_graph();
+        let mut session = exec.session(|| agg_agg_graph().0).unwrap();
+        let telem = session.telemetry().clone();
+        push_feed(&mut session, vec![("in".into(), 0, inputs.clone())], 48);
+        let out = session.finish().unwrap();
+        let mut rows: Vec<String> = out[&sink]
+            .iter()
+            .map(|t| {
+                format!(
+                    "{:?}|{:x}|{:?}",
+                    t.values(),
+                    t.existence.to_bits(),
+                    t.lineage
+                )
+            })
+            .collect();
+        rows.sort();
+        (
+            rows,
+            telem.eager_forwards(1).get(),
+            telem.exchange_forwarded(1).get(),
+            telem.interval_depth(1).get(),
+        )
+    };
+
+    let (rows_on, eager_on, fwd_on, depth_on) = run(true);
+    let (rows_off, eager_off, fwd_off, depth_off) = run(false);
+    assert!(!rows_on.is_empty());
+    assert_eq!(rows_on, rows_off, "the toggle must not change the output");
+    assert!(
+        eager_on > 0,
+        "pipelined delivery must have forwarded intervals ahead of the barrier"
+    );
+    assert_eq!(eager_off, 0, "barrier-only runs never forward eagerly");
+    assert_eq!(
+        fwd_on, fwd_off,
+        "the same tuples cross the exchange either way"
+    );
+    assert_eq!(depth_on, 0, "the finish barrier resets the run-ahead depth");
+    assert_eq!(depth_off, 0);
+}
+
+// ---------------------------------------------------------------------
 // Keyless tuples at a keyed anchor spread round-robin (not shard 0).
 // ---------------------------------------------------------------------
 
